@@ -1,0 +1,165 @@
+//! Centre-crop layer.
+//!
+//! DCSNet's 1024-element latent reshapes to a 1×32×32 feature map; after
+//! the convolutional stack the output is 32×32, but MNIST frames are 28×28.
+//! `Crop2d` takes the centre window (identity when sizes match, as for
+//! 32×32 GTSRB), and its backward pass zero-pads gradients back out.
+
+use orco_nn::{Layer, Param};
+use orco_tensor::Matrix;
+
+/// Centre-crops `(C, in, in)` feature maps to `(C, out, out)`.
+///
+/// # Examples
+///
+/// ```
+/// use orco_baselines::Crop2d;
+/// use orco_nn::Layer;
+/// use orco_tensor::Matrix;
+///
+/// let mut crop = Crop2d::new(1, 4, 2);
+/// let x = Matrix::from_fn(1, 16, |_, c| c as f32);
+/// let y = crop.forward(&x, false);
+/// assert_eq!(y.as_slice(), &[5.0, 6.0, 9.0, 10.0]);
+/// ```
+#[derive(Debug)]
+pub struct Crop2d {
+    channels: usize,
+    in_side: usize,
+    out_side: usize,
+}
+
+impl Crop2d {
+    /// Creates a crop layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out_side > in_side` or either is zero.
+    #[must_use]
+    pub fn new(channels: usize, in_side: usize, out_side: usize) -> Self {
+        assert!(channels > 0 && in_side > 0 && out_side > 0, "Crop2d: zero dimension");
+        assert!(out_side <= in_side, "Crop2d: cannot crop {in_side} up to {out_side}");
+        Self { channels, in_side, out_side }
+    }
+
+    fn margin(&self) -> usize {
+        (self.in_side - self.out_side) / 2
+    }
+}
+
+impl Layer for Crop2d {
+    fn forward(&mut self, input: &Matrix, _train: bool) -> Matrix {
+        assert_eq!(input.cols(), self.input_dim(), "Crop2d::forward: width mismatch");
+        if self.in_side == self.out_side {
+            return input.clone();
+        }
+        let m = self.margin();
+        let mut out = Matrix::zeros(input.rows(), self.output_dim());
+        for (r, sample) in input.iter_rows().enumerate() {
+            let dst = out.row_mut(r);
+            for c in 0..self.channels {
+                for y in 0..self.out_side {
+                    for x in 0..self.out_side {
+                        dst[(c * self.out_side + y) * self.out_side + x] =
+                            sample[(c * self.in_side + y + m) * self.in_side + x + m];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        assert_eq!(grad_output.cols(), self.output_dim(), "Crop2d::backward: width mismatch");
+        if self.in_side == self.out_side {
+            return grad_output.clone();
+        }
+        let m = self.margin();
+        let mut out = Matrix::zeros(grad_output.rows(), self.input_dim());
+        for (r, g) in grad_output.iter_rows().enumerate() {
+            let dst = out.row_mut(r);
+            for c in 0..self.channels {
+                for y in 0..self.out_side {
+                    for x in 0..self.out_side {
+                        dst[(c * self.in_side + y + m) * self.in_side + x + m] =
+                            g[(c * self.out_side + y) * self.out_side + x];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn params(&mut self) -> Vec<Param<'_>> {
+        Vec::new()
+    }
+
+    fn zero_grad(&mut self) {}
+
+    fn input_dim(&self) -> usize {
+        self.channels * self.in_side * self.in_side
+    }
+
+    fn output_dim(&self) -> usize {
+        self.channels * self.out_side * self.out_side
+    }
+
+    fn flops_forward(&self) -> u64 {
+        self.output_dim() as u64
+    }
+
+    fn name(&self) -> &'static str {
+        "crop2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_crop_is_noop() {
+        let mut crop = Crop2d::new(2, 3, 3);
+        let x = Matrix::from_fn(2, 18, |r, c| (r * 18 + c) as f32);
+        assert_eq!(crop.forward(&x, true), x);
+        assert_eq!(crop.backward(&x), x);
+    }
+
+    #[test]
+    fn crop_then_pad_is_projection() {
+        let mut crop = Crop2d::new(1, 6, 4);
+        let x = Matrix::from_fn(1, 36, |_, c| c as f32 + 1.0);
+        let y = crop.forward(&x, false);
+        assert_eq!(y.cols(), 16);
+        let back = crop.backward(&y);
+        assert_eq!(back.cols(), 36);
+        // Padding ring is zero; interior matches.
+        assert_eq!(back.as_slice()[0], 0.0);
+        let again = crop.forward(&back, false);
+        assert_eq!(again, y);
+    }
+
+    #[test]
+    fn adjoint_identity_holds() {
+        // ⟨crop(x), g⟩ == ⟨x, crop_backward(g)⟩
+        let mut crop = Crop2d::new(1, 5, 3);
+        let x = Matrix::from_fn(1, 25, |_, c| ((c * 13 % 7) as f32) - 3.0);
+        let g = Matrix::from_fn(1, 9, |_, c| ((c * 5 % 11) as f32) - 5.0);
+        let lhs = crop.forward(&x, false).dot(&g);
+        let rhs = x.dot(&crop.backward(&g));
+        assert!((lhs - rhs).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot crop")]
+    fn rejects_upcrop() {
+        let _ = Crop2d::new(1, 3, 5);
+    }
+
+    #[test]
+    fn mnist_geometry() {
+        let crop = Crop2d::new(1, 32, 28);
+        assert_eq!(crop.input_dim(), 1024);
+        assert_eq!(crop.output_dim(), 784);
+    }
+}

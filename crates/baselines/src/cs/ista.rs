@@ -1,0 +1,190 @@
+//! ISTA — iterative shrinkage-thresholding for `ℓ₁`-regularized
+//! reconstruction.
+//!
+//! Solves `min_θ ½‖Aθ − y‖² + λ‖θ‖₁` by gradient steps followed by
+//! soft-thresholding. This is the convex-optimization decoder of
+//! traditional CDA whose cost the paper's introduction calls
+//! "computationally intensive": every reconstructed image pays hundreds of
+//! `m×n` matrix products, vs a single forward pass for a learned decoder.
+
+use orco_tensor::Matrix;
+
+/// ISTA solver parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct IstaConfig {
+    /// ℓ₁ weight λ.
+    pub lambda: f32,
+    /// Maximum iterations.
+    pub max_iters: usize,
+    /// Stop when the coefficient update's ∞-norm falls below this.
+    pub tol: f32,
+}
+
+impl Default for IstaConfig {
+    fn default() -> Self {
+        Self { lambda: 0.01, max_iters: 200, tol: 1e-5 }
+    }
+}
+
+/// Result of an ISTA run.
+#[derive(Debug, Clone)]
+pub struct IstaResult {
+    /// Recovered coefficient vector θ.
+    pub coefficients: Vec<f32>,
+    /// Iterations actually executed.
+    pub iterations: usize,
+    /// Final residual `‖Aθ − y‖₂`.
+    pub residual_norm: f32,
+}
+
+/// Estimates the Lipschitz constant `L = ‖AᵀA‖₂` by power iteration.
+fn lipschitz(a: &Matrix, iters: usize) -> f32 {
+    let n = a.cols();
+    let mut v = vec![1.0f32 / (n as f32).sqrt(); n];
+    let mut norm = 1.0f32;
+    for _ in 0..iters {
+        // w = Aᵀ(Av)
+        let av = a.matvec(&v);
+        let w = a.transpose().matvec(&av);
+        norm = w.iter().map(|x| x * x).sum::<f32>().sqrt();
+        if norm < 1e-12 {
+            return 1.0;
+        }
+        for (vi, wi) in v.iter_mut().zip(&w) {
+            *vi = wi / norm;
+        }
+    }
+    norm.max(1e-6)
+}
+
+fn soft_threshold(x: f32, t: f32) -> f32 {
+    if x > t {
+        x - t
+    } else if x < -t {
+        x + t
+    } else {
+        0.0
+    }
+}
+
+/// Recovers sparse coefficients from measurements `y ≈ Aθ`.
+///
+/// # Panics
+///
+/// Panics if `y.len() != a.rows()`.
+#[must_use]
+pub fn ista_reconstruct(a: &Matrix, y: &[f32], config: &IstaConfig) -> IstaResult {
+    assert_eq!(y.len(), a.rows(), "ista: measurement length mismatch");
+    let l = lipschitz(a, 30);
+    let step = 1.0 / l;
+    let thresh = config.lambda * step;
+    let at = a.transpose();
+
+    let mut theta = vec![0.0f32; a.cols()];
+    let mut iterations = 0;
+    for _ in 0..config.max_iters {
+        iterations += 1;
+        // gradient of the quadratic: Aᵀ(Aθ − y)
+        let mut residual = a.matvec(&theta);
+        for (r, &yi) in residual.iter_mut().zip(y) {
+            *r -= yi;
+        }
+        let grad = at.matvec(&residual);
+        let mut max_delta = 0.0f32;
+        for (t, g) in theta.iter_mut().zip(&grad) {
+            let new = soft_threshold(*t - step * g, thresh);
+            max_delta = max_delta.max((new - *t).abs());
+            *t = new;
+        }
+        if max_delta < config.tol {
+            break;
+        }
+    }
+    let mut residual = a.matvec(&theta);
+    for (r, &yi) in residual.iter_mut().zip(y) {
+        *r -= yi;
+    }
+    let residual_norm = residual.iter().map(|v| v * v).sum::<f32>().sqrt();
+    IstaResult { coefficients: theta, iterations, residual_norm }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orco_tensor::OrcoRng;
+
+    /// Builds a k-sparse signal, measures it, and checks ISTA recovers it.
+    #[test]
+    fn recovers_sparse_signal() {
+        let mut rng = OrcoRng::from_label("ista", 0);
+        let (m, n, k) = (40, 100, 4);
+        let a = Matrix::from_fn(m, n, |_, _| rng.normal(0.0, (1.0 / m as f32).sqrt()));
+        let mut theta = vec![0.0f32; n];
+        for i in [3usize, 27, 55, 90].iter().take(k) {
+            theta[*i] = 1.0 + (*i as f32) * 0.01;
+        }
+        let y = a.matvec(&theta);
+        let result = ista_reconstruct(
+            &a,
+            &y,
+            &IstaConfig { lambda: 0.005, max_iters: 2000, tol: 1e-7 },
+        );
+        for (i, (rec, truth)) in result.coefficients.iter().zip(&theta).enumerate() {
+            assert!((rec - truth).abs() < 0.12, "coef {i}: {rec} vs {truth}");
+        }
+        assert!(result.residual_norm < 0.1);
+    }
+
+    #[test]
+    fn zero_measurements_give_zero() {
+        let mut rng = OrcoRng::from_label("ista-zero", 0);
+        let a = Matrix::from_fn(10, 30, |_, _| rng.normal(0.0, 0.3));
+        let result = ista_reconstruct(&a, &[0.0; 10], &IstaConfig::default());
+        assert!(result.coefficients.iter().all(|&c| c == 0.0));
+    }
+
+    #[test]
+    fn fewer_measurements_worse_recovery() {
+        // The paper's point: quality is limited by the measurement dimension.
+        let mut rng = OrcoRng::from_label("ista-m", 1);
+        let n = 100;
+        let mut theta = vec![0.0f32; n];
+        for i in [5usize, 40, 77] {
+            theta[i] = 1.0;
+        }
+        let err_for_m = |m: usize, rng: &mut OrcoRng| -> f32 {
+            let a = Matrix::from_fn(m, n, |_, _| rng.normal(0.0, (1.0 / m as f32).sqrt()));
+            let y = a.matvec(&theta);
+            let r = ista_reconstruct(&a, &y, &IstaConfig { lambda: 0.005, max_iters: 1500, tol: 1e-7 });
+            r.coefficients
+                .iter()
+                .zip(&theta)
+                .map(|(a, b)| (a - b).powi(2))
+                .sum::<f32>()
+                .sqrt()
+        };
+        let err_rich = err_for_m(60, &mut rng);
+        let err_poor = err_for_m(8, &mut rng);
+        assert!(err_poor > err_rich * 2.0, "poor {err_poor} vs rich {err_rich}");
+    }
+
+    #[test]
+    fn soft_threshold_properties() {
+        assert_eq!(soft_threshold(5.0, 1.0), 4.0);
+        assert_eq!(soft_threshold(-5.0, 1.0), -4.0);
+        assert_eq!(soft_threshold(0.5, 1.0), 0.0);
+        assert_eq!(soft_threshold(-0.5, 1.0), 0.0);
+    }
+
+    #[test]
+    fn lipschitz_upper_bounds_gram_diagonal() {
+        let mut rng = OrcoRng::from_label("ista-lip", 0);
+        let a = Matrix::from_fn(20, 50, |_, _| rng.normal(0.0, 0.2));
+        let l = lipschitz(&a, 40);
+        // L must be ≥ the largest column norm² of A.
+        let max_col: f32 = (0..50)
+            .map(|c| a.col(c).iter().map(|v| v * v).sum::<f32>())
+            .fold(0.0, f32::max);
+        assert!(l >= max_col * 0.99, "L={l} max_col={max_col}");
+    }
+}

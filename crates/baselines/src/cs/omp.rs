@@ -1,0 +1,207 @@
+//! Orthogonal matching pursuit — the greedy classical CS decoder.
+//!
+//! Builds the support set one atom at a time (largest residual
+//! correlation), re-solving a small least-squares problem at each step.
+//! Complements [`crate::cs::ista`]: OMP is faster for very sparse signals
+//! but needs the sparsity `k` as input and degrades sharply when `k` is
+//! misestimated — another inflexibility of classical CDA.
+
+use orco_tensor::Matrix;
+
+/// Result of an OMP run.
+#[derive(Debug, Clone)]
+pub struct OmpResult {
+    /// Recovered coefficient vector θ (dense, mostly zeros).
+    pub coefficients: Vec<f32>,
+    /// Selected support indices in selection order.
+    pub support: Vec<usize>,
+    /// Final residual norm.
+    pub residual_norm: f32,
+}
+
+/// Solves the dense least-squares system `G·x = b` (G symmetric positive
+/// definite) by Gaussian elimination with partial pivoting.
+fn solve_spd(g: &Matrix, b: &[f32]) -> Vec<f32> {
+    let n = g.rows();
+    assert_eq!(g.cols(), n, "solve_spd: matrix must be square");
+    assert_eq!(b.len(), n, "solve_spd: rhs length mismatch");
+    // Augmented elimination.
+    let mut a: Vec<Vec<f32>> = (0..n)
+        .map(|r| {
+            let mut row: Vec<f32> = g.row(r).to_vec();
+            row.push(b[r]);
+            row
+        })
+        .collect();
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n)
+            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap())
+            .unwrap();
+        a.swap(col, pivot);
+        let p = a[col][col];
+        if p.abs() < 1e-12 {
+            continue; // singular direction; leave zero
+        }
+        for r in 0..n {
+            if r != col {
+                let f = a[r][col] / p;
+                if f != 0.0 {
+                    let (pivot_row, target_row) = if r < col {
+                        let (lo, hi) = a.split_at_mut(col);
+                        (&hi[0], &mut lo[r])
+                    } else {
+                        let (lo, hi) = a.split_at_mut(r);
+                        (&lo[col], &mut hi[0])
+                    };
+                    for (t, &pv) in target_row[col..=n].iter_mut().zip(&pivot_row[col..=n]) {
+                        *t -= f * pv;
+                    }
+                }
+            }
+        }
+    }
+    (0..n)
+        .map(|r| {
+            let p = a[r][r];
+            if p.abs() < 1e-12 {
+                0.0
+            } else {
+                a[r][n] / p
+            }
+        })
+        .collect()
+}
+
+/// Recovers a `k`-sparse coefficient vector from `y ≈ Aθ`.
+///
+/// # Panics
+///
+/// Panics if `y.len() != a.rows()` or `k` is zero or exceeds `a.rows()`.
+#[must_use]
+pub fn omp_reconstruct(a: &Matrix, y: &[f32], k: usize) -> OmpResult {
+    assert_eq!(y.len(), a.rows(), "omp: measurement length mismatch");
+    assert!(k > 0 && k <= a.rows(), "omp: k must be in 1..=m");
+
+    let n = a.cols();
+    let mut support: Vec<usize> = Vec::with_capacity(k);
+    let mut residual: Vec<f32> = y.to_vec();
+    let mut solution: Vec<f32> = Vec::new();
+
+    for _ in 0..k {
+        // Atom with the largest |correlation| to the residual.
+        let corr = a.transpose().matvec(&residual);
+        let best = corr
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !support.contains(i))
+            .max_by(|(_, x), (_, z)| x.abs().partial_cmp(&z.abs()).unwrap())
+            .map(|(i, _)| i);
+        let Some(best) = best else { break };
+        if corr[best].abs() < 1e-9 {
+            break;
+        }
+        support.push(best);
+
+        // Least squares on the support: minimize ‖A_S x − y‖.
+        let a_s = a.select_cols(&support); // (m, |S|)
+        let gram = a_s.t_matmul(&a_s); // (|S|, |S|)
+        let rhs = a_s.t_matmul(&Matrix::col_vector(y)).into_vec();
+        solution = solve_spd(&gram, &rhs);
+
+        // New residual.
+        let approx = a_s.matvec_cols(&solution);
+        residual = y.iter().zip(&approx).map(|(yi, ai)| yi - ai).collect();
+        let rnorm: f32 = residual.iter().map(|v| v * v).sum::<f32>().sqrt();
+        if rnorm < 1e-7 {
+            break;
+        }
+    }
+
+    let mut coefficients = vec![0.0f32; n];
+    for (&idx, &val) in support.iter().zip(&solution) {
+        coefficients[idx] = val;
+    }
+    let residual_norm = residual.iter().map(|v| v * v).sum::<f32>().sqrt();
+    OmpResult { coefficients, support, residual_norm }
+}
+
+/// `A·x` where `x` is indexed by the *columns already selected* in `a`.
+trait MatvecCols {
+    fn matvec_cols(&self, x: &[f32]) -> Vec<f32>;
+}
+
+impl MatvecCols for Matrix {
+    fn matvec_cols(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.cols(), "matvec_cols: length mismatch");
+        self.matvec(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orco_tensor::OrcoRng;
+
+    #[test]
+    fn recovers_exactly_sparse_signal() {
+        let mut rng = OrcoRng::from_label("omp", 0);
+        let (m, n) = (30, 80);
+        let a = Matrix::from_fn(m, n, |_, _| rng.normal(0.0, (1.0 / m as f32).sqrt()));
+        let mut theta = vec![0.0f32; n];
+        theta[7] = 2.0;
+        theta[33] = -1.5;
+        theta[61] = 0.8;
+        let y = a.matvec(&theta);
+        let result = omp_reconstruct(&a, &y, 3);
+        let mut sup = result.support.clone();
+        sup.sort_unstable();
+        assert_eq!(sup, vec![7, 33, 61]);
+        for (rec, truth) in result.coefficients.iter().zip(&theta) {
+            assert!((rec - truth).abs() < 1e-3, "{rec} vs {truth}");
+        }
+        assert!(result.residual_norm < 1e-3);
+    }
+
+    #[test]
+    fn underestimated_sparsity_degrades() {
+        let mut rng = OrcoRng::from_label("omp-k", 0);
+        let (m, n) = (30, 80);
+        let a = Matrix::from_fn(m, n, |_, _| rng.normal(0.0, (1.0 / m as f32).sqrt()));
+        let mut theta = vec![0.0f32; n];
+        for i in [5usize, 20, 40, 70] {
+            theta[i] = 1.0;
+        }
+        let y = a.matvec(&theta);
+        let full = omp_reconstruct(&a, &y, 4);
+        let starved = omp_reconstruct(&a, &y, 1);
+        assert!(starved.residual_norm > full.residual_norm * 5.0);
+    }
+
+    #[test]
+    fn solve_spd_known_system() {
+        // [[2,0],[0,4]] x = [2, 8] → x = [1, 2]
+        let g = Matrix::from_vec(2, 2, vec![2.0, 0.0, 0.0, 4.0]).unwrap();
+        let x = solve_spd(&g, &[2.0, 8.0]);
+        assert!((x[0] - 1.0).abs() < 1e-6);
+        assert!((x[1] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn solve_spd_with_pivoting() {
+        // Requires a row swap: [[0,1],[1,0]] x = [3, 5] → x = [5, 3]
+        let g = Matrix::from_vec(2, 2, vec![0.0, 1.0, 1.0, 0.0]).unwrap();
+        let x = solve_spd(&g, &[3.0, 5.0]);
+        assert!((x[0] - 5.0).abs() < 1e-6);
+        assert!((x[1] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_signal_selects_nothing() {
+        let mut rng = OrcoRng::from_label("omp-zero", 0);
+        let a = Matrix::from_fn(10, 20, |_, _| rng.normal(0.0, 0.3));
+        let result = omp_reconstruct(&a, &[0.0; 10], 3);
+        assert!(result.support.is_empty());
+        assert!(result.coefficients.iter().all(|&c| c == 0.0));
+    }
+}

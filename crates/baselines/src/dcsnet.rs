@@ -1,0 +1,236 @@
+//! DCSNet — the deep-CDA baseline (ref \[3\] of the paper).
+//!
+//! The paper pins DCSNet down by two fixed choices the evaluation leans on:
+//! a **predefined latent dimension of 1024** (task-independent, unlike
+//! OrcoDCS's tunable `M`) and a **decoder of 4 convolutional layers**. The
+//! 1024-element latent reshapes to a 1×32×32 feature map; the conv stack
+//! refines it and a centre crop adapts 32×32 to the 28×28 MNIST frame
+//! (identity for 32×32 GTSRB).
+//!
+//! [`Dcsnet`] implements [`SplitModel`], so it can be trained (a) offline
+//! and centrally via [`crate::offline_trainer`], the scheme DCSNet was
+//! designed for, or (b) through the same IoT-Edge orchestrated protocol as
+//! OrcoDCS — which is how the paper obtains its time-to-loss comparison.
+
+use orco_nn::{Activation, Conv2d, Dense, Layer, Loss, Optimizer, Sequential};
+use orco_tensor::{Matrix, OrcoRng};
+
+use orco_datasets::DatasetKind;
+use orcodcs::SplitModel;
+
+use crate::crop::Crop2d;
+
+/// DCSNet's fixed latent dimension (paper §IV-A).
+pub const DCSNET_LATENT_DIM: usize = 1024;
+
+/// Side of the square feature map the latent reshapes to (`32·32 = 1024`).
+const LATENT_SIDE: usize = 32;
+
+/// The DCSNet baseline model.
+///
+/// # Examples
+///
+/// ```
+/// use orco_baselines::Dcsnet;
+/// use orco_datasets::DatasetKind;
+/// use orco_tensor::Matrix;
+/// use orcodcs::SplitModel;
+///
+/// let mut net = Dcsnet::new(DatasetKind::MnistLike, 0);
+/// assert_eq!(net.latent_dim(), 1024);
+/// let x = Matrix::zeros(2, 784);
+/// let xr = net.reconstruct_inference(&x);
+/// assert_eq!(xr.shape(), (2, 784));
+/// ```
+#[derive(Debug)]
+pub struct Dcsnet {
+    encoder: Dense,
+    decoder: Sequential,
+    encoder_opt: Optimizer,
+    decoder_opt: Optimizer,
+    input_dim: usize,
+}
+
+impl Dcsnet {
+    /// Builds DCSNet for a dataset kind with the paper's fixed structure.
+    #[must_use]
+    pub fn new(kind: DatasetKind, seed: u64) -> Self {
+        let mut rng = OrcoRng::from_label("dcsnet", seed);
+        let input_dim = kind.sample_len();
+        let out_c = kind.channels();
+        let out_side = kind.height();
+
+        let encoder = Dense::new(input_dim, DCSNET_LATENT_DIM, Activation::Sigmoid, &mut rng);
+
+        // 4 convolutional layers over the 1x32x32 latent map, then a crop to
+        // the dataset's frame. Channels: 1 -> 16 -> 16 -> 8 -> out_c.
+        let mut decoder = Sequential::new();
+        decoder.push(Conv2d::new(1, LATENT_SIDE, LATENT_SIDE, 16, 3, 1, 1, Activation::Relu, &mut rng));
+        decoder.push(Conv2d::new(16, LATENT_SIDE, LATENT_SIDE, 16, 3, 1, 1, Activation::Relu, &mut rng));
+        decoder.push(Conv2d::new(16, LATENT_SIDE, LATENT_SIDE, 8, 3, 1, 1, Activation::Relu, &mut rng));
+        decoder.push(Conv2d::new(8, LATENT_SIDE, LATENT_SIDE, out_c, 3, 1, 1, Activation::Sigmoid, &mut rng));
+        decoder.push(Crop2d::new(out_c, LATENT_SIDE, out_side));
+
+        // DCSNet trains with Adam in its reference implementation; keep the
+        // same rate scale as OrcoDCS for a fair time-to-loss axis.
+        Self {
+            encoder,
+            decoder,
+            encoder_opt: Optimizer::adam(1e-3).with_grad_clip(10.0),
+            decoder_opt: Optimizer::adam(1e-3).with_grad_clip(10.0),
+            input_dim,
+        }
+    }
+
+    /// The loss DCSNet trains with (plain L2, per its design).
+    #[must_use]
+    pub fn loss() -> Loss {
+        Loss::L2
+    }
+
+    /// Total parameter count.
+    #[must_use]
+    pub fn param_count(&self) -> usize {
+        self.encoder.param_count() + self.decoder.param_count()
+    }
+
+    /// One centralized (offline-style) training step on a batch; returns
+    /// the batch loss before the update.
+    pub fn train_batch_central(&mut self, x: &Matrix, loss: &Loss) -> f32 {
+        let latent = self.encoder.forward(x, true);
+        let xr = self.decoder.forward(&latent, true);
+        let value = loss.value(&xr, x);
+        let grad = loss.grad(&xr, x);
+        self.decoder.zero_grad();
+        let grad_latent = self.decoder.backward(&grad);
+        self.decoder_opt.step(self.decoder.params());
+        self.encoder.zero_grad();
+        let _ = self.encoder.backward(&grad_latent);
+        self.encoder_opt.step(self.encoder.params());
+        value
+    }
+
+    /// Mean reconstruction loss on a batch (inference mode).
+    pub fn evaluate(&mut self, x: &Matrix, loss: &Loss) -> f32 {
+        let xr = self.reconstruct_inference(x);
+        loss.value(&xr, x)
+    }
+}
+
+impl SplitModel for Dcsnet {
+    fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    fn latent_dim(&self) -> usize {
+        DCSNET_LATENT_DIM
+    }
+
+    fn aggregator_encode_train(&mut self, x: &Matrix) -> Matrix {
+        // DCSNet has no latent-noise mechanism — that is one of the deltas
+        // the paper's Figure 5/7 attribute OrcoDCS's robustness to.
+        self.encoder.forward(x, true)
+    }
+
+    fn edge_decode_train(&mut self, latent: &Matrix) -> Matrix {
+        self.decoder.forward(latent, true)
+    }
+
+    fn edge_decoder_update(&mut self, grad_reconstruction: &Matrix) -> Matrix {
+        self.decoder.zero_grad();
+        let grad_latent = self.decoder.backward(grad_reconstruction);
+        self.decoder_opt.step(self.decoder.params());
+        grad_latent
+    }
+
+    fn aggregator_encoder_update(&mut self, grad_latent: &Matrix) {
+        self.encoder.zero_grad();
+        let _ = self.encoder.backward(grad_latent);
+        self.encoder_opt.step(self.encoder.params());
+    }
+
+    fn reconstruct_inference(&mut self, x: &Matrix) -> Matrix {
+        let latent = self.encoder.forward(x, false);
+        self.decoder.forward(&latent, false)
+    }
+
+    fn encoder_flops_forward(&self) -> u64 {
+        Layer::flops_forward(&self.encoder)
+    }
+
+    fn encoder_flops_backward(&self) -> u64 {
+        Layer::flops_backward(&self.encoder)
+    }
+
+    fn decoder_flops_forward(&self) -> u64 {
+        self.decoder.flops_forward()
+    }
+
+    fn decoder_flops_backward(&self) -> u64 {
+        self.decoder.flops_backward()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orco_datasets::mnist_like;
+
+    #[test]
+    fn structure_matches_paper() {
+        let net = Dcsnet::new(DatasetKind::MnistLike, 0);
+        assert_eq!(net.latent_dim(), 1024);
+        assert_eq!(net.input_dim(), 784);
+        // 4 conv layers + crop.
+        assert!(net.param_count() > 784 * 1024);
+    }
+
+    #[test]
+    fn gtsrb_shape_roundtrip() {
+        let mut net = Dcsnet::new(DatasetKind::GtsrbLike, 0);
+        let x = Matrix::zeros(1, 3072);
+        let xr = net.reconstruct_inference(&x);
+        assert_eq!(xr.shape(), (1, 3072));
+    }
+
+    #[test]
+    fn central_training_reduces_loss() {
+        let mut net = Dcsnet::new(DatasetKind::MnistLike, 1);
+        let ds = mnist_like::generate(8, 0);
+        let loss = Dcsnet::loss();
+        let before = net.evaluate(ds.x(), &loss);
+        for _ in 0..5 {
+            let _ = net.train_batch_central(ds.x(), &loss);
+        }
+        let after = net.evaluate(ds.x(), &loss);
+        assert!(after < before, "loss {before} -> {after}");
+    }
+
+    #[test]
+    fn split_and_central_agree() {
+        // The SplitModel path runs the same math as the central path.
+        let mut a = Dcsnet::new(DatasetKind::MnistLike, 7);
+        let mut b = Dcsnet::new(DatasetKind::MnistLike, 7);
+        let ds = mnist_like::generate(4, 1);
+        let loss = Dcsnet::loss();
+        let central = a.train_batch_central(ds.x(), &loss);
+        let latent = b.aggregator_encode_train(ds.x());
+        let xr = b.edge_decode_train(&latent);
+        let split_loss = loss.value(&xr, ds.x());
+        let grad = loss.grad(&xr, ds.x());
+        let gl = b.edge_decoder_update(&grad);
+        b.aggregator_encoder_update(&gl);
+        assert_eq!(central, split_loss);
+    }
+
+    #[test]
+    fn heavier_than_orcodcs() {
+        // The fixed 1024-dim latent + conv decoder must cost more FLOPs than
+        // OrcoDCS's 128-dim dense autoencoder — the source of Fig. 4's gap.
+        let dcs = Dcsnet::new(DatasetKind::MnistLike, 0);
+        let cfg = orcodcs::OrcoConfig::for_dataset(DatasetKind::MnistLike);
+        let orco = orcodcs::AsymmetricAutoencoder::new(&cfg).unwrap();
+        assert!(SplitModel::encoder_flops_forward(&dcs) > orco.encoder_flops_forward());
+        assert!(SplitModel::decoder_flops_forward(&dcs) > orco.decoder_flops_forward());
+    }
+}

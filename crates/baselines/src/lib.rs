@@ -1,0 +1,28 @@
+//! # orco-baselines
+//!
+//! The comparison systems of the OrcoDCS paper, implemented from scratch:
+//!
+//! * [`dcsnet`] — **DCSNet** (ref \[3\] of the paper), the deep-CDA baseline
+//!   of the evaluation: a fixed 1024-dimensional latent space and a decoder
+//!   of 4 convolutional layers, trained offline on a fraction (30/50/70%)
+//!   of the data. It implements [`orcodcs::SplitModel`], so it can also be
+//!   run through the same online orchestrated protocol the paper uses for
+//!   its time-to-loss comparison.
+//! * [`cs`] — **traditional compressed sensing**, the pre-deep-learning CDA
+//!   the introduction motivates against: Gaussian measurement matrices and
+//!   convex sparse reconstruction (ISTA, plus OMP) in a DCT basis. Its
+//!   computational cost and dimension/sparsity-limited quality are exactly
+//!   the drawbacks the paper cites.
+//! * [`offline_trainer`] — the offline (cloud-style) training scheme for
+//!   DCSNet and helpers to subset training data to the paper's 30/50/70%.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cs;
+pub mod crop;
+pub mod dcsnet;
+pub mod offline_trainer;
+
+pub use crop::Crop2d;
+pub use dcsnet::Dcsnet;

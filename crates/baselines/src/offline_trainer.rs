@@ -1,0 +1,172 @@
+//! Offline (cloud-style) training for DCSNet, and the online-protocol
+//! harness used for the paper's head-to-head comparisons.
+//!
+//! DCSNet's native scheme is offline: historical data sits in the cloud and
+//! the model trains centrally with no per-round network cost — but also no
+//! access to fresh data, which is why the paper evaluates it at 30/50/70%
+//! data fractions (Figure 5). For time-to-loss comparisons (Figures 4,
+//! 6–8) the paper instead runs DCSNet *through the same online protocol* as
+//! OrcoDCS; [`train_dcsnet_online`] does exactly that by dropping a
+//! [`Dcsnet`] into the generic [`Orchestrator`].
+
+use orco_datasets::{split, Dataset};
+use orco_tensor::OrcoRng;
+use orco_wsn::NetworkConfig;
+use orcodcs::{OrcoConfig, Orchestrator, OrcoError, TrainingHistory};
+
+use crate::dcsnet::{Dcsnet, DCSNET_LATENT_DIM};
+
+/// Result of an offline (centralized) DCSNet training run.
+#[derive(Debug)]
+pub struct OfflineOutcome {
+    /// The trained model.
+    pub model: Dcsnet,
+    /// Mean loss per epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Fraction of the training data that was accessible.
+    pub data_fraction: f32,
+}
+
+/// Trains DCSNet offline on a fraction of the dataset (paper: 30/50/70%,
+/// default 50%).
+///
+/// # Panics
+///
+/// Panics if `data_fraction` is not in `(0, 1]` or `epochs`/`batch_size`
+/// is zero.
+#[must_use]
+pub fn train_dcsnet_offline(
+    dataset: &Dataset,
+    data_fraction: f32,
+    epochs: usize,
+    batch_size: usize,
+    seed: u64,
+) -> OfflineOutcome {
+    assert!(epochs > 0 && batch_size > 0, "epochs and batch_size must be non-zero");
+    let mut rng = OrcoRng::from_label("dcsnet-offline", seed);
+    let accessible = if data_fraction < 1.0 {
+        split::fraction(dataset, data_fraction, &mut rng)
+    } else {
+        dataset.clone()
+    };
+    let mut model = Dcsnet::new(dataset.kind(), seed);
+    let loss = Dcsnet::loss();
+    let n = accessible.len();
+    let bs = batch_size.min(n);
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut epoch_losses = Vec::with_capacity(epochs);
+    for _ in 0..epochs {
+        rng.shuffle(&mut order);
+        let mut total = 0.0f64;
+        let mut batches = 0usize;
+        for chunk in order.chunks(bs) {
+            let xb = accessible.x().select_rows(chunk);
+            total += f64::from(model.train_batch_central(&xb, &loss));
+            batches += 1;
+        }
+        epoch_losses.push((total / batches as f64) as f32);
+    }
+    OfflineOutcome { model, epoch_losses, data_fraction }
+}
+
+/// Trains DCSNet through the IoT-Edge orchestrated online protocol — the
+/// paper's apples-to-apples setting for time-to-loss comparisons. Only
+/// `data_fraction` of the dataset is made accessible (default 50% in the
+/// paper).
+///
+/// Returns the orchestrator (holding the trained model and the network
+/// ledger) and the training history on the simulated clock.
+///
+/// # Errors
+///
+/// Propagates orchestration errors.
+pub fn train_dcsnet_online(
+    dataset: &Dataset,
+    data_fraction: f32,
+    epochs: usize,
+    batch_size: usize,
+    net_config: NetworkConfig,
+    seed: u64,
+) -> Result<(Orchestrator<Dcsnet>, TrainingHistory), OrcoError> {
+    let mut rng = OrcoRng::from_label("dcsnet-online", seed);
+    let accessible = if data_fraction < 1.0 {
+        split::fraction(dataset, data_fraction, &mut rng)
+    } else {
+        dataset.clone()
+    };
+    let model = Dcsnet::new(dataset.kind(), seed);
+    // Protocol parameters ride in an OrcoConfig; DCSNet's L2 loss is set via
+    // huber-free element config below (the orchestrator reads config.loss()).
+    // DCSNet trains with plain L2: a Huber with a huge delta is numerically
+    // identical on [0,1] pixels, keeping one code path.
+    let config = OrcoConfig {
+        input_dim: dataset.kind().sample_len(),
+        latent_dim: DCSNET_LATENT_DIM,
+        decoder_layers: 4,
+        noise_variance: 0.0,
+        huber_delta: f32::MAX.sqrt(),
+        vector_huber: false,
+        learning_rate: 1e-3,
+        batch_size,
+        epochs,
+        finetune_threshold: 0.05,
+        grad_compression: Default::default(),
+        seed,
+    };
+    let mut orch = Orchestrator::with_model(model, config, net_config);
+    let history = orch.train(accessible.x())?;
+    Ok((orch, history))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orco_datasets::mnist_like;
+
+    #[test]
+    fn offline_training_learns() {
+        let ds = mnist_like::generate(16, 0);
+        let out = train_dcsnet_offline(&ds, 0.5, 3, 8, 0);
+        assert_eq!(out.epoch_losses.len(), 3);
+        assert!(out.epoch_losses[2] < out.epoch_losses[0]);
+        assert!((out.data_fraction - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn online_training_pays_network_time() {
+        let ds = mnist_like::generate(16, 1);
+        let net = NetworkConfig { num_devices: 8, seed: 0, ..Default::default() };
+        let (orch, history) = train_dcsnet_online(&ds, 0.5, 1, 8, net, 0).unwrap();
+        assert!(!history.rounds.is_empty());
+        assert!(orch.network().now_s() > 0.0);
+        // 1024-dim latent uplink per round.
+        assert!(
+            orch.network()
+                .accounting()
+                .bytes_by_kind(orco_wsn::PacketKind::LatentVector)
+                >= 1024 * 4
+        );
+    }
+
+    #[test]
+    fn online_dcsnet_is_slower_per_round_than_orcodcs() {
+        // The heart of Figure 4: same protocol, but DCSNet moves 8x the
+        // latent bytes and burns far more FLOPs per round.
+        let ds = mnist_like::generate(8, 2);
+        let net = NetworkConfig { num_devices: 8, seed: 0, ..Default::default() };
+        let (dcs_orch, dcs_hist) =
+            train_dcsnet_online(&ds, 1.0, 1, 8, net.clone(), 0).unwrap();
+        let cfg = OrcoConfig::for_dataset(orco_datasets::DatasetKind::MnistLike)
+            .with_epochs(1)
+            .with_batch_size(8);
+        let mut orco = Orchestrator::new(cfg, net).unwrap();
+        let orco_hist = orco.train(ds.x()).unwrap();
+        assert_eq!(dcs_hist.rounds.len(), orco_hist.rounds.len());
+        assert!(
+            dcs_orch.network().now_s() > orco.network().now_s() * 2.0,
+            "DCSNet round time {} should dwarf OrcoDCS {}",
+            dcs_orch.network().now_s(),
+            orco.network().now_s()
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! Component bench for Figures 3 and 6: encoder/decoder forward cost as a
+//! function of the latent dimension M. The latent dimension is OrcoDCS's
+//! central tuning knob — this bench quantifies the compute side of the
+//! trade-off the paper sweeps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use orco_datasets::DatasetKind;
+use orco_tensor::Matrix;
+use orcodcs::{AsymmetricAutoencoder, OrcoConfig};
+
+fn bench_encode_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encode_decode");
+    group.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300));
+
+    let batch = Matrix::from_fn(32, 784, |r, ci| ((r * 31 + ci) as f32 * 0.01).sin().abs());
+    for m in [128usize, 512, 1024] {
+        let cfg = OrcoConfig::for_dataset(DatasetKind::MnistLike).with_latent_dim(m);
+        let mut ae = AsymmetricAutoencoder::new(&cfg).expect("valid config");
+        group.bench_with_input(BenchmarkId::new("encode_batch32", m), &m, |b, _| {
+            b.iter(|| ae.encode(&batch));
+        });
+        let latent = ae.encode(&batch);
+        group.bench_with_input(BenchmarkId::new("decode_batch32", m), &m, |b, _| {
+            b.iter(|| ae.decode(&latent));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode_decode);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Ablation bench: cost of the reconstruction losses (paper §III-B chooses
+//! Huber over plain L2; this reproduction defaults to element-wise Huber
+//! and offers the paper's literal vector form). Value + gradient per batch.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use orco_nn::Loss;
+use orco_tensor::Matrix;
+
+fn bench_losses(c: &mut Criterion) {
+    let mut group = c.benchmark_group("loss_functions");
+    group.sample_size(20).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300));
+
+    let pred = Matrix::from_fn(32, 784, |r, ci| ((r * 17 + ci) as f32 * 0.01).sin().abs());
+    let target = Matrix::from_fn(32, 784, |r, ci| ((r * 13 + ci) as f32 * 0.02).cos().abs());
+
+    for (name, loss) in [
+        ("l1", Loss::L1),
+        ("l2", Loss::L2),
+        ("huber_elementwise", Loss::Huber { delta: 0.5 }),
+        ("huber_vector", Loss::VectorHuber { delta: 39.2 }),
+    ] {
+        group.bench_function(format!("{name}_value"), |b| {
+            b.iter(|| loss.value(&pred, &target));
+        });
+        group.bench_function(format!("{name}_grad"), |b| {
+            b.iter(|| loss.grad(&pred, &target));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_losses);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Component bench for Figure 2 / the introduction's motivation: per-image
+//! decoding cost of a learned decoder vs classical convex (ISTA) and greedy
+//! (OMP) compressed-sensing reconstruction. The paper's claim that
+//! traditional decoders are "computationally intensive" is this ordering.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use orco_baselines::cs::{ista_reconstruct, omp_reconstruct, Dct2, GaussianMeasurement, IstaConfig};
+use orco_datasets::{mnist_like, DatasetKind};
+use orco_tensor::{Matrix, OrcoRng};
+use orcodcs::{AsymmetricAutoencoder, OrcoConfig};
+
+fn bench_decoders(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reconstruction_decoders");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+
+    let dataset = mnist_like::generate(8, 0);
+    let image = dataset.sample(0);
+    let n = image.len();
+
+    // Learned pipeline.
+    let cfg = OrcoConfig::for_dataset(DatasetKind::MnistLike);
+    let mut ae = AsymmetricAutoencoder::new(&cfg).expect("valid config");
+    let x = Matrix::from_vec(1, n, image.to_vec()).expect("length checked");
+    group.bench_function("learned_decode_1img", |b| {
+        b.iter(|| ae.reconstruct(&x));
+    });
+
+    // Classical pipeline at m = 128 measurements.
+    let dct = Dct2::new(28);
+    let psi = dct.synthesis_matrix();
+    let mut rng = OrcoRng::from_label("bench-cs", 0);
+    let phi = GaussianMeasurement::new(128, n, &mut rng);
+    let a = phi.sensing_matrix(&psi);
+    let y = phi.measure(image);
+
+    group.bench_function("ista_decode_1img_m128", |b| {
+        b.iter(|| ista_reconstruct(&a, &y, &IstaConfig { lambda: 0.01, max_iters: 100, tol: 1e-5 }));
+    });
+    group.bench_function("omp_decode_1img_m128_k32", |b| {
+        b.iter(|| omp_reconstruct(&a, &y, 32));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_decoders);
+criterion_main!(benches);

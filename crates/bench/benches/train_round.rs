@@ -1,0 +1,52 @@
+//! Component bench for Figures 4 and 8: wall-clock cost of one orchestrated
+//! training round for OrcoDCS (by decoder depth) and for the DCSNet
+//! baseline. The *simulated* times in the figures come from the FLOP/byte
+//! model; this bench confirms the host-side cost ordering matches.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use orco_baselines::Dcsnet;
+use orco_datasets::{mnist_like, DatasetKind};
+use orco_wsn::NetworkConfig;
+use orcodcs::{OrcoConfig, Orchestrator};
+
+fn bench_train_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("train_round");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+
+    let dataset = mnist_like::generate(32, 0);
+    let net = NetworkConfig { num_devices: 16, seed: 0, ..Default::default() };
+
+    for layers in [1usize, 3, 5] {
+        let cfg = OrcoConfig::for_dataset(DatasetKind::MnistLike).with_decoder_layers(layers);
+        let mut orch = Orchestrator::new(cfg, net.clone()).expect("valid config");
+        group.bench_with_input(BenchmarkId::new("orcodcs_layers", layers), &layers, |b, _| {
+            b.iter(|| orch.train_round(dataset.x()).expect("round runs"));
+        });
+    }
+
+    let dcs_cfg = OrcoConfig {
+        input_dim: 784,
+        latent_dim: orco_baselines::dcsnet::DCSNET_LATENT_DIM,
+        decoder_layers: 4,
+        noise_variance: 0.0,
+        huber_delta: 0.5,
+        vector_huber: false,
+        learning_rate: 1e-3,
+        batch_size: 32,
+        epochs: 1,
+        finetune_threshold: 0.05,
+        grad_compression: Default::default(),
+        seed: 0,
+    };
+    let mut dcs = Orchestrator::with_model(Dcsnet::new(DatasetKind::MnistLike, 0), dcs_cfg, net);
+    group.bench_function("dcsnet_round", |b| {
+        b.iter(|| dcs.train_round(dataset.x()).expect("round runs"));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_train_round);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Component bench for Figure 3's data plane: host cost of simulating the
+//! three WSN traffic primitives (raw tree aggregation, encoder-column
+//! broadcast, compressed chain aggregation) at cluster sizes up to the
+//! faithful one-device-per-reading deployment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use orco_wsn::{Network, NetworkConfig};
+
+fn bench_wsn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wsn_primitives");
+    group.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300));
+
+    for devices in [64usize, 256, 784] {
+        group.bench_with_input(BenchmarkId::new("build_network", devices), &devices, |b, &d| {
+            b.iter(|| Network::new(NetworkConfig { num_devices: d, seed: 0, ..Default::default() }));
+        });
+        let mut net = Network::new(NetworkConfig { num_devices: devices, seed: 0, battery_scale: 1e9, ..Default::default() });
+        group.bench_with_input(BenchmarkId::new("raw_round", devices), &devices, |b, _| {
+            b.iter(|| net.raw_aggregation_round(4).expect("round runs"));
+        });
+        group.bench_with_input(BenchmarkId::new("compressed_round", devices), &devices, |b, _| {
+            b.iter(|| net.compressed_aggregation_round(512, 256).expect("round runs"));
+        });
+        group.bench_with_input(BenchmarkId::new("broadcast_columns", devices), &devices, |b, _| {
+            b.iter(|| net.broadcast_encoder_columns(512).expect("broadcast runs"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_wsn);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Runs the design-choice ablations. See `orco_bench::figs::ablations`.
+
+fn main() {
+    let scale = orco_bench::harness::Scale::from_env();
+    let _ = orco_bench::figs::ablations::run(scale);
+}

@@ -1,0 +1,15 @@
+//! Regenerates every figure of the paper's evaluation in sequence.
+
+fn main() {
+    let scale = orco_bench::harness::Scale::from_env();
+    println!("OrcoDCS reproduction — all figures at {scale:?} scale\n");
+    let _ = orco_bench::figs::fig2::run(scale);
+    let _ = orco_bench::figs::fig3::run(scale);
+    let _ = orco_bench::figs::fig4::run(scale);
+    let _ = orco_bench::figs::fig5::run(scale);
+    let _ = orco_bench::figs::fig6::run(scale);
+    let _ = orco_bench::figs::fig7::run(scale);
+    let _ = orco_bench::figs::fig8::run(scale);
+    let _ = orco_bench::figs::ablations::run(scale);
+    println!("\nAll figures regenerated.");
+}

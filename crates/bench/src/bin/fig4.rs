@@ -1,0 +1,6 @@
+//! Regenerates the paper's Figure 4. See `orco_bench::figs::fig4`.
+
+fn main() {
+    let scale = orco_bench::harness::Scale::from_env();
+    let _ = orco_bench::figs::fig4::run(scale);
+}

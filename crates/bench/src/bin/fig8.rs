@@ -1,0 +1,6 @@
+//! Regenerates the paper's Figure 8. See `orco_bench::figs::fig8`.
+
+fn main() {
+    let scale = orco_bench::harness::Scale::from_env();
+    let _ = orco_bench::figs::fig8::run(scale);
+}

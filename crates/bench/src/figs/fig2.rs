@@ -1,0 +1,123 @@
+//! Figure 2 — reconstruction quality of OrcoDCS vs DCSNet.
+//!
+//! The paper shows three MNIST digits and three GTSRB signs reconstructed
+//! by both frameworks; OrcoDCS's outputs are "much clearer and more
+//! similar to the original images". This harness reproduces the comparison
+//! quantitatively (per-image PSNR and global-SSIM) and qualitatively
+//! (ASCII previews of original / OrcoDCS / DCSNet for the same samples).
+
+use orco_datasets::{gtsrb_like, mnist_like, DatasetKind};
+use orco_tensor::stats;
+use orcodcs::SplitModel;
+
+use crate::harness::{ascii_side_by_side, banner, luminance, Scale};
+
+/// Quality numbers for one dataset.
+#[derive(Debug)]
+pub struct Fig2Result {
+    /// Dataset evaluated.
+    pub kind: DatasetKind,
+    /// Mean PSNR (dB) of OrcoDCS reconstructions over the probe set.
+    pub orco_psnr_db: f32,
+    /// Mean PSNR (dB) of DCSNet-50% reconstructions.
+    pub dcsnet_psnr_db: f32,
+    /// Mean global SSIM of OrcoDCS reconstructions.
+    pub orco_ssim: f32,
+    /// Mean global SSIM of DCSNet-50% reconstructions.
+    pub dcsnet_ssim: f32,
+}
+
+fn run_kind(kind: DatasetKind, scale: Scale, show_art: bool) -> Fig2Result {
+    let n = scale.train_n(kind);
+    let dataset = match kind {
+        DatasetKind::MnistLike => mnist_like::generate(n, 0),
+        DatasetKind::GtsrbLike => gtsrb_like::generate(n, 0),
+    };
+
+    // OrcoDCS: online access to the full stream; paper's latent dims.
+    let cfg = super::orco_config(kind, scale);
+    let mut orco = super::train_orcodcs_local(&dataset, &cfg);
+    // DCSNet: offline, 50% of the data, fixed 1024-dim latent.
+    let mut dcs = super::dcsnet_offline(&dataset, 0.5, scale);
+
+    let probe: Vec<usize> = (0..dataset.len().min(24)).collect();
+    let probe_x = dataset.x().select_rows(&probe);
+    let orco_recon = orco.reconstruct(&probe_x);
+    let dcs_recon = dcs.model.reconstruct_inference(&probe_x);
+
+    let mean_finite = |v: Vec<f32>| -> f32 {
+        let f: Vec<f32> = v.into_iter().filter(|p| p.is_finite()).collect();
+        stats::mean(&f)
+    };
+    let orco_psnr = mean_finite(stats::psnr_rows(&probe_x, &orco_recon, 1.0));
+    let dcs_psnr = mean_finite(stats::psnr_rows(&probe_x, &dcs_recon, 1.0));
+    let ssim_mean = |recon: &orco_tensor::Matrix| -> f32 {
+        let vals: Vec<f32> = probe_x
+            .iter_rows()
+            .zip(recon.iter_rows())
+            .map(|(a, b)| stats::ssim_global(a, b, 1.0))
+            .collect();
+        stats::mean(&vals)
+    };
+    let orco_ssim = ssim_mean(&orco_recon);
+    let dcs_ssim = ssim_mean(&dcs_recon);
+
+    println!("\n--- {kind:?}: per-image quality over {} probe images ---", probe.len());
+    println!("  {:<14} {:>12} {:>12}", "framework", "PSNR (dB)", "SSIM");
+    println!("  {:<14} {:>12.3} {:>12.4}", "OrcoDCS", orco_psnr, orco_ssim);
+    println!("  {:<14} {:>12.3} {:>12.4}", "DCSNet-50%", dcs_psnr, dcs_ssim);
+
+    if show_art {
+        let (c, h, w) = (kind.channels(), kind.height(), kind.width());
+        println!("\n  Previews (3 samples, as in the paper's Fig. 2):");
+        for &i in probe.iter().take(3) {
+            let orig = luminance(dataset.sample(i), c, h, w);
+            let o = luminance(orco_recon.row(i), c, h, w);
+            let d = luminance(dcs_recon.row(i), c, h, w);
+            println!(
+                "{}",
+                ascii_side_by_side(
+                    &["Original", "OrcoDCS", "DCSNet"],
+                    &[&orig, &o, &d],
+                    h,
+                    w
+                )
+            );
+        }
+    }
+
+    Fig2Result {
+        kind,
+        orco_psnr_db: orco_psnr,
+        dcsnet_psnr_db: dcs_psnr,
+        orco_ssim,
+        dcsnet_ssim: dcs_ssim,
+    }
+}
+
+/// Runs the Figure 2 experiment at the given scale; returns per-dataset
+/// quality so callers (tests, EXPERIMENTS.md generation) can assert on it.
+pub fn run(scale: Scale) -> Vec<Fig2Result> {
+    banner("Figure 2", "Reconstruction quality: OrcoDCS vs DCSNet (50% data)");
+    let show_art = scale != Scale::Quick;
+    vec![
+        run_kind(DatasetKind::MnistLike, scale, show_art),
+        run_kind(DatasetKind::GtsrbLike, scale, false),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_finite_quality() {
+        let results = run(Scale::Quick);
+        assert_eq!(results.len(), 2);
+        for r in &results {
+            assert!(r.orco_psnr_db.is_finite());
+            assert!(r.dcsnet_psnr_db.is_finite());
+            assert!(r.orco_ssim.is_finite());
+        }
+    }
+}

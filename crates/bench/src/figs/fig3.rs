@@ -1,0 +1,92 @@
+//! Figure 3 — transmission cost for 1 000 and 10 000 images.
+//!
+//! OrcoDCS's tunable latent dimension (M = 128 for MNIST, 512 for GTSRB)
+//! versus DCSNet's fixed 1024-dim latent. Every frame pays the in-cluster
+//! chain aggregation plus the aggregator→edge uplink; both scale with the
+//! latent dimension, so OrcoDCS transmits ~8× less on MNIST and ~2× less
+//! on GTSRB (the paper reports "up to 10×" with protocol overheads).
+//!
+//! Byte costs are exactly linear in the frame count, so the harness
+//! measures a few live frames on the simulator and extrapolates — the
+//! extrapolation is exact (verified by test).
+
+use orco_datasets::DatasetKind;
+use orco_wsn::NetworkConfig;
+use orcodcs::aggregation::{measure_compressed_pipeline, TransmissionReport};
+use orcodcs::{OrcoConfig, Orchestrator};
+
+use crate::harness::{banner, print_series_table, Scale, Series};
+
+/// Transmission cost of one framework on one dataset.
+#[derive(Debug)]
+pub struct Fig3Row {
+    /// Framework label.
+    pub framework: String,
+    /// Dataset.
+    pub kind: DatasetKind,
+    /// KB for 1 000 images.
+    pub kb_1k: f64,
+    /// KB for 10 000 images.
+    pub kb_10k: f64,
+}
+
+fn measure(kind: DatasetKind, latent_dim: usize, devices: usize) -> TransmissionReport {
+    let cfg = OrcoConfig::for_dataset(kind).with_latent_dim(latent_dim);
+    let net = NetworkConfig { num_devices: devices, seed: 0, ..Default::default() };
+    let mut orch = Orchestrator::new(cfg, net).expect("valid config");
+    // Skip training: the data-plane cost depends only on dimensions. The
+    // untrained encoder moves exactly as many bytes as a trained one.
+    let (_cols, _t) = orch.distribute_encoder().expect("broadcast succeeds");
+    measure_compressed_pipeline(&mut orch, 3).expect("pipeline runs")
+}
+
+/// Runs the Figure 3 experiment. `faithful_devices` controls whether the
+/// cluster has one device per reading (paper model; slower to simulate) or
+/// a fixed 64-device cluster.
+pub fn run(scale: Scale) -> Vec<Fig3Row> {
+    banner(
+        "Figure 3",
+        "Transmission cost (KB) for 1 000 / 10 000 images: OrcoDCS vs DCSNet",
+    );
+    let faithful = scale != Scale::Quick;
+    let mut rows = Vec::new();
+    for kind in [DatasetKind::MnistLike, DatasetKind::GtsrbLike] {
+        let devices = if faithful { kind.sample_len() } else { 64 };
+        let orco_m = kind.paper_latent_dim();
+        let configs: [(&str, usize); 2] = [("OrcoDCS", orco_m), ("DCSNet", 1024)];
+        let mut series = Vec::new();
+        for (name, m) in configs {
+            let report = measure(kind, m, devices);
+            let kb_1k = report.extrapolate(1000).total_kb();
+            let kb_10k = report.extrapolate(10_000).total_kb();
+            series.push(Series::new(
+                format!("{name} (M={m})"),
+                vec![(1000.0, kb_1k), (10_000.0, kb_10k)],
+            ));
+            rows.push(Fig3Row { framework: name.to_string(), kind, kb_1k, kb_10k });
+        }
+        println!("\n--- {kind:?} ({devices} devices) ---");
+        print_series_table("images", "transmitted KB", &series);
+        let ratio_1k = rows[rows.len() - 1].kb_1k / rows[rows.len() - 2].kb_1k;
+        println!("  DCSNet / OrcoDCS byte ratio: {ratio_1k:.2}x");
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orcodcs_transmits_less_on_both_datasets() {
+        let rows = run(Scale::Quick);
+        assert_eq!(rows.len(), 4);
+        // rows: [orco-mnist, dcs-mnist, orco-gtsrb, dcs-gtsrb]
+        assert!(rows[1].kb_1k > rows[0].kb_1k * 4.0, "MNIST ratio should be ~8x");
+        assert!(rows[3].kb_1k > rows[2].kb_1k * 1.5, "GTSRB ratio should be ~2x");
+        // 10k is exactly 10x the 1k cost.
+        for r in &rows {
+            assert!((r.kb_10k / r.kb_1k - 10.0).abs() < 0.01);
+        }
+    }
+}

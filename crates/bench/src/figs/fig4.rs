@@ -1,0 +1,168 @@
+//! Figure 4 — time-to-loss: OrcoDCS vs DCSNet under the same online
+//! protocol.
+//!
+//! Both frameworks train through the IoT-Edge orchestrated procedure on the
+//! same simulated deployment; the x-axis is *simulated* seconds (compute at
+//! each site's FLOPS rate + every protocol byte over the links). Because
+//! the two frameworks train with different native losses (vector Huber vs
+//! L2), the y-axis here is a **common metric**: L2 reconstruction error on
+//! a fixed probe set, evaluated out-of-band at every epoch boundary.
+//!
+//! The paper's finding to reproduce: OrcoDCS's curve sits below DCSNet's —
+//! at any simulated time both have been running, OrcoDCS has the lower
+//! reconstruction error, because its task-sized latent (8×/2× smaller
+//! uplink) and dense autoencoder (far fewer FLOPs) make each round cheaper,
+//! and it sees the full data stream rather than DCSNet's 50%.
+
+use orco_baselines::Dcsnet;
+use orco_datasets::{Dataset, DatasetKind};
+use orco_nn::Loss;
+use orco_tensor::Matrix;
+use orco_wsn::NetworkConfig;
+use orcodcs::{OrcoConfig, Orchestrator, SplitModel};
+
+use crate::harness::{banner, Scale};
+
+/// One framework's `(sim_time_s, probe_l2)` trajectory.
+#[derive(Debug)]
+pub struct Fig4Curve {
+    /// Framework label.
+    pub framework: String,
+    /// Dataset.
+    pub kind: DatasetKind,
+    /// `(simulated seconds, probe L2 loss)` at each epoch boundary.
+    pub points: Vec<(f64, f32)>,
+}
+
+impl Fig4Curve {
+    /// Probe loss of the last checkpoint at or before `t` (None if the
+    /// first checkpoint is after `t`).
+    #[must_use]
+    pub fn loss_at(&self, t: f64) -> Option<f32> {
+        self.points.iter().rev().find(|(ts, _)| *ts <= t).map(|(_, l)| *l)
+    }
+
+    /// Final simulated time.
+    #[must_use]
+    pub fn total_time_s(&self) -> f64 {
+        self.points.last().map_or(0.0, |(t, _)| *t)
+    }
+
+    /// Final probe loss.
+    #[must_use]
+    pub fn final_loss(&self) -> f32 {
+        self.points.last().map_or(f32::NAN, |(_, l)| *l)
+    }
+}
+
+/// Trains any split model epoch-by-epoch through the orchestrated protocol,
+/// recording the probe L2 after every epoch.
+fn epochwise_curve<M: SplitModel>(
+    orch: &mut Orchestrator<M>,
+    train_x: &Matrix,
+    probe: &Matrix,
+    epochs: usize,
+    label: &str,
+    kind: DatasetKind,
+) -> Fig4Curve {
+    let mut points = Vec::with_capacity(epochs + 1);
+    let eval = |orch: &mut Orchestrator<M>| -> f32 {
+        let recon = orch.model_mut().reconstruct_inference(probe);
+        Loss::L2.value(&recon, probe)
+    };
+    points.push((orch.network().now_s(), eval(orch)));
+    for _ in 0..epochs {
+        let _ = orch.train(train_x).expect("simulation runs");
+        points.push((orch.network().now_s(), eval(orch)));
+    }
+    Fig4Curve { framework: label.to_string(), kind, points }
+}
+
+fn print_curve(c: &Fig4Curve) {
+    println!("  [{}] probe L2 vs simulated time", c.framework);
+    println!("    {:>12} {:>12}", "time (s)", "L2 loss");
+    for (t, l) in &c.points {
+        println!("    {t:>12.2} {l:>12.6}");
+    }
+}
+
+fn run_kind(kind: DatasetKind, scale: Scale) -> Vec<Fig4Curve> {
+    let dataset = super::sweep_dataset(kind, scale);
+    let probe_idx: Vec<usize> = (0..dataset.len().min(64)).collect();
+    let probe = dataset.x().select_rows(&probe_idx);
+    let net = NetworkConfig { num_devices: 32, seed: 0, ..Default::default() };
+    let epochs = scale.epochs();
+
+    // OrcoDCS: full stream, paper latent dims; one epoch per train() call.
+    let cfg = super::orco_config(kind, scale).with_epochs(1);
+    let mut orco = Orchestrator::new(cfg, net.clone()).expect("valid config");
+    let orco_curve = epochwise_curve(&mut orco, dataset.x(), &probe, epochs, "OrcoDCS", kind);
+
+    // DCSNet: same protocol, 50% of the stream, fixed structure.
+    let half = half_dataset(&dataset);
+    let dcs_cfg = OrcoConfig {
+        input_dim: kind.sample_len(),
+        latent_dim: orco_baselines::dcsnet::DCSNET_LATENT_DIM,
+        decoder_layers: 4,
+        noise_variance: 0.0,
+        huber_delta: 1.0,
+        vector_huber: false,
+        learning_rate: 1e-3,
+        batch_size: 32,
+        epochs: 1,
+        finetune_threshold: 0.05,
+        grad_compression: Default::default(),
+        seed: 0,
+    };
+    let mut dcs = Orchestrator::with_model(Dcsnet::new(kind, 0), dcs_cfg, net);
+    let dcs_curve = epochwise_curve(&mut dcs, half.x(), &probe, epochs, "DCSNet-50%", kind);
+
+    println!("\n--- {kind:?} ---");
+    print_curve(&orco_curve);
+    print_curve(&dcs_curve);
+    let t_common = orco_curve.total_time_s().min(dcs_curve.total_time_s());
+    println!(
+        "  at t={t_common:.1}s: OrcoDCS {:?} vs DCSNet {:?}",
+        orco_curve.loss_at(t_common),
+        dcs_curve.loss_at(t_common)
+    );
+    vec![orco_curve, dcs_curve]
+}
+
+fn half_dataset(dataset: &Dataset) -> Dataset {
+    let mut rng = orco_tensor::OrcoRng::from_label("fig4-half", 0);
+    orco_datasets::split::fraction(dataset, 0.5, &mut rng)
+}
+
+/// Runs the Figure 4 experiment.
+pub fn run(scale: Scale) -> Vec<Fig4Curve> {
+    banner(
+        "Figure 4",
+        "Time-to-loss (probe L2 vs simulated seconds) under the online protocol",
+    );
+    let mut rows = run_kind(DatasetKind::MnistLike, scale);
+    rows.extend(run_kind(DatasetKind::GtsrbLike, scale));
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orcodcs_has_lower_loss_at_common_time() {
+        let curves = run(Scale::Quick);
+        assert_eq!(curves.len(), 4);
+        for pair in curves.chunks(2) {
+            let (orco, dcs) = (&pair[0], &pair[1]);
+            let t = orco.total_time_s().min(dcs.total_time_s());
+            let lo = orco.loss_at(t).expect("orco has a checkpoint by then");
+            let ld = dcs.loss_at(t).expect("dcsnet has a checkpoint by then");
+            assert!(
+                lo < ld,
+                "{:?} at t={t:.1}s: OrcoDCS {lo} should be below DCSNet {ld}",
+                orco.kind
+            );
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Figure 5 — follow-up classifier performance on reconstructed data.
+//!
+//! The paper's second objective: reconstructions should be *good training
+//! data* for downstream DL applications. A 2-conv-layer CNN is trained on
+//! data reconstructed by OrcoDCS and by DCSNet given 30/50/70% of the
+//! training corpus; test accuracy and loss are reported at epochs
+//! 2, 4, 6, 8, 10. OrcoDCS's advantage comes from (i) full-stream online
+//! access and (ii) the Gaussian latent noise acting as implicit data
+//! augmentation in reconstruction space.
+
+use orco_classifier::{Cnn, TrainConfig};
+use orco_datasets::{gtsrb_like, mnist_like, Dataset, DatasetKind};
+use orco_tensor::OrcoRng;
+
+use crate::harness::{banner, print_series_table, Scale, Series};
+
+/// Classifier outcome for one reconstruction source on one dataset.
+#[derive(Debug)]
+pub struct Fig5Row {
+    /// Source of the reconstructed training data.
+    pub source: String,
+    /// Dataset.
+    pub kind: DatasetKind,
+    /// Final test accuracy.
+    pub final_accuracy: f32,
+    /// Final test loss.
+    pub final_test_loss: f32,
+}
+
+fn classifier_curve(
+    label: &str,
+    train: &Dataset,
+    test: &Dataset,
+    scale: Scale,
+    acc_series: &mut Vec<Series>,
+    loss_series: &mut Vec<Series>,
+) -> (f32, f32) {
+    let mut rng = OrcoRng::from_label("fig5-classifier", 0);
+    let mut cnn = Cnn::new(train.kind(), &mut rng);
+    let curve = cnn.train_epochs(
+        train,
+        test,
+        &TrainConfig {
+            epochs: scale.classifier_epochs(),
+            batch_size: 32,
+            learning_rate: 2e-3,
+        },
+        &mut rng,
+    );
+    acc_series.push(Series::new(
+        label,
+        curve.iter().map(|p| (p.epoch as f64, f64::from(p.test_accuracy))).collect(),
+    ));
+    loss_series.push(Series::new(
+        label,
+        curve.iter().map(|p| (p.epoch as f64, f64::from(p.test_loss))).collect(),
+    ));
+    let last = curve.last().expect("at least one epoch");
+    (last.test_accuracy, last.test_loss)
+}
+
+fn run_kind(kind: DatasetKind, scale: Scale) -> Vec<Fig5Row> {
+    let (train, test) = match kind {
+        DatasetKind::MnistLike => {
+            (mnist_like::generate(scale.train_n(kind), 0), mnist_like::generate(scale.test_n(kind), 1))
+        }
+        DatasetKind::GtsrbLike => {
+            (gtsrb_like::generate(scale.train_n(kind), 0), gtsrb_like::generate(scale.test_n(kind), 1))
+        }
+    };
+
+    // OrcoDCS reconstructions.
+    let cfg = super::orco_config(kind, scale);
+    let mut orco = super::train_orcodcs_local(&train, &cfg);
+    let orco_train = super::reconstruct_dataset(&mut orco, &train);
+    let orco_test = super::reconstruct_dataset(&mut orco, &test);
+
+    let mut acc_series = Vec::new();
+    let mut loss_series = Vec::new();
+    let mut rows = Vec::new();
+
+    // DCSNet at 30/50/70% data access.
+    for fraction in [0.3f32, 0.5, 0.7] {
+        let mut dcs = super::dcsnet_offline(&train, fraction, scale);
+        let dcs_train = super::reconstruct_dataset(&mut dcs.model, &train);
+        let dcs_test = super::reconstruct_dataset(&mut dcs.model, &test);
+        let label = format!("DCSNet-{}%", (fraction * 100.0) as u32);
+        let (acc, loss) =
+            classifier_curve(&label, &dcs_train, &dcs_test, scale, &mut acc_series, &mut loss_series);
+        rows.push(Fig5Row { source: label, kind, final_accuracy: acc, final_test_loss: loss });
+    }
+
+    let (acc, loss) =
+        classifier_curve("OrcoDCS", &orco_train, &orco_test, scale, &mut acc_series, &mut loss_series);
+    rows.push(Fig5Row { source: "OrcoDCS".into(), kind, final_accuracy: acc, final_test_loss: loss });
+
+    println!("\n--- {kind:?}: classifier on reconstructed data ---");
+    print_series_table("epoch", "test accuracy", &acc_series);
+    print_series_table("epoch", "test loss", &loss_series);
+    rows
+}
+
+/// Runs the Figure 5 experiment.
+pub fn run(scale: Scale) -> Vec<Fig5Row> {
+    banner("Figure 5", "Classifier accuracy/loss on reconstructed data");
+    let mut rows = run_kind(DatasetKind::MnistLike, scale);
+    rows.extend(run_kind(DatasetKind::GtsrbLike, scale));
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orcodcs_classifier_competitive() {
+        let rows = run(Scale::Quick);
+        assert_eq!(rows.len(), 8);
+        // Within each dataset, OrcoDCS (last row of each 4) must beat the
+        // weakest DCSNet fraction.
+        for group in rows.chunks(4) {
+            let orco = group[3].final_accuracy;
+            let dcs30 = group[0].final_accuracy;
+            assert!(
+                orco >= dcs30 * 0.8,
+                "{:?}: OrcoDCS {} vs DCSNet-30% {}",
+                group[0].kind,
+                orco,
+                dcs30
+            );
+        }
+    }
+}

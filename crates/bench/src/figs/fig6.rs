@@ -1,0 +1,96 @@
+//! Figure 6 — sensitivity to the latent-vector dimension.
+//!
+//! OrcoDCS with M ∈ {256, 512, 1024} versus DCSNet, loss over epochs. The
+//! paper's findings to reproduce: OrcoDCS beats DCSNet at every dimension,
+//! and larger latents give *diminishing returns* (more capacity, but also
+//! more bytes per round and more to overfit).
+
+use orco_datasets::DatasetKind;
+
+use crate::harness::{banner, print_series_table, Scale, Series};
+
+/// Outcome of one sweep point.
+#[derive(Debug)]
+pub struct Fig6Row {
+    /// Series label.
+    pub label: String,
+    /// Dataset.
+    pub kind: DatasetKind,
+    /// Final epoch's mean loss.
+    pub final_loss: f32,
+    /// Total simulated time, seconds.
+    pub total_time_s: f64,
+}
+
+fn run_kind(kind: DatasetKind, scale: Scale) -> Vec<Fig6Row> {
+    let dataset = super::sweep_dataset(kind, scale);
+    let dims = [256usize, 512, 1024];
+    let mut curves = Vec::new();
+
+    for m in dims {
+        let cfg = super::orco_config(kind, scale).with_latent_dim(m);
+        curves.push(super::orcodcs_sweep(&dataset, &cfg, &format!("OrcoDCS-{m}")));
+    }
+    curves.push(super::dcsnet_sweep(&dataset, scale));
+
+    let series: Vec<Series> = curves
+        .iter()
+        .map(|c| {
+            Series::new(
+                c.label.clone(),
+                c.probe_l2
+                    .iter()
+                    .enumerate()
+                    .map(|(e, l)| ((e + 1) as f64, f64::from(*l)))
+                    .collect(),
+            )
+        })
+        .collect();
+    let rows: Vec<Fig6Row> = curves
+        .iter()
+        .map(|c| Fig6Row {
+            label: c.label.clone(),
+            kind,
+            final_loss: c.final_loss(),
+            total_time_s: c.total_time_s(),
+        })
+        .collect();
+
+    println!("\n--- {kind:?}: probe L2 vs epochs across latent dimensions ---");
+    print_series_table("epoch", "probe L2", &series);
+    for r in &rows {
+        println!("  {:<14} final loss {:.6}  simulated time {:.1}s", r.label, r.final_loss, r.total_time_s);
+    }
+    rows
+}
+
+/// Runs the Figure 6 experiment.
+pub fn run(scale: Scale) -> Vec<Fig6Row> {
+    banner("Figure 6", "Impact of the latent-vector dimension");
+    let mut rows = run_kind(DatasetKind::MnistLike, scale);
+    rows.extend(run_kind(DatasetKind::GtsrbLike, scale));
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn larger_latents_cost_more_time() {
+        let rows = run(Scale::Quick);
+        // Within each dataset group (4 rows), OrcoDCS-1024 pays more
+        // simulated time than OrcoDCS-256 (more uplink bytes + compute).
+        for group in rows.chunks(4) {
+            assert!(
+                group[2].total_time_s > group[0].total_time_s,
+                "{:?}: 1024 ({}) should cost more than 256 ({})",
+                group[0].kind,
+                group[2].total_time_s,
+                group[0].total_time_s,
+            );
+            // All losses finite.
+            assert!(group.iter().all(|r| r.final_loss.is_finite()));
+        }
+    }
+}

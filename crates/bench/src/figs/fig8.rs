@@ -1,0 +1,94 @@
+//! Figure 8 — sensitivity to the number of decoder layers.
+//!
+//! OrcoDCS with 1/3/5 dense decoder layers versus DCSNet. Findings to
+//! reproduce: OrcoDCS beats DCSNet at every depth, and added depth shows
+//! diminishing (or negative) returns — deeper decoders have more to fit
+//! and cost more edge compute per round.
+
+use orco_datasets::DatasetKind;
+
+use crate::harness::{banner, print_series_table, Scale, Series};
+
+/// Outcome of one depth setting.
+#[derive(Debug)]
+pub struct Fig8Row {
+    /// Series label.
+    pub label: String,
+    /// Dataset.
+    pub kind: DatasetKind,
+    /// Decoder depth (0 for the DCSNet row).
+    pub layers: usize,
+    /// Final epoch's mean loss.
+    pub final_loss: f32,
+    /// Total simulated time, seconds.
+    pub total_time_s: f64,
+}
+
+fn run_kind(kind: DatasetKind, scale: Scale) -> Vec<Fig8Row> {
+    let dataset = super::sweep_dataset(kind, scale);
+    let mut curves = Vec::new();
+    for layers in [1usize, 3, 5] {
+        let cfg = super::orco_config(kind, scale).with_decoder_layers(layers);
+        curves.push((layers, super::orcodcs_sweep(&dataset, &cfg, &format!("OrcoDCS-{layers}L"))));
+    }
+    curves.push((0usize, super::dcsnet_sweep(&dataset, scale)));
+
+    let series: Vec<Series> = curves
+        .iter()
+        .map(|(_, c)| {
+            Series::new(
+                c.label.clone(),
+                c.probe_l2
+                    .iter()
+                    .enumerate()
+                    .map(|(e, l)| ((e + 1) as f64, f64::from(*l)))
+                    .collect(),
+            )
+        })
+        .collect();
+    let rows: Vec<Fig8Row> = curves
+        .iter()
+        .map(|(layers, c)| Fig8Row {
+            label: c.label.clone(),
+            kind,
+            layers: *layers,
+            final_loss: c.final_loss(),
+            total_time_s: c.total_time_s(),
+        })
+        .collect();
+
+    println!("\n--- {kind:?}: probe L2 vs epochs across decoder depths ---");
+    print_series_table("epoch", "probe L2", &series);
+    for r in &rows {
+        println!("  {:<14} final loss {:.6}  simulated time {:.1}s", r.label, r.final_loss, r.total_time_s);
+    }
+    rows
+}
+
+/// Runs the Figure 8 experiment.
+pub fn run(scale: Scale) -> Vec<Fig8Row> {
+    banner("Figure 8", "Impact of the number of decoder layers");
+    let mut rows = run_kind(DatasetKind::MnistLike, scale);
+    rows.extend(run_kind(DatasetKind::GtsrbLike, scale));
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deeper_decoders_cost_more_edge_time() {
+        let rows = run(Scale::Quick);
+        for group in rows.chunks(4) {
+            assert!(
+                group[2].total_time_s > group[0].total_time_s,
+                "{:?}: 5L ({}) should cost more than 1L ({})",
+                group[0].kind,
+                group[2].total_time_s,
+                group[0].total_time_s,
+            );
+            assert!(group.iter().all(|r| r.final_loss.is_finite()));
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! One module per figure of the paper's evaluation, plus shared drivers.
+
+pub mod ablations;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+
+use orco_baselines::offline_trainer::{train_dcsnet_offline, OfflineOutcome};
+use orco_datasets::{Dataset, DatasetKind};
+use orcodcs::{AsymmetricAutoencoder, OrcoConfig, SplitModel};
+
+use crate::harness::Scale;
+
+/// Trains an OrcoDCS autoencoder locally (no network simulation) — used by
+/// the quality and classifier figures where only the trained model matters.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid.
+#[must_use]
+pub fn train_orcodcs_local(dataset: &Dataset, config: &OrcoConfig) -> AsymmetricAutoencoder {
+    let mut ae = AsymmetricAutoencoder::new(config).expect("valid config");
+    let loss = config.loss();
+    let mut rng = orco_tensor::OrcoRng::from_label("bench-local-batching", config.seed);
+    let n = dataset.len();
+    let bs = config.batch_size.min(n);
+    let mut order: Vec<usize> = (0..n).collect();
+    for _ in 0..config.epochs {
+        rng.shuffle(&mut order);
+        for chunk in order.chunks(bs) {
+            let xb = dataset.x().select_rows(chunk);
+            let _ = ae.train_batch_local(&xb, &loss);
+        }
+    }
+    ae
+}
+
+/// Default OrcoDCS configuration for a figure run at the given scale.
+#[must_use]
+pub fn orco_config(kind: DatasetKind, scale: Scale) -> OrcoConfig {
+    OrcoConfig::for_dataset(kind)
+        .with_epochs(scale.epochs())
+        .with_batch_size(32)
+}
+
+/// Trains the DCSNet baseline offline at a data fraction.
+#[must_use]
+pub fn dcsnet_offline(dataset: &Dataset, fraction: f32, scale: Scale) -> OfflineOutcome {
+    train_dcsnet_offline(dataset, fraction, scale.epochs(), 32, 0)
+}
+
+/// Replaces a dataset's images with a model's reconstructions of them
+/// (labels preserved) — the input to the follow-up classifier experiments.
+#[must_use]
+pub fn reconstruct_dataset<M: SplitModel>(model: &mut M, dataset: &Dataset) -> Dataset {
+    let recon = model.reconstruct_inference(dataset.x());
+    dataset.with_x(recon)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orco_datasets::mnist_like;
+
+    #[test]
+    fn local_training_and_reconstruction_dataset() {
+        let ds = mnist_like::generate(16, 0);
+        let cfg = OrcoConfig::for_dataset(DatasetKind::MnistLike)
+            .with_latent_dim(16)
+            .with_epochs(1)
+            .with_batch_size(8);
+        let mut ae = train_orcodcs_local(&ds, &cfg);
+        let recon = reconstruct_dataset(&mut ae, &ds);
+        assert_eq!(recon.len(), ds.len());
+        assert_eq!(recon.labels(), ds.labels());
+        assert_ne!(recon.x(), ds.x());
+    }
+}
+
+/// A sweep trajectory on the **common** metric: probe-set L2 after each
+/// epoch, with the simulated clock reading at each checkpoint. Using one
+/// metric for every series (OrcoDCS variants *and* DCSNet) keeps the
+/// figures' y-axes comparable — the frameworks train with different native
+/// losses.
+#[derive(Debug, Clone)]
+pub struct SweepCurve {
+    /// Series label.
+    pub label: String,
+    /// Probe L2 after epochs `1..=E`.
+    pub probe_l2: Vec<f32>,
+    /// Simulated seconds at each checkpoint.
+    pub sim_times: Vec<f64>,
+}
+
+impl SweepCurve {
+    /// Final probe L2.
+    #[must_use]
+    pub fn final_loss(&self) -> f32 {
+        self.probe_l2.last().copied().unwrap_or(f32::NAN)
+    }
+
+    /// Total simulated seconds.
+    #[must_use]
+    pub fn total_time_s(&self) -> f64 {
+        self.sim_times.last().copied().unwrap_or(0.0)
+    }
+}
+
+/// Trains any split model epoch-by-epoch through the orchestrated protocol,
+/// recording probe L2 after every epoch.
+///
+/// # Panics
+///
+/// Panics if the simulation fails.
+#[must_use]
+pub fn orchestrated_sweep<M: SplitModel>(
+    orch: &mut orcodcs::Orchestrator<M>,
+    train_x: &orco_tensor::Matrix,
+    probe: &orco_tensor::Matrix,
+    epochs: usize,
+    label: &str,
+) -> SweepCurve {
+    let mut probe_l2 = Vec::with_capacity(epochs);
+    let mut sim_times = Vec::with_capacity(epochs);
+    for _ in 0..epochs {
+        let _ = orch.train(train_x).expect("simulation runs");
+        let recon = orch.model_mut().reconstruct_inference(probe);
+        probe_l2.push(orco_nn::Loss::L2.value(&recon, probe));
+        sim_times.push(orch.network().now_s());
+    }
+    SweepCurve { label: label.to_string(), probe_l2, sim_times }
+}
+
+/// Runs one OrcoDCS configuration through the protocol and returns its
+/// sweep curve (config's `epochs` field is run one at a time).
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid or the simulation fails.
+#[must_use]
+pub fn orcodcs_sweep(dataset: &Dataset, config: &OrcoConfig, label: &str) -> SweepCurve {
+    let net = orco_wsn::NetworkConfig { num_devices: 32, seed: 0, ..Default::default() };
+    let epochs = config.epochs;
+    let mut one = config.clone();
+    one.epochs = 1;
+    let mut orch = orcodcs::Orchestrator::new(one, net).expect("valid config");
+    let probe_idx: Vec<usize> = (0..dataset.len().min(64)).collect();
+    let probe = dataset.x().select_rows(&probe_idx);
+    orchestrated_sweep(&mut orch, dataset.x(), &probe, epochs, label)
+}
+
+/// Runs DCSNet (50% data) through the protocol and returns its sweep curve
+/// on the same probe metric.
+///
+/// # Panics
+///
+/// Panics if the simulation fails.
+#[must_use]
+pub fn dcsnet_sweep(dataset: &Dataset, scale: Scale) -> SweepCurve {
+    let kind = dataset.kind();
+    let net = orco_wsn::NetworkConfig { num_devices: 32, seed: 0, ..Default::default() };
+    let mut rng = orco_tensor::OrcoRng::from_label("dcsnet-sweep-half", 0);
+    let half = orco_datasets::split::fraction(dataset, 0.5, &mut rng);
+    let dcs_cfg = OrcoConfig {
+        input_dim: kind.sample_len(),
+        latent_dim: orco_baselines::dcsnet::DCSNET_LATENT_DIM,
+        decoder_layers: 4,
+        noise_variance: 0.0,
+        huber_delta: 1.0,
+        vector_huber: false,
+        learning_rate: 1e-3,
+        batch_size: 32,
+        epochs: 1,
+        finetune_threshold: 0.05,
+        grad_compression: Default::default(),
+        seed: 0,
+    };
+    let mut orch =
+        orcodcs::Orchestrator::with_model(orco_baselines::Dcsnet::new(kind, 0), dcs_cfg, net);
+    let probe_idx: Vec<usize> = (0..dataset.len().min(64)).collect();
+    let probe = dataset.x().select_rows(&probe_idx);
+    orchestrated_sweep(&mut orch, half.x(), &probe, scale.epochs(), "DCSNet")
+}
+
+/// Loads the figure-sweep dataset for a kind at a scale.
+#[must_use]
+pub fn sweep_dataset(kind: DatasetKind, scale: Scale) -> Dataset {
+    match kind {
+        DatasetKind::MnistLike => orco_datasets::mnist_like::generate(scale.train_n(kind), 0),
+        DatasetKind::GtsrbLike => orco_datasets::gtsrb_like::generate(scale.train_n(kind), 0),
+    }
+}

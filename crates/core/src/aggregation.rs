@@ -1,0 +1,199 @@
+//! Data-plane cost measurement (feeds the paper's Figure 3).
+//!
+//! After training and encoder distribution, the steady-state cost of
+//! OrcoDCS is the per-frame compressed pipeline: chain aggregation of the
+//! `M`-element partial sum inside the cluster, then one `M`-element uplink
+//! from aggregator to edge. This module measures that pipeline on a live
+//! simulation and extrapolates to arbitrary frame counts (byte costs are
+//! exactly linear in the frame count, so measuring a handful of frames and
+//! scaling is exact, not an approximation).
+
+use serde::{Deserialize, Serialize};
+
+use orco_wsn::PacketKind;
+
+use crate::error::OrcoError;
+use crate::orchestrator::Orchestrator;
+
+/// Measured cost of a number of compressed-aggregation frames.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransmissionReport {
+    /// Frames measured.
+    pub frames: usize,
+    /// Total bytes on air (all hops, headers included).
+    pub total_bytes: u64,
+    /// Bytes of intra-cluster chain traffic.
+    pub chain_bytes: u64,
+    /// Bytes of aggregator→edge uplink traffic.
+    pub uplink_bytes: u64,
+    /// Elapsed simulated seconds.
+    pub sim_time_s: f64,
+    /// Radio energy spent, joules.
+    pub energy_j: f64,
+}
+
+impl TransmissionReport {
+    /// Exact linear extrapolation to `target_frames`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the report measured zero frames.
+    #[must_use]
+    pub fn extrapolate(&self, target_frames: usize) -> TransmissionReport {
+        assert!(self.frames > 0, "cannot extrapolate from zero frames");
+        let scale = target_frames as f64 / self.frames as f64;
+        TransmissionReport {
+            frames: target_frames,
+            total_bytes: (self.total_bytes as f64 * scale).round() as u64,
+            chain_bytes: (self.chain_bytes as f64 * scale).round() as u64,
+            uplink_bytes: (self.uplink_bytes as f64 * scale).round() as u64,
+            sim_time_s: self.sim_time_s * scale,
+            energy_j: self.energy_j * scale,
+        }
+    }
+
+    /// Kilobytes on air (the unit of the paper's Figure 3).
+    #[must_use]
+    pub fn total_kb(&self) -> f64 {
+        self.total_bytes as f64 / 1024.0
+    }
+}
+
+/// Runs `frames` frames of the compressed pipeline on an orchestrator whose
+/// encoder was already distributed, measuring all traffic in isolation
+/// (the ledger is reset before and not after).
+///
+/// # Errors
+///
+/// Propagates transmission failures.
+pub fn measure_compressed_pipeline(
+    orch: &mut Orchestrator,
+    frames: usize,
+) -> Result<TransmissionReport, OrcoError> {
+    orch.network_mut().reset_accounting();
+    let t0 = orch.network().now_s();
+    for _ in 0..frames {
+        orch.compressed_frame()?;
+    }
+    let acct = orch.network().accounting();
+    Ok(TransmissionReport {
+        frames,
+        total_bytes: acct.total_tx_bytes(),
+        chain_bytes: acct.bytes_by_kind(PacketKind::CompressedElement),
+        uplink_bytes: acct.bytes_by_kind(PacketKind::LatentVector),
+        sim_time_s: orch.network().now_s() - t0,
+        energy_j: acct.total_tx_energy_j() + acct.total_rx_energy_j(),
+    })
+}
+
+/// Runs `frames` frames of **raw** aggregation (the no-compression
+/// baseline's data plane) and measures the traffic, including the raw
+/// uplink of every frame to the edge.
+///
+/// `reading_bytes` is the per-device payload per frame (4 for one f32).
+///
+/// # Errors
+///
+/// Propagates transmission failures.
+pub fn measure_raw_pipeline(
+    orch: &mut Orchestrator,
+    frames: usize,
+    reading_bytes: u64,
+) -> Result<TransmissionReport, OrcoError> {
+    orch.network_mut().reset_accounting();
+    let t0 = orch.network().now_s();
+    let frame_bytes = orch.config().sample_bytes();
+    for _ in 0..frames {
+        orch.network_mut().raw_aggregation_round(reading_bytes)?;
+        let agg = orch.network().aggregator();
+        let edge = orch.network().edge();
+        orch.network_mut().transmit(agg, edge, frame_bytes, PacketKind::RawData)?;
+    }
+    let acct = orch.network().accounting();
+    Ok(TransmissionReport {
+        frames,
+        total_bytes: acct.total_tx_bytes(),
+        chain_bytes: 0,
+        uplink_bytes: acct.bytes_by_kind(PacketKind::RawData),
+        sim_time_s: orch.network().now_s() - t0,
+        energy_j: acct.total_tx_energy_j() + acct.total_rx_energy_j(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::OrcoConfig;
+    use orco_datasets::DatasetKind;
+    use orco_wsn::NetworkConfig;
+
+    fn orch_with(latent: usize) -> Orchestrator {
+        let cfg = OrcoConfig::for_dataset(DatasetKind::MnistLike).with_latent_dim(latent);
+        Orchestrator::new(
+            cfg,
+            NetworkConfig { num_devices: 32, seed: 0, ..Default::default() },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn compressed_cost_scales_with_latent_dim() {
+        let mut small = orch_with(16);
+        let mut large = orch_with(128);
+        let rs = measure_compressed_pipeline(&mut small, 4).unwrap();
+        let rl = measure_compressed_pipeline(&mut large, 4).unwrap();
+        assert!(rl.total_bytes > rs.total_bytes * 4, "128-dim should cost ≫ 16-dim");
+        assert!(rs.uplink_bytes >= 4 * 16 * 4);
+    }
+
+    #[test]
+    fn extrapolation_is_linear() {
+        let mut orch = orch_with(32);
+        let r = measure_compressed_pipeline(&mut orch, 5).unwrap();
+        let big = r.extrapolate(50);
+        assert_eq!(big.frames, 50);
+        assert_eq!(big.total_bytes, r.total_bytes * 10);
+        assert!((big.sim_time_s - r.sim_time_s * 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extrapolation_matches_actual_measurement() {
+        // Measure 2 frames, extrapolate to 6, compare against measuring 6.
+        let mut a = orch_with(32);
+        let r2 = measure_compressed_pipeline(&mut a, 2).unwrap();
+        let mut b = orch_with(32);
+        let r6 = measure_compressed_pipeline(&mut b, 6).unwrap();
+        let ex = r2.extrapolate(6);
+        assert_eq!(ex.total_bytes, r6.total_bytes);
+        assert_eq!(ex.uplink_bytes, r6.uplink_bytes);
+    }
+
+    #[test]
+    fn raw_pipeline_costs_more_than_compressed() {
+        // Latent must be small relative to the frame (784 readings) for the
+        // compressed pipeline to win — that is the whole point of CS.
+        let mut orch = orch_with(16);
+        let compressed = measure_compressed_pipeline(&mut orch, 3).unwrap();
+        let raw = measure_raw_pipeline(&mut orch, 3, 4).unwrap();
+        assert!(
+            raw.total_bytes > compressed.total_bytes,
+            "raw {} vs compressed {}",
+            raw.total_bytes,
+            compressed.total_bytes
+        );
+        assert!(raw.energy_j > 0.0 && compressed.energy_j > 0.0);
+    }
+
+    #[test]
+    fn kb_conversion() {
+        let r = TransmissionReport {
+            frames: 1,
+            total_bytes: 2048,
+            chain_bytes: 0,
+            uplink_bytes: 0,
+            sim_time_s: 0.0,
+            energy_j: 0.0,
+        };
+        assert!((r.total_kb() - 2.0).abs() < 1e-9);
+    }
+}

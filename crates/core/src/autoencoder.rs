@@ -1,0 +1,380 @@
+//! The asymmetric autoencoder (paper §III-B).
+//!
+//! *Asymmetric* is the load split, not just the shape: the encoder is a
+//! single dense layer (eq. 1) sized for a gateway-class data aggregator,
+//! while the decoder (eq. 3) can be arbitrarily deep because it runs on the
+//! edge server. [`AsymmetricAutoencoder`] keeps the two halves as separate
+//! models with separate optimizers, exposing exactly the split-training
+//! primitives the [`crate::Orchestrator`] drives over the network — and a
+//! local joint-training path built from the *same* primitives, so
+//! distributed and centralized training are bit-identical given the same
+//! random streams.
+
+use orco_nn::{Activation, Dense, Layer, Loss, Optimizer, Sequential};
+
+use orco_tensor::{Matrix, OrcoRng};
+
+use crate::config::OrcoConfig;
+use crate::decoder::build_decoder;
+use crate::error::OrcoError;
+use crate::noise;
+
+/// The OrcoDCS asymmetric autoencoder: one-dense-layer encoder +
+/// configurable-depth decoder, each with its own optimizer.
+///
+/// # Examples
+///
+/// ```
+/// use orcodcs::{AsymmetricAutoencoder, OrcoConfig};
+/// use orco_datasets::DatasetKind;
+/// use orco_tensor::Matrix;
+///
+/// let cfg = OrcoConfig::for_dataset(DatasetKind::MnistLike).with_latent_dim(16);
+/// let mut ae = AsymmetricAutoencoder::new(&cfg).unwrap();
+/// let x = Matrix::zeros(4, 784);
+/// let latent = ae.encode(&x);
+/// assert_eq!(latent.shape(), (4, 16));
+/// let xr = ae.decode(&latent);
+/// assert_eq!(xr.shape(), (4, 784));
+/// ```
+#[derive(Debug)]
+pub struct AsymmetricAutoencoder {
+    encoder: Dense,
+    decoder: Sequential,
+    encoder_opt: Optimizer,
+    decoder_opt: Optimizer,
+    noise_variance: f32,
+    noise_rng: OrcoRng,
+    latent_dim: usize,
+    input_dim: usize,
+}
+
+impl AsymmetricAutoencoder {
+    /// Builds the autoencoder described by `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrcoError::Config`] if the configuration is invalid.
+    pub fn new(config: &OrcoConfig) -> Result<Self, OrcoError> {
+        config.validate()?;
+        let mut rng = OrcoRng::from_label("orcodcs-autoencoder", config.seed);
+        let encoder = Dense::new(config.input_dim, config.latent_dim, Activation::Sigmoid, &mut rng);
+        let decoder = build_decoder(
+            config.latent_dim,
+            config.input_dim,
+            config.decoder_layers,
+            &mut rng,
+        );
+        let noise_rng = rng.derive("latent-noise");
+        Ok(Self {
+            encoder,
+            decoder,
+            encoder_opt: Optimizer::adam(config.learning_rate).with_grad_clip(10.0),
+            decoder_opt: Optimizer::adam(config.learning_rate).with_grad_clip(10.0),
+            noise_variance: config.noise_variance,
+            noise_rng,
+            latent_dim: config.latent_dim,
+            input_dim: config.input_dim,
+        })
+    }
+
+    /// Latent dimension `M`.
+    #[must_use]
+    pub fn latent_dim(&self) -> usize {
+        self.latent_dim
+    }
+
+    /// Input dimension `N`.
+    #[must_use]
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// The configured latent-noise variance σ².
+    #[must_use]
+    pub fn noise_variance(&self) -> f32 {
+        self.noise_variance
+    }
+
+    /// Changes the latent-noise variance (sensitivity sweeps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `variance` is negative or not finite.
+    pub fn set_noise_variance(&mut self, variance: f32) {
+        assert!(variance.is_finite() && variance >= 0.0, "variance must be ≥ 0");
+        self.noise_variance = variance;
+    }
+
+    /// The encoder's weight matrix, shaped `(M, N)` — the object distributed
+    /// column-wise to IoT devices (§III-C).
+    ///
+    #[must_use]
+    pub fn encoder_weight(&self) -> &Matrix {
+        self.encoder.weight()
+    }
+
+    /// The encoder's bias row vector, shaped `(1, M)`.
+    #[must_use]
+    pub fn encoder_bias(&self) -> &Matrix {
+        self.encoder.bias()
+    }
+
+    /// Overwrites the encoder's parameters (applying a reassembled or
+    /// remotely updated encoder).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes do not match `(M, N)` / `(1, M)`.
+    pub fn set_encoder_parts(&mut self, weight: Matrix, bias: Matrix) {
+        self.encoder.set_parts(weight, bias);
+    }
+
+    /// Number of decoder layers.
+    #[must_use]
+    pub fn decoder_depth(&self) -> usize {
+        self.decoder.len()
+    }
+
+    /// Per-sample forward FLOPs of the encoder (aggregator-side cost).
+    #[must_use]
+    pub fn encoder_flops_forward(&self) -> u64 {
+        Layer::flops_forward(&self.encoder)
+    }
+
+    /// Per-sample backward FLOPs of the encoder.
+    #[must_use]
+    pub fn encoder_flops_backward(&self) -> u64 {
+        Layer::flops_backward(&self.encoder)
+    }
+
+    /// Per-sample forward FLOPs of the decoder (edge-side cost).
+    #[must_use]
+    pub fn decoder_flops_forward(&self) -> u64 {
+        self.decoder.flops_forward()
+    }
+
+    /// Per-sample backward FLOPs of the decoder.
+    #[must_use]
+    pub fn decoder_flops_backward(&self) -> u64 {
+        self.decoder.flops_backward()
+    }
+
+    /// Total parameter count (encoder + decoder).
+    #[must_use]
+    pub fn param_count(&self) -> usize {
+        self.encoder.param_count() + self.decoder.param_count()
+    }
+
+    // ------------------------------------------------------------------
+    // Inference
+    // ------------------------------------------------------------------
+
+    /// Encodes a batch (inference mode — eq. 1).
+    pub fn encode(&mut self, x: &Matrix) -> Matrix {
+        self.encoder.forward(x, false)
+    }
+
+    /// Decodes a latent batch (inference mode — eq. 3).
+    pub fn decode(&mut self, latent: &Matrix) -> Matrix {
+        self.decoder.forward(latent, false)
+    }
+
+    /// Full reconstruction without noise (inference).
+    pub fn reconstruct(&mut self, x: &Matrix) -> Matrix {
+        let latent = self.encode(x);
+        self.decode(&latent)
+    }
+
+    /// Mean reconstruction loss on a batch (inference).
+    pub fn evaluate(&mut self, x: &Matrix, loss: &Loss) -> f32 {
+        let xr = self.reconstruct(x);
+        loss.value(&xr, x)
+    }
+
+    // ------------------------------------------------------------------
+    // Split-training primitives (driven by the orchestrator)
+    // ------------------------------------------------------------------
+
+    /// **Aggregator step 1**: encode a batch in training mode and add the
+    /// Gaussian latent noise (eqs. 1–2). Returns the noisy latent `Ŷ`.
+    pub fn aggregator_encode_train(&mut self, x: &Matrix) -> Matrix {
+        let latent = self.encoder.forward(x, true);
+        noise::add_gaussian(&latent, self.noise_variance, &mut self.noise_rng)
+    }
+
+    /// **Edge step**: decode the noisy latent in training mode (eq. 3).
+    pub fn edge_decode_train(&mut self, noisy_latent: &Matrix) -> Matrix {
+        self.decoder.forward(noisy_latent, true)
+    }
+
+    /// **Aggregator step 2**: compute the reconstruction loss and its
+    /// gradient (eq. 4) against the original batch.
+    #[must_use]
+    pub fn reconstruction_grad(x: &Matrix, xr: &Matrix, loss: &Loss) -> (f32, Matrix) {
+        (loss.value(xr, x), loss.grad(xr, x))
+    }
+
+    /// **Edge step**: backpropagate the reconstruction gradient through the
+    /// decoder, apply the decoder optimizer, and return `∂L/∂Ŷ` (the latent
+    /// gradient sent back down to the aggregator).
+    pub fn edge_decoder_update(&mut self, grad_reconstruction: &Matrix) -> Matrix {
+        self.decoder.zero_grad();
+        let grad_latent = self.decoder.backward(grad_reconstruction);
+        self.decoder_opt.step(self.decoder.params());
+        grad_latent
+    }
+
+    /// **Aggregator step 3**: backpropagate the latent gradient through the
+    /// encoder and apply the encoder optimizer. (Additive noise has unit
+    /// Jacobian, so `∂L/∂Y = ∂L/∂Ŷ`.)
+    pub fn aggregator_encoder_update(&mut self, grad_latent: &Matrix) {
+        self.encoder.zero_grad();
+        let _ = self.encoder.backward(grad_latent);
+        self.encoder_opt.step(self.encoder.params());
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshots (rollback support for the fine-tuning monitor)
+    // ------------------------------------------------------------------
+
+    /// Captures every parameter tensor (encoder + decoder) by value.
+    ///
+    /// Pairs with [`AsymmetricAutoencoder::restore_snapshot`] to roll back
+    /// an adaptation that made reconstructions worse.
+    pub fn snapshot(&mut self) -> Vec<Matrix> {
+        let mut tensors: Vec<Matrix> =
+            self.encoder.params().iter().map(|p| p.value.clone()).collect();
+        tensors.extend(self.decoder.params().iter().map(|p| p.value.clone()));
+        tensors
+    }
+
+    /// Restores a snapshot taken from this (or an identically-shaped)
+    /// model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's tensor count or shapes do not match.
+    pub fn restore_snapshot(&mut self, snapshot: &[Matrix]) {
+        let mut params = self.encoder.params();
+        params.extend(self.decoder.params());
+        assert_eq!(params.len(), snapshot.len(), "snapshot tensor count mismatch");
+        for (param, saved) in params.iter_mut().zip(snapshot) {
+            assert_eq!(param.value.shape(), saved.shape(), "snapshot shape mismatch");
+            *param.value = saved.clone();
+        }
+    }
+
+    /// One complete training round executed locally (no network): the same
+    /// primitives the orchestrator calls, in the same order. Returns the
+    /// batch loss before the update.
+    pub fn train_batch_local(&mut self, x: &Matrix, loss: &Loss) -> f32 {
+        let noisy_latent = self.aggregator_encode_train(x);
+        let xr = self.edge_decode_train(&noisy_latent);
+        let (value, grad) = Self::reconstruction_grad(x, &xr, loss);
+        let grad_latent = self.edge_decoder_update(&grad);
+        self.aggregator_encoder_update(&grad_latent);
+        value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orco_datasets::DatasetKind;
+
+    fn tiny_config() -> OrcoConfig {
+        OrcoConfig::for_dataset(DatasetKind::MnistLike)
+            .with_latent_dim(16)
+            .with_learning_rate(0.1)
+    }
+
+    #[test]
+    fn shapes_are_consistent() {
+        let mut ae = AsymmetricAutoencoder::new(&tiny_config()).unwrap();
+        let x = Matrix::from_fn(3, 784, |r, c| ((r * 7 + c) as f32 * 0.01).sin().abs());
+        let y = ae.encode(&x);
+        assert_eq!(y.shape(), (3, 16));
+        let xr = ae.decode(&y);
+        assert_eq!(xr.shape(), (3, 784));
+        assert_eq!(ae.reconstruct(&x).shape(), (3, 784));
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let mut ae = AsymmetricAutoencoder::new(&tiny_config()).unwrap();
+        let ds = orco_datasets::mnist_like::generate(32, 0);
+        let loss = Loss::VectorHuber { delta: 1.0 };
+        let before = ae.evaluate(ds.x(), &loss);
+        for _ in 0..30 {
+            let _ = ae.train_batch_local(ds.x(), &loss);
+        }
+        let after = ae.evaluate(ds.x(), &loss);
+        assert!(after < before, "loss {before} -> {after}");
+    }
+
+    #[test]
+    fn sigmoid_outputs_stay_in_unit_range() {
+        let mut ae = AsymmetricAutoencoder::new(&tiny_config()).unwrap();
+        let x = Matrix::from_fn(2, 784, |_, c| (c % 7) as f32 / 7.0);
+        let xr = ae.reconstruct(&x);
+        assert!(xr.min() >= 0.0 && xr.max() <= 1.0);
+    }
+
+    #[test]
+    fn noise_applied_only_in_training_path() {
+        let cfg = tiny_config().with_noise_variance(0.5);
+        let mut ae = AsymmetricAutoencoder::new(&cfg).unwrap();
+        let x = Matrix::from_fn(2, 784, |_, c| (c % 5) as f32 / 5.0);
+        let clean = ae.encode(&x);
+        let noisy = ae.aggregator_encode_train(&x);
+        assert!(clean.max_abs_diff(&noisy) > 0.01, "training path must add noise");
+        // Inference path is deterministic.
+        assert_eq!(ae.encode(&x), clean);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = AsymmetricAutoencoder::new(&tiny_config()).unwrap();
+        let mut b = AsymmetricAutoencoder::new(&tiny_config()).unwrap();
+        let ds = orco_datasets::mnist_like::generate(8, 1);
+        let loss = Loss::L2;
+        for _ in 0..3 {
+            let la = a.train_batch_local(ds.x(), &loss);
+            let lb = b.train_batch_local(ds.x(), &loss);
+            assert_eq!(la, lb);
+        }
+        assert_eq!(a.encoder_weight(), b.encoder_weight());
+    }
+
+    #[test]
+    fn flops_reflect_asymmetry() {
+        let cfg = tiny_config().with_decoder_layers(3);
+        let ae = AsymmetricAutoencoder::new(&cfg).unwrap();
+        assert!(ae.decoder_flops_forward() > ae.encoder_flops_forward());
+        assert_eq!(ae.decoder_depth(), 3);
+        assert!(ae.param_count() > 0);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut ae = AsymmetricAutoencoder::new(&tiny_config()).unwrap();
+        let ds = orco_datasets::mnist_like::generate(8, 4);
+        let loss = Loss::L2;
+        let snap = ae.snapshot();
+        let before = ae.reconstruct(ds.x());
+        for _ in 0..5 {
+            let _ = ae.train_batch_local(ds.x(), &loss);
+        }
+        assert_ne!(ae.reconstruct(ds.x()), before);
+        ae.restore_snapshot(&snap);
+        assert_eq!(ae.reconstruct(ds.x()), before);
+    }
+
+    #[test]
+    fn encoder_weight_shape_matches_distribution_needs() {
+        let ae = AsymmetricAutoencoder::new(&tiny_config()).unwrap();
+        assert_eq!(ae.encoder_weight().shape(), (16, 784));
+        assert_eq!(ae.encoder_bias().shape(), (1, 16));
+    }
+}

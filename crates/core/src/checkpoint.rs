@@ -1,0 +1,299 @@
+//! Model checkpointing.
+//!
+//! The fine-tuning monitor (§III-D) relaunches training when the
+//! environment drifts; deployments also restart, and the edge may want to
+//! roll a decoder back after a bad adaptation. This module saves and
+//! restores the asymmetric autoencoder's parameters in the workspace's
+//! plain-text `MAT` format (diff-able, no format crate): one file per
+//! tensor plus a small manifest.
+
+use std::path::{Path, PathBuf};
+
+use orco_tensor::serialize::{read_matrix, write_matrix};
+use orco_tensor::Matrix;
+
+use crate::autoencoder::AsymmetricAutoencoder;
+use crate::config::OrcoConfig;
+use crate::error::OrcoError;
+
+/// Files inside a checkpoint directory.
+const MANIFEST: &str = "manifest.txt";
+const ENCODER_WEIGHT: &str = "encoder_weight.mat";
+const ENCODER_BIAS: &str = "encoder_bias.mat";
+
+/// A saved encoder checkpoint (the distributable half of the model — the
+/// decoder lives on the mains-powered edge and can always retrain, but the
+/// encoder's columns are what the field devices hold).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EncoderCheckpoint {
+    /// Encoder weight, `(M, N)`.
+    pub weight: Matrix,
+    /// Encoder bias, `(1, M)`.
+    pub bias: Matrix,
+    /// Label recorded in the manifest (e.g. experiment id).
+    pub label: String,
+}
+
+impl EncoderCheckpoint {
+    /// Captures the current encoder of an autoencoder.
+    #[must_use]
+    pub fn capture(ae: &AsymmetricAutoencoder, label: impl Into<String>) -> Self {
+        Self {
+            weight: ae.encoder_weight().clone(),
+            bias: ae.encoder_bias().clone(),
+            label: label.into(),
+        }
+    }
+
+    /// Restores this checkpoint into an autoencoder.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrcoError::Config`] if the shapes do not match the target
+    /// model.
+    pub fn restore(&self, ae: &mut AsymmetricAutoencoder) -> Result<(), OrcoError> {
+        if self.weight.shape() != (ae.latent_dim(), ae.input_dim()) {
+            return Err(OrcoError::Config {
+                detail: format!(
+                    "checkpoint encoder is {}x{}, model expects {}x{}",
+                    self.weight.rows(),
+                    self.weight.cols(),
+                    ae.latent_dim(),
+                    ae.input_dim()
+                ),
+            });
+        }
+        ae.set_encoder_parts(self.weight.clone(), self.bias.clone());
+        Ok(())
+    }
+
+    /// Writes the checkpoint to `dir` (created if missing).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrcoError::Config`] wrapping any I/O failure.
+    pub fn save(&self, dir: &Path) -> Result<(), OrcoError> {
+        let io = |e: std::io::Error| OrcoError::Config { detail: format!("checkpoint io: {e}") };
+        std::fs::create_dir_all(dir).map_err(io)?;
+        write_matrix(&dir.join(ENCODER_WEIGHT), &self.weight).map_err(io)?;
+        write_matrix(&dir.join(ENCODER_BIAS), &self.bias).map_err(io)?;
+        let manifest = format!(
+            "orcodcs-encoder-checkpoint v1\nlabel: {}\nlatent_dim: {}\ninput_dim: {}\n",
+            self.label,
+            self.weight.rows(),
+            self.weight.cols()
+        );
+        std::fs::write(dir.join(MANIFEST), manifest).map_err(io)?;
+        Ok(())
+    }
+
+    /// Loads a checkpoint from `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrcoError::Config`] on missing/malformed files and
+    /// [`OrcoError::Tensor`] on matrix parse failures.
+    pub fn load(dir: &Path) -> Result<Self, OrcoError> {
+        let manifest = std::fs::read_to_string(dir.join(MANIFEST))
+            .map_err(|e| OrcoError::Config { detail: format!("missing manifest: {e}") })?;
+        let mut label = String::new();
+        let mut version_ok = false;
+        for line in manifest.lines() {
+            if line.trim() == "orcodcs-encoder-checkpoint v1" {
+                version_ok = true;
+            }
+            if let Some(rest) = line.strip_prefix("label: ") {
+                label = rest.to_string();
+            }
+        }
+        if !version_ok {
+            return Err(OrcoError::Config { detail: "unrecognized checkpoint version".into() });
+        }
+        let weight = read_matrix(&dir.join(ENCODER_WEIGHT))?;
+        let bias = read_matrix(&dir.join(ENCODER_BIAS))?;
+        if bias.rows() != 1 || bias.cols() != weight.rows() {
+            return Err(OrcoError::Config {
+                detail: format!(
+                    "inconsistent checkpoint: weight {}x{}, bias {}x{}",
+                    weight.rows(),
+                    weight.cols(),
+                    bias.rows(),
+                    bias.cols()
+                ),
+            });
+        }
+        Ok(Self { weight, bias, label })
+    }
+}
+
+/// A rolling checkpoint store: keeps the `capacity` most recent encoder
+/// snapshots under one root directory (`ckpt-0`, `ckpt-1`, …) so the
+/// monitor can roll back after an adaptation that made things worse.
+#[derive(Debug)]
+pub struct CheckpointStore {
+    root: PathBuf,
+    capacity: usize,
+    saved: Vec<PathBuf>,
+    counter: usize,
+}
+
+impl CheckpointStore {
+    /// Creates a store rooted at `root` keeping at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn new(root: impl Into<PathBuf>, capacity: usize) -> Self {
+        assert!(capacity > 0, "CheckpointStore: capacity must be non-zero");
+        Self { root: root.into(), capacity, saved: Vec::new(), counter: 0 }
+    }
+
+    /// Saves a new snapshot, evicting the oldest when over capacity.
+    ///
+    /// # Errors
+    ///
+    /// Propagates save failures.
+    pub fn push(&mut self, checkpoint: &EncoderCheckpoint) -> Result<&Path, OrcoError> {
+        let dir = self.root.join(format!("ckpt-{}", self.counter));
+        self.counter += 1;
+        checkpoint.save(&dir)?;
+        self.saved.push(dir);
+        if self.saved.len() > self.capacity {
+            let evicted = self.saved.remove(0);
+            let _ = std::fs::remove_dir_all(&evicted);
+        }
+        Ok(self.saved.last().expect("just pushed").as_path())
+    }
+
+    /// Loads the most recent snapshot, if any.
+    ///
+    /// # Errors
+    ///
+    /// Propagates load failures.
+    pub fn latest(&self) -> Result<Option<EncoderCheckpoint>, OrcoError> {
+        match self.saved.last() {
+            None => Ok(None),
+            Some(dir) => EncoderCheckpoint::load(dir).map(Some),
+        }
+    }
+
+    /// Number of snapshots currently kept.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.saved.len()
+    }
+
+    /// Whether the store is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.saved.is_empty()
+    }
+}
+
+/// Convenience: builds an autoencoder from `config` and restores the
+/// checkpointed encoder into it.
+///
+/// # Errors
+///
+/// Propagates construction and restore failures.
+pub fn autoencoder_from_checkpoint(
+    config: &OrcoConfig,
+    checkpoint: &EncoderCheckpoint,
+) -> Result<AsymmetricAutoencoder, OrcoError> {
+    let mut ae = AsymmetricAutoencoder::new(config)?;
+    checkpoint.restore(&mut ae)?;
+    Ok(ae)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orco_datasets::DatasetKind;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("orcodcs-ckpt-tests").join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn trained_ae() -> AsymmetricAutoencoder {
+        let cfg = OrcoConfig::for_dataset(DatasetKind::MnistLike).with_latent_dim(8);
+        let mut ae = AsymmetricAutoencoder::new(&cfg).unwrap();
+        let ds = orco_datasets::mnist_like::generate(8, 0);
+        let loss = cfg.loss();
+        let _ = ae.train_batch_local(ds.x(), &loss);
+        ae
+    }
+
+    #[test]
+    fn save_load_roundtrip_is_exact() {
+        let ae = trained_ae();
+        let ckpt = EncoderCheckpoint::capture(&ae, "test-roundtrip");
+        let dir = tmpdir("roundtrip");
+        ckpt.save(&dir).unwrap();
+        let loaded = EncoderCheckpoint::load(&dir).unwrap();
+        assert_eq!(ckpt, loaded);
+        assert_eq!(loaded.label, "test-roundtrip");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn restore_recovers_encodings() {
+        let mut ae = trained_ae();
+        let ckpt = EncoderCheckpoint::capture(&ae, "restore");
+        let ds = orco_datasets::mnist_like::generate(4, 1);
+        let before = ae.encode(ds.x());
+        // Keep training → encoder changes.
+        let cfg = OrcoConfig::for_dataset(DatasetKind::MnistLike).with_latent_dim(8);
+        let loss = cfg.loss();
+        for _ in 0..5 {
+            let _ = ae.train_batch_local(ds.x(), &loss);
+        }
+        assert_ne!(ae.encode(ds.x()), before);
+        // Roll back.
+        ckpt.restore(&mut ae).unwrap();
+        assert_eq!(ae.encode(ds.x()), before);
+    }
+
+    #[test]
+    fn restore_rejects_shape_mismatch() {
+        let ae = trained_ae(); // latent 8
+        let ckpt = EncoderCheckpoint::capture(&ae, "mismatch");
+        let cfg = OrcoConfig::for_dataset(DatasetKind::MnistLike).with_latent_dim(16);
+        let mut other = AsymmetricAutoencoder::new(&cfg).unwrap();
+        assert!(matches!(ckpt.restore(&mut other), Err(OrcoError::Config { .. })));
+    }
+
+    #[test]
+    fn store_evicts_oldest() {
+        let ae = trained_ae();
+        let dir = tmpdir("store");
+        let mut store = CheckpointStore::new(&dir, 2);
+        for i in 0..3 {
+            let ckpt = EncoderCheckpoint::capture(&ae, format!("v{i}"));
+            store.push(&ckpt).unwrap();
+        }
+        assert_eq!(store.len(), 2);
+        let latest = store.latest().unwrap().unwrap();
+        assert_eq!(latest.label, "v2");
+        // The evicted directory is gone.
+        assert!(!dir.join("ckpt-0").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_missing_dir_errors() {
+        assert!(EncoderCheckpoint::load(Path::new("/nonexistent/ckpt")).is_err());
+    }
+
+    #[test]
+    fn autoencoder_from_checkpoint_matches_source() {
+        let mut ae = trained_ae();
+        let ckpt = EncoderCheckpoint::capture(&ae, "rebuild");
+        let cfg = OrcoConfig::for_dataset(DatasetKind::MnistLike).with_latent_dim(8);
+        let mut rebuilt = autoencoder_from_checkpoint(&cfg, &ckpt).unwrap();
+        let ds = orco_datasets::mnist_like::generate(4, 2);
+        assert_eq!(rebuilt.encode(ds.x()), ae.encode(ds.x()));
+    }
+}

@@ -1,0 +1,70 @@
+use std::fmt;
+
+/// Errors produced by the OrcoDCS framework.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum OrcoError {
+    /// A configuration value was invalid.
+    Config {
+        /// What was wrong.
+        detail: String,
+    },
+    /// The underlying network simulation failed.
+    Network(orco_wsn::WsnError),
+    /// A tensor operation failed.
+    Tensor(orco_tensor::TensorError),
+    /// Training diverged (non-finite loss or parameters).
+    Diverged {
+        /// The round at which divergence was detected.
+        round: usize,
+    },
+}
+
+impl fmt::Display for OrcoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OrcoError::Config { detail } => write!(f, "invalid configuration: {detail}"),
+            OrcoError::Network(e) => write!(f, "network error: {e}"),
+            OrcoError::Tensor(e) => write!(f, "tensor error: {e}"),
+            OrcoError::Diverged { round } => {
+                write!(f, "training diverged at round {round} (non-finite loss)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OrcoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OrcoError::Network(e) => Some(e),
+            OrcoError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<orco_wsn::WsnError> for OrcoError {
+    fn from(e: orco_wsn::WsnError) -> Self {
+        OrcoError::Network(e)
+    }
+}
+
+impl From<orco_tensor::TensorError> for OrcoError {
+    fn from(e: orco_tensor::TensorError) -> Self {
+        OrcoError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = OrcoError::Config { detail: "latent_dim is zero".into() };
+        assert!(e.to_string().contains("latent_dim"));
+        let net = OrcoError::from(orco_wsn::WsnError::UnknownNode { id: orco_wsn::NodeId(1) });
+        assert!(std::error::Error::source(&net).is_some());
+        assert!(net.to_string().contains("unknown node"));
+    }
+}

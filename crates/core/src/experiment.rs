@@ -1,0 +1,167 @@
+//! High-level experiment drivers used by the examples and the figure
+//! harnesses: one call runs the full OrcoDCS lifecycle on a dataset —
+//! aggregate raw data, train online, distribute the encoder, measure the
+//! compressed data plane, and score reconstructions.
+
+use orco_datasets::Dataset;
+use orco_tensor::stats;
+use orco_wsn::NetworkConfig;
+
+use crate::aggregation::{measure_compressed_pipeline, TransmissionReport};
+use crate::config::OrcoConfig;
+use crate::error::OrcoError;
+use crate::online_trainer::TrainingHistory;
+use crate::orchestrator::Orchestrator;
+
+/// Everything a figure needs from one end-to-end OrcoDCS run.
+#[derive(Debug)]
+pub struct OrcoOutcome {
+    /// Loss/time trajectory of online training.
+    pub history: TrainingHistory,
+    /// Final reconstruction loss on the training data (inference mode).
+    pub final_loss: f32,
+    /// Mean PSNR of reconstructions over the dataset, dB.
+    pub mean_psnr_db: f32,
+    /// Simulated seconds from first raw frame to end of training.
+    pub sim_time_s: f64,
+    /// Steady-state data-plane cost, measured post-distribution.
+    pub data_plane: TransmissionReport,
+    /// The orchestrator, still live, for follow-up measurements.
+    pub orchestrator: Orchestrator,
+}
+
+/// How many devices to simulate for a run. Faithful deployments set this to
+/// `N` (one device per reading, as the paper's formulation assumes);
+/// figure sweeps that only need training curves can use a smaller cluster
+/// to keep wall-clock time down without changing any training math.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterScale {
+    /// One IoT device per input dimension (the paper's model).
+    Faithful,
+    /// A fixed number of devices (data-plane bytes still scale with `M`).
+    Devices(usize),
+}
+
+impl ClusterScale {
+    fn device_count(self, input_dim: usize) -> usize {
+        match self {
+            ClusterScale::Faithful => input_dim,
+            ClusterScale::Devices(n) => n.max(1),
+        }
+    }
+}
+
+/// Runs the full OrcoDCS lifecycle on a dataset with a faithful-size
+/// cluster. See [`run_orcodcs_scaled`] for control over the cluster size.
+///
+/// # Errors
+///
+/// Propagates configuration and simulation errors.
+pub fn run_orcodcs(dataset: &Dataset, config: &OrcoConfig) -> Result<OrcoOutcome, OrcoError> {
+    run_orcodcs_scaled(dataset, config, ClusterScale::Devices(32))
+}
+
+/// Runs the full OrcoDCS lifecycle with an explicit cluster scale.
+///
+/// # Errors
+///
+/// Propagates configuration and simulation errors.
+pub fn run_orcodcs_scaled(
+    dataset: &Dataset,
+    config: &OrcoConfig,
+    scale: ClusterScale,
+) -> Result<OrcoOutcome, OrcoError> {
+    config.validate()?;
+    if dataset.is_empty() {
+        return Err(OrcoError::Config { detail: "dataset is empty".into() });
+    }
+    let net_config = NetworkConfig {
+        num_devices: scale.device_count(config.input_dim),
+        seed: config.seed,
+        ..Default::default()
+    };
+    let mut orch = Orchestrator::new(config.clone(), net_config)?;
+
+    // §III-A: one raw frame per training sample reaches the aggregator.
+    orch.aggregate_raw_frames(dataset.len())?;
+
+    // §III-B: online orchestrated training.
+    let history = orch.train(dataset.x())?;
+    let sim_time_s = orch.network().now_s();
+
+    // §III-C: distribute the encoder, then measure the steady-state
+    // compressed data plane on a handful of frames.
+    let (_columns, _t) = orch.distribute_encoder()?;
+    let probe = dataset.len().clamp(1, 8);
+    let data_plane = measure_compressed_pipeline(&mut orch, probe)?;
+
+    // Reconstruction quality.
+    let recon = orch.autoencoder_mut().reconstruct(dataset.x());
+    let final_loss = {
+        let loss = config.loss();
+        loss.value(&recon, dataset.x())
+    };
+    let psnrs = stats::psnr_rows(dataset.x(), &recon, 1.0);
+    let finite: Vec<f32> = psnrs.into_iter().filter(|p| p.is_finite()).collect();
+    let mean_psnr_db = stats::mean(&finite);
+
+    Ok(OrcoOutcome { history, final_loss, mean_psnr_db, sim_time_s, data_plane, orchestrator: orch })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orco_datasets::{mnist_like, DatasetKind};
+
+    #[test]
+    fn end_to_end_lifecycle_runs() {
+        let ds = mnist_like::generate(24, 0);
+        let cfg = OrcoConfig::for_dataset(DatasetKind::MnistLike)
+            .with_latent_dim(24)
+            .with_epochs(3)
+            .with_batch_size(8)
+            .with_learning_rate(0.1);
+        let outcome = run_orcodcs(&ds, &cfg).unwrap();
+        assert!(outcome.final_loss.is_finite());
+        assert!(outcome.mean_psnr_db.is_finite());
+        assert!(outcome.sim_time_s > 0.0);
+        assert_eq!(outcome.history.epoch_losses().len(), 3);
+        assert!(outcome.data_plane.total_bytes > 0);
+    }
+
+    #[test]
+    fn faithful_scale_uses_input_dim_devices() {
+        let ds = mnist_like::generate(8, 1);
+        let cfg = OrcoConfig::for_dataset(DatasetKind::MnistLike)
+            .with_latent_dim(16)
+            .with_epochs(1)
+            .with_batch_size(8);
+        let outcome =
+            run_orcodcs_scaled(&ds, &cfg, ClusterScale::Faithful).unwrap();
+        assert_eq!(outcome.orchestrator.network().devices().len(), 784);
+    }
+
+    #[test]
+    fn longer_training_reaches_lower_loss() {
+        let ds = mnist_like::generate(32, 2);
+        let base = OrcoConfig::for_dataset(DatasetKind::MnistLike)
+            .with_latent_dim(24)
+            .with_batch_size(16)
+            .with_learning_rate(0.1);
+        let short = run_orcodcs(&ds, &base.clone().with_epochs(1)).unwrap();
+        let long = run_orcodcs(&ds, &base.with_epochs(8)).unwrap();
+        assert!(
+            long.final_loss < short.final_loss,
+            "8 epochs ({}) should beat 1 epoch ({})",
+            long.final_loss,
+            short.final_loss
+        );
+    }
+
+    #[test]
+    fn empty_dataset_rejected() {
+        let ds = mnist_like::generate(1, 0).subset(&[]);
+        let cfg = OrcoConfig::for_dataset(DatasetKind::MnistLike).with_latent_dim(16);
+        assert!(matches!(run_orcodcs(&ds, &cfg), Err(OrcoError::Config { .. })));
+    }
+}

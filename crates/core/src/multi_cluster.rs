@@ -1,0 +1,338 @@
+//! Multi-cluster (IoT-Edge-Cloud) orchestration — the paper's stated
+//! future work.
+//!
+//! > "A potential avenue for future work is the optimization of training
+//! > overhead on edge servers when a large number of data aggregators need
+//! > to perform training procedures of OrcoDCS."
+//!
+//! This module scales OrcoDCS to many clusters sharing **one** edge server:
+//! each cluster has its own aggregator, deployment and task-specific
+//! autoencoder, but decoder training contends for the edge's serial compute
+//! capacity. The coordinator interleaves cluster rounds under a pluggable
+//! [`EdgeSchedule`]; clusters whose turn has not come *wait*, and the wait
+//! shows up on their simulated clock — exactly the overhead the paper says
+//! needs optimizing.
+//!
+//! Three schedules are provided: FIFO (clusters queue in id order each
+//! sweep), round-robin (one round each, rotating the start), and
+//! loss-priority (the cluster with the worst recent loss trains first —
+//! a simple "help the laggard" policy that improves worst-cluster loss at
+//! equal edge budget).
+
+use orco_datasets::Dataset;
+use orco_wsn::NetworkConfig;
+
+use crate::config::OrcoConfig;
+use crate::error::OrcoError;
+use crate::orchestrator::Orchestrator;
+
+/// How the shared edge serves competing clusters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeSchedule {
+    /// Clusters are served in id order within every sweep.
+    Fifo,
+    /// Rotating order: sweep `s` starts at cluster `s mod K`.
+    RoundRobin,
+    /// The cluster with the highest last-seen loss is served first.
+    LossPriority,
+}
+
+/// Per-cluster summary after a coordinated run.
+#[derive(Debug, Clone)]
+pub struct ClusterReport {
+    /// Cluster index.
+    pub cluster: usize,
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Final training loss.
+    pub final_loss: f32,
+    /// The cluster's simulated completion time, seconds.
+    pub sim_time_s: f64,
+    /// Of which: time spent waiting for the busy edge, seconds.
+    pub edge_wait_s: f64,
+}
+
+/// Outcome of a coordinated multi-cluster run.
+#[derive(Debug, Clone)]
+pub struct MultiClusterOutcome {
+    /// One report per cluster.
+    pub reports: Vec<ClusterReport>,
+    /// Time at which the last cluster finished (the makespan).
+    pub makespan_s: f64,
+    /// Total edge busy time, seconds.
+    pub edge_busy_s: f64,
+}
+
+impl MultiClusterOutcome {
+    /// Worst final loss across clusters (the fairness metric
+    /// loss-priority scheduling optimizes).
+    #[must_use]
+    pub fn worst_loss(&self) -> f32 {
+        self.reports.iter().map(|r| r.final_loss).fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Mean edge-wait across clusters, seconds.
+    #[must_use]
+    pub fn mean_wait_s(&self) -> f64 {
+        if self.reports.is_empty() {
+            return 0.0;
+        }
+        self.reports.iter().map(|r| r.edge_wait_s).sum::<f64>() / self.reports.len() as f64
+    }
+}
+
+/// Coordinates K independent OrcoDCS clusters sharing one edge server.
+#[derive(Debug)]
+pub struct MultiClusterCoordinator {
+    clusters: Vec<Orchestrator>,
+    schedule: EdgeSchedule,
+    edge_free_at_s: f64,
+    edge_busy_s: f64,
+    waits_s: Vec<f64>,
+    last_loss: Vec<f32>,
+}
+
+impl MultiClusterCoordinator {
+    /// Builds K clusters from per-cluster configurations. Every cluster
+    /// gets its own deployment (`net_config` re-seeded per cluster).
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `configs` is empty.
+    pub fn new(
+        configs: &[OrcoConfig],
+        net_config: &NetworkConfig,
+        schedule: EdgeSchedule,
+    ) -> Result<Self, OrcoError> {
+        assert!(!configs.is_empty(), "MultiClusterCoordinator: need at least one cluster");
+        let mut clusters = Vec::with_capacity(configs.len());
+        for (i, cfg) in configs.iter().enumerate() {
+            let mut net = net_config.clone();
+            net.seed = net_config.seed.wrapping_add(i as u64);
+            clusters.push(Orchestrator::new(cfg.clone().with_seed(cfg.seed + i as u64), net)?);
+        }
+        let k = clusters.len();
+        Ok(Self {
+            clusters,
+            schedule,
+            edge_free_at_s: 0.0,
+            edge_busy_s: 0.0,
+            waits_s: vec![0.0; k],
+            last_loss: vec![f32::MAX; k],
+        })
+    }
+
+    /// Number of clusters.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Whether the coordinator has no clusters (never true by construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.clusters.is_empty()
+    }
+
+    /// Access a cluster's orchestrator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn cluster(&self, i: usize) -> &Orchestrator {
+        &self.clusters[i]
+    }
+
+    /// The edge-side seconds one round of cluster `i` occupies (decoder
+    /// forward + backward at the edge rate for one batch).
+    fn edge_time_per_round(&self, i: usize, batch: usize) -> f64 {
+        let model = self.clusters[i].autoencoder();
+        let flops = (model.decoder_flops_forward() + model.decoder_flops_backward())
+            * batch as u64;
+        self.clusters[i]
+            .network()
+            .config()
+            .compute
+            .time_for_flops(orco_wsn::DeviceClass::EdgeServer, flops)
+    }
+
+    fn sweep_order(&self, sweep: usize) -> Vec<usize> {
+        let k = self.clusters.len();
+        match self.schedule {
+            EdgeSchedule::Fifo => (0..k).collect(),
+            EdgeSchedule::RoundRobin => (0..k).map(|i| (i + sweep) % k).collect(),
+            EdgeSchedule::LossPriority => {
+                let mut order: Vec<usize> = (0..k).collect();
+                order.sort_by(|&a, &b| {
+                    self.last_loss[b]
+                        .partial_cmp(&self.last_loss[a])
+                        .expect("losses are ordered")
+                        .then(a.cmp(&b))
+                });
+                order
+            }
+        }
+    }
+
+    /// Runs `sweeps` scheduling sweeps; in each sweep every cluster gets one
+    /// training round on its own batch (here: the full per-cluster dataset,
+    /// which keeps the contention model in focus).
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-round errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `datasets.len()` differs from the cluster count.
+    pub fn train(
+        &mut self,
+        datasets: &[Dataset],
+        sweeps: usize,
+    ) -> Result<MultiClusterOutcome, OrcoError> {
+        assert_eq!(datasets.len(), self.clusters.len(), "one dataset per cluster");
+        let mut rounds = vec![0usize; self.clusters.len()];
+
+        for sweep in 0..sweeps {
+            for &i in &self.sweep_order(sweep) {
+                let batch = datasets[i].x();
+                let edge_time = self.edge_time_per_round(i, batch.rows());
+
+                // Contention: the round cannot use the edge before it frees.
+                let cluster_now = self.clusters[i].network().now_s();
+                let wait = (self.edge_free_at_s - cluster_now).max(0.0);
+                if wait > 0.0 {
+                    self.clusters[i].network_mut().wait(wait);
+                    self.waits_s[i] += wait;
+                }
+                let (loss, _dt) = self.clusters[i].train_round(batch)?;
+                self.last_loss[i] = loss;
+                rounds[i] += 1;
+                // The edge was occupied for this round's decoder work,
+                // starting when the cluster reached it.
+                let start = (cluster_now + wait).max(self.edge_free_at_s);
+                self.edge_free_at_s = start + edge_time;
+                self.edge_busy_s += edge_time;
+            }
+        }
+
+        let reports: Vec<ClusterReport> = (0..self.clusters.len())
+            .map(|i| ClusterReport {
+                cluster: i,
+                rounds: rounds[i],
+                final_loss: self.last_loss[i],
+                sim_time_s: self.clusters[i].network().now_s(),
+                edge_wait_s: self.waits_s[i],
+            })
+            .collect();
+        let makespan_s =
+            reports.iter().map(|r| r.sim_time_s).fold(0.0f64, f64::max);
+        Ok(MultiClusterOutcome { reports, makespan_s, edge_busy_s: self.edge_busy_s })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orco_datasets::{mnist_like, DatasetKind};
+
+    fn configs(k: usize) -> Vec<OrcoConfig> {
+        (0..k)
+            .map(|_| {
+                OrcoConfig::for_dataset(DatasetKind::MnistLike)
+                    .with_latent_dim(16)
+                    .with_epochs(1)
+                    .with_batch_size(8)
+            })
+            .collect()
+    }
+
+    fn datasets(k: usize) -> Vec<Dataset> {
+        (0..k).map(|i| mnist_like::generate(8, i as u64)).collect()
+    }
+
+    fn net() -> NetworkConfig {
+        NetworkConfig { num_devices: 8, seed: 0, ..Default::default() }
+    }
+
+    #[test]
+    fn all_clusters_train_and_losses_drop() {
+        let mut coord =
+            MultiClusterCoordinator::new(&configs(3), &net(), EdgeSchedule::Fifo).unwrap();
+        let ds = datasets(3);
+        let first = coord.train(&ds, 1).unwrap();
+        let later = coord.train(&ds, 6).unwrap();
+        assert_eq!(later.reports.len(), 3);
+        for (a, b) in first.reports.iter().zip(&later.reports) {
+            assert!(b.final_loss < a.final_loss, "cluster {} did not improve", a.cluster);
+            assert_eq!(b.rounds, 6);
+        }
+        assert!(later.makespan_s > 0.0);
+        assert!(later.edge_busy_s > 0.0);
+    }
+
+    #[test]
+    fn contention_grows_with_cluster_count() {
+        let ds2 = datasets(2);
+        let ds8 = datasets(8);
+        let mut small =
+            MultiClusterCoordinator::new(&configs(2), &net(), EdgeSchedule::Fifo).unwrap();
+        let mut large =
+            MultiClusterCoordinator::new(&configs(8), &net(), EdgeSchedule::Fifo).unwrap();
+        let o2 = small.train(&ds2, 4).unwrap();
+        let o8 = large.train(&ds8, 4).unwrap();
+        // More clusters → strictly more total edge busy time and more
+        // waiting per cluster on average.
+        assert!(o8.edge_busy_s > o2.edge_busy_s * 3.0);
+        assert!(o8.mean_wait_s() >= o2.mean_wait_s());
+    }
+
+    #[test]
+    fn round_robin_rotates_priority() {
+        let coord =
+            MultiClusterCoordinator::new(&configs(3), &net(), EdgeSchedule::RoundRobin).unwrap();
+        assert_eq!(coord.sweep_order(0), vec![0, 1, 2]);
+        assert_eq!(coord.sweep_order(1), vec![1, 2, 0]);
+        assert_eq!(coord.sweep_order(2), vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn loss_priority_serves_worst_cluster_first() {
+        let mut coord =
+            MultiClusterCoordinator::new(&configs(2), &net(), EdgeSchedule::LossPriority).unwrap();
+        coord.last_loss = vec![0.1, 0.9];
+        assert_eq!(coord.sweep_order(0), vec![1, 0]);
+        coord.last_loss = vec![0.9, 0.1];
+        assert_eq!(coord.sweep_order(0), vec![0, 1]);
+    }
+
+    #[test]
+    fn schedules_preserve_total_work() {
+        // Different schedules reorder but never change rounds per cluster.
+        for schedule in [EdgeSchedule::Fifo, EdgeSchedule::RoundRobin, EdgeSchedule::LossPriority] {
+            let mut coord = MultiClusterCoordinator::new(&configs(3), &net(), schedule).unwrap();
+            let out = coord.train(&datasets(3), 3).unwrap();
+            for r in &out.reports {
+                assert_eq!(r.rounds, 3, "{schedule:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn task_specific_latent_dims_coexist() {
+        // The paper's flexibility claim at fleet scale: clusters with
+        // different M train side by side against one edge.
+        let mut cfgs = configs(2);
+        cfgs[1] = cfgs[1].clone().with_latent_dim(64);
+        let mut coord = MultiClusterCoordinator::new(&cfgs, &net(), EdgeSchedule::Fifo).unwrap();
+        let out = coord.train(&datasets(2), 2).unwrap();
+        assert_eq!(coord.cluster(0).autoencoder().latent_dim(), 16);
+        assert_eq!(coord.cluster(1).autoencoder().latent_dim(), 64);
+        assert!(out.reports.iter().all(|r| r.final_loss.is_finite()));
+    }
+}

@@ -1,0 +1,119 @@
+//! The split-model abstraction the orchestrated protocol trains.
+//!
+//! The paper compares OrcoDCS against DCSNet *run through the same online
+//! training setting* ("we carry out online training of DCSNet, with the
+//! same model structure but only 50% of the training data"). To make that
+//! comparison apples-to-apples, the [`crate::Orchestrator`] is generic over
+//! [`SplitModel`]: any autoencoder that can split its forward/backward pass
+//! between the data aggregator (encoder side) and the edge server (decoder
+//! side). [`crate::AsymmetricAutoencoder`] implements it here; the DCSNet
+//! baseline implements it in `orco-baselines`.
+
+use orco_tensor::Matrix;
+
+use crate::autoencoder::AsymmetricAutoencoder;
+
+/// An autoencoder trainable by the IoT-Edge orchestrated protocol.
+///
+/// The six methods correspond to the protocol steps of paper §III-B; FLOP
+/// accessors feed the simulated-time model.
+pub trait SplitModel: std::fmt::Debug + Send {
+    /// Input (reconstruction) dimension `N`.
+    fn input_dim(&self) -> usize;
+
+    /// Latent dimension `M` — determines per-round uplink bytes.
+    fn latent_dim(&self) -> usize;
+
+    /// Aggregator: encode a batch in training mode, including any latent
+    /// perturbation (noise) the model applies.
+    fn aggregator_encode_train(&mut self, x: &Matrix) -> Matrix;
+
+    /// Edge: decode the latent batch in training mode.
+    fn edge_decode_train(&mut self, latent: &Matrix) -> Matrix;
+
+    /// Edge: backpropagate the reconstruction gradient through the decoder,
+    /// apply the decoder update, and return the latent gradient.
+    fn edge_decoder_update(&mut self, grad_reconstruction: &Matrix) -> Matrix;
+
+    /// Aggregator: backpropagate the latent gradient through the encoder
+    /// and apply the encoder update.
+    fn aggregator_encoder_update(&mut self, grad_latent: &Matrix);
+
+    /// Full clean reconstruction (inference mode).
+    fn reconstruct_inference(&mut self, x: &Matrix) -> Matrix;
+
+    /// Per-sample forward FLOPs on the aggregator side.
+    fn encoder_flops_forward(&self) -> u64;
+
+    /// Per-sample backward FLOPs on the aggregator side.
+    fn encoder_flops_backward(&self) -> u64;
+
+    /// Per-sample forward FLOPs on the edge side.
+    fn decoder_flops_forward(&self) -> u64;
+
+    /// Per-sample backward FLOPs on the edge side.
+    fn decoder_flops_backward(&self) -> u64;
+}
+
+impl SplitModel for AsymmetricAutoencoder {
+    fn input_dim(&self) -> usize {
+        AsymmetricAutoencoder::input_dim(self)
+    }
+
+    fn latent_dim(&self) -> usize {
+        AsymmetricAutoencoder::latent_dim(self)
+    }
+
+    fn aggregator_encode_train(&mut self, x: &Matrix) -> Matrix {
+        AsymmetricAutoencoder::aggregator_encode_train(self, x)
+    }
+
+    fn edge_decode_train(&mut self, latent: &Matrix) -> Matrix {
+        AsymmetricAutoencoder::edge_decode_train(self, latent)
+    }
+
+    fn edge_decoder_update(&mut self, grad_reconstruction: &Matrix) -> Matrix {
+        AsymmetricAutoencoder::edge_decoder_update(self, grad_reconstruction)
+    }
+
+    fn aggregator_encoder_update(&mut self, grad_latent: &Matrix) {
+        AsymmetricAutoencoder::aggregator_encoder_update(self, grad_latent);
+    }
+
+    fn reconstruct_inference(&mut self, x: &Matrix) -> Matrix {
+        AsymmetricAutoencoder::reconstruct(self, x)
+    }
+
+    fn encoder_flops_forward(&self) -> u64 {
+        AsymmetricAutoencoder::encoder_flops_forward(self)
+    }
+
+    fn encoder_flops_backward(&self) -> u64 {
+        AsymmetricAutoencoder::encoder_flops_backward(self)
+    }
+
+    fn decoder_flops_forward(&self) -> u64 {
+        AsymmetricAutoencoder::decoder_flops_forward(self)
+    }
+
+    fn decoder_flops_backward(&self) -> u64 {
+        AsymmetricAutoencoder::decoder_flops_backward(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::OrcoConfig;
+    use orco_datasets::DatasetKind;
+
+    #[test]
+    fn autoencoder_implements_split_model() {
+        let cfg = OrcoConfig::for_dataset(DatasetKind::MnistLike).with_latent_dim(16);
+        let ae = AsymmetricAutoencoder::new(&cfg).unwrap();
+        let boxed: Box<dyn SplitModel> = Box::new(ae);
+        assert_eq!(boxed.input_dim(), 784);
+        assert_eq!(boxed.latent_dim(), 16);
+        assert!(boxed.decoder_flops_forward() > 0);
+    }
+}

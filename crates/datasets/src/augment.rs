@@ -1,0 +1,99 @@
+//! Data augmentation used by the classifier-training experiments.
+
+use orco_tensor::OrcoRng;
+
+use crate::dataset::Dataset;
+
+/// Adds i.i.d. Gaussian pixel noise (std `sigma`), clamped to `[0, 1]`.
+#[must_use]
+pub fn gaussian_noise(ds: &Dataset, sigma: f32, rng: &mut OrcoRng) -> Dataset {
+    let mut x = ds.x().clone();
+    for v in x.as_mut_slice() {
+        *v = (*v + rng.normal(0.0, sigma)).clamp(0.0, 1.0);
+    }
+    ds.with_x(x)
+}
+
+/// Translates every image by up to `max_shift` pixels in each direction
+/// (per-sample random shift, zero fill).
+#[must_use]
+pub fn random_shift(ds: &Dataset, max_shift: usize, rng: &mut OrcoRng) -> Dataset {
+    let kind = ds.kind();
+    let (c, h, w) = (kind.channels(), kind.height(), kind.width());
+    let mut x = ds.x().clone();
+    for r in 0..x.rows() {
+        let dy = rng.below(2 * max_shift + 1) as isize - max_shift as isize;
+        let dx = rng.below(2 * max_shift + 1) as isize - max_shift as isize;
+        if dy == 0 && dx == 0 {
+            continue;
+        }
+        let src = x.row(r).to_vec();
+        let dst = x.row_mut(r);
+        dst.fill(0.0);
+        for ch in 0..c {
+            for y in 0..h as isize {
+                for xx in 0..w as isize {
+                    let (sy, sx) = (y - dy, xx - dx);
+                    if sy >= 0 && sx >= 0 && (sy as usize) < h && (sx as usize) < w {
+                        dst[(ch * h + y as usize) * w + xx as usize] =
+                            src[(ch * h + sy as usize) * w + sx as usize];
+                    }
+                }
+            }
+        }
+    }
+    ds.with_x(x)
+}
+
+/// Concatenates a dataset with an augmented copy, doubling its size.
+///
+/// # Panics
+///
+/// Panics if the two datasets have different kinds (cannot happen when
+/// `augmented` came from `ds`).
+#[must_use]
+pub fn concat(ds: &Dataset, augmented: &Dataset) -> Dataset {
+    assert_eq!(ds.kind(), augmented.kind(), "concat: dataset kinds differ");
+    let x = ds.x().vstack(augmented.x());
+    let mut labels = ds.labels().to_vec();
+    labels.extend_from_slice(augmented.labels());
+    Dataset::new(ds.kind(), x, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mnist_like;
+
+    #[test]
+    fn noise_changes_pixels_within_range() {
+        let ds = mnist_like::generate(10, 0);
+        let mut rng = OrcoRng::from_label("aug-noise", 0);
+        let noisy = gaussian_noise(&ds, 0.1, &mut rng);
+        assert_ne!(ds.x(), noisy.x());
+        assert!(noisy.x().min() >= 0.0 && noisy.x().max() <= 1.0);
+        assert_eq!(noisy.labels(), ds.labels());
+    }
+
+    #[test]
+    fn shift_preserves_mass_mostly() {
+        let ds = mnist_like::generate(5, 1);
+        let mut rng = OrcoRng::from_label("aug-shift", 0);
+        let shifted = random_shift(&ds, 2, &mut rng);
+        // Ink may fall off the edge but most should survive.
+        let before = ds.x().sum();
+        let after = shifted.x().sum();
+        assert!(after > before * 0.7, "too much ink lost: {before} -> {after}");
+        assert!(after <= before + 1e-3);
+    }
+
+    #[test]
+    fn concat_doubles() {
+        let ds = mnist_like::generate(8, 2);
+        let mut rng = OrcoRng::from_label("aug-cat", 0);
+        let noisy = gaussian_noise(&ds, 0.05, &mut rng);
+        let both = concat(&ds, &noisy);
+        assert_eq!(both.len(), 16);
+        assert_eq!(both.label(0), both.label(8));
+    }
+}

@@ -1,0 +1,124 @@
+//! Environmental-change simulation.
+//!
+//! The paper motivates online training with "environmental changes": sensing
+//! data drifts and an offline-trained model cannot adapt (§I), so OrcoDCS
+//! monitors reconstruction error and relaunches training when it exceeds a
+//! threshold (§III-D). This module produces drifted variants of a dataset to
+//! drive those experiments: illumination shifts, additive sensor bias,
+//! contrast changes and noise bursts, each with a severity knob.
+
+use orco_tensor::OrcoRng;
+
+use crate::dataset::Dataset;
+
+/// A kind of environmental drift applied to sensing data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Drift {
+    /// Global illumination change: multiply pixels by `1 - severity`.
+    Dimming,
+    /// Additive sensor bias: add `severity * 0.5` to every pixel.
+    Bias,
+    /// Contrast compression toward 0.5 by `severity`.
+    ContrastLoss,
+    /// Heavy sensor noise with std `severity * 0.3`.
+    NoiseBurst,
+}
+
+impl Drift {
+    /// All drift kinds (for sweeps).
+    #[must_use]
+    pub fn all() -> [Drift; 4] {
+        [Drift::Dimming, Drift::Bias, Drift::ContrastLoss, Drift::NoiseBurst]
+    }
+}
+
+/// Applies a drift of the given `severity` in `[0, 1]` to every sample.
+///
+/// Severity 0 is the identity; severity 1 is the strongest supported shift.
+/// Labels are preserved — the world changed, not the classes.
+///
+/// # Panics
+///
+/// Panics if `severity` is outside `[0, 1]`.
+#[must_use]
+pub fn apply(ds: &Dataset, drift: Drift, severity: f32, rng: &mut OrcoRng) -> Dataset {
+    assert!((0.0..=1.0).contains(&severity), "drift severity must be in [0, 1]");
+    let mut x = ds.x().clone();
+    match drift {
+        Drift::Dimming => {
+            let gain = 1.0 - 0.8 * severity;
+            x.map_inplace(|v| (v * gain).clamp(0.0, 1.0));
+        }
+        Drift::Bias => {
+            let bias = 0.5 * severity;
+            x.map_inplace(|v| (v + bias).clamp(0.0, 1.0));
+        }
+        Drift::ContrastLoss => {
+            x.map_inplace(|v| 0.5 + (v - 0.5) * (1.0 - severity));
+        }
+        Drift::NoiseBurst => {
+            let std = 0.3 * severity;
+            for v in x.as_mut_slice() {
+                *v = (*v + rng.normal(0.0, std)).clamp(0.0, 1.0);
+            }
+        }
+    }
+    ds.with_x(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mnist_like;
+    use orco_tensor::stats;
+
+    #[test]
+    fn zero_severity_is_identity_for_deterministic_drifts() {
+        let ds = mnist_like::generate(5, 0);
+        let mut rng = OrcoRng::from_label("drift0", 0);
+        for d in [Drift::Dimming, Drift::Bias, Drift::ContrastLoss] {
+            let out = apply(&ds, d, 0.0, &mut rng);
+            assert!(out.x().approx_eq(ds.x(), 1e-6), "{d:?} at severity 0 changed data");
+        }
+    }
+
+    #[test]
+    fn severity_increases_distortion() {
+        let ds = mnist_like::generate(10, 1);
+        let mut rng = OrcoRng::from_label("drift-sev", 0);
+        for d in Drift::all() {
+            let mild = apply(&ds, d, 0.2, &mut rng);
+            let severe = apply(&ds, d, 0.9, &mut rng);
+            let e_mild = stats::mse(ds.x().as_slice(), mild.x().as_slice());
+            let e_severe = stats::mse(ds.x().as_slice(), severe.x().as_slice());
+            assert!(
+                e_severe > e_mild,
+                "{d:?}: severe ({e_severe}) not worse than mild ({e_mild})"
+            );
+        }
+    }
+
+    #[test]
+    fn dimming_reduces_brightness() {
+        let ds = mnist_like::generate(5, 2);
+        let mut rng = OrcoRng::from_label("drift-dim", 0);
+        let dim = apply(&ds, Drift::Dimming, 0.8, &mut rng);
+        assert!(dim.x().sum() < ds.x().sum() * 0.5);
+    }
+
+    #[test]
+    fn labels_preserved() {
+        let ds = mnist_like::generate(20, 3);
+        let mut rng = OrcoRng::from_label("drift-labels", 0);
+        let out = apply(&ds, Drift::NoiseBurst, 0.5, &mut rng);
+        assert_eq!(out.labels(), ds.labels());
+    }
+
+    #[test]
+    #[should_panic(expected = "severity")]
+    fn rejects_severity_above_one() {
+        let ds = mnist_like::generate(2, 0);
+        let mut rng = OrcoRng::from_label("drift-bad", 0);
+        let _ = apply(&ds, Drift::Bias, 1.5, &mut rng);
+    }
+}

@@ -1,0 +1,135 @@
+//! Mini-batch iteration over datasets.
+//!
+//! A reusable shuffling batcher so training loops across the workspace
+//! (classifier, baselines, examples) don't each hand-roll index chunking.
+
+use orco_tensor::{Matrix, OrcoRng};
+
+use crate::dataset::Dataset;
+
+/// A shuffling mini-batch iterator over one epoch of a dataset.
+///
+/// # Examples
+///
+/// ```
+/// use orco_datasets::{loader::Batcher, mnist_like};
+/// use orco_tensor::OrcoRng;
+///
+/// let ds = mnist_like::generate(10, 0);
+/// let mut rng = OrcoRng::from_label("loader-doc", 0);
+/// let mut seen = 0;
+/// for batch in Batcher::new(&ds, 4, true, &mut rng) {
+///     assert!(batch.x.rows() <= 4);
+///     assert_eq!(batch.x.rows(), batch.labels.len());
+///     seen += batch.x.rows();
+/// }
+/// assert_eq!(seen, 10);
+/// ```
+#[derive(Debug)]
+pub struct Batcher<'a> {
+    dataset: &'a Dataset,
+    order: Vec<usize>,
+    batch_size: usize,
+    cursor: usize,
+}
+
+/// One mini-batch: samples with their labels and source indices.
+#[derive(Debug)]
+pub struct Batch {
+    /// Batch design matrix (one sample per row).
+    pub x: Matrix,
+    /// Labels parallel to the rows of `x`.
+    pub labels: Vec<usize>,
+    /// Indices of the samples in the source dataset.
+    pub indices: Vec<usize>,
+}
+
+impl<'a> Batcher<'a> {
+    /// Creates a batcher over one epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0` or the dataset is empty.
+    #[must_use]
+    pub fn new(dataset: &'a Dataset, batch_size: usize, shuffle: bool, rng: &mut OrcoRng) -> Self {
+        assert!(batch_size > 0, "Batcher: batch_size must be non-zero");
+        assert!(!dataset.is_empty(), "Batcher: dataset is empty");
+        let mut order: Vec<usize> = (0..dataset.len()).collect();
+        if shuffle {
+            rng.shuffle(&mut order);
+        }
+        Self { dataset, order, batch_size, cursor: 0 }
+    }
+
+    /// Number of batches this epoch will yield.
+    #[must_use]
+    pub fn batches(&self) -> usize {
+        self.order.len().div_ceil(self.batch_size)
+    }
+}
+
+impl Iterator for Batcher<'_> {
+    type Item = Batch;
+
+    fn next(&mut self) -> Option<Batch> {
+        if self.cursor >= self.order.len() {
+            return None;
+        }
+        let end = (self.cursor + self.batch_size).min(self.order.len());
+        let indices: Vec<usize> = self.order[self.cursor..end].to_vec();
+        self.cursor = end;
+        Some(Batch {
+            x: self.dataset.x().select_rows(&indices),
+            labels: indices.iter().map(|&i| self.dataset.label(i)).collect(),
+            indices,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mnist_like;
+
+    #[test]
+    fn covers_every_sample_exactly_once() {
+        let ds = mnist_like::generate(23, 0);
+        let mut rng = OrcoRng::from_label("batcher", 0);
+        let batcher = Batcher::new(&ds, 5, true, &mut rng);
+        assert_eq!(batcher.batches(), 5);
+        let mut seen: Vec<usize> = batcher.flat_map(|b| b.indices).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..23).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn unshuffled_order_is_sequential() {
+        let ds = mnist_like::generate(6, 0);
+        let mut rng = OrcoRng::from_label("batcher-seq", 0);
+        let first = Batcher::new(&ds, 4, false, &mut rng).next().unwrap();
+        assert_eq!(first.indices, vec![0, 1, 2, 3]);
+        assert_eq!(first.labels, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn labels_match_rows() {
+        let ds = mnist_like::generate(12, 1);
+        let mut rng = OrcoRng::from_label("batcher-labels", 0);
+        for batch in Batcher::new(&ds, 5, true, &mut rng) {
+            for (row, (&idx, &label)) in batch.indices.iter().zip(&batch.labels).enumerate() {
+                assert_eq!(label, ds.label(idx));
+                assert_eq!(batch.x.row(row), ds.sample(idx));
+            }
+        }
+    }
+
+    #[test]
+    fn shuffle_is_deterministic_per_rng() {
+        let ds = mnist_like::generate(10, 2);
+        let mut a = OrcoRng::from_label("batcher-det", 7);
+        let mut b = OrcoRng::from_label("batcher-det", 7);
+        let ia: Vec<usize> = Batcher::new(&ds, 3, true, &mut a).flat_map(|x| x.indices).collect();
+        let ib: Vec<usize> = Batcher::new(&ds, 3, true, &mut b).flat_map(|x| x.indices).collect();
+        assert_eq!(ia, ib);
+    }
+}

@@ -1,0 +1,141 @@
+//! Normalization transforms.
+
+use orco_tensor::Matrix;
+
+use crate::dataset::Dataset;
+
+/// Per-feature statistics learned from a training set, applied to any split.
+#[derive(Debug, Clone)]
+pub struct Normalizer {
+    means: Vec<f32>,
+    stds: Vec<f32>,
+}
+
+impl Normalizer {
+    /// Learns per-feature mean/std from a design matrix.
+    ///
+    /// Features with zero variance get std 1 so they pass through unscaled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix has no rows.
+    #[must_use]
+    pub fn fit(x: &Matrix) -> Self {
+        assert!(x.rows() > 0, "Normalizer::fit: empty matrix");
+        let means = x.col_means();
+        let mut stds = vec![0.0f32; x.cols()];
+        for row in x.iter_rows() {
+            for ((s, &v), &m) in stds.iter_mut().zip(row).zip(&means) {
+                *s += (v - m) * (v - m);
+            }
+        }
+        for s in &mut stds {
+            *s = (*s / x.rows() as f32).sqrt();
+            if *s < 1e-6 {
+                *s = 1.0;
+            }
+        }
+        Self { means, stds }
+    }
+
+    /// Applies `(x - mean) / std` per feature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the width differs from the fitted width.
+    #[must_use]
+    pub fn transform(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.means.len(), "Normalizer: width mismatch");
+        let mut out = x.clone();
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            for ((v, &m), &s) in row.iter_mut().zip(&self.means).zip(&self.stds) {
+                *v = (*v - m) / s;
+            }
+        }
+        out
+    }
+
+    /// Inverts [`Normalizer::transform`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the width differs from the fitted width.
+    #[must_use]
+    pub fn inverse(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.means.len(), "Normalizer: width mismatch");
+        let mut out = x.clone();
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            for ((v, &m), &s) in row.iter_mut().zip(&self.means).zip(&self.stds) {
+                *v = *v * s + m;
+            }
+        }
+        out
+    }
+}
+
+/// Min-max rescales a matrix into `[0, 1]` globally (identity for constant
+/// matrices).
+#[must_use]
+pub fn min_max_unit(x: &Matrix) -> Matrix {
+    let lo = x.min();
+    let hi = x.max();
+    if (hi - lo).abs() < 1e-12 {
+        return x.clone();
+    }
+    x.map(|v| (v - lo) / (hi - lo))
+}
+
+/// Clamps every pixel of a dataset into `[0, 1]` (post-augmentation guard).
+#[must_use]
+pub fn clamp_unit(ds: &Dataset) -> Dataset {
+    ds.with_x(ds.x().map(|v| v.clamp(0.0, 1.0)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_transform_standardizes() {
+        let x = Matrix::from_fn(100, 3, |r, c| (r as f32 * 0.1) * (c as f32 + 1.0) + c as f32);
+        let norm = Normalizer::fit(&x);
+        let z = norm.transform(&x);
+        for c in 0..3 {
+            let col = z.col(c);
+            let mean: f32 = col.iter().sum::<f32>() / col.len() as f32;
+            let var: f32 = col.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / col.len() as f32;
+            assert!(mean.abs() < 1e-4, "col {c} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "col {c} var {var}");
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrips() {
+        let x = Matrix::from_fn(10, 4, |r, c| (r * 4 + c) as f32 * 0.37);
+        let norm = Normalizer::fit(&x);
+        let back = norm.inverse(&norm.transform(&x));
+        assert!(back.approx_eq(&x, 1e-4));
+    }
+
+    #[test]
+    fn constant_features_pass_through() {
+        let x = Matrix::filled(5, 2, 3.0);
+        let norm = Normalizer::fit(&x);
+        let z = norm.transform(&x);
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn min_max_hits_bounds() {
+        let x = Matrix::from_vec(1, 3, vec![-2.0, 0.0, 6.0]).unwrap();
+        let u = min_max_unit(&x);
+        assert_eq!(u.min(), 0.0);
+        assert_eq!(u.max(), 1.0);
+        assert!((u[(0, 1)] - 0.25).abs() < 1e-6);
+        // Constant input unchanged.
+        let c = Matrix::filled(2, 2, 5.0);
+        assert_eq!(min_max_unit(&c), c);
+    }
+}

@@ -1,0 +1,125 @@
+//! Train/test splitting and fractional subsets.
+//!
+//! The paper's Figure 5 compares OrcoDCS against DCSNet trained on 30%,
+//! 50% and 70% of the data ("only 50% of the training data being made
+//! accessible to it by default") — [`fraction`] produces those subsets.
+
+use orco_tensor::OrcoRng;
+
+use crate::dataset::Dataset;
+
+/// A train/test split.
+#[derive(Debug, Clone)]
+pub struct Split {
+    /// Training portion.
+    pub train: Dataset,
+    /// Held-out test portion.
+    pub test: Dataset,
+}
+
+/// Splits a dataset into train/test by shuffled indices.
+///
+/// # Panics
+///
+/// Panics if `train_fraction` is not in `(0, 1)` or either side would be
+/// empty.
+#[must_use]
+pub fn train_test(dataset: &Dataset, train_fraction: f32, rng: &mut OrcoRng) -> Split {
+    assert!(
+        (0.0..1.0).contains(&train_fraction) && train_fraction > 0.0,
+        "train_test: fraction must be in (0, 1)"
+    );
+    let n = dataset.len();
+    let n_train = ((n as f32) * train_fraction).round() as usize;
+    assert!(n_train > 0 && n_train < n, "train_test: split leaves an empty side");
+    let mut idx: Vec<usize> = (0..n).collect();
+    rng.shuffle(&mut idx);
+    Split {
+        train: dataset.subset(&idx[..n_train]),
+        test: dataset.subset(&idx[n_train..]),
+    }
+}
+
+/// Returns a random `fraction` of the dataset (the paper's DCSNet-`x`%
+/// training subsets).
+///
+/// # Panics
+///
+/// Panics if `fraction` is not in `(0, 1]` or the subset would be empty.
+#[must_use]
+pub fn fraction(dataset: &Dataset, fraction: f32, rng: &mut OrcoRng) -> Dataset {
+    assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0, 1]");
+    let k = ((dataset.len() as f32) * fraction).round() as usize;
+    assert!(k > 0, "fraction: subset would be empty");
+    let idx = rng.sample_indices(dataset.len(), k.min(dataset.len()));
+    dataset.subset(&idx)
+}
+
+/// Splits by class parity for distribution-shift experiments: classes
+/// `< pivot` go left, the rest go right.
+///
+/// # Panics
+///
+/// Panics if either side would be empty.
+#[must_use]
+pub fn by_class_pivot(dataset: &Dataset, pivot: usize) -> (Dataset, Dataset) {
+    let left: Vec<usize> =
+        (0..dataset.len()).filter(|&i| dataset.label(i) < pivot).collect();
+    let right: Vec<usize> =
+        (0..dataset.len()).filter(|&i| dataset.label(i) >= pivot).collect();
+    assert!(!left.is_empty() && !right.is_empty(), "by_class_pivot: empty side");
+    (dataset.subset(&left), dataset.subset(&right))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mnist_like;
+
+    #[test]
+    fn train_test_partitions() {
+        let ds = mnist_like::generate(100, 0);
+        let mut rng = OrcoRng::from_label("split", 0);
+        let split = train_test(&ds, 0.8, &mut rng);
+        assert_eq!(split.train.len(), 80);
+        assert_eq!(split.test.len(), 20);
+        assert_eq!(split.train.len() + split.test.len(), ds.len());
+    }
+
+    #[test]
+    fn fraction_sizes() {
+        let ds = mnist_like::generate(100, 0);
+        let mut rng = OrcoRng::from_label("frac", 0);
+        assert_eq!(fraction(&ds, 0.3, &mut rng).len(), 30);
+        assert_eq!(fraction(&ds, 0.5, &mut rng).len(), 50);
+        assert_eq!(fraction(&ds, 0.7, &mut rng).len(), 70);
+        assert_eq!(fraction(&ds, 1.0, &mut rng).len(), 100);
+    }
+
+    #[test]
+    fn fraction_is_deterministic_per_seed() {
+        let ds = mnist_like::generate(50, 0);
+        let mut a = OrcoRng::from_label("det", 1);
+        let mut b = OrcoRng::from_label("det", 1);
+        let fa = fraction(&ds, 0.5, &mut a);
+        let fb = fraction(&ds, 0.5, &mut b);
+        assert_eq!(fa.x(), fb.x());
+    }
+
+    #[test]
+    fn class_pivot_separates_labels() {
+        let ds = mnist_like::generate(100, 0);
+        let (lo, hi) = by_class_pivot(&ds, 5);
+        assert!(lo.labels().iter().all(|&l| l < 5));
+        assert!(hi.labels().iter().all(|&l| l >= 5));
+        assert_eq!(lo.len() + hi.len(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction must be in")]
+    fn rejects_zero_fraction() {
+        let ds = mnist_like::generate(10, 0);
+        let mut rng = OrcoRng::from_label("bad", 0);
+        let _ = fraction(&ds, 0.0, &mut rng);
+    }
+}

@@ -1,0 +1,161 @@
+use orco_tensor::{Matrix, OrcoRng};
+
+use crate::layer::{Layer, Param};
+
+/// Inverted dropout: during training each feature is zeroed with
+/// probability `p` and survivors are scaled by `1/(1-p)`, so inference is
+/// the identity with no rescaling.
+///
+/// Not used by the paper's models, but provided for the follow-up
+/// classifier experiments — small CNNs on reconstructed data overfit
+/// quickly, and dropout is the standard counter-measure a downstream user
+/// would reach for.
+///
+/// # Examples
+///
+/// ```
+/// use orco_nn::{Dropout, Layer};
+/// use orco_tensor::{Matrix, OrcoRng};
+///
+/// let rng = OrcoRng::from_label("dropout-doc", 0);
+/// let mut layer = Dropout::new(64, 0.5, rng);
+/// let x = Matrix::ones(4, 64);
+/// let train = layer.forward(&x, true);
+/// assert!(train.as_slice().iter().any(|&v| v == 0.0)); // some dropped
+/// let infer = layer.forward(&x, false);
+/// assert_eq!(infer, x); // identity at inference
+/// ```
+#[derive(Debug)]
+pub struct Dropout {
+    dim: usize,
+    p: f32,
+    rng: OrcoRng,
+    mask: Option<Matrix>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer over `dim`-feature batches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1)`.
+    #[must_use]
+    pub fn new(dim: usize, p: f32, rng: OrcoRng) -> Self {
+        assert!((0.0..1.0).contains(&p), "Dropout: p must be in [0, 1)");
+        Self { dim, p, rng, mask: None }
+    }
+
+    /// The drop probability.
+    #[must_use]
+    pub fn probability(&self) -> f32 {
+        self.p
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, input: &Matrix, train: bool) -> Matrix {
+        assert_eq!(input.cols(), self.dim, "Dropout::forward: width mismatch");
+        if !train || self.p == 0.0 {
+            self.mask = None;
+            return input.clone();
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mask = Matrix::from_fn(input.rows(), input.cols(), |_, _| {
+            if self.rng.bernoulli(keep) {
+                scale
+            } else {
+                0.0
+            }
+        });
+        let out = input.hadamard(&mask);
+        self.mask = Some(mask);
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        match &self.mask {
+            Some(mask) => {
+                assert_eq!(grad_output.shape(), mask.shape(), "Dropout::backward: shape mismatch");
+                grad_output.hadamard(mask)
+            }
+            None => grad_output.clone(),
+        }
+    }
+
+    fn params(&mut self) -> Vec<Param<'_>> {
+        Vec::new()
+    }
+
+    fn zero_grad(&mut self) {}
+
+    fn input_dim(&self) -> usize {
+        self.dim
+    }
+
+    fn output_dim(&self) -> usize {
+        self.dim
+    }
+
+    fn flops_forward(&self) -> u64 {
+        self.dim as u64 * 2
+    }
+
+    fn name(&self) -> &'static str {
+        "dropout"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_rate_is_respected() {
+        let rng = OrcoRng::from_label("dropout-rate", 0);
+        let mut layer = Dropout::new(1000, 0.3, rng);
+        let x = Matrix::ones(20, 1000);
+        let out = layer.forward(&x, true);
+        let dropped = out.as_slice().iter().filter(|&&v| v == 0.0).count();
+        let rate = dropped as f32 / out.len() as f32;
+        assert!((rate - 0.3).abs() < 0.02, "drop rate {rate}");
+    }
+
+    #[test]
+    fn expectation_is_preserved() {
+        let rng = OrcoRng::from_label("dropout-exp", 0);
+        let mut layer = Dropout::new(2000, 0.5, rng);
+        let x = Matrix::ones(10, 2000);
+        let out = layer.forward(&x, true);
+        assert!((out.mean() - 1.0).abs() < 0.05, "mean {}", out.mean());
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let rng = OrcoRng::from_label("dropout-mask", 0);
+        let mut layer = Dropout::new(50, 0.5, rng);
+        let x = Matrix::ones(2, 50);
+        let out = layer.forward(&x, true);
+        let grad = layer.backward(&Matrix::ones(2, 50));
+        // Exactly the surviving positions carry gradient.
+        for (o, g) in out.as_slice().iter().zip(grad.as_slice()) {
+            assert_eq!(*o == 0.0, *g == 0.0);
+        }
+    }
+
+    #[test]
+    fn inference_identity_and_zero_p() {
+        let rng = OrcoRng::from_label("dropout-id", 0);
+        let mut layer = Dropout::new(8, 0.0, rng);
+        let x = Matrix::from_fn(2, 8, |r, c| (r + c) as f32);
+        assert_eq!(layer.forward(&x, true), x);
+        assert_eq!(layer.forward(&x, false), x);
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be in")]
+    fn rejects_p_of_one() {
+        let rng = OrcoRng::from_label("dropout-bad", 0);
+        let _ = Dropout::new(4, 1.0, rng);
+    }
+}

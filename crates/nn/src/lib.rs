@@ -1,0 +1,77 @@
+//! # orco-nn
+//!
+//! A small, self-contained neural-network library with manual
+//! backpropagation, written for the OrcoDCS reproduction.
+//!
+//! The paper's systems need exactly four model families, all of which this
+//! crate supports from scratch on top of [`orco_tensor`]:
+//!
+//! * the **OrcoDCS asymmetric autoencoder** — a one-dense-layer encoder and
+//!   a configurable stack of dense decoder layers with sigmoid activations;
+//! * the **DCSNet baseline** — a dense measurement layer plus a
+//!   4-convolutional-layer decoder;
+//! * the **follow-up classifier** — a 2-conv-layer CNN with a dense head
+//!   and softmax cross-entropy;
+//! * **ablations** — arbitrary [`Sequential`] stacks of the above layers.
+//!
+//! Design choices:
+//!
+//! * Data flows as [`orco_tensor::Matrix`] batches, one flattened sample per
+//!   row; conv layers carry their own `(C, H, W)` geometry.
+//! * Every layer caches what its backward pass needs; gradients accumulate
+//!   inside the layer and are exposed to [`Optimizer`]s through
+//!   [`layer::Param`] views.
+//! * Every layer reports per-sample forward/backward FLOP counts, which the
+//!   WSN simulator converts into simulated training time (the paper's
+//!   time-to-loss axis).
+//! * All randomness is injected via [`orco_tensor::OrcoRng`].
+//!
+//! ## Quick start
+//!
+//! ```
+//! use orco_nn::{Activation, Dense, Loss, Optimizer, Sequential};
+//! use orco_tensor::{Matrix, OrcoRng};
+//!
+//! let mut rng = OrcoRng::from_label("doc-xor", 0);
+//! let mut model = Sequential::new()
+//!     .with(Dense::new(2, 8, Activation::Tanh, &mut rng))
+//!     .with(Dense::new(8, 1, Activation::Sigmoid, &mut rng));
+//! let x = Matrix::from_vec(4, 2, vec![0., 0., 0., 1., 1., 0., 1., 1.])?;
+//! let y = Matrix::from_vec(4, 1, vec![0., 1., 1., 0.])?;
+//! let mut opt = Optimizer::sgd(0.5);
+//! let before = model.evaluate(&x, &y, &Loss::L2);
+//! for _ in 0..200 {
+//!     model.train_batch(&x, &y, &Loss::L2, &mut opt);
+//! }
+//! assert!(model.evaluate(&x, &y, &Loss::L2) < before);
+//! # Ok::<(), orco_tensor::TensorError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod activation;
+mod conv;
+mod dense;
+mod dropout;
+mod loss;
+mod model;
+mod noise;
+mod optimizer;
+mod pool;
+
+pub mod gradcheck;
+pub mod layer;
+pub mod metrics;
+pub mod trainer;
+
+pub use activation::Activation;
+pub use conv::Conv2d;
+pub use dense::Dense;
+pub use dropout::Dropout;
+pub use layer::{Layer, Param};
+pub use loss::Loss;
+pub use model::Sequential;
+pub use noise::GaussianNoise;
+pub use optimizer::Optimizer;
+pub use pool::MaxPool2d;

@@ -1,0 +1,154 @@
+use orco_tensor::{Matrix, OrcoRng};
+
+use crate::layer::{Layer, Param};
+
+/// Additive Gaussian-noise layer, active only during training.
+///
+/// This implements eq. (2) of the paper: `Ŷ = Y + N(0, σ²)`. OrcoDCS
+/// injects zero-mean Gaussian noise into the latent vectors between the
+/// encoder (on the data aggregator) and the decoder (on the edge server) to
+/// widen the decoder's learning space and make reconstructions more robust.
+/// At inference the layer is the identity.
+///
+/// The backward pass is the identity: additive noise has unit Jacobian.
+///
+/// # Examples
+///
+/// ```
+/// use orco_nn::{GaussianNoise, Layer};
+/// use orco_tensor::{Matrix, OrcoRng};
+///
+/// let rng = OrcoRng::from_label("noise-doc", 0);
+/// let mut layer = GaussianNoise::new(128, 0.1, rng);
+/// let x = Matrix::zeros(4, 128);
+/// let noisy = layer.forward(&x, true);
+/// assert!(noisy.norm_l2() > 0.0);       // training: noise added
+/// let clean = layer.forward(&x, false);
+/// assert_eq!(clean.norm_l2(), 0.0);     // inference: identity
+/// ```
+#[derive(Debug)]
+pub struct GaussianNoise {
+    dim: usize,
+    variance: f32,
+    rng: OrcoRng,
+}
+
+impl GaussianNoise {
+    /// Creates a noise layer over `dim`-feature batches with the given
+    /// noise **variance** σ² (the paper parameterizes by variance).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `variance` is negative or not finite.
+    #[must_use]
+    pub fn new(dim: usize, variance: f32, rng: OrcoRng) -> Self {
+        assert!(variance.is_finite() && variance >= 0.0, "GaussianNoise: variance must be ≥ 0");
+        Self { dim, variance, rng }
+    }
+
+    /// The configured noise variance σ².
+    #[must_use]
+    pub fn variance(&self) -> f32 {
+        self.variance
+    }
+
+    /// Changes the noise variance (used by sensitivity sweeps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `variance` is negative or not finite.
+    pub fn set_variance(&mut self, variance: f32) {
+        assert!(variance.is_finite() && variance >= 0.0, "GaussianNoise: variance must be ≥ 0");
+        self.variance = variance;
+    }
+}
+
+impl Layer for GaussianNoise {
+    fn forward(&mut self, input: &Matrix, train: bool) -> Matrix {
+        assert_eq!(input.cols(), self.dim, "GaussianNoise::forward: width mismatch");
+        if !train || self.variance == 0.0 {
+            return input.clone();
+        }
+        let std = self.variance.sqrt();
+        let mut out = input.clone();
+        for v in out.as_mut_slice() {
+            *v += self.rng.normal(0.0, std);
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        grad_output.clone()
+    }
+
+    fn params(&mut self) -> Vec<Param<'_>> {
+        Vec::new()
+    }
+
+    fn zero_grad(&mut self) {}
+
+    fn input_dim(&self) -> usize {
+        self.dim
+    }
+
+    fn output_dim(&self) -> usize {
+        self.dim
+    }
+
+    fn flops_forward(&self) -> u64 {
+        self.dim as u64 * 4 // one normal sample + add per element
+    }
+
+    fn name(&self) -> &'static str {
+        "gaussian_noise"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noise_statistics_match_variance() {
+        let rng = OrcoRng::from_label("noise-stats", 0);
+        let mut layer = GaussianNoise::new(1000, 0.25, rng);
+        let x = Matrix::zeros(20, 1000);
+        let noisy = layer.forward(&x, true);
+        let m = noisy.mean();
+        let var = noisy.as_slice().iter().map(|v| (v - m).powi(2)).sum::<f32>()
+            / noisy.len() as f32;
+        assert!(m.abs() < 0.01, "mean {m} should be ~0");
+        assert!((var - 0.25).abs() < 0.02, "variance {var} should be ~0.25");
+    }
+
+    #[test]
+    fn inference_is_identity() {
+        let rng = OrcoRng::from_label("noise-id", 0);
+        let mut layer = GaussianNoise::new(8, 0.5, rng);
+        let x = Matrix::from_fn(3, 8, |r, c| (r * 8 + c) as f32);
+        assert_eq!(layer.forward(&x, false), x);
+    }
+
+    #[test]
+    fn zero_variance_is_identity_even_training() {
+        let rng = OrcoRng::from_label("noise-zero", 0);
+        let mut layer = GaussianNoise::new(8, 0.0, rng);
+        let x = Matrix::ones(2, 8);
+        assert_eq!(layer.forward(&x, true), x);
+    }
+
+    #[test]
+    fn backward_passes_through() {
+        let rng = OrcoRng::from_label("noise-bwd", 0);
+        let mut layer = GaussianNoise::new(4, 0.3, rng);
+        let g = Matrix::from_fn(2, 4, |r, c| (r + c) as f32);
+        assert_eq!(layer.backward(&g), g);
+    }
+
+    #[test]
+    #[should_panic(expected = "variance")]
+    fn rejects_negative_variance() {
+        let rng = OrcoRng::from_label("noise-neg", 0);
+        let _ = GaussianNoise::new(4, -0.1, rng);
+    }
+}

@@ -1,0 +1,172 @@
+use orco_tensor::Matrix;
+
+use crate::layer::{Layer, Param};
+
+/// A 2-D max-pooling layer over non-overlapping windows.
+///
+/// Used between the classifier's convolution stages. Inputs are batches of
+/// flattened `(C, H, W)` samples; the layer remembers which element won each
+/// window so the backward pass can route gradients.
+///
+/// # Examples
+///
+/// ```
+/// use orco_nn::{Layer, MaxPool2d};
+/// use orco_tensor::Matrix;
+///
+/// let mut pool = MaxPool2d::new(1, 4, 4, 2);
+/// let x = Matrix::from_fn(1, 16, |_, c| c as f32);
+/// let y = pool.forward(&x, true);
+/// assert_eq!(y.shape(), (1, 4));
+/// assert_eq!(y.as_slice(), &[5.0, 7.0, 13.0, 15.0]);
+/// ```
+#[derive(Debug)]
+pub struct MaxPool2d {
+    c: usize,
+    h: usize,
+    w: usize,
+    window: usize,
+    argmax: Vec<Vec<usize>>, // per sample: winning flat input index per output element
+}
+
+impl MaxPool2d {
+    /// Creates a max-pool layer over `(c, h, w)` inputs with square windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero or does not divide `h` and `w` evenly.
+    #[must_use]
+    pub fn new(c: usize, h: usize, w: usize, window: usize) -> Self {
+        assert!(window > 0, "MaxPool2d: window must be non-zero");
+        assert!(
+            h.is_multiple_of(window) && w.is_multiple_of(window),
+            "MaxPool2d: window {window} must divide input {h}x{w}"
+        );
+        Self { c, h, w, window, argmax: Vec::new() }
+    }
+
+    /// Output spatial shape `(c, h/window, w/window)`.
+    #[must_use]
+    pub fn output_shape(&self) -> (usize, usize, usize) {
+        (self.c, self.h / self.window, self.w / self.window)
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, input: &Matrix, _train: bool) -> Matrix {
+        assert_eq!(
+            input.cols(),
+            self.c * self.h * self.w,
+            "MaxPool2d::forward: input features {} != expected {}",
+            input.cols(),
+            self.c * self.h * self.w
+        );
+        let (oc, oh, ow) = self.output_shape();
+        let mut out = Matrix::zeros(input.rows(), oc * oh * ow);
+        self.argmax.clear();
+        for (i, sample) in input.iter_rows().enumerate() {
+            let mut winners = vec![0usize; oc * oh * ow];
+            let row = out.row_mut(i);
+            for c in 0..self.c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0usize;
+                        for wy in 0..self.window {
+                            for wx in 0..self.window {
+                                let iy = oy * self.window + wy;
+                                let ix = ox * self.window + wx;
+                                let idx = (c * self.h + iy) * self.w + ix;
+                                if sample[idx] > best {
+                                    best = sample[idx];
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        let oidx = (c * oh + oy) * ow + ox;
+                        row[oidx] = best;
+                        winners[oidx] = best_idx;
+                    }
+                }
+            }
+            self.argmax.push(winners);
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        assert_eq!(
+            self.argmax.len(),
+            grad_output.rows(),
+            "MaxPool2d::backward called before forward or with wrong batch"
+        );
+        let mut grad_input = Matrix::zeros(grad_output.rows(), self.c * self.h * self.w);
+        for (i, winners) in self.argmax.iter().enumerate() {
+            let go = grad_output.row(i);
+            assert_eq!(go.len(), winners.len(), "MaxPool2d::backward: grad width mismatch");
+            let gi = grad_input.row_mut(i);
+            for (o, &widx) in winners.iter().enumerate() {
+                gi[widx] += go[o];
+            }
+        }
+        grad_input
+    }
+
+    fn params(&mut self) -> Vec<Param<'_>> {
+        Vec::new()
+    }
+
+    fn zero_grad(&mut self) {}
+
+    fn input_dim(&self) -> usize {
+        self.c * self.h * self.w
+    }
+
+    fn output_dim(&self) -> usize {
+        let (oc, oh, ow) = self.output_shape();
+        oc * oh * ow
+    }
+
+    fn flops_forward(&self) -> u64 {
+        (self.c * self.h * self.w) as u64 // one comparison per input element
+    }
+
+    fn name(&self) -> &'static str {
+        "maxpool2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_known_values() {
+        let mut pool = MaxPool2d::new(2, 2, 2, 2);
+        let x = Matrix::from_vec(1, 8, vec![1.0, 2.0, 3.0, 4.0, -1.0, -2.0, -3.0, -4.0]).unwrap();
+        let y = pool.forward(&x, true);
+        assert_eq!(y.as_slice(), &[4.0, -1.0]);
+    }
+
+    #[test]
+    fn backward_routes_to_winner() {
+        let mut pool = MaxPool2d::new(1, 2, 2, 2);
+        let x = Matrix::from_vec(1, 4, vec![1.0, 9.0, 3.0, 4.0]).unwrap();
+        let _ = pool.forward(&x, true);
+        let gi = pool.backward(&Matrix::from_vec(1, 1, vec![5.0]).unwrap());
+        assert_eq!(gi.as_slice(), &[0.0, 5.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn rejects_non_dividing_window() {
+        let _ = MaxPool2d::new(1, 5, 4, 2);
+    }
+
+    #[test]
+    fn no_params() {
+        let mut pool = MaxPool2d::new(1, 4, 4, 2);
+        assert!(pool.params().is_empty());
+        assert_eq!(pool.param_count(), 0);
+    }
+}

@@ -1,0 +1,201 @@
+//! Epoch-driven training utilities: mini-batching, shuffling, loss history
+//! and early stopping.
+//!
+//! The OrcoDCS orchestrator implements its own distributed round loop (the
+//! encoder and decoder live on different simulated machines); this module
+//! serves the *centralized* models — DCSNet offline training and the
+//! follow-up classifier — and any quick local experiment.
+
+use orco_tensor::{Matrix, OrcoRng};
+
+use crate::loss::Loss;
+use crate::model::Sequential;
+use crate::optimizer::Optimizer;
+
+/// Configuration for [`fit`].
+#[derive(Debug, Clone)]
+pub struct FitConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Mini-batch size (clamped to the dataset size).
+    pub batch_size: usize,
+    /// Whether to reshuffle sample order each epoch.
+    pub shuffle: bool,
+    /// Stop early when the epoch loss falls below this value.
+    pub target_loss: Option<f32>,
+    /// Multiply the learning rate by this factor after every epoch.
+    pub lr_decay: Option<f32>,
+}
+
+impl Default for FitConfig {
+    fn default() -> Self {
+        Self { epochs: 10, batch_size: 32, shuffle: true, target_loss: None, lr_decay: None }
+    }
+}
+
+/// Record of one completed epoch.
+#[derive(Debug, Clone, Copy)]
+pub struct EpochStats {
+    /// Epoch index, starting at 0.
+    pub epoch: usize,
+    /// Mean training loss over the epoch's batches.
+    pub train_loss: f32,
+    /// Number of batches processed.
+    pub batches: usize,
+}
+
+/// History returned by [`fit`].
+#[derive(Debug, Clone, Default)]
+pub struct FitHistory {
+    /// One entry per completed epoch.
+    pub epochs: Vec<EpochStats>,
+    /// Whether early stopping triggered.
+    pub early_stopped: bool,
+}
+
+impl FitHistory {
+    /// Final epoch's training loss, if any epoch ran.
+    #[must_use]
+    pub fn final_loss(&self) -> Option<f32> {
+        self.epochs.last().map(|e| e.train_loss)
+    }
+}
+
+/// Trains `model` on `(x, y)` with mini-batch gradient descent.
+///
+/// # Panics
+///
+/// Panics if `x` and `y` have different row counts, the dataset is empty,
+/// or `batch_size` is zero.
+pub fn fit(
+    model: &mut Sequential,
+    x: &Matrix,
+    y: &Matrix,
+    loss: &Loss,
+    optimizer: &mut Optimizer,
+    config: &FitConfig,
+    rng: &mut OrcoRng,
+) -> FitHistory {
+    assert_eq!(x.rows(), y.rows(), "fit: x and y row counts differ");
+    assert!(x.rows() > 0, "fit: empty dataset");
+    assert!(config.batch_size > 0, "fit: batch_size must be non-zero");
+
+    let n = x.rows();
+    let bs = config.batch_size.min(n);
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut history = FitHistory::default();
+
+    for epoch in 0..config.epochs {
+        if config.shuffle {
+            rng.shuffle(&mut order);
+        }
+        let mut total = 0.0f64;
+        let mut batches = 0usize;
+        for chunk in order.chunks(bs) {
+            let xb = x.select_rows(chunk);
+            let yb = y.select_rows(chunk);
+            total += f64::from(model.train_batch(&xb, &yb, loss, optimizer));
+            batches += 1;
+        }
+        let train_loss = (total / batches as f64) as f32;
+        history.epochs.push(EpochStats { epoch, train_loss, batches });
+        if let Some(decay) = config.lr_decay {
+            optimizer.set_learning_rate(optimizer.learning_rate() * decay);
+        }
+        if let Some(target) = config.target_loss {
+            if train_loss <= target {
+                history.early_stopped = true;
+                break;
+            }
+        }
+    }
+    history
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Activation, Dense};
+
+    fn toy_regression(rng: &mut OrcoRng) -> (Matrix, Matrix) {
+        // y = 0.5*x0 - 0.25*x1 + 0.1, squashed by sigmoid-friendly range.
+        let x = Matrix::from_fn(64, 2, |_, _| rng.uniform(-1.0, 1.0));
+        let y = Matrix::from_fn(64, 1, |r, _| {
+            0.5 * x[(r, 0)] - 0.25 * x[(r, 1)] + 0.1
+        });
+        (x, y)
+    }
+
+    #[test]
+    fn fit_reduces_loss_and_records_history() {
+        let mut rng = OrcoRng::from_label("fit", 0);
+        let (x, y) = toy_regression(&mut rng);
+        let mut model = Sequential::new().with(Dense::new(2, 1, Activation::Identity, &mut rng));
+        let mut opt = Optimizer::sgd(0.5);
+        let history = fit(
+            &mut model,
+            &x,
+            &y,
+            &Loss::L2,
+            &mut opt,
+            &FitConfig { epochs: 20, batch_size: 16, ..Default::default() },
+            &mut rng,
+        );
+        assert_eq!(history.epochs.len(), 20);
+        assert!(history.final_loss().unwrap() < history.epochs[0].train_loss * 0.2);
+    }
+
+    #[test]
+    fn early_stopping_triggers() {
+        let mut rng = OrcoRng::from_label("fit-early", 0);
+        let (x, y) = toy_regression(&mut rng);
+        let mut model = Sequential::new().with(Dense::new(2, 1, Activation::Identity, &mut rng));
+        let mut opt = Optimizer::sgd(0.5);
+        let history = fit(
+            &mut model,
+            &x,
+            &y,
+            &Loss::L2,
+            &mut opt,
+            &FitConfig { epochs: 500, batch_size: 64, target_loss: Some(1e-3), ..Default::default() },
+            &mut rng,
+        );
+        assert!(history.early_stopped);
+        assert!(history.epochs.len() < 500);
+    }
+
+    #[test]
+    fn lr_decay_applies() {
+        let mut rng = OrcoRng::from_label("fit-decay", 0);
+        let (x, y) = toy_regression(&mut rng);
+        let mut model = Sequential::new().with(Dense::new(2, 1, Activation::Identity, &mut rng));
+        let mut opt = Optimizer::sgd(1.0);
+        let _ = fit(
+            &mut model,
+            &x,
+            &y,
+            &Loss::L2,
+            &mut opt,
+            &FitConfig { epochs: 3, batch_size: 64, lr_decay: Some(0.5), ..Default::default() },
+            &mut rng,
+        );
+        assert!((opt.learning_rate() - 0.125).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "row counts differ")]
+    fn fit_rejects_mismatched_rows() {
+        let mut rng = OrcoRng::from_label("fit-bad", 0);
+        let mut model = Sequential::new().with(Dense::new(2, 1, Activation::Identity, &mut rng));
+        let mut opt = Optimizer::sgd(0.1);
+        let _ = fit(
+            &mut model,
+            &Matrix::zeros(4, 2),
+            &Matrix::zeros(3, 1),
+            &Loss::L2,
+            &mut opt,
+            &FitConfig::default(),
+            &mut rng,
+        );
+    }
+}

@@ -1,0 +1,320 @@
+//! Descriptive statistics and image-quality metrics.
+//!
+//! The figure harnesses report reconstruction quality via [`psnr`] and a
+//! luminance-only structural-similarity proxy [`ssim_global`]; the training
+//! loops use [`running::Welford`] for numerically stable loss averaging.
+
+use crate::matrix::Matrix;
+
+/// Mean of a slice (0 for empty input).
+#[must_use]
+pub fn mean(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f32>() / xs.len() as f32
+    }
+}
+
+/// Population variance of a slice (0 for empty input).
+#[must_use]
+pub fn variance(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|v| (v - m).powi(2)).sum::<f32>() / xs.len() as f32
+}
+
+/// Population covariance of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn covariance(xs: &[f32], ys: &[f32]) -> f32 {
+    assert_eq!(xs.len(), ys.len(), "covariance: length mismatch");
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum::<f32>() / xs.len() as f32
+}
+
+/// Mean squared error between two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn mse(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "mse: length mismatch");
+    if a.is_empty() {
+        return 0.0;
+    }
+    a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum::<f32>() / a.len() as f32
+}
+
+/// Peak signal-to-noise ratio in dB for signals on the given peak scale.
+///
+/// Returns `f32::INFINITY` for identical inputs.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or `peak <= 0`.
+#[must_use]
+pub fn psnr(original: &[f32], reconstructed: &[f32], peak: f32) -> f32 {
+    assert!(peak > 0.0, "psnr: peak must be positive");
+    let e = mse(original, reconstructed);
+    if e == 0.0 {
+        f32::INFINITY
+    } else {
+        10.0 * (peak * peak / e).log10()
+    }
+}
+
+/// Global (single-window) SSIM between two images on the given peak scale.
+///
+/// This is the standard SSIM formula evaluated over the whole image rather
+/// than a sliding window — a cheap proxy adequate for ranking reconstruction
+/// quality in the figure harnesses.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or `peak <= 0`.
+#[must_use]
+pub fn ssim_global(a: &[f32], b: &[f32], peak: f32) -> f32 {
+    assert_eq!(a.len(), b.len(), "ssim_global: length mismatch");
+    assert!(peak > 0.0, "ssim_global: peak must be positive");
+    let c1 = (0.01 * peak).powi(2);
+    let c2 = (0.03 * peak).powi(2);
+    let ma = mean(a);
+    let mb = mean(b);
+    let va = variance(a);
+    let vb = variance(b);
+    let cov = covariance(a, b);
+    ((2.0 * ma * mb + c1) * (2.0 * cov + c2)) / ((ma * ma + mb * mb + c1) * (va + vb + c2))
+}
+
+/// Per-row PSNR of two matrices holding one sample per row.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+#[must_use]
+pub fn psnr_rows(original: &Matrix, reconstructed: &Matrix, peak: f32) -> Vec<f32> {
+    assert_eq!(original.shape(), reconstructed.shape(), "psnr_rows: shape mismatch");
+    original
+        .iter_rows()
+        .zip(reconstructed.iter_rows())
+        .map(|(a, b)| psnr(a, b, peak))
+        .collect()
+}
+
+/// Histogram of values into `bins` equal-width buckets over `[lo, hi)`.
+///
+/// Values outside the range are clamped into the first/last bucket.
+///
+/// # Panics
+///
+/// Panics if `bins == 0` or `lo >= hi`.
+#[must_use]
+pub fn histogram(xs: &[f32], lo: f32, hi: f32, bins: usize) -> Vec<usize> {
+    assert!(bins > 0, "histogram: bins must be positive");
+    assert!(lo < hi, "histogram: empty range");
+    let mut counts = vec![0usize; bins];
+    let width = (hi - lo) / bins as f32;
+    for &x in xs {
+        let idx = (((x - lo) / width) as isize).clamp(0, bins as isize - 1) as usize;
+        counts[idx] += 1;
+    }
+    counts
+}
+
+/// Numerically stable running statistics.
+pub mod running {
+    /// Welford online mean/variance accumulator.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use orco_tensor::stats::running::Welford;
+    ///
+    /// let mut w = Welford::new();
+    /// for v in [1.0, 2.0, 3.0] {
+    ///     w.push(v);
+    /// }
+    /// assert_eq!(w.mean(), 2.0);
+    /// assert_eq!(w.count(), 3);
+    /// ```
+    #[derive(Debug, Clone, Default)]
+    pub struct Welford {
+        count: u64,
+        mean: f64,
+        m2: f64,
+    }
+
+    impl Welford {
+        /// Creates an empty accumulator.
+        #[must_use]
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        /// Adds one observation.
+        pub fn push(&mut self, x: f32) {
+            self.count += 1;
+            let delta = f64::from(x) - self.mean;
+            self.mean += delta / self.count as f64;
+            let delta2 = f64::from(x) - self.mean;
+            self.m2 += delta * delta2;
+        }
+
+        /// Number of observations so far.
+        #[must_use]
+        pub fn count(&self) -> u64 {
+            self.count
+        }
+
+        /// Running mean (0 when empty).
+        #[must_use]
+        pub fn mean(&self) -> f32 {
+            self.mean as f32
+        }
+
+        /// Running population variance (0 with fewer than 2 observations).
+        #[must_use]
+        pub fn variance(&self) -> f32 {
+            if self.count < 2 {
+                0.0
+            } else {
+                (self.m2 / self.count as f64) as f32
+            }
+        }
+
+        /// Running standard deviation.
+        #[must_use]
+        pub fn std_dev(&self) -> f32 {
+            self.variance().sqrt()
+        }
+
+        /// Merges another accumulator into this one (parallel Welford).
+        pub fn merge(&mut self, other: &Welford) {
+            if other.count == 0 {
+                return;
+            }
+            if self.count == 0 {
+                *self = other.clone();
+                return;
+            }
+            let total = self.count + other.count;
+            let delta = other.mean - self.mean;
+            self.m2 += other.m2 + delta * delta * (self.count as f64) * (other.count as f64) / total as f64;
+            self.mean += delta * other.count as f64 / total as f64;
+            self.count = total;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_known() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), 5.0);
+        assert_eq!(variance(&xs), 4.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn covariance_of_identical_is_variance() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((covariance(&xs, &xs) - variance(&xs)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn psnr_identical_is_infinite() {
+        let xs = [0.1, 0.5, 0.9];
+        assert!(psnr(&xs, &xs, 1.0).is_infinite());
+    }
+
+    #[test]
+    fn psnr_known_value() {
+        // MSE = 0.01, peak 1 → PSNR = 20 dB.
+        let a = [0.0, 0.0];
+        let b = [0.1, 0.1];
+        assert!((psnr(&a, &b, 1.0) - 20.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn psnr_decreases_with_noise() {
+        let orig = vec![0.5; 100];
+        let slightly: Vec<f32> = orig.iter().map(|v| v + 0.01).collect();
+        let very: Vec<f32> = orig.iter().map(|v| v + 0.2).collect();
+        assert!(psnr(&orig, &slightly, 1.0) > psnr(&orig, &very, 1.0));
+    }
+
+    #[test]
+    fn ssim_bounds() {
+        let a: Vec<f32> = (0..64).map(|v| (v as f32) / 64.0).collect();
+        assert!((ssim_global(&a, &a, 1.0) - 1.0).abs() < 1e-6);
+        let b: Vec<f32> = a.iter().map(|v| 1.0 - v).collect();
+        let s = ssim_global(&a, &b, 1.0);
+        assert!(s < 0.5, "anticorrelated images should score low, got {s}");
+    }
+
+    #[test]
+    fn histogram_counts() {
+        let xs = [0.05, 0.15, 0.15, 0.95, -1.0, 2.0];
+        let h = histogram(&xs, 0.0, 1.0, 10);
+        assert_eq!(h[0], 2); // 0.05 and clamped -1.0
+        assert_eq!(h[1], 2);
+        assert_eq!(h[9], 2); // 0.95 and clamped 2.0
+        assert_eq!(h.iter().sum::<usize>(), xs.len());
+    }
+
+    #[test]
+    fn welford_matches_batch() {
+        let xs: Vec<f32> = (0..100).map(|v| (v as f32).sin() * 3.0 + 1.0).collect();
+        let mut w = running::Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        assert!((w.mean() - mean(&xs)).abs() < 1e-5);
+        assert!((w.variance() - variance(&xs)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn welford_merge_matches_single_pass() {
+        let xs: Vec<f32> = (0..50).map(|v| v as f32 * 0.1).collect();
+        let ys: Vec<f32> = (0..30).map(|v| v as f32 * -0.2 + 3.0).collect();
+        let mut all = running::Welford::new();
+        for &v in xs.iter().chain(&ys) {
+            all.push(v);
+        }
+        let mut a = running::Welford::new();
+        let mut b = running::Welford::new();
+        for &v in &xs {
+            a.push(v);
+        }
+        for &v in &ys {
+            b.push(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-5);
+        assert!((a.variance() - all.variance()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn psnr_rows_shape() {
+        let a = Matrix::ones(3, 4);
+        let b = a.map(|v| v * 0.9);
+        let p = psnr_rows(&a, &b, 1.0);
+        assert_eq!(p.len(), 3);
+        assert!((p[0] - p[2]).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,239 @@
+use serde::{Deserialize, Serialize};
+
+use crate::error::TensorError;
+use crate::matrix::Matrix;
+
+/// A dense 4-dimensional tensor in `(N, C, H, W)` layout.
+///
+/// Batches of images live in `Tensor4`: `N` samples, `C` channels, `H`×`W`
+/// spatial extent. The memory layout is row-major with `W` fastest, matching
+/// the flattening used when a batch is viewed as a [`Matrix`] with one sample
+/// per row (`C*H*W` columns) — so a dense layer and a convolutional layer can
+/// exchange data without copying semantics surprises.
+///
+/// # Examples
+///
+/// ```
+/// use orco_tensor::Tensor4;
+///
+/// let t = Tensor4::zeros(2, 3, 4, 4);
+/// assert_eq!(t.shape(), (2, 3, 4, 4));
+/// assert_eq!(t.sample_len(), 48);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor4 {
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    data: Vec<f32>,
+}
+
+impl Tensor4 {
+    /// Creates an all-zero tensor of the given shape.
+    #[must_use]
+    pub fn zeros(n: usize, c: usize, h: usize, w: usize) -> Self {
+        Self { n, c, h, w, data: vec![0.0; n * c * h * w] }
+    }
+
+    /// Creates a tensor from a flat `(N, C, H, W)`-ordered buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if the buffer length does not
+    /// equal `n * c * h * w`.
+    pub fn from_vec(
+        n: usize,
+        c: usize,
+        h: usize,
+        w: usize,
+        data: Vec<f32>,
+    ) -> Result<Self, TensorError> {
+        if data.len() != n * c * h * w {
+            return Err(TensorError::LengthMismatch { expected: n * c * h * w, actual: data.len() });
+        }
+        Ok(Self { n, c, h, w, data })
+    }
+
+    /// Reinterprets a matrix with one flattened sample per row as a tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if `m.cols() != c * h * w`.
+    pub fn from_matrix(m: &Matrix, c: usize, h: usize, w: usize) -> Result<Self, TensorError> {
+        if m.cols() != c * h * w {
+            return Err(TensorError::LengthMismatch { expected: c * h * w, actual: m.cols() });
+        }
+        Ok(Self { n: m.rows(), c, h, w, data: m.as_slice().to_vec() })
+    }
+
+    /// Flattens to a matrix with one sample per row (`C*H*W` columns).
+    #[must_use]
+    pub fn to_matrix(&self) -> Matrix {
+        Matrix::from_vec(self.n, self.c * self.h * self.w, self.data.clone())
+            .expect("tensor buffer length is consistent by construction")
+    }
+
+    /// `(N, C, H, W)` shape tuple.
+    #[must_use]
+    pub fn shape(&self) -> (usize, usize, usize, usize) {
+        (self.n, self.c, self.h, self.w)
+    }
+
+    /// Number of samples `N`.
+    #[must_use]
+    pub fn batch(&self) -> usize {
+        self.n
+    }
+
+    /// Number of channels `C`.
+    #[must_use]
+    pub fn channels(&self) -> usize {
+        self.c
+    }
+
+    /// Spatial height `H`.
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.h
+    }
+
+    /// Spatial width `W`.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.w
+    }
+
+    /// Elements per sample (`C*H*W`).
+    #[must_use]
+    pub fn sample_len(&self) -> usize {
+        self.c * self.h * self.w
+    }
+
+    /// Total number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat view of the underlying buffer.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat view of the underlying buffer.
+    #[must_use]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// The flattened sample at batch index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.batch()`.
+    #[must_use]
+    pub fn sample(&self, i: usize) -> &[f32] {
+        assert!(i < self.n, "sample {i} out of bounds for batch {}", self.n);
+        let s = self.sample_len();
+        &self.data[i * s..(i + 1) * s]
+    }
+
+    /// Mutable flattened sample at batch index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.batch()`.
+    #[must_use]
+    pub fn sample_mut(&mut self, i: usize) -> &mut [f32] {
+        assert!(i < self.n, "sample {i} out of bounds for batch {}", self.n);
+        let s = self.sample_len();
+        &mut self.data[i * s..(i + 1) * s]
+    }
+
+    /// Element accessor by `(n, c, h, w)` coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is out of bounds.
+    #[must_use]
+    pub fn at(&self, n: usize, c: usize, h: usize, w: usize) -> f32 {
+        assert!(n < self.n && c < self.c && h < self.h && w < self.w,
+            "index ({n},{c},{h},{w}) out of bounds for {:?}", self.shape());
+        self.data[((n * self.c + c) * self.h + h) * self.w + w]
+    }
+
+    /// Sets the element at `(n, c, h, w)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is out of bounds.
+    pub fn set(&mut self, n: usize, c: usize, h: usize, w: usize, v: f32) {
+        assert!(n < self.n && c < self.c && h < self.h && w < self.w,
+            "index ({n},{c},{h},{w}) out of bounds for {:?}", self.shape());
+        self.data[((n * self.c + c) * self.h + h) * self.w + w] = v;
+    }
+
+    /// Applies `f` to every element, returning a new tensor.
+    #[must_use]
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor4 {
+        Tensor4 {
+            n: self.n,
+            c: self.c,
+            h: self.h,
+            w: self.w,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_matrix() {
+        let t = Tensor4::from_vec(2, 1, 2, 2, (0..8).map(|v| v as f32).collect()).unwrap();
+        let m = t.to_matrix();
+        assert_eq!(m.shape(), (2, 4));
+        let back = Tensor4::from_matrix(&m, 1, 2, 2).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn coordinate_layout() {
+        let mut t = Tensor4::zeros(2, 3, 4, 5);
+        t.set(1, 2, 3, 4, 9.0);
+        assert_eq!(t.at(1, 2, 3, 4), 9.0);
+        // last element of the buffer
+        assert_eq!(t.as_slice()[t.len() - 1], 9.0);
+    }
+
+    #[test]
+    fn sample_views() {
+        let mut t = Tensor4::zeros(3, 1, 2, 2);
+        t.sample_mut(1).copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(t.sample(1), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(t.sample(0), &[0.0; 4]);
+        assert_eq!(t.at(1, 0, 1, 0), 3.0);
+    }
+
+    #[test]
+    fn from_vec_length_check() {
+        assert!(Tensor4::from_vec(1, 1, 2, 2, vec![0.0; 3]).is_err());
+        assert!(Tensor4::from_matrix(&Matrix::zeros(2, 5), 1, 2, 2).is_err());
+    }
+
+    #[test]
+    fn map_applies_everywhere() {
+        let t = Tensor4::from_vec(1, 1, 1, 3, vec![1.0, -2.0, 3.0]).unwrap();
+        assert_eq!(t.map(f32::abs).as_slice(), &[1.0, 2.0, 3.0]);
+    }
+}

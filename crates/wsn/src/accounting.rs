@@ -1,0 +1,191 @@
+//! Per-node traffic and energy accounting.
+//!
+//! Figure 3 of the paper ("Transmitted KB" for 1 000 / 10 000 images) is a
+//! pure accounting quantity; this module is its source of truth. Every
+//! transmission in the simulator lands here.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::node::NodeId;
+use crate::packet::PacketKind;
+
+/// Aggregated counters for one node.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct NodeTraffic {
+    /// Bytes transmitted (wire bytes: payload + headers).
+    pub tx_bytes: u64,
+    /// Bytes received.
+    pub rx_bytes: u64,
+    /// Joules spent transmitting.
+    pub tx_energy_j: f64,
+    /// Joules spent receiving.
+    pub rx_energy_j: f64,
+    /// Packets sent.
+    pub tx_packets: u64,
+    /// Packets received.
+    pub rx_packets: u64,
+}
+
+/// Workspace-wide traffic ledger.
+///
+/// # Examples
+///
+/// ```
+/// use orco_wsn::{accounting::TrafficAccounting, NodeId, PacketKind};
+///
+/// let mut ledger = TrafficAccounting::new();
+/// ledger.record_tx(NodeId(0), 100, 1e-6, PacketKind::RawData);
+/// ledger.record_rx(NodeId(1), 100, 5e-7, PacketKind::RawData);
+/// assert_eq!(ledger.total_tx_bytes(), 100);
+/// assert_eq!(ledger.bytes_by_kind(PacketKind::RawData), 100);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TrafficAccounting {
+    per_node: HashMap<NodeId, NodeTraffic>,
+    per_kind_tx_bytes: HashMap<PacketKind, u64>,
+}
+
+impl TrafficAccounting {
+    /// Creates an empty ledger.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a transmission by `node`.
+    pub fn record_tx(&mut self, node: NodeId, wire_bytes: u64, energy_j: f64, kind: PacketKind) {
+        let t = self.per_node.entry(node).or_default();
+        t.tx_bytes += wire_bytes;
+        t.tx_energy_j += energy_j;
+        t.tx_packets += 1;
+        *self.per_kind_tx_bytes.entry(kind).or_default() += wire_bytes;
+    }
+
+    /// Records a reception by `node`.
+    pub fn record_rx(&mut self, node: NodeId, wire_bytes: u64, energy_j: f64, _kind: PacketKind) {
+        let t = self.per_node.entry(node).or_default();
+        t.rx_bytes += wire_bytes;
+        t.rx_energy_j += energy_j;
+        t.rx_packets += 1;
+    }
+
+    /// Counters for one node (zeros if the node never communicated).
+    #[must_use]
+    pub fn node(&self, id: NodeId) -> NodeTraffic {
+        self.per_node.get(&id).copied().unwrap_or_default()
+    }
+
+    /// Total bytes transmitted across all nodes.
+    #[must_use]
+    pub fn total_tx_bytes(&self) -> u64 {
+        self.per_node.values().map(|t| t.tx_bytes).sum()
+    }
+
+    /// Total bytes received across all nodes.
+    #[must_use]
+    pub fn total_rx_bytes(&self) -> u64 {
+        self.per_node.values().map(|t| t.rx_bytes).sum()
+    }
+
+    /// Total transmit energy across all nodes, joules.
+    #[must_use]
+    pub fn total_tx_energy_j(&self) -> f64 {
+        self.per_node.values().map(|t| t.tx_energy_j).sum()
+    }
+
+    /// Total receive energy across all nodes, joules.
+    #[must_use]
+    pub fn total_rx_energy_j(&self) -> f64 {
+        self.per_node.values().map(|t| t.rx_energy_j).sum()
+    }
+
+    /// Bytes transmitted carrying a given message kind.
+    #[must_use]
+    pub fn bytes_by_kind(&self, kind: PacketKind) -> u64 {
+        self.per_kind_tx_bytes.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Number of nodes that have communicated.
+    #[must_use]
+    pub fn active_nodes(&self) -> usize {
+        self.per_node.len()
+    }
+
+    /// Resets all counters (used between experiment phases so Figure 3 can
+    /// isolate the data-aggregation phase from training).
+    pub fn reset(&mut self) {
+        self.per_node.clear();
+        self.per_kind_tx_bytes.clear();
+    }
+
+    /// Merges another ledger into this one.
+    pub fn merge(&mut self, other: &TrafficAccounting) {
+        for (id, t) in &other.per_node {
+            let mine = self.per_node.entry(*id).or_default();
+            mine.tx_bytes += t.tx_bytes;
+            mine.rx_bytes += t.rx_bytes;
+            mine.tx_energy_j += t.tx_energy_j;
+            mine.rx_energy_j += t.rx_energy_j;
+            mine.tx_packets += t.tx_packets;
+            mine.rx_packets += t.rx_packets;
+        }
+        for (kind, bytes) in &other.per_kind_tx_bytes {
+            *self.per_kind_tx_bytes.entry(*kind).or_default() += bytes;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_accumulate() {
+        let mut l = TrafficAccounting::new();
+        l.record_tx(NodeId(0), 100, 1.0, PacketKind::RawData);
+        l.record_tx(NodeId(1), 50, 0.5, PacketKind::LatentVector);
+        l.record_rx(NodeId(2), 150, 0.2, PacketKind::RawData);
+        assert_eq!(l.total_tx_bytes(), 150);
+        assert_eq!(l.total_rx_bytes(), 150);
+        assert!((l.total_tx_energy_j() - 1.5).abs() < 1e-12);
+        assert_eq!(l.active_nodes(), 3);
+        assert_eq!(l.node(NodeId(0)).tx_packets, 1);
+        assert_eq!(l.node(NodeId(9)), NodeTraffic::default());
+    }
+
+    #[test]
+    fn per_kind_breakdown() {
+        let mut l = TrafficAccounting::new();
+        l.record_tx(NodeId(0), 10, 0.0, PacketKind::RawData);
+        l.record_tx(NodeId(0), 20, 0.0, PacketKind::RawData);
+        l.record_tx(NodeId(0), 5, 0.0, PacketKind::Control);
+        assert_eq!(l.bytes_by_kind(PacketKind::RawData), 30);
+        assert_eq!(l.bytes_by_kind(PacketKind::Control), 5);
+        assert_eq!(l.bytes_by_kind(PacketKind::LatentVector), 0);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut l = TrafficAccounting::new();
+        l.record_tx(NodeId(0), 10, 0.1, PacketKind::RawData);
+        l.reset();
+        assert_eq!(l.total_tx_bytes(), 0);
+        assert_eq!(l.active_nodes(), 0);
+        assert_eq!(l.bytes_by_kind(PacketKind::RawData), 0);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = TrafficAccounting::new();
+        a.record_tx(NodeId(0), 10, 0.1, PacketKind::RawData);
+        let mut b = TrafficAccounting::new();
+        b.record_tx(NodeId(0), 15, 0.2, PacketKind::RawData);
+        b.record_rx(NodeId(1), 25, 0.05, PacketKind::RawData);
+        a.merge(&b);
+        assert_eq!(a.node(NodeId(0)).tx_bytes, 25);
+        assert_eq!(a.node(NodeId(1)).rx_bytes, 25);
+        assert_eq!(a.bytes_by_kind(PacketKind::RawData), 25);
+    }
+}

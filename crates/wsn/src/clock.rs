@@ -1,0 +1,87 @@
+//! The simulated clock.
+//!
+//! The paper's time axes ("Time (s)" in Figure 4) are *simulated* seconds:
+//! deterministic functions of bytes moved and FLOPs executed, independent of
+//! the host machine. `SimClock` is a monotone accumulator those costs are
+//! added to.
+
+use serde::{Deserialize, Serialize};
+
+/// A monotone simulated clock measured in seconds.
+///
+/// # Examples
+///
+/// ```
+/// use orco_wsn::SimClock;
+///
+/// let mut clock = SimClock::new();
+/// clock.advance(1.5);
+/// clock.advance(0.25);
+/// assert_eq!(clock.now_s(), 1.75);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimClock {
+    now_s: f64,
+}
+
+impl SimClock {
+    /// Creates a clock at time zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulated time in seconds.
+    #[must_use]
+    pub fn now_s(&self) -> f64 {
+        self.now_s
+    }
+
+    /// Advances the clock by `dt` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is negative or not finite (time never goes backwards).
+    pub fn advance(&mut self, dt_s: f64) {
+        assert!(dt_s.is_finite() && dt_s >= 0.0, "SimClock::advance: dt must be ≥ 0, got {dt_s}");
+        self.now_s += dt_s;
+    }
+
+    /// Advances to an absolute time, if later than now (e.g. synchronizing
+    /// with a parallel actor's completion).
+    pub fn advance_to(&mut self, t_s: f64) {
+        if t_s > self.now_s {
+            self.now_s = t_s;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero_and_accumulates() {
+        let mut c = SimClock::new();
+        assert_eq!(c.now_s(), 0.0);
+        c.advance(2.0);
+        c.advance(3.0);
+        assert_eq!(c.now_s(), 5.0);
+    }
+
+    #[test]
+    fn advance_to_never_rewinds() {
+        let mut c = SimClock::new();
+        c.advance(10.0);
+        c.advance_to(5.0);
+        assert_eq!(c.now_s(), 10.0);
+        c.advance_to(12.0);
+        assert_eq!(c.now_s(), 12.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dt must be")]
+    fn negative_advance_panics() {
+        SimClock::new().advance(-1.0);
+    }
+}

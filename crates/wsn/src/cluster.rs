@@ -1,0 +1,243 @@
+//! Cluster formation and cluster-head (data aggregator) selection.
+//!
+//! The paper assumes "the data aggregator is usually chosen based on its
+//! proximity to other IoT devices within the same cluster" (§III-E), citing
+//! the WSN clustering literature (\[18\]–\[20\]). This module provides the
+//! selection strategies those works use — centroid proximity, residual
+//! energy, and a LEACH-style randomized rotation — plus k-means-style
+//! partitioning of a field into multiple clusters for the multi-cluster
+//! scalability extension (the paper's stated future work).
+
+use orco_tensor::OrcoRng;
+
+use crate::geometry::{centroid, Point};
+use crate::node::NodeId;
+
+/// How to pick the cluster head among candidate devices.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum HeadSelection {
+    /// The device nearest the cluster centroid (the paper's §III-E
+    /// assumption — minimizes expected intra-cluster radio energy).
+    CentroidProximity,
+    /// The device with the most residual energy (extends cluster lifetime).
+    MaxEnergy,
+    /// LEACH-style randomized rotation: every alive device is eligible
+    /// with equal probability each round, spreading the head's energy
+    /// burden over time.
+    RandomRotation,
+}
+
+/// A candidate device for head selection.
+#[derive(Debug, Clone, Copy)]
+pub struct Candidate {
+    /// Device id.
+    pub id: NodeId,
+    /// Device position.
+    pub position: Point,
+    /// Remaining battery, joules.
+    pub energy_j: f64,
+}
+
+/// Selects a cluster head among `candidates`.
+///
+/// Returns `None` when `candidates` is empty. Ties resolve to the lowest
+/// node id, keeping selection deterministic.
+#[must_use]
+pub fn select_head(
+    candidates: &[Candidate],
+    strategy: HeadSelection,
+    rng: &mut OrcoRng,
+) -> Option<NodeId> {
+    if candidates.is_empty() {
+        return None;
+    }
+    match strategy {
+        HeadSelection::CentroidProximity => {
+            let c = centroid(&candidates.iter().map(|d| d.position).collect::<Vec<_>>());
+            candidates
+                .iter()
+                .min_by(|a, b| {
+                    a.position
+                        .distance_sq(c)
+                        .partial_cmp(&b.position.distance_sq(c))
+                        .expect("finite distances")
+                        .then(a.id.cmp(&b.id))
+                })
+                .map(|d| d.id)
+        }
+        HeadSelection::MaxEnergy => candidates
+            .iter()
+            .max_by(|a, b| {
+                a.energy_j
+                    .partial_cmp(&b.energy_j)
+                    .expect("finite energies")
+                    .then(b.id.cmp(&a.id))
+            })
+            .map(|d| d.id),
+        HeadSelection::RandomRotation => {
+            Some(candidates[rng.below(candidates.len())].id)
+        }
+    }
+}
+
+/// Partition of devices into `k` clusters by position.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    /// `assignments[i]` is the cluster index of `devices[i]`.
+    pub assignments: Vec<usize>,
+    /// Final cluster centroids.
+    pub centroids: Vec<Point>,
+}
+
+impl Partition {
+    /// Indices of the devices assigned to `cluster`.
+    #[must_use]
+    pub fn members(&self, cluster: usize) -> Vec<usize> {
+        self.assignments
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c == cluster)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Number of clusters.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+}
+
+/// Lloyd's k-means over device positions (deterministic given the RNG),
+/// used to carve a large field into clusters for multi-cluster OrcoDCS.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k > positions.len()`.
+#[must_use]
+pub fn kmeans_clusters(positions: &[Point], k: usize, rng: &mut OrcoRng) -> Partition {
+    assert!(k > 0, "kmeans: k must be non-zero");
+    assert!(k <= positions.len(), "kmeans: k={k} > devices {}", positions.len());
+
+    // Initialize with k distinct devices.
+    let seeds = rng.sample_indices(positions.len(), k);
+    let mut centroids: Vec<Point> = seeds.iter().map(|&i| positions[i]).collect();
+    let mut assignments = vec![0usize; positions.len()];
+
+    for _iteration in 0..50 {
+        // Assign.
+        let mut changed = false;
+        for (i, p) in positions.iter().enumerate() {
+            let best = centroids
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    p.distance_sq(**a).partial_cmp(&p.distance_sq(**b)).expect("finite")
+                })
+                .map(|(c, _)| c)
+                .expect("k ≥ 1");
+            if assignments[i] != best {
+                assignments[i] = best;
+                changed = true;
+            }
+        }
+        // Update.
+        for (c, centroid_slot) in centroids.iter_mut().enumerate() {
+            let members: Vec<Point> = positions
+                .iter()
+                .zip(&assignments)
+                .filter(|(_, &a)| a == c)
+                .map(|(p, _)| *p)
+                .collect();
+            if !members.is_empty() {
+                *centroid_slot = centroid(&members);
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    Partition { assignments, centroids }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn candidates() -> Vec<Candidate> {
+        vec![
+            Candidate { id: NodeId(0), position: Point::new(0.0, 0.0), energy_j: 1.0 },
+            Candidate { id: NodeId(1), position: Point::new(10.0, 0.0), energy_j: 3.0 },
+            Candidate { id: NodeId(2), position: Point::new(5.0, 1.0), energy_j: 2.0 },
+        ]
+    }
+
+    #[test]
+    fn centroid_proximity_picks_central_device() {
+        let mut rng = OrcoRng::from_label("cluster", 0);
+        // Centroid is (5, 1/3); device 2 at (5, 1) is nearest.
+        let head = select_head(&candidates(), HeadSelection::CentroidProximity, &mut rng);
+        assert_eq!(head, Some(NodeId(2)));
+    }
+
+    #[test]
+    fn max_energy_picks_fullest_battery() {
+        let mut rng = OrcoRng::from_label("cluster", 1);
+        let head = select_head(&candidates(), HeadSelection::MaxEnergy, &mut rng);
+        assert_eq!(head, Some(NodeId(1)));
+    }
+
+    #[test]
+    fn rotation_covers_all_devices_over_time() {
+        let mut rng = OrcoRng::from_label("cluster", 2);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(select_head(&candidates(), HeadSelection::RandomRotation, &mut rng).unwrap());
+        }
+        assert_eq!(seen.len(), 3, "rotation should eventually pick everyone");
+    }
+
+    #[test]
+    fn empty_candidates_yield_none() {
+        let mut rng = OrcoRng::from_label("cluster", 3);
+        assert_eq!(select_head(&[], HeadSelection::MaxEnergy, &mut rng), None);
+    }
+
+    #[test]
+    fn kmeans_separates_two_blobs() {
+        let mut rng = OrcoRng::from_label("kmeans", 0);
+        let mut positions = Vec::new();
+        for i in 0..10 {
+            positions.push(Point::new(i as f64 * 0.1, 0.0)); // blob A near x=0
+            positions.push(Point::new(100.0 + i as f64 * 0.1, 0.0)); // blob B near x=100
+        }
+        let partition = kmeans_clusters(&positions, 2, &mut rng);
+        assert_eq!(partition.k(), 2);
+        // All of blob A in one cluster, all of blob B in the other.
+        let a_cluster = partition.assignments[0];
+        for i in (0..20).step_by(2) {
+            assert_eq!(partition.assignments[i], a_cluster);
+        }
+        let b_cluster = partition.assignments[1];
+        assert_ne!(a_cluster, b_cluster);
+        for i in (1..20).step_by(2) {
+            assert_eq!(partition.assignments[i], b_cluster);
+        }
+        assert_eq!(partition.members(a_cluster).len(), 10);
+    }
+
+    #[test]
+    fn kmeans_k_equals_n_is_identity_like() {
+        let mut rng = OrcoRng::from_label("kmeans", 1);
+        let positions = vec![Point::new(0.0, 0.0), Point::new(50.0, 50.0)];
+        let partition = kmeans_clusters(&positions, 2, &mut rng);
+        assert_ne!(partition.assignments[0], partition.assignments[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "kmeans")]
+    fn kmeans_rejects_zero_k() {
+        let mut rng = OrcoRng::from_label("kmeans", 2);
+        let _ = kmeans_clusters(&[Point::origin()], 0, &mut rng);
+    }
+}

@@ -1,0 +1,76 @@
+//! Error types for the WSN simulator.
+
+use std::fmt;
+
+use crate::node::NodeId;
+
+/// Errors produced by the WSN simulator.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum WsnError {
+    /// A node id referenced an unknown node.
+    UnknownNode {
+        /// The offending id.
+        id: NodeId,
+    },
+    /// An operation required an alive node, but the node was dead.
+    NodeDead {
+        /// The dead node.
+        id: NodeId,
+    },
+    /// A transmission failed (link loss after all retries).
+    TransmissionFailed {
+        /// Source node.
+        from: NodeId,
+        /// Destination node.
+        to: NodeId,
+        /// Retries attempted before giving up.
+        attempts: u32,
+    },
+    /// A topology operation was invalid (e.g. building a tree with no nodes).
+    InvalidTopology {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// A node exhausted its energy budget mid-operation.
+    EnergyExhausted {
+        /// The depleted node.
+        id: NodeId,
+    },
+}
+
+impl fmt::Display for WsnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WsnError::UnknownNode { id } => write!(f, "unknown node {id}"),
+            WsnError::NodeDead { id } => write!(f, "node {id} is dead"),
+            WsnError::TransmissionFailed { from, to, attempts } => {
+                write!(f, "transmission {from} -> {to} failed after {attempts} attempts")
+            }
+            WsnError::InvalidTopology { detail } => write!(f, "invalid topology: {detail}"),
+            WsnError::EnergyExhausted { id } => write!(f, "node {id} exhausted its energy"),
+        }
+    }
+}
+
+impl std::error::Error for WsnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let id = NodeId(3);
+        assert_eq!(WsnError::UnknownNode { id }.to_string(), "unknown node n3");
+        assert!(WsnError::TransmissionFailed { from: NodeId(1), to: NodeId(2), attempts: 3 }
+            .to_string()
+            .contains("after 3 attempts"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<WsnError>();
+    }
+}

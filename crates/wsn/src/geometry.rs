@@ -1,0 +1,137 @@
+//! 2-D geometry for node placement.
+
+use serde::{Deserialize, Serialize};
+
+use orco_tensor::OrcoRng;
+
+/// A point in the 2-D deployment field, in meters.
+///
+/// # Examples
+///
+/// ```
+/// use orco_wsn::Point;
+///
+/// let a = Point::new(0.0, 0.0);
+/// let b = Point::new(3.0, 4.0);
+/// assert_eq!(a.distance(b), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    /// X coordinate in meters.
+    pub x: f64,
+    /// Y coordinate in meters.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point.
+    #[must_use]
+    pub fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    #[must_use]
+    pub fn origin() -> Self {
+        Self { x: 0.0, y: 0.0 }
+    }
+
+    /// Euclidean distance to `other`.
+    #[must_use]
+    pub fn distance(self, other: Point) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+
+    /// Squared Euclidean distance (avoids the sqrt when only comparing).
+    #[must_use]
+    pub fn distance_sq(self, other: Point) -> f64 {
+        (self.x - other.x).powi(2) + (self.y - other.y).powi(2)
+    }
+}
+
+/// Scatters `n` points uniformly over a `side`×`side` meter field.
+///
+/// # Panics
+///
+/// Panics if `side` is not positive.
+#[must_use]
+pub fn scatter_uniform(n: usize, side: f64, rng: &mut OrcoRng) -> Vec<Point> {
+    assert!(side > 0.0, "scatter_uniform: side must be positive");
+    (0..n)
+        .map(|_| Point::new(rng.uniform(0.0, side as f32) as f64, rng.uniform(0.0, side as f32) as f64))
+        .collect()
+}
+
+/// Centroid of a set of points (origin for an empty set).
+#[must_use]
+pub fn centroid(points: &[Point]) -> Point {
+    if points.is_empty() {
+        return Point::origin();
+    }
+    let n = points.len() as f64;
+    Point::new(
+        points.iter().map(|p| p.x).sum::<f64>() / n,
+        points.iter().map(|p| p.y).sum::<f64>() / n,
+    )
+}
+
+/// Index of the point nearest to `target` (`None` for an empty set).
+#[must_use]
+pub fn nearest(points: &[Point], target: Point) -> Option<usize> {
+    points
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| {
+            a.distance_sq(target)
+                .partial_cmp(&b.distance_sq(target))
+                .expect("distances are finite")
+        })
+        .map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_symmetry_and_identity() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(-3.0, 5.0);
+        assert_eq!(a.distance(b), b.distance(a));
+        assert_eq!(a.distance(a), 0.0);
+        assert!(a.distance_sq(b) > 0.0);
+    }
+
+    #[test]
+    fn scatter_within_bounds_and_deterministic() {
+        let mut rng1 = OrcoRng::from_label("scatter", 0);
+        let mut rng2 = OrcoRng::from_label("scatter", 0);
+        let p1 = scatter_uniform(100, 50.0, &mut rng1);
+        let p2 = scatter_uniform(100, 50.0, &mut rng2);
+        assert_eq!(p1.len(), 100);
+        for (a, b) in p1.iter().zip(&p2) {
+            assert_eq!(a, b);
+        }
+        assert!(p1.iter().all(|p| (0.0..50.0).contains(&p.x) && (0.0..50.0).contains(&p.y)));
+    }
+
+    #[test]
+    fn centroid_of_square() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(2.0, 2.0),
+            Point::new(0.0, 2.0),
+        ];
+        let c = centroid(&pts);
+        assert_eq!(c, Point::new(1.0, 1.0));
+        assert_eq!(centroid(&[]), Point::origin());
+    }
+
+    #[test]
+    fn nearest_finds_closest() {
+        let pts = [Point::new(0.0, 0.0), Point::new(10.0, 0.0), Point::new(4.9, 0.0)];
+        assert_eq!(nearest(&pts, Point::new(5.0, 0.0)), Some(2));
+        assert_eq!(nearest(&[], Point::origin()), None);
+    }
+}

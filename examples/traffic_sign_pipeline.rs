@@ -1,0 +1,92 @@
+//! Traffic-sign pipeline: compressed sensing feeding a downstream
+//! classifier (paper §IV-E / Figure 5).
+//!
+//! A roadside camera cluster streams 32×32 colour sign images through
+//! OrcoDCS; the edge reconstructs them and trains the follow-up CNN
+//! classifier on the reconstructions. The same pipeline is run with the
+//! DCSNet baseline (offline, 50% data) for comparison — the paper's claim
+//! is that OrcoDCS reconstructions make *better training data*.
+//!
+//! Run with: `cargo run --release --example traffic_sign_pipeline`
+
+use orcodcs_repro::baselines::offline_trainer::train_dcsnet_offline;
+use orcodcs_repro::classifier::{Cnn, TrainConfig};
+use orcodcs_repro::core::{AsymmetricAutoencoder, OrcoConfig, SplitModel};
+use orcodcs_repro::datasets::{gtsrb_like, Dataset};
+use orcodcs_repro::nn::Loss;
+use orcodcs_repro::tensor::OrcoRng;
+
+fn train_classifier(label: &str, train: &Dataset, test: &Dataset) -> f32 {
+    let mut rng = OrcoRng::from_label("sign-clf", 0);
+    let mut cnn = Cnn::new(train.kind(), &mut rng);
+    let curve = cnn.train_epochs(
+        train,
+        test,
+        &TrainConfig { epochs: 8, batch_size: 32, learning_rate: 2e-3 },
+        &mut rng,
+    );
+    let last = curve.last().expect("at least one epoch");
+    println!(
+        "  {label:<22} test accuracy {:.3}  test loss {:.4}",
+        last.test_accuracy, last.test_loss
+    );
+    last.test_accuracy
+}
+
+fn main() {
+    let train = gtsrb_like::generate(258, 1);
+    let test = gtsrb_like::generate(86, 2);
+    println!(
+        "traffic-sign corpus: {} train / {} test images, {} classes",
+        train.len(),
+        test.len(),
+        train.kind().classes()
+    );
+
+    // --- OrcoDCS: online training on the full stream, M = 512. ---
+    let cfg = OrcoConfig::for_dataset(train.kind()).with_epochs(6).with_batch_size(32);
+    let mut orco = AsymmetricAutoencoder::new(&cfg).expect("valid config");
+    let loss = cfg.loss();
+    let mut rng = OrcoRng::from_label("sign-batching", 0);
+    let mut order: Vec<usize> = (0..train.len()).collect();
+    for _ in 0..cfg.epochs {
+        rng.shuffle(&mut order);
+        for chunk in order.chunks(cfg.batch_size) {
+            let xb = train.x().select_rows(chunk);
+            let _ = orco.train_batch_local(&xb, &loss);
+        }
+    }
+    let orco_l2 = {
+        let recon = orco.reconstruct(test.x());
+        Loss::L2.value(&recon, test.x())
+    };
+
+    // --- DCSNet: offline, 50% of the data, fixed structure. ---
+    let mut dcs = train_dcsnet_offline(&train, 0.5, 6, 32, 0);
+    let dcs_l2 = dcs.model.evaluate(test.x(), &Loss::L2);
+
+    println!("\nreconstruction quality on held-out signs (L2, lower is better):");
+    println!("  OrcoDCS (M=512)        {orco_l2:.5}");
+    println!("  DCSNet-50% (M=1024)    {dcs_l2:.5}");
+
+    // --- Follow-up application: classifier on reconstructed data. ---
+    println!("\nfollow-up classifier on reconstructed data:");
+    let orco_train = train.with_x(orco.reconstruct(train.x()));
+    let orco_test = test.with_x(orco.reconstruct(test.x()));
+    let acc_orco = train_classifier("OrcoDCS recon", &orco_train, &orco_test);
+
+    let dcs_train = train.with_x(dcs.model.reconstruct_inference(train.x()));
+    let dcs_test = test.with_x(dcs.model.reconstruct_inference(test.x()));
+    let acc_dcs = train_classifier("DCSNet-50% recon", &dcs_train, &dcs_test);
+
+    let acc_raw = train_classifier("raw images (oracle)", &train, &test);
+
+    println!(
+        "\nsummary: OrcoDCS {acc_orco:.3} vs DCSNet {acc_dcs:.3} (oracle on raw: {acc_raw:.3})"
+    );
+    println!(
+        "note: 43-way classification from a few hundred reconstructed images is\n\
+         data-starved (see EXPERIMENTS.md, Figure 5); the paper's corpus is 51k\n\
+         images. The reconstruction-quality gap above is the scale-robust signal."
+    );
+}

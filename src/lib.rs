@@ -1,0 +1,23 @@
+//! # orcodcs-repro
+//!
+//! Umbrella crate for the OrcoDCS reproduction. Re-exports the public API of
+//! every workspace crate so examples and downstream users can depend on a
+//! single crate:
+//!
+//! * [`tensor`] — dense linear algebra ([`orco_tensor`]).
+//! * [`nn`] — the neural-network library ([`orco_nn`]).
+//! * [`wsn`] — the wireless-sensor-network simulator ([`orco_wsn`]).
+//! * [`datasets`] — synthetic MNIST-like / GTSRB-like data ([`orco_datasets`]).
+//! * [`core`] — OrcoDCS itself ([`orcodcs`]).
+//! * [`baselines`] — DCSNet and traditional CS ([`orco_baselines`]).
+//! * [`classifier`] — the follow-up CNN application ([`orco_classifier`]).
+
+#![forbid(unsafe_code)]
+
+pub use orco_baselines as baselines;
+pub use orco_classifier as classifier;
+pub use orco_datasets as datasets;
+pub use orco_nn as nn;
+pub use orco_tensor as tensor;
+pub use orco_wsn as wsn;
+pub use orcodcs as core;

@@ -1,0 +1,128 @@
+//! End-to-end integration tests spanning every crate: dataset synthesis →
+//! WSN deployment → orchestrated online training → encoder distribution →
+//! compressed aggregation → follow-up classification → drift → fine-tuning.
+
+use orcodcs_repro::baselines::offline_trainer::train_dcsnet_offline;
+use orcodcs_repro::classifier::{Cnn, TrainConfig};
+use orcodcs_repro::core::{experiment, OnlineTrainer, OrcoConfig, Orchestrator, SplitModel};
+use orcodcs_repro::datasets::{drift, mnist_like, DatasetKind};
+use orcodcs_repro::nn::Loss;
+use orcodcs_repro::tensor::OrcoRng;
+use orcodcs_repro::wsn::NetworkConfig;
+
+fn small_cfg() -> OrcoConfig {
+    OrcoConfig::for_dataset(DatasetKind::MnistLike)
+        .with_latent_dim(32)
+        .with_epochs(3)
+        .with_batch_size(16)
+}
+
+#[test]
+fn full_lifecycle_produces_consistent_outcome() {
+    let dataset = mnist_like::generate(48, 0);
+    let outcome = experiment::run_orcodcs(&dataset, &small_cfg()).expect("lifecycle runs");
+
+    // Training happened and the clock moved.
+    assert!(outcome.history.rounds.len() >= 9);
+    assert!(outcome.sim_time_s > 0.0);
+    // Quality metrics are sane.
+    assert!(outcome.final_loss.is_finite() && outcome.final_loss > 0.0);
+    assert!(outcome.mean_psnr_db > 5.0, "PSNR {} too low", outcome.mean_psnr_db);
+    // Data plane measured on live simulation.
+    assert!(outcome.data_plane.total_bytes > 0);
+    assert!(outcome.data_plane.uplink_bytes > 0);
+    // Time monotone across rounds.
+    for w in outcome.history.rounds.windows(2) {
+        assert!(w[1].sim_time_s >= w[0].sim_time_s);
+    }
+}
+
+#[test]
+fn training_is_deterministic_across_runs() {
+    let dataset = mnist_like::generate(32, 1);
+    let a = experiment::run_orcodcs(&dataset, &small_cfg()).expect("run a");
+    let b = experiment::run_orcodcs(&dataset, &small_cfg()).expect("run b");
+    assert_eq!(a.final_loss, b.final_loss);
+    assert_eq!(a.sim_time_s, b.sim_time_s);
+    assert_eq!(a.data_plane.total_bytes, b.data_plane.total_bytes);
+    let ra: Vec<f32> = a.history.rounds.iter().map(|r| r.loss).collect();
+    let rb: Vec<f32> = b.history.rounds.iter().map(|r| r.loss).collect();
+    assert_eq!(ra, rb);
+}
+
+#[test]
+fn drift_triggers_finetuning_and_recovery_improves_error() {
+    let dataset = mnist_like::generate(48, 2);
+    let cfg = small_cfg().with_finetune_threshold(0.05);
+    let orch = Orchestrator::new(cfg, NetworkConfig { num_devices: 16, seed: 2, ..Default::default() })
+        .expect("valid config");
+    let mut online = OnlineTrainer::new(orch);
+    let _ = online.initial_training(dataset.x()).expect("initial training");
+
+    let mut rng = OrcoRng::from_label("e2e-drift", 0);
+    let drifted = drift::apply(&dataset, drift::Drift::Bias, 0.8, &mut rng);
+
+    let mut first_error = None;
+    let mut recovered_error = None;
+    for _ in 0..8 {
+        let out = online.process_batch(drifted.x()).expect("process");
+        if first_error.is_none() {
+            first_error = Some(out.reconstruction_loss);
+        }
+        if let Some(h) = out.retraining {
+            recovered_error = h.final_loss();
+            break;
+        }
+    }
+    let first = first_error.expect("at least one batch processed");
+    let recovered = recovered_error.expect("monitor must trigger under severe bias");
+    assert!(
+        recovered < first,
+        "retraining should reduce error: {first} -> {recovered}"
+    );
+}
+
+#[test]
+fn classifier_on_orcodcs_reconstructions_beats_chance() {
+    let train = mnist_like::generate(160, 3);
+    let test = mnist_like::generate(40, 4);
+    let cfg = OrcoConfig::for_dataset(DatasetKind::MnistLike).with_epochs(20).with_batch_size(32);
+    let outcome = experiment::run_orcodcs(&train, &cfg).expect("lifecycle runs");
+    let mut orch = outcome.orchestrator;
+
+    let recon_train = train.with_x(orch.model_mut().reconstruct_inference(train.x()));
+    let recon_test = test.with_x(orch.model_mut().reconstruct_inference(test.x()));
+
+    let mut rng = OrcoRng::from_label("e2e-clf", 0);
+    let mut cnn = Cnn::new(DatasetKind::MnistLike, &mut rng);
+    let curve = cnn.train_epochs(
+        &recon_train,
+        &recon_test,
+        &TrainConfig { epochs: 8, batch_size: 16, learning_rate: 2e-3 },
+        &mut rng,
+    );
+    let acc = curve.last().unwrap().test_accuracy;
+    // Chance on 10 balanced classes is 10%; reconstructions of a compact
+    // 128-dim latent at this tiny training size support well above that.
+    assert!(acc > 0.2, "accuracy on reconstructions {acc} should clearly beat 10% chance");
+}
+
+#[test]
+fn orcodcs_reconstruction_beats_data_starved_dcsnet() {
+    // The Figure-2/5 ordering: online full-stream OrcoDCS reconstructs
+    // better (on common L2) than offline DCSNet that saw 30% of the data.
+    let dataset = mnist_like::generate(96, 5);
+    let cfg = OrcoConfig::for_dataset(DatasetKind::MnistLike).with_epochs(6).with_batch_size(32);
+    let outcome = experiment::run_orcodcs(&dataset, &cfg).expect("lifecycle runs");
+    let mut orch = outcome.orchestrator;
+    let orco_recon = orch.model_mut().reconstruct_inference(dataset.x());
+    let orco_l2 = Loss::L2.value(&orco_recon, dataset.x());
+
+    let mut dcs = train_dcsnet_offline(&dataset, 0.3, 6, 32, 0);
+    let dcs_l2 = dcs.model.evaluate(dataset.x(), &Loss::L2);
+
+    assert!(
+        orco_l2 < dcs_l2,
+        "OrcoDCS L2 {orco_l2} should beat DCSNet-30% {dcs_l2}"
+    );
+}

@@ -1,0 +1,136 @@
+//! Failure-injection integration tests: dead devices, lossy links, and
+//! divergence guards must degrade the system gracefully, never corrupt it.
+
+use orcodcs_repro::core::{OrcoConfig, Orchestrator};
+use orcodcs_repro::datasets::{mnist_like, DatasetKind};
+use orcodcs_repro::wsn::{LinkModel, Network, NetworkConfig, PacketKind, WsnError};
+
+fn cfg() -> OrcoConfig {
+    OrcoConfig::for_dataset(DatasetKind::MnistLike)
+        .with_latent_dim(16)
+        .with_epochs(1)
+        .with_batch_size(8)
+}
+
+#[test]
+fn training_survives_device_deaths() {
+    let dataset = mnist_like::generate(16, 0);
+    let mut orch = Orchestrator::new(
+        cfg(),
+        NetworkConfig { num_devices: 12, seed: 0, ..Default::default() },
+    )
+    .expect("valid config");
+
+    // Kill a third of the cluster.
+    let victims: Vec<_> = orch.network().devices().iter().copied().step_by(3).collect();
+    for v in &victims {
+        orch.network_mut().kill_device(*v).expect("device exists");
+    }
+    assert!(orch.network().tree().check_invariants());
+
+    // Raw aggregation, training, distribution, compressed frames all still run.
+    let t = orch.aggregate_raw_frames(3).expect("raw aggregation");
+    assert!(t > 0.0);
+    let history = orch.train(dataset.x()).expect("training");
+    assert!(!history.rounds.is_empty());
+    let (_cols, _t) = orch.distribute_encoder().expect("distribution");
+    let t = orch.compressed_frame().expect("compressed frame");
+    assert!(t > 0.0);
+
+    // Dead devices sent nothing after their death.
+    for v in &victims {
+        assert_eq!(orch.network().accounting().node(*v).tx_bytes, 0);
+    }
+}
+
+#[test]
+fn killing_every_chain_member_but_one_still_aggregates() {
+    let mut net = Network::new(NetworkConfig { num_devices: 6, seed: 1, ..Default::default() });
+    let all: Vec<_> = net.devices().to_vec();
+    for v in &all[1..] {
+        net.kill_device(*v).expect("device exists");
+    }
+    assert_eq!(net.alive_devices().len(), 1);
+    let t = net.compressed_aggregation_round(64, 10).expect("single survivor chain");
+    assert!(t > 0.0);
+    // The survivor talked to the aggregator.
+    assert!(net.accounting().node(all[0]).tx_bytes > 0);
+}
+
+#[test]
+fn lossy_links_retry_and_eventually_deliver() {
+    let mut config = NetworkConfig { num_devices: 4, seed: 2, ..Default::default() };
+    config.sensor_link = LinkModel::sensor_radio().with_loss(0.3);
+    let mut net = Network::new(config);
+    let d = net.devices()[0];
+    // With 30% loss and 7 retries, 30 sends virtually always succeed.
+    let mut delivered = 0;
+    for _ in 0..30 {
+        if net.transmit(d, net.aggregator(), 64, PacketKind::RawData).is_ok() {
+            delivered += 1;
+        }
+    }
+    assert!(delivered >= 29, "only {delivered}/30 delivered");
+    // Retransmissions show up as extra bytes relative to a clean network.
+    let lossy_bytes = net.accounting().node(d).tx_bytes;
+    let mut clean = Network::new(NetworkConfig { num_devices: 4, seed: 2, ..Default::default() });
+    let dc = clean.devices()[0];
+    for _ in 0..30 {
+        clean.transmit(dc, clean.aggregator(), 64, PacketKind::RawData).expect("clean link");
+    }
+    assert!(lossy_bytes > clean.accounting().node(dc).tx_bytes);
+}
+
+#[test]
+fn hopeless_link_reports_transmission_failed() {
+    let mut config =
+        NetworkConfig { num_devices: 2, seed: 3, max_retries: 2, ..Default::default() };
+    config.sensor_link = LinkModel::sensor_radio().with_loss(0.99);
+    let mut net = Network::new(config);
+    let d = net.devices()[0];
+    let mut saw_failure = false;
+    for _ in 0..20 {
+        match net.transmit(d, net.aggregator(), 32, PacketKind::RawData) {
+            Err(WsnError::TransmissionFailed { attempts, .. }) => {
+                assert!(attempts > 2);
+                saw_failure = true;
+                break;
+            }
+            _ => continue,
+        }
+    }
+    assert!(saw_failure, "99% loss with 2 retries must eventually fail");
+}
+
+#[test]
+fn battery_exhaustion_kills_senders_mid_protocol() {
+    let mut net = Network::new(NetworkConfig { num_devices: 3, seed: 4, ..Default::default() });
+    let d = net.devices()[0];
+    // Drain the battery almost completely.
+    let mut exhausted = false;
+    for _ in 0..1_000_000 {
+        match net.transmit(d, net.aggregator(), 4096, PacketKind::RawData) {
+            Ok(_) => continue,
+            Err(WsnError::EnergyExhausted { id }) => {
+                assert_eq!(id, d);
+                exhausted = true;
+                break;
+            }
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+    assert!(exhausted, "finite battery must run out");
+    assert!(!net.node(d).expect("node exists").is_alive());
+    // Subsequent sends from the dead node fail cleanly.
+    assert!(matches!(
+        net.transmit(d, net.aggregator(), 4, PacketKind::RawData),
+        Err(WsnError::NodeDead { .. })
+    ));
+}
+
+#[test]
+fn non_device_kill_is_rejected() {
+    let mut net = Network::new(NetworkConfig { num_devices: 3, seed: 5, ..Default::default() });
+    let agg = net.aggregator();
+    assert!(matches!(net.kill_device(agg), Err(WsnError::UnknownNode { .. })));
+}

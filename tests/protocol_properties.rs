@@ -1,0 +1,131 @@
+//! Property-based integration tests over the OrcoDCS protocol and its
+//! substrates, using proptest across crate boundaries.
+
+use orcodcs_repro::core::{EncoderColumns, OrcoConfig};
+use orcodcs_repro::datasets::DatasetKind;
+use orcodcs_repro::nn::Loss;
+use orcodcs_repro::tensor::{Matrix, OrcoRng};
+use orcodcs_repro::wsn::{AggregationTree, ChainSchedule, NodeId, Point, RadioModel};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The paper's vector Huber (eq. 4) is sandwiched between scaled L1 and
+    /// L2 losses and is non-negative, zero iff the reconstruction is exact.
+    #[test]
+    fn vector_huber_bounds(
+        vals in prop::collection::vec(-1.0f32..1.0, 8),
+        delta in 0.1f32..5.0,
+    ) {
+        let pred = Matrix::row_vector(&vals);
+        let target = Matrix::zeros(1, vals.len());
+        let vh = Loss::VectorHuber { delta }.value(&pred, &target);
+        prop_assert!(vh >= 0.0);
+        // Linear branch never exceeds δ·L1/(n·cols); quadratic never exceeds ½L2².
+        let l1: f32 = vals.iter().map(|v| v.abs()).sum();
+        let l2sq: f32 = vals.iter().map(|v| v * v).sum();
+        let n = vals.len() as f32;
+        let upper = (0.5 * l2sq / n).max(delta * l1 / n);
+        prop_assert!(vh <= upper + 1e-5, "vh={vh} upper={upper}");
+        if l1 == 0.0 {
+            prop_assert_eq!(vh, 0.0);
+        }
+    }
+
+    /// Splitting an encoder into device columns and reassembling is the
+    /// identity for any encoder shape.
+    #[test]
+    fn encoder_split_reassemble_roundtrip(m in 1usize..12, n in 1usize..24, seed in 0u64..500) {
+        let mut rng = OrcoRng::from_seed_u64(seed);
+        let w = Matrix::from_fn(m, n, |_, _| rng.uniform(-2.0, 2.0));
+        let b = Matrix::from_fn(1, m, |_, _| rng.uniform(-1.0, 1.0));
+        let cols = EncoderColumns::split(&w, &b);
+        let (w2, b2) = cols.reassemble();
+        prop_assert_eq!(w, w2);
+        prop_assert_eq!(b, b2);
+    }
+
+    /// Chain-order invariance: any permutation of devices produces the same
+    /// latent vector (within f32 tolerance).
+    #[test]
+    fn chain_order_invariance(n in 2usize..20, seed in 0u64..500) {
+        let mut rng = OrcoRng::from_seed_u64(seed);
+        let m = 4usize;
+        let w = Matrix::from_fn(m, n, |_, _| rng.uniform(-1.0, 1.0));
+        let b = Matrix::from_fn(1, m, |_, _| rng.uniform(-0.5, 0.5));
+        let cols = EncoderColumns::split(&w, &b);
+        let readings: Vec<f32> = (0..n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let forward: Vec<usize> = (0..n).collect();
+        let mut shuffled = forward.clone();
+        rng.shuffle(&mut shuffled);
+        let a = cols.finish_at_aggregator(&cols.chain_partial_sum(&readings, &forward).unwrap());
+        let c = cols.finish_at_aggregator(&cols.chain_partial_sum(&readings, &shuffled).unwrap());
+        for (x, y) in a.iter().zip(&c) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// Aggregation trees span all nodes, stay acyclic, and survive the
+    /// removal of any non-root node.
+    #[test]
+    fn tree_invariants_under_failure(n in 3usize..30, kill in 1usize..29, seed in 0u64..500) {
+        prop_assume!(kill < n);
+        let mut rng = OrcoRng::from_seed_u64(seed);
+        let nodes: Vec<(NodeId, Point)> = (0..n)
+            .map(|i| (NodeId(i), Point::new(rng.uniform(0.0, 100.0) as f64, rng.uniform(0.0, 100.0) as f64)))
+            .collect();
+        let mut tree = AggregationTree::build(NodeId(0), &nodes).unwrap();
+        prop_assert!(tree.check_invariants());
+        prop_assert_eq!(tree.len(), n);
+        tree.remove_and_reparent(NodeId(kill)).unwrap();
+        prop_assert!(tree.check_invariants());
+        prop_assert_eq!(tree.len(), n - 1);
+        // Every survivor still reaches the root.
+        for i in 1..n {
+            if i != kill {
+                let _ = tree.hops_to_root(NodeId(i));
+            }
+        }
+    }
+
+    /// The chain visits every device exactly once regardless of layout.
+    #[test]
+    fn chain_is_a_permutation(n in 1usize..40, seed in 0u64..500) {
+        let mut rng = OrcoRng::from_seed_u64(seed);
+        let devices: Vec<(NodeId, Point)> = (0..n)
+            .map(|i| (NodeId(i), Point::new(rng.uniform(0.0, 50.0) as f64, rng.uniform(0.0, 50.0) as f64)))
+            .collect();
+        let chain = ChainSchedule::greedy_nearest(&devices, Point::new(25.0, 25.0));
+        let mut ids: Vec<usize> = chain.order().iter().map(|d| d.0).collect();
+        ids.sort_unstable();
+        prop_assert_eq!(ids, (0..n).collect::<Vec<_>>());
+    }
+
+    /// Radio energy is monotone in both payload size and distance.
+    #[test]
+    fn radio_energy_monotonicity(
+        bytes_a in 1u64..10_000,
+        bytes_b in 1u64..10_000,
+        d_a in 0.0f64..200.0,
+        d_b in 0.0f64..200.0,
+    ) {
+        let radio = RadioModel::default();
+        if bytes_a <= bytes_b {
+            prop_assert!(radio.tx_energy_j(bytes_a, d_a) <= radio.tx_energy_j(bytes_b, d_a));
+            prop_assert!(radio.rx_energy_j(bytes_a) <= radio.rx_energy_j(bytes_b));
+        }
+        if d_a <= d_b {
+            prop_assert!(radio.tx_energy_j(bytes_a, d_a) <= radio.tx_energy_j(bytes_a, d_b));
+        }
+    }
+
+    /// Config byte helpers are consistent with dimensions for any latent.
+    #[test]
+    fn config_byte_arithmetic(m in 1usize..2000) {
+        let cfg = OrcoConfig::for_dataset(DatasetKind::MnistLike).with_latent_dim(m);
+        prop_assert_eq!(cfg.latent_bytes(), (m * 4) as u64);
+        prop_assert_eq!(cfg.sample_bytes(), 784 * 4);
+        prop_assert!((cfg.compression_ratio() - 784.0 / m as f32).abs() < 1e-3);
+    }
+}
