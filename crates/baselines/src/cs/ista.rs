@@ -124,11 +124,8 @@ mod tests {
             theta[*i] = 1.0 + (*i as f32) * 0.01;
         }
         let y = a.matvec(&theta);
-        let result = ista_reconstruct(
-            &a,
-            &y,
-            &IstaConfig { lambda: 0.005, max_iters: 2000, tol: 1e-7 },
-        );
+        let result =
+            ista_reconstruct(&a, &y, &IstaConfig { lambda: 0.005, max_iters: 2000, tol: 1e-7 });
         for (i, (rec, truth)) in result.coefficients.iter().zip(&theta).enumerate() {
             assert!((rec - truth).abs() < 0.12, "coef {i}: {rec} vs {truth}");
         }
@@ -155,13 +152,9 @@ mod tests {
         let err_for_m = |m: usize, rng: &mut OrcoRng| -> f32 {
             let a = Matrix::from_fn(m, n, |_, _| rng.normal(0.0, (1.0 / m as f32).sqrt()));
             let y = a.matvec(&theta);
-            let r = ista_reconstruct(&a, &y, &IstaConfig { lambda: 0.005, max_iters: 1500, tol: 1e-7 });
-            r.coefficients
-                .iter()
-                .zip(&theta)
-                .map(|(a, b)| (a - b).powi(2))
-                .sum::<f32>()
-                .sqrt()
+            let r =
+                ista_reconstruct(&a, &y, &IstaConfig { lambda: 0.005, max_iters: 1500, tol: 1e-7 });
+            r.coefficients.iter().zip(&theta).map(|(a, b)| (a - b).powi(2)).sum::<f32>().sqrt()
         };
         let err_rich = err_for_m(60, &mut rng);
         let err_poor = err_for_m(8, &mut rng);
@@ -182,9 +175,8 @@ mod tests {
         let a = Matrix::from_fn(20, 50, |_, _| rng.normal(0.0, 0.2));
         let l = lipschitz(&a, 40);
         // L must be ≥ the largest column norm² of A.
-        let max_col: f32 = (0..50)
-            .map(|c| a.col(c).iter().map(|v| v * v).sum::<f32>())
-            .fold(0.0, f32::max);
+        let max_col: f32 =
+            (0..50).map(|c| a.col(c).iter().map(|v| v * v).sum::<f32>()).fold(0.0, f32::max);
         assert!(l >= max_col * 0.99, "L={l} max_col={max_col}");
     }
 }

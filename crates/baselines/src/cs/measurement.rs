@@ -72,13 +72,20 @@ mod tests {
     #[test]
     fn norm_preservation_on_average() {
         let mut rng = OrcoRng::from_label("meas", 0);
-        let gm = GaussianMeasurement::new(128, 256, &mut rng);
-        // E‖Φx‖² = ‖x‖² under the 1/m scaling; check within 20%.
+        // E‖Φx‖² = ‖x‖² under the 1/m scaling. A single 128×256 draw can
+        // deviate by > 20%, so check the mean ratio over several draws.
         let x: Vec<f32> = (0..256).map(|i| ((i * 31 % 17) as f32 / 17.0) - 0.5).collect();
-        let y = gm.measure(&x);
         let nx: f32 = x.iter().map(|v| v * v).sum();
-        let ny: f32 = y.iter().map(|v| v * v).sum();
-        assert!((ny / nx - 1.0).abs() < 0.2, "ratio {}", ny / nx);
+        let trials = 8;
+        let mean_ratio: f32 = (0..trials)
+            .map(|_| {
+                let gm = GaussianMeasurement::new(128, 256, &mut rng);
+                let ny: f32 = gm.measure(&x).iter().map(|v| v * v).sum();
+                ny / nx
+            })
+            .sum::<f32>()
+            / trials as f32;
+        assert!((mean_ratio - 1.0).abs() < 0.2, "mean ratio {mean_ratio}");
     }
 
     #[test]

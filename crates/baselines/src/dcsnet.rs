@@ -65,10 +65,50 @@ impl Dcsnet {
         // 4 convolutional layers over the 1x32x32 latent map, then a crop to
         // the dataset's frame. Channels: 1 -> 16 -> 16 -> 8 -> out_c.
         let mut decoder = Sequential::new();
-        decoder.push(Conv2d::new(1, LATENT_SIDE, LATENT_SIDE, 16, 3, 1, 1, Activation::Relu, &mut rng));
-        decoder.push(Conv2d::new(16, LATENT_SIDE, LATENT_SIDE, 16, 3, 1, 1, Activation::Relu, &mut rng));
-        decoder.push(Conv2d::new(16, LATENT_SIDE, LATENT_SIDE, 8, 3, 1, 1, Activation::Relu, &mut rng));
-        decoder.push(Conv2d::new(8, LATENT_SIDE, LATENT_SIDE, out_c, 3, 1, 1, Activation::Sigmoid, &mut rng));
+        decoder.push(Conv2d::new(
+            1,
+            LATENT_SIDE,
+            LATENT_SIDE,
+            16,
+            3,
+            1,
+            1,
+            Activation::Relu,
+            &mut rng,
+        ));
+        decoder.push(Conv2d::new(
+            16,
+            LATENT_SIDE,
+            LATENT_SIDE,
+            16,
+            3,
+            1,
+            1,
+            Activation::Relu,
+            &mut rng,
+        ));
+        decoder.push(Conv2d::new(
+            16,
+            LATENT_SIDE,
+            LATENT_SIDE,
+            8,
+            3,
+            1,
+            1,
+            Activation::Relu,
+            &mut rng,
+        ));
+        decoder.push(Conv2d::new(
+            8,
+            LATENT_SIDE,
+            LATENT_SIDE,
+            out_c,
+            3,
+            1,
+            1,
+            Activation::Sigmoid,
+            &mut rng,
+        ));
         decoder.push(Crop2d::new(out_c, LATENT_SIDE, out_side));
 
         // DCSNet trains with Adam in its reference implementation; keep the

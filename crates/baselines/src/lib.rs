@@ -19,8 +19,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod cs;
 pub mod crop;
+pub mod cs;
 pub mod dcsnet;
 pub mod offline_trainer;
 

@@ -12,7 +12,7 @@
 use orco_datasets::{split, Dataset};
 use orco_tensor::OrcoRng;
 use orco_wsn::NetworkConfig;
-use orcodcs::{OrcoConfig, Orchestrator, OrcoError, TrainingHistory};
+use orcodcs::{Orchestrator, OrcoConfig, OrcoError, TrainingHistory};
 
 use crate::dcsnet::{Dcsnet, DCSNET_LATENT_DIM};
 
@@ -141,9 +141,7 @@ mod tests {
         assert!(orch.network().now_s() > 0.0);
         // 1024-dim latent uplink per round.
         assert!(
-            orch.network()
-                .accounting()
-                .bytes_by_kind(orco_wsn::PacketKind::LatentVector)
+            orch.network().accounting().bytes_by_kind(orco_wsn::PacketKind::LatentVector)
                 >= 1024 * 4
         );
     }
@@ -154,8 +152,7 @@ mod tests {
         // latent bytes and burns far more FLOPs per round.
         let ds = mnist_like::generate(8, 2);
         let net = NetworkConfig { num_devices: 8, seed: 0, ..Default::default() };
-        let (dcs_orch, dcs_hist) =
-            train_dcsnet_online(&ds, 1.0, 1, 8, net.clone(), 0).unwrap();
+        let (dcs_orch, dcs_hist) = train_dcsnet_online(&ds, 1.0, 1, 8, net.clone(), 0).unwrap();
         let cfg = OrcoConfig::for_dataset(orco_datasets::DatasetKind::MnistLike)
             .with_epochs(1)
             .with_batch_size(8);

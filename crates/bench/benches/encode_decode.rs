@@ -12,7 +12,10 @@ use orcodcs::{AsymmetricAutoencoder, OrcoConfig};
 
 fn bench_encode_decode(c: &mut Criterion) {
     let mut group = c.benchmark_group("encode_decode");
-    group.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300));
 
     let batch = Matrix::from_fn(32, 784, |r, ci| ((r * 31 + ci) as f32 * 0.01).sin().abs());
     for m in [128usize, 512, 1024] {
@@ -29,5 +32,35 @@ fn bench_encode_decode(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_encode_decode);
+/// The GEMM under every encode/decode/train round: square matmul at the
+/// sizes the paper's models hit, single-threaded vs the full thread budget.
+/// On a ≥ 4-core machine the `threads_auto` rows should be ≥ 2× faster than
+/// `threads_1` at 512×512 while producing bit-identical outputs.
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300));
+
+    for n in [128usize, 512, 1024] {
+        let a = Matrix::from_fn(n, n, |r, ci| ((r * 31 + ci) as f32 * 0.01).sin());
+        let b = Matrix::from_fn(n, n, |r, ci| ((r * 17 + ci) as f32 * 0.02).cos());
+
+        orco_tensor::parallel::set_threads(1);
+        let reference = a.matmul(&b);
+        group.bench_with_input(BenchmarkId::new("threads_1", n), &n, |bench, _| {
+            bench.iter(|| a.matmul(&b));
+        });
+
+        orco_tensor::parallel::set_threads(0);
+        assert_eq!(reference, a.matmul(&b), "thread count changed matmul results");
+        group.bench_with_input(BenchmarkId::new("threads_auto", n), &n, |bench, _| {
+            bench.iter(|| a.matmul(&b));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode_decode, bench_matmul);
 criterion_main!(benches);

@@ -10,7 +10,10 @@ use orco_tensor::Matrix;
 
 fn bench_losses(c: &mut Criterion) {
     let mut group = c.benchmark_group("loss_functions");
-    group.sample_size(20).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300));
 
     let pred = Matrix::from_fn(32, 784, |r, ci| ((r * 17 + ci) as f32 * 0.01).sin().abs());
     let target = Matrix::from_fn(32, 784, |r, ci| ((r * 13 + ci) as f32 * 0.02).cos().abs());

@@ -6,14 +6,19 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
 
-use orco_baselines::cs::{ista_reconstruct, omp_reconstruct, Dct2, GaussianMeasurement, IstaConfig};
+use orco_baselines::cs::{
+    ista_reconstruct, omp_reconstruct, Dct2, GaussianMeasurement, IstaConfig,
+};
 use orco_datasets::{mnist_like, DatasetKind};
 use orco_tensor::{Matrix, OrcoRng};
 use orcodcs::{AsymmetricAutoencoder, OrcoConfig};
 
 fn bench_decoders(c: &mut Criterion) {
     let mut group = c.benchmark_group("reconstruction_decoders");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
 
     let dataset = mnist_like::generate(8, 0);
     let image = dataset.sample(0);
@@ -36,7 +41,9 @@ fn bench_decoders(c: &mut Criterion) {
     let y = phi.measure(image);
 
     group.bench_function("ista_decode_1img_m128", |b| {
-        b.iter(|| ista_reconstruct(&a, &y, &IstaConfig { lambda: 0.01, max_iters: 100, tol: 1e-5 }));
+        b.iter(|| {
+            ista_reconstruct(&a, &y, &IstaConfig { lambda: 0.01, max_iters: 100, tol: 1e-5 })
+        });
     });
     group.bench_function("omp_decode_1img_m128_k32", |b| {
         b.iter(|| omp_reconstruct(&a, &y, 32));

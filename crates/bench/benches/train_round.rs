@@ -9,11 +9,14 @@ use std::time::Duration;
 use orco_baselines::Dcsnet;
 use orco_datasets::{mnist_like, DatasetKind};
 use orco_wsn::NetworkConfig;
-use orcodcs::{OrcoConfig, Orchestrator};
+use orcodcs::{Orchestrator, OrcoConfig};
 
 fn bench_train_round(c: &mut Criterion) {
     let mut group = c.benchmark_group("train_round");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
 
     let dataset = mnist_like::generate(32, 0);
     let net = NetworkConfig { num_devices: 16, seed: 0, ..Default::default() };

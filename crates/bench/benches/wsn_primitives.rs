@@ -10,13 +10,23 @@ use orco_wsn::{Network, NetworkConfig};
 
 fn bench_wsn(c: &mut Criterion) {
     let mut group = c.benchmark_group("wsn_primitives");
-    group.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300));
 
     for devices in [64usize, 256, 784] {
         group.bench_with_input(BenchmarkId::new("build_network", devices), &devices, |b, &d| {
-            b.iter(|| Network::new(NetworkConfig { num_devices: d, seed: 0, ..Default::default() }));
+            b.iter(|| {
+                Network::new(NetworkConfig { num_devices: d, seed: 0, ..Default::default() })
+            });
         });
-        let mut net = Network::new(NetworkConfig { num_devices: devices, seed: 0, battery_scale: 1e9, ..Default::default() });
+        let mut net = Network::new(NetworkConfig {
+            num_devices: devices,
+            seed: 0,
+            battery_scale: 1e9,
+            ..Default::default()
+        });
         group.bench_with_input(BenchmarkId::new("raw_round", devices), &devices, |b, _| {
             b.iter(|| net.raw_aggregation_round(4).expect("round runs"));
         });

@@ -14,7 +14,7 @@ use orco_datasets::{drift, mnist_like, DatasetKind};
 use orco_nn::Loss;
 use orco_tensor::OrcoRng;
 use orco_wsn::{Network, NetworkConfig, PacketKind};
-use orcodcs::{AsymmetricAutoencoder, GradCompression, OrcoConfig, Orchestrator};
+use orcodcs::{AsymmetricAutoencoder, GradCompression, Orchestrator, OrcoConfig};
 
 use crate::harness::{banner, Scale};
 
@@ -54,7 +54,11 @@ fn loss_shape_ablation(scale: Scale, rows: &mut Vec<AblationRow>) {
             Loss::L2.value(&recon, ds.x())
         };
         println!("  {label:<30} probe L2 {l2:.6}");
-        rows.push(AblationRow { group: "loss_shape", variant: label.to_string(), value: f64::from(l2) });
+        rows.push(AblationRow {
+            group: "loss_shape",
+            variant: label.to_string(),
+            value: f64::from(l2),
+        });
     }
 }
 
@@ -70,7 +74,11 @@ fn noise_robustness_ablation(scale: Scale, rows: &mut Vec<AblationRow>) {
         let recon = ae.reconstruct(drifted.x());
         let l2 = Loss::L2.value(&recon, ds.x());
         println!("  {label:<30} drifted-input L2 {l2:.6}");
-        rows.push(AblationRow { group: "noise_robustness", variant: label.to_string(), value: f64::from(l2) });
+        rows.push(AblationRow {
+            group: "noise_robustness",
+            variant: label.to_string(),
+            value: f64::from(l2),
+        });
     }
 }
 
@@ -102,17 +110,20 @@ fn data_plane_ablation(rows: &mut Vec<AblationRow>) {
         ("direct per-device uplink", direct_bytes),
     ] {
         println!("  {label:<30} {bytes:>10} bytes/frame");
-        rows.push(AblationRow { group: "data_plane", variant: label.to_string(), value: bytes as f64 });
+        rows.push(AblationRow {
+            group: "data_plane",
+            variant: label.to_string(),
+            value: bytes as f64,
+        });
     }
 }
 
 fn grad_compression_ablation(scale: Scale, rows: &mut Vec<AblationRow>) {
     println!("\n--- Ablation 4: gradient-feedback compression ---");
     let ds = mnist_like::generate(scale.train_n(DatasetKind::MnistLike).min(128), 2);
-    for (label, policy) in [
-        ("f32 feedback", GradCompression::None),
-        ("8-bit feedback", GradCompression::Byte),
-    ] {
+    for (label, policy) in
+        [("f32 feedback", GradCompression::None), ("8-bit feedback", GradCompression::Byte)]
+    {
         let cfg = super::orco_config(DatasetKind::MnistLike, scale)
             .with_grad_compression(policy)
             .with_epochs(scale.epochs().min(5));
@@ -125,7 +136,11 @@ fn grad_compression_ablation(scale: Scale, rows: &mut Vec<AblationRow>) {
             Loss::L2.value(&recon, ds.x())
         };
         println!("  {label:<30} feedback bytes {bytes:>12}   probe L2 {l2:.6}");
-        rows.push(AblationRow { group: "grad_compression", variant: label.to_string(), value: bytes as f64 });
+        rows.push(AblationRow {
+            group: "grad_compression",
+            variant: label.to_string(),
+            value: bytes as f64,
+        });
     }
 }
 
@@ -157,12 +172,8 @@ mod tests {
         };
         assert!(get("data_plane", "hybrid") <= get("data_plane", "plain"));
         // 8-bit feedback moves fewer bytes than f32.
-        assert!(
-            get("grad_compression", "8-bit") * 2.0 < get("grad_compression", "f32")
-        );
+        assert!(get("grad_compression", "8-bit") * 2.0 < get("grad_compression", "f32"));
         // Element-wise Huber trains at least as well as the vector form.
-        assert!(
-            get("loss_shape", "elementwise") <= get("loss_shape", "vector_huber") * 1.05
-        );
+        assert!(get("loss_shape", "elementwise") <= get("loss_shape", "vector_huber") * 1.05);
     }
 }

@@ -76,12 +76,7 @@ fn run_kind(kind: DatasetKind, scale: Scale, show_art: bool) -> Fig2Result {
             let d = luminance(dcs_recon.row(i), c, h, w);
             println!(
                 "{}",
-                ascii_side_by_side(
-                    &["Original", "OrcoDCS", "DCSNet"],
-                    &[&orig, &o, &d],
-                    h,
-                    w
-                )
+                ascii_side_by_side(&["Original", "OrcoDCS", "DCSNet"], &[&orig, &o, &d], h, w)
             );
         }
     }

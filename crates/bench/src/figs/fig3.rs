@@ -13,7 +13,7 @@
 use orco_datasets::DatasetKind;
 use orco_wsn::NetworkConfig;
 use orcodcs::aggregation::{measure_compressed_pipeline, TransmissionReport};
-use orcodcs::{OrcoConfig, Orchestrator};
+use orcodcs::{Orchestrator, OrcoConfig};
 
 use crate::harness::{banner, print_series_table, Scale, Series};
 
@@ -44,10 +44,7 @@ fn measure(kind: DatasetKind, latent_dim: usize, devices: usize) -> Transmission
 /// cluster has one device per reading (paper model; slower to simulate) or
 /// a fixed 64-device cluster.
 pub fn run(scale: Scale) -> Vec<Fig3Row> {
-    banner(
-        "Figure 3",
-        "Transmission cost (KB) for 1 000 / 10 000 images: OrcoDCS vs DCSNet",
-    );
+    banner("Figure 3", "Transmission cost (KB) for 1 000 / 10 000 images: OrcoDCS vs DCSNet");
     let faithful = scale != Scale::Quick;
     let mut rows = Vec::new();
     for kind in [DatasetKind::MnistLike, DatasetKind::GtsrbLike] {

@@ -19,7 +19,7 @@ use orco_datasets::{Dataset, DatasetKind};
 use orco_nn::Loss;
 use orco_tensor::Matrix;
 use orco_wsn::NetworkConfig;
-use orcodcs::{OrcoConfig, Orchestrator, SplitModel};
+use orcodcs::{Orchestrator, OrcoConfig, SplitModel};
 
 use crate::harness::{banner, Scale};
 
@@ -136,10 +136,7 @@ fn half_dataset(dataset: &Dataset) -> Dataset {
 
 /// Runs the Figure 4 experiment.
 pub fn run(scale: Scale) -> Vec<Fig4Curve> {
-    banner(
-        "Figure 4",
-        "Time-to-loss (probe L2 vs simulated seconds) under the online protocol",
-    );
+    banner("Figure 4", "Time-to-loss (probe L2 vs simulated seconds) under the online protocol");
     let mut rows = run_kind(DatasetKind::MnistLike, scale);
     rows.extend(run_kind(DatasetKind::GtsrbLike, scale));
     rows

@@ -60,7 +60,10 @@ fn run_kind(kind: DatasetKind, scale: Scale) -> Vec<Fig8Row> {
     println!("\n--- {kind:?}: probe L2 vs epochs across decoder depths ---");
     print_series_table("epoch", "probe L2", &series);
     for r in &rows {
-        println!("  {:<14} final loss {:.6}  simulated time {:.1}s", r.label, r.final_loss, r.total_time_s);
+        println!(
+            "  {:<14} final loss {:.6}  simulated time {:.1}s",
+            r.label, r.final_loss, r.total_time_s
+        );
     }
     rows
 }

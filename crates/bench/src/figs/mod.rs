@@ -42,9 +42,7 @@ pub fn train_orcodcs_local(dataset: &Dataset, config: &OrcoConfig) -> Asymmetric
 /// Default OrcoDCS configuration for a figure run at the given scale.
 #[must_use]
 pub fn orco_config(kind: DatasetKind, scale: Scale) -> OrcoConfig {
-    OrcoConfig::for_dataset(kind)
-        .with_epochs(scale.epochs())
-        .with_batch_size(32)
+    OrcoConfig::for_dataset(kind).with_epochs(scale.epochs()).with_batch_size(32)
 }
 
 /// Trains the DCSNet baseline offline at a data fraction.

@@ -8,15 +8,13 @@
 //! exactly linear in the frame count, so measuring a handful of frames and
 //! scaling is exact, not an approximation).
 
-use serde::{Deserialize, Serialize};
-
 use orco_wsn::PacketKind;
 
 use crate::error::OrcoError;
 use crate::orchestrator::Orchestrator;
 
 /// Measured cost of a number of compressed-aggregation frames.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TransmissionReport {
     /// Frames measured.
     pub frames: usize,
@@ -129,11 +127,8 @@ mod tests {
 
     fn orch_with(latent: usize) -> Orchestrator {
         let cfg = OrcoConfig::for_dataset(DatasetKind::MnistLike).with_latent_dim(latent);
-        Orchestrator::new(
-            cfg,
-            NetworkConfig { num_devices: 32, seed: 0, ..Default::default() },
-        )
-        .unwrap()
+        Orchestrator::new(cfg, NetworkConfig { num_devices: 32, seed: 0, ..Default::default() })
+            .unwrap()
     }
 
     #[test]

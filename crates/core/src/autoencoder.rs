@@ -58,13 +58,10 @@ impl AsymmetricAutoencoder {
     pub fn new(config: &OrcoConfig) -> Result<Self, OrcoError> {
         config.validate()?;
         let mut rng = OrcoRng::from_label("orcodcs-autoencoder", config.seed);
-        let encoder = Dense::new(config.input_dim, config.latent_dim, Activation::Sigmoid, &mut rng);
-        let decoder = build_decoder(
-            config.latent_dim,
-            config.input_dim,
-            config.decoder_layers,
-            &mut rng,
-        );
+        let encoder =
+            Dense::new(config.input_dim, config.latent_dim, Activation::Sigmoid, &mut rng);
+        let decoder =
+            build_decoder(config.latent_dim, config.input_dim, config.decoder_layers, &mut rng);
         let noise_rng = rng.derive("latent-noise");
         Ok(Self {
             encoder,
@@ -284,9 +281,7 @@ mod tests {
     use orco_datasets::DatasetKind;
 
     fn tiny_config() -> OrcoConfig {
-        OrcoConfig::for_dataset(DatasetKind::MnistLike)
-            .with_latent_dim(16)
-            .with_learning_rate(0.1)
+        OrcoConfig::for_dataset(DatasetKind::MnistLike).with_latent_dim(16).with_learning_rate(0.1)
     }
 
     #[test]

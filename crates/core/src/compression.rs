@@ -11,12 +11,10 @@
 //! uses the dequantized gradient, so any accuracy cost of the 4× byte
 //! saving shows up in the training curves rather than being assumed away.
 
-use serde::{Deserialize, Serialize};
-
 use orco_tensor::Matrix;
 
 /// Gradient-compression policy for the feedback uplink.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum GradCompression {
     /// Full-precision f32 gradients (4 bytes/element).
     #[default]
@@ -50,7 +48,7 @@ impl GradCompression {
 }
 
 /// A matrix quantized to `i8` with one per-tensor scale.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QuantizedMatrix {
     rows: usize,
     cols: usize,
@@ -69,11 +67,8 @@ impl QuantizedMatrix {
             return Self { rows: m.rows(), cols: m.cols(), scale: 0.0, data: vec![0; m.len()] };
         }
         let scale = max_abs / 127.0;
-        let data = m
-            .as_slice()
-            .iter()
-            .map(|&v| (v / scale).round().clamp(-127.0, 127.0) as i8)
-            .collect();
+        let data =
+            m.as_slice().iter().map(|&v| (v / scale).round().clamp(-127.0, 127.0) as i8).collect();
         Self { rows: m.rows(), cols: m.cols(), scale, data }
     }
 

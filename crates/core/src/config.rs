@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use orco_datasets::DatasetKind;
 use orco_nn::Loss;
 
@@ -25,7 +23,7 @@ use crate::error::OrcoError;
 /// let deeper = cfg.with_decoder_layers(3).with_noise_variance(0.2);
 /// assert_eq!(deeper.decoder_layers, 3);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct OrcoConfig {
     /// Flattened sample length `N` (the number of IoT readings per frame).
     pub input_dim: usize,

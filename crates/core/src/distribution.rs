@@ -107,11 +107,7 @@ impl EncoderColumns {
     ) -> Result<Vec<f32>, OrcoError> {
         if readings.len() != self.num_devices() {
             return Err(OrcoError::Config {
-                detail: format!(
-                    "expected {} readings, got {}",
-                    self.num_devices(),
-                    readings.len()
-                ),
+                detail: format!("expected {} readings, got {}", self.num_devices(), readings.len()),
             });
         }
         let mut acc = vec![0.0f32; self.latent_dim];
@@ -131,11 +127,7 @@ impl EncoderColumns {
     #[must_use]
     pub fn finish_at_aggregator(&self, partial_sum: &[f32]) -> Vec<f32> {
         assert_eq!(partial_sum.len(), self.latent_dim, "partial sum length mismatch");
-        partial_sum
-            .iter()
-            .zip(&self.bias)
-            .map(|(s, b)| 1.0 / (1.0 + (-(s + b)).exp()))
-            .collect()
+        partial_sum.iter().zip(&self.bias).map(|(s, b)| 1.0 / (1.0 + (-(s + b)).exp())).collect()
     }
 
     /// Reassembles the full `(M, N)` weight matrix and `(1, M)` bias —
@@ -211,9 +203,7 @@ mod tests {
         let (w, b) = sample_encoder();
         let cols = EncoderColumns::split(&w, &b);
         assert!(cols.chain_partial_sum(&[1.0, 2.0], &[0, 1]).is_err());
-        assert!(cols
-            .chain_partial_sum(&[0.0; 6], &[0, 1, 2, 3, 4, 99])
-            .is_err());
+        assert!(cols.chain_partial_sum(&[0.0; 6], &[0, 1, 2, 3, 4, 99]).is_err());
     }
 
     #[test]

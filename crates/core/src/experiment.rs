@@ -105,7 +105,14 @@ pub fn run_orcodcs_scaled(
     let finite: Vec<f32> = psnrs.into_iter().filter(|p| p.is_finite()).collect();
     let mean_psnr_db = stats::mean(&finite);
 
-    Ok(OrcoOutcome { history, final_loss, mean_psnr_db, sim_time_s, data_plane, orchestrator: orch })
+    Ok(OrcoOutcome {
+        history,
+        final_loss,
+        mean_psnr_db,
+        sim_time_s,
+        data_plane,
+        orchestrator: orch,
+    })
 }
 
 #[cfg(test)]
@@ -136,8 +143,7 @@ mod tests {
             .with_latent_dim(16)
             .with_epochs(1)
             .with_batch_size(8);
-        let outcome =
-            run_orcodcs_scaled(&ds, &cfg, ClusterScale::Faithful).unwrap();
+        let outcome = run_orcodcs_scaled(&ds, &cfg, ClusterScale::Faithful).unwrap();
         assert_eq!(outcome.orchestrator.network().devices().len(), 784);
     }
 

@@ -152,8 +152,7 @@ impl MultiClusterCoordinator {
     /// forward + backward at the edge rate for one batch).
     fn edge_time_per_round(&self, i: usize, batch: usize) -> f64 {
         let model = self.clusters[i].autoencoder();
-        let flops = (model.decoder_flops_forward() + model.decoder_flops_backward())
-            * batch as u64;
+        let flops = (model.decoder_flops_forward() + model.decoder_flops_backward()) * batch as u64;
         self.clusters[i]
             .network()
             .config()
@@ -183,9 +182,25 @@ impl MultiClusterCoordinator {
     /// training round on its own batch (here: the full per-cluster dataset,
     /// which keeps the contention model in focus).
     ///
+    /// Within a sweep the expensive per-cluster training rounds execute
+    /// **concurrently** on scoped threads: the edge-contention bookkeeping
+    /// (who waits how long for the busy edge) depends only on each
+    /// cluster's pre-round clock and its decoder's FLOP count, both known
+    /// before any training starts, so the waits are resolved serially in
+    /// schedule order first and the rounds themselves — whose mathematics
+    /// never reads the shared edge state — then run in parallel. Results
+    /// are bit-identical to fully serial execution at any thread count.
+    ///
     /// # Errors
     ///
-    /// Propagates per-round errors.
+    /// Propagates per-round errors. Coordinator bookkeeping (edge
+    /// accounting, per-cluster losses, waits, round counts) is committed in
+    /// schedule order only up to the first failing cluster, exactly as
+    /// serial execution would leave it. Because the sweep's rounds run
+    /// concurrently, clusters scheduled *after* a failure may already have
+    /// advanced their own clocks and models even though nothing about them
+    /// is recorded — after an error the coordinator should be inspected or
+    /// discarded, not trained further.
     ///
     /// # Panics
     ///
@@ -199,25 +214,39 @@ impl MultiClusterCoordinator {
         let mut rounds = vec![0usize; self.clusters.len()];
 
         for sweep in 0..sweeps {
-            for &i in &self.sweep_order(sweep) {
-                let batch = datasets[i].x();
-                let edge_time = self.edge_time_per_round(i, batch.rows());
+            let order = self.sweep_order(sweep);
 
-                // Contention: the round cannot use the edge before it frees.
+            // Phase 1 (serial, cheap): resolve edge contention in schedule
+            // order. The edge serves one decoder round at a time; a round
+            // occupies it from the moment its cluster reaches it. Nothing
+            // is committed to coordinator state yet.
+            let mut waits = vec![0.0f64; self.clusters.len()];
+            let mut edge_times = vec![0.0f64; self.clusters.len()];
+            let mut edge_free_after = vec![0.0f64; self.clusters.len()];
+            let mut edge_free = self.edge_free_at_s;
+            for &i in &order {
+                edge_times[i] = self.edge_time_per_round(i, datasets[i].x().rows());
                 let cluster_now = self.clusters[i].network().now_s();
-                let wait = (self.edge_free_at_s - cluster_now).max(0.0);
-                if wait > 0.0 {
-                    self.clusters[i].network_mut().wait(wait);
-                    self.waits_s[i] += wait;
-                }
-                let (loss, _dt) = self.clusters[i].train_round(batch)?;
+                waits[i] = (edge_free - cluster_now).max(0.0);
+                let start = (cluster_now + waits[i]).max(edge_free);
+                edge_free = start + edge_times[i];
+                edge_free_after[i] = edge_free;
+            }
+
+            // Phase 2 (parallel): every cluster waits out its contention
+            // delay and trains independently on its own deployment.
+            let mut results = run_cluster_rounds(&mut self.clusters, datasets, &waits);
+
+            // Phase 3 (serial commit): record outcomes in schedule order,
+            // stopping at the first failure so recorded state matches what
+            // a serial run would have recorded when it hit that error.
+            for &i in &order {
+                let (loss, _dt) = results[i].take().expect("each cluster trains once per sweep")?;
+                self.edge_free_at_s = edge_free_after[i];
+                self.edge_busy_s += edge_times[i];
+                self.waits_s[i] += waits[i];
                 self.last_loss[i] = loss;
                 rounds[i] += 1;
-                // The edge was occupied for this round's decoder work,
-                // starting when the cluster reached it.
-                let start = (cluster_now + wait).max(self.edge_free_at_s);
-                self.edge_free_at_s = start + edge_time;
-                self.edge_busy_s += edge_time;
             }
         }
 
@@ -230,10 +259,60 @@ impl MultiClusterCoordinator {
                 edge_wait_s: self.waits_s[i],
             })
             .collect();
-        let makespan_s =
-            reports.iter().map(|r| r.sim_time_s).fold(0.0f64, f64::max);
+        let makespan_s = reports.iter().map(|r| r.sim_time_s).fold(0.0f64, f64::max);
         Ok(MultiClusterOutcome { reports, makespan_s, edge_busy_s: self.edge_busy_s })
     }
+}
+
+/// Runs one training round per cluster concurrently on scoped threads,
+/// after advancing each cluster's clock by its edge-contention wait.
+///
+/// Each thread owns a disjoint `&mut Orchestrator`, and a cluster's round
+/// reads nothing outside its own state, so execution order across threads
+/// cannot influence any result; the returned vector is indexed by cluster.
+/// The thread budget follows [`orco_tensor::parallel::threads`], and each
+/// worker runs under [`orco_tensor::parallel::with_thread_budget`] with its
+/// fair slice of that budget so the GEMMs inside `train_round` cannot
+/// multiply worker counts into `budget × budget` threads.
+#[allow(clippy::type_complexity)]
+fn run_cluster_rounds(
+    clusters: &mut [Orchestrator],
+    datasets: &[Dataset],
+    waits: &[f64],
+) -> Vec<Option<Result<(f32, f64), OrcoError>>> {
+    let total_budget = orco_tensor::parallel::threads();
+    let budget = total_budget.min(clusters.len()).max(1);
+    let run_one = |i: usize, cluster: &mut Orchestrator| {
+        if waits[i] > 0.0 {
+            cluster.network_mut().wait(waits[i]);
+        }
+        Some(cluster.train_round(datasets[i].x()))
+    };
+    if budget == 1 {
+        return clusters.iter_mut().enumerate().map(|(i, c)| run_one(i, c)).collect();
+    }
+    let inner_budget = (total_budget / budget).max(1);
+    let chunk = clusters.len().div_ceil(budget);
+    let mut results: Vec<Option<Result<(f32, f64), OrcoError>>> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(budget);
+        for (block_idx, block) in clusters.chunks_mut(chunk).enumerate() {
+            let run_one = &run_one;
+            handles.push(scope.spawn(move || {
+                orco_tensor::parallel::with_thread_budget(inner_budget, || {
+                    block
+                        .iter_mut()
+                        .enumerate()
+                        .map(|(off, c)| run_one(block_idx * chunk + off, c))
+                        .collect::<Vec<_>>()
+                })
+            }));
+        }
+        for handle in handles {
+            results.extend(handle.join().expect("cluster round thread panicked"));
+        }
+    });
+    results
 }
 
 #[cfg(test)]

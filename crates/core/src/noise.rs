@@ -46,8 +46,8 @@ mod tests {
         let y = Matrix::zeros(50, 200);
         let noisy = add_gaussian(&y, 0.36, &mut rng);
         let mean = noisy.mean();
-        let var = noisy.as_slice().iter().map(|v| (v - mean).powi(2)).sum::<f32>()
-            / noisy.len() as f32;
+        let var =
+            noisy.as_slice().iter().map(|v| (v - mean).powi(2)).sum::<f32>() / noisy.len() as f32;
         assert!(mean.abs() < 0.01, "mean {mean}");
         assert!((var - 0.36).abs() < 0.03, "var {var}");
     }

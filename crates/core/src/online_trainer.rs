@@ -201,10 +201,7 @@ impl OnlineTrainer {
         } else {
             false
         };
-        Ok((
-            OnlineStepOutcome { reconstruction_loss: err, retraining: Some(history) },
-            rolled_back,
-        ))
+        Ok((OnlineStepOutcome { reconstruction_loss: err, retraining: Some(history) }, rolled_back))
     }
 }
 
@@ -257,11 +254,9 @@ mod tests {
             .with_batch_size(16)
             .with_learning_rate(0.1)
             .with_finetune_threshold(0.012);
-        let orch = Orchestrator::new(
-            cfg,
-            NetworkConfig { num_devices: 8, seed: 2, ..Default::default() },
-        )
-        .unwrap();
+        let orch =
+            Orchestrator::new(cfg, NetworkConfig { num_devices: 8, seed: 2, ..Default::default() })
+                .unwrap();
         let mut online = OnlineTrainer::new(orch);
         let ds = mnist_like::generate(32, 5);
         let _ = online.initial_training(ds.x()).unwrap();
@@ -298,11 +293,9 @@ mod tests {
             .with_batch_size(32)
             .with_learning_rate(0.9) // destructive
             .with_finetune_threshold(0.0001);
-        let orch = Orchestrator::new(
-            cfg,
-            NetworkConfig { num_devices: 8, seed: 4, ..Default::default() },
-        )
-        .unwrap();
+        let orch =
+            Orchestrator::new(cfg, NetworkConfig { num_devices: 8, seed: 4, ..Default::default() })
+                .unwrap();
         let mut online = OnlineTrainer::new(orch);
         let ds = mnist_like::generate(32, 9);
         // Fill the monitor window so the first processed batch triggers.

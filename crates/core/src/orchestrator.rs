@@ -92,8 +92,7 @@ impl Orchestrator<AsymmetricAutoencoder> {
     ///
     /// Propagates transmission failures.
     pub fn distribute_encoder(&mut self) -> Result<(EncoderColumns, f64), OrcoError> {
-        let columns =
-            EncoderColumns::split(self.model.encoder_weight(), self.model.encoder_bias());
+        let columns = EncoderColumns::split(self.model.encoder_weight(), self.model.encoder_bias());
         let t = self.network.broadcast_encoder_columns(columns.column_bytes())?;
         Ok((columns, t))
     }
@@ -112,8 +111,7 @@ impl Orchestrator<AsymmetricAutoencoder> {
         // Per-device cost: M multiply-adds into the partial sum.
         let device_flops = (2 * self.config.latent_dim) as u64;
         let t0 = self.network.now_s();
-        self.network
-            .compressed_aggregation_round(latent_bytes, device_flops)?;
+        self.network.compressed_aggregation_round(latent_bytes, device_flops)?;
         // Aggregator finishes the encoding (bias + σ) and uplinks.
         let agg = self.network.aggregator();
         let edge = self.network.edge();
@@ -132,13 +130,7 @@ impl<M: SplitModel> Orchestrator<M> {
     #[must_use]
     pub fn with_model(model: M, config: OrcoConfig, net_config: NetworkConfig) -> Self {
         let batch_rng = OrcoRng::from_label("orcodcs-batching", config.seed);
-        Self {
-            model,
-            config,
-            network: Network::new(net_config),
-            batch_rng,
-            rounds_run: 0,
-        }
+        Self { model, config, network: Network::new(net_config), batch_rng, rounds_run: 0 }
     }
 
     /// The wrapped model.
@@ -218,8 +210,7 @@ impl<M: SplitModel> Orchestrator<M> {
         let loss = self.config.loss();
 
         // 1. Aggregator: encode + noise.
-        self.network
-            .compute(agg, self.model.encoder_flops_forward() * b as u64)?;
+        self.network.compute(agg, self.model.encoder_flops_forward() * b as u64)?;
         let noisy_latent = self.model.aggregator_encode_train(batch);
 
         // 2. Uplink latent batch.
@@ -227,15 +218,13 @@ impl<M: SplitModel> Orchestrator<M> {
         self.network.transmit(agg, edge, latent_bytes, PacketKind::LatentVector)?;
 
         // 3. Edge: decode, downlink reconstructions.
-        self.network
-            .compute(edge, self.model.decoder_flops_forward() * b as u64)?;
+        self.network.compute(edge, self.model.decoder_flops_forward() * b as u64)?;
         let reconstruction = self.model.edge_decode_train(&noisy_latent);
         let recon_bytes = (reconstruction.len() * 4) as u64;
         self.network.transmit(edge, agg, recon_bytes, PacketKind::Reconstruction)?;
 
         // 4. Aggregator: loss + gradient, uplink the gradient.
-        self.network
-            .compute(agg, loss.flops(batch.cols()) * b as u64)?;
+        self.network.compute(agg, loss.flops(batch.cols()) * b as u64)?;
         let value = loss.value(&reconstruction, batch);
         let grad = loss.grad(&reconstruction, batch);
         if !value.is_finite() {
@@ -247,14 +236,12 @@ impl<M: SplitModel> Orchestrator<M> {
         self.network.transmit(agg, edge, grad_bytes, PacketKind::ModelUpdate)?;
 
         // 5. Edge: decoder backward + update, downlink latent gradient.
-        self.network
-            .compute(edge, self.model.decoder_flops_backward() * b as u64)?;
+        self.network.compute(edge, self.model.decoder_flops_backward() * b as u64)?;
         let grad_latent = self.model.edge_decoder_update(&grad_rx);
         self.network.transmit(edge, agg, latent_bytes, PacketKind::ModelUpdate)?;
 
         // 6. Aggregator: encoder backward + update.
-        self.network
-            .compute(agg, self.model.encoder_flops_backward() * b as u64)?;
+        self.network.compute(agg, self.model.encoder_flops_backward() * b as u64)?;
         self.model.aggregator_encoder_update(&grad_latent);
 
         self.rounds_run += 1;
@@ -286,17 +273,13 @@ impl<M: SplitModel> Orchestrator<M> {
                     epoch,
                     loss,
                     sim_time_s: self.network.now_s(),
-                    uplink_bytes: self
-                        .network
-                        .accounting()
-                        .bytes_by_kind(PacketKind::LatentVector),
+                    uplink_bytes: self.network.accounting().bytes_by_kind(PacketKind::LatentVector),
                 });
                 round += 1;
             }
         }
         Ok(history)
     }
-
 }
 
 #[cfg(test)]
@@ -409,12 +392,8 @@ mod tests {
         let h_comp = compressed.train(ds.x()).unwrap();
         // 4x smaller feedback uplink → strictly fewer ModelUpdate bytes.
         let full_bytes = full.network().accounting().bytes_by_kind(PacketKind::ModelUpdate);
-        let comp_bytes =
-            compressed.network().accounting().bytes_by_kind(PacketKind::ModelUpdate);
-        assert!(
-            comp_bytes * 2 < full_bytes,
-            "compressed {comp_bytes} vs full {full_bytes}"
-        );
+        let comp_bytes = compressed.network().accounting().bytes_by_kind(PacketKind::ModelUpdate);
+        assert!(comp_bytes * 2 < full_bytes, "compressed {comp_bytes} vs full {full_bytes}");
         // And training still converges to a similar loss.
         let lf = h_full.final_loss().unwrap();
         let lc = h_comp.final_loss().unwrap();

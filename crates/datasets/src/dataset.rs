@@ -1,9 +1,7 @@
-use serde::{Deserialize, Serialize};
-
 use orco_tensor::Matrix;
 
 /// Which synthetic corpus a [`Dataset`] was drawn from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DatasetKind {
     /// 28×28 grayscale digit glyphs (MNIST stand-in).
     MnistLike,

@@ -91,10 +91,7 @@ mod tests {
             let severe = apply(&ds, d, 0.9, &mut rng);
             let e_mild = stats::mse(ds.x().as_slice(), mild.x().as_slice());
             let e_severe = stats::mse(ds.x().as_slice(), severe.x().as_slice());
-            assert!(
-                e_severe > e_mild,
-                "{d:?}: severe ({e_severe}) not worse than mild ({e_mild})"
-            );
+            assert!(e_severe > e_mild, "{d:?}: severe ({e_severe}) not worse than mild ({e_mild})");
         }
     }
 

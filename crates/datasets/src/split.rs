@@ -34,10 +34,7 @@ pub fn train_test(dataset: &Dataset, train_fraction: f32, rng: &mut OrcoRng) -> 
     assert!(n_train > 0 && n_train < n, "train_test: split leaves an empty side");
     let mut idx: Vec<usize> = (0..n).collect();
     rng.shuffle(&mut idx);
-    Split {
-        train: dataset.subset(&idx[..n_train]),
-        test: dataset.subset(&idx[n_train..]),
-    }
+    Split { train: dataset.subset(&idx[..n_train]), test: dataset.subset(&idx[n_train..]) }
 }
 
 /// Returns a random `fraction` of the dataset (the paper's DCSNet-`x`%
@@ -63,10 +60,8 @@ pub fn fraction(dataset: &Dataset, fraction: f32, rng: &mut OrcoRng) -> Dataset 
 /// Panics if either side would be empty.
 #[must_use]
 pub fn by_class_pivot(dataset: &Dataset, pivot: usize) -> (Dataset, Dataset) {
-    let left: Vec<usize> =
-        (0..dataset.len()).filter(|&i| dataset.label(i) < pivot).collect();
-    let right: Vec<usize> =
-        (0..dataset.len()).filter(|&i| dataset.label(i) >= pivot).collect();
+    let left: Vec<usize> = (0..dataset.len()).filter(|&i| dataset.label(i) < pivot).collect();
+    let right: Vec<usize> = (0..dataset.len()).filter(|&i| dataset.label(i) >= pivot).collect();
     assert!(!left.is_empty() && !right.is_empty(), "by_class_pivot: empty side");
     (dataset.subset(&left), dataset.subset(&right))
 }

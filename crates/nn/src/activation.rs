@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use orco_tensor::Matrix;
 
 /// Element-wise activation function.
@@ -18,7 +16,7 @@ use orco_tensor::Matrix;
 /// assert_eq!(Activation::Identity.apply(-3.0), -3.0);
 /// assert!((Activation::Sigmoid.apply(0.0) - 0.5).abs() < 1e-6);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Activation {
     /// `f(x) = x`.
     Identity,

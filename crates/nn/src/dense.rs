@@ -44,7 +44,12 @@ impl Dense {
     ///
     /// Panics if `input_dim` or `output_dim` is zero.
     #[must_use]
-    pub fn new(input_dim: usize, output_dim: usize, activation: Activation, rng: &mut OrcoRng) -> Self {
+    pub fn new(
+        input_dim: usize,
+        output_dim: usize,
+        activation: Activation,
+        rng: &mut OrcoRng,
+    ) -> Self {
         let init = match activation {
             Activation::Relu | Activation::LeakyRelu(_) => Init::HeNormal,
             _ => Init::XavierUniform,
@@ -154,8 +159,11 @@ impl Layer for Dense {
     fn backward(&mut self, grad_output: &Matrix) -> Matrix {
         let input = self.cached_input.as_ref().expect("Dense::backward called before forward");
         let pre = self.cached_pre.as_ref().expect("Dense::backward called before forward");
-        assert_eq!(grad_output.shape(), (input.rows(), self.weight.rows()),
-            "Dense::backward: grad_output shape mismatch");
+        assert_eq!(
+            grad_output.shape(),
+            (input.rows(), self.weight.rows()),
+            "Dense::backward: grad_output shape mismatch"
+        );
 
         // δ = grad_output ⊙ σ'(pre)         (batch, out)
         let delta = grad_output.hadamard(&self.activation.derivative_matrix(pre));

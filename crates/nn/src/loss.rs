@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use orco_tensor::Matrix;
 
 /// A training loss over a batch of predictions and targets.
@@ -13,7 +11,7 @@ use orco_tensor::Matrix;
 ///
 /// All losses report the **mean over samples** so values are comparable
 /// across batch sizes.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Loss {
     /// Mean absolute error.
     L1,
@@ -52,8 +50,7 @@ impl Loss {
             }
             Loss::L2 => {
                 let diff = pred - target;
-                0.5 * diff.as_slice().iter().map(|v| v * v).sum::<f32>()
-                    / (n * pred.cols() as f32)
+                0.5 * diff.as_slice().iter().map(|v| v * v).sum::<f32>() / (n * pred.cols() as f32)
             }
             Loss::Huber { delta } => {
                 assert!(delta > 0.0, "Huber: delta must be positive");
@@ -222,11 +219,7 @@ mod tests {
     fn gradients_match_finite_differences() {
         let pred = Matrix::from_vec(2, 3, vec![0.3, -0.8, 1.2, 0.05, 0.4, -0.15]).unwrap();
         let target = Matrix::from_vec(2, 3, vec![0.1, 0.1, 1.0, 0.0, 0.5, 0.0]).unwrap();
-        for loss in [
-            Loss::L2,
-            Loss::Huber { delta: 0.5 },
-            Loss::VectorHuber { delta: 0.7 },
-        ] {
+        for loss in [Loss::L2, Loss::Huber { delta: 0.5 }, Loss::VectorHuber { delta: 0.7 }] {
             let analytic = loss.grad(&pred, &target);
             let numeric = fd_grad(&loss, &pred, &target);
             assert!(

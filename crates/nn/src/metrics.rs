@@ -56,7 +56,10 @@ impl ConfusionMatrix {
     ///
     /// Panics if either index is out of range.
     pub fn record(&mut self, actual: usize, predicted: usize) {
-        assert!(actual < self.classes && predicted < self.classes, "ConfusionMatrix: class out of range");
+        assert!(
+            actual < self.classes && predicted < self.classes,
+            "ConfusionMatrix: class out of range"
+        );
         self.counts[actual * self.classes + predicted] += 1;
     }
 

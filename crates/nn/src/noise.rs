@@ -115,8 +115,8 @@ mod tests {
         let x = Matrix::zeros(20, 1000);
         let noisy = layer.forward(&x, true);
         let m = noisy.mean();
-        let var = noisy.as_slice().iter().map(|v| (v - m).powi(2)).sum::<f32>()
-            / noisy.len() as f32;
+        let var =
+            noisy.as_slice().iter().map(|v| (v - m).powi(2)).sum::<f32>() / noisy.len() as f32;
         assert!(m.abs() < 0.01, "mean {m} should be ~0");
         assert!((var - 0.25).abs() < 0.02, "variance {var} should be ~0.25");
     }

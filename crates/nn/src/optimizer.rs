@@ -162,10 +162,8 @@ impl Optimizer {
 
         // Optional global gradient-norm clipping.
         let clip_scale = self.grad_clip.map(|max_norm| {
-            let total_sq: f32 = params
-                .iter()
-                .map(|p| p.grad.as_slice().iter().map(|g| g * g).sum::<f32>())
-                .sum();
+            let total_sq: f32 =
+                params.iter().map(|p| p.grad.as_slice().iter().map(|g| g * g).sum::<f32>()).sum();
             let norm = total_sq.sqrt();
             if norm > max_norm {
                 max_norm / norm
@@ -186,18 +184,16 @@ impl Optimizer {
                     param.value.add_scaled_inplace(&grad, -lr);
                 }
                 Kind::Momentum { lr, mu } => {
-                    let vel = slot
-                        .first
-                        .get_or_insert_with(|| Matrix::zeros(grad.rows(), grad.cols()));
+                    let vel =
+                        slot.first.get_or_insert_with(|| Matrix::zeros(grad.rows(), grad.cols()));
                     // v = mu*v + g;  w -= lr*v
                     *vel *= mu;
                     *vel += &grad;
                     param.value.add_scaled_inplace(vel, -lr);
                 }
                 Kind::RmsProp { lr, rho, eps } => {
-                    let sq = slot
-                        .second
-                        .get_or_insert_with(|| Matrix::zeros(grad.rows(), grad.cols()));
+                    let sq =
+                        slot.second.get_or_insert_with(|| Matrix::zeros(grad.rows(), grad.cols()));
                     for (s, &g) in sq.as_mut_slice().iter_mut().zip(grad.as_slice()) {
                         *s = rho * *s + (1.0 - rho) * g * g;
                     }
@@ -213,26 +209,20 @@ impl Optimizer {
                 }
                 Kind::Adam { lr, beta1, beta2, eps } => {
                     let t = self.step_count as f32;
-                    let m = slot
-                        .first
-                        .get_or_insert_with(|| Matrix::zeros(grad.rows(), grad.cols()));
+                    let m =
+                        slot.first.get_or_insert_with(|| Matrix::zeros(grad.rows(), grad.cols()));
                     for (mv, &g) in m.as_mut_slice().iter_mut().zip(grad.as_slice()) {
                         *mv = beta1 * *mv + (1.0 - beta1) * g;
                     }
-                    let v = slot
-                        .second
-                        .get_or_insert_with(|| Matrix::zeros(grad.rows(), grad.cols()));
+                    let v =
+                        slot.second.get_or_insert_with(|| Matrix::zeros(grad.rows(), grad.cols()));
                     for (vv, &g) in v.as_mut_slice().iter_mut().zip(grad.as_slice()) {
                         *vv = beta2 * *vv + (1.0 - beta2) * g * g;
                     }
                     let bc1 = 1.0 - beta1.powf(t);
                     let bc2 = 1.0 - beta2.powf(t);
-                    for ((w, &mv), &vv) in param
-                        .value
-                        .as_mut_slice()
-                        .iter_mut()
-                        .zip(m.as_slice())
-                        .zip(v.as_slice())
+                    for ((w, &mv), &vv) in
+                        param.value.as_mut_slice().iter_mut().zip(m.as_slice()).zip(v.as_slice())
                     {
                         let m_hat = mv / bc1;
                         let v_hat = vv / bc2;
@@ -254,7 +244,9 @@ mod tests {
         let mut w = Matrix::zeros(1, 3);
         let mut g = Matrix::zeros(1, 3);
         for _ in 0..iters {
-            for ((gi, &wi), &ti) in g.as_mut_slice().iter_mut().zip(w.as_slice()).zip(target.as_slice()) {
+            for ((gi, &wi), &ti) in
+                g.as_mut_slice().iter_mut().zip(w.as_slice()).zip(target.as_slice())
+            {
                 *gi = wi - ti;
             }
             opt.step(vec![Param { value: &mut w, grad: &mut g }]);

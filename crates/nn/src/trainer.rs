@@ -120,9 +120,7 @@ mod tests {
     fn toy_regression(rng: &mut OrcoRng) -> (Matrix, Matrix) {
         // y = 0.5*x0 - 0.25*x1 + 0.1, squashed by sigmoid-friendly range.
         let x = Matrix::from_fn(64, 2, |_, _| rng.uniform(-1.0, 1.0));
-        let y = Matrix::from_fn(64, 1, |r, _| {
-            0.5 * x[(r, 0)] - 0.25 * x[(r, 1)] + 0.1
-        });
+        let y = Matrix::from_fn(64, 1, |r, _| 0.5 * x[(r, 0)] - 0.25 * x[(r, 1)] + 0.1);
         (x, y)
     }
 
@@ -157,7 +155,12 @@ mod tests {
             &y,
             &Loss::L2,
             &mut opt,
-            &FitConfig { epochs: 500, batch_size: 64, target_loss: Some(1e-3), ..Default::default() },
+            &FitConfig {
+                epochs: 500,
+                batch_size: 64,
+                target_loss: Some(1e-3),
+                ..Default::default()
+            },
             &mut rng,
         );
         assert!(history.early_stopped);

@@ -12,11 +12,7 @@ use proptest::prelude::*;
 // kink at 0 produce spurious mismatches (the kinked layers have dedicated
 // deterministic unit tests in `orco_nn::gradcheck`).
 fn activation_strategy() -> impl Strategy<Value = Activation> {
-    prop_oneof![
-        Just(Activation::Identity),
-        Just(Activation::Sigmoid),
-        Just(Activation::Tanh),
-    ]
+    prop_oneof![Just(Activation::Identity), Just(Activation::Sigmoid), Just(Activation::Tanh),]
 }
 
 proptest! {

@@ -49,10 +49,9 @@ pub enum TensorError {
 impl fmt::Display for TensorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TensorError::LengthMismatch { expected, actual } => write!(
-                f,
-                "buffer length mismatch: expected {expected} elements, got {actual}"
-            ),
+            TensorError::LengthMismatch { expected, actual } => {
+                write!(f, "buffer length mismatch: expected {expected} elements, got {actual}")
+            }
             TensorError::EmptyDimension { dim } => {
                 write!(f, "dimension `{dim}` must be non-zero")
             }
@@ -78,10 +77,7 @@ mod tests {
     #[test]
     fn display_length_mismatch() {
         let e = TensorError::LengthMismatch { expected: 6, actual: 5 };
-        assert_eq!(
-            e.to_string(),
-            "buffer length mismatch: expected 6 elements, got 5"
-        );
+        assert_eq!(e.to_string(), "buffer length mismatch: expected 6 elements, got 5");
     }
 
     #[test]

@@ -48,7 +48,14 @@ impl Conv2dGeom {
     /// Panics if `kernel` or `stride` is zero, or if the padded input is
     /// smaller than the kernel.
     #[must_use]
-    pub fn new(in_c: usize, in_h: usize, in_w: usize, kernel: usize, stride: usize, pad: usize) -> Self {
+    pub fn new(
+        in_c: usize,
+        in_h: usize,
+        in_w: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Self {
         assert!(kernel > 0, "kernel must be non-zero");
         assert!(stride > 0, "stride must be non-zero");
         assert!(
@@ -266,7 +273,9 @@ mod tests {
         // ⟨im2col(x), p⟩ == ⟨x, col2im(p)⟩ for arbitrary x, p.
         let g = Conv2dGeom::new(2, 5, 4, 3, 2, 1);
         let x: Vec<f32> = (0..g.input_len()).map(|v| (v as f32).sin()).collect();
-        let p = Matrix::from_fn(g.patch_len(), g.out_positions(), |r, c| ((r * 31 + c * 17) as f32).cos());
+        let p = Matrix::from_fn(g.patch_len(), g.out_positions(), |r, c| {
+            ((r * 31 + c * 17) as f32).cos()
+        });
         let ix = im2col(&x, &g);
         let lhs = ix.dot(&p);
         let scattered = col2im(&p, &g);

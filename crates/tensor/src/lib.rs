@@ -36,6 +36,7 @@ mod tensor4;
 
 pub mod im2col;
 pub mod init;
+pub mod parallel;
 pub mod rng;
 pub mod serialize;
 pub mod stats;

@@ -1,8 +1,6 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::TensorError;
 
 /// A dense, row-major matrix of `f32`.
@@ -34,7 +32,7 @@ use crate::error::TensorError;
 /// assert_eq!(eye.matmul(&x).as_slice(), x.as_slice());
 /// # Ok::<(), orco_tensor::TensorError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -212,7 +210,12 @@ impl Matrix {
     ///
     /// Panics if `row` or `col` is out of bounds.
     pub fn set(&mut self, row: usize, col: usize, value: f32) {
-        assert!(row < self.rows && col < self.cols, "set({row},{col}) out of bounds for {}x{}", self.rows, self.cols);
+        assert!(
+            row < self.rows && col < self.cols,
+            "set({row},{col}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         self.data[row * self.cols + col] = value;
     }
 
@@ -368,10 +371,22 @@ impl Matrix {
     // Matrix products
     // ------------------------------------------------------------------
 
+    /// Row-tile height for the blocked GEMM kernels: `B` is streamed once
+    /// per tile instead of once per output row. Must stay constant — per-row
+    /// summation order (ascending `k`) is what keeps results bit-identical
+    /// across thread counts.
+    const GEMM_ROW_TILE: usize = 4;
+
+    /// Minimum rows a worker thread must own before the GEMM kernels
+    /// parallelize; below this the spawn overhead dominates.
+    const GEMM_MIN_ROWS_PER_THREAD: usize = 8;
+
     /// Matrix product `self * other`.
     ///
-    /// Uses a cache-friendly i-k-j loop order; adequate for the layer sizes
-    /// this reproduction trains (≤ a few thousand features).
+    /// Blocked (4-row tiles over a streamed `B`) and row-parallel across the
+    /// [`crate::parallel`] thread budget. Every output element accumulates
+    /// in ascending-`k` order regardless of tiling or thread count, so
+    /// results are bit-identical from 1 to N threads.
     ///
     /// # Panics
     ///
@@ -381,27 +396,50 @@ impl Matrix {
         assert!(
             self.cols == other.rows,
             "matmul shape mismatch: {}x{} * {}x{}",
-            self.rows, self.cols, other.rows, other.cols
+            self.rows,
+            self.cols,
+            other.rows,
+            other.cols
         );
         let (m, k, n) = (self.rows, self.cols, other.cols);
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let o_row = &mut out[i * n..(i + 1) * n];
-            for (kk, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[kk * n..(kk + 1) * n];
-                for (o, &b) in o_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
+        if n == 0 || k == 0 {
+            return Matrix { rows: m, cols: n, data: out };
         }
+        let a_data = &self.data;
+        let b_data = &other.data;
+        crate::parallel::for_each_row_block(
+            &mut out,
+            n,
+            Self::GEMM_MIN_ROWS_PER_THREAD,
+            |first_row, block| {
+                for (tile_idx, o_tile) in block.chunks_mut(Self::GEMM_ROW_TILE * n).enumerate() {
+                    let i0 = first_row + tile_idx * Self::GEMM_ROW_TILE;
+                    let tile_rows = o_tile.len() / n;
+                    for kk in 0..k {
+                        let b_row = &b_data[kk * n..(kk + 1) * n];
+                        for (r, o_row) in o_tile.chunks_exact_mut(n).enumerate() {
+                            let a = a_data[(i0 + r) * k + kk];
+                            if a == 0.0 {
+                                continue;
+                            }
+                            for (o, &b) in o_row.iter_mut().zip(b_row) {
+                                *o += a * b;
+                            }
+                        }
+                        debug_assert!(tile_rows <= Self::GEMM_ROW_TILE);
+                    }
+                }
+            },
+        );
         Matrix { rows: m, cols: n, data: out }
     }
 
     /// Matrix product `selfᵀ * other` without materializing the transpose.
+    ///
+    /// Row-parallel over output rows (columns of `self`); each output
+    /// element accumulates in ascending-`k` order, so results are
+    /// bit-identical at any thread count.
     ///
     /// # Panics
     ///
@@ -411,28 +449,48 @@ impl Matrix {
         assert!(
             self.rows == other.rows,
             "t_matmul shape mismatch: ({}x{})ᵀ * {}x{}",
-            self.rows, self.cols, other.rows, other.cols
+            self.rows,
+            self.cols,
+            other.rows,
+            other.cols
         );
         let (m, k, n) = (self.cols, self.rows, other.cols);
         let mut out = vec![0.0f32; m * n];
-        // out[i][j] = sum_k self[k][i] * other[k][j]
-        for kk in 0..k {
-            let a_row = &self.data[kk * m..(kk + 1) * m];
-            let b_row = &other.data[kk * n..(kk + 1) * n];
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let o_row = &mut out[i * n..(i + 1) * n];
-                for (o, &b) in o_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
+        if n == 0 || k == 0 {
+            return Matrix { rows: m, cols: n, data: out };
         }
+        let a_data = &self.data;
+        let b_data = &other.data;
+        // out[i][j] = sum_k self[k][i] * other[k][j]
+        crate::parallel::for_each_row_block(
+            &mut out,
+            n,
+            Self::GEMM_MIN_ROWS_PER_THREAD,
+            |first_row, block| {
+                let rows_here = block.len() / n;
+                for kk in 0..k {
+                    let a_row = &a_data[kk * m..(kk + 1) * m];
+                    let b_row = &b_data[kk * n..(kk + 1) * n];
+                    for (r, o_row) in block.chunks_exact_mut(n).enumerate() {
+                        let a = a_row[first_row + r];
+                        if a == 0.0 {
+                            continue;
+                        }
+                        for (o, &b) in o_row.iter_mut().zip(b_row) {
+                            *o += a * b;
+                        }
+                    }
+                    debug_assert!(rows_here <= m);
+                }
+            },
+        );
         Matrix { rows: m, cols: n, data: out }
     }
 
     /// Matrix product `self * otherᵀ` without materializing the transpose.
+    ///
+    /// Row-parallel; each output element is one dot product computed in
+    /// ascending-`k` order, bit-identical at any thread count.
     ///
     /// # Panics
     ///
@@ -442,21 +500,37 @@ impl Matrix {
         assert!(
             self.cols == other.cols,
             "matmul_t shape mismatch: {}x{} * ({}x{})ᵀ",
-            self.rows, self.cols, other.rows, other.cols
+            self.rows,
+            self.cols,
+            other.rows,
+            other.cols
         );
         let (m, k, n) = (self.rows, self.cols, other.rows);
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            for j in 0..n {
-                let b_row = &other.data[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (a, b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
-                }
-                out[i * n + j] = acc;
-            }
+        if n == 0 {
+            return Matrix { rows: m, cols: n, data: out };
         }
+        let a_data = &self.data;
+        let b_data = &other.data;
+        crate::parallel::for_each_row_block(
+            &mut out,
+            n,
+            Self::GEMM_MIN_ROWS_PER_THREAD,
+            |first_row, block| {
+                for (r, o_row) in block.chunks_exact_mut(n).enumerate() {
+                    let i = first_row + r;
+                    let a_row = &a_data[i * k..(i + 1) * k];
+                    for (j, o) in o_row.iter_mut().enumerate() {
+                        let b_row = &b_data[j * k..(j + 1) * k];
+                        let mut acc = 0.0f32;
+                        for (a, b) in a_row.iter().zip(b_row) {
+                            acc += a * b;
+                        }
+                        *o = acc;
+                    }
+                }
+            },
+        );
         Matrix { rows: m, cols: n, data: out }
     }
 
@@ -468,9 +542,7 @@ impl Matrix {
     #[must_use]
     pub fn matvec(&self, v: &[f32]) -> Vec<f32> {
         assert_eq!(v.len(), self.cols, "matvec: vector length {} != cols {}", v.len(), self.cols);
-        self.iter_rows()
-            .map(|row| row.iter().zip(v).map(|(a, b)| a * b).sum())
-            .collect()
+        self.iter_rows().map(|row| row.iter().zip(v).map(|(a, b)| a * b).sum()).collect()
     }
 
     /// Dot product of two equally-shaped matrices viewed as flat vectors.
@@ -507,7 +579,10 @@ impl Matrix {
     /// Returns [`TensorError::LengthMismatch`] if `rows * cols != self.len()`.
     pub fn reshape(&self, rows: usize, cols: usize) -> Result<Matrix, TensorError> {
         if rows * cols != self.data.len() {
-            return Err(TensorError::LengthMismatch { expected: self.data.len(), actual: rows * cols });
+            return Err(TensorError::LengthMismatch {
+                expected: self.data.len(),
+                actual: rows * cols,
+            });
         }
         Ok(Matrix { rows, cols, data: self.data.clone() })
     }
@@ -553,7 +628,13 @@ impl Matrix {
     /// Panics if `bias.len() != self.cols()`.
     #[must_use]
     pub fn add_row_broadcast(&self, bias: &[f32]) -> Matrix {
-        assert_eq!(bias.len(), self.cols, "add_row_broadcast: bias len {} != cols {}", bias.len(), self.cols);
+        assert_eq!(
+            bias.len(),
+            self.cols,
+            "add_row_broadcast: bias len {} != cols {}",
+            bias.len(),
+            self.cols
+        );
         let mut out = self.clone();
         for r in 0..out.rows {
             for (v, &b) in out.row_mut(r).iter_mut().zip(bias) {
@@ -646,9 +727,16 @@ impl Matrix {
             .map(|row| {
                 row.iter()
                     .enumerate()
-                    .fold((0usize, f32::NEG_INFINITY), |(bi, bv), (i, &v)| {
-                        if v > bv { (i, v) } else { (bi, bv) }
-                    })
+                    .fold(
+                        (0usize, f32::NEG_INFINITY),
+                        |(bi, bv), (i, &v)| {
+                            if v > bv {
+                                (i, v)
+                            } else {
+                                (bi, bv)
+                            }
+                        },
+                    )
                     .0
             })
             .collect()
@@ -679,18 +767,17 @@ impl Matrix {
     #[must_use]
     pub fn max_abs_diff(&self, other: &Matrix) -> f32 {
         self.assert_same_shape(other, "max_abs_diff");
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f32::max)
+        self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0, f32::max)
     }
 
     fn assert_same_shape(&self, other: &Matrix, op: &str) {
         assert!(
             self.shape() == other.shape(),
             "{op}: shape mismatch {}x{} vs {}x{}",
-            self.rows, self.cols, other.rows, other.cols
+            self.rows,
+            self.cols,
+            other.rows,
+            other.cols
         );
     }
 }
@@ -699,14 +786,24 @@ impl Index<(usize, usize)> for Matrix {
     type Output = f32;
 
     fn index(&self, (r, c): (usize, usize)) -> &f32 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds for {}x{}", self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         &self.data[r * self.cols + c]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds for {}x{}", self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         &mut self.data[r * self.cols + c]
     }
 }
@@ -822,10 +919,7 @@ mod tests {
     fn from_rows_checks_ragged() {
         let err = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0]]).unwrap_err();
         assert!(matches!(err, TensorError::ShapeMismatch { .. }));
-        assert!(matches!(
-            Matrix::from_rows(&[]).unwrap_err(),
-            TensorError::EmptyDimension { .. }
-        ));
+        assert!(matches!(Matrix::from_rows(&[]).unwrap_err(), TensorError::EmptyDimension { .. }));
     }
 
     #[test]

@@ -7,15 +7,16 @@
 //! seeding gives independent, stable streams per subsystem: re-running any
 //! experiment binary reproduces its figures bit-for-bit, and adding a new
 //! consumer of randomness does not perturb existing streams.
-
-use rand::{Rng, RngCore, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+//!
+//! The ChaCha8 core is implemented in this module (the build environment has
+//! no crates.io access, so `rand_chacha` is not available); its output is a
+//! pure function of the seed and is stable across platforms and releases.
 
 /// A deterministic random number generator with labelled sub-streams.
 ///
-/// Wraps [`ChaCha8Rng`], whose output is specified and stable across
-/// platforms and crate versions (unlike `rand::rngs::StdRng`, which is
-/// explicitly allowed to change algorithm between releases).
+/// Wraps a self-contained ChaCha8 stream cipher used as a generator. ChaCha8
+/// output is fully specified by the seed, unlike `rand::rngs::StdRng`, which
+/// is explicitly allowed to change algorithm between releases.
 ///
 /// # Examples
 ///
@@ -31,14 +32,14 @@ use rand_chacha::ChaCha8Rng;
 /// ```
 #[derive(Debug, Clone)]
 pub struct OrcoRng {
-    inner: ChaCha8Rng,
+    inner: ChaCha8,
 }
 
 impl OrcoRng {
     /// Creates a generator from a raw 64-bit seed.
     #[must_use]
     pub fn from_seed_u64(seed: u64) -> Self {
-        Self { inner: ChaCha8Rng::seed_from_u64(seed) }
+        Self { inner: ChaCha8::from_seed_u64(seed) }
     }
 
     /// Creates a generator from a textual label and an index.
@@ -56,14 +57,37 @@ impl OrcoRng {
     /// and other children derived with different labels.
     #[must_use]
     pub fn derive(&mut self, label: &str) -> Self {
-        let salt = self.inner.next_u64();
+        let salt = self.next_u64();
         Self::from_seed_u64(fnv1a64(label.as_bytes()) ^ salt)
+    }
+
+    /// Next raw 32-bit value.
+    #[must_use]
+    pub fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+
+    /// Next raw 64-bit value.
+    #[must_use]
+    pub fn next_u64(&mut self) -> u64 {
+        let lo = u64::from(self.inner.next_u32());
+        let hi = u64::from(self.inner.next_u32());
+        (hi << 32) | lo
+    }
+
+    /// Fills `dest` with random bytes.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(4) {
+            let word = self.inner.next_u32().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
     }
 
     /// Uniform `f32` in `[0, 1)`.
     #[must_use]
     pub fn next_f32(&mut self) -> f32 {
-        self.inner.gen::<f32>()
+        // 24 high bits → all representable multiples of 2⁻²⁴ in [0, 1).
+        (self.inner.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
     }
 
     /// Uniform `f32` in `[lo, hi)`.
@@ -85,7 +109,7 @@ impl OrcoRng {
     #[must_use]
     pub fn below(&mut self, bound: usize) -> usize {
         assert!(bound > 0, "below: bound must be positive");
-        self.inner.gen_range(0..bound)
+        self.range_u64(bound as u64) as usize
     }
 
     /// Standard normal sample via Box–Muller.
@@ -119,7 +143,7 @@ impl OrcoRng {
     /// Fisher–Yates shuffles a slice in place.
     pub fn shuffle<T>(&mut self, slice: &mut [T]) {
         for i in (1..slice.len()).rev() {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.range_u64(i as u64 + 1) as usize;
             slice.swap(i, j);
         }
     }
@@ -135,29 +159,25 @@ impl OrcoRng {
         let mut idx: Vec<usize> = (0..n).collect();
         // Partial Fisher–Yates: shuffle the first k positions.
         for i in 0..k {
-            let j = self.inner.gen_range(i..n);
+            let j = i + self.range_u64((n - i) as u64) as usize;
             idx.swap(i, j);
         }
         idx.truncate(k);
         idx
     }
-}
 
-impl RngCore for OrcoRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest);
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
+    /// Unbiased uniform draw from `[0, bound)` via rejection sampling.
+    fn range_u64(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Widening-multiply trick (Lemire): reject the biased zone.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let r = self.next_u64();
+            let mul = u128::from(r) * u128::from(bound);
+            if (mul as u64) >= threshold {
+                return (mul >> 64) as u64;
+            }
+        }
     }
 }
 
@@ -169,6 +189,99 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
         hash = hash.wrapping_mul(0x100_0000_01b3);
     }
     hash
+}
+
+/// Self-contained ChaCha8 keystream generator.
+///
+/// The 64-bit seed is expanded to a 256-bit key with SplitMix64; the block
+/// counter starts at zero. Each 64-byte block yields 16 output words.
+#[derive(Debug, Clone)]
+struct ChaCha8 {
+    key: [u32; 8],
+    counter: u64,
+    block: [u32; 16],
+    next_word: usize,
+}
+
+impl ChaCha8 {
+    fn from_seed_u64(seed: u64) -> Self {
+        let mut state = seed;
+        let mut key = [0u32; 8];
+        for pair in key.chunks_mut(2) {
+            let v = splitmix64(&mut state);
+            pair[0] = v as u32;
+            pair[1] = (v >> 32) as u32;
+        }
+        Self { key, counter: 0, block: [0; 16], next_word: 16 }
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        if self.next_word == 16 {
+            self.refill();
+        }
+        let w = self.block[self.next_word];
+        self.next_word += 1;
+        w
+    }
+
+    fn refill(&mut self) {
+        // "expand 32-byte k" constants.
+        let mut x = [
+            0x6170_7865,
+            0x3320_646e,
+            0x7962_2d32,
+            0x6b20_6574,
+            self.key[0],
+            self.key[1],
+            self.key[2],
+            self.key[3],
+            self.key[4],
+            self.key[5],
+            self.key[6],
+            self.key[7],
+            self.counter as u32,
+            (self.counter >> 32) as u32,
+            0,
+            0,
+        ];
+        let input = x;
+        for _ in 0..4 {
+            // Column round.
+            quarter_round(&mut x, 0, 4, 8, 12);
+            quarter_round(&mut x, 1, 5, 9, 13);
+            quarter_round(&mut x, 2, 6, 10, 14);
+            quarter_round(&mut x, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut x, 0, 5, 10, 15);
+            quarter_round(&mut x, 1, 6, 11, 12);
+            quarter_round(&mut x, 2, 7, 8, 13);
+            quarter_round(&mut x, 3, 4, 9, 14);
+        }
+        for (out, (a, b)) in self.block.iter_mut().zip(x.iter().zip(&input)) {
+            *out = a.wrapping_add(*b);
+        }
+        self.counter = self.counter.wrapping_add(1);
+        self.next_word = 0;
+    }
+}
+
+fn quarter_round(x: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    x[a] = x[a].wrapping_add(x[b]);
+    x[d] = (x[d] ^ x[a]).rotate_left(16);
+    x[c] = x[c].wrapping_add(x[d]);
+    x[b] = (x[b] ^ x[c]).rotate_left(12);
+    x[a] = x[a].wrapping_add(x[b]);
+    x[d] = (x[d] ^ x[a]).rotate_left(8);
+    x[c] = x[c].wrapping_add(x[d]);
+    x[b] = (x[b] ^ x[c]).rotate_left(7);
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 #[cfg(test)]
@@ -192,6 +305,21 @@ mod tests {
     }
 
     #[test]
+    fn chacha_quarter_round_reference() {
+        // RFC 7539 §2.1.1 test vector.
+        let mut x = [0u32; 16];
+        x[0] = 0x1111_1111;
+        x[1] = 0x0102_0304;
+        x[2] = 0x9b8d_6f43;
+        x[3] = 0x0123_4567;
+        quarter_round(&mut x, 0, 1, 2, 3);
+        assert_eq!(x[0], 0xea2a_92f4);
+        assert_eq!(x[1], 0xcb1c_f8ce);
+        assert_eq!(x[2], 0x4581_472e);
+        assert_eq!(x[3], 0x5881_c4bb);
+    }
+
+    #[test]
     fn normal_moments_are_plausible() {
         let mut rng = OrcoRng::from_label("normal-test", 0);
         let n = 20_000;
@@ -209,6 +337,25 @@ mod tests {
             let v = rng.uniform(-1.5, 2.5);
             assert!((-1.5..2.5).contains(&v));
         }
+    }
+
+    #[test]
+    fn next_f32_is_in_unit_interval() {
+        let mut rng = OrcoRng::from_label("unit-test", 0);
+        for _ in 0..10_000 {
+            let v = rng.next_f32();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn below_covers_all_residues() {
+        let mut rng = OrcoRng::from_label("below-test", 0);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            seen[rng.below(7)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
     }
 
     #[test]
@@ -247,5 +394,16 @@ mod tests {
         let mut rng = OrcoRng::from_label("bern", 0);
         assert!(!rng.bernoulli(0.0));
         assert!(rng.bernoulli(1.1));
+    }
+
+    #[test]
+    fn fill_bytes_is_deterministic() {
+        let mut a = OrcoRng::from_seed_u64(42);
+        let mut b = OrcoRng::from_seed_u64(42);
+        let (mut ba, mut bb) = ([0u8; 33], [0u8; 33]);
+        a.fill_bytes(&mut ba);
+        b.fill_bytes(&mut bb);
+        assert_eq!(ba, bb);
+        assert!(ba.iter().any(|&v| v != 0));
     }
 }

@@ -70,7 +70,8 @@ pub fn matrix_from_text(text: &str) -> Result<Matrix, TensorError> {
         }
         let mut count = 0usize;
         for tok in line.split_whitespace() {
-            let v: f32 = tok.parse().map_err(|e| parse_err(&format!("row {i}: bad value `{tok}`: {e}")))?;
+            let v: f32 =
+                tok.parse().map_err(|e| parse_err(&format!("row {i}: bad value `{tok}`: {e}")))?;
             data.push(v);
             count += 1;
         }
@@ -79,11 +80,7 @@ pub fn matrix_from_text(text: &str) -> Result<Matrix, TensorError> {
         }
     }
     if data.len() != rows * cols {
-        return Err(parse_err(&format!(
-            "expected {} values, got {}",
-            rows * cols,
-            data.len()
-        )));
+        return Err(parse_err(&format!("expected {} values, got {}", rows * cols, data.len())));
     }
     Matrix::from_vec(rows, cols, data)
 }

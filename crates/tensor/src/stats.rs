@@ -105,11 +105,7 @@ pub fn ssim_global(a: &[f32], b: &[f32], peak: f32) -> f32 {
 #[must_use]
 pub fn psnr_rows(original: &Matrix, reconstructed: &Matrix, peak: f32) -> Vec<f32> {
     assert_eq!(original.shape(), reconstructed.shape(), "psnr_rows: shape mismatch");
-    original
-        .iter_rows()
-        .zip(reconstructed.iter_rows())
-        .map(|(a, b)| psnr(a, b, peak))
-        .collect()
+    original.iter_rows().zip(reconstructed.iter_rows()).map(|(a, b)| psnr(a, b, peak)).collect()
 }
 
 /// Histogram of values into `bins` equal-width buckets over `[lo, hi)`.
@@ -210,7 +206,8 @@ pub mod running {
             }
             let total = self.count + other.count;
             let delta = other.mean - self.mean;
-            self.m2 += other.m2 + delta * delta * (self.count as f64) * (other.count as f64) / total as f64;
+            self.m2 += other.m2
+                + delta * delta * (self.count as f64) * (other.count as f64) / total as f64;
             self.mean += delta * other.count as f64 / total as f64;
             self.count = total;
         }

@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use crate::error::TensorError;
 use crate::matrix::Matrix;
 
@@ -20,7 +18,7 @@ use crate::matrix::Matrix;
 /// assert_eq!(t.shape(), (2, 3, 4, 4));
 /// assert_eq!(t.sample_len(), 48);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Tensor4 {
     n: usize,
     c: usize,
@@ -50,7 +48,10 @@ impl Tensor4 {
         data: Vec<f32>,
     ) -> Result<Self, TensorError> {
         if data.len() != n * c * h * w {
-            return Err(TensorError::LengthMismatch { expected: n * c * h * w, actual: data.len() });
+            return Err(TensorError::LengthMismatch {
+                expected: n * c * h * w,
+                actual: data.len(),
+            });
         }
         Ok(Self { n, c, h, w, data })
     }
@@ -165,8 +166,11 @@ impl Tensor4 {
     /// Panics if any coordinate is out of bounds.
     #[must_use]
     pub fn at(&self, n: usize, c: usize, h: usize, w: usize) -> f32 {
-        assert!(n < self.n && c < self.c && h < self.h && w < self.w,
-            "index ({n},{c},{h},{w}) out of bounds for {:?}", self.shape());
+        assert!(
+            n < self.n && c < self.c && h < self.h && w < self.w,
+            "index ({n},{c},{h},{w}) out of bounds for {:?}",
+            self.shape()
+        );
         self.data[((n * self.c + c) * self.h + h) * self.w + w]
     }
 
@@ -176,8 +180,11 @@ impl Tensor4 {
     ///
     /// Panics if any coordinate is out of bounds.
     pub fn set(&mut self, n: usize, c: usize, h: usize, w: usize, v: f32) {
-        assert!(n < self.n && c < self.c && h < self.h && w < self.w,
-            "index ({n},{c},{h},{w}) out of bounds for {:?}", self.shape());
+        assert!(
+            n < self.n && c < self.c && h < self.h && w < self.w,
+            "index ({n},{c},{h},{w}) out of bounds for {:?}",
+            self.shape()
+        );
         self.data[((n * self.c + c) * self.h + h) * self.w + w] = v;
     }
 

@@ -6,13 +6,11 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::node::NodeId;
 use crate::packet::PacketKind;
 
 /// Aggregated counters for one node.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct NodeTraffic {
     /// Bytes transmitted (wire bytes: payload + headers).
     pub tx_bytes: u64,
@@ -41,7 +39,7 @@ pub struct NodeTraffic {
 /// assert_eq!(ledger.total_tx_bytes(), 100);
 /// assert_eq!(ledger.bytes_by_kind(PacketKind::RawData), 100);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct TrafficAccounting {
     per_node: HashMap<NodeId, NodeTraffic>,
     per_kind_tx_bytes: HashMap<PacketKind, u64>,

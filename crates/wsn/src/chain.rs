@@ -155,7 +155,12 @@ mod tests {
     fn visits_every_device_exactly_once() {
         let mut rng = orco_tensor::OrcoRng::from_label("chain-perm", 0);
         let devices: Vec<(NodeId, Point)> = (0..20)
-            .map(|i| (NodeId(i), Point::new(rng.uniform(0.0, 100.0) as f64, rng.uniform(0.0, 100.0) as f64)))
+            .map(|i| {
+                (
+                    NodeId(i),
+                    Point::new(rng.uniform(0.0, 100.0) as f64, rng.uniform(0.0, 100.0) as f64),
+                )
+            })
             .collect();
         let chain = ChainSchedule::greedy_nearest(&devices, Point::new(50.0, 50.0));
         let mut ids: Vec<usize> = chain.order().iter().map(|n| n.0).collect();

@@ -5,8 +5,6 @@
 //! the host machine. `SimClock` is a monotone accumulator those costs are
 //! added to.
 
-use serde::{Deserialize, Serialize};
-
 /// A monotone simulated clock measured in seconds.
 ///
 /// # Examples
@@ -19,7 +17,7 @@ use serde::{Deserialize, Serialize};
 /// clock.advance(0.25);
 /// assert_eq!(clock.now_s(), 1.75);
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct SimClock {
     now_s: f64,
 }

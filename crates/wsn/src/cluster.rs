@@ -68,15 +68,10 @@ pub fn select_head(
         HeadSelection::MaxEnergy => candidates
             .iter()
             .max_by(|a, b| {
-                a.energy_j
-                    .partial_cmp(&b.energy_j)
-                    .expect("finite energies")
-                    .then(b.id.cmp(&a.id))
+                a.energy_j.partial_cmp(&b.energy_j).expect("finite energies").then(b.id.cmp(&a.id))
             })
             .map(|d| d.id),
-        HeadSelection::RandomRotation => {
-            Some(candidates[rng.below(candidates.len())].id)
-        }
+        HeadSelection::RandomRotation => Some(candidates[rng.below(candidates.len())].id),
     }
 }
 
@@ -93,12 +88,7 @@ impl Partition {
     /// Indices of the devices assigned to `cluster`.
     #[must_use]
     pub fn members(&self, cluster: usize) -> Vec<usize> {
-        self.assignments
-            .iter()
-            .enumerate()
-            .filter(|(_, &c)| c == cluster)
-            .map(|(i, _)| i)
-            .collect()
+        self.assignments.iter().enumerate().filter(|(_, &c)| c == cluster).map(|(i, _)| i).collect()
     }
 
     /// Number of clusters.
@@ -192,7 +182,9 @@ mod tests {
         let mut rng = OrcoRng::from_label("cluster", 2);
         let mut seen = std::collections::HashSet::new();
         for _ in 0..100 {
-            seen.insert(select_head(&candidates(), HeadSelection::RandomRotation, &mut rng).unwrap());
+            seen.insert(
+                select_head(&candidates(), HeadSelection::RandomRotation, &mut rng).unwrap(),
+            );
         }
         assert_eq!(seen.len(), 3, "rotation should eventually pick everyone");
     }

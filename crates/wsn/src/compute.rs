@@ -7,8 +7,6 @@
 //! training faster than training everything in one weak place — Figure 4's
 //! entire effect rides on this model.
 
-use serde::{Deserialize, Serialize};
-
 use crate::node::DeviceClass;
 
 /// Converts FLOP counts into simulated seconds per device class.
@@ -23,7 +21,7 @@ use crate::node::DeviceClass;
 /// let iot = model.time_for_flops(DeviceClass::IotDevice, 1_000_000);
 /// assert!(edge < iot);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ComputeModel {
     /// Sustained FLOP/s of an IoT device.
     pub iot_flops: f64,

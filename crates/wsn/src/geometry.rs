@@ -1,7 +1,5 @@
 //! 2-D geometry for node placement.
 
-use serde::{Deserialize, Serialize};
-
 use orco_tensor::OrcoRng;
 
 /// A point in the 2-D deployment field, in meters.
@@ -15,7 +13,7 @@ use orco_tensor::OrcoRng;
 /// let b = Point::new(3.0, 4.0);
 /// assert_eq!(a.distance(b), 5.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Point {
     /// X coordinate in meters.
     pub x: f64,
@@ -58,7 +56,9 @@ impl Point {
 pub fn scatter_uniform(n: usize, side: f64, rng: &mut OrcoRng) -> Vec<Point> {
     assert!(side > 0.0, "scatter_uniform: side must be positive");
     (0..n)
-        .map(|_| Point::new(rng.uniform(0.0, side as f32) as f64, rng.uniform(0.0, side as f32) as f64))
+        .map(|_| {
+            Point::new(rng.uniform(0.0, side as f32) as f64, rng.uniform(0.0, side as f32) as f64)
+        })
         .collect()
 }
 
@@ -82,9 +82,7 @@ pub fn nearest(points: &[Point], target: Point) -> Option<usize> {
         .iter()
         .enumerate()
         .min_by(|(_, a), (_, b)| {
-            a.distance_sq(target)
-                .partial_cmp(&b.distance_sq(target))
-                .expect("distances are finite")
+            a.distance_sq(target).partial_cmp(&b.distance_sq(target)).expect("distances are finite")
         })
         .map(|(i, _)| i)
 }

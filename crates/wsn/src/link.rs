@@ -1,7 +1,5 @@
 //! Link models: bandwidth, latency and loss.
 
-use serde::{Deserialize, Serialize};
-
 /// A point-to-point link model.
 ///
 /// Three instances describe the OrcoDCS deployment (paper §III-E):
@@ -18,7 +16,7 @@ use serde::{Deserialize, Serialize};
 /// let t = uplink.transmission_time_s(2_000_000 / 8); // 250 kB at 2 Mb/s
 /// assert!((t - (1.0 + uplink.latency_s)).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinkModel {
     /// Bandwidth in bits per second.
     pub bandwidth_bps: f64,
@@ -105,8 +103,12 @@ mod tests {
 
     #[test]
     fn presets_are_ordered_by_speed() {
-        assert!(LinkModel::sensor_radio().bandwidth_bps < LinkModel::aggregator_uplink().bandwidth_bps);
-        assert!(LinkModel::aggregator_uplink().bandwidth_bps < LinkModel::edge_downlink().bandwidth_bps);
+        assert!(
+            LinkModel::sensor_radio().bandwidth_bps < LinkModel::aggregator_uplink().bandwidth_bps
+        );
+        assert!(
+            LinkModel::aggregator_uplink().bandwidth_bps < LinkModel::edge_downlink().bandwidth_bps
+        );
     }
 
     #[test]

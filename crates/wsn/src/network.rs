@@ -550,7 +550,8 @@ mod tests {
         let mut net = small_net(4);
         let d = net.devices()[0];
         let t_sensor = net.transmit(d, net.aggregator(), 1000, PacketKind::RawData).unwrap();
-        let t_uplink = net.transmit(net.aggregator(), net.edge(), 1000, PacketKind::LatentVector).unwrap();
+        let t_uplink =
+            net.transmit(net.aggregator(), net.edge(), 1000, PacketKind::LatentVector).unwrap();
         assert!(t_uplink < t_sensor);
     }
 
@@ -674,10 +675,7 @@ mod tests {
         let mut hybrid = small_net(10);
         plain.compressed_aggregation_round(4, 0).unwrap();
         hybrid.hybrid_aggregation_round(4, 4, 0).unwrap();
-        assert_eq!(
-            plain.accounting().total_tx_bytes(),
-            hybrid.accounting().total_tx_bytes()
-        );
+        assert_eq!(plain.accounting().total_tx_bytes(), hybrid.accounting().total_tx_bytes());
     }
 
     #[test]

@@ -2,12 +2,10 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::geometry::Point;
 
 /// Opaque node identifier, unique within one [`crate::Network`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub usize);
 
 impl fmt::Display for NodeId {
@@ -17,7 +15,7 @@ impl fmt::Display for NodeId {
 }
 
 /// The three device roles of the OrcoDCS architecture (paper Fig. 1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DeviceClass {
     /// A battery-powered sensing device. Computes one latent element during
     /// compressed aggregation; never trains.
@@ -38,9 +36,9 @@ impl DeviceClass {
     #[must_use]
     pub fn flops_rate(self) -> f64 {
         match self {
-            DeviceClass::IotDevice => 5.0e7,       // 50 MFLOP/s
-            DeviceClass::DataAggregator => 5.0e8,  // 500 MFLOP/s
-            DeviceClass::EdgeServer => 5.0e10,     // 50 GFLOP/s
+            DeviceClass::IotDevice => 5.0e7,      // 50 MFLOP/s
+            DeviceClass::DataAggregator => 5.0e8, // 500 MFLOP/s
+            DeviceClass::EdgeServer => 5.0e10,    // 50 GFLOP/s
         }
     }
 
@@ -59,7 +57,7 @@ impl DeviceClass {
 }
 
 /// One simulated device.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Node {
     id: NodeId,
     class: DeviceClass,

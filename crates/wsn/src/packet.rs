@@ -1,7 +1,5 @@
 //! Packets and protocol message kinds.
 
-use serde::{Deserialize, Serialize};
-
 use crate::node::NodeId;
 
 /// Fixed per-packet header overhead in bytes (PHY + MAC + NWK headers of an
@@ -13,7 +11,7 @@ pub const HEADER_BYTES: u64 = 21;
 pub const MAX_PAYLOAD_BYTES: u64 = 96;
 
 /// What a packet carries — the OrcoDCS protocol message types.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum PacketKind {
     /// Raw sensing data (intra-cluster raw aggregation, paper §III-A).
@@ -34,7 +32,7 @@ pub enum PacketKind {
 }
 
 /// One logical transmission (may span many radio frames).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Packet {
     /// Sending node.
     pub src: NodeId,

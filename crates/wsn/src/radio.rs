@@ -7,8 +7,6 @@
 //! asymmetry the multi-hop aggregation tree (paper §III-A) exists to
 //! mitigate.
 
-use serde::{Deserialize, Serialize};
-
 /// Radio energy parameters.
 ///
 /// # Examples
@@ -20,7 +18,7 @@ use serde::{Deserialize, Serialize};
 /// // Receiving is always cheaper than transmitting over any distance.
 /// assert!(radio.rx_energy_j(1024) < radio.tx_energy_j(1024, 10.0));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RadioModel {
     /// Electronics energy per bit, joules (both TX and RX paths).
     pub e_elec_j_per_bit: f64,

@@ -61,7 +61,9 @@ impl AggregationTree {
             }
         }
         if !positions.contains_key(&root) {
-            return Err(WsnError::InvalidTopology { detail: format!("root {root} not among nodes") });
+            return Err(WsnError::InvalidTopology {
+                detail: format!("root {root} not among nodes"),
+            });
         }
 
         // Prim's algorithm from the root, O(n²): for every out-of-tree node
@@ -70,7 +72,8 @@ impl AggregationTree {
         let mut out: Vec<NodeId> = positions.keys().copied().filter(|id| *id != root).collect();
         out.sort_unstable(); // determinism independent of HashMap order
         let root_pos = positions[&root];
-        let mut best_d2: Vec<f64> = out.iter().map(|id| positions[id].distance_sq(root_pos)).collect();
+        let mut best_d2: Vec<f64> =
+            out.iter().map(|id| positions[id].distance_sq(root_pos)).collect();
         let mut best_anchor: Vec<NodeId> = vec![root; out.len()];
         let mut parent = HashMap::with_capacity(out.len());
         while !out.is_empty() {
@@ -347,10 +350,7 @@ mod tests {
     fn cannot_remove_root() {
         let mut tree = AggregationTree::build(NodeId(0), &line_nodes(3)).unwrap();
         assert!(tree.remove_and_reparent(NodeId(0)).is_err());
-        assert!(matches!(
-            tree.remove_and_reparent(NodeId(7)),
-            Err(WsnError::UnknownNode { .. })
-        ));
+        assert!(matches!(tree.remove_and_reparent(NodeId(7)), Err(WsnError::UnknownNode { .. })));
     }
 
     #[test]

@@ -12,7 +12,9 @@
 
 use std::time::Instant;
 
-use orcodcs_repro::baselines::cs::{ista_reconstruct, omp_reconstruct, Dct2, GaussianMeasurement, IstaConfig};
+use orcodcs_repro::baselines::cs::{
+    ista_reconstruct, omp_reconstruct, Dct2, GaussianMeasurement, IstaConfig,
+};
 use orcodcs_repro::core::{AsymmetricAutoencoder, OrcoConfig};
 use orcodcs_repro::datasets::mnist_like;
 use orcodcs_repro::tensor::{stats, Matrix, OrcoRng};
@@ -61,7 +63,8 @@ fn main() {
             let y = phi.measure(x);
 
             let t0 = Instant::now();
-            let ista = ista_reconstruct(&a, &y, &IstaConfig { lambda: 0.01, max_iters: 300, tol: 1e-6 });
+            let ista =
+                ista_reconstruct(&a, &y, &IstaConfig { lambda: 0.01, max_iters: 300, tol: 1e-6 });
             ista_time += t0.elapsed().as_secs_f64();
             let x_ista = dct.inverse(&ista.coefficients);
             ista_psnr.push(stats::psnr(x, &x_ista, 1.0));

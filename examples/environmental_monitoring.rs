@@ -13,7 +13,7 @@
 //!
 //! Run with: `cargo run --release --example environmental_monitoring`
 
-use orcodcs_repro::core::{OnlineTrainer, OrcoConfig, Orchestrator};
+use orcodcs_repro::core::{OnlineTrainer, Orchestrator, OrcoConfig};
 use orcodcs_repro::datasets::{drift, mnist_like};
 use orcodcs_repro::tensor::OrcoRng;
 use orcodcs_repro::wsn::NetworkConfig;
@@ -58,10 +58,7 @@ fn main() {
         let mut retrained = false;
         for step in 0..6 {
             let outcome = online.process_batch(frames.x()).expect("simulation runs");
-            print!(
-                "  step {step}: reconstruction error {:.4}",
-                outcome.reconstruction_loss
-            );
+            print!("  step {step}: reconstruction error {:.4}", outcome.reconstruction_loss);
             if let Some(h) = outcome.retraining {
                 retrained = true;
                 println!(

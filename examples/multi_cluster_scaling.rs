@@ -27,9 +27,7 @@ fn main() {
                 .with_batch_size(16)
         })
         .collect();
-    let datasets: Vec<_> = (0..configs.len())
-        .map(|i| mnist_like::generate(32, i as u64))
-        .collect();
+    let datasets: Vec<_> = (0..configs.len()).map(|i| mnist_like::generate(32, i as u64)).collect();
     let net = NetworkConfig { num_devices: 16, seed: 0, ..Default::default() };
     let sweeps = 12;
 

@@ -18,10 +18,8 @@ fn main() {
 
     // The paper's MNIST configuration: M = 128 latent, 1-layer decoder,
     // Gaussian latent noise, Huber loss.
-    let config = OrcoConfig::for_dataset(dataset.kind())
-        .with_epochs(5)
-        .with_batch_size(32)
-        .with_seed(42);
+    let config =
+        OrcoConfig::for_dataset(dataset.kind()).with_epochs(5).with_batch_size(32).with_seed(42);
     println!(
         "OrcoDCS: N={} -> M={} ({}x compression), {} decoder layer(s)",
         config.input_dim,

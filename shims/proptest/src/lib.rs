@@ -1,0 +1,147 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment of this reproduction has no access to crates.io,
+//! so this shim provides the subset of proptest's API the workspace's
+//! property tests use: the [`proptest!`] macro, [`Strategy`] with
+//! `prop_map`/`prop_flat_map`, range and tuple strategies,
+//! `prop::collection::vec`, [`Just`], [`any`], [`prop_oneof!`], and the
+//! `prop_assert*`/`prop_assume!` macros.
+//!
+//! Semantics differ from real proptest in two deliberate ways: cases are
+//! drawn from a deterministic per-test stream (seeded by the test's module
+//! path and name, so runs are reproducible without a persistence file), and
+//! there is no shrinking — a failing case panics with the sampled values
+//! embedded in the assertion message instead.
+
+mod rng;
+mod strategy;
+
+pub use rng::TestRng;
+pub use strategy::{
+    vec as collection_vec, Any, BoxedStrategy, FlatMap, Just, Map, Strategy, Union,
+};
+
+/// Runner configuration: how many random cases each property test draws.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases per test.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Generates a value of `T` from its entire natural range.
+#[must_use]
+pub fn any<T: strategy::Arbitrary>() -> Any<T> {
+    Any::new()
+}
+
+/// The namespace mirror of `proptest::prop`.
+pub mod prop {
+    /// Collection strategies (`prop::collection::vec`).
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+}
+
+/// Everything a property-test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Asserts a condition inside a property test case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property test case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property test case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Skips the current case when its sampled inputs don't satisfy a
+/// precondition. (The shim simply ends the case; real proptest re-draws.)
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Chooses uniformly between several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(Box::new($strategy) as $crate::BoxedStrategy<_>),+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` drawing `cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($config); $($rest)*);
+    };
+    (@run ($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($pat:pat in $strat:expr),* $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut rng = $crate::TestRng::from_name(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for case in 0..config.cases {
+                    $(let $pat = $crate::Strategy::sample(&($strat), &mut rng);)*
+                    let mut run_case = || $body;
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                        &mut run_case,
+                    ));
+                    if let Err(payload) = outcome {
+                        eprintln!(
+                            "proptest shim: {} failed at case {}/{}",
+                            stringify!($name), case + 1, config.cases
+                        );
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}

@@ -3,7 +3,7 @@
 //! running it on one machine, and in-network (chain) encoding must equal
 //! centralized encoding.
 
-use orcodcs_repro::core::{AsymmetricAutoencoder, EncoderColumns, OrcoConfig, Orchestrator};
+use orcodcs_repro::core::{AsymmetricAutoencoder, EncoderColumns, Orchestrator, OrcoConfig};
 use orcodcs_repro::datasets::{mnist_like, DatasetKind};
 use orcodcs_repro::nn::Activation;
 use orcodcs_repro::wsn::NetworkConfig;
@@ -104,11 +104,9 @@ fn reassembled_encoder_reproduces_the_original_model() {
 fn distribution_broadcast_reaches_every_device_with_column_bytes() {
     let dataset = mnist_like::generate(8, 3);
     let config = cfg();
-    let mut orch = Orchestrator::new(
-        config,
-        NetworkConfig { num_devices: 12, seed: 3, ..Default::default() },
-    )
-    .expect("valid config");
+    let mut orch =
+        Orchestrator::new(config, NetworkConfig { num_devices: 12, seed: 3, ..Default::default() })
+            .expect("valid config");
     let _ = orch.train_round(dataset.x()).expect("round");
     orch.network_mut().reset_accounting();
     let (columns, t) = orch.distribute_encoder().expect("broadcast");

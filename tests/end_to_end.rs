@@ -4,7 +4,7 @@
 
 use orcodcs_repro::baselines::offline_trainer::train_dcsnet_offline;
 use orcodcs_repro::classifier::{Cnn, TrainConfig};
-use orcodcs_repro::core::{experiment, OnlineTrainer, OrcoConfig, Orchestrator, SplitModel};
+use orcodcs_repro::core::{experiment, OnlineTrainer, Orchestrator, OrcoConfig, SplitModel};
 use orcodcs_repro::datasets::{drift, mnist_like, DatasetKind};
 use orcodcs_repro::nn::Loss;
 use orcodcs_repro::tensor::OrcoRng;
@@ -54,8 +54,9 @@ fn training_is_deterministic_across_runs() {
 fn drift_triggers_finetuning_and_recovery_improves_error() {
     let dataset = mnist_like::generate(48, 2);
     let cfg = small_cfg().with_finetune_threshold(0.05);
-    let orch = Orchestrator::new(cfg, NetworkConfig { num_devices: 16, seed: 2, ..Default::default() })
-        .expect("valid config");
+    let orch =
+        Orchestrator::new(cfg, NetworkConfig { num_devices: 16, seed: 2, ..Default::default() })
+            .expect("valid config");
     let mut online = OnlineTrainer::new(orch);
     let _ = online.initial_training(dataset.x()).expect("initial training");
 
@@ -76,10 +77,7 @@ fn drift_triggers_finetuning_and_recovery_improves_error() {
     }
     let first = first_error.expect("at least one batch processed");
     let recovered = recovered_error.expect("monitor must trigger under severe bias");
-    assert!(
-        recovered < first,
-        "retraining should reduce error: {first} -> {recovered}"
-    );
+    assert!(recovered < first, "retraining should reduce error: {first} -> {recovered}");
 }
 
 #[test]
@@ -121,8 +119,5 @@ fn orcodcs_reconstruction_beats_data_starved_dcsnet() {
     let mut dcs = train_dcsnet_offline(&dataset, 0.3, 6, 32, 0);
     let dcs_l2 = dcs.model.evaluate(dataset.x(), &Loss::L2);
 
-    assert!(
-        orco_l2 < dcs_l2,
-        "OrcoDCS L2 {orco_l2} should beat DCSNet-30% {dcs_l2}"
-    );
+    assert!(orco_l2 < dcs_l2, "OrcoDCS L2 {orco_l2} should beat DCSNet-30% {dcs_l2}");
 }

@@ -1,7 +1,7 @@
 //! Failure-injection integration tests: dead devices, lossy links, and
 //! divergence guards must degrade the system gracefully, never corrupt it.
 
-use orcodcs_repro::core::{OrcoConfig, Orchestrator};
+use orcodcs_repro::core::{Orchestrator, OrcoConfig};
 use orcodcs_repro::datasets::{mnist_like, DatasetKind};
 use orcodcs_repro::wsn::{LinkModel, Network, NetworkConfig, PacketKind, WsnError};
 
@@ -15,11 +15,9 @@ fn cfg() -> OrcoConfig {
 #[test]
 fn training_survives_device_deaths() {
     let dataset = mnist_like::generate(16, 0);
-    let mut orch = Orchestrator::new(
-        cfg(),
-        NetworkConfig { num_devices: 12, seed: 0, ..Default::default() },
-    )
-    .expect("valid config");
+    let mut orch =
+        Orchestrator::new(cfg(), NetworkConfig { num_devices: 12, seed: 0, ..Default::default() })
+            .expect("valid config");
 
     // Kill a third of the cluster.
     let victims: Vec<_> = orch.network().devices().iter().copied().step_by(3).collect();

@@ -66,6 +66,48 @@ proptest! {
         }
     }
 
+    /// §III-C end-to-end invariant: distributing the encoder column-wise to
+    /// the devices and aggregating partial sums along a chain reconstructs
+    /// exactly the latent vector the centralized encoder σ(Wx + b) computes,
+    /// for any encoder shape, any weights, and any chain order.
+    #[test]
+    fn distributed_chain_encode_equals_centralized(
+        m in 1usize..16,
+        n in 1usize..48,
+        seed in 0u64..2000,
+    ) {
+        use orcodcs_repro::nn::Activation;
+
+        let mut rng = OrcoRng::from_seed_u64(seed);
+        let w = Matrix::from_fn(m, n, |_, _| rng.uniform(-2.0, 2.0));
+        let b = Matrix::from_fn(1, m, |_, _| rng.uniform(-1.0, 1.0));
+        let readings: Vec<f32> = (0..n).map(|_| rng.uniform(-3.0, 3.0)).collect();
+
+        // Centralized: the aggregator owning the whole encoder.
+        let central: Vec<f32> = w
+            .matvec(&readings)
+            .iter()
+            .zip(b.row(0))
+            .map(|(s, bias)| Activation::Sigmoid.apply(s + bias))
+            .collect();
+
+        // Distributed: one column per device, summed along a random chain.
+        let cols = EncoderColumns::split(&w, &b);
+        prop_assert_eq!(cols.num_devices(), n);
+        let mut order: Vec<usize> = (0..n).collect();
+        rng.shuffle(&mut order);
+        let partial = cols.chain_partial_sum(&readings, &order).expect("valid order");
+        let latent = cols.finish_at_aggregator(&partial);
+
+        prop_assert_eq!(latent.len(), central.len());
+        for (i, (d, c)) in latent.iter().zip(&central).enumerate() {
+            prop_assert!(
+                (d - c).abs() < 1e-4,
+                "element {}: distributed {} vs centralized {} (m={}, n={})", i, d, c, m, n
+            );
+        }
+    }
+
     /// Aggregation trees span all nodes, stay acyclic, and survive the
     /// removal of any non-root node.
     #[test]
