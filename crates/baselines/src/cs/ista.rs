@@ -10,7 +10,7 @@
 use orco_tensor::Matrix;
 
 /// ISTA solver parameters.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IstaConfig {
     /// ℓ₁ weight λ.
     pub lambda: f32,

@@ -14,11 +14,13 @@
 //! quality is **limited by the dimension and sparsity of measurements** —
 //! both measurable with the benches in `orco-bench`.
 
+pub mod codec;
 pub mod dct;
 pub mod ista;
 pub mod measurement;
 pub mod omp;
 
+pub use codec::{ClassicalCodec, CsSolver};
 pub use dct::Dct2;
 pub use ista::{ista_reconstruct, IstaConfig};
 pub use measurement::GaussianMeasurement;

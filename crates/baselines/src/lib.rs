@@ -13,8 +13,13 @@
 //!   convex sparse reconstruction (ISTA, plus OMP) in a DCT basis. Its
 //!   computational cost and dimension/sparsity-limited quality are exactly
 //!   the drawbacks the paper cites.
-//! * [`offline_trainer`] — the offline (cloud-style) training scheme for
-//!   DCSNet and helpers to subset training data to the paper's 30/50/70%.
+//! * [`offline_trainer`] — the legacy offline (cloud-style) training
+//!   drivers for DCSNet, kept as deprecated wrappers.
+//!
+//! Both baselines implement [`orcodcs::Codec`] — [`Dcsnet`] directly, the
+//! classical stack through [`cs::ClassicalCodec`] — so every comparison in
+//! the figure harness and examples drives them through the same
+//! `ExperimentBuilder` pipeline as OrcoDCS itself.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,4 +30,5 @@ pub mod dcsnet;
 pub mod offline_trainer;
 
 pub use crop::Crop2d;
+pub use cs::{ClassicalCodec, CsSolver};
 pub use dcsnet::Dcsnet;

@@ -34,6 +34,10 @@ pub struct OfflineOutcome {
 ///
 /// Panics if `data_fraction` is not in `(0, 1]` or `epochs`/`batch_size`
 /// is zero.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `ExperimentBuilder` with a `Dcsnet` codec in `TrainingMode::Local`"
+)]
 #[must_use]
 pub fn train_dcsnet_offline(
     dataset: &Dataset,
@@ -80,6 +84,10 @@ pub fn train_dcsnet_offline(
 /// # Errors
 ///
 /// Propagates orchestration errors.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `ExperimentBuilder` with a `Dcsnet` codec and `.data_fraction(..)`"
+)]
 pub fn train_dcsnet_online(
     dataset: &Dataset,
     data_fraction: f32,
@@ -119,6 +127,7 @@ pub fn train_dcsnet_online(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy wrappers stay covered until removal
 mod tests {
     use super::*;
     use orco_datasets::mnist_like;

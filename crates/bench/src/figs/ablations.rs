@@ -14,7 +14,7 @@ use orco_datasets::{drift, mnist_like, DatasetKind};
 use orco_nn::Loss;
 use orco_tensor::OrcoRng;
 use orco_wsn::{Network, NetworkConfig, PacketKind};
-use orcodcs::{AsymmetricAutoencoder, GradCompression, Orchestrator, OrcoConfig};
+use orcodcs::{ClusterScale, ExperimentBuilder, GradCompression, OrcoConfig};
 
 use crate::harness::{banner, Scale};
 
@@ -29,8 +29,16 @@ pub struct AblationRow {
     pub value: f64,
 }
 
-fn train_local(cfg: &OrcoConfig, data: &orco_datasets::Dataset) -> AsymmetricAutoencoder {
-    super::train_orcodcs_local(data, cfg)
+/// Trains an OrcoDCS codec locally through the pipeline and hands back the
+/// live experiment for probe reconstructions.
+fn train_local(
+    cfg: &OrcoConfig,
+    data: &orco_datasets::Dataset,
+    scale: Scale,
+) -> orcodcs::Experiment {
+    let (experiment, _report) =
+        super::local_experiment(data, Box::new(super::orco_codec(cfg)), scale.epochs(), 1.0);
+    experiment
 }
 
 fn loss_shape_ablation(scale: Scale, rows: &mut Vec<AblationRow>) {
@@ -48,9 +56,9 @@ fn loss_shape_ablation(scale: Scale, rows: &mut Vec<AblationRow>) {
         ("vector_huber (paper eq. 4)", base.clone().with_vector_huber()),
     ];
     for (label, cfg) in variants {
-        let mut ae = train_local(&cfg, &ds);
+        let mut exp = train_local(&cfg, &ds, scale);
         let l2 = {
-            let recon = ae.reconstruct(ds.x());
+            let recon = exp.codec_mut().reconstruct(ds.x());
             Loss::L2.value(&recon, ds.x())
         };
         println!("  {label:<30} probe L2 {l2:.6}");
@@ -70,8 +78,8 @@ fn noise_robustness_ablation(scale: Scale, rows: &mut Vec<AblationRow>) {
     let drifted = drift::apply(&ds, drift::Drift::NoiseBurst, 0.4, &mut rng);
     for (label, variance) in [("no noise (σ²=0)", 0.0f32), ("default noise (σ²=0.1)", 0.1)] {
         let cfg = super::orco_config(DatasetKind::MnistLike, scale).with_noise_variance(variance);
-        let mut ae = train_local(&cfg, &ds);
-        let recon = ae.reconstruct(drifted.x());
+        let mut exp = train_local(&cfg, &ds, scale);
+        let recon = exp.codec_mut().reconstruct(drifted.x());
         let l2 = Loss::L2.value(&recon, ds.x());
         println!("  {label:<30} drifted-input L2 {l2:.6}");
         rows.push(AblationRow {
@@ -124,15 +132,23 @@ fn grad_compression_ablation(scale: Scale, rows: &mut Vec<AblationRow>) {
     for (label, policy) in
         [("f32 feedback", GradCompression::None), ("8-bit feedback", GradCompression::Byte)]
     {
-        let cfg = super::orco_config(DatasetKind::MnistLike, scale)
-            .with_grad_compression(policy)
-            .with_epochs(scale.epochs().min(5));
-        let net = NetworkConfig { num_devices: 16, seed: 0, ..Default::default() };
-        let mut orch = Orchestrator::new(cfg, net).expect("valid config");
-        let _hist = orch.train(ds.x()).expect("simulation runs");
-        let bytes = orch.network().accounting().bytes_by_kind(PacketKind::ModelUpdate);
+        let cfg = super::orco_config(DatasetKind::MnistLike, scale);
+        let mut experiment = ExperimentBuilder::new()
+            .dataset(&ds)
+            .codec(super::orco_codec(&cfg))
+            .scale(ClusterScale::Devices(16))
+            .seed(0)
+            .epochs(scale.epochs().min(5))
+            .batch_size(32)
+            .grad_compression(policy)
+            .raw_frames(0)
+            .data_plane_frames(0)
+            .build()
+            .expect("consistent experiment");
+        let report = experiment.run().expect("simulation runs");
+        let bytes = report.training_radio.feedback_bytes;
         let l2 = {
-            let recon = orch.autoencoder_mut().reconstruct(ds.x());
+            let recon = experiment.codec_mut().reconstruct(ds.x());
             Loss::L2.value(&recon, ds.x())
         };
         println!("  {label:<30} feedback bytes {bytes:>12}   probe L2 {l2:.6}");

@@ -6,9 +6,9 @@
 //! quantitatively (per-image PSNR and global-SSIM) and qualitatively
 //! (ASCII previews of original / OrcoDCS / DCSNet for the same samples).
 
-use orco_datasets::{gtsrb_like, mnist_like, DatasetKind};
+use orco_baselines::Dcsnet;
+use orco_datasets::DatasetKind;
 use orco_tensor::stats;
-use orcodcs::SplitModel;
 
 use crate::harness::{ascii_side_by_side, banner, luminance, Scale};
 
@@ -28,22 +28,22 @@ pub struct Fig2Result {
 }
 
 fn run_kind(kind: DatasetKind, scale: Scale, show_art: bool) -> Fig2Result {
-    let n = scale.train_n(kind);
-    let dataset = match kind {
-        DatasetKind::MnistLike => mnist_like::generate(n, 0),
-        DatasetKind::GtsrbLike => gtsrb_like::generate(n, 0),
-    };
+    let dataset = super::sweep_dataset(kind, scale);
 
-    // OrcoDCS: online access to the full stream; paper's latent dims.
+    // OrcoDCS: full-stream access; paper's latent dims. DCSNet: offline,
+    // 50% of the data, fixed 1024-dim latent. Both train through the same
+    // pipeline in local (no-deployment) mode — this figure only needs the
+    // trained codecs.
     let cfg = super::orco_config(kind, scale);
-    let mut orco = super::train_orcodcs_local(&dataset, &cfg);
-    // DCSNet: offline, 50% of the data, fixed 1024-dim latent.
-    let mut dcs = super::dcsnet_offline(&dataset, 0.5, scale);
+    let (mut orco, _) =
+        super::local_experiment(&dataset, Box::new(super::orco_codec(&cfg)), scale.epochs(), 1.0);
+    let (mut dcs, _) =
+        super::local_experiment(&dataset, Box::new(Dcsnet::new(kind, 0)), scale.epochs(), 0.5);
 
     let probe: Vec<usize> = (0..dataset.len().min(24)).collect();
     let probe_x = dataset.x().select_rows(&probe);
-    let orco_recon = orco.reconstruct(&probe_x);
-    let dcs_recon = dcs.model.reconstruct_inference(&probe_x);
+    let orco_recon = orco.codec_mut().reconstruct(&probe_x);
+    let dcs_recon = dcs.codec_mut().reconstruct(&probe_x);
 
     let mean_finite = |v: Vec<f32>| -> f32 {
         let f: Vec<f32> = v.into_iter().filter(|p| p.is_finite()).collect();

@@ -10,10 +10,10 @@
 //! measures a few live frames on the simulator and extrapolates — the
 //! extrapolation is exact (verified by test).
 
-use orco_datasets::DatasetKind;
-use orco_wsn::NetworkConfig;
-use orcodcs::aggregation::{measure_compressed_pipeline, TransmissionReport};
-use orcodcs::{Orchestrator, OrcoConfig};
+use orco_baselines::Dcsnet;
+use orco_datasets::{gtsrb_like, mnist_like, DatasetKind};
+use orcodcs::aggregation::TransmissionReport;
+use orcodcs::{ClusterScale, Codec, ExperimentBuilder};
 
 use crate::harness::{banner, print_series_table, Scale, Series};
 
@@ -30,30 +30,45 @@ pub struct Fig3Row {
     pub kb_10k: f64,
 }
 
-fn measure(kind: DatasetKind, latent_dim: usize, devices: usize) -> TransmissionReport {
-    let cfg = OrcoConfig::for_dataset(kind).with_latent_dim(latent_dim);
-    let net = NetworkConfig { num_devices: devices, seed: 0, ..Default::default() };
-    let mut orch = Orchestrator::new(cfg, net).expect("valid config");
-    // Skip training: the data-plane cost depends only on dimensions. The
+fn measure(kind: DatasetKind, codec: Box<dyn Codec>, cluster: ClusterScale) -> TransmissionReport {
+    // A single-frame dataset: the data-plane cost depends only on the
+    // codec's dimensions, and zero epochs skips training entirely — the
     // untrained encoder moves exactly as many bytes as a trained one.
-    let (_cols, _t) = orch.distribute_encoder().expect("broadcast succeeds");
-    measure_compressed_pipeline(&mut orch, 3).expect("pipeline runs")
+    let dataset = match kind {
+        DatasetKind::MnistLike => mnist_like::generate(1, 0),
+        DatasetKind::GtsrbLike => gtsrb_like::generate(1, 0),
+    };
+    let mut experiment = ExperimentBuilder::new()
+        .dataset(&dataset)
+        .codec_boxed(codec)
+        .scale(cluster)
+        .seed(0)
+        .epochs(0)
+        .data_plane_frames(3)
+        .build()
+        .expect("consistent experiment");
+    experiment.run().expect("pipeline runs").data_plane.expect("data plane measured")
 }
 
-/// Runs the Figure 3 experiment. `faithful_devices` controls whether the
-/// cluster has one device per reading (paper model; slower to simulate) or
-/// a fixed 64-device cluster.
+/// Runs the Figure 3 experiment. At non-quick scales the cluster is
+/// faithful (one device per reading — the paper's model, slower to
+/// simulate); the quick scale uses a fixed 64-device cluster.
 pub fn run(scale: Scale) -> Vec<Fig3Row> {
     banner("Figure 3", "Transmission cost (KB) for 1 000 / 10 000 images: OrcoDCS vs DCSNet");
     let faithful = scale != Scale::Quick;
     let mut rows = Vec::new();
     for kind in [DatasetKind::MnistLike, DatasetKind::GtsrbLike] {
-        let devices = if faithful { kind.sample_len() } else { 64 };
+        let cluster = if faithful { ClusterScale::Faithful } else { ClusterScale::Devices(64) };
         let orco_m = kind.paper_latent_dim();
-        let configs: [(&str, usize); 2] = [("OrcoDCS", orco_m), ("DCSNet", 1024)];
+        let cfg = orcodcs::OrcoConfig::for_dataset(kind).with_latent_dim(orco_m);
+        let backends: [(&str, Box<dyn Codec>); 2] = [
+            ("OrcoDCS", Box::new(super::orco_codec(&cfg))),
+            ("DCSNet", Box::new(Dcsnet::new(kind, 0))),
+        ];
         let mut series = Vec::new();
-        for (name, m) in configs {
-            let report = measure(kind, m, devices);
+        for (name, codec) in backends {
+            let m = codec.code_len();
+            let report = measure(kind, codec, cluster);
             let kb_1k = report.extrapolate(1000).total_kb();
             let kb_10k = report.extrapolate(10_000).total_kb();
             series.push(Series::new(
@@ -62,7 +77,7 @@ pub fn run(scale: Scale) -> Vec<Fig3Row> {
             ));
             rows.push(Fig3Row { framework: name.to_string(), kind, kb_1k, kb_10k });
         }
-        println!("\n--- {kind:?} ({devices} devices) ---");
+        println!("\n--- {kind:?} ({} devices) ---", cluster.device_count(kind.sample_len()));
         print_series_table("images", "transmitted KB", &series);
         let ratio_1k = rows[rows.len() - 1].kb_1k / rows[rows.len() - 2].kb_1k;
         println!("  DCSNet / OrcoDCS byte ratio: {ratio_1k:.2}x");

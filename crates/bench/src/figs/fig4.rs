@@ -14,12 +14,8 @@
 //! uplink) and dense autoencoder (far fewer FLOPs) make each round cheaper,
 //! and it sees the full data stream rather than DCSNet's 50%.
 
-use orco_baselines::Dcsnet;
-use orco_datasets::{Dataset, DatasetKind};
-use orco_nn::Loss;
-use orco_tensor::Matrix;
-use orco_wsn::NetworkConfig;
-use orcodcs::{Orchestrator, OrcoConfig, SplitModel};
+use orco_datasets::DatasetKind;
+use orcodcs::pipeline::Report;
 
 use crate::harness::{banner, Scale};
 
@@ -55,27 +51,14 @@ impl Fig4Curve {
     }
 }
 
-/// Trains any split model epoch-by-epoch through the orchestrated protocol,
-/// recording the probe L2 after every epoch.
-fn epochwise_curve<M: SplitModel>(
-    orch: &mut Orchestrator<M>,
-    train_x: &Matrix,
-    probe: &Matrix,
-    epochs: usize,
-    label: &str,
-    kind: DatasetKind,
-) -> Fig4Curve {
-    let mut points = Vec::with_capacity(epochs + 1);
-    let eval = |orch: &mut Orchestrator<M>| -> f32 {
-        let recon = orch.model_mut().reconstruct_inference(probe);
-        Loss::L2.value(&recon, probe)
-    };
-    points.push((orch.network().now_s(), eval(orch)));
-    for _ in 0..epochs {
-        let _ = orch.train(train_x).expect("simulation runs");
-        points.push((orch.network().now_s(), eval(orch)));
+/// Projects a pipeline report's probe records (pre-training point
+/// included) into a time-to-loss curve.
+fn report_curve(report: &Report, label: &str, kind: DatasetKind) -> Fig4Curve {
+    Fig4Curve {
+        framework: label.to_string(),
+        kind,
+        points: report.probe.iter().map(|r| (r.sim_time_s, r.probe_l2)).collect(),
     }
-    Fig4Curve { framework: label.to_string(), kind, points }
 }
 
 fn print_curve(c: &Fig4Curve) {
@@ -88,34 +71,18 @@ fn print_curve(c: &Fig4Curve) {
 
 fn run_kind(kind: DatasetKind, scale: Scale) -> Vec<Fig4Curve> {
     let dataset = super::sweep_dataset(kind, scale);
-    let probe_idx: Vec<usize> = (0..dataset.len().min(64)).collect();
-    let probe = dataset.x().select_rows(&probe_idx);
-    let net = NetworkConfig { num_devices: 32, seed: 0, ..Default::default() };
     let epochs = scale.epochs();
 
-    // OrcoDCS: full stream, paper latent dims; one epoch per train() call.
-    let cfg = super::orco_config(kind, scale).with_epochs(1);
-    let mut orco = Orchestrator::new(cfg, net.clone()).expect("valid config");
-    let orco_curve = epochwise_curve(&mut orco, dataset.x(), &probe, epochs, "OrcoDCS", kind);
+    // OrcoDCS: full stream, paper latent dims. DCSNet: the same protocol
+    // on the same deployment, 50% of the stream, fixed structure. One
+    // builder chain each — the probe records land in the reports.
+    let cfg = super::orco_config(kind, scale);
+    let orco_report =
+        super::orchestrated_report(&dataset, Box::new(super::orco_codec(&cfg)), epochs, 1.0);
+    let dcs_report = super::dcsnet_orchestrated(&dataset, scale);
 
-    // DCSNet: same protocol, 50% of the stream, fixed structure.
-    let half = half_dataset(&dataset);
-    let dcs_cfg = OrcoConfig {
-        input_dim: kind.sample_len(),
-        latent_dim: orco_baselines::dcsnet::DCSNET_LATENT_DIM,
-        decoder_layers: 4,
-        noise_variance: 0.0,
-        huber_delta: 1.0,
-        vector_huber: false,
-        learning_rate: 1e-3,
-        batch_size: 32,
-        epochs: 1,
-        finetune_threshold: 0.05,
-        grad_compression: Default::default(),
-        seed: 0,
-    };
-    let mut dcs = Orchestrator::with_model(Dcsnet::new(kind, 0), dcs_cfg, net);
-    let dcs_curve = epochwise_curve(&mut dcs, half.x(), &probe, epochs, "DCSNet-50%", kind);
+    let orco_curve = report_curve(&orco_report, "OrcoDCS", kind);
+    let dcs_curve = report_curve(&dcs_report, "DCSNet-50%", kind);
 
     println!("\n--- {kind:?} ---");
     print_curve(&orco_curve);
@@ -127,11 +94,6 @@ fn run_kind(kind: DatasetKind, scale: Scale) -> Vec<Fig4Curve> {
         dcs_curve.loss_at(t_common)
     );
     vec![orco_curve, dcs_curve]
-}
-
-fn half_dataset(dataset: &Dataset) -> Dataset {
-    let mut rng = orco_tensor::OrcoRng::from_label("fig4-half", 0);
-    orco_datasets::split::fraction(dataset, 0.5, &mut rng)
 }
 
 /// Runs the Figure 4 experiment.

@@ -8,9 +8,12 @@
 //! access and (ii) the Gaussian latent noise acting as implicit data
 //! augmentation in reconstruction space.
 
+use orco_baselines::cs::{ClassicalCodec, CsSolver, IstaConfig};
+use orco_baselines::Dcsnet;
 use orco_classifier::{Cnn, TrainConfig};
 use orco_datasets::{gtsrb_like, mnist_like, Dataset, DatasetKind};
-use orco_tensor::OrcoRng;
+use orco_tensor::{stats, OrcoRng};
+use orcodcs::Codec;
 
 use crate::harness::{banner, print_series_table, Scale, Series};
 
@@ -25,6 +28,16 @@ pub struct Fig5Row {
     pub final_accuracy: f32,
     /// Final test loss.
     pub final_test_loss: f32,
+}
+
+/// Reconstruction quality of one backend over the comparison probe — every
+/// backend measured through the same `Codec` interface.
+#[derive(Debug)]
+pub struct CodecQuality {
+    /// The backend's `Codec::name`.
+    pub codec: &'static str,
+    /// Mean PSNR (dB) over the probe images.
+    pub mean_psnr_db: f32,
 }
 
 fn classifier_curve(
@@ -55,7 +68,13 @@ fn classifier_curve(
     (last.test_accuracy, last.test_loss)
 }
 
-fn run_kind(kind: DatasetKind, scale: Scale) -> Vec<Fig5Row> {
+/// Runs one dataset's classifier comparison. Returns the rows plus the
+/// trained OrcoDCS and DCSNet-50% experiments so the four-backend quality
+/// probe can reuse them instead of retraining.
+fn run_kind(
+    kind: DatasetKind,
+    scale: Scale,
+) -> (Vec<Fig5Row>, orcodcs::Experiment, Option<orcodcs::Experiment>) {
     let (train, test) = match kind {
         DatasetKind::MnistLike => (
             mnist_like::generate(scale.train_n(kind), 0),
@@ -69,19 +88,27 @@ fn run_kind(kind: DatasetKind, scale: Scale) -> Vec<Fig5Row> {
 
     // OrcoDCS reconstructions.
     let cfg = super::orco_config(kind, scale);
-    let mut orco = super::train_orcodcs_local(&train, &cfg);
-    let orco_train = super::reconstruct_dataset(&mut orco, &train);
-    let orco_test = super::reconstruct_dataset(&mut orco, &test);
+    let (mut orco, _) =
+        super::local_experiment(&train, Box::new(super::orco_codec(&cfg)), scale.epochs(), 1.0);
+    let orco_train = super::reconstruct_dataset(orco.codec_mut(), &train);
+    let orco_test = super::reconstruct_dataset(orco.codec_mut(), &test);
 
     let mut acc_series = Vec::new();
     let mut loss_series = Vec::new();
     let mut rows = Vec::new();
 
-    // DCSNet at 30/50/70% data access.
+    // DCSNet at 30/50/70% data access; the 50% experiment is kept for the
+    // backend-quality probe.
+    let mut dcs50 = None;
     for fraction in [0.3f32, 0.5, 0.7] {
-        let mut dcs = super::dcsnet_offline(&train, fraction, scale);
-        let dcs_train = super::reconstruct_dataset(&mut dcs.model, &train);
-        let dcs_test = super::reconstruct_dataset(&mut dcs.model, &test);
+        let (mut dcs, _) = super::local_experiment(
+            &train,
+            Box::new(Dcsnet::new(kind, 0)),
+            scale.epochs(),
+            fraction,
+        );
+        let dcs_train = super::reconstruct_dataset(dcs.codec_mut(), &train);
+        let dcs_test = super::reconstruct_dataset(dcs.codec_mut(), &test);
         let label = format!("DCSNet-{}%", (fraction * 100.0) as u32);
         let (acc, loss) = classifier_curve(
             &label,
@@ -92,6 +119,9 @@ fn run_kind(kind: DatasetKind, scale: Scale) -> Vec<Fig5Row> {
             &mut loss_series,
         );
         rows.push(Fig5Row { source: label, kind, final_accuracy: acc, final_test_loss: loss });
+        if (fraction - 0.5).abs() < f32::EPSILON {
+            dcs50 = Some(dcs);
+        }
     }
 
     let (acc, loss) = classifier_curve(
@@ -112,15 +142,69 @@ fn run_kind(kind: DatasetKind, scale: Scale) -> Vec<Fig5Row> {
     println!("\n--- {kind:?}: classifier on reconstructed data ---");
     print_series_table("epoch", "test accuracy", &acc_series);
     print_series_table("epoch", "test loss", &loss_series);
-    rows
+    (rows, orco, dcs50)
 }
 
-/// Runs the Figure 5 experiment.
-pub fn run(scale: Scale) -> Vec<Fig5Row> {
+/// Reconstruction quality of **all four backends** — OrcoDCS autoencoder,
+/// DCSNet, DCT+ISTA, DCT+OMP — over one probe of MNIST-like digits, every
+/// backend driven through the same object-safe [`Codec`] interface.
+/// `orco` and `dcs` are the already-trained experiments from the
+/// classifier comparison (retraining them here would double the figure's
+/// cost); the classical stacks are training-free.
+pub fn codec_comparison(
+    scale: Scale,
+    orco: &mut dyn Codec,
+    dcs: &mut dyn Codec,
+) -> Vec<CodecQuality> {
+    let kind = DatasetKind::MnistLike;
+    let train = mnist_like::generate(scale.train_n(kind), 0);
+    let probe_idx: Vec<usize> = (0..train.len().min(6)).collect();
+    let probe = train.x().select_rows(&probe_idx);
+
+    // Classical CS at the paper's MNIST latent size (m = M = 128
+    // measurements); ISTA gets a smaller iteration budget at quick scale.
+    let ista_iters = if scale == Scale::Quick { 120 } else { 300 };
+    let m = kind.paper_latent_dim();
+    let mut ista = ClassicalCodec::new(
+        kind,
+        m,
+        CsSolver::Ista(IstaConfig { lambda: 0.01, max_iters: ista_iters, tol: 1e-6 }),
+        0,
+    );
+    let mut omp = ClassicalCodec::new(kind, m, CsSolver::Omp { sparsity: m / 4 }, 0);
+
+    let mut backends: Vec<&mut dyn Codec> = vec![orco, dcs, &mut ista, &mut omp];
+    println!("\n--- {kind:?}: all four backends through the `Codec` interface ---");
+    println!("  {:<14} {:>12} {:>16}", "backend", "PSNR (dB)", "bytes/frame");
+    backends
+        .iter_mut()
+        .map(|codec| {
+            let recon = codec.reconstruct(&probe);
+            let psnrs = stats::psnr_rows(&probe, &recon, 1.0);
+            let finite: Vec<f32> = psnrs.into_iter().filter(|p| p.is_finite()).collect();
+            let mean_psnr_db = stats::mean(&finite);
+            println!(
+                "  {:<14} {:>12.3} {:>16}",
+                codec.name(),
+                mean_psnr_db,
+                codec.bytes_per_frame()
+            );
+            CodecQuality { codec: codec.name(), mean_psnr_db }
+        })
+        .collect()
+}
+
+/// Runs the Figure 5 experiment: the classifier comparison of the paper,
+/// plus the four-backend reconstruction-quality probe (reusing the MNIST
+/// experiments trained for the classifier rows).
+pub fn run(scale: Scale) -> (Vec<Fig5Row>, Vec<CodecQuality>) {
     banner("Figure 5", "Classifier accuracy/loss on reconstructed data");
-    let mut rows = run_kind(DatasetKind::MnistLike, scale);
-    rows.extend(run_kind(DatasetKind::GtsrbLike, scale));
-    rows
+    let (mut rows, mut orco, dcs50) = run_kind(DatasetKind::MnistLike, scale);
+    let (gtsrb_rows, _, _) = run_kind(DatasetKind::GtsrbLike, scale);
+    rows.extend(gtsrb_rows);
+    let mut dcs50 = dcs50.expect("the 50% fraction is always swept");
+    let quality = codec_comparison(scale, orco.codec_mut(), dcs50.codec_mut());
+    (rows, quality)
 }
 
 #[cfg(test)]
@@ -129,8 +213,12 @@ mod tests {
 
     #[test]
     fn orcodcs_classifier_competitive() {
-        let rows = run(Scale::Quick);
+        let (rows, quality) = run(Scale::Quick);
         assert_eq!(rows.len(), 8);
+        // All four backends ran through the one Codec interface.
+        let names: Vec<&str> = quality.iter().map(|q| q.codec).collect();
+        assert_eq!(names, ["OrcoDCS", "DCSNet", "DCT+ISTA", "DCT+OMP"]);
+        assert!(quality.iter().all(|q| q.mean_psnr_db.is_finite()));
         // Within each dataset, OrcoDCS (last row of each 4) must beat the
         // weakest DCSNet fraction. Quick-scale test sets are tiny (tens of
         // samples over up to 43 classes), so allow a slack of two

@@ -29,30 +29,21 @@ fn run_kind(kind: DatasetKind, scale: Scale) -> Vec<Fig6Row> {
 
     for m in dims {
         let cfg = super::orco_config(kind, scale).with_latent_dim(m);
-        curves.push(super::orcodcs_sweep(&dataset, &cfg, &format!("OrcoDCS-{m}")));
+        let codec = Box::new(super::orco_codec(&cfg));
+        let report = super::orchestrated_report(&dataset, codec, scale.epochs(), 1.0);
+        curves.push((format!("OrcoDCS-{m}"), report));
     }
-    curves.push(super::dcsnet_sweep(&dataset, scale));
+    curves.push(("DCSNet".to_string(), super::dcsnet_orchestrated(&dataset, scale)));
 
-    let series: Vec<Series> = curves
-        .iter()
-        .map(|c| {
-            Series::new(
-                c.label.clone(),
-                c.probe_l2
-                    .iter()
-                    .enumerate()
-                    .map(|(e, l)| ((e + 1) as f64, f64::from(*l)))
-                    .collect(),
-            )
-        })
-        .collect();
+    let series: Vec<Series> =
+        curves.iter().map(|(label, r)| super::probe_series(r, label.clone())).collect();
     let rows: Vec<Fig6Row> = curves
         .iter()
-        .map(|c| Fig6Row {
-            label: c.label.clone(),
+        .map(|(label, r)| Fig6Row {
+            label: label.clone(),
             kind,
-            final_loss: c.final_loss(),
-            total_time_s: c.total_time_s(),
+            final_loss: r.final_probe_l2(),
+            total_time_s: r.total_time_s(),
         })
         .collect();
 

@@ -31,30 +31,21 @@ fn run_kind(kind: DatasetKind, scale: Scale) -> Vec<Fig7Row> {
     let mut curves = Vec::new();
     for &v in variances {
         let cfg = super::orco_config(kind, scale).with_noise_variance(v);
-        curves.push((v, super::orcodcs_sweep(&dataset, &cfg, &format!("OrcoDCS(s2={v})"))));
+        let codec = Box::new(super::orco_codec(&cfg));
+        let report = super::orchestrated_report(&dataset, codec, scale.epochs(), 1.0);
+        curves.push((v, format!("OrcoDCS(s2={v})"), report));
     }
-    curves.push((f32::NAN, super::dcsnet_sweep(&dataset, scale)));
+    curves.push((f32::NAN, "DCSNet".to_string(), super::dcsnet_orchestrated(&dataset, scale)));
 
-    let series: Vec<Series> = curves
-        .iter()
-        .map(|(_, c)| {
-            Series::new(
-                c.label.clone(),
-                c.probe_l2
-                    .iter()
-                    .enumerate()
-                    .map(|(e, l)| ((e + 1) as f64, f64::from(*l)))
-                    .collect(),
-            )
-        })
-        .collect();
+    let series: Vec<Series> =
+        curves.iter().map(|(_, label, r)| super::probe_series(r, label.clone())).collect();
     let rows: Vec<Fig7Row> = curves
         .iter()
-        .map(|(v, c)| Fig7Row {
-            label: c.label.clone(),
+        .map(|(v, label, r)| Fig7Row {
+            label: label.clone(),
             kind,
             variance: *v,
-            final_loss: c.final_loss(),
+            final_loss: r.final_probe_l2(),
         })
         .collect();
 

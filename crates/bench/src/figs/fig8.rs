@@ -29,31 +29,22 @@ fn run_kind(kind: DatasetKind, scale: Scale) -> Vec<Fig8Row> {
     let mut curves = Vec::new();
     for layers in [1usize, 3, 5] {
         let cfg = super::orco_config(kind, scale).with_decoder_layers(layers);
-        curves.push((layers, super::orcodcs_sweep(&dataset, &cfg, &format!("OrcoDCS-{layers}L"))));
+        let codec = Box::new(super::orco_codec(&cfg));
+        let report = super::orchestrated_report(&dataset, codec, scale.epochs(), 1.0);
+        curves.push((layers, format!("OrcoDCS-{layers}L"), report));
     }
-    curves.push((0usize, super::dcsnet_sweep(&dataset, scale)));
+    curves.push((0usize, "DCSNet".to_string(), super::dcsnet_orchestrated(&dataset, scale)));
 
-    let series: Vec<Series> = curves
-        .iter()
-        .map(|(_, c)| {
-            Series::new(
-                c.label.clone(),
-                c.probe_l2
-                    .iter()
-                    .enumerate()
-                    .map(|(e, l)| ((e + 1) as f64, f64::from(*l)))
-                    .collect(),
-            )
-        })
-        .collect();
+    let series: Vec<Series> =
+        curves.iter().map(|(_, label, r)| super::probe_series(r, label.clone())).collect();
     let rows: Vec<Fig8Row> = curves
         .iter()
-        .map(|(layers, c)| Fig8Row {
-            label: c.label.clone(),
+        .map(|(layers, label, r)| Fig8Row {
+            label: label.clone(),
             kind,
             layers: *layers,
-            final_loss: c.final_loss(),
-            total_time_s: c.total_time_s(),
+            final_loss: r.final_probe_l2(),
+            total_time_s: r.total_time_s(),
         })
         .collect();
 

@@ -1,4 +1,9 @@
 //! One module per figure of the paper's evaluation, plus shared drivers.
+//!
+//! Every figure is a thin projection of [`orcodcs::pipeline::Report`]s:
+//! the helpers here assemble an [`ExperimentBuilder`] per backend (OrcoDCS
+//! autoencoder, DCSNet, classical CS) and the figure modules only decide
+//! which reports to run and which fields to tabulate.
 
 pub mod ablations;
 pub mod fig2;
@@ -9,35 +14,15 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 
-use orco_baselines::offline_trainer::{train_dcsnet_offline, OfflineOutcome};
+use orco_baselines::Dcsnet;
 use orco_datasets::{Dataset, DatasetKind};
-use orcodcs::{AsymmetricAutoencoder, OrcoConfig, SplitModel};
+use orcodcs::pipeline::Report;
+use orcodcs::{
+    AsymmetricAutoencoder, ClusterScale, Codec, Experiment, ExperimentBuilder, OrcoConfig,
+    TrainingMode,
+};
 
-use crate::harness::Scale;
-
-/// Trains an OrcoDCS autoencoder locally (no network simulation) — used by
-/// the quality and classifier figures where only the trained model matters.
-///
-/// # Panics
-///
-/// Panics if the configuration is invalid.
-#[must_use]
-pub fn train_orcodcs_local(dataset: &Dataset, config: &OrcoConfig) -> AsymmetricAutoencoder {
-    let mut ae = AsymmetricAutoencoder::new(config).expect("valid config");
-    let loss = config.loss();
-    let mut rng = orco_tensor::OrcoRng::from_label("bench-local-batching", config.seed);
-    let n = dataset.len();
-    let bs = config.batch_size.min(n);
-    let mut order: Vec<usize> = (0..n).collect();
-    for _ in 0..config.epochs {
-        rng.shuffle(&mut order);
-        for chunk in order.chunks(bs) {
-            let xb = dataset.x().select_rows(chunk);
-            let _ = ae.train_batch_local(&xb, &loss);
-        }
-    }
-    ae
-}
+use crate::harness::{Scale, Series};
 
 /// Default OrcoDCS configuration for a figure run at the given scale.
 #[must_use]
@@ -45,18 +30,109 @@ pub fn orco_config(kind: DatasetKind, scale: Scale) -> OrcoConfig {
     OrcoConfig::for_dataset(kind).with_epochs(scale.epochs()).with_batch_size(32)
 }
 
-/// Trains the DCSNet baseline offline at a data fraction.
+/// A fresh OrcoDCS codec for a figure run.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid.
 #[must_use]
-pub fn dcsnet_offline(dataset: &Dataset, fraction: f32, scale: Scale) -> OfflineOutcome {
-    train_dcsnet_offline(dataset, fraction, scale.epochs(), 32, 0)
+pub fn orco_codec(config: &OrcoConfig) -> AsymmetricAutoencoder {
+    AsymmetricAutoencoder::new(config).expect("valid config")
 }
 
-/// Replaces a dataset's images with a model's reconstructions of them
+/// Runs a codec through the orchestrated protocol on the standard
+/// 32-device figure cluster, recording the probe error at every epoch
+/// boundary. Neither the §III-A collection phase nor the data plane is
+/// simulated: the sweeps compare *training* time-to-loss on a common
+/// t = 0 axis, as the paper's Figures 4 and 6–8 do.
+///
+/// # Panics
+///
+/// Panics if the experiment is inconsistent or the simulation fails.
+#[must_use]
+pub fn orchestrated_report(
+    dataset: &Dataset,
+    codec: Box<dyn Codec>,
+    epochs: usize,
+    data_fraction: f32,
+) -> Report {
+    let mut experiment = ExperimentBuilder::new()
+        .dataset(dataset)
+        .codec_boxed(codec)
+        .scale(ClusterScale::Devices(32))
+        .seed(0)
+        .epochs(epochs)
+        .batch_size(32)
+        .data_fraction(data_fraction)
+        .raw_frames(0)
+        .data_plane_frames(0)
+        .build()
+        .expect("consistent experiment");
+    experiment.run().expect("simulation runs")
+}
+
+/// Trains a codec natively (locally / offline, no network simulation) —
+/// the setting of the quality and classifier figures, where only the
+/// trained model matters. Returns the still-live experiment (for
+/// follow-up reconstructions through [`Experiment::codec_mut`]) and its
+/// report.
+///
+/// # Panics
+///
+/// Panics if the experiment is inconsistent or training diverges.
+#[must_use]
+pub fn local_experiment(
+    dataset: &Dataset,
+    codec: Box<dyn Codec>,
+    epochs: usize,
+    data_fraction: f32,
+) -> (Experiment, Report) {
+    let mut experiment = ExperimentBuilder::new()
+        .dataset(dataset)
+        .codec_boxed(codec)
+        .training(TrainingMode::Local)
+        .seed(0)
+        .epochs(epochs)
+        .batch_size(32)
+        .data_fraction(data_fraction)
+        .build()
+        .expect("consistent experiment");
+    let report = experiment.run().expect("training runs");
+    (experiment, report)
+}
+
+/// Replaces a dataset's images with a codec's reconstructions of them
 /// (labels preserved) — the input to the follow-up classifier experiments.
 #[must_use]
-pub fn reconstruct_dataset<M: SplitModel>(model: &mut M, dataset: &Dataset) -> Dataset {
-    let recon = model.reconstruct_inference(dataset.x());
+pub fn reconstruct_dataset(codec: &mut dyn Codec, dataset: &Dataset) -> Dataset {
+    let recon = codec.reconstruct(dataset.x());
     dataset.with_x(recon)
+}
+
+/// Projects a report's per-epoch probe curve into a printable series
+/// (`x` = epochs completed, `y` = probe L2).
+#[must_use]
+pub fn probe_series(report: &Report, label: impl Into<String>) -> Series {
+    Series::new(
+        label,
+        report.probe_curve().iter().map(|r| (r.epoch as f64, f64::from(r.probe_l2))).collect(),
+    )
+}
+
+/// Loads the figure-sweep dataset for a kind at a scale.
+#[must_use]
+pub fn sweep_dataset(kind: DatasetKind, scale: Scale) -> Dataset {
+    match kind {
+        DatasetKind::MnistLike => orco_datasets::mnist_like::generate(scale.train_n(kind), 0),
+        DatasetKind::GtsrbLike => orco_datasets::gtsrb_like::generate(scale.train_n(kind), 0),
+    }
+}
+
+/// The DCSNet baseline run through the orchestrated protocol at the
+/// paper's default 50% data access.
+#[must_use]
+pub fn dcsnet_orchestrated(dataset: &Dataset, scale: Scale) -> Report {
+    orchestrated_report(dataset, Box::new(Dcsnet::new(dataset.kind(), 0)), scale.epochs(), 0.5)
 }
 
 #[cfg(test)]
@@ -67,128 +143,26 @@ mod tests {
     #[test]
     fn local_training_and_reconstruction_dataset() {
         let ds = mnist_like::generate(16, 0);
-        let cfg = OrcoConfig::for_dataset(DatasetKind::MnistLike)
-            .with_latent_dim(16)
-            .with_epochs(1)
-            .with_batch_size(8);
-        let mut ae = train_orcodcs_local(&ds, &cfg);
-        let recon = reconstruct_dataset(&mut ae, &ds);
+        let cfg =
+            OrcoConfig::for_dataset(DatasetKind::MnistLike).with_latent_dim(16).with_batch_size(8);
+        let (mut exp, report) = local_experiment(&ds, Box::new(orco_codec(&cfg)), 1, 1.0);
+        assert_eq!(report.mode, TrainingMode::Local);
+        let recon = reconstruct_dataset(exp.codec_mut(), &ds);
         assert_eq!(recon.len(), ds.len());
         assert_eq!(recon.labels(), ds.labels());
         assert_ne!(recon.x(), ds.x());
     }
-}
 
-/// A sweep trajectory on the **common** metric: probe-set L2 after each
-/// epoch, with the simulated clock reading at each checkpoint. Using one
-/// metric for every series (OrcoDCS variants *and* DCSNet) keeps the
-/// figures' y-axes comparable — the frameworks train with different native
-/// losses.
-#[derive(Debug, Clone)]
-pub struct SweepCurve {
-    /// Series label.
-    pub label: String,
-    /// Probe L2 after epochs `1..=E`.
-    pub probe_l2: Vec<f32>,
-    /// Simulated seconds at each checkpoint.
-    pub sim_times: Vec<f64>,
-}
-
-impl SweepCurve {
-    /// Final probe L2.
-    #[must_use]
-    pub fn final_loss(&self) -> f32 {
-        self.probe_l2.last().copied().unwrap_or(f32::NAN)
-    }
-
-    /// Total simulated seconds.
-    #[must_use]
-    pub fn total_time_s(&self) -> f64 {
-        self.sim_times.last().copied().unwrap_or(0.0)
-    }
-}
-
-/// Trains any split model epoch-by-epoch through the orchestrated protocol,
-/// recording probe L2 after every epoch.
-///
-/// # Panics
-///
-/// Panics if the simulation fails.
-#[must_use]
-pub fn orchestrated_sweep<M: SplitModel>(
-    orch: &mut orcodcs::Orchestrator<M>,
-    train_x: &orco_tensor::Matrix,
-    probe: &orco_tensor::Matrix,
-    epochs: usize,
-    label: &str,
-) -> SweepCurve {
-    let mut probe_l2 = Vec::with_capacity(epochs);
-    let mut sim_times = Vec::with_capacity(epochs);
-    for _ in 0..epochs {
-        let _ = orch.train(train_x).expect("simulation runs");
-        let recon = orch.model_mut().reconstruct_inference(probe);
-        probe_l2.push(orco_nn::Loss::L2.value(&recon, probe));
-        sim_times.push(orch.network().now_s());
-    }
-    SweepCurve { label: label.to_string(), probe_l2, sim_times }
-}
-
-/// Runs one OrcoDCS configuration through the protocol and returns its
-/// sweep curve (config's `epochs` field is run one at a time).
-///
-/// # Panics
-///
-/// Panics if the configuration is invalid or the simulation fails.
-#[must_use]
-pub fn orcodcs_sweep(dataset: &Dataset, config: &OrcoConfig, label: &str) -> SweepCurve {
-    let net = orco_wsn::NetworkConfig { num_devices: 32, seed: 0, ..Default::default() };
-    let epochs = config.epochs;
-    let mut one = config.clone();
-    one.epochs = 1;
-    let mut orch = orcodcs::Orchestrator::new(one, net).expect("valid config");
-    let probe_idx: Vec<usize> = (0..dataset.len().min(64)).collect();
-    let probe = dataset.x().select_rows(&probe_idx);
-    orchestrated_sweep(&mut orch, dataset.x(), &probe, epochs, label)
-}
-
-/// Runs DCSNet (50% data) through the protocol and returns its sweep curve
-/// on the same probe metric.
-///
-/// # Panics
-///
-/// Panics if the simulation fails.
-#[must_use]
-pub fn dcsnet_sweep(dataset: &Dataset, scale: Scale) -> SweepCurve {
-    let kind = dataset.kind();
-    let net = orco_wsn::NetworkConfig { num_devices: 32, seed: 0, ..Default::default() };
-    let mut rng = orco_tensor::OrcoRng::from_label("dcsnet-sweep-half", 0);
-    let half = orco_datasets::split::fraction(dataset, 0.5, &mut rng);
-    let dcs_cfg = OrcoConfig {
-        input_dim: kind.sample_len(),
-        latent_dim: orco_baselines::dcsnet::DCSNET_LATENT_DIM,
-        decoder_layers: 4,
-        noise_variance: 0.0,
-        huber_delta: 1.0,
-        vector_huber: false,
-        learning_rate: 1e-3,
-        batch_size: 32,
-        epochs: 1,
-        finetune_threshold: 0.05,
-        grad_compression: Default::default(),
-        seed: 0,
-    };
-    let mut orch =
-        orcodcs::Orchestrator::with_model(orco_baselines::Dcsnet::new(kind, 0), dcs_cfg, net);
-    let probe_idx: Vec<usize> = (0..dataset.len().min(64)).collect();
-    let probe = dataset.x().select_rows(&probe_idx);
-    orchestrated_sweep(&mut orch, half.x(), &probe, scale.epochs(), "DCSNet")
-}
-
-/// Loads the figure-sweep dataset for a kind at a scale.
-#[must_use]
-pub fn sweep_dataset(kind: DatasetKind, scale: Scale) -> Dataset {
-    match kind {
-        DatasetKind::MnistLike => orco_datasets::mnist_like::generate(scale.train_n(kind), 0),
-        DatasetKind::GtsrbLike => orco_datasets::gtsrb_like::generate(scale.train_n(kind), 0),
+    #[test]
+    fn orchestrated_report_carries_probe_curve() {
+        let ds = mnist_like::generate(16, 1);
+        let cfg =
+            OrcoConfig::for_dataset(DatasetKind::MnistLike).with_latent_dim(16).with_batch_size(8);
+        let report = orchestrated_report(&ds, Box::new(orco_codec(&cfg)), 2, 1.0);
+        assert_eq!(report.probe_curve().len(), 2);
+        assert!(report.total_time_s() > 0.0);
+        let series = probe_series(&report, "orco");
+        assert_eq!(series.points.len(), 2);
+        assert_eq!(series.points[0].0, 1.0);
     }
 }

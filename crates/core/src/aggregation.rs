@@ -8,10 +8,11 @@
 //! exactly linear in the frame count, so measuring a handful of frames and
 //! scaling is exact, not an approximation).
 
-use orco_wsn::PacketKind;
+use orco_wsn::{Network, PacketKind};
 
 use crate::error::OrcoError;
 use crate::orchestrator::Orchestrator;
+use crate::split::SplitModel;
 
 /// Measured cost of a number of compressed-aggregation frames.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -57,6 +58,61 @@ impl TransmissionReport {
     }
 }
 
+/// One frame of compressed aggregation on a deployment whose encoder (or
+/// measurement-operator columns) was already distributed: the chain folds
+/// the `code_len`-element partial sum into the aggregator, which uplinks
+/// the finished code to the edge. This is codec-agnostic — any
+/// [`crate::Codec`] whose per-frame code is `code_len` f32 values pays
+/// exactly this traffic.
+///
+/// Returns elapsed simulated seconds.
+///
+/// # Errors
+///
+/// Propagates transmission failures.
+pub fn compressed_frame_on(network: &mut Network, code_len: usize) -> Result<f64, OrcoError> {
+    let code_bytes = (code_len * 4) as u64;
+    // Per-device cost: `code_len` multiply-adds into the partial sum.
+    let device_flops = (2 * code_len) as u64;
+    let t0 = network.now_s();
+    network.compressed_aggregation_round(code_bytes, device_flops)?;
+    // Aggregator finishes the encoding (bias + σ) and uplinks.
+    let agg = network.aggregator();
+    let edge = network.edge();
+    network.compute(agg, (6 * code_len) as u64)?;
+    network.transmit(agg, edge, code_bytes, PacketKind::LatentVector)?;
+    Ok(network.now_s() - t0)
+}
+
+/// Runs `frames` frames of the compressed pipeline on a deployment,
+/// measuring all traffic in isolation (the ledger is reset before and not
+/// after). The network-level twin of [`measure_compressed_pipeline`], used
+/// by the experiment pipeline where no orchestrator is alive any more.
+///
+/// # Errors
+///
+/// Propagates transmission failures.
+pub fn measure_compressed_frames(
+    network: &mut Network,
+    code_len: usize,
+    frames: usize,
+) -> Result<TransmissionReport, OrcoError> {
+    network.reset_accounting();
+    let t0 = network.now_s();
+    for _ in 0..frames {
+        compressed_frame_on(network, code_len)?;
+    }
+    let acct = network.accounting();
+    Ok(TransmissionReport {
+        frames,
+        total_bytes: acct.total_tx_bytes(),
+        chain_bytes: acct.bytes_by_kind(PacketKind::CompressedElement),
+        uplink_bytes: acct.bytes_by_kind(PacketKind::LatentVector),
+        sim_time_s: network.now_s() - t0,
+        energy_j: acct.total_tx_energy_j() + acct.total_rx_energy_j(),
+    })
+}
+
 /// Runs `frames` frames of the compressed pipeline on an orchestrator whose
 /// encoder was already distributed, measuring all traffic in isolation
 /// (the ledger is reset before and not after).
@@ -64,24 +120,12 @@ impl TransmissionReport {
 /// # Errors
 ///
 /// Propagates transmission failures.
-pub fn measure_compressed_pipeline(
-    orch: &mut Orchestrator,
+pub fn measure_compressed_pipeline<M: SplitModel>(
+    orch: &mut Orchestrator<M>,
     frames: usize,
 ) -> Result<TransmissionReport, OrcoError> {
-    orch.network_mut().reset_accounting();
-    let t0 = orch.network().now_s();
-    for _ in 0..frames {
-        orch.compressed_frame()?;
-    }
-    let acct = orch.network().accounting();
-    Ok(TransmissionReport {
-        frames,
-        total_bytes: acct.total_tx_bytes(),
-        chain_bytes: acct.bytes_by_kind(PacketKind::CompressedElement),
-        uplink_bytes: acct.bytes_by_kind(PacketKind::LatentVector),
-        sim_time_s: orch.network().now_s() - t0,
-        energy_j: acct.total_tx_energy_j() + acct.total_rx_energy_j(),
-    })
+    let code_len = orch.config().latent_dim;
+    measure_compressed_frames(orch.network_mut(), code_len, frames)
 }
 
 /// Runs `frames` frames of **raw** aggregation (the no-compression
@@ -93,8 +137,8 @@ pub fn measure_compressed_pipeline(
 /// # Errors
 ///
 /// Propagates transmission failures.
-pub fn measure_raw_pipeline(
-    orch: &mut Orchestrator,
+pub fn measure_raw_pipeline<M: SplitModel>(
+    orch: &mut Orchestrator<M>,
     frames: usize,
     reading_bytes: u64,
 ) -> Result<TransmissionReport, OrcoError> {

@@ -47,6 +47,7 @@ pub struct AsymmetricAutoencoder {
     noise_rng: OrcoRng,
     latent_dim: usize,
     input_dim: usize,
+    loss: Loss,
 }
 
 impl AsymmetricAutoencoder {
@@ -72,6 +73,7 @@ impl AsymmetricAutoencoder {
             noise_rng,
             latent_dim: config.latent_dim,
             input_dim: config.input_dim,
+            loss: config.loss(),
         })
     }
 
@@ -91,6 +93,13 @@ impl AsymmetricAutoencoder {
     #[must_use]
     pub fn noise_variance(&self) -> f32 {
         self.noise_variance
+    }
+
+    /// The reconstruction loss this model was configured to train with
+    /// ([`OrcoConfig::loss`] at construction time).
+    #[must_use]
+    pub fn training_loss(&self) -> Loss {
+        self.loss
     }
 
     /// Changes the latent-noise variance (sensitivity sweeps).

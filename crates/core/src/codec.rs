@@ -1,0 +1,410 @@
+//! The backend-neutral compression interface every experiment runs
+//! against.
+//!
+//! The paper's evaluation is comparative: OrcoDCS versus DCSNet versus
+//! classical compressed sensing, across datasets, cluster scales, and
+//! noise regimes. [`Codec`] is the one object-safe interface all of those
+//! backends implement, so a figure, bench, or test can be written once and
+//! pointed at any of them through the
+//! [`ExperimentBuilder`](crate::pipeline::ExperimentBuilder):
+//!
+//! * [`crate::AsymmetricAutoencoder`] — the OrcoDCS path (implemented
+//!   here);
+//! * `Dcsnet` and the `Dct2` + `GaussianMeasurement` + ISTA/OMP stacks —
+//!   the baselines (implemented in `orco-baselines`).
+//!
+//! The five core methods mirror a codec's deployment lifecycle: [`train`]
+//! on aggregated data, [`encode_frame`] on the sensing side,
+//! [`decode_frame`] on the edge, [`bytes_per_frame`] for the data-plane
+//! cost model, and [`name`] for reporting. The defaulted hooks let the
+//! pipeline exploit what a backend *can* do — train over the orchestrated
+//! protocol ([`split_model`]), persist its distributable half
+//! ([`checkpoint`]) — without the caller special-casing backends.
+//!
+//! [`train`]: Codec::train
+//! [`encode_frame`]: Codec::encode_frame
+//! [`decode_frame`]: Codec::decode_frame
+//! [`bytes_per_frame`]: Codec::bytes_per_frame
+//! [`name`]: Codec::name
+//! [`split_model`]: Codec::split_model
+//! [`checkpoint`]: Codec::checkpoint
+
+use orco_nn::Loss;
+use orco_tensor::{Matrix, OrcoRng};
+
+use crate::autoencoder::AsymmetricAutoencoder;
+use crate::checkpoint::EncoderCheckpoint;
+use crate::error::OrcoError;
+use crate::online_trainer::{RoundStats, TrainingHistory};
+use crate::split::SplitModel;
+
+/// Hyperparameters for one native (local/offline) training run of a
+/// [`Codec`]. The codec supplies its own loss and model structure; the
+/// spec controls only how the data is streamed through it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainSpec {
+    /// Passes over the training data.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Seed for batch shuffling (and data subsetting, if any).
+    pub seed: u64,
+    /// Fraction of the data the codec may see, in `(0, 1]` — the paper's
+    /// DCSNet-30/50/70% settings.
+    pub data_fraction: f32,
+}
+
+impl TrainSpec {
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrcoError::Config`] describing the first violated
+    /// constraint.
+    pub fn validate(&self) -> Result<(), OrcoError> {
+        if self.batch_size == 0 {
+            return Err(OrcoError::Config {
+                detail: "TrainSpec: batch_size must be non-zero".into(),
+            });
+        }
+        if !(self.data_fraction > 0.0 && self.data_fraction <= 1.0) {
+            return Err(OrcoError::Config {
+                detail: "TrainSpec: data_fraction must be in (0, 1]".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for TrainSpec {
+    fn default() -> Self {
+        Self { epochs: 10, batch_size: 32, seed: 0, data_fraction: 1.0 }
+    }
+}
+
+/// Selects a random `fraction` of a design matrix's rows — the matrix-level
+/// twin of `orco_datasets::split::fraction`, drawing the same index sample
+/// from the given RNG. At least one row is always kept, so tiny datasets
+/// with small fractions degrade to a 1-sample subset instead of panicking
+/// mid-experiment.
+///
+/// # Panics
+///
+/// Panics if `fraction` is not in `(0, 1]` or `x` has no rows.
+#[must_use]
+pub fn fraction_rows(x: &Matrix, fraction: f32, rng: &mut OrcoRng) -> Matrix {
+    assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0, 1]");
+    assert!(x.rows() > 0, "fraction_rows: empty input");
+    if fraction >= 1.0 {
+        return x.clone();
+    }
+    let k = ((x.rows() as f32) * fraction).round() as usize;
+    let idx = rng.sample_indices(x.rows(), k.clamp(1, x.rows()));
+    x.select_rows(&idx)
+}
+
+/// The shared native-training loop of batch-trained codecs: `epochs`
+/// shuffled passes over `x` in `batch_size` chunks, one `step` call per
+/// mini-batch returning that batch's loss. Produces the same per-round
+/// records as orchestrated training, with the simulated-deployment fields
+/// zeroed (no network is involved).
+///
+/// Codecs keep their own fraction-subsetting and RNG-label policies and
+/// delegate the loop here, so divergence checks and round bookkeeping
+/// cannot drift between backends.
+///
+/// # Errors
+///
+/// Returns [`OrcoError::Config`] on an empty `x` and
+/// [`OrcoError::Diverged`] when a step reports a non-finite loss.
+pub fn shuffled_batch_train(
+    x: &Matrix,
+    epochs: usize,
+    batch_size: usize,
+    rng: &mut OrcoRng,
+    mut step: impl FnMut(&Matrix) -> f32,
+) -> Result<TrainingHistory, OrcoError> {
+    if x.rows() == 0 {
+        return Err(OrcoError::Config { detail: "training set is empty".into() });
+    }
+    let n = x.rows();
+    let bs = batch_size.min(n);
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut history = TrainingHistory::default();
+    let mut round = 0usize;
+    for epoch in 0..epochs {
+        rng.shuffle(&mut order);
+        for chunk in order.chunks(bs) {
+            let xb = x.select_rows(chunk);
+            let value = step(&xb);
+            if !value.is_finite() {
+                return Err(OrcoError::Diverged { round });
+            }
+            history.rounds.push(RoundStats {
+                round,
+                epoch,
+                loss: value,
+                sim_time_s: 0.0,
+                uplink_bytes: 0,
+                energy_j: 0.0,
+            });
+            round += 1;
+        }
+    }
+    Ok(history)
+}
+
+/// A compression backend runnable by the experiment pipeline.
+///
+/// Object-safe: experiments, figures, and tests hold `Box<dyn Codec>` and
+/// never know which backend they drive.
+pub trait Codec: std::fmt::Debug + Send {
+    /// Short backend label for reports and tables (e.g. `"OrcoDCS"`).
+    fn name(&self) -> &'static str;
+
+    /// Flattened frame length `N` (one reading per IoT device).
+    fn input_dim(&self) -> usize;
+
+    /// Bytes of one encoded frame on the wire — the steady-state
+    /// data-plane cost per frame, and the basis of the paper's Figure 3.
+    fn bytes_per_frame(&self) -> u64;
+
+    /// Number of f32 elements in one encoded frame.
+    fn code_len(&self) -> usize {
+        (self.bytes_per_frame() / 4) as usize
+    }
+
+    /// Trains the codec natively (locally / offline) on a design matrix.
+    /// Training-free codecs (classical CS) return an empty history.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrcoError::Config`] on an invalid spec and
+    /// [`OrcoError::Diverged`] on non-finite losses.
+    fn train(&mut self, x: &Matrix, spec: &TrainSpec) -> Result<TrainingHistory, OrcoError>;
+
+    /// Encodes one frame of readings into its on-air code
+    /// (`code_len()` values).
+    fn encode_frame(&mut self, frame: &[f32]) -> Vec<f32>;
+
+    /// Decodes one code back into a frame reconstruction
+    /// (`input_dim()` values).
+    fn decode_frame(&mut self, code: &[f32]) -> Vec<f32>;
+
+    /// The codec's native reconstruction loss (used for reporting and the
+    /// fine-tuning monitor; also the loss the orchestrated protocol trains
+    /// with when [`Codec::split_model`] is available).
+    fn loss(&self) -> Loss {
+        Loss::L2
+    }
+
+    /// Batch reconstruction: encode and decode every row. Backends with a
+    /// cheaper batched path (one GEMM instead of per-row loops) override
+    /// this.
+    fn reconstruct(&mut self, x: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(x.rows(), self.input_dim());
+        for r in 0..x.rows() {
+            let code = self.encode_frame(x.row(r));
+            let frame = self.decode_frame(&code);
+            for (c, v) in frame.iter().enumerate() {
+                out.set(r, c, *v);
+            }
+        }
+        out
+    }
+
+    /// The codec's split (aggregator/edge) training half, when it can be
+    /// trained through the IoT-Edge orchestrated protocol of §III-B.
+    /// `None` for training-free or cloud-only backends.
+    fn split_model(&mut self) -> Option<&mut dyn SplitModel> {
+        None
+    }
+
+    /// A persistable snapshot of the codec's distributable (device-side)
+    /// parameters, when it has any.
+    fn checkpoint(&self) -> Option<EncoderCheckpoint> {
+        None
+    }
+}
+
+impl Codec for AsymmetricAutoencoder {
+    fn name(&self) -> &'static str {
+        "OrcoDCS"
+    }
+
+    fn input_dim(&self) -> usize {
+        AsymmetricAutoencoder::input_dim(self)
+    }
+
+    fn bytes_per_frame(&self) -> u64 {
+        (self.latent_dim() * 4) as u64
+    }
+
+    fn train(&mut self, x: &Matrix, spec: &TrainSpec) -> Result<TrainingHistory, OrcoError> {
+        spec.validate()?;
+        if x.rows() == 0 {
+            return Err(OrcoError::Config { detail: "training set is empty".into() });
+        }
+        let x_frac;
+        let x = if spec.data_fraction < 1.0 {
+            let mut frng = OrcoRng::from_label("orcodcs-codec-fraction", spec.seed);
+            x_frac = fraction_rows(x, spec.data_fraction, &mut frng);
+            &x_frac
+        } else {
+            x
+        };
+        let loss = self.training_loss();
+        // The batching label predates this trait (the figure harness's
+        // local trainer); it is kept so seeded runs reproduce earlier
+        // releases bit-for-bit.
+        let mut rng = OrcoRng::from_label("bench-local-batching", spec.seed);
+        shuffled_batch_train(x, spec.epochs, spec.batch_size, &mut rng, |xb| {
+            self.train_batch_local(xb, &loss)
+        })
+    }
+
+    fn encode_frame(&mut self, frame: &[f32]) -> Vec<f32> {
+        let x = Matrix::from_vec(1, self.input_dim(), frame.to_vec())
+            .expect("encode_frame: frame length must equal input_dim");
+        self.encode(&x).into_vec()
+    }
+
+    fn decode_frame(&mut self, code: &[f32]) -> Vec<f32> {
+        let y = Matrix::from_vec(1, self.latent_dim(), code.to_vec())
+            .expect("decode_frame: code length must equal latent_dim");
+        self.decode(&y).into_vec()
+    }
+
+    fn loss(&self) -> Loss {
+        self.training_loss()
+    }
+
+    fn reconstruct(&mut self, x: &Matrix) -> Matrix {
+        AsymmetricAutoencoder::reconstruct(self, x)
+    }
+
+    fn split_model(&mut self) -> Option<&mut dyn SplitModel> {
+        Some(self)
+    }
+
+    fn checkpoint(&self) -> Option<EncoderCheckpoint> {
+        Some(EncoderCheckpoint::capture(self, Codec::name(self)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::OrcoConfig;
+    use orco_datasets::{mnist_like, DatasetKind};
+
+    fn tiny_codec() -> AsymmetricAutoencoder {
+        let cfg = OrcoConfig::for_dataset(DatasetKind::MnistLike)
+            .with_latent_dim(16)
+            .with_learning_rate(0.1);
+        AsymmetricAutoencoder::new(&cfg).unwrap()
+    }
+
+    #[test]
+    fn codec_is_object_safe_and_roundtrips_shapes() {
+        let mut boxed: Box<dyn Codec> = Box::new(tiny_codec());
+        assert_eq!(boxed.name(), "OrcoDCS");
+        assert_eq!(boxed.input_dim(), 784);
+        assert_eq!(boxed.code_len(), 16);
+        assert_eq!(boxed.bytes_per_frame(), 64);
+        let frame = vec![0.5f32; 784];
+        let code = boxed.encode_frame(&frame);
+        assert_eq!(code.len(), 16);
+        let recon = boxed.decode_frame(&code);
+        assert_eq!(recon.len(), 784);
+    }
+
+    #[test]
+    fn default_reconstruct_matches_batched_override() {
+        // The per-frame default and the AE's batched override must agree.
+        #[derive(Debug)]
+        struct NoOverride(AsymmetricAutoencoder);
+        impl Codec for NoOverride {
+            fn name(&self) -> &'static str {
+                "no-override"
+            }
+            fn input_dim(&self) -> usize {
+                Codec::input_dim(&self.0)
+            }
+            fn bytes_per_frame(&self) -> u64 {
+                Codec::bytes_per_frame(&self.0)
+            }
+            fn train(
+                &mut self,
+                x: &Matrix,
+                spec: &TrainSpec,
+            ) -> Result<TrainingHistory, OrcoError> {
+                self.0.train(x, spec)
+            }
+            fn encode_frame(&mut self, frame: &[f32]) -> Vec<f32> {
+                self.0.encode_frame(frame)
+            }
+            fn decode_frame(&mut self, code: &[f32]) -> Vec<f32> {
+                self.0.decode_frame(code)
+            }
+        }
+        let ds = mnist_like::generate(4, 0);
+        let mut wrapped = NoOverride(tiny_codec());
+        let via_default = wrapped.reconstruct(ds.x());
+        let mut ae = tiny_codec();
+        let via_batch = Codec::reconstruct(&mut ae, ds.x());
+        assert!(via_default.max_abs_diff(&via_batch) < 1e-6);
+    }
+
+    #[test]
+    fn native_training_learns_and_records_rounds() {
+        let mut codec = tiny_codec();
+        let ds = mnist_like::generate(32, 0);
+        let spec = TrainSpec { epochs: 4, batch_size: 16, seed: 0, data_fraction: 1.0 };
+        let history = codec.train(ds.x(), &spec).unwrap();
+        assert_eq!(history.rounds.len(), 8);
+        assert_eq!(history.epoch_losses().len(), 4);
+        let first = history.rounds.first().unwrap().loss;
+        let last = history.final_loss().unwrap();
+        assert!(last < first, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn data_fraction_limits_training_rounds() {
+        let mut codec = tiny_codec();
+        let ds = mnist_like::generate(32, 1);
+        let spec = TrainSpec { epochs: 1, batch_size: 8, seed: 0, data_fraction: 0.5 };
+        let history = codec.train(ds.x(), &spec).unwrap();
+        assert_eq!(history.rounds.len(), 2, "16 samples in 8-batches");
+    }
+
+    #[test]
+    fn invalid_spec_rejected() {
+        let mut codec = tiny_codec();
+        let ds = mnist_like::generate(4, 2);
+        let bad = TrainSpec { batch_size: 0, ..TrainSpec::default() };
+        assert!(codec.train(ds.x(), &bad).is_err());
+        let bad = TrainSpec { data_fraction: 0.0, ..TrainSpec::default() };
+        assert!(codec.train(ds.x(), &bad).is_err());
+    }
+
+    #[test]
+    fn fraction_rows_matches_dataset_split() {
+        // Same RNG stream → fraction_rows picks the same rows as
+        // orco_datasets::split::fraction.
+        let ds = mnist_like::generate(20, 3);
+        let mut a = OrcoRng::from_label("frac-eq", 0);
+        let mut b = OrcoRng::from_label("frac-eq", 0);
+        let via_matrix = fraction_rows(ds.x(), 0.4, &mut a);
+        let via_dataset = orco_datasets::split::fraction(&ds, 0.4, &mut b);
+        assert_eq!(&via_matrix, via_dataset.x());
+    }
+
+    #[test]
+    fn checkpoint_hook_captures_encoder() {
+        let codec = tiny_codec();
+        let ckpt = Codec::checkpoint(&codec).expect("AE has a distributable encoder");
+        assert_eq!(ckpt.weight.shape(), (16, 784));
+        assert_eq!(ckpt.label, "OrcoDCS");
+    }
+}

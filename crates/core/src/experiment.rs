@@ -43,7 +43,9 @@ pub enum ClusterScale {
 }
 
 impl ClusterScale {
-    fn device_count(self, input_dim: usize) -> usize {
+    /// Resolves the device count for a frame of `input_dim` readings.
+    #[must_use]
+    pub fn device_count(self, input_dim: usize) -> usize {
         match self {
             ClusterScale::Faithful => input_dim,
             ClusterScale::Devices(n) => n.max(1),
@@ -57,15 +59,29 @@ impl ClusterScale {
 /// # Errors
 ///
 /// Propagates configuration and simulation errors.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `ExperimentBuilder` — it runs the same pipeline for any codec"
+)]
 pub fn run_orcodcs(dataset: &Dataset, config: &OrcoConfig) -> Result<OrcoOutcome, OrcoError> {
+    #[allow(deprecated)]
     run_orcodcs_scaled(dataset, config, ClusterScale::Devices(32))
 }
 
 /// Runs the full OrcoDCS lifecycle with an explicit cluster scale.
 ///
+/// This is the legacy single-backend driver; the
+/// [`crate::pipeline::ExperimentBuilder`] chain produces bit-identical
+/// metrics at the same seed (regression-tested) and also drives the
+/// baseline codecs.
+///
 /// # Errors
 ///
 /// Propagates configuration and simulation errors.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `ExperimentBuilder` — it runs the same pipeline for any codec"
+)]
 pub fn run_orcodcs_scaled(
     dataset: &Dataset,
     config: &OrcoConfig,
@@ -96,7 +112,7 @@ pub fn run_orcodcs_scaled(
     let data_plane = measure_compressed_pipeline(&mut orch, probe)?;
 
     // Reconstruction quality.
-    let recon = orch.autoencoder_mut().reconstruct(dataset.x());
+    let recon = orch.model_mut().reconstruct(dataset.x());
     let final_loss = {
         let loss = config.loss();
         loss.value(&recon, dataset.x())
@@ -116,6 +132,7 @@ pub fn run_orcodcs_scaled(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy wrappers stay covered until removal
 mod tests {
     use super::*;
     use orco_datasets::{mnist_like, DatasetKind};

@@ -30,23 +30,36 @@
 //! | §III-C encoder distribution | [`distribution`] |
 //! | §III-C compressed aggregation | [`aggregation`] |
 //! | §III-D model fine-tuning | [`monitor`] |
-//! | §IV experiment drivers | [`experiment`] |
+//! | §IV experiment pipeline | [`codec`], [`pipeline`] (legacy drivers: [`experiment`]) |
 //!
 //! ## Quick start
 //!
+//! Every experiment — OrcoDCS or a baseline — runs through one pipeline:
+//! implement (or pick) a [`Codec`], assemble an [`ExperimentBuilder`], and
+//! project what you need from the returned [`pipeline::Report`].
+//!
 //! ```
-//! use orcodcs::{OrcoConfig, experiment};
+//! use orcodcs::{AsymmetricAutoencoder, ExperimentBuilder, OrcoConfig};
 //! use orco_datasets::mnist_like;
 //!
-//! // A miniature end-to-end run: aggregate, train online, reconstruct.
+//! // A miniature end-to-end run: aggregate, train online over the
+//! // simulated deployment, distribute the encoder, measure the data plane.
 //! let dataset = mnist_like::generate(40, 0);
 //! let config = OrcoConfig::for_dataset(dataset.kind())
 //!     .with_latent_dim(32)
-//!     .with_epochs(2)
 //!     .with_batch_size(8);
-//! let outcome = experiment::run_orcodcs(&dataset, &config).expect("simulation runs");
-//! assert!(outcome.final_loss > 0.0);
-//! assert!(outcome.history.rounds.len() >= 2);
+//! let codec = AsymmetricAutoencoder::new(&config).expect("valid config");
+//! let mut experiment = ExperimentBuilder::new()
+//!     .dataset(&dataset)
+//!     .codec(codec)
+//!     .epochs(2)
+//!     .batch_size(8)
+//!     .build()
+//!     .expect("consistent experiment");
+//! let report = experiment.run().expect("simulation runs");
+//! assert!(report.final_loss > 0.0);
+//! assert!(report.rounds.len() >= 2);
+//! assert!(report.data_plane.expect("measured").total_bytes > 0);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -58,6 +71,7 @@ mod error;
 pub mod aggregation;
 pub mod autoencoder;
 pub mod checkpoint;
+pub mod codec;
 pub mod compression;
 pub mod decoder;
 pub mod distribution;
@@ -67,14 +81,19 @@ pub mod multi_cluster;
 pub mod noise;
 pub mod online_trainer;
 pub mod orchestrator;
+pub mod pipeline;
 pub mod split;
 
 pub use autoencoder::AsymmetricAutoencoder;
+pub use checkpoint::{CheckpointStore, EncoderCheckpoint};
+pub use codec::{Codec, TrainSpec};
 pub use compression::GradCompression;
 pub use config::OrcoConfig;
 pub use distribution::EncoderColumns;
 pub use error::OrcoError;
+pub use experiment::ClusterScale;
 pub use monitor::FineTuneMonitor;
 pub use online_trainer::{OnlineTrainer, RoundStats, TrainingHistory};
 pub use orchestrator::Orchestrator;
+pub use pipeline::{Experiment, ExperimentBuilder, Report, TrainingMode};
 pub use split::SplitModel;

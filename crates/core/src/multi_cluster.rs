@@ -151,7 +151,7 @@ impl MultiClusterCoordinator {
     /// The edge-side seconds one round of cluster `i` occupies (decoder
     /// forward + backward at the edge rate for one batch).
     fn edge_time_per_round(&self, i: usize, batch: usize) -> f64 {
-        let model = self.clusters[i].autoencoder();
+        let model = self.clusters[i].model();
         let flops = (model.decoder_flops_forward() + model.decoder_flops_backward()) * batch as u64;
         self.clusters[i]
             .network()
@@ -410,8 +410,8 @@ mod tests {
         cfgs[1] = cfgs[1].clone().with_latent_dim(64);
         let mut coord = MultiClusterCoordinator::new(&cfgs, &net(), EdgeSchedule::Fifo).unwrap();
         let out = coord.train(&datasets(2), 2).unwrap();
-        assert_eq!(coord.cluster(0).autoencoder().latent_dim(), 16);
-        assert_eq!(coord.cluster(1).autoencoder().latent_dim(), 64);
+        assert_eq!(coord.cluster(0).model().latent_dim(), 16);
+        assert_eq!(coord.cluster(1).model().latent_dim(), 64);
         assert!(out.reports.iter().all(|r| r.final_loss.is_finite()));
     }
 }

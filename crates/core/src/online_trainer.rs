@@ -20,6 +20,9 @@ pub struct RoundStats {
     pub sim_time_s: f64,
     /// Cumulative latent-vector uplink bytes at round completion.
     pub uplink_bytes: u64,
+    /// Cumulative radio energy (tx + rx) at round completion, joules.
+    /// Zero for rounds trained without a simulated deployment.
+    pub energy_j: f64,
 }
 
 /// The loss/time trajectory of a training run — the paper's Figures 4 and
@@ -157,7 +160,7 @@ impl OnlineTrainer {
     /// Propagates orchestration errors from relaunched training.
     pub fn process_batch(&mut self, x: &Matrix) -> Result<OnlineStepOutcome, OrcoError> {
         let loss = self.orchestrator.config().loss();
-        let err = self.orchestrator.autoencoder_mut().evaluate(x, &loss);
+        let err = self.orchestrator.model_mut().evaluate(x, &loss);
         self.monitor.record(err);
         let retraining = if self.monitor.should_retrain() {
             self.monitor.acknowledge();
@@ -185,18 +188,18 @@ impl OnlineTrainer {
         x: &Matrix,
     ) -> Result<(OnlineStepOutcome, bool), OrcoError> {
         let loss = self.orchestrator.config().loss();
-        let err = self.orchestrator.autoencoder_mut().evaluate(x, &loss);
+        let err = self.orchestrator.model_mut().evaluate(x, &loss);
         self.monitor.record(err);
         if !self.monitor.should_retrain() {
             return Ok((OnlineStepOutcome { reconstruction_loss: err, retraining: None }, false));
         }
         self.monitor.acknowledge();
         self.retrain_count += 1;
-        let snapshot = self.orchestrator.autoencoder_mut().snapshot();
+        let snapshot = self.orchestrator.model_mut().snapshot();
         let history = self.orchestrator.train(x)?;
-        let after = self.orchestrator.autoencoder_mut().evaluate(x, &loss);
+        let after = self.orchestrator.model_mut().evaluate(x, &loss);
         let rolled_back = if after > err {
-            self.orchestrator.autoencoder_mut().restore_snapshot(&snapshot);
+            self.orchestrator.model_mut().restore_snapshot(&snapshot);
             true
         } else {
             false
@@ -224,6 +227,7 @@ mod tests {
                     loss,
                     sim_time_s: (i + 1) as f64,
                     uplink_bytes: (i as u64 + 1) * 100,
+                    energy_j: 0.0,
                 })
                 .collect(),
         }

@@ -16,6 +16,7 @@
 //! Every arrow lands in the traffic ledger and advances the simulated
 //! clock, which is what the paper's Figures 3, 4, 6, 7, 8 measure.
 
+use orco_nn::Loss;
 use orco_tensor::{Matrix, OrcoRng};
 use orco_wsn::{Network, NetworkConfig, PacketKind};
 
@@ -50,6 +51,7 @@ use crate::split::SplitModel;
 pub struct Orchestrator<M: SplitModel = AsymmetricAutoencoder> {
     model: M,
     config: OrcoConfig,
+    loss: Loss,
     network: Network,
     batch_rng: OrcoRng,
     rounds_run: usize,
@@ -67,12 +69,14 @@ impl Orchestrator<AsymmetricAutoencoder> {
     }
 
     /// The autoencoder.
+    #[deprecated(since = "0.2.0", note = "use the generic `Orchestrator::model` instead")]
     #[must_use]
     pub fn autoencoder(&self) -> &AsymmetricAutoencoder {
         &self.model
     }
 
     /// Mutable access to the autoencoder (sweeps adjust noise variance).
+    #[deprecated(since = "0.2.0", note = "use the generic `Orchestrator::model_mut` instead")]
     #[must_use]
     pub fn autoencoder_mut(&mut self) -> &mut AsymmetricAutoencoder {
         &mut self.model
@@ -96,6 +100,37 @@ impl Orchestrator<AsymmetricAutoencoder> {
         let t = self.network.broadcast_encoder_columns(columns.column_bytes())?;
         Ok((columns, t))
     }
+}
+
+impl<M: SplitModel> Orchestrator<M> {
+    /// Wraps an already-built split model (used for baselines trained
+    /// through the same protocol, e.g. DCSNet). `config` supplies the
+    /// protocol parameters (loss, batch size, epochs, seed); it is not
+    /// re-validated, since baseline models may violate OrcoDCS-specific
+    /// constraints such as `latent_dim < input_dim`.
+    #[must_use]
+    pub fn with_model(model: M, config: OrcoConfig, net_config: NetworkConfig) -> Self {
+        let loss = config.loss();
+        Self::with_parts(model, config, loss, Network::new(net_config))
+    }
+
+    /// Wraps a model with an **explicit training loss** and an
+    /// already-built deployment. This is the constructor the experiment
+    /// pipeline uses: codecs report their native loss directly (it need not
+    /// be expressible through [`OrcoConfig`]'s Huber fields), and the
+    /// network may already carry simulated time from earlier phases.
+    #[must_use]
+    pub fn with_parts(model: M, config: OrcoConfig, loss: Loss, network: Network) -> Self {
+        let batch_rng = OrcoRng::from_label("orcodcs-batching", config.seed);
+        Self { model, config, loss, network, batch_rng, rounds_run: 0 }
+    }
+
+    /// Consumes the orchestrator, releasing the deployment (with its clock
+    /// and traffic ledger intact) for follow-up measurements.
+    #[must_use]
+    pub fn into_network(self) -> Network {
+        self.network
+    }
 
     /// One frame of compressed aggregation after distribution: the chain
     /// folds the `M`-element partial sum into the aggregator, which uplinks
@@ -107,30 +142,7 @@ impl Orchestrator<AsymmetricAutoencoder> {
     ///
     /// Propagates transmission failures.
     pub fn compressed_frame(&mut self) -> Result<f64, OrcoError> {
-        let latent_bytes = self.config.latent_bytes();
-        // Per-device cost: M multiply-adds into the partial sum.
-        let device_flops = (2 * self.config.latent_dim) as u64;
-        let t0 = self.network.now_s();
-        self.network.compressed_aggregation_round(latent_bytes, device_flops)?;
-        // Aggregator finishes the encoding (bias + σ) and uplinks.
-        let agg = self.network.aggregator();
-        let edge = self.network.edge();
-        self.network.compute(agg, (6 * self.config.latent_dim) as u64)?;
-        self.network.transmit(agg, edge, latent_bytes, PacketKind::LatentVector)?;
-        Ok(self.network.now_s() - t0)
-    }
-}
-
-impl<M: SplitModel> Orchestrator<M> {
-    /// Wraps an already-built split model (used for baselines trained
-    /// through the same protocol, e.g. DCSNet). `config` supplies the
-    /// protocol parameters (loss, batch size, epochs, seed); it is not
-    /// re-validated, since baseline models may violate OrcoDCS-specific
-    /// constraints such as `latent_dim < input_dim`.
-    #[must_use]
-    pub fn with_model(model: M, config: OrcoConfig, net_config: NetworkConfig) -> Self {
-        let batch_rng = OrcoRng::from_label("orcodcs-batching", config.seed);
-        Self { model, config, network: Network::new(net_config), batch_rng, rounds_run: 0 }
+        crate::aggregation::compressed_frame_on(&mut self.network, self.config.latent_dim)
     }
 
     /// The wrapped model.
@@ -207,7 +219,7 @@ impl<M: SplitModel> Orchestrator<M> {
         let agg = self.network.aggregator();
         let edge = self.network.edge();
         let b = batch.rows();
-        let loss = self.config.loss();
+        let loss = self.loss;
 
         // 1. Aggregator: encode + noise.
         self.network.compute(agg, self.model.encoder_flops_forward() * b as u64)?;
@@ -255,6 +267,23 @@ impl<M: SplitModel> Orchestrator<M> {
     ///
     /// Propagates round errors; see [`Orchestrator::train_round`].
     pub fn train(&mut self, x: &Matrix) -> Result<TrainingHistory, OrcoError> {
+        self.train_with(x, |_, _| {})
+    }
+
+    /// Like [`Orchestrator::train`], with a hook invoked after every
+    /// completed epoch (the experiment pipeline records probe
+    /// reconstruction errors there). The hook runs on the live
+    /// orchestrator, so out-of-band evaluations see the exact mid-training
+    /// model without perturbing the batch-shuffle stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates round errors; see [`Orchestrator::train_round`].
+    pub fn train_with(
+        &mut self,
+        x: &Matrix,
+        mut on_epoch: impl FnMut(&mut Self, usize),
+    ) -> Result<TrainingHistory, OrcoError> {
         let n = x.rows();
         if n == 0 {
             return Err(OrcoError::Config { detail: "training set is empty".into() });
@@ -268,15 +297,18 @@ impl<M: SplitModel> Orchestrator<M> {
             for chunk in order.chunks(bs) {
                 let xb = x.select_rows(chunk);
                 let (loss, _) = self.train_round(&xb)?;
+                let acct = self.network.accounting();
                 history.rounds.push(RoundStats {
                     round,
                     epoch,
                     loss,
                     sim_time_s: self.network.now_s(),
-                    uplink_bytes: self.network.accounting().bytes_by_kind(PacketKind::LatentVector),
+                    uplink_bytes: acct.bytes_by_kind(PacketKind::LatentVector),
+                    energy_j: acct.total_tx_energy_j() + acct.total_rx_energy_j(),
                 });
                 round += 1;
             }
+            on_epoch(self, epoch);
         }
         Ok(history)
     }
@@ -316,10 +348,10 @@ mod tests {
         let mut orch = tiny_setup(8);
         let ds = mnist_like::generate(32, 0);
         let loss_fn = orch.config().loss();
-        let before = orch.autoencoder_mut().evaluate(ds.x(), &loss_fn);
+        let before = orch.model_mut().evaluate(ds.x(), &loss_fn);
         let history = orch.train(ds.x()).unwrap();
         assert!(history.rounds.len() >= 8);
-        let after = orch.autoencoder_mut().evaluate(ds.x(), &loss_fn);
+        let after = orch.model_mut().evaluate(ds.x(), &loss_fn);
         assert!(after < before, "loss {before} -> {after}");
         // Simulated time strictly increases.
         for w in history.rounds.windows(2) {
@@ -348,7 +380,7 @@ mod tests {
             let l_local = local.train_batch_local(ds.x(), &loss);
             assert_eq!(l_orch, l_local, "orchestrated and local losses must match");
         }
-        assert_eq!(orch.autoencoder().encoder_weight(), local.encoder_weight());
+        assert_eq!(orch.model().encoder_weight(), local.encoder_weight());
     }
 
     #[test]

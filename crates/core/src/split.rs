@@ -55,6 +55,56 @@ pub trait SplitModel: std::fmt::Debug + Send {
     fn decoder_flops_backward(&self) -> u64;
 }
 
+/// Mutable references forward to the underlying model, so an
+/// [`crate::Orchestrator`] can drive a *borrowed* model — the
+/// [`crate::pipeline::Experiment`] trains a [`crate::Codec`]'s split half in
+/// place without taking ownership of the codec.
+impl<T: SplitModel + ?Sized> SplitModel for &mut T {
+    fn input_dim(&self) -> usize {
+        (**self).input_dim()
+    }
+
+    fn latent_dim(&self) -> usize {
+        (**self).latent_dim()
+    }
+
+    fn aggregator_encode_train(&mut self, x: &Matrix) -> Matrix {
+        (**self).aggregator_encode_train(x)
+    }
+
+    fn edge_decode_train(&mut self, latent: &Matrix) -> Matrix {
+        (**self).edge_decode_train(latent)
+    }
+
+    fn edge_decoder_update(&mut self, grad_reconstruction: &Matrix) -> Matrix {
+        (**self).edge_decoder_update(grad_reconstruction)
+    }
+
+    fn aggregator_encoder_update(&mut self, grad_latent: &Matrix) {
+        (**self).aggregator_encoder_update(grad_latent);
+    }
+
+    fn reconstruct_inference(&mut self, x: &Matrix) -> Matrix {
+        (**self).reconstruct_inference(x)
+    }
+
+    fn encoder_flops_forward(&self) -> u64 {
+        (**self).encoder_flops_forward()
+    }
+
+    fn encoder_flops_backward(&self) -> u64 {
+        (**self).encoder_flops_backward()
+    }
+
+    fn decoder_flops_forward(&self) -> u64 {
+        (**self).decoder_flops_forward()
+    }
+
+    fn decoder_flops_backward(&self) -> u64 {
+        (**self).decoder_flops_backward()
+    }
+}
+
 impl SplitModel for AsymmetricAutoencoder {
     fn input_dim(&self) -> usize {
         AsymmetricAutoencoder::input_dim(self)

@@ -4,7 +4,7 @@
 //! pure accounting quantity; this module is its source of truth. Every
 //! transmission in the simulator lands here.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use crate::node::NodeId;
 use crate::packet::PacketKind;
@@ -41,7 +41,10 @@ pub struct NodeTraffic {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct TrafficAccounting {
-    per_node: HashMap<NodeId, NodeTraffic>,
+    // Ordered map: the energy totals are f64 sums over all nodes, and a
+    // hash map's randomized iteration order would make those sums differ
+    // in the last ulps between otherwise identical runs.
+    per_node: BTreeMap<NodeId, NodeTraffic>,
     per_kind_tx_bytes: HashMap<PacketKind, u64>,
 }
 

@@ -3,55 +3,59 @@
 //!
 //! Traditional CDA measures with a random Gaussian matrix and reconstructs
 //! by convex optimization (ISTA) or greedy pursuit (OMP) in a DCT basis.
-//! This example reconstructs the same digit images three ways and reports
-//! quality and computational cost, demonstrating the paper's two claims:
-//! classical reconstruction is (i) computationally intensive and (ii)
-//! limited by the measurement dimension.
+//! All three decoders run behind the same `Codec` interface here: the
+//! learned backend trains through an `ExperimentBuilder`, the classical
+//! stacks are training-free `ClassicalCodec`s at sweeping measurement
+//! dimensions. The table demonstrates the paper's two claims: classical
+//! reconstruction is (i) computationally intensive and (ii) limited by
+//! the measurement dimension.
 //!
 //! Run with: `cargo run --release --example classical_cs_comparison`
 
 use std::time::Instant;
 
-use orcodcs_repro::baselines::cs::{
-    ista_reconstruct, omp_reconstruct, Dct2, GaussianMeasurement, IstaConfig,
+use orcodcs_repro::baselines::cs::{ClassicalCodec, CsSolver, IstaConfig};
+use orcodcs_repro::core::{
+    AsymmetricAutoencoder, Codec, ExperimentBuilder, OrcoConfig, TrainingMode,
 };
-use orcodcs_repro::core::{AsymmetricAutoencoder, OrcoConfig};
 use orcodcs_repro::datasets::mnist_like;
-use orcodcs_repro::tensor::{stats, Matrix, OrcoRng};
+use orcodcs_repro::tensor::stats;
 
 fn main() {
     let dataset = mnist_like::generate(120, 3);
-    let side = 28;
-    let n = side * side;
 
-    // --- Learned pipeline: train a small OrcoDCS autoencoder. ---
-    let cfg = OrcoConfig::for_dataset(dataset.kind()).with_epochs(6).with_batch_size(32);
-    let mut ae = AsymmetricAutoencoder::new(&cfg).expect("valid config");
-    let loss = cfg.loss();
-    let mut batch_rng = OrcoRng::from_label("classical-cs-batching", 0);
-    let mut order: Vec<usize> = (0..dataset.len()).collect();
-    for _ in 0..cfg.epochs {
-        batch_rng.shuffle(&mut order);
-        for chunk in order.chunks(cfg.batch_size) {
-            let xb = dataset.x().select_rows(chunk);
-            let _ = ae.train_batch_local(&xb, &loss);
-        }
-    }
+    // --- Learned pipeline: train a small OrcoDCS codec locally. ---
+    let cfg = OrcoConfig::for_dataset(dataset.kind());
+    let mut experiment = ExperimentBuilder::new()
+        .dataset(&dataset)
+        .codec(AsymmetricAutoencoder::new(&cfg).expect("valid config"))
+        .training(TrainingMode::Local)
+        .epochs(6)
+        .batch_size(32)
+        .build()
+        .expect("consistent experiment");
+    let _report = experiment.run().expect("training runs");
+    let learned = experiment.codec_mut();
 
-    // --- Classical pipeline: Gaussian Φ + DCT basis Ψ. ---
-    let dct = Dct2::new(side);
-    let psi = dct.synthesis_matrix();
-    let mut rng = OrcoRng::from_label("classical-cs", 0);
-
-    println!("reconstructing 8 held-out digits with m measurements (n = {n}):\n");
+    println!(
+        "reconstructing 8 held-out digits with m measurements per image (n = {}):\n",
+        Codec::input_dim(learned)
+    );
     println!(
         "{:>6} {:>18} {:>18} {:>18}",
         "m", "ISTA PSNR (dB)", "OMP PSNR (dB)", "learned PSNR (dB)"
     );
 
     for m in [64usize, 128, 256] {
-        let phi = GaussianMeasurement::new(m, n, &mut rng);
-        let a = phi.sensing_matrix(&psi);
+        let mut ista = ClassicalCodec::new(
+            dataset.kind(),
+            m,
+            CsSolver::Ista(IstaConfig { lambda: 0.01, max_iters: 300, tol: 1e-6 }),
+            0,
+        );
+        let mut omp =
+            ClassicalCodec::new(dataset.kind(), m, CsSolver::Omp { sparsity: (m / 4).max(8) }, 0);
+
         let mut ista_psnr = Vec::new();
         let mut omp_psnr = Vec::new();
         let mut learned_psnr = Vec::new();
@@ -60,24 +64,23 @@ fn main() {
 
         for i in 0..8 {
             let x = dataset.sample(i);
-            let y = phi.measure(x);
 
+            // Every backend goes through the same encode/decode interface.
+            let code = ista.encode_frame(x);
             let t0 = Instant::now();
-            let ista =
-                ista_reconstruct(&a, &y, &IstaConfig { lambda: 0.01, max_iters: 300, tol: 1e-6 });
+            let x_ista = ista.decode_frame(&code);
             ista_time += t0.elapsed().as_secs_f64();
-            let x_ista = dct.inverse(&ista.coefficients);
             ista_psnr.push(stats::psnr(x, &x_ista, 1.0));
 
-            let omp = omp_reconstruct(&a, &y, (m / 4).max(8));
-            let x_omp = dct.inverse(&omp.coefficients);
+            let code = omp.encode_frame(x);
+            let x_omp = omp.decode_frame(&code);
             omp_psnr.push(stats::psnr(x, &x_omp, 1.0));
 
-            let xm = Matrix::from_vec(1, n, x.to_vec()).expect("length checked");
+            let code = learned.encode_frame(x);
             let t0 = Instant::now();
-            let x_learned = ae.reconstruct(&xm);
+            let x_learned = learned.decode_frame(&code);
             learned_time += t0.elapsed().as_secs_f64();
-            learned_psnr.push(stats::psnr(x, x_learned.row(0), 1.0));
+            learned_psnr.push(stats::psnr(x, &x_learned, 1.0));
         }
 
         println!(

@@ -6,38 +6,48 @@
 //! the edge and relaunches the orchestrated training procedure when a
 //! drift pushes it over threshold.
 //!
-//! This example deploys a cluster, trains online, then hits the deployment
-//! with three escalating environmental drifts (dimming — e.g. fog or dusk —
-//! then a sensor bias, then a noise burst) and shows the monitor catching
-//! each and recovering reconstruction quality.
+//! This example builds the deployment with the pipeline's `.monitor(..)`
+//! and `.checkpoints(..)` hooks, trains online, then hits the deployment
+//! with three escalating environmental drifts (dimming — e.g. fog or dusk
+//! — then a sensor bias, then a noise burst) and streams the new
+//! conditions through `Experiment::observe`, showing the monitor catching
+//! each drift, retraining, and checkpointing the adapted encoder.
 //!
 //! Run with: `cargo run --release --example environmental_monitoring`
 
-use orcodcs_repro::core::{OnlineTrainer, Orchestrator, OrcoConfig};
+use orcodcs_repro::core::{
+    AsymmetricAutoencoder, ClusterScale, ExperimentBuilder, FineTuneMonitor, OrcoConfig,
+};
 use orcodcs_repro::datasets::{drift, mnist_like};
 use orcodcs_repro::tensor::OrcoRng;
-use orcodcs_repro::wsn::NetworkConfig;
 
 fn main() {
     let baseline = mnist_like::generate(160, 7);
-    let config = OrcoConfig::for_dataset(baseline.kind())
-        .with_epochs(4)
-        .with_batch_size(32)
-        .with_finetune_threshold(0.03) // above the trained baseline error (~0.01 on the Huber scale)
-        .with_seed(7);
-    let net = NetworkConfig { num_devices: 64, seed: 7, ..Default::default() };
+    let config = OrcoConfig::for_dataset(baseline.kind()).with_seed(7);
+    let checkpoint_dir = std::env::temp_dir().join("orcodcs-monitoring-example");
 
-    let orchestrator = Orchestrator::new(config, net).expect("valid config");
-    let mut online = OnlineTrainer::new(orchestrator);
+    let mut experiment = ExperimentBuilder::new()
+        .dataset(&baseline)
+        .codec(AsymmetricAutoencoder::new(&config).expect("valid config"))
+        .scale(ClusterScale::Devices(64))
+        .epochs(4)
+        .batch_size(32)
+        .seed(7)
+        // Threshold sits above the trained baseline error (~0.01 on the
+        // Huber scale); a 4-batch window smooths transient spikes.
+        .monitor(FineTuneMonitor::new(0.03, 4))
+        .checkpoints(&checkpoint_dir, 4)
+        .build()
+        .expect("consistent experiment");
 
     println!("== initial online training ==");
-    let history = online.initial_training(baseline.x()).expect("simulation runs");
+    let report = experiment.run().expect("simulation runs");
     println!(
         "trained {} rounds; loss {:.4} -> {:.4}; simulated time {:.1}s",
-        history.rounds.len(),
-        history.rounds.first().map_or(f32::NAN, |r| r.loss),
-        history.final_loss().unwrap_or(f32::NAN),
-        online.orchestrator().network().now_s()
+        report.rounds.len(),
+        report.rounds.first().map_or(f32::NAN, |r| r.loss),
+        report.final_round_loss().unwrap_or(f32::NAN),
+        report.sim_time_s
     );
 
     let mut rng = OrcoRng::from_label("monitoring-drift", 0);
@@ -57,8 +67,8 @@ fn main() {
         // Stream several batches of the new conditions through the monitor.
         let mut retrained = false;
         for step in 0..6 {
-            let outcome = online.process_batch(frames.x()).expect("simulation runs");
-            print!("  step {step}: reconstruction error {:.4}", outcome.reconstruction_loss);
+            let outcome = experiment.observe(frames.x()).expect("simulation runs");
+            print!("  step {step}: reconstruction error {:.4}", outcome.reconstruction_error);
             if let Some(h) = outcome.retraining {
                 retrained = true;
                 println!(
@@ -75,10 +85,12 @@ fn main() {
         }
     }
 
+    let network = experiment.network().expect("orchestrated deployment");
     println!(
-        "\ntotal retrains: {}; total simulated time {:.1}s; total bytes on air {} KB",
-        online.retrain_count(),
-        online.orchestrator().network().now_s(),
-        online.orchestrator().network().accounting().total_tx_bytes() / 1024
+        "\ntotal retrains: {}; encoder checkpoints kept: {}; total simulated time {:.1}s",
+        experiment.retrain_count(),
+        experiment.checkpoint_store().map_or(0, |s| s.len()),
+        network.now_s(),
     );
+    std::fs::remove_dir_all(&checkpoint_dir).ok();
 }

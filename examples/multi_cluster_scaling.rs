@@ -10,7 +10,7 @@
 //! Run with: `cargo run --release --example multi_cluster_scaling`
 
 use orcodcs_repro::core::multi_cluster::{EdgeSchedule, MultiClusterCoordinator};
-use orcodcs_repro::core::OrcoConfig;
+use orcodcs_repro::core::{AsymmetricAutoencoder, ClusterScale, ExperimentBuilder, OrcoConfig};
 use orcodcs_repro::datasets::{mnist_like, DatasetKind};
 use orcodcs_repro::wsn::NetworkConfig;
 
@@ -30,6 +30,29 @@ fn main() {
     let datasets: Vec<_> = (0..configs.len()).map(|i| mnist_like::generate(32, i as u64)).collect();
     let net = NetworkConfig { num_devices: 16, seed: 0, ..Default::default() };
     let sweeps = 12;
+
+    // Reference point: one cluster alone on an uncontended edge, through
+    // the standard experiment pipeline. The fleet numbers below show what
+    // edge contention adds on top of this.
+    let mut reference = ExperimentBuilder::new()
+        .dataset(&datasets[0])
+        .codec(AsymmetricAutoencoder::new(&configs[0]).expect("valid config"))
+        .network(net.clone())
+        .scale(ClusterScale::Devices(16))
+        .epochs(sweeps)
+        .batch_size(16)
+        .raw_frames(0)
+        .data_plane_frames(0)
+        .build()
+        .expect("consistent experiment");
+    let reference_report = reference.run().expect("simulation runs");
+    println!(
+        "single uncontended cluster (M={}): {:.2}s simulated for {} sweeps, final probe L2 {:.6}\n",
+        latent_dims[0],
+        reference_report.sim_time_s,
+        sweeps,
+        reference_report.final_probe_l2()
+    );
 
     println!(
         "fleet: {} clusters (latent dims {latent_dims:?}), one shared edge, {sweeps} sweeps\n",

@@ -1,14 +1,16 @@
 //! Quickstart: the complete OrcoDCS lifecycle in ~30 lines.
 //!
-//! Generates a synthetic MNIST-like sensing workload, runs the full
-//! pipeline — intra-cluster raw aggregation, IoT-Edge orchestrated online
-//! training, encoder distribution, compressed data aggregation — and prints
-//! what the paper cares about: reconstruction quality, simulated training
-//! time, and steady-state transmission cost.
+//! Generates a synthetic MNIST-like sensing workload and runs the full
+//! pipeline through the one experiment API — intra-cluster raw
+//! aggregation, IoT-Edge orchestrated online training, encoder
+//! distribution, compressed data aggregation — then prints what the paper
+//! cares about: reconstruction quality, simulated training time, and
+//! steady-state transmission cost. Swap the codec for a baseline
+//! (`Dcsnet`, `ClassicalCodec`) and everything else stays the same.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use orcodcs_repro::core::{experiment, OrcoConfig};
+use orcodcs_repro::core::{AsymmetricAutoencoder, ExperimentBuilder, OrcoConfig};
 use orcodcs_repro::datasets::mnist_like;
 
 fn main() {
@@ -18,8 +20,7 @@ fn main() {
 
     // The paper's MNIST configuration: M = 128 latent, 1-layer decoder,
     // Gaussian latent noise, Huber loss.
-    let config =
-        OrcoConfig::for_dataset(dataset.kind()).with_epochs(5).with_batch_size(32).with_seed(42);
+    let config = OrcoConfig::for_dataset(dataset.kind()).with_seed(42);
     println!(
         "OrcoDCS: N={} -> M={} ({}x compression), {} decoder layer(s)",
         config.input_dim,
@@ -28,22 +29,37 @@ fn main() {
         config.decoder_layers
     );
 
-    let outcome = experiment::run_orcodcs(&dataset, &config).expect("simulation runs");
+    let codec = AsymmetricAutoencoder::new(&config).expect("valid config");
+    let mut experiment = ExperimentBuilder::new()
+        .dataset(&dataset)
+        .codec(codec)
+        .epochs(5)
+        .batch_size(32)
+        .seed(42)
+        .build()
+        .expect("consistent experiment");
+    let report = experiment.run().expect("simulation runs");
 
-    println!("\n--- results ---");
-    println!("final reconstruction loss : {:.6}", outcome.final_loss);
-    println!("mean reconstruction PSNR  : {:.2} dB", outcome.mean_psnr_db);
-    println!("simulated time to train   : {:.1} s", outcome.sim_time_s);
+    let data_plane = report.data_plane.expect("data plane measured");
+    println!("\n--- results ({}) ---", report.codec);
+    println!("final reconstruction loss : {:.6}", report.final_loss);
+    println!("mean reconstruction PSNR  : {:.2} dB", report.mean_psnr_db);
+    println!("simulated time to train   : {:.1} s", report.sim_time_s);
+    println!(
+        "training radio             : {} KB on air, {:.3} J",
+        report.training_radio.total_tx_bytes / 1024,
+        report.training_radio.energy_j
+    );
     println!(
         "steady-state data plane   : {:.1} KB per {} frames ({:.0} bytes/frame)",
-        outcome.data_plane.total_kb(),
-        outcome.data_plane.frames,
-        outcome.data_plane.total_bytes as f64 / outcome.data_plane.frames as f64
+        data_plane.total_kb(),
+        data_plane.frames,
+        data_plane.total_bytes as f64 / data_plane.frames as f64
     );
     println!(
         "training-loss trajectory  : {:.4} -> {:.4} over {} rounds",
-        outcome.history.rounds.first().map_or(f32::NAN, |r| r.loss),
-        outcome.history.final_loss().unwrap_or(f32::NAN),
-        outcome.history.rounds.len()
+        report.rounds.first().map_or(f32::NAN, |r| r.loss),
+        report.final_round_loss().unwrap_or(f32::NAN),
+        report.rounds.len()
     );
 }

@@ -3,18 +3,37 @@
 //!
 //! A roadside camera cluster streams 32×32 colour sign images through
 //! OrcoDCS; the edge reconstructs them and trains the follow-up CNN
-//! classifier on the reconstructions. The same pipeline is run with the
-//! DCSNet baseline (offline, 50% data) for comparison — the paper's claim
+//! classifier on the reconstructions. The same pipeline — literally the
+//! same `ExperimentBuilder` chain with a different codec — is run with the
+//! DCSNet baseline (offline, 50% data) for comparison: the paper's claim
 //! is that OrcoDCS reconstructions make *better training data*.
 //!
 //! Run with: `cargo run --release --example traffic_sign_pipeline`
 
-use orcodcs_repro::baselines::offline_trainer::train_dcsnet_offline;
+use orcodcs_repro::baselines::Dcsnet;
 use orcodcs_repro::classifier::{Cnn, TrainConfig};
-use orcodcs_repro::core::{AsymmetricAutoencoder, OrcoConfig, SplitModel};
-use orcodcs_repro::datasets::{gtsrb_like, Dataset};
+use orcodcs_repro::core::{
+    AsymmetricAutoencoder, Codec, Experiment, ExperimentBuilder, OrcoConfig, TrainingMode,
+};
+use orcodcs_repro::datasets::gtsrb_like;
+use orcodcs_repro::datasets::Dataset;
 use orcodcs_repro::nn::Loss;
 use orcodcs_repro::tensor::OrcoRng;
+
+/// One builder chain serves every backend of the comparison.
+fn train_codec(train: &Dataset, codec: impl Codec + 'static, data_fraction: f32) -> Experiment {
+    let mut experiment = ExperimentBuilder::new()
+        .dataset(train)
+        .codec(codec)
+        .training(TrainingMode::Local)
+        .epochs(6)
+        .batch_size(32)
+        .data_fraction(data_fraction)
+        .build()
+        .expect("consistent experiment");
+    let _report = experiment.run().expect("training runs");
+    experiment
+}
 
 fn train_classifier(label: &str, train: &Dataset, test: &Dataset) -> f32 {
     let mut rng = OrcoRng::from_label("sign-clf", 0);
@@ -44,26 +63,20 @@ fn main() {
     );
 
     // --- OrcoDCS: online training on the full stream, M = 512. ---
-    let cfg = OrcoConfig::for_dataset(train.kind()).with_epochs(6).with_batch_size(32);
-    let mut orco = AsymmetricAutoencoder::new(&cfg).expect("valid config");
-    let loss = cfg.loss();
-    let mut rng = OrcoRng::from_label("sign-batching", 0);
-    let mut order: Vec<usize> = (0..train.len()).collect();
-    for _ in 0..cfg.epochs {
-        rng.shuffle(&mut order);
-        for chunk in order.chunks(cfg.batch_size) {
-            let xb = train.x().select_rows(chunk);
-            let _ = orco.train_batch_local(&xb, &loss);
-        }
-    }
+    let cfg = OrcoConfig::for_dataset(train.kind());
+    let mut orco =
+        train_codec(&train, AsymmetricAutoencoder::new(&cfg).expect("valid config"), 1.0);
     let orco_l2 = {
-        let recon = orco.reconstruct(test.x());
+        let recon = orco.codec_mut().reconstruct(test.x());
         Loss::L2.value(&recon, test.x())
     };
 
     // --- DCSNet: offline, 50% of the data, fixed structure. ---
-    let mut dcs = train_dcsnet_offline(&train, 0.5, 6, 32, 0);
-    let dcs_l2 = dcs.model.evaluate(test.x(), &Loss::L2);
+    let mut dcs = train_codec(&train, Dcsnet::new(train.kind(), 0), 0.5);
+    let dcs_l2 = {
+        let recon = dcs.codec_mut().reconstruct(test.x());
+        Loss::L2.value(&recon, test.x())
+    };
 
     println!("\nreconstruction quality on held-out signs (L2, lower is better):");
     println!("  OrcoDCS (M=512)        {orco_l2:.5}");
@@ -71,12 +84,12 @@ fn main() {
 
     // --- Follow-up application: classifier on reconstructed data. ---
     println!("\nfollow-up classifier on reconstructed data:");
-    let orco_train = train.with_x(orco.reconstruct(train.x()));
-    let orco_test = test.with_x(orco.reconstruct(test.x()));
+    let orco_train = train.with_x(orco.codec_mut().reconstruct(train.x()));
+    let orco_test = test.with_x(orco.codec_mut().reconstruct(test.x()));
     let acc_orco = train_classifier("OrcoDCS recon", &orco_train, &orco_test);
 
-    let dcs_train = train.with_x(dcs.model.reconstruct_inference(train.x()));
-    let dcs_test = test.with_x(dcs.model.reconstruct_inference(test.x()));
+    let dcs_train = train.with_x(dcs.codec_mut().reconstruct(train.x()));
+    let dcs_test = test.with_x(dcs.codec_mut().reconstruct(test.x()));
     let acc_dcs = train_classifier("DCSNet-50% recon", &dcs_train, &dcs_test);
 
     let acc_raw = train_classifier("raw images (oracle)", &train, &test);

@@ -18,7 +18,7 @@ mod strategy;
 
 pub use rng::TestRng;
 pub use strategy::{
-    vec as collection_vec, Any, BoxedStrategy, FlatMap, Just, Map, Strategy, Union,
+    vec as collection_vec, Any, Arbitrary, BoxedStrategy, FlatMap, Just, Map, Strategy, Union,
 };
 
 /// Runner configuration: how many random cases each property test draws.

@@ -32,12 +32,8 @@ fn orchestrated_training_is_bit_identical_to_local() {
         let local_loss = local.train_batch_local(dataset.x(), &loss);
         assert_eq!(orch_loss, local_loss, "round {round} losses diverged");
     }
-    assert_eq!(
-        orch.autoencoder().encoder_weight(),
-        local.encoder_weight(),
-        "encoder weights diverged"
-    );
-    assert_eq!(orch.autoencoder().encoder_bias(), local.encoder_bias());
+    assert_eq!(orch.model().encoder_weight(), local.encoder_weight(), "encoder weights diverged");
+    assert_eq!(orch.model().encoder_bias(), local.encoder_bias());
 }
 
 #[test]

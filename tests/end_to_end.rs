@@ -2,9 +2,11 @@
 //! WSN deployment → orchestrated online training → encoder distribution →
 //! compressed aggregation → follow-up classification → drift → fine-tuning.
 
-use orcodcs_repro::baselines::offline_trainer::train_dcsnet_offline;
+use orcodcs_repro::baselines::Dcsnet;
 use orcodcs_repro::classifier::{Cnn, TrainConfig};
-use orcodcs_repro::core::{experiment, OnlineTrainer, Orchestrator, OrcoConfig, SplitModel};
+use orcodcs_repro::core::{
+    AsymmetricAutoencoder, ExperimentBuilder, OnlineTrainer, Orchestrator, OrcoConfig, TrainingMode,
+};
 use orcodcs_repro::datasets::{drift, mnist_like, DatasetKind};
 use orcodcs_repro::nn::Loss;
 use orcodcs_repro::tensor::OrcoRng;
@@ -17,22 +19,40 @@ fn small_cfg() -> OrcoConfig {
         .with_batch_size(16)
 }
 
+fn run_pipeline(
+    dataset: &orcodcs_repro::datasets::Dataset,
+    cfg: &OrcoConfig,
+) -> (orcodcs_repro::core::Experiment, orcodcs_repro::core::Report) {
+    let codec = AsymmetricAutoencoder::new(cfg).expect("valid config");
+    let mut exp = ExperimentBuilder::new()
+        .dataset(dataset)
+        .codec(codec)
+        .epochs(cfg.epochs)
+        .batch_size(cfg.batch_size)
+        .seed(cfg.seed)
+        .build()
+        .expect("consistent experiment");
+    let report = exp.run().expect("lifecycle runs");
+    (exp, report)
+}
+
 #[test]
 fn full_lifecycle_produces_consistent_outcome() {
     let dataset = mnist_like::generate(48, 0);
-    let outcome = experiment::run_orcodcs(&dataset, &small_cfg()).expect("lifecycle runs");
+    let (_exp, report) = run_pipeline(&dataset, &small_cfg());
 
     // Training happened and the clock moved.
-    assert!(outcome.history.rounds.len() >= 9);
-    assert!(outcome.sim_time_s > 0.0);
+    assert!(report.rounds.len() >= 9);
+    assert!(report.sim_time_s > 0.0);
     // Quality metrics are sane.
-    assert!(outcome.final_loss.is_finite() && outcome.final_loss > 0.0);
-    assert!(outcome.mean_psnr_db > 5.0, "PSNR {} too low", outcome.mean_psnr_db);
+    assert!(report.final_loss.is_finite() && report.final_loss > 0.0);
+    assert!(report.mean_psnr_db > 5.0, "PSNR {} too low", report.mean_psnr_db);
     // Data plane measured on live simulation.
-    assert!(outcome.data_plane.total_bytes > 0);
-    assert!(outcome.data_plane.uplink_bytes > 0);
+    let data_plane = report.data_plane.expect("measured");
+    assert!(data_plane.total_bytes > 0);
+    assert!(data_plane.uplink_bytes > 0);
     // Time monotone across rounds.
-    for w in outcome.history.rounds.windows(2) {
+    for w in report.rounds.windows(2) {
         assert!(w[1].sim_time_s >= w[0].sim_time_s);
     }
 }
@@ -40,13 +60,13 @@ fn full_lifecycle_produces_consistent_outcome() {
 #[test]
 fn training_is_deterministic_across_runs() {
     let dataset = mnist_like::generate(32, 1);
-    let a = experiment::run_orcodcs(&dataset, &small_cfg()).expect("run a");
-    let b = experiment::run_orcodcs(&dataset, &small_cfg()).expect("run b");
+    let (_ea, a) = run_pipeline(&dataset, &small_cfg());
+    let (_eb, b) = run_pipeline(&dataset, &small_cfg());
     assert_eq!(a.final_loss, b.final_loss);
     assert_eq!(a.sim_time_s, b.sim_time_s);
-    assert_eq!(a.data_plane.total_bytes, b.data_plane.total_bytes);
-    let ra: Vec<f32> = a.history.rounds.iter().map(|r| r.loss).collect();
-    let rb: Vec<f32> = b.history.rounds.iter().map(|r| r.loss).collect();
+    assert_eq!(a.data_plane.unwrap().total_bytes, b.data_plane.unwrap().total_bytes);
+    let ra: Vec<f32> = a.rounds.iter().map(|r| r.loss).collect();
+    let rb: Vec<f32> = b.rounds.iter().map(|r| r.loss).collect();
     assert_eq!(ra, rb);
 }
 
@@ -85,11 +105,10 @@ fn classifier_on_orcodcs_reconstructions_beats_chance() {
     let train = mnist_like::generate(160, 3);
     let test = mnist_like::generate(40, 4);
     let cfg = OrcoConfig::for_dataset(DatasetKind::MnistLike).with_epochs(20).with_batch_size(32);
-    let outcome = experiment::run_orcodcs(&train, &cfg).expect("lifecycle runs");
-    let mut orch = outcome.orchestrator;
+    let (mut exp, _report) = run_pipeline(&train, &cfg);
 
-    let recon_train = train.with_x(orch.model_mut().reconstruct_inference(train.x()));
-    let recon_test = test.with_x(orch.model_mut().reconstruct_inference(test.x()));
+    let recon_train = train.with_x(exp.codec_mut().reconstruct(train.x()));
+    let recon_test = test.with_x(exp.codec_mut().reconstruct(test.x()));
 
     let mut rng = OrcoRng::from_label("e2e-clf", 0);
     let mut cnn = Cnn::new(DatasetKind::MnistLike, &mut rng);
@@ -111,13 +130,23 @@ fn orcodcs_reconstruction_beats_data_starved_dcsnet() {
     // better (on common L2) than offline DCSNet that saw 30% of the data.
     let dataset = mnist_like::generate(96, 5);
     let cfg = OrcoConfig::for_dataset(DatasetKind::MnistLike).with_epochs(6).with_batch_size(32);
-    let outcome = experiment::run_orcodcs(&dataset, &cfg).expect("lifecycle runs");
-    let mut orch = outcome.orchestrator;
-    let orco_recon = orch.model_mut().reconstruct_inference(dataset.x());
+    let (mut exp, _report) = run_pipeline(&dataset, &cfg);
+    let orco_recon = exp.codec_mut().reconstruct(dataset.x());
     let orco_l2 = Loss::L2.value(&orco_recon, dataset.x());
 
-    let mut dcs = train_dcsnet_offline(&dataset, 0.3, 6, 32, 0);
-    let dcs_l2 = dcs.model.evaluate(dataset.x(), &Loss::L2);
+    // DCSNet's native offline scheme, through the same builder.
+    let mut dcs = ExperimentBuilder::new()
+        .dataset(&dataset)
+        .codec(Dcsnet::new(DatasetKind::MnistLike, 0))
+        .training(TrainingMode::Local)
+        .epochs(6)
+        .batch_size(32)
+        .data_fraction(0.3)
+        .build()
+        .expect("consistent experiment");
+    let _ = dcs.run().expect("offline training runs");
+    let dcs_recon = dcs.codec_mut().reconstruct(dataset.x());
+    let dcs_l2 = Loss::L2.value(&dcs_recon, dataset.x());
 
     assert!(orco_l2 < dcs_l2, "OrcoDCS L2 {orco_l2} should beat DCSNet-30% {dcs_l2}");
 }

@@ -1,0 +1,249 @@
+//! Integration tests for the `Codec` + `ExperimentBuilder` pipeline API:
+//! the legacy-wrapper equivalence regression, checkpoint persistence
+//! through the pipeline's `.checkpoints(..)` hook, the fine-tuning monitor
+//! through `.monitor(..)` + `observe()`, and the four-backend object-safe
+//! smoke test.
+
+use orcodcs_repro::baselines::cs::{ClassicalCodec, CsSolver, IstaConfig};
+use orcodcs_repro::baselines::Dcsnet;
+use orcodcs_repro::core::checkpoint::{CheckpointStore, EncoderCheckpoint};
+use orcodcs_repro::core::{
+    experiment, AsymmetricAutoencoder, Codec, ExperimentBuilder, FineTuneMonitor, OrcoConfig,
+    TrainingMode,
+};
+use orcodcs_repro::datasets::{drift, mnist_like, DatasetKind};
+use orcodcs_repro::tensor::OrcoRng;
+
+fn small_cfg() -> OrcoConfig {
+    OrcoConfig::for_dataset(DatasetKind::MnistLike)
+        .with_latent_dim(32)
+        .with_epochs(3)
+        .with_batch_size(16)
+}
+
+fn tmpdir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("orcodcs-pipeline-tests").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The deprecated `run_orcodcs` wrapper and the equivalent
+/// `ExperimentBuilder` chain must produce **bit-identical** metrics at the
+/// same seed: same per-round losses on the same simulated clock, same
+/// final loss and PSNR, same data-plane bytes.
+#[test]
+fn builder_chain_matches_legacy_run_orcodcs_bit_for_bit() {
+    let dataset = mnist_like::generate(40, 11);
+    let cfg = small_cfg();
+
+    #[allow(deprecated)]
+    let legacy = experiment::run_orcodcs(&dataset, &cfg).expect("legacy driver runs");
+
+    let codec = AsymmetricAutoencoder::new(&cfg).expect("valid config");
+    let mut exp = ExperimentBuilder::new()
+        .dataset(&dataset)
+        .codec(codec)
+        .epochs(cfg.epochs)
+        .batch_size(cfg.batch_size)
+        .seed(cfg.seed)
+        .build()
+        .expect("consistent experiment");
+    let report = exp.run().expect("pipeline runs");
+
+    assert_eq!(report.final_loss, legacy.final_loss, "final loss must be bit-identical");
+    assert_eq!(report.mean_psnr_db, legacy.mean_psnr_db, "PSNR must be bit-identical");
+    assert_eq!(report.sim_time_s, legacy.sim_time_s, "simulated clock must be bit-identical");
+    assert_eq!(
+        report.data_plane.expect("pipeline measures the data plane"),
+        legacy.data_plane,
+        "data-plane report must be bit-identical"
+    );
+    assert_eq!(report.rounds.len(), legacy.history.rounds.len());
+    for (i, (new, old)) in report.rounds.iter().zip(&legacy.history.rounds).enumerate() {
+        assert_eq!(new, old, "round {i} diverged between pipeline and legacy driver");
+    }
+}
+
+/// `EncoderCheckpoint` save/load and `CheckpointStore` push/latest
+/// round-trip through a temp dir, fed by the pipeline's `.checkpoints(..)`
+/// hook.
+#[test]
+fn pipeline_checkpoints_roundtrip_through_disk() {
+    let dataset = mnist_like::generate(24, 3);
+    let cfg = small_cfg();
+    let dir = tmpdir("store");
+    let mut exp = ExperimentBuilder::new()
+        .dataset(&dataset)
+        .codec(AsymmetricAutoencoder::new(&cfg).expect("valid config"))
+        .epochs(2)
+        .batch_size(8)
+        .checkpoints(&dir, 2)
+        .build()
+        .expect("consistent experiment");
+    let report = exp.run().expect("pipeline runs");
+    assert_eq!(report.checkpoints_saved, 1, "initial training pushes one checkpoint");
+
+    // The stored snapshot round-trips bit-exactly and matches the live
+    // codec's distributable parameters.
+    let store = exp.checkpoint_store().expect("store configured");
+    assert_eq!(store.len(), 1);
+    let loaded = store.latest().expect("loads").expect("non-empty");
+    let live = exp.codec().checkpoint().expect("AE has an encoder checkpoint");
+    assert_eq!(loaded, live);
+    assert_eq!(loaded.label, "OrcoDCS");
+
+    // Restoring the loaded checkpoint into a fresh model reproduces the
+    // trained encoder exactly.
+    let mut fresh = AsymmetricAutoencoder::new(&cfg).expect("valid config");
+    loaded.restore(&mut fresh).expect("shapes match");
+    assert_eq!(fresh.encoder_weight(), &live.weight);
+
+    // Direct save/load round-trip of the captured checkpoint.
+    let solo_dir = tmpdir("solo");
+    live.save(&solo_dir).expect("saves");
+    let reloaded = EncoderCheckpoint::load(&solo_dir).expect("loads");
+    assert_eq!(reloaded, live);
+    std::fs::remove_dir_all(&solo_dir).ok();
+
+    // Store eviction: pushing past capacity keeps only the newest.
+    let mut store = CheckpointStore::new(tmpdir("evict"), 2);
+    for i in 0..3 {
+        let mut ckpt = live.clone();
+        ckpt.label = format!("v{i}");
+        store.push(&ckpt).expect("pushes");
+    }
+    assert_eq!(store.len(), 2);
+    assert_eq!(store.latest().unwrap().unwrap().label, "v2");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The retrain trigger fires under injected drift when fresh batches flow
+/// through the pipeline's `.monitor(..)` hook, and adaptation recovers the
+/// reconstruction error.
+#[test]
+fn monitor_hook_triggers_retraining_under_drift() {
+    let dataset = mnist_like::generate(32, 5);
+    let cfg = OrcoConfig::for_dataset(DatasetKind::MnistLike)
+        .with_latent_dim(16)
+        .with_batch_size(16)
+        .with_learning_rate(0.1)
+        .with_seed(2);
+    let dir = tmpdir("monitor");
+    let mut exp = ExperimentBuilder::new()
+        .dataset(&dataset)
+        .codec(AsymmetricAutoencoder::new(&cfg).expect("valid config"))
+        .epochs(2)
+        .batch_size(16)
+        .seed(2)
+        .monitor(FineTuneMonitor::new(0.012, 4))
+        .checkpoints(&dir, 3)
+        .build()
+        .expect("consistent experiment");
+    let _report = exp.run().expect("pipeline runs");
+
+    // In-distribution batches: error should settle under control.
+    for _ in 0..4 {
+        let _ = exp.observe(dataset.x()).expect("observe runs");
+    }
+    let before = exp.retrain_count();
+    let ckpts_before = exp.checkpoint_store().expect("store").len();
+
+    // Severe bias drift: the windowed error must breach the threshold.
+    let mut rng = OrcoRng::from_label("pipeline-drift", 0);
+    let drifted = drift::apply(&dataset, drift::Drift::Bias, 0.9, &mut rng);
+    let mut first_error = None;
+    let mut recovered = None;
+    for _ in 0..6 {
+        let outcome = exp.observe(drifted.x()).expect("observe runs");
+        if first_error.is_none() {
+            first_error = Some(outcome.reconstruction_error);
+        }
+        if let Some(history) = outcome.retraining {
+            assert!(!history.rounds.is_empty(), "retraining ran rounds");
+            recovered = Some(exp.observe(drifted.x()).expect("observe runs").reconstruction_error);
+            break;
+        }
+    }
+    let first = first_error.expect("at least one drifted batch observed");
+    let recovered = recovered.expect("drift must trigger the fine-tuning monitor");
+    assert!(exp.retrain_count() > before, "drift must add a retrain");
+    assert!(
+        recovered < first,
+        "retraining should reduce the drifted error: {first} -> {recovered}"
+    );
+    // Each retrain also checkpoints the adapted encoder (store capacity 3
+    // caps the count).
+    let kept = exp.checkpoint_store().expect("store").len();
+    assert!(kept > ckpts_before.min(2), "retrain must add a checkpoint: {ckpts_before} -> {kept}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// All four backends — OrcoDCS autoencoder, DCSNet, DCT+ISTA, DCT+OMP —
+/// run through the single object-safe `Codec` interface and the same
+/// builder chain.
+#[test]
+fn all_four_backends_run_through_one_builder_chain() {
+    let kind = DatasetKind::MnistLike;
+    let dataset = mnist_like::generate(16, 9);
+    let orco_cfg = OrcoConfig::for_dataset(kind).with_latent_dim(32).with_batch_size(8);
+    let backends: Vec<Box<dyn Codec>> = vec![
+        Box::new(AsymmetricAutoencoder::new(&orco_cfg).expect("valid config")),
+        Box::new(Dcsnet::new(kind, 0)),
+        Box::new(ClassicalCodec::new(
+            kind,
+            64,
+            CsSolver::Ista(IstaConfig { lambda: 0.01, max_iters: 80, tol: 1e-4 }),
+            0,
+        )),
+        Box::new(ClassicalCodec::new(kind, 64, CsSolver::Omp { sparsity: 16 }, 0)),
+    ];
+
+    let mut seen = Vec::new();
+    for codec in backends {
+        let name = codec.name();
+        let bytes = codec.bytes_per_frame();
+        let mut exp = ExperimentBuilder::new()
+            .dataset(&dataset)
+            .codec_boxed(codec)
+            .training(TrainingMode::Local)
+            .epochs(1)
+            .batch_size(8)
+            .probe(4)
+            .build()
+            .expect("consistent experiment");
+        let report = exp.run().expect("pipeline runs");
+        assert_eq!(report.codec, name);
+        assert_eq!(report.mode, TrainingMode::Local);
+        assert!(report.final_loss.is_finite(), "{name}: finite loss");
+        assert!(report.mean_psnr_db.is_finite(), "{name}: finite PSNR");
+        assert!(bytes > 0 && bytes % 4 == 0, "{name}: sane code size");
+        seen.push(name);
+    }
+    assert_eq!(seen, ["OrcoDCS", "DCSNet", "DCT+ISTA", "DCT+OMP"]);
+}
+
+/// Orchestrated pipeline runs are deterministic: the same builder chain at
+/// the same seed reproduces every metric bit-for-bit.
+#[test]
+fn pipeline_runs_are_deterministic() {
+    let dataset = mnist_like::generate(24, 13);
+    let cfg = small_cfg();
+    let run = || {
+        let mut exp = ExperimentBuilder::new()
+            .dataset(&dataset)
+            .codec(AsymmetricAutoencoder::new(&cfg).expect("valid config"))
+            .epochs(2)
+            .batch_size(16)
+            .seed(7)
+            .build()
+            .expect("consistent experiment");
+        exp.run().expect("pipeline runs")
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.final_loss, b.final_loss);
+    assert_eq!(a.sim_time_s, b.sim_time_s);
+    assert_eq!(a.rounds, b.rounds);
+    assert_eq!(a.probe, b.probe);
+    assert_eq!(a.data_plane, b.data_plane);
+}

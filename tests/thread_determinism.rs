@@ -6,7 +6,7 @@
 //! (`orco_tensor::parallel::set_threads`) is process-global state.
 
 use orcodcs_repro::core::multi_cluster::{EdgeSchedule, MultiClusterCoordinator};
-use orcodcs_repro::core::{experiment, OrcoConfig};
+use orcodcs_repro::core::{AsymmetricAutoencoder, ExperimentBuilder, OrcoConfig, Report};
 use orcodcs_repro::datasets::{mnist_like, Dataset, DatasetKind};
 use orcodcs_repro::tensor::{parallel, Matrix, OrcoRng};
 use orcodcs_repro::wsn::NetworkConfig;
@@ -48,17 +48,30 @@ fn results_are_bit_identical_across_thread_counts() {
         .with_epochs(2)
         .with_batch_size(8);
 
+    let run_pipeline = |dataset: &Dataset, config: &OrcoConfig| -> Report {
+        let codec = AsymmetricAutoencoder::new(config).expect("valid config");
+        ExperimentBuilder::new()
+            .dataset(dataset)
+            .codec(codec)
+            .epochs(config.epochs)
+            .batch_size(config.batch_size)
+            .seed(config.seed)
+            .build()
+            .expect("consistent experiment")
+            .run()
+            .expect("pipeline runs")
+    };
     parallel::set_threads(1);
-    let serial = experiment::run_orcodcs(&dataset, &config).expect("serial run");
+    let serial = run_pipeline(&dataset, &config);
     parallel::set_threads(4);
-    let threaded = experiment::run_orcodcs(&dataset, &config).expect("threaded run");
+    let threaded = run_pipeline(&dataset, &config);
     parallel::set_threads(0);
 
     assert_eq!(serial.final_loss, threaded.final_loss);
     assert_eq!(serial.sim_time_s, threaded.sim_time_s);
-    assert_eq!(serial.data_plane.total_bytes, threaded.data_plane.total_bytes);
-    assert_eq!(serial.history.rounds.len(), threaded.history.rounds.len());
-    for (i, (a, b)) in serial.history.rounds.iter().zip(&threaded.history.rounds).enumerate() {
+    assert_eq!(serial.data_plane.unwrap().total_bytes, threaded.data_plane.unwrap().total_bytes);
+    assert_eq!(serial.rounds.len(), threaded.rounds.len());
+    for (i, (a, b)) in serial.rounds.iter().zip(&threaded.rounds).enumerate() {
         assert_eq!(a, b, "round {i} diverged between 1 and 4 threads");
     }
 
