@@ -10,6 +10,7 @@ fn main() {
     let _ = orco_bench::figs::fig6::run(scale);
     let _ = orco_bench::figs::fig7::run(scale);
     let _ = orco_bench::figs::fig8::run(scale);
+    let _ = orco_bench::figs::fig9::run(scale);
     let _ = orco_bench::figs::ablations::run(scale);
     println!("\nAll figures regenerated.");
 }

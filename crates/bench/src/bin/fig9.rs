@@ -1,0 +1,7 @@
+//! Regenerates the loss-rate sweep (extension Figure 9). See
+//! `orco_bench::figs::fig9`.
+
+fn main() {
+    let scale = orco_bench::harness::Scale::from_env();
+    let _ = orco_bench::figs::fig9::run(scale);
+}

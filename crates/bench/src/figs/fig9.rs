@@ -1,0 +1,135 @@
+//! Figure 9 (extension) — data-plane latency and energy versus link loss.
+//!
+//! The paper's evaluation holds the channel fixed; this driver sweeps the
+//! intra-cluster frame-loss rate on the **event-driven** deployment
+//! backend (`orco-sim`) and measures what each codec's steady-state data
+//! plane pays for reliability: ARQ retransmissions inflate radio energy
+//! and stretch the delivery-latency tail (p50/p99), and they do so in
+//! proportion to how many bytes a codec puts on the air per frame — so
+//! OrcoDCS's small tunable latent (M = 128) degrades more gracefully than
+//! DCSNet's fixed 1024-dim latent, with the classical DCT+ISTA stack in
+//! between. Every backend is driven through the one [`Codec`] trait; only
+//! `code_len()` differs.
+
+use orco_baselines::cs::{ClassicalCodec, CsSolver, IstaConfig};
+use orco_baselines::Dcsnet;
+use orco_datasets::DatasetKind;
+use orco_sim::{DesNetwork, MacMode, SimParams, SimSpec};
+use orco_wsn::{DeploymentBackend, LinkStats, NetworkConfig};
+use orcodcs::aggregation::measure_compressed_frames;
+use orcodcs::{Codec, OrcoConfig};
+
+use crate::harness::{banner, Scale};
+
+/// One sweep cell: a codec's data-plane cost at one loss rate.
+#[derive(Debug)]
+pub struct Fig9Row {
+    /// Codec label.
+    pub codec: String,
+    /// Per-frame loss probability of the sensor link.
+    pub loss: f64,
+    /// Simulated seconds for the measured frames.
+    pub sim_time_s: f64,
+    /// Radio energy spent, joules.
+    pub energy_j: f64,
+    /// Delivery statistics (retransmissions, latency percentiles, …).
+    pub link: LinkStats,
+}
+
+fn sweep_codecs(scale: Scale) -> Vec<(String, Box<dyn Codec>)> {
+    let kind = DatasetKind::MnistLike;
+    let m = if scale == Scale::Quick { 64 } else { kind.paper_latent_dim() };
+    let orco_cfg = OrcoConfig::for_dataset(kind).with_latent_dim(m);
+    vec![
+        (format!("OrcoDCS (M={m})"), Box::new(super::orco_codec(&orco_cfg)) as Box<dyn Codec>),
+        ("DCSNet (M=1024)".to_string(), Box::new(Dcsnet::new(kind, 0))),
+        (
+            "DCT+ISTA (M=196)".to_string(),
+            Box::new(ClassicalCodec::new(
+                kind,
+                196,
+                CsSolver::Ista(IstaConfig { lambda: 0.01, max_iters: 100, tol: 1e-6 }),
+                0,
+            )),
+        ),
+    ]
+}
+
+/// Runs the loss-rate sweep: for each codec and loss level, a fixed number
+/// of compressed data-plane frames on a contended event-driven deployment.
+pub fn run(scale: Scale) -> Vec<Fig9Row> {
+    banner(
+        "Figure 9 (ext)",
+        "Data-plane latency & energy vs. frame-loss rate on the event-driven backend",
+    );
+    let frames = if scale == Scale::Quick { 2 } else { 5 };
+    let devices = if scale == Scale::Quick { 16 } else { 32 };
+    let losses = [0.0, 0.1, 0.3];
+    let mut rows = Vec::new();
+    for (name, codec) in sweep_codecs(scale) {
+        println!("\n--- {name}: {} B/frame on the wire ---", codec.bytes_per_frame());
+        println!(
+            "  {:>6} {:>12} {:>12} {:>10} {:>10} {:>10}",
+            "loss", "energy (J)", "time (s)", "p50 (ms)", "p99 (ms)", "retx"
+        );
+        for loss in losses {
+            let mut net_config =
+                NetworkConfig { num_devices: devices, seed: 0, ..Default::default() };
+            net_config.sensor_link = net_config.sensor_link.with_loss(loss);
+            let spec = SimSpec {
+                params: SimParams { mac: MacMode::Fifo, ..SimParams::ideal() },
+                ..Default::default()
+            };
+            let mut des = DesNetwork::new(net_config, spec);
+            let report = measure_compressed_frames(&mut des, codec.code_len(), frames)
+                .expect("data plane runs");
+            let link = des.accounting().link_stats();
+            println!(
+                "  {:>6.2} {:>12.6} {:>12.4} {:>10.2} {:>10.2} {:>10}",
+                loss,
+                report.energy_j,
+                report.sim_time_s,
+                link.latency_p50_s * 1e3,
+                link.latency_p99_s * 1e3,
+                link.retransmitted_frames,
+            );
+            rows.push(Fig9Row {
+                codec: name.clone(),
+                loss,
+                sim_time_s: report.sim_time_s,
+                energy_j: report.energy_j,
+                link,
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loss_inflates_energy_latency_and_retransmissions() {
+        let rows = run(Scale::Quick);
+        assert_eq!(rows.len(), 9, "3 codecs x 3 loss rates");
+        for chunk in rows.chunks(3) {
+            let clean = &chunk[0];
+            let lossy = &chunk[2];
+            assert_eq!(clean.loss, 0.0);
+            assert_eq!(lossy.loss, 0.3);
+            assert_eq!(clean.link.retransmitted_frames, 0, "{}", clean.codec);
+            assert!(lossy.link.retransmitted_frames > 0, "{}", lossy.codec);
+            assert!(lossy.energy_j > clean.energy_j, "{}", lossy.codec);
+            assert!(lossy.link.latency_p99_s >= lossy.link.latency_p50_s);
+            assert!(lossy.link.latency_p99_s > clean.link.latency_p99_s, "{}", lossy.codec);
+        }
+        // The big-latent codec pays the most at every loss level.
+        let orco_lossy = &rows[2];
+        let dcs_lossy = &rows[5];
+        assert!(
+            dcs_lossy.energy_j > orco_lossy.energy_j,
+            "DCSNet's 1024-dim latent must cost more than OrcoDCS's"
+        );
+    }
+}

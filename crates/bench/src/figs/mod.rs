@@ -13,6 +13,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod fig9;
 
 use orco_baselines::Dcsnet;
 use orco_datasets::{Dataset, DatasetKind};

@@ -13,6 +13,7 @@
 //! | `fig6` | Fig. 6 | Latent-dimension sensitivity |
 //! | `fig7` | Fig. 7 | Latent-noise sensitivity |
 //! | `fig8` | Fig. 8 | Decoder-depth sensitivity |
+//! | `fig9` | — (extension) | Data-plane latency & energy vs. loss rate on the event-driven backend |
 //! | `all_figures` | — | Everything above in sequence |
 //!
 //! Scale is controlled by the `ORCO_SCALE` environment variable:

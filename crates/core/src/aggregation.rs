@@ -8,7 +8,7 @@
 //! exactly linear in the frame count, so measuring a handful of frames and
 //! scaling is exact, not an approximation).
 
-use orco_wsn::{Network, PacketKind};
+use orco_wsn::{DeploymentBackend, PacketKind};
 
 use crate::error::OrcoError;
 use crate::orchestrator::Orchestrator;
@@ -70,7 +70,10 @@ impl TransmissionReport {
 /// # Errors
 ///
 /// Propagates transmission failures.
-pub fn compressed_frame_on(network: &mut Network, code_len: usize) -> Result<f64, OrcoError> {
+pub fn compressed_frame_on<D: DeploymentBackend + ?Sized>(
+    network: &mut D,
+    code_len: usize,
+) -> Result<f64, OrcoError> {
     let code_bytes = (code_len * 4) as u64;
     // Per-device cost: `code_len` multiply-adds into the partial sum.
     let device_flops = (2 * code_len) as u64;
@@ -92,8 +95,8 @@ pub fn compressed_frame_on(network: &mut Network, code_len: usize) -> Result<f64
 /// # Errors
 ///
 /// Propagates transmission failures.
-pub fn measure_compressed_frames(
-    network: &mut Network,
+pub fn measure_compressed_frames<D: DeploymentBackend + ?Sized>(
+    network: &mut D,
     code_len: usize,
     frames: usize,
 ) -> Result<TransmissionReport, OrcoError> {
@@ -120,8 +123,8 @@ pub fn measure_compressed_frames(
 /// # Errors
 ///
 /// Propagates transmission failures.
-pub fn measure_compressed_pipeline<M: SplitModel>(
-    orch: &mut Orchestrator<M>,
+pub fn measure_compressed_pipeline<M: SplitModel, D: DeploymentBackend>(
+    orch: &mut Orchestrator<M, D>,
     frames: usize,
 ) -> Result<TransmissionReport, OrcoError> {
     let code_len = orch.config().latent_dim;
@@ -137,8 +140,8 @@ pub fn measure_compressed_pipeline<M: SplitModel>(
 /// # Errors
 ///
 /// Propagates transmission failures.
-pub fn measure_raw_pipeline<M: SplitModel>(
-    orch: &mut Orchestrator<M>,
+pub fn measure_raw_pipeline<M: SplitModel, D: DeploymentBackend>(
+    orch: &mut Orchestrator<M, D>,
     frames: usize,
     reading_bytes: u64,
 ) -> Result<TransmissionReport, OrcoError> {

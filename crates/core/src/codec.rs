@@ -147,6 +147,7 @@ pub fn shuffled_batch_train(
                 sim_time_s: 0.0,
                 uplink_bytes: 0,
                 energy_j: 0.0,
+                link: orco_wsn::LinkStats::default(),
             });
             round += 1;
         }

@@ -95,5 +95,5 @@ pub use experiment::ClusterScale;
 pub use monitor::FineTuneMonitor;
 pub use online_trainer::{OnlineTrainer, RoundStats, TrainingHistory};
 pub use orchestrator::Orchestrator;
-pub use pipeline::{Experiment, ExperimentBuilder, Report, TrainingMode};
+pub use pipeline::{DeploymentSpec, Experiment, ExperimentBuilder, Report, TrainingMode};
 pub use split::SplitModel;

@@ -2,6 +2,7 @@
 //! (§III-B training + §III-D monitoring glued together).
 
 use orco_tensor::Matrix;
+use orco_wsn::LinkStats;
 
 use crate::error::OrcoError;
 use crate::monitor::FineTuneMonitor;
@@ -23,6 +24,11 @@ pub struct RoundStats {
     /// Cumulative radio energy (tx + rx) at round completion, joules.
     /// Zero for rounds trained without a simulated deployment.
     pub energy_j: f64,
+    /// Cumulative delivery statistics at round completion: packet
+    /// outcomes, retransmitted frames, airtime, and delivery-latency
+    /// percentiles (p50/p99). All-zero for rounds trained without a
+    /// simulated deployment.
+    pub link: LinkStats,
 }
 
 /// The loss/time trajectory of a training run — the paper's Figures 4 and
@@ -228,6 +234,7 @@ mod tests {
                     sim_time_s: (i + 1) as f64,
                     uplink_bytes: (i as u64 + 1) * 100,
                     energy_j: 0.0,
+                    link: LinkStats::default(),
                 })
                 .collect(),
         }

@@ -18,7 +18,7 @@
 
 use orco_nn::Loss;
 use orco_tensor::{Matrix, OrcoRng};
-use orco_wsn::{Network, NetworkConfig, PacketKind};
+use orco_wsn::{DeploymentBackend, Network, NetworkConfig, PacketKind};
 
 use crate::autoencoder::AsymmetricAutoencoder;
 use crate::config::OrcoConfig;
@@ -28,6 +28,11 @@ use crate::online_trainer::{RoundStats, TrainingHistory};
 use crate::split::SplitModel;
 
 /// Drives the OrcoDCS protocol over a simulated deployment.
+///
+/// Generic over both the split model `M` and the deployment backend `D`
+/// (the analytic [`Network`] by default; the `orco-sim` event-driven
+/// simulator through the experiment pipeline's `deployment` knob) — the
+/// protocol itself is backend-agnostic.
 ///
 /// # Examples
 ///
@@ -48,11 +53,11 @@ use crate::split::SplitModel;
 /// assert!(orch.network().now_s() > 0.0);
 /// ```
 #[derive(Debug)]
-pub struct Orchestrator<M: SplitModel = AsymmetricAutoencoder> {
+pub struct Orchestrator<M: SplitModel = AsymmetricAutoencoder, D: DeploymentBackend = Network> {
     model: M,
     config: OrcoConfig,
     loss: Loss,
-    network: Network,
+    network: D,
     batch_rng: OrcoRng,
     rounds_run: usize,
 }
@@ -81,7 +86,9 @@ impl Orchestrator<AsymmetricAutoencoder> {
     pub fn autoencoder_mut(&mut self) -> &mut AsymmetricAutoencoder {
         &mut self.model
     }
+}
 
+impl<D: DeploymentBackend> Orchestrator<AsymmetricAutoencoder, D> {
     // ------------------------------------------------------------------
     // §III-C: distribution + compressed aggregation (OrcoDCS-specific:
     // only the one-dense-layer encoder can be distributed column-wise)
@@ -102,25 +109,28 @@ impl Orchestrator<AsymmetricAutoencoder> {
     }
 }
 
-impl<M: SplitModel> Orchestrator<M> {
+impl<M: SplitModel> Orchestrator<M, Network> {
     /// Wraps an already-built split model (used for baselines trained
-    /// through the same protocol, e.g. DCSNet). `config` supplies the
-    /// protocol parameters (loss, batch size, epochs, seed); it is not
-    /// re-validated, since baseline models may violate OrcoDCS-specific
-    /// constraints such as `latent_dim < input_dim`.
+    /// through the same protocol, e.g. DCSNet) over the analytic backend.
+    /// `config` supplies the protocol parameters (loss, batch size, epochs,
+    /// seed); it is not re-validated, since baseline models may violate
+    /// OrcoDCS-specific constraints such as `latent_dim < input_dim`.
     #[must_use]
     pub fn with_model(model: M, config: OrcoConfig, net_config: NetworkConfig) -> Self {
         let loss = config.loss();
         Self::with_parts(model, config, loss, Network::new(net_config))
     }
+}
 
+impl<M: SplitModel, D: DeploymentBackend> Orchestrator<M, D> {
     /// Wraps a model with an **explicit training loss** and an
-    /// already-built deployment. This is the constructor the experiment
-    /// pipeline uses: codecs report their native loss directly (it need not
-    /// be expressible through [`OrcoConfig`]'s Huber fields), and the
-    /// network may already carry simulated time from earlier phases.
+    /// already-built deployment backend. This is the constructor the
+    /// experiment pipeline uses: codecs report their native loss directly
+    /// (it need not be expressible through [`OrcoConfig`]'s Huber fields),
+    /// the deployment may already carry simulated time from earlier
+    /// phases, and it may be either simulator (or a boxed one).
     #[must_use]
-    pub fn with_parts(model: M, config: OrcoConfig, loss: Loss, network: Network) -> Self {
+    pub fn with_parts(model: M, config: OrcoConfig, loss: Loss, network: D) -> Self {
         let batch_rng = OrcoRng::from_label("orcodcs-batching", config.seed);
         Self { model, config, loss, network, batch_rng, rounds_run: 0 }
     }
@@ -128,7 +138,7 @@ impl<M: SplitModel> Orchestrator<M> {
     /// Consumes the orchestrator, releasing the deployment (with its clock
     /// and traffic ledger intact) for follow-up measurements.
     #[must_use]
-    pub fn into_network(self) -> Network {
+    pub fn into_network(self) -> D {
         self.network
     }
 
@@ -159,13 +169,13 @@ impl<M: SplitModel> Orchestrator<M> {
 
     /// The simulated deployment.
     #[must_use]
-    pub fn network(&self) -> &Network {
+    pub fn network(&self) -> &D {
         &self.network
     }
 
     /// Mutable access to the deployment (failure injection).
     #[must_use]
-    pub fn network_mut(&mut self) -> &mut Network {
+    pub fn network_mut(&mut self) -> &mut D {
         &mut self.network
     }
 
@@ -305,6 +315,7 @@ impl<M: SplitModel> Orchestrator<M> {
                     sim_time_s: self.network.now_s(),
                     uplink_bytes: acct.bytes_by_kind(PacketKind::LatentVector),
                     energy_j: acct.total_tx_energy_j() + acct.total_rx_energy_j(),
+                    link: acct.link_stats(),
                 });
                 round += 1;
             }

@@ -34,8 +34,9 @@ use std::path::PathBuf;
 
 use orco_datasets::Dataset;
 use orco_nn::Loss;
+use orco_sim::{DesNetwork, SimSpec};
 use orco_tensor::{stats, Matrix, OrcoRng};
-use orco_wsn::{Network, NetworkConfig, PacketKind};
+use orco_wsn::{DeploymentBackend, LinkStats, Network, NetworkConfig, PacketKind};
 
 use crate::aggregation::{self, TransmissionReport};
 use crate::checkpoint::CheckpointStore;
@@ -47,6 +48,20 @@ use crate::experiment::ClusterScale;
 use crate::monitor::FineTuneMonitor;
 use crate::online_trainer::{RoundStats, TrainingHistory};
 use crate::orchestrator::Orchestrator;
+
+/// Which simulator executes the deployment of an orchestrated experiment.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub enum DeploymentSpec {
+    /// The analytic model (`orco_wsn::Network`): one global clock,
+    /// sequential transmissions, inline loss draws. Fast, and the default.
+    #[default]
+    Analytic,
+    /// The `orco-sim` discrete-event simulator: per-node clocks, a
+    /// TDMA/CSMA MAC, ARQ + fragmentation events, duty cycles, and a
+    /// scripted fault [`orco_sim::Scenario`]. With [`SimSpec::ideal`] it
+    /// reproduces the analytic totals exactly (regression-tested).
+    EventDriven(SimSpec),
+}
 
 /// How the codec is trained by the pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,14 +101,24 @@ pub struct RadioSummary {
     pub feedback_bytes: u64,
     /// Radio energy spent (tx + rx), joules.
     pub energy_j: f64,
+    /// Delivery statistics: packet outcomes (delivered / dropped /
+    /// retransmitted), radio airtime, and delivery-latency percentiles.
+    pub link: LinkStats,
 }
 
 /// Everything one pipeline run produces. Figures project from these
 /// records; nothing in here requires the experiment to stay alive.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every record bit for bit — replaying the same
+/// experiment (same codec, seeds, deployment backend, and scenario) must
+/// produce an equal `Report`, which the determinism regressions assert.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Report {
     /// The codec's [`Codec::name`].
     pub codec: &'static str,
+    /// The deployment backend that executed the run (`"analytic"`,
+    /// `"event-driven"`, or `"local"` for un-simulated training).
+    pub backend: &'static str,
     /// How training ran.
     pub mode: TrainingMode,
     /// Per-round training records (loss, simulated clock, cumulative
@@ -174,6 +199,7 @@ pub struct ExperimentBuilder {
     dataset: Option<Dataset>,
     codec: Option<Box<dyn Codec>>,
     net_config: Option<NetworkConfig>,
+    deployment: Option<DeploymentSpec>,
     scale: Option<ClusterScale>,
     seed: Option<u64>,
     epochs: Option<usize>,
@@ -222,6 +248,17 @@ impl ExperimentBuilder {
     #[must_use]
     pub fn network(mut self, net_config: NetworkConfig) -> Self {
         self.net_config = Some(net_config);
+        self
+    }
+
+    /// Which simulator executes the deployment (default:
+    /// [`DeploymentSpec::Analytic`]). Select
+    /// [`DeploymentSpec::EventDriven`] to run the same protocol over the
+    /// `orco-sim` discrete-event backend — with MAC contention, ARQ,
+    /// duty cycles, and scripted fault scenarios.
+    #[must_use]
+    pub fn deployment(mut self, deployment: DeploymentSpec) -> Self {
+        self.deployment = Some(deployment);
         self
     }
 
@@ -381,6 +418,7 @@ impl ExperimentBuilder {
             dataset,
             codec,
             net_config: self.net_config.unwrap_or_default(),
+            deployment: self.deployment.unwrap_or_default(),
             scale: self.scale.unwrap_or(ClusterScale::Devices(32)),
             seed: self.seed.unwrap_or(0),
             epochs: self.epochs.unwrap_or(10),
@@ -409,6 +447,7 @@ pub struct Experiment {
     dataset: Dataset,
     codec: Box<dyn Codec>,
     net_config: NetworkConfig,
+    deployment: DeploymentSpec,
     scale: ClusterScale,
     seed: u64,
     epochs: usize,
@@ -423,7 +462,7 @@ pub struct Experiment {
     store: Option<CheckpointStore>,
     checkpoints_saved: usize,
     retrains: usize,
-    network: Option<Network>,
+    network: Option<Box<dyn DeploymentBackend>>,
     ran: bool,
 }
 
@@ -453,11 +492,11 @@ impl Experiment {
         self.mode
     }
 
-    /// The deployment after an orchestrated run (`None` before
+    /// The deployment backend after an orchestrated run (`None` before
     /// [`Experiment::run`] and for local runs).
     #[must_use]
-    pub fn network(&self) -> Option<&Network> {
-        self.network.as_ref()
+    pub fn network(&self) -> Option<&dyn DeploymentBackend> {
+        self.network.as_deref()
     }
 
     /// The fine-tuning monitor, if configured.
@@ -549,8 +588,17 @@ impl Experiment {
 
         self.push_checkpoint()?;
         self.ran = true;
+        // The backend names itself; only un-simulated training needs a
+        // label of its own.
+        let backend = match self.mode {
+            TrainingMode::Local => "local",
+            TrainingMode::Orchestrated => {
+                self.network.as_deref().map_or("analytic", DeploymentBackend::backend_name)
+            }
+        };
         Ok(Report {
             codec: self.codec.name(),
+            backend,
             mode: self.mode,
             rounds,
             probe: probe_records,
@@ -588,7 +636,13 @@ impl Experiment {
         let split = self.codec.split_model().ok_or_else(|| OrcoError::Config {
             detail: "orchestrated training requires a split model".into(),
         })?;
-        let mut orch = Orchestrator::with_parts(split, config, loss, Network::new(net_config));
+        let backend: Box<dyn DeploymentBackend> = match &self.deployment {
+            DeploymentSpec::Analytic => Box::new(Network::new(net_config)),
+            DeploymentSpec::EventDriven(spec) => {
+                Box::new(DesNetwork::new(net_config, spec.clone()))
+            }
+        };
+        let mut orch = Orchestrator::with_parts(split, config, loss, backend);
 
         // §III-A: one raw frame per accessible training sample reaches the
         // aggregator (unless the caller opted out of the collection phase).
@@ -601,7 +655,9 @@ impl Experiment {
         // a probe-error record at every epoch boundary. `train_with`'s
         // epoch hook evaluates out-of-band, so rounds, shuffles, and the
         // simulated clock are exactly those of an uninstrumented `train`.
-        let probe_l2 = |orch: &mut Orchestrator<&mut dyn crate::SplitModel>| -> f32 {
+        type PipelineOrch<'a> =
+            Orchestrator<&'a mut dyn crate::SplitModel, Box<dyn DeploymentBackend>>;
+        let probe_l2 = |orch: &mut PipelineOrch<'_>| -> f32 {
             let recon = orch.model_mut().reconstruct_inference(probe);
             Loss::L2.value(&recon, probe)
         };
@@ -629,6 +685,7 @@ impl Experiment {
             uplink_bytes: acct.bytes_by_kind(PacketKind::LatentVector),
             feedback_bytes: acct.bytes_by_kind(PacketKind::ModelUpdate),
             energy_j: acct.total_tx_energy_j() + acct.total_rx_energy_j(),
+            link: acct.link_stats(),
         };
 
         // §III-C: distribute the per-device column shares, then measure the

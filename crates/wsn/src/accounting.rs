@@ -26,6 +26,30 @@ pub struct NodeTraffic {
     pub rx_packets: u64,
 }
 
+/// Delivery-level statistics of one ledger: logical-packet outcomes,
+/// end-to-end latency percentiles, and radio airtime. Both deployment
+/// backends fill these — the analytic model per [`crate::Network::transmit`]
+/// call, the `orco-sim` event-driven backend per scheduled delivery — so
+/// reports can surface them uniformly.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LinkStats {
+    /// Logical packets delivered end to end.
+    pub delivered_packets: u64,
+    /// Logical packets dropped after exhausting their retry budget (or
+    /// because an endpoint died mid-flight).
+    pub dropped_packets: u64,
+    /// Radio frames retransmitted beyond each packet's first attempt.
+    pub retransmitted_frames: u64,
+    /// Seconds the shared radio medium was occupied.
+    pub airtime_s: f64,
+    /// Median end-to-end delivery latency, seconds (0 when nothing was
+    /// delivered).
+    pub latency_p50_s: f64,
+    /// 99th-percentile delivery latency, seconds (0 when nothing was
+    /// delivered).
+    pub latency_p99_s: f64,
+}
+
 /// Workspace-wide traffic ledger.
 ///
 /// # Examples
@@ -36,8 +60,10 @@ pub struct NodeTraffic {
 /// let mut ledger = TrafficAccounting::new();
 /// ledger.record_tx(NodeId(0), 100, 1e-6, PacketKind::RawData);
 /// ledger.record_rx(NodeId(1), 100, 5e-7, PacketKind::RawData);
+/// ledger.record_delivery(0.012);
 /// assert_eq!(ledger.total_tx_bytes(), 100);
 /// assert_eq!(ledger.bytes_by_kind(PacketKind::RawData), 100);
+/// assert_eq!(ledger.link_stats().delivered_packets, 1);
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct TrafficAccounting {
@@ -46,6 +72,14 @@ pub struct TrafficAccounting {
     // in the last ulps between otherwise identical runs.
     per_node: BTreeMap<NodeId, NodeTraffic>,
     per_kind_tx_bytes: HashMap<PacketKind, u64>,
+    delivered_packets: u64,
+    dropped_packets: u64,
+    retransmitted_frames: u64,
+    airtime_s: f64,
+    // Delivery-latency samples kept ascending-sorted on insert: exact
+    // percentiles under merging/resets, and per-round `link_stats`
+    // snapshots index directly instead of re-sorting a growing vector.
+    latencies_s: Vec<f64>,
 }
 
 impl TrafficAccounting {
@@ -70,6 +104,57 @@ impl TrafficAccounting {
         t.rx_bytes += wire_bytes;
         t.rx_energy_j += energy_j;
         t.rx_packets += 1;
+    }
+
+    /// Records one logical packet delivered end to end after
+    /// `latency_s` seconds (submission to delivery, queueing included).
+    pub fn record_delivery(&mut self, latency_s: f64) {
+        self.delivered_packets += 1;
+        let idx = self.latencies_s.partition_point(|v| *v <= latency_s);
+        self.latencies_s.insert(idx, latency_s);
+    }
+
+    /// Records one logical packet dropped (retry budget exhausted or an
+    /// endpoint died mid-flight).
+    pub fn record_drop(&mut self) {
+        self.dropped_packets += 1;
+    }
+
+    /// Records `frames` radio frames retransmitted beyond their packet's
+    /// first attempt.
+    pub fn record_retransmits(&mut self, frames: u64) {
+        self.retransmitted_frames += frames;
+    }
+
+    /// Records `dt_s` seconds of radio-medium occupancy.
+    pub fn record_airtime(&mut self, dt_s: f64) {
+        self.airtime_s += dt_s;
+    }
+
+    /// Delivery latency percentile in seconds (nearest-rank over all
+    /// recorded deliveries; 0 when nothing was delivered). O(1): the
+    /// samples are kept sorted on insert.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn latency_percentile_s(&self, q: f64) -> f64 {
+        percentile_of_sorted(&self.latencies_s, q)
+    }
+
+    /// Snapshot of the delivery-level statistics (packet outcomes, latency
+    /// percentiles, airtime). Cheap enough to take per training round.
+    #[must_use]
+    pub fn link_stats(&self) -> LinkStats {
+        LinkStats {
+            delivered_packets: self.delivered_packets,
+            dropped_packets: self.dropped_packets,
+            retransmitted_frames: self.retransmitted_frames,
+            airtime_s: self.airtime_s,
+            latency_p50_s: percentile_of_sorted(&self.latencies_s, 0.5),
+            latency_p99_s: percentile_of_sorted(&self.latencies_s, 0.99),
+        }
     }
 
     /// Counters for one node (zeros if the node never communicated).
@@ -119,6 +204,11 @@ impl TrafficAccounting {
     pub fn reset(&mut self) {
         self.per_node.clear();
         self.per_kind_tx_bytes.clear();
+        self.delivered_packets = 0;
+        self.dropped_packets = 0;
+        self.retransmitted_frames = 0;
+        self.airtime_s = 0.0;
+        self.latencies_s.clear();
     }
 
     /// Merges another ledger into this one.
@@ -135,7 +225,27 @@ impl TrafficAccounting {
         for (kind, bytes) in &other.per_kind_tx_bytes {
             *self.per_kind_tx_bytes.entry(*kind).or_default() += bytes;
         }
+        self.delivered_packets += other.delivered_packets;
+        self.dropped_packets += other.dropped_packets;
+        self.retransmitted_frames += other.retransmitted_frames;
+        self.airtime_s += other.airtime_s;
+        self.latencies_s.extend_from_slice(&other.latencies_s);
+        self.latencies_s.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
     }
+}
+
+/// Nearest-rank percentile over an ascending-sorted sample (0 if empty).
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]`.
+fn percentile_of_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "latency percentile must be in [0, 1], got {q}");
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
 }
 
 #[cfg(test)]
@@ -175,6 +285,51 @@ mod tests {
         assert_eq!(l.total_tx_bytes(), 0);
         assert_eq!(l.active_nodes(), 0);
         assert_eq!(l.bytes_by_kind(PacketKind::RawData), 0);
+    }
+
+    #[test]
+    fn link_stats_track_outcomes_and_percentiles() {
+        let mut l = TrafficAccounting::new();
+        for i in 1..=100 {
+            l.record_delivery(f64::from(i) * 0.01);
+        }
+        l.record_drop();
+        l.record_retransmits(3);
+        l.record_airtime(0.5);
+        l.record_airtime(0.25);
+        let s = l.link_stats();
+        assert_eq!(s.delivered_packets, 100);
+        assert_eq!(s.dropped_packets, 1);
+        assert_eq!(s.retransmitted_frames, 3);
+        assert!((s.airtime_s - 0.75).abs() < 1e-12);
+        assert!((s.latency_p50_s - 0.50).abs() < 0.011, "p50 {}", s.latency_p50_s);
+        assert!((s.latency_p99_s - 0.99).abs() < 0.011, "p99 {}", s.latency_p99_s);
+        l.reset();
+        assert_eq!(l.link_stats(), LinkStats::default());
+    }
+
+    #[test]
+    fn empty_ledger_has_zero_percentiles() {
+        let l = TrafficAccounting::new();
+        assert_eq!(l.latency_percentile_s(0.5), 0.0);
+        assert_eq!(l.link_stats(), LinkStats::default());
+    }
+
+    #[test]
+    fn merge_combines_link_stats() {
+        let mut a = TrafficAccounting::new();
+        a.record_delivery(1.0);
+        a.record_drop();
+        let mut b = TrafficAccounting::new();
+        b.record_delivery(3.0);
+        b.record_retransmits(2);
+        b.record_airtime(0.1);
+        a.merge(&b);
+        let s = a.link_stats();
+        assert_eq!(s.delivered_packets, 2);
+        assert_eq!(s.dropped_packets, 1);
+        assert_eq!(s.retransmitted_frames, 2);
+        assert!((s.latency_p99_s - 3.0).abs() < 1e-12);
     }
 
     #[test]

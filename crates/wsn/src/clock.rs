@@ -4,6 +4,31 @@
 //! deterministic functions of bytes moved and FLOPs executed, independent of
 //! the host machine. `SimClock` is a monotone accumulator those costs are
 //! added to.
+//!
+//! Every clock in the workspace — the analytic [`SimClock`], the per-node
+//! clocks of the `orco-sim` discrete-event backend — shares one
+//! monotonicity contract, checked by [`assert_monotone_dt`]: time is
+//! measured in **seconds as `f64`**, steps are finite and non-negative, and
+//! absolute synchronization ([`SimClock::advance_to`]) never rewinds.
+
+/// Asserts the shared monotonicity contract for a simulated time step.
+///
+/// All simulated time in this workspace is **seconds, stored as `f64`**.
+/// A valid step is finite and non-negative; anything else is a programming
+/// error in a cost model, so this panics rather than returning an error.
+/// Both the analytic [`SimClock`] and the event-driven per-node clocks of
+/// `orco-sim` funnel their advances through this one check.
+///
+/// # Panics
+///
+/// Panics if `dt_s` is negative, NaN, or infinite.
+#[inline]
+pub fn assert_monotone_dt(dt_s: f64) {
+    assert!(
+        dt_s.is_finite() && dt_s >= 0.0,
+        "simulated clock: dt must be a finite number of seconds ≥ 0, got {dt_s}"
+    );
+}
 
 /// A monotone simulated clock measured in seconds.
 ///
@@ -39,16 +64,26 @@ impl SimClock {
     ///
     /// # Panics
     ///
-    /// Panics if `dt` is negative or not finite (time never goes backwards).
+    /// Panics if `dt` violates [`assert_monotone_dt`] (time never goes
+    /// backwards).
     pub fn advance(&mut self, dt_s: f64) {
-        assert!(dt_s.is_finite() && dt_s >= 0.0, "SimClock::advance: dt must be ≥ 0, got {dt_s}");
+        assert_monotone_dt(dt_s);
         self.now_s += dt_s;
     }
 
     /// Advances to an absolute time, if later than now (e.g. synchronizing
-    /// with a parallel actor's completion).
+    /// with a parallel actor's completion). Earlier times (including
+    /// `-∞`) are ignored — the clock never rewinds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_s` is NaN or `+∞`: a non-finite target means a cost
+    /// model upstream produced garbage, and the shared monotonicity
+    /// checkpoint is where that must surface.
     pub fn advance_to(&mut self, t_s: f64) {
+        assert!(!t_s.is_nan(), "simulated clock: advance_to target must not be NaN");
         if t_s > self.now_s {
+            assert_monotone_dt(t_s - self.now_s);
             self.now_s = t_s;
         }
     }
@@ -81,5 +116,24 @@ mod tests {
     #[should_panic(expected = "dt must be")]
     fn negative_advance_panics() {
         SimClock::new().advance(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dt must be")]
+    fn infinite_advance_to_panics() {
+        SimClock::new().advance_to(f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be NaN")]
+    fn nan_advance_to_panics() {
+        SimClock::new().advance_to(f64::NAN);
+    }
+
+    #[test]
+    fn helper_accepts_zero_and_finite_steps() {
+        assert_monotone_dt(0.0);
+        assert_monotone_dt(1e-12);
+        assert_monotone_dt(3600.0);
     }
 }

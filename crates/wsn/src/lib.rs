@@ -26,8 +26,12 @@
 //!   re-parenting;
 //! * [`chain`] — the latent-element chain aggregation of §III-C for
 //!   **compressed** aggregation;
-//! * [`accounting`] — per-node byte and energy accounting;
-//! * [`network`] — the façade tying all of it together.
+//! * [`accounting`] — per-node byte and energy accounting, packet
+//!   outcomes, and delivery-latency statistics;
+//! * [`network`] — the façade tying all of it together;
+//! * [`backend`] — the [`DeploymentBackend`] trait making the deployment
+//!   pluggable: this crate's analytic [`Network`] and the `orco-sim`
+//!   discrete-event simulator both implement it.
 //!
 //! Everything is deterministic given a [`NetworkConfig`] seed: re-running an
 //! experiment reproduces identical byte counts, energies and simulated
@@ -37,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod accounting;
+pub mod backend;
 pub mod chain;
 pub mod clock;
 pub mod cluster;
@@ -50,7 +55,8 @@ pub mod packet;
 pub mod radio;
 pub mod tree;
 
-pub use accounting::TrafficAccounting;
+pub use accounting::{LinkStats, TrafficAccounting};
+pub use backend::DeploymentBackend;
 pub use chain::ChainSchedule;
 pub use clock::SimClock;
 pub use cluster::{kmeans_clusters, select_head, Candidate, HeadSelection, Partition};

@@ -74,7 +74,14 @@ impl LinkModel {
     /// Time to push `bytes` through the link, including latency.
     #[must_use]
     pub fn transmission_time_s(&self, bytes: u64) -> f64 {
-        self.latency_s + (bytes as f64 * 8.0) / self.bandwidth_bps
+        self.latency_s + self.airtime_s(bytes)
+    }
+
+    /// Time `bytes` occupy the medium (serialization only, no latency) —
+    /// the contention window other transmitters must wait out.
+    #[must_use]
+    pub fn airtime_s(&self, bytes: u64) -> f64 {
+        (bytes as f64 * 8.0) / self.bandwidth_bps
     }
 
     /// Expected number of attempts per packet under independent loss.

@@ -259,6 +259,147 @@ impl Network {
         Ok(())
     }
 
+    /// Revives a previously dead device with the given battery budget and
+    /// rebuilds the aggregation tree and chain over the now-alive devices
+    /// (scenario-scripted recovery in the event-driven backend).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WsnError::UnknownNode`] for non-device ids.
+    pub fn revive_device(&mut self, id: NodeId, energy_j: f64) -> Result<(), WsnError> {
+        if !self.devices.contains(&id) {
+            return Err(WsnError::UnknownNode { id });
+        }
+        self.nodes[id.0].revive(energy_j);
+        self.rebuild_routes();
+        Ok(())
+    }
+
+    /// Rebuilds the aggregation tree and chain schedule from the currently
+    /// alive devices (deterministic for a given alive set).
+    fn rebuild_routes(&mut self) {
+        let centre = self.nodes[self.aggregator.0].position();
+        let alive: Vec<(NodeId, Point)> = self
+            .devices
+            .iter()
+            .filter(|id| self.nodes[id.0].is_alive())
+            .map(|id| (*id, self.nodes[id.0].position()))
+            .collect();
+        if alive.is_empty() {
+            return;
+        }
+        let mut tree_nodes = alive.clone();
+        tree_nodes.push((self.aggregator, centre));
+        self.tree =
+            AggregationTree::build(self.aggregator, &tree_nodes).expect("alive topology is valid");
+        self.chain = ChainSchedule::greedy_nearest(&alive, centre);
+    }
+
+    // ------------------------------------------------------------------
+    // Deployment-backend hooks
+    //
+    // The `orco-sim` event-driven backend reuses this struct as its world
+    // state — topology, batteries, ledger, global clock — while scheduling
+    // time itself. These hooks expose exactly the cost-model operations
+    // `transmit`/`compute` are built from, with identical formulas, so a
+    // contention-free event-driven schedule reproduces the analytic byte
+    // and energy totals bit for bit.
+    // ------------------------------------------------------------------
+
+    /// The link model governing a `from → to` transmission (sensor radio,
+    /// uplink, or downlink).
+    #[must_use]
+    pub fn link_between(&self, from: NodeId, to: NodeId) -> LinkModel {
+        self.link_for(from, to)
+    }
+
+    /// Radio distance for the energy model: the geometric distance for
+    /// intra-cluster hops, 0 for the wired/cellular edge links.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WsnError::UnknownNode`] for out-of-range ids.
+    pub fn radio_distance_m(&self, from: NodeId, to: NodeId) -> Result<f64, WsnError> {
+        let a = self.node(from)?.position();
+        let b = self.node(to)?.position();
+        Ok(if from == self.edge || to == self.edge { 0.0 } else { a.distance(b) })
+    }
+
+    /// Charges one transmission attempt of `wire_bytes` to `from`: drains
+    /// tx energy over `distance_m` and records the traffic. Returns whether
+    /// the sender survived the drain (`false` ⇒ it just died).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WsnError::UnknownNode`] for out-of-range ids.
+    pub fn charge_tx(
+        &mut self,
+        from: NodeId,
+        wire_bytes: u64,
+        distance_m: f64,
+        kind: PacketKind,
+    ) -> Result<bool, WsnError> {
+        self.node(from)?;
+        let tx_energy = self.config.radio.tx_energy_j(wire_bytes, distance_m);
+        let survived = self.nodes[from.0].drain(tx_energy);
+        self.accounting.record_tx(from, wire_bytes, tx_energy, kind);
+        Ok(survived)
+    }
+
+    /// Charges one reception of `wire_bytes` to `to` and records the
+    /// traffic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WsnError::UnknownNode`] for out-of-range ids.
+    pub fn charge_rx(
+        &mut self,
+        to: NodeId,
+        wire_bytes: u64,
+        kind: PacketKind,
+    ) -> Result<(), WsnError> {
+        self.node(to)?;
+        let rx_energy = self.config.radio.rx_energy_j(wire_bytes);
+        self.nodes[to.0].drain(rx_energy);
+        self.accounting.record_rx(to, wire_bytes, rx_energy, kind);
+        Ok(())
+    }
+
+    /// Charges a compute workload at `at` **without** advancing the global
+    /// clock: drains compute energy and returns the elapsed seconds the
+    /// caller should schedule. The event-driven backend's twin of
+    /// [`Network::compute`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WsnError::UnknownNode`] or [`WsnError::NodeDead`].
+    pub fn charge_compute(&mut self, at: NodeId, flops: u64) -> Result<f64, WsnError> {
+        let class = {
+            let n = self.node(at)?;
+            if !n.is_alive() {
+                return Err(WsnError::NodeDead { id: at });
+            }
+            n.class()
+        };
+        let dt = self.config.compute.time_for_flops(class, flops);
+        let energy = self.config.compute.energy_for_flops(class, flops);
+        self.nodes[at.0].drain(energy);
+        Ok(dt)
+    }
+
+    /// Mutable access to the traffic ledger (the event-driven backend
+    /// records deliveries, drops, retransmissions, and airtime directly).
+    #[must_use]
+    pub fn accounting_mut(&mut self) -> &mut TrafficAccounting {
+        &mut self.accounting
+    }
+
+    /// Synchronizes the global clock to an absolute event time (never
+    /// rewinds; see [`SimClock::advance_to`]).
+    pub fn advance_clock_to(&mut self, t_s: f64) {
+        self.clock.advance_to(t_s);
+    }
+
     // ------------------------------------------------------------------
     // Primitives
     // ------------------------------------------------------------------
@@ -322,23 +463,33 @@ impl Network {
         loop {
             attempts += 1;
             elapsed += link.transmission_time_s(wire);
+            self.accounting.record_airtime(link.airtime_s(wire));
             let tx_energy = self.config.radio.tx_energy_j(wire, radio_distance);
             let sender = &mut self.nodes[from.0];
             let survived = sender.drain(tx_energy);
             self.accounting.record_tx(from, wire, tx_energy, kind);
             if !survived {
+                self.accounting.record_retransmits(u64::from(attempts - 1) * packet.frame_count());
+                self.accounting.record_drop();
                 self.clock.advance(elapsed);
                 return Err(WsnError::EnergyExhausted { id: from });
             }
-            let lost = link.loss_prob > 0.0 && self.rng.bernoulli(link.loss_prob as f32);
+            // Loss probabilities are natively f64; drawing at full precision
+            // keeps e.g. a 1e-9 uplink loss from truncating to a different
+            // (f32-rounded) Bernoulli threshold.
+            let lost = link.loss_prob > 0.0 && self.rng.bernoulli_f64(link.loss_prob);
             if !lost {
                 let rx_energy = self.config.radio.rx_energy_j(wire);
                 self.nodes[to.0].drain(rx_energy);
                 self.accounting.record_rx(to, wire, rx_energy, kind);
+                self.accounting.record_retransmits(u64::from(attempts - 1) * packet.frame_count());
+                self.accounting.record_delivery(elapsed);
                 self.clock.advance(elapsed);
                 return Ok(elapsed);
             }
             if attempts > self.config.max_retries {
+                self.accounting.record_retransmits(u64::from(attempts - 1) * packet.frame_count());
+                self.accounting.record_drop();
                 self.clock.advance(elapsed);
                 return Err(WsnError::TransmissionFailed { from, to, attempts });
             }
@@ -352,16 +503,7 @@ impl Network {
     ///
     /// Returns [`WsnError::UnknownNode`] or [`WsnError::NodeDead`].
     pub fn compute(&mut self, at: NodeId, flops: u64) -> Result<f64, WsnError> {
-        let class = {
-            let n = self.node(at)?;
-            if !n.is_alive() {
-                return Err(WsnError::NodeDead { id: at });
-            }
-            n.class()
-        };
-        let dt = self.config.compute.time_for_flops(class, flops);
-        let energy = self.config.compute.energy_for_flops(class, flops);
-        self.nodes[at.0].drain(energy);
+        let dt = self.charge_compute(at, flops)?;
         self.clock.advance(dt);
         Ok(dt)
     }

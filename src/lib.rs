@@ -7,6 +7,7 @@
 //! * [`tensor`] — dense linear algebra ([`orco_tensor`]).
 //! * [`nn`] — the neural-network library ([`orco_nn`]).
 //! * [`wsn`] — the wireless-sensor-network simulator ([`orco_wsn`]).
+//! * [`sim`] — the discrete-event deployment backend ([`orco_sim`]).
 //! * [`datasets`] — synthetic MNIST-like / GTSRB-like data ([`orco_datasets`]).
 //! * [`core`] — OrcoDCS itself ([`orcodcs`]).
 //! * [`baselines`] — DCSNet and traditional CS ([`orco_baselines`]).
@@ -18,6 +19,7 @@ pub use orco_baselines as baselines;
 pub use orco_classifier as classifier;
 pub use orco_datasets as datasets;
 pub use orco_nn as nn;
+pub use orco_sim as sim;
 pub use orco_tensor as tensor;
 pub use orco_wsn as wsn;
 pub use orcodcs as core;
