@@ -4,7 +4,8 @@
 //! [`orcodcs::Codec`]: a random Gaussian measurement operator `Φ`
 //! ([`GaussianMeasurement`]) encodes each channel of a frame, and
 //! reconstruction solves the sparse recovery problem in the 2-D DCT basis
-//! ([`Dct2`]) with either [`ista_reconstruct`] or [`omp_reconstruct`].
+//! ([`Dct2`]) with either [`ista_reconstruct_with`] or
+//! [`omp_reconstruct_with`].
 //!
 //! The backend is deliberately faithful to the drawbacks the paper's
 //! introduction cites for traditional CDA: there is **nothing to train**
@@ -12,15 +13,24 @@
 //! **computationally intensive** (hundreds of matrix iterations per frame
 //! instead of one decoder forward pass), and quality is **limited by the
 //! measurement dimension** `m`.
+//!
+//! The batched data plane exploits what *is* fixed about the stack:
+//! `Φᵀ` is materialized once at construction so `encode_batch` is one
+//! blocked GEMM per channel, the ISTA Lipschitz constant is estimated
+//! once per operator instead of once per frame, and both solvers reuse
+//! workspaces across the frames of a round ([`IstaScratch`] /
+//! [`OmpScratch`]) — all bit-identical to the per-frame loop.
 
 use orco_datasets::DatasetKind;
-use orco_tensor::{Matrix, OrcoRng};
+use orco_tensor::{MatView, Matrix, OrcoRng};
 use orcodcs::{Codec, OrcoError, TrainSpec, TrainingHistory};
 
 use crate::cs::dct::Dct2;
-use crate::cs::ista::{ista_reconstruct, IstaConfig};
+use crate::cs::ista::{
+    ista_reconstruct_with, lipschitz_estimate, IstaConfig, IstaScratch, LIPSCHITZ_POWER_ITERS,
+};
 use crate::cs::measurement::GaussianMeasurement;
-use crate::cs::omp::omp_reconstruct;
+use crate::cs::omp::{omp_reconstruct_with, OmpScratch};
 
 /// Which sparse-recovery decoder the codec runs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -56,9 +66,10 @@ pub enum CsSolver {
 /// assert_eq!(codec.name(), "DCT+OMP");
 /// assert_eq!(codec.code_len(), 128);
 /// let frame = vec![0.5f32; 784];
-/// let code = codec.encode_frame(&frame);
+/// let code = codec.encode_frame(&frame)?;
 /// assert_eq!(code.len(), 128);
-/// assert_eq!(codec.decode_frame(&code).len(), 784);
+/// assert_eq!(codec.decode_frame(&code)?.len(), 784);
+/// # Ok::<(), orcodcs::OrcoError>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct ClassicalCodec {
@@ -66,9 +77,21 @@ pub struct ClassicalCodec {
     side: usize,
     dct: Dct2,
     phi: GaussianMeasurement,
+    /// Cached `Φᵀ`: the operator is data-independent and never retrained,
+    /// so the batched encode GEMM streams this once per round.
+    phi_t: Matrix,
     /// Cached sensing matrix `A = Φ·Ψ` the solvers run against.
     sensing: Matrix,
+    /// Cached ISTA Lipschitz estimate of `sensing` (0 for OMP) — computed
+    /// with the same [`LIPSCHITZ_POWER_ITERS`] the one-shot solver uses
+    /// per frame, so caching is bit-neutral.
+    ista_l: f32,
     solver: CsSolver,
+    // Round-persistent workspaces for the batched paths.
+    ista_ws: IstaScratch,
+    omp_ws: OmpScratch,
+    chan_scratch: Matrix,
+    code_scratch: Matrix,
 }
 
 impl ClassicalCodec {
@@ -85,8 +108,26 @@ impl ClassicalCodec {
         let dct = Dct2::new(side);
         let mut rng = OrcoRng::from_label("classical-codec", seed);
         let phi = GaussianMeasurement::new(measurements, side * side, &mut rng);
+        let phi_t = phi.phi().transpose();
         let sensing = phi.sensing_matrix(&dct.synthesis_matrix());
-        Self { channels: kind.channels(), side, dct, phi, sensing, solver }
+        let ista_l = match solver {
+            CsSolver::Ista(_) => lipschitz_estimate(&sensing, LIPSCHITZ_POWER_ITERS),
+            CsSolver::Omp { .. } => 0.0,
+        };
+        Self {
+            channels: kind.channels(),
+            side,
+            dct,
+            phi,
+            phi_t,
+            sensing,
+            ista_l,
+            solver,
+            ista_ws: IstaScratch::default(),
+            omp_ws: OmpScratch::default(),
+            chan_scratch: Matrix::zeros(0, 0),
+            code_scratch: Matrix::zeros(0, 0),
+        }
     }
 
     /// Measurements per channel `m`.
@@ -103,6 +144,31 @@ impl ClassicalCodec {
 
     fn pixels_per_channel(&self) -> usize {
         self.side * self.side
+    }
+
+    /// Solves one channel's recovery problem and writes the reconstructed
+    /// pixels into `out_px`. Shared by the per-frame and batched decode
+    /// paths, so the two are bit-identical by construction.
+    fn decode_channel(&mut self, y: &[f32], out_px: &mut [f32]) {
+        let m = self.measurements();
+        let pixels = match self.solver {
+            CsSolver::Ista(config) => {
+                let _ = ista_reconstruct_with(
+                    &self.sensing,
+                    self.ista_l,
+                    y,
+                    &config,
+                    &mut self.ista_ws,
+                );
+                self.dct.inverse(&self.ista_ws.theta)
+            }
+            CsSolver::Omp { sparsity } => {
+                let result =
+                    omp_reconstruct_with(&self.sensing, y, sparsity.clamp(1, m), &mut self.omp_ws);
+                self.dct.inverse(&result.coefficients)
+            }
+        };
+        out_px.copy_from_slice(&pixels);
     }
 }
 
@@ -129,32 +195,71 @@ impl Codec for ClassicalCodec {
         Ok(TrainingHistory::default())
     }
 
-    fn encode_frame(&mut self, frame: &[f32]) -> Vec<f32> {
-        assert_eq!(frame.len(), self.input_dim(), "encode_frame: frame length mismatch");
+    fn encode_frame(&mut self, frame: &[f32]) -> Result<Vec<f32>, OrcoError> {
+        Codec::frame_dims(self).check_frames(Codec::name(self), MatView::from_row(frame))?;
         let hw = self.pixels_per_channel();
         let mut code = Vec::with_capacity(self.channels * self.measurements());
         for c in 0..self.channels {
             code.extend(self.phi.measure(&frame[c * hw..(c + 1) * hw]));
         }
-        code
+        Ok(code)
     }
 
-    fn decode_frame(&mut self, code: &[f32]) -> Vec<f32> {
+    fn decode_frame(&mut self, code: &[f32]) -> Result<Vec<f32>, OrcoError> {
+        Codec::frame_dims(self).check_codes(Codec::name(self), MatView::from_row(code))?;
         let m = self.measurements();
-        assert_eq!(code.len(), self.channels * m, "decode_frame: code length mismatch");
         let hw = self.pixels_per_channel();
-        let mut frame = Vec::with_capacity(self.channels * hw);
+        let mut frame = vec![0.0f32; self.channels * hw];
         for c in 0..self.channels {
-            let y = &code[c * m..(c + 1) * m];
-            let coefficients = match self.solver {
-                CsSolver::Ista(config) => ista_reconstruct(&self.sensing, y, &config).coefficients,
-                CsSolver::Omp { sparsity } => {
-                    omp_reconstruct(&self.sensing, y, sparsity.clamp(1, m)).coefficients
-                }
-            };
-            frame.extend(self.dct.inverse(&coefficients));
+            self.decode_channel(&code[c * m..(c + 1) * m], &mut frame[c * hw..(c + 1) * hw]);
         }
-        frame
+        Ok(frame)
+    }
+
+    /// One blocked GEMM against the cached `Φᵀ` per channel — the
+    /// single-channel case runs zero-copy from the frame view straight
+    /// into `out`.
+    fn encode_batch(&mut self, frames: MatView<'_>, out: &mut Matrix) -> Result<(), OrcoError> {
+        Codec::frame_dims(self).check_frames(Codec::name(self), frames)?;
+        let (m, hw) = (self.measurements(), self.pixels_per_channel());
+        let rows = frames.rows();
+        out.reset(rows, self.channels * m);
+        if self.channels == 1 {
+            frames.matmul_into(self.phi_t.as_view(), out.as_view_mut());
+            return Ok(());
+        }
+        for c in 0..self.channels {
+            // Gather the channel block (strided across rows) into the
+            // round-persistent scratch, then one GEMM for the whole round.
+            self.chan_scratch.reset(rows, hw);
+            for r in 0..rows {
+                self.chan_scratch.row_mut(r).copy_from_slice(&frames.row(r)[c * hw..(c + 1) * hw]);
+            }
+            self.code_scratch.reset(rows, m);
+            self.chan_scratch
+                .as_view()
+                .matmul_into(self.phi_t.as_view(), self.code_scratch.as_view_mut());
+            for r in 0..rows {
+                out.row_mut(r)[c * m..(c + 1) * m].copy_from_slice(self.code_scratch.row(r));
+            }
+        }
+        Ok(())
+    }
+
+    /// Per-frame solves (ISTA/OMP are inherently sequential per code
+    /// column), but against the cached operator/Lipschitz constant and
+    /// round-persistent workspaces — no allocation per solver iteration.
+    fn decode_batch(&mut self, codes: MatView<'_>, out: &mut Matrix) -> Result<(), OrcoError> {
+        Codec::frame_dims(self).check_codes(Codec::name(self), codes)?;
+        let (m, hw) = (self.measurements(), self.pixels_per_channel());
+        out.reset(codes.rows(), self.channels * hw);
+        for r in 0..codes.rows() {
+            for c in 0..self.channels {
+                let y = &codes.row(r)[c * m..(c + 1) * m];
+                self.decode_channel(y, &mut out.row_mut(r)[c * hw..(c + 1) * hw]);
+            }
+        }
+        Ok(())
     }
 }
 
@@ -178,9 +283,9 @@ mod tests {
         let ds = mnist_like::generate(2, 0);
         let mut codec = ista_codec(256);
         let frame = ds.sample(0);
-        let code = codec.encode_frame(frame);
+        let code = codec.encode_frame(frame).unwrap();
         assert_eq!(code.len(), 256);
-        let recon = codec.decode_frame(&code);
+        let recon = codec.decode_frame(&code).unwrap();
         let psnr = stats::psnr(frame, &recon, 1.0);
         assert!(psnr > 10.0, "256-measurement ISTA PSNR {psnr} too low");
     }
@@ -192,7 +297,8 @@ mod tests {
         let frame = ds.sample(0);
         let psnr_for = |m: usize| {
             let mut codec = ista_codec(m);
-            let recon = codec.decode_frame(&codec.clone().encode_frame(frame));
+            let code = codec.clone().encode_frame(frame).unwrap();
+            let recon = codec.decode_frame(&code).unwrap();
             stats::psnr(frame, &recon, 1.0)
         };
         assert!(psnr_for(256) > psnr_for(32), "quality must grow with m");
@@ -206,9 +312,42 @@ mod tests {
         assert_eq!(codec.input_dim(), 3072);
         assert_eq!(codec.code_len(), 3 * 64);
         assert_eq!(codec.bytes_per_frame(), 3 * 64 * 4);
-        let recon = codec.decode_frame(&codec.clone().encode_frame(ds.sample(0)));
+        let code = codec.clone().encode_frame(ds.sample(0)).unwrap();
+        let recon = codec.decode_frame(&code).unwrap();
         assert_eq!(recon.len(), 3072);
         assert!(recon.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn batched_paths_bit_identical_to_per_frame_for_colour() {
+        // 3-channel frames exercise the gather/scatter encode path and the
+        // per-channel decode loop.
+        let ds = gtsrb_like::generate(3, 1);
+        let mut codec =
+            ClassicalCodec::new(DatasetKind::GtsrbLike, 32, CsSolver::Omp { sparsity: 8 }, 0);
+        let mut codes = Matrix::zeros(0, 0);
+        codec.encode_batch(ds.x().as_view(), &mut codes).unwrap();
+        let mut recon = Matrix::zeros(0, 0);
+        codec.decode_batch(codes.as_view(), &mut recon).unwrap();
+        for r in 0..ds.len() {
+            let code = codec.encode_frame(ds.sample(r)).unwrap();
+            assert_eq!(codes.row(r), &code[..], "encode row {r} diverged");
+            let frame = codec.decode_frame(&code).unwrap();
+            assert_eq!(recon.row(r), &frame[..], "decode row {r} diverged");
+        }
+    }
+
+    #[test]
+    fn shape_errors_are_typed() {
+        let mut codec = ista_codec(64);
+        assert!(matches!(
+            codec.encode_frame(&[0.0; 5]),
+            Err(OrcoError::Shape { what: "frame", expected: 784, actual: 5, .. })
+        ));
+        assert!(matches!(
+            codec.decode_frame(&[0.0; 5]),
+            Err(OrcoError::Shape { what: "code", expected: 64, actual: 5, .. })
+        ));
     }
 
     #[test]
@@ -226,5 +365,6 @@ mod tests {
         let a = ClassicalCodec::new(DatasetKind::MnistLike, 32, CsSolver::Omp { sparsity: 8 }, 7);
         let b = ClassicalCodec::new(DatasetKind::MnistLike, 32, CsSolver::Omp { sparsity: 8 }, 7);
         assert_eq!(a.phi.phi(), b.phi.phi());
+        assert_eq!(a.phi_t, b.phi_t, "cached transpose tracks the operator");
     }
 }

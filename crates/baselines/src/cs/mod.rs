@@ -22,6 +22,9 @@ pub mod omp;
 
 pub use codec::{ClassicalCodec, CsSolver};
 pub use dct::Dct2;
-pub use ista::{ista_reconstruct, IstaConfig};
+pub use ista::{
+    ista_reconstruct, ista_reconstruct_with, lipschitz_estimate, IstaConfig, IstaScratch,
+    LIPSCHITZ_POWER_ITERS,
+};
 pub use measurement::GaussianMeasurement;
-pub use omp::omp_reconstruct;
+pub use omp::{omp_reconstruct, omp_reconstruct_with, OmpScratch};

@@ -73,32 +73,64 @@ fn solve_spd(g: &Matrix, b: &[f32]) -> Vec<f32> {
         .collect()
 }
 
+/// Reusable buffers for repeated OMP solves against one sensing matrix —
+/// per-frame, the historical loop materialized a fresh `Aᵀ` (and three
+/// more vectors) on **every pursuit iteration**; with the scratch and the
+/// `t_matvec_into` kernel those allocations are gone from the batched
+/// decode hot loop.
+#[derive(Debug, Clone, Default)]
+pub struct OmpScratch {
+    corr: Vec<f32>,
+    residual: Vec<f32>,
+    approx: Vec<f32>,
+}
+
 /// Recovers a `k`-sparse coefficient vector from `y ≈ Aθ`.
+///
+/// One-shot convenience over [`omp_reconstruct_with`] with fresh
+/// workspaces.
 ///
 /// # Panics
 ///
 /// Panics if `y.len() != a.rows()` or `k` is zero or exceeds `a.rows()`.
 #[must_use]
 pub fn omp_reconstruct(a: &Matrix, y: &[f32], k: usize) -> OmpResult {
+    omp_reconstruct_with(a, y, k, &mut OmpScratch::default())
+}
+
+/// The workspace-reusing OMP core: correlations are computed with
+/// [`Matrix::t_matvec_into`] (no `Aᵀ` materialization) into buffers that
+/// survive across frames. Bit-identical to the historical allocating
+/// loop.
+///
+/// # Panics
+///
+/// Panics if `y.len() != a.rows()` or `k` is zero or exceeds `a.rows()`.
+#[must_use]
+pub fn omp_reconstruct_with(a: &Matrix, y: &[f32], k: usize, ws: &mut OmpScratch) -> OmpResult {
     assert_eq!(y.len(), a.rows(), "omp: measurement length mismatch");
     assert!(k > 0 && k <= a.rows(), "omp: k must be in 1..=m");
 
     let n = a.cols();
     let mut support: Vec<usize> = Vec::with_capacity(k);
-    let mut residual: Vec<f32> = y.to_vec();
     let mut solution: Vec<f32> = Vec::new();
+    ws.corr.clear();
+    ws.corr.resize(n, 0.0);
+    ws.residual.clear();
+    ws.residual.extend_from_slice(y);
 
     for _ in 0..k {
         // Atom with the largest |correlation| to the residual.
-        let corr = a.transpose().matvec(&residual);
-        let best = corr
+        a.t_matvec_into(&ws.residual, &mut ws.corr);
+        let best = ws
+            .corr
             .iter()
             .enumerate()
             .filter(|(i, _)| !support.contains(i))
             .max_by(|(_, x), (_, z)| x.abs().partial_cmp(&z.abs()).unwrap())
             .map(|(i, _)| i);
         let Some(best) = best else { break };
-        if corr[best].abs() < 1e-9 {
+        if ws.corr[best].abs() < 1e-9 {
             break;
         }
         support.push(best);
@@ -110,9 +142,13 @@ pub fn omp_reconstruct(a: &Matrix, y: &[f32], k: usize) -> OmpResult {
         solution = solve_spd(&gram, &rhs);
 
         // New residual.
-        let approx = a_s.matvec_cols(&solution);
-        residual = y.iter().zip(&approx).map(|(yi, ai)| yi - ai).collect();
-        let rnorm: f32 = residual.iter().map(|v| v * v).sum::<f32>().sqrt();
+        ws.approx.clear();
+        ws.approx.resize(a_s.rows(), 0.0);
+        a_s.matvec_into(&solution, &mut ws.approx);
+        for ((r, &yi), &ai) in ws.residual.iter_mut().zip(y).zip(&ws.approx) {
+            *r = yi - ai;
+        }
+        let rnorm: f32 = ws.residual.iter().map(|v| v * v).sum::<f32>().sqrt();
         if rnorm < 1e-7 {
             break;
         }
@@ -122,20 +158,8 @@ pub fn omp_reconstruct(a: &Matrix, y: &[f32], k: usize) -> OmpResult {
     for (&idx, &val) in support.iter().zip(&solution) {
         coefficients[idx] = val;
     }
-    let residual_norm = residual.iter().map(|v| v * v).sum::<f32>().sqrt();
+    let residual_norm = ws.residual.iter().map(|v| v * v).sum::<f32>().sqrt();
     OmpResult { coefficients, support, residual_norm }
-}
-
-/// `A·x` where `x` is indexed by the *columns already selected* in `a`.
-trait MatvecCols {
-    fn matvec_cols(&self, x: &[f32]) -> Vec<f32>;
-}
-
-impl MatvecCols for Matrix {
-    fn matvec_cols(&self, x: &[f32]) -> Vec<f32> {
-        assert_eq!(x.len(), self.cols(), "matvec_cols: length mismatch");
-        self.matvec(x)
-    }
 }
 
 #[cfg(test)]
@@ -194,6 +218,21 @@ mod tests {
         let x = solve_spd(&g, &[3.0, 5.0]);
         assert!((x[0] - 5.0).abs() < 1e-6);
         assert!((x[1] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn workspace_reuse_is_bit_identical_to_one_shot() {
+        let mut rng = OrcoRng::from_label("omp-ws", 0);
+        let a = Matrix::from_fn(20, 50, |_, _| rng.normal(0.0, (1.0 / 20.0f32).sqrt()));
+        let mut ws = OmpScratch::default();
+        for frame in 0..3 {
+            let y: Vec<f32> = (0..20).map(|i| ((i * (frame + 2)) as f32 * 0.21).cos()).collect();
+            let shared = omp_reconstruct_with(&a, &y, 5, &mut ws);
+            let fresh = omp_reconstruct(&a, &y, 5);
+            assert_eq!(shared.coefficients, fresh.coefficients, "frame {frame} diverged");
+            assert_eq!(shared.support, fresh.support);
+            assert_eq!(shared.residual_norm, fresh.residual_norm);
+        }
     }
 
     #[test]

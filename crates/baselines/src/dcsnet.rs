@@ -13,7 +13,7 @@
 //! OrcoDCS — which is how the paper obtains its time-to-loss comparison.
 
 use orco_nn::{Activation, Conv2d, Dense, Layer, Loss, Optimizer, Sequential};
-use orco_tensor::{Matrix, OrcoRng};
+use orco_tensor::{MatView, Matrix, OrcoRng};
 
 use orco_datasets::DatasetKind;
 use orcodcs::{Codec, EncoderCheckpoint, OrcoError, SplitModel, TrainSpec, TrainingHistory};
@@ -49,6 +49,9 @@ pub struct Dcsnet {
     encoder_opt: Optimizer,
     decoder_opt: Optimizer,
     input_dim: usize,
+    /// Reusable transposed-weight workspace for the batched encode path
+    /// (not a parameter).
+    wt_scratch: Matrix,
 }
 
 impl Dcsnet {
@@ -119,6 +122,7 @@ impl Dcsnet {
             encoder_opt: Optimizer::adam(1e-3).with_grad_clip(10.0),
             decoder_opt: Optimizer::adam(1e-3).with_grad_clip(10.0),
             input_dim,
+            wt_scratch: Matrix::zeros(0, 0),
         }
     }
 
@@ -196,24 +200,36 @@ impl Codec for Dcsnet {
         )
     }
 
-    fn encode_frame(&mut self, frame: &[f32]) -> Vec<f32> {
-        let x = Matrix::from_vec(1, self.input_dim, frame.to_vec())
-            .expect("encode_frame: frame length must equal input_dim");
-        self.encoder.forward(&x, false).into_vec()
+    fn encode_frame(&mut self, frame: &[f32]) -> Result<Vec<f32>, OrcoError> {
+        Codec::frame_dims(self).check_frames(Codec::name(self), MatView::from_row(frame))?;
+        Ok(self.encoder.forward(&Matrix::row_vector(frame), false).into_vec())
     }
 
-    fn decode_frame(&mut self, code: &[f32]) -> Vec<f32> {
-        let y = Matrix::from_vec(1, DCSNET_LATENT_DIM, code.to_vec())
-            .expect("decode_frame: code length must equal the fixed 1024-dim latent");
-        self.decoder.forward(&y, false).into_vec()
+    fn decode_frame(&mut self, code: &[f32]) -> Result<Vec<f32>, OrcoError> {
+        Codec::frame_dims(self).check_codes(Codec::name(self), MatView::from_row(code))?;
+        Ok(self.decoder.forward(&Matrix::row_vector(code), false).into_vec())
+    }
+
+    /// One blocked GEMM + bias broadcast + sigmoid over the whole round
+    /// (the fixed 1024-dim dense encoder), into the caller-owned buffer.
+    fn encode_batch(&mut self, frames: MatView<'_>, out: &mut Matrix) -> Result<(), OrcoError> {
+        Codec::frame_dims(self).check_frames(Codec::name(self), frames)?;
+        self.encoder.forward_into(frames, &mut self.wt_scratch, out);
+        Ok(())
+    }
+
+    /// One batch forward of the 4-conv-layer decoder stack instead of a
+    /// per-frame loop; the forward pass allocates its result regardless,
+    /// so it is moved into `out` rather than copied.
+    fn decode_batch(&mut self, codes: MatView<'_>, out: &mut Matrix) -> Result<(), OrcoError> {
+        Codec::frame_dims(self).check_codes(Codec::name(self), codes)?;
+        let y = codes.to_matrix();
+        *out = self.decoder.forward(&y, false);
+        Ok(())
     }
 
     fn loss(&self) -> Loss {
         Dcsnet::loss()
-    }
-
-    fn reconstruct(&mut self, x: &Matrix) -> Matrix {
-        self.reconstruct_inference(x)
     }
 
     fn split_model(&mut self) -> Option<&mut dyn SplitModel> {

@@ -58,7 +58,7 @@ fn loss_shape_ablation(scale: Scale, rows: &mut Vec<AblationRow>) {
     for (label, cfg) in variants {
         let mut exp = train_local(&cfg, &ds, scale);
         let l2 = {
-            let recon = exp.codec_mut().reconstruct(ds.x());
+            let recon = exp.codec_mut().reconstruct(ds.x()).expect("codec reconstructs");
             Loss::L2.value(&recon, ds.x())
         };
         println!("  {label:<30} probe L2 {l2:.6}");
@@ -79,7 +79,7 @@ fn noise_robustness_ablation(scale: Scale, rows: &mut Vec<AblationRow>) {
     for (label, variance) in [("no noise (σ²=0)", 0.0f32), ("default noise (σ²=0.1)", 0.1)] {
         let cfg = super::orco_config(DatasetKind::MnistLike, scale).with_noise_variance(variance);
         let mut exp = train_local(&cfg, &ds, scale);
-        let recon = exp.codec_mut().reconstruct(drifted.x());
+        let recon = exp.codec_mut().reconstruct(drifted.x()).expect("codec reconstructs");
         let l2 = Loss::L2.value(&recon, ds.x());
         println!("  {label:<30} drifted-input L2 {l2:.6}");
         rows.push(AblationRow {
@@ -148,7 +148,7 @@ fn grad_compression_ablation(scale: Scale, rows: &mut Vec<AblationRow>) {
         let report = experiment.run().expect("simulation runs");
         let bytes = report.training_radio.feedback_bytes;
         let l2 = {
-            let recon = experiment.codec_mut().reconstruct(ds.x());
+            let recon = experiment.codec_mut().reconstruct(ds.x()).expect("codec reconstructs");
             Loss::L2.value(&recon, ds.x())
         };
         println!("  {label:<30} feedback bytes {bytes:>12}   probe L2 {l2:.6}");

@@ -42,8 +42,8 @@ fn run_kind(kind: DatasetKind, scale: Scale, show_art: bool) -> Fig2Result {
 
     let probe: Vec<usize> = (0..dataset.len().min(24)).collect();
     let probe_x = dataset.x().select_rows(&probe);
-    let orco_recon = orco.codec_mut().reconstruct(&probe_x);
-    let dcs_recon = dcs.codec_mut().reconstruct(&probe_x);
+    let orco_recon = orco.codec_mut().reconstruct(&probe_x).expect("codec reconstructs");
+    let dcs_recon = dcs.codec_mut().reconstruct(&probe_x).expect("codec reconstructs");
 
     let mean_finite = |v: Vec<f32>| -> f32 {
         let f: Vec<f32> = v.into_iter().filter(|p| p.is_finite()).collect();

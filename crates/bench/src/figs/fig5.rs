@@ -176,10 +176,15 @@ pub fn codec_comparison(
     let mut backends: Vec<&mut dyn Codec> = vec![orco, dcs, &mut ista, &mut omp];
     println!("\n--- {kind:?}: all four backends through the `Codec` interface ---");
     println!("  {:<14} {:>12} {:>16}", "backend", "PSNR (dB)", "bytes/frame");
+    // One codes/recon buffer pair serves every backend: the batched API
+    // reshapes them in place per codec, so the probe sweep allocates once.
+    let mut codes = orco_tensor::Matrix::zeros(0, 0);
+    let mut recon = orco_tensor::Matrix::zeros(0, 0);
     backends
         .iter_mut()
         .map(|codec| {
-            let recon = codec.reconstruct(&probe);
+            codec.encode_batch(probe.as_view(), &mut codes).expect("probe frames fit the codec");
+            codec.decode_batch(codes.as_view(), &mut recon).expect("codes fit the codec");
             let psnrs = stats::psnr_rows(&probe, &recon, 1.0);
             let finite: Vec<f32> = psnrs.into_iter().filter(|p| p.is_finite()).collect();
             let mean_psnr_db = stats::mean(&finite);

@@ -13,8 +13,9 @@
 
 use orco_baselines::cs::{ClassicalCodec, CsSolver, IstaConfig};
 use orco_baselines::Dcsnet;
-use orco_datasets::DatasetKind;
+use orco_datasets::{mnist_like, DatasetKind};
 use orco_sim::{DesNetwork, MacMode, SimParams, SimSpec};
+use orco_tensor::Matrix;
 use orco_wsn::{DeploymentBackend, LinkStats, NetworkConfig};
 use orcodcs::aggregation::measure_compressed_frames;
 use orcodcs::{Codec, OrcoConfig};
@@ -65,8 +66,14 @@ pub fn run(scale: Scale) -> Vec<Fig9Row> {
     let frames = if scale == Scale::Quick { 2 } else { 5 };
     let devices = if scale == Scale::Quick { 16 } else { 32 };
     let losses = [0.0, 0.1, 0.3];
+    // Real sensing frames feed the DES payload sizes: each codec
+    // batch-encodes the round ONCE (codes buffer reused across codecs),
+    // then every loss cell replays the per-frame traffic of those codes.
+    let sensing = mnist_like::generate(frames, 0);
+    let mut codes = Matrix::zeros(0, 0);
     let mut rows = Vec::new();
-    for (name, codec) in sweep_codecs(scale) {
+    for (name, mut codec) in sweep_codecs(scale) {
+        codec.encode_batch(sensing.x().as_view(), &mut codes).expect("frames fit the codec");
         println!("\n--- {name}: {} B/frame on the wire ---", codec.bytes_per_frame());
         println!(
             "  {:>6} {:>12} {:>12} {:>10} {:>10} {:>10}",
@@ -81,8 +88,8 @@ pub fn run(scale: Scale) -> Vec<Fig9Row> {
                 ..Default::default()
             };
             let mut des = DesNetwork::new(net_config, spec);
-            let report = measure_compressed_frames(&mut des, codec.code_len(), frames)
-                .expect("data plane runs");
+            let report =
+                measure_compressed_frames(&mut des, codes.cols(), frames).expect("data plane runs");
             let link = des.accounting().link_stats();
             println!(
                 "  {:>6.2} {:>12.6} {:>12.4} {:>10.2} {:>10.2} {:>10}",

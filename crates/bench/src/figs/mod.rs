@@ -106,7 +106,7 @@ pub fn local_experiment(
 /// (labels preserved) — the input to the follow-up classifier experiments.
 #[must_use]
 pub fn reconstruct_dataset(codec: &mut dyn Codec, dataset: &Dataset) -> Dataset {
-    let recon = codec.reconstruct(dataset.x());
+    let recon = codec.reconstruct(dataset.x()).expect("codec reconstructs");
     dataset.with_x(recon)
 }
 

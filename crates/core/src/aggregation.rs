@@ -8,8 +8,10 @@
 //! exactly linear in the frame count, so measuring a handful of frames and
 //! scaling is exact, not an approximation).
 
+use orco_tensor::{MatView, Matrix};
 use orco_wsn::{DeploymentBackend, PacketKind};
 
+use crate::codec::Codec;
 use crate::error::OrcoError;
 use crate::orchestrator::Orchestrator;
 use crate::split::SplitModel;
@@ -108,6 +110,50 @@ pub fn measure_compressed_frames<D: DeploymentBackend + ?Sized>(
     let acct = network.accounting();
     Ok(TransmissionReport {
         frames,
+        total_bytes: acct.total_tx_bytes(),
+        chain_bytes: acct.bytes_by_kind(PacketKind::CompressedElement),
+        uplink_bytes: acct.bytes_by_kind(PacketKind::LatentVector),
+        sim_time_s: network.now_s() - t0,
+        energy_j: acct.total_tx_energy_j() + acct.total_rx_energy_j(),
+    })
+}
+
+/// Runs the compressed data plane over **real sensing data**: the whole
+/// round of `frames` is encoded in one [`Codec::encode_batch`] call into
+/// the caller-owned `codes` buffer (reused across rounds, zero per-frame
+/// allocation), then `frames_to_send` frames of chain aggregation +
+/// uplink are measured on the deployment (byte costs are per-frame
+/// constant, so extrapolating past the encoded batch is exact). Payload
+/// sizes are derived from the encoded batch itself (`codes.cols()` f32
+/// values per frame), so the
+/// traffic is byte-identical to [`measure_compressed_frames`] with
+/// `code_len = codec.code_len()` — that twin survives for callers with no
+/// data in hand.
+///
+/// # Errors
+///
+/// Propagates batch-boundary shape errors and transmission failures.
+pub fn measure_encoded_frames<D: DeploymentBackend + ?Sized>(
+    network: &mut D,
+    codec: &mut dyn Codec,
+    frames: MatView<'_>,
+    codes: &mut Matrix,
+    frames_to_send: usize,
+) -> Result<TransmissionReport, OrcoError> {
+    if frames.rows() == 0 {
+        return Err(OrcoError::Config {
+            detail: "measure_encoded_frames: need at least one frame to encode".into(),
+        });
+    }
+    codec.encode_batch(frames, codes)?;
+    network.reset_accounting();
+    let t0 = network.now_s();
+    for _ in 0..frames_to_send {
+        compressed_frame_on(network, codes.cols())?;
+    }
+    let acct = network.accounting();
+    Ok(TransmissionReport {
+        frames: frames_to_send,
         total_bytes: acct.total_tx_bytes(),
         chain_bytes: acct.bytes_by_kind(PacketKind::CompressedElement),
         uplink_bytes: acct.bytes_by_kind(PacketKind::LatentVector),
@@ -224,6 +270,25 @@ mod tests {
             compressed.total_bytes
         );
         assert!(raw.energy_j > 0.0 && compressed.energy_j > 0.0);
+    }
+
+    #[test]
+    fn encoded_frames_match_count_only_measurement_bitwise() {
+        use crate::autoencoder::AsymmetricAutoencoder;
+        let cfg = OrcoConfig::for_dataset(DatasetKind::MnistLike).with_latent_dim(16);
+        let mut codec = AsymmetricAutoencoder::new(&cfg).unwrap();
+        let ds = orco_datasets::mnist_like::generate(4, 0);
+        let make_net = || {
+            orco_wsn::Network::new(NetworkConfig { num_devices: 16, seed: 0, ..Default::default() })
+        };
+        let mut codes = Matrix::zeros(0, 0);
+        let mut net = make_net();
+        let with_data =
+            measure_encoded_frames(&mut net, &mut codec, ds.x().as_view(), &mut codes, 6).unwrap();
+        assert_eq!(codes.shape(), (4, 16), "codes land in the caller-owned buffer");
+        let mut net = make_net();
+        let count_only = measure_compressed_frames(&mut net, 16, 6).unwrap();
+        assert_eq!(with_data, count_only, "real payloads must cost exactly the modeled bytes");
     }
 
     #[test]

@@ -12,7 +12,7 @@
 
 use orco_nn::{Activation, Dense, Layer, Loss, Optimizer, Sequential};
 
-use orco_tensor::{Matrix, OrcoRng};
+use orco_tensor::{MatView, Matrix, OrcoRng};
 
 use crate::config::OrcoConfig;
 use crate::decoder::build_decoder;
@@ -48,6 +48,9 @@ pub struct AsymmetricAutoencoder {
     latent_dim: usize,
     input_dim: usize,
     loss: Loss,
+    /// Reusable transposed-weight workspace for the batched encode path
+    /// (not a parameter; excluded from snapshots and checkpoints).
+    wt_scratch: Matrix,
 }
 
 impl AsymmetricAutoencoder {
@@ -74,6 +77,7 @@ impl AsymmetricAutoencoder {
             latent_dim: config.latent_dim,
             input_dim: config.input_dim,
             loss: config.loss(),
+            wt_scratch: Matrix::zeros(0, 0),
         })
     }
 
@@ -190,6 +194,25 @@ impl AsymmetricAutoencoder {
     pub fn reconstruct(&mut self, x: &Matrix) -> Matrix {
         let latent = self.encode(x);
         self.decode(&latent)
+    }
+
+    /// Batched inference encode into a caller-owned buffer — the native
+    /// `Codec::encode_batch` path: one blocked GEMM against the
+    /// transposed encoder weight, a bias broadcast, and the sigmoid in
+    /// place. Bit-identical to encoding each row through
+    /// [`AsymmetricAutoencoder::encode`], without the per-frame
+    /// allocations and activation caching.
+    pub fn encode_batch_into(&mut self, frames: MatView<'_>, out: &mut Matrix) {
+        self.encoder.forward_into(frames, &mut self.wt_scratch, out);
+    }
+
+    /// Batched inference decode into a caller-owned slot: one forward
+    /// pass of the decoder stack over the whole batch. The forward pass
+    /// allocates its result regardless, so the buffer is **moved** into
+    /// `out` (replacing its previous allocation) rather than copied.
+    pub fn decode_batch_into(&mut self, codes: MatView<'_>, out: &mut Matrix) {
+        let y = codes.to_matrix();
+        *out = self.decoder.forward(&y, false);
     }
 
     /// Mean reconstruction loss on a batch (inference).

@@ -13,24 +13,68 @@
 //! * `Dcsnet` and the `Dct2` + `GaussianMeasurement` + ISTA/OMP stacks —
 //!   the baselines (implemented in `orco-baselines`).
 //!
-//! The five core methods mirror a codec's deployment lifecycle: [`train`]
-//! on aggregated data, [`encode_frame`] on the sensing side,
-//! [`decode_frame`] on the edge, [`bytes_per_frame`] for the data-plane
+//! The core methods mirror a codec's deployment lifecycle: [`train`] on
+//! aggregated data, [`encode_batch`] on the sensing side,
+//! [`decode_batch`] on the edge, [`bytes_per_frame`] for the data-plane
 //! cost model, and [`name`] for reporting. The defaulted hooks let the
 //! pipeline exploit what a backend *can* do — train over the orchestrated
 //! protocol ([`split_model`]), persist its distributable half
 //! ([`checkpoint`]) — without the caller special-casing backends.
 //!
+//! # Migration: per-frame → batched
+//!
+//! Through PR 2 the data plane was strictly per-frame:
+//! `encode_frame(&[f32]) -> Vec<f32>` allocated one `Vec` and ran one
+//! matvec per frame, and every sweep, probe, and DES payload loop paid
+//! that tax frame by frame. The batched API moves a round of `N` frames
+//! as **one call over borrowed memory**:
+//!
+//! * [`encode_batch`] / [`decode_batch`] take an
+//!   [`orco_tensor::MatView`] of frames and write into a caller-owned
+//!   [`Matrix`] that is recycled across rounds (`out` is
+//!   [`Matrix::reset`] internally, reusing its allocation). Shapes are
+//!   validated **once per batch** against [`frame_dims`], returning typed
+//!   [`OrcoError::Shape`] errors instead of panicking mid-experiment.
+//! * The per-frame methods survive as the compatibility/default layer:
+//!   `encode_frame`/`decode_frame` are what a minimal backend implements,
+//!   and the batch methods' default bodies delegate to them row by row.
+//!   The contract is **bit-identity** — a native batched override must
+//!   produce exactly the per-frame loop's output (regression- and
+//!   property-tested for all three backends).
+//! * When do the defaults suffice? When the backend's per-frame cost is
+//!   dominated by real work (e.g. an ISTA solve). Backends whose encode
+//!   is one matvec ([`crate::AsymmetricAutoencoder`], `Dcsnet`, the
+//!   classical `Φ` stack) override the batch methods with one blocked
+//!   GEMM over the whole round.
+//! * Buffer-reuse idiom: hold one `codes`/`recon` `Matrix` per loop (or
+//!   experiment) and pass `&mut` per round — allocation happens on the
+//!   first round only.
+//!
+//! ```
+//! use orcodcs::{AsymmetricAutoencoder, Codec, OrcoConfig};
+//! use orco_datasets::DatasetKind;
+//! use orco_tensor::Matrix;
+//!
+//! let cfg = OrcoConfig::for_dataset(DatasetKind::MnistLike).with_latent_dim(16);
+//! let mut codec = AsymmetricAutoencoder::new(&cfg)?;
+//! let frames = Matrix::zeros(64, 784);
+//! let mut codes = Matrix::zeros(0, 0); // reused across rounds
+//! codec.encode_batch(frames.as_view(), &mut codes)?;
+//! assert_eq!(codes.shape(), (64, 16));
+//! # Ok::<(), orcodcs::OrcoError>(())
+//! ```
+//!
 //! [`train`]: Codec::train
-//! [`encode_frame`]: Codec::encode_frame
-//! [`decode_frame`]: Codec::decode_frame
+//! [`encode_batch`]: Codec::encode_batch
+//! [`decode_batch`]: Codec::decode_batch
+//! [`frame_dims`]: Codec::frame_dims
 //! [`bytes_per_frame`]: Codec::bytes_per_frame
 //! [`name`]: Codec::name
 //! [`split_model`]: Codec::split_model
 //! [`checkpoint`]: Codec::checkpoint
 
 use orco_nn::Loss;
-use orco_tensor::{Matrix, OrcoRng};
+use orco_tensor::{MatView, Matrix, OrcoRng};
 
 use crate::autoencoder::AsymmetricAutoencoder;
 use crate::checkpoint::EncoderCheckpoint;
@@ -155,10 +199,59 @@ pub fn shuffled_batch_train(
     Ok(history)
 }
 
+/// The two per-frame widths of a codec's data plane, used to validate a
+/// whole batch once with typed errors instead of per-frame panics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameDims {
+    /// Flattened sensing-frame length `N` (one reading per IoT device).
+    pub input: usize,
+    /// Encoded code length `M` in f32 elements.
+    pub code: usize,
+}
+
+impl FrameDims {
+    /// Checks that a batch of raw frames is `input` wide.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrcoError::Shape`] naming the offending codec.
+    pub fn check_frames(&self, codec: &'static str, frames: MatView<'_>) -> Result<(), OrcoError> {
+        if frames.cols() != self.input {
+            return Err(OrcoError::Shape {
+                codec,
+                what: "frame",
+                expected: self.input,
+                actual: frames.cols(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Checks that a batch of encoded codes is `code` wide.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrcoError::Shape`] naming the offending codec.
+    pub fn check_codes(&self, codec: &'static str, codes: MatView<'_>) -> Result<(), OrcoError> {
+        if codes.cols() != self.code {
+            return Err(OrcoError::Shape {
+                codec,
+                what: "code",
+                expected: self.code,
+                actual: codes.cols(),
+            });
+        }
+        Ok(())
+    }
+}
+
 /// A compression backend runnable by the experiment pipeline.
 ///
 /// Object-safe: experiments, figures, and tests hold `Box<dyn Codec>` and
-/// never know which backend they drive.
+/// never know which backend they drive. The batch methods are the data
+/// plane proper; the per-frame methods are the compatibility/default
+/// layer (see the [module docs](self) for the migration guide and the
+/// bit-identity contract between the two).
 pub trait Codec: std::fmt::Debug + Send {
     /// Short backend label for reports and tables (e.g. `"OrcoDCS"`).
     fn name(&self) -> &'static str;
@@ -175,6 +268,12 @@ pub trait Codec: std::fmt::Debug + Send {
         (self.bytes_per_frame() / 4) as usize
     }
 
+    /// Both data-plane widths as one value, so batch entry points
+    /// validate a whole round in one check.
+    fn frame_dims(&self) -> FrameDims {
+        FrameDims { input: self.input_dim(), code: self.code_len() }
+    }
+
     /// Trains the codec natively (locally / offline) on a design matrix.
     /// Training-free codecs (classical CS) return an empty history.
     ///
@@ -184,13 +283,84 @@ pub trait Codec: std::fmt::Debug + Send {
     /// [`OrcoError::Diverged`] on non-finite losses.
     fn train(&mut self, x: &Matrix, spec: &TrainSpec) -> Result<TrainingHistory, OrcoError>;
 
-    /// Encodes one frame of readings into its on-air code
-    /// (`code_len()` values).
-    fn encode_frame(&mut self, frame: &[f32]) -> Vec<f32>;
+    /// Encodes one frame of readings into its on-air code (`code_len()`
+    /// values). Per-frame compatibility layer — hot paths should call
+    /// [`Codec::encode_batch`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrcoError::Shape`] when the frame is not `input_dim()`
+    /// long.
+    fn encode_frame(&mut self, frame: &[f32]) -> Result<Vec<f32>, OrcoError>;
 
-    /// Decodes one code back into a frame reconstruction
-    /// (`input_dim()` values).
-    fn decode_frame(&mut self, code: &[f32]) -> Vec<f32>;
+    /// Decodes one code back into a frame reconstruction (`input_dim()`
+    /// values). Per-frame compatibility layer — hot paths should call
+    /// [`Codec::decode_batch`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrcoError::Shape`] when the code is not `code_len()`
+    /// long.
+    fn decode_frame(&mut self, code: &[f32]) -> Result<Vec<f32>, OrcoError>;
+
+    /// Encodes a round of frames (one per row) into `out`, which is
+    /// reshaped to `frames.rows() × code_len()` reusing its allocation.
+    ///
+    /// The default delegates to [`Codec::encode_frame`] row by row;
+    /// native overrides must be **bit-identical** to that loop. Shape
+    /// validation happens once here, not per frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrcoError::Shape`] when `frames` is not `input_dim()`
+    /// wide.
+    fn encode_batch(&mut self, frames: MatView<'_>, out: &mut Matrix) -> Result<(), OrcoError> {
+        let dims = self.frame_dims();
+        dims.check_frames(self.name(), frames)?;
+        out.reset(frames.rows(), dims.code);
+        for r in 0..frames.rows() {
+            let code = self.encode_frame(frames.row(r))?;
+            if code.len() != dims.code {
+                return Err(OrcoError::Shape {
+                    codec: self.name(),
+                    what: "code",
+                    expected: dims.code,
+                    actual: code.len(),
+                });
+            }
+            out.row_mut(r).copy_from_slice(&code);
+        }
+        Ok(())
+    }
+
+    /// Decodes a round of codes (one per row) into `out`, which is
+    /// reshaped to `codes.rows() × input_dim()` reusing its allocation.
+    ///
+    /// The default delegates to [`Codec::decode_frame`] row by row;
+    /// native overrides must be **bit-identical** to that loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrcoError::Shape`] when `codes` is not `code_len()`
+    /// wide.
+    fn decode_batch(&mut self, codes: MatView<'_>, out: &mut Matrix) -> Result<(), OrcoError> {
+        let dims = self.frame_dims();
+        dims.check_codes(self.name(), codes)?;
+        out.reset(codes.rows(), dims.input);
+        for r in 0..codes.rows() {
+            let frame = self.decode_frame(codes.row(r))?;
+            if frame.len() != dims.input {
+                return Err(OrcoError::Shape {
+                    codec: self.name(),
+                    what: "frame",
+                    expected: dims.input,
+                    actual: frame.len(),
+                });
+            }
+            out.row_mut(r).copy_from_slice(&frame);
+        }
+        Ok(())
+    }
 
     /// The codec's native reconstruction loss (used for reporting and the
     /// fine-tuning monitor; also the loss the orchestrated protocol trains
@@ -199,19 +369,20 @@ pub trait Codec: std::fmt::Debug + Send {
         Loss::L2
     }
 
-    /// Batch reconstruction: encode and decode every row. Backends with a
-    /// cheaper batched path (one GEMM instead of per-row loops) override
-    /// this.
-    fn reconstruct(&mut self, x: &Matrix) -> Matrix {
-        let mut out = Matrix::zeros(x.rows(), self.input_dim());
-        for r in 0..x.rows() {
-            let code = self.encode_frame(x.row(r));
-            let frame = self.decode_frame(&code);
-            for (c, v) in frame.iter().enumerate() {
-                out.set(r, c, *v);
-            }
-        }
-        out
+    /// Batch reconstruction: one [`Codec::encode_batch`] +
+    /// [`Codec::decode_batch`] round trip over every row. Callers that
+    /// reconstruct repeatedly should drive the batch methods directly
+    /// with their own reused buffers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates batch-boundary shape errors.
+    fn reconstruct(&mut self, x: &Matrix) -> Result<Matrix, OrcoError> {
+        let mut codes = Matrix::zeros(0, 0);
+        self.encode_batch(x.as_view(), &mut codes)?;
+        let mut out = Matrix::zeros(0, 0);
+        self.decode_batch(codes.as_view(), &mut out)?;
+        Ok(out)
     }
 
     /// The codec's split (aggregator/edge) training half, when it can be
@@ -264,24 +435,30 @@ impl Codec for AsymmetricAutoencoder {
         })
     }
 
-    fn encode_frame(&mut self, frame: &[f32]) -> Vec<f32> {
-        let x = Matrix::from_vec(1, self.input_dim(), frame.to_vec())
-            .expect("encode_frame: frame length must equal input_dim");
-        self.encode(&x).into_vec()
+    fn encode_frame(&mut self, frame: &[f32]) -> Result<Vec<f32>, OrcoError> {
+        Codec::frame_dims(self).check_frames(Codec::name(self), MatView::from_row(frame))?;
+        Ok(self.encode(&Matrix::row_vector(frame)).into_vec())
     }
 
-    fn decode_frame(&mut self, code: &[f32]) -> Vec<f32> {
-        let y = Matrix::from_vec(1, self.latent_dim(), code.to_vec())
-            .expect("decode_frame: code length must equal latent_dim");
-        self.decode(&y).into_vec()
+    fn decode_frame(&mut self, code: &[f32]) -> Result<Vec<f32>, OrcoError> {
+        Codec::frame_dims(self).check_codes(Codec::name(self), MatView::from_row(code))?;
+        Ok(self.decode(&Matrix::row_vector(code)).into_vec())
+    }
+
+    fn encode_batch(&mut self, frames: MatView<'_>, out: &mut Matrix) -> Result<(), OrcoError> {
+        Codec::frame_dims(self).check_frames(Codec::name(self), frames)?;
+        self.encode_batch_into(frames, out);
+        Ok(())
+    }
+
+    fn decode_batch(&mut self, codes: MatView<'_>, out: &mut Matrix) -> Result<(), OrcoError> {
+        Codec::frame_dims(self).check_codes(Codec::name(self), codes)?;
+        self.decode_batch_into(codes, out);
+        Ok(())
     }
 
     fn loss(&self) -> Loss {
         self.training_loss()
-    }
-
-    fn reconstruct(&mut self, x: &Matrix) -> Matrix {
-        AsymmetricAutoencoder::reconstruct(self, x)
     }
 
     fn split_model(&mut self) -> Option<&mut dyn SplitModel> {
@@ -313,48 +490,77 @@ mod tests {
         assert_eq!(boxed.input_dim(), 784);
         assert_eq!(boxed.code_len(), 16);
         assert_eq!(boxed.bytes_per_frame(), 64);
+        assert_eq!(boxed.frame_dims(), FrameDims { input: 784, code: 16 });
         let frame = vec![0.5f32; 784];
-        let code = boxed.encode_frame(&frame);
+        let code = boxed.encode_frame(&frame).expect("frame width is valid");
         assert_eq!(code.len(), 16);
-        let recon = boxed.decode_frame(&code);
+        let recon = boxed.decode_frame(&code).expect("code width is valid");
         assert_eq!(recon.len(), 784);
     }
 
     #[test]
-    fn default_reconstruct_matches_batched_override() {
-        // The per-frame default and the AE's batched override must agree.
-        #[derive(Debug)]
-        struct NoOverride(AsymmetricAutoencoder);
-        impl Codec for NoOverride {
-            fn name(&self) -> &'static str {
-                "no-override"
-            }
-            fn input_dim(&self) -> usize {
-                Codec::input_dim(&self.0)
-            }
-            fn bytes_per_frame(&self) -> u64 {
-                Codec::bytes_per_frame(&self.0)
-            }
-            fn train(
-                &mut self,
-                x: &Matrix,
-                spec: &TrainSpec,
-            ) -> Result<TrainingHistory, OrcoError> {
-                self.0.train(x, spec)
-            }
-            fn encode_frame(&mut self, frame: &[f32]) -> Vec<f32> {
-                self.0.encode_frame(frame)
-            }
-            fn decode_frame(&mut self, code: &[f32]) -> Vec<f32> {
-                self.0.decode_frame(code)
-            }
+    fn shape_violations_surface_as_typed_errors() {
+        let mut codec = tiny_codec();
+        let err = codec.encode_frame(&[0.0; 3]).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                OrcoError::Shape { codec: "OrcoDCS", what: "frame", expected: 784, actual: 3 }
+            ),
+            "unexpected error: {err}"
+        );
+        let err = codec.decode_frame(&[0.0; 3]).unwrap_err();
+        assert!(matches!(err, OrcoError::Shape { what: "code", expected: 16, .. }));
+        // Batch-boundary validation: one typed error for the whole round.
+        let mut out = Matrix::zeros(0, 0);
+        let bad = Matrix::zeros(5, 42);
+        let err = codec.encode_batch(bad.as_view(), &mut out).unwrap_err();
+        assert!(matches!(err, OrcoError::Shape { what: "frame", expected: 784, actual: 42, .. }));
+        let err = codec.decode_batch(bad.as_view(), &mut out).unwrap_err();
+        assert!(matches!(err, OrcoError::Shape { what: "code", expected: 16, actual: 42, .. }));
+    }
+
+    /// A codec that implements only the per-frame compatibility layer, so
+    /// every batch method runs its default body. Used to pin the
+    /// bit-identity contract between defaults and native overrides.
+    #[derive(Debug)]
+    struct PerFrameOnly(AsymmetricAutoencoder);
+    impl Codec for PerFrameOnly {
+        fn name(&self) -> &'static str {
+            Codec::name(&self.0)
         }
+        fn input_dim(&self) -> usize {
+            Codec::input_dim(&self.0)
+        }
+        fn bytes_per_frame(&self) -> u64 {
+            Codec::bytes_per_frame(&self.0)
+        }
+        fn train(&mut self, x: &Matrix, spec: &TrainSpec) -> Result<TrainingHistory, OrcoError> {
+            self.0.train(x, spec)
+        }
+        fn encode_frame(&mut self, frame: &[f32]) -> Result<Vec<f32>, OrcoError> {
+            self.0.encode_frame(frame)
+        }
+        fn decode_frame(&mut self, code: &[f32]) -> Result<Vec<f32>, OrcoError> {
+            self.0.decode_frame(code)
+        }
+    }
+
+    #[test]
+    fn per_frame_defaults_bit_identical_to_native_batch() {
         let ds = mnist_like::generate(4, 0);
-        let mut wrapped = NoOverride(tiny_codec());
-        let via_default = wrapped.reconstruct(ds.x());
+        let mut wrapped = PerFrameOnly(tiny_codec());
+        let via_default = wrapped.reconstruct(ds.x()).unwrap();
         let mut ae = tiny_codec();
-        let via_batch = Codec::reconstruct(&mut ae, ds.x());
-        assert!(via_default.max_abs_diff(&via_batch) < 1e-6);
+        let via_batch = Codec::reconstruct(&mut ae, ds.x()).unwrap();
+        assert_eq!(via_default, via_batch, "defaults and native batch path must agree bit for bit");
+
+        // And the batch stages individually, into dirty reused buffers.
+        let mut codes_default = Matrix::filled(1, 1, f32::NAN);
+        let mut codes_native = Matrix::filled(2, 3, -7.0);
+        wrapped.encode_batch(ds.x().as_view(), &mut codes_default).unwrap();
+        ae.encode_batch(ds.x().as_view(), &mut codes_native).unwrap();
+        assert_eq!(codes_default, codes_native);
     }
 
     #[test]

@@ -13,6 +13,21 @@ pub enum OrcoError {
     Network(orco_wsn::WsnError),
     /// A tensor operation failed.
     Tensor(orco_tensor::TensorError),
+    /// Data with the wrong per-frame width reached a codec boundary —
+    /// raised by the batch-level validation of
+    /// [`Codec::encode_batch`](crate::Codec::encode_batch) /
+    /// [`decode_batch`](crate::Codec::decode_batch) and by the per-frame
+    /// compatibility methods.
+    Shape {
+        /// The codec that rejected the data (its `Codec::name`).
+        codec: &'static str,
+        /// What was being validated (`"frame"` or `"code"` width).
+        what: &'static str,
+        /// Expected width in f32 elements.
+        expected: usize,
+        /// Width actually provided.
+        actual: usize,
+    },
     /// Training diverged (non-finite loss or parameters).
     Diverged {
         /// The round at which divergence was detected.
@@ -26,6 +41,10 @@ impl fmt::Display for OrcoError {
             OrcoError::Config { detail } => write!(f, "invalid configuration: {detail}"),
             OrcoError::Network(e) => write!(f, "network error: {e}"),
             OrcoError::Tensor(e) => write!(f, "tensor error: {e}"),
+            OrcoError::Shape { codec, what, expected, actual } => write!(
+                f,
+                "{codec}: {what} width mismatch: expected {expected} f32 elements, got {actual}"
+            ),
             OrcoError::Diverged { round } => {
                 write!(f, "training diverged at round {round} (non-finite loss)")
             }
@@ -66,5 +85,8 @@ mod tests {
         let net = OrcoError::from(orco_wsn::WsnError::UnknownNode { id: orco_wsn::NodeId(1) });
         assert!(std::error::Error::source(&net).is_some());
         assert!(net.to_string().contains("unknown node"));
+        let shape = OrcoError::Shape { codec: "OrcoDCS", what: "frame", expected: 784, actual: 3 };
+        assert!(shape.to_string().contains("OrcoDCS"));
+        assert!(shape.to_string().contains("784"));
     }
 }

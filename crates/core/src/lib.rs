@@ -86,7 +86,7 @@ pub mod split;
 
 pub use autoencoder::AsymmetricAutoencoder;
 pub use checkpoint::{CheckpointStore, EncoderCheckpoint};
-pub use codec::{Codec, TrainSpec};
+pub use codec::{Codec, FrameDims, TrainSpec};
 pub use compression::GradCompression;
 pub use config::OrcoConfig;
 pub use distribution::EncoderColumns;

@@ -579,8 +579,9 @@ impl Experiment {
             TrainingMode::Local => self.run_local(&probe)?,
         };
 
-        // Reconstruction quality on the full dataset, codec-native loss.
-        let recon = self.codec.reconstruct(self.dataset.x());
+        // Reconstruction quality on the full dataset, codec-native loss —
+        // one batched encode/decode round trip.
+        let recon = self.codec.reconstruct(self.dataset.x())?;
         let final_loss = self.codec.loss().value(&recon, self.dataset.x());
         let psnrs = stats::psnr_rows(self.dataset.x(), &recon, 1.0);
         let finite: Vec<f32> = psnrs.into_iter().filter(|p| p.is_finite()).collect();
@@ -620,7 +621,6 @@ impl Experiment {
         OrcoError,
     > {
         let train_x = self.training_stream();
-        let code_len = self.codec.code_len();
         let column_bytes = self.codec.bytes_per_frame();
         let loss = self.codec.loss();
         let config = self.protocol_config(self.seed);
@@ -689,11 +689,22 @@ impl Experiment {
         };
 
         // §III-C: distribute the per-device column shares, then measure the
-        // steady-state compressed data plane.
+        // steady-state compressed data plane on real sensing frames: one
+        // batched encode of the probe rows feeds every DES/analytic payload
+        // (byte-identical to the old count-only measurement — regression-
+        // pinned — but the codec actually runs, batched, on the hot path).
         let mut network = orch.into_network();
         let data_plane = if data_plane_frames > 0 {
             network.broadcast_encoder_columns(column_bytes)?;
-            Some(aggregation::measure_compressed_frames(&mut network, code_len, data_plane_frames)?)
+            let encode_rows = self.dataset.len().min(data_plane_frames).max(1);
+            let mut codes = Matrix::zeros(0, 0);
+            Some(aggregation::measure_encoded_frames(
+                &mut network,
+                self.codec.as_mut(),
+                self.dataset.x().view_rows(0..encode_rows),
+                &mut codes,
+                data_plane_frames,
+            )?)
         } else {
             None
         };
@@ -719,7 +730,7 @@ impl Experiment {
             epoch: 0,
             sim_time_s: 0.0,
             probe_l2: {
-                let recon = self.codec.reconstruct(probe);
+                let recon = self.codec.reconstruct(probe)?;
                 Loss::L2.value(&recon, probe)
             },
         }];
@@ -732,7 +743,7 @@ impl Experiment {
             epoch: self.epochs,
             sim_time_s: 0.0,
             probe_l2: {
-                let recon = self.codec.reconstruct(probe);
+                let recon = self.codec.reconstruct(probe)?;
                 Loss::L2.value(&recon, probe)
             },
         });
@@ -761,7 +772,7 @@ impl Experiment {
             });
         }
         let err = {
-            let recon = self.codec.reconstruct(x);
+            let recon = self.codec.reconstruct(x)?;
             self.codec.loss().value(&recon, x)
         };
         let monitor = self.monitor.as_mut().expect("checked above");

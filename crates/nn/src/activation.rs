@@ -82,6 +82,13 @@ impl Activation {
         m.map(|v| self.apply(v))
     }
 
+    /// Applies the activation element-wise in place — the allocation-free
+    /// twin of [`Activation::apply_matrix`] (same per-element function,
+    /// bit-identical results), used by the batched inference paths.
+    pub fn apply_inplace(self, m: &mut Matrix) {
+        m.map_inplace(|v| self.apply(v));
+    }
+
     /// Element-wise derivative matrix from the pre-activation matrix.
     #[must_use]
     pub fn derivative_matrix(self, pre: &Matrix) -> Matrix {

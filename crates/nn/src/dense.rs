@@ -1,4 +1,4 @@
-use orco_tensor::{init::Init, Matrix, OrcoRng};
+use orco_tensor::{init::Init, MatView, Matrix, OrcoRng};
 
 use crate::activation::Activation;
 use crate::layer::{Layer, Param};
@@ -123,6 +123,40 @@ impl Dense {
     #[must_use]
     pub fn activation(&self) -> Activation {
         self.activation
+    }
+
+    /// Inference-mode forward over a borrowed batch into a caller-owned
+    /// buffer: `out = σ(x·Wᵀ + b)` as one blocked GEMM, a bias broadcast,
+    /// and an in-place activation.
+    ///
+    /// Unlike [`Layer::forward`] this caches nothing for backprop and
+    /// allocates nothing once the two caller-owned buffers have grown to
+    /// size: `wt_scratch` holds the transposed weight (materialized per
+    /// call so the row-streaming [`Matrix::matmul`] kernel — much faster
+    /// than per-row dot products on large batches — can be used) and
+    /// `out` receives the result. Bit-identical to `forward(x, false)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols()` differs from the layer's input dimension.
+    pub fn forward_into(&self, x: MatView<'_>, wt_scratch: &mut Matrix, out: &mut Matrix) {
+        assert_eq!(
+            x.cols(),
+            self.weight.cols(),
+            "Dense::forward_into: input features {} != layer input_dim {}",
+            x.cols(),
+            self.weight.cols()
+        );
+        self.weight.transpose_into(wt_scratch);
+        out.reset(x.rows(), self.weight.rows());
+        x.matmul_into(wt_scratch.as_view(), out.as_view_mut());
+        let bias = self.bias.row(0);
+        for r in 0..out.rows() {
+            for (v, &b) in out.row_mut(r).iter_mut().zip(bias) {
+                *v += b;
+            }
+        }
+        self.activation.apply_inplace(out);
     }
 
     /// Overwrites weights and bias (e.g. when applying a model update
@@ -261,6 +295,25 @@ mod tests {
         let layer = Dense::new(784, 128, Activation::Sigmoid, &mut rng);
         assert_eq!(layer.param_count(), 784 * 128 + 128);
         assert!(layer.flops_forward() >= 2 * 784 * 128);
+    }
+
+    #[test]
+    fn forward_into_bit_identical_to_forward() {
+        let mut rng = OrcoRng::from_label("dense-into", 0);
+        for activation in [Activation::Sigmoid, Activation::Relu, Activation::Identity] {
+            let mut layer = Dense::new(7, 4, activation, &mut rng);
+            let x = Matrix::from_fn(9, 7, |r, c| ((r * 11 + c) as f32 * 0.13).sin());
+            let reference = layer.forward(&x, false);
+            let mut wt = Matrix::zeros(0, 0);
+            let mut out = Matrix::filled(1, 1, f32::NAN); // dirty reused buffer
+            layer.forward_into(x.as_view(), &mut wt, &mut out);
+            assert_eq!(out, reference, "{activation:?} batched forward diverged");
+            // Per-row views must reproduce the batch rows exactly.
+            for r in 0..x.rows() {
+                layer.forward_into(MatView::from_row(x.row(r)), &mut wt, &mut out);
+                assert_eq!(out.row(0), reference.row(r));
+            }
+        }
     }
 
     #[test]

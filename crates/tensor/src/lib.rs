@@ -33,6 +33,7 @@
 mod error;
 mod matrix;
 mod tensor4;
+mod view;
 
 pub mod im2col;
 pub mod init;
@@ -46,6 +47,7 @@ pub use im2col::{col2im, im2col, Conv2dGeom};
 pub use matrix::Matrix;
 pub use rng::OrcoRng;
 pub use tensor4::Tensor4;
+pub use view::{MatView, MatViewMut};
 
 /// Convenience alias for results returned by this crate.
 pub type Result<T> = std::result::Result<T, TensorError>;

@@ -259,6 +259,64 @@ impl Matrix {
         self.data.chunks_exact(self.cols.max(1))
     }
 
+    /// Iterates over column `c` top to bottom without allocating (the
+    /// lazy twin of [`Matrix::col`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= self.cols()`.
+    pub fn col_iter(&self, c: usize) -> impl Iterator<Item = f32> + '_ {
+        assert!(c < self.cols, "col {c} out of bounds for {} cols", self.cols);
+        (0..self.rows).map(move |r| self.data[r * self.cols + c])
+    }
+
+    /// A borrowed view of the whole matrix (the entry point into the
+    /// zero-copy [`crate::MatView`] batch API).
+    #[must_use]
+    pub fn as_view(&self) -> crate::MatView<'_> {
+        crate::MatView::new(self.rows, self.cols, &self.data)
+            .expect("matrix buffer length is consistent by construction")
+    }
+
+    /// A mutable borrowed view of the whole matrix.
+    #[must_use]
+    pub fn as_view_mut(&mut self) -> crate::MatViewMut<'_> {
+        crate::MatViewMut::new(self.rows, self.cols, &mut self.data)
+            .expect("matrix buffer length is consistent by construction")
+    }
+
+    /// A zero-copy view of rows `range.start..range.end` (the borrowing
+    /// twin of [`Matrix::slice_rows`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range end exceeds the number of rows.
+    #[must_use]
+    pub fn view_rows(&self, range: std::ops::Range<usize>) -> crate::MatView<'_> {
+        self.as_view().rows_range(range)
+    }
+
+    /// Copies `other` into `self`, reusing the existing allocation when it
+    /// is large enough (unlike `clone_from`, which re-allocates through
+    /// `clone`).
+    pub fn copy_from(&mut self, other: &Matrix) {
+        self.rows = other.rows;
+        self.cols = other.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&other.data);
+    }
+
+    /// Reshapes in place to `rows`×`cols` with every element zeroed,
+    /// reusing the existing allocation when it is large enough. This is
+    /// how batch pipelines recycle one output buffer across rounds
+    /// instead of allocating per call.
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// Returns a new matrix containing rows `range.start..range.end`.
     ///
     /// # Panics
@@ -371,22 +429,14 @@ impl Matrix {
     // Matrix products
     // ------------------------------------------------------------------
 
-    /// Row-tile height for the blocked GEMM kernels: `B` is streamed once
-    /// per tile instead of once per output row. Must stay constant — per-row
-    /// summation order (ascending `k`) is what keeps results bit-identical
-    /// across thread counts.
-    const GEMM_ROW_TILE: usize = 4;
-
-    /// Minimum rows a worker thread must own before the GEMM kernels
-    /// parallelize; below this the spawn overhead dominates.
-    const GEMM_MIN_ROWS_PER_THREAD: usize = 8;
-
     /// Matrix product `self * other`.
     ///
     /// Blocked (4-row tiles over a streamed `B`) and row-parallel across the
     /// [`crate::parallel`] thread budget. Every output element accumulates
     /// in ascending-`k` order regardless of tiling or thread count, so
-    /// results are bit-identical from 1 to N threads.
+    /// results are bit-identical from 1 to N threads. Shares its kernel
+    /// with [`crate::MatView::matmul_into`], which writes the same result
+    /// into a caller-owned buffer instead of allocating.
     ///
     /// # Panics
     ///
@@ -403,35 +453,7 @@ impl Matrix {
         );
         let (m, k, n) = (self.rows, self.cols, other.cols);
         let mut out = vec![0.0f32; m * n];
-        if n == 0 || k == 0 {
-            return Matrix { rows: m, cols: n, data: out };
-        }
-        let a_data = &self.data;
-        let b_data = &other.data;
-        crate::parallel::for_each_row_block(
-            &mut out,
-            n,
-            Self::GEMM_MIN_ROWS_PER_THREAD,
-            |first_row, block| {
-                for (tile_idx, o_tile) in block.chunks_mut(Self::GEMM_ROW_TILE * n).enumerate() {
-                    let i0 = first_row + tile_idx * Self::GEMM_ROW_TILE;
-                    let tile_rows = o_tile.len() / n;
-                    for kk in 0..k {
-                        let b_row = &b_data[kk * n..(kk + 1) * n];
-                        for (r, o_row) in o_tile.chunks_exact_mut(n).enumerate() {
-                            let a = a_data[(i0 + r) * k + kk];
-                            if a == 0.0 {
-                                continue;
-                            }
-                            for (o, &b) in o_row.iter_mut().zip(b_row) {
-                                *o += a * b;
-                            }
-                        }
-                        debug_assert!(tile_rows <= Self::GEMM_ROW_TILE);
-                    }
-                }
-            },
-        );
+        crate::view::matmul_kernel(&self.data, k, &other.data, n, &mut out);
         Matrix { rows: m, cols: n, data: out }
     }
 
@@ -439,7 +461,8 @@ impl Matrix {
     ///
     /// Row-parallel over output rows (columns of `self`); each output
     /// element accumulates in ascending-`k` order, so results are
-    /// bit-identical at any thread count.
+    /// bit-identical at any thread count. Shares its kernel with
+    /// [`crate::MatView::t_matmul_into`].
     ///
     /// # Panics
     ///
@@ -456,41 +479,15 @@ impl Matrix {
         );
         let (m, k, n) = (self.cols, self.rows, other.cols);
         let mut out = vec![0.0f32; m * n];
-        if n == 0 || k == 0 {
-            return Matrix { rows: m, cols: n, data: out };
-        }
-        let a_data = &self.data;
-        let b_data = &other.data;
-        // out[i][j] = sum_k self[k][i] * other[k][j]
-        crate::parallel::for_each_row_block(
-            &mut out,
-            n,
-            Self::GEMM_MIN_ROWS_PER_THREAD,
-            |first_row, block| {
-                let rows_here = block.len() / n;
-                for kk in 0..k {
-                    let a_row = &a_data[kk * m..(kk + 1) * m];
-                    let b_row = &b_data[kk * n..(kk + 1) * n];
-                    for (r, o_row) in block.chunks_exact_mut(n).enumerate() {
-                        let a = a_row[first_row + r];
-                        if a == 0.0 {
-                            continue;
-                        }
-                        for (o, &b) in o_row.iter_mut().zip(b_row) {
-                            *o += a * b;
-                        }
-                    }
-                    debug_assert!(rows_here <= m);
-                }
-            },
-        );
+        crate::view::t_matmul_kernel(&self.data, m, k, &other.data, n, &mut out);
         Matrix { rows: m, cols: n, data: out }
     }
 
     /// Matrix product `self * otherᵀ` without materializing the transpose.
     ///
     /// Row-parallel; each output element is one dot product computed in
-    /// ascending-`k` order, bit-identical at any thread count.
+    /// ascending-`k` order, bit-identical at any thread count. Shares its
+    /// kernel with [`crate::MatView::matmul_t_into`].
     ///
     /// # Panics
     ///
@@ -507,30 +504,7 @@ impl Matrix {
         );
         let (m, k, n) = (self.rows, self.cols, other.rows);
         let mut out = vec![0.0f32; m * n];
-        if n == 0 {
-            return Matrix { rows: m, cols: n, data: out };
-        }
-        let a_data = &self.data;
-        let b_data = &other.data;
-        crate::parallel::for_each_row_block(
-            &mut out,
-            n,
-            Self::GEMM_MIN_ROWS_PER_THREAD,
-            |first_row, block| {
-                for (r, o_row) in block.chunks_exact_mut(n).enumerate() {
-                    let i = first_row + r;
-                    let a_row = &a_data[i * k..(i + 1) * k];
-                    for (j, o) in o_row.iter_mut().enumerate() {
-                        let b_row = &b_data[j * k..(j + 1) * k];
-                        let mut acc = 0.0f32;
-                        for (a, b) in a_row.iter().zip(b_row) {
-                            acc += a * b;
-                        }
-                        *o = acc;
-                    }
-                }
-            },
-        );
+        crate::view::matmul_t_kernel(&self.data, k, &other.data, n, &mut out);
         Matrix { rows: m, cols: n, data: out }
     }
 
@@ -570,6 +544,40 @@ impl Matrix {
             }
         }
         out
+    }
+
+    /// Writes the transpose into a caller-owned matrix (reusing its
+    /// allocation) instead of allocating like [`Matrix::transpose`].
+    ///
+    /// Batched encoders use this to materialize `Wᵀ` once per batch so the
+    /// blocked [`Matrix::matmul`] kernel can stream it row-wise.
+    pub fn transpose_into(&self, out: &mut Matrix) {
+        out.reset(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+    }
+
+    /// `out = self · v` into a caller-owned buffer; see
+    /// [`crate::MatView::matvec_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.cols()` or `out.len() != self.rows()`.
+    pub fn matvec_into(&self, v: &[f32], out: &mut [f32]) {
+        self.as_view().matvec_into(v, out);
+    }
+
+    /// `out = selfᵀ · v` without materializing the transpose; see
+    /// [`crate::MatView::t_matvec_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.rows()` or `out.len() != self.cols()`.
+    pub fn t_matvec_into(&self, v: &[f32], out: &mut [f32]) {
+        self.as_view().t_matvec_into(v, out);
     }
 
     /// Reinterprets the buffer with a new shape (row-major order preserved).
@@ -1057,6 +1065,18 @@ mod tests {
         let other = Matrix::ones(2, 3);
         m.add_scaled_inplace(&other, -2.0);
         assert_eq!(m.as_slice(), &[-1.0, 0.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn reset_and_copy_from_reuse_buffers() {
+        let mut m = sample();
+        let cap_before = m.as_slice().len();
+        m.reset(1, 2);
+        assert_eq!(m.shape(), (1, 2));
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+        assert!(cap_before >= m.len());
+        m.copy_from(&sample());
+        assert_eq!(m, sample());
     }
 
     #[test]

@@ -60,6 +60,51 @@ proptest! {
     }
 
     #[test]
+    fn view_kernels_bit_identical_to_owning_api((a, b) in matmul_pair(8)) {
+        // The `_into` kernels over borrowed views must reproduce the
+        // allocating products **bit for bit** — same kernels, same
+        // summation order — even into a dirty reused buffer.
+        let mut out = Matrix::filled(3, 3, f32::NAN);
+        out.reset(a.rows(), b.cols());
+        a.as_view().matmul_into(b.as_view(), out.as_view_mut());
+        prop_assert_eq!(&out, &a.matmul(&b));
+
+        out.reset(a.cols(), b.cols());
+        let ab = a.matmul(&b);
+        a.as_view().t_matmul_into(ab.as_view(), out.as_view_mut());
+        prop_assert_eq!(&out, &a.t_matmul(&ab));
+
+        out.reset(a.rows(), b.cols());
+        let bt = b.transpose();
+        a.as_view().matmul_t_into(bt.as_view(), out.as_view_mut());
+        prop_assert_eq!(&out, &a.matmul_t(&bt));
+    }
+
+    #[test]
+    fn matvec_into_variants_bit_identical(m in matrix_strategy(12), seed in 0u64..1000) {
+        let mut rng = orco_tensor::OrcoRng::from_seed_u64(seed);
+        let v_cols: Vec<f32> = (0..m.cols()).map(|_| rng.uniform(-3.0, 3.0)).collect();
+        let v_rows: Vec<f32> = (0..m.rows()).map(|_| rng.uniform(-3.0, 3.0)).collect();
+        let mut out = vec![f32::NAN; m.rows()];
+        m.matvec_into(&v_cols, &mut out);
+        prop_assert_eq!(&out, &m.matvec(&v_cols));
+        let mut out_t = vec![f32::NAN; m.cols()];
+        m.t_matvec_into(&v_rows, &mut out_t);
+        prop_assert_eq!(&out_t, &m.transpose().matvec(&v_rows));
+    }
+
+    #[test]
+    fn row_range_views_and_col_iter_agree(m in matrix_strategy(10), seed in 0u64..1000) {
+        let mut rng = orco_tensor::OrcoRng::from_seed_u64(seed);
+        let lo = (rng.next_u64() as usize) % m.rows();
+        let hi = lo + (rng.next_u64() as usize) % (m.rows() - lo + 1);
+        prop_assert_eq!(m.view_rows(lo..hi).to_matrix(), m.slice_rows(lo..hi));
+        let c = (rng.next_u64() as usize) % m.cols();
+        let lazy: Vec<f32> = m.col_iter(c).collect();
+        prop_assert_eq!(lazy, m.col(c));
+    }
+
+    #[test]
     fn matmul_distributes_over_addition((a, b) in matmul_pair(8), seed in 0u64..1000) {
         // a(b + c) == ab + ac, with c the same shape as b.
         let mut rng = orco_tensor::OrcoRng::from_seed_u64(seed);

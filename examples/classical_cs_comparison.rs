@@ -19,7 +19,7 @@ use orcodcs_repro::core::{
     AsymmetricAutoencoder, Codec, ExperimentBuilder, OrcoConfig, TrainingMode,
 };
 use orcodcs_repro::datasets::mnist_like;
-use orcodcs_repro::tensor::stats;
+use orcodcs_repro::tensor::{stats, Matrix};
 
 fn main() {
     let dataset = mnist_like::generate(120, 3);
@@ -46,6 +46,22 @@ fn main() {
         "m", "ISTA PSNR (dB)", "OMP PSNR (dB)", "learned PSNR (dB)"
     );
 
+    // The whole probe round moves through each backend as ONE batched
+    // encode + decode over borrowed memory; the codes/recon buffers are
+    // reused across every backend and measurement dimension.
+    let probe_idx: Vec<usize> = (0..8).collect();
+    let probe = dataset.x().select_rows(&probe_idx);
+    let mut codes = Matrix::zeros(0, 0);
+    let mut recon = Matrix::zeros(0, 0);
+    let mean_psnr = |codec: &mut dyn Codec, codes: &mut Matrix, recon: &mut Matrix| -> (f32, f64) {
+        codec.encode_batch(probe.as_view(), codes).expect("probe frames fit the codec");
+        let t0 = Instant::now();
+        codec.decode_batch(codes.as_view(), recon).expect("codes fit the codec");
+        let decode_s = t0.elapsed().as_secs_f64();
+        let psnrs = stats::psnr_rows(&probe, recon, 1.0);
+        (stats::mean(&psnrs), decode_s)
+    };
+
     for m in [64usize, 128, 256] {
         let mut ista = ClassicalCodec::new(
             dataset.kind(),
@@ -56,40 +72,11 @@ fn main() {
         let mut omp =
             ClassicalCodec::new(dataset.kind(), m, CsSolver::Omp { sparsity: (m / 4).max(8) }, 0);
 
-        let mut ista_psnr = Vec::new();
-        let mut omp_psnr = Vec::new();
-        let mut learned_psnr = Vec::new();
-        let mut ista_time = 0.0f64;
-        let mut learned_time = 0.0f64;
+        let (ista_psnr, ista_time) = mean_psnr(&mut ista, &mut codes, &mut recon);
+        let (omp_psnr, _) = mean_psnr(&mut omp, &mut codes, &mut recon);
+        let (learned_psnr, learned_time) = mean_psnr(learned, &mut codes, &mut recon);
 
-        for i in 0..8 {
-            let x = dataset.sample(i);
-
-            // Every backend goes through the same encode/decode interface.
-            let code = ista.encode_frame(x);
-            let t0 = Instant::now();
-            let x_ista = ista.decode_frame(&code);
-            ista_time += t0.elapsed().as_secs_f64();
-            ista_psnr.push(stats::psnr(x, &x_ista, 1.0));
-
-            let code = omp.encode_frame(x);
-            let x_omp = omp.decode_frame(&code);
-            omp_psnr.push(stats::psnr(x, &x_omp, 1.0));
-
-            let code = learned.encode_frame(x);
-            let t0 = Instant::now();
-            let x_learned = learned.decode_frame(&code);
-            learned_time += t0.elapsed().as_secs_f64();
-            learned_psnr.push(stats::psnr(x, &x_learned, 1.0));
-        }
-
-        println!(
-            "{:>6} {:>18.2} {:>18.2} {:>18.2}",
-            m,
-            stats::mean(&ista_psnr),
-            stats::mean(&omp_psnr),
-            stats::mean(&learned_psnr),
-        );
+        println!("{m:>6} {ista_psnr:>18.2} {omp_psnr:>18.2} {learned_psnr:>18.2}");
         if m == 128 {
             println!(
                 "        (decode wall-time at m=128: ISTA {:.1} ms/image vs learned {:.3} ms/image)",

@@ -67,14 +67,14 @@ fn main() {
     let mut orco =
         train_codec(&train, AsymmetricAutoencoder::new(&cfg).expect("valid config"), 1.0);
     let orco_l2 = {
-        let recon = orco.codec_mut().reconstruct(test.x());
+        let recon = orco.codec_mut().reconstruct(test.x()).expect("codec reconstructs");
         Loss::L2.value(&recon, test.x())
     };
 
     // --- DCSNet: offline, 50% of the data, fixed structure. ---
     let mut dcs = train_codec(&train, Dcsnet::new(train.kind(), 0), 0.5);
     let dcs_l2 = {
-        let recon = dcs.codec_mut().reconstruct(test.x());
+        let recon = dcs.codec_mut().reconstruct(test.x()).expect("codec reconstructs");
         Loss::L2.value(&recon, test.x())
     };
 
@@ -84,12 +84,15 @@ fn main() {
 
     // --- Follow-up application: classifier on reconstructed data. ---
     println!("\nfollow-up classifier on reconstructed data:");
-    let orco_train = train.with_x(orco.codec_mut().reconstruct(train.x()));
-    let orco_test = test.with_x(orco.codec_mut().reconstruct(test.x()));
+    let orco_train =
+        train.with_x(orco.codec_mut().reconstruct(train.x()).expect("codec reconstructs"));
+    let orco_test =
+        test.with_x(orco.codec_mut().reconstruct(test.x()).expect("codec reconstructs"));
     let acc_orco = train_classifier("OrcoDCS recon", &orco_train, &orco_test);
 
-    let dcs_train = train.with_x(dcs.codec_mut().reconstruct(train.x()));
-    let dcs_test = test.with_x(dcs.codec_mut().reconstruct(test.x()));
+    let dcs_train =
+        train.with_x(dcs.codec_mut().reconstruct(train.x()).expect("codec reconstructs"));
+    let dcs_test = test.with_x(dcs.codec_mut().reconstruct(test.x()).expect("codec reconstructs"));
     let acc_dcs = train_classifier("DCSNet-50% recon", &dcs_train, &dcs_test);
 
     let acc_raw = train_classifier("raw images (oracle)", &train, &test);

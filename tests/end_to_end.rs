@@ -107,8 +107,10 @@ fn classifier_on_orcodcs_reconstructions_beats_chance() {
     let cfg = OrcoConfig::for_dataset(DatasetKind::MnistLike).with_epochs(20).with_batch_size(32);
     let (mut exp, _report) = run_pipeline(&train, &cfg);
 
-    let recon_train = train.with_x(exp.codec_mut().reconstruct(train.x()));
-    let recon_test = test.with_x(exp.codec_mut().reconstruct(test.x()));
+    let recon_train =
+        train.with_x(exp.codec_mut().reconstruct(train.x()).expect("codec reconstructs"));
+    let recon_test =
+        test.with_x(exp.codec_mut().reconstruct(test.x()).expect("codec reconstructs"));
 
     let mut rng = OrcoRng::from_label("e2e-clf", 0);
     let mut cnn = Cnn::new(DatasetKind::MnistLike, &mut rng);
@@ -131,7 +133,7 @@ fn orcodcs_reconstruction_beats_data_starved_dcsnet() {
     let dataset = mnist_like::generate(96, 5);
     let cfg = OrcoConfig::for_dataset(DatasetKind::MnistLike).with_epochs(6).with_batch_size(32);
     let (mut exp, _report) = run_pipeline(&dataset, &cfg);
-    let orco_recon = exp.codec_mut().reconstruct(dataset.x());
+    let orco_recon = exp.codec_mut().reconstruct(dataset.x()).expect("codec reconstructs");
     let orco_l2 = Loss::L2.value(&orco_recon, dataset.x());
 
     // DCSNet's native offline scheme, through the same builder.
@@ -145,7 +147,7 @@ fn orcodcs_reconstruction_beats_data_starved_dcsnet() {
         .build()
         .expect("consistent experiment");
     let _ = dcs.run().expect("offline training runs");
-    let dcs_recon = dcs.codec_mut().reconstruct(dataset.x());
+    let dcs_recon = dcs.codec_mut().reconstruct(dataset.x()).expect("codec reconstructs");
     let dcs_l2 = Loss::L2.value(&dcs_recon, dataset.x());
 
     assert!(orco_l2 < dcs_l2, "OrcoDCS L2 {orco_l2} should beat DCSNet-30% {dcs_l2}");
