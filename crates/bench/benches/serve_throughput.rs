@@ -1,0 +1,205 @@
+//! Serving-throughput bench: frames/s end to end through the loopback
+//! gateway — full wire protocol, sharded micro-batcher, ONE
+//! `encode_batch` per flush, decoded pulls — across worker (shard)
+//! counts, micro-batch sizes, and batch deadlines.
+//!
+//! This is the perf stake of the serving subsystem: on one core a
+//! batched gateway configuration (`batch_max_frames = 64`) must serve at
+//! least 2× the frames/s of a batch-size-1 gateway (every push flushed
+//! and every pull decoded one frame at a time) — the batched-data-plane
+//! win of `BENCH_frame_throughput.json` surviving the protocol layer.
+//! Results land in `BENCH_serve_throughput.json` (override with
+//! `ORCO_SERVE_BENCH_JSON`); CI runs quick mode and uploads the JSON.
+//!
+//! Run with: `cargo bench -p orco_bench --bench serve_throughput`
+//! (`ORCO_SCALE=quick` shrinks the measurement for CI.)
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use orco_serve::{Client, Clock, Gateway, GatewayConfig, Loopback, PushOutcome};
+use orco_tensor::{Matrix, OrcoRng};
+use orcodcs::{AsymmetricAutoencoder, Codec, OrcoConfig};
+
+/// Clusters driven round-robin (spreads load across shards).
+const CLUSTERS: [u64; 4] = [3, 19, 42, 77];
+/// Virtual-clock advance per dispatched message; with the deadline knob
+/// this decides how many frames a lingering batch accumulates.
+const QUANTUM: Duration = Duration::from_micros(100);
+
+struct Config {
+    label: &'static str,
+    shards: usize,
+    batch_max: usize,
+    deadline_ms: u64,
+}
+
+struct Row {
+    label: &'static str,
+    shards: usize,
+    batch_max: usize,
+    deadline_ms: u64,
+    frames_per_s: f64,
+}
+
+/// Serves `total` frames end to end (push one per message, pull decoded
+/// in `batch_max`-sized chunks) and returns the wall-clock frames/s.
+fn run(cfg: &Config, total: usize) -> f64 {
+    let ae_cfg = OrcoConfig::for_dataset(orco_datasets_kind()).with_latent_dim(paper_latent());
+    let gateway = Arc::new(
+        Gateway::new(
+            GatewayConfig {
+                shards: cfg.shards,
+                batch_max_frames: cfg.batch_max,
+                batch_deadline: Duration::from_millis(cfg.deadline_ms),
+                queue_capacity: 4096,
+            },
+            Clock::manual(QUANTUM),
+            |_| {
+                Box::new(AsymmetricAutoencoder::new(&ae_cfg).expect("valid config"))
+                    as Box<dyn Codec>
+            },
+        )
+        .expect("valid gateway"),
+    );
+    let mut client = Client::connect(&Loopback::new(gateway)).expect("loopback connects");
+    let info = client.hello(0).expect("hello");
+
+    let mut rng = OrcoRng::from_seed_u64(7);
+    let frames = Matrix::from_fn(256, info.frame_dim as usize, |_, _| rng.uniform(0.0, 1.0));
+    let pull_chunk = cfg.batch_max as u32;
+
+    let mut served = 0usize;
+    let mut pushed_since_drain = 0usize;
+    let start = Instant::now();
+    for i in 0..total {
+        let cluster = CLUSTERS[i % CLUSTERS.len()];
+        let row = i % frames.rows();
+        match client.push(cluster, frames.view_rows(row..row + 1)).expect("push") {
+            PushOutcome::Accepted(_) => pushed_since_drain += 1,
+            PushOutcome::Busy { .. } => unreachable!("drain policy keeps the budget free"),
+        }
+        // Periodically drain so the in-flight budget never fills; the
+        // pull chunk matches the config's batch size, so the batch-1
+        // configuration also decodes one frame per call.
+        if pushed_since_drain >= 1024 {
+            served += drain(&mut client, pull_chunk);
+            pushed_since_drain = 0;
+        }
+    }
+    loop {
+        let got = drain(&mut client, pull_chunk);
+        if got == 0 {
+            break;
+        }
+        served += got;
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    assert_eq!(served, total, "every pushed frame must come back decoded");
+    total as f64 / elapsed
+}
+
+fn drain(client: &mut Client<impl orco_serve::Connection>, pull_chunk: u32) -> usize {
+    let mut got = 0;
+    for &cluster in &CLUSTERS {
+        loop {
+            let chunk = client.pull(cluster, pull_chunk).expect("pull").rows();
+            if chunk == 0 {
+                break;
+            }
+            got += chunk;
+        }
+    }
+    got
+}
+
+fn orco_datasets_kind() -> orco_datasets::DatasetKind {
+    orco_datasets::DatasetKind::MnistLike
+}
+
+fn paper_latent() -> usize {
+    orco_datasets_kind().paper_latent_dim()
+}
+
+fn main() {
+    // The acceptance claim is per-core: pin the kernels to one thread.
+    orco_tensor::parallel::set_threads(1);
+    let quick = std::env::var("ORCO_SCALE").as_deref() == Ok("quick");
+    let total = if quick { 1024 } else { 8192 };
+
+    let configs = [
+        Config { label: "batch-1", shards: 1, batch_max: 1, deadline_ms: 50 },
+        Config { label: "batch-16", shards: 1, batch_max: 16, deadline_ms: 50 },
+        Config { label: "batch-64", shards: 1, batch_max: 64, deadline_ms: 50 },
+        Config { label: "batch-64-2shard", shards: 2, batch_max: 64, deadline_ms: 50 },
+        Config { label: "batch-64-4shard", shards: 4, batch_max: 64, deadline_ms: 50 },
+        Config { label: "batch-64-1ms", shards: 1, batch_max: 64, deadline_ms: 1 },
+    ];
+
+    let mut rows = Vec::new();
+    for cfg in &configs {
+        // Warm-up run grows every workspace to size.
+        let _ = run(cfg, total.min(256));
+        let frames_per_s = run(cfg, total);
+        rows.push(Row {
+            label: cfg.label,
+            shards: cfg.shards,
+            batch_max: cfg.batch_max,
+            deadline_ms: cfg.deadline_ms,
+            frames_per_s,
+        });
+    }
+
+    println!(
+        "serve_throughput (loopback, 1 thread, {} frames, {} scale)",
+        total,
+        if quick { "quick" } else { "default" }
+    );
+    println!(
+        "{:<18} {:>6} {:>10} {:>12} {:>14}",
+        "config", "shards", "batch_max", "deadline_ms", "frames/s"
+    );
+    for r in &rows {
+        println!(
+            "{:<18} {:>6} {:>10} {:>12} {:>14.1}",
+            r.label, r.shards, r.batch_max, r.deadline_ms, r.frames_per_s
+        );
+    }
+
+    let fps =
+        |label: &str| rows.iter().find(|r| r.label == label).expect("config exists").frames_per_s;
+    let speedup = fps("batch-64") / fps("batch-1");
+    println!("\nbatched (64) vs batch-size-1 gateway on one core: {speedup:.2}x");
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"serve_throughput\",");
+    let _ = writeln!(json, "  \"scale\": \"{}\",", if quick { "quick" } else { "default" });
+    let _ = writeln!(json, "  \"threads\": 1,");
+    let _ = writeln!(json, "  \"frames\": {total},");
+    let _ = writeln!(json, "  \"batched64_vs_batch1_speedup\": {speedup:.4},");
+    let _ = writeln!(json, "  \"results\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"config\": \"{}\", \"shards\": {}, \"batch_max\": {}, \"deadline_ms\": {}, \"frames_per_s\": {:.2}}}{comma}",
+            r.label, r.shards, r.batch_max, r.deadline_ms, r.frames_per_s
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    json.push_str("}\n");
+    let path = std::env::var("ORCO_SERVE_BENCH_JSON").unwrap_or_else(|_| {
+        format!("{}/../../BENCH_serve_throughput.json", env!("CARGO_MANIFEST_DIR"))
+    });
+    std::fs::write(&path, &json).expect("bench JSON is writable");
+    println!("wrote {path}");
+
+    // The documented acceptance bar: batched serving must hold >= 2x the
+    // batch-size-1 gateway on one core (measured ~4.3x; fail loudly well
+    // before the README's claim goes stale).
+    assert!(
+        speedup >= 2.0,
+        "batched gateway fell below the 2x acceptance bar vs batch-size-1 ({speedup:.2}x)"
+    );
+}

@@ -33,6 +33,9 @@ pub enum OrcoError {
         /// The round at which divergence was detected.
         round: usize,
     },
+    /// An I/O operation failed — raised by the serving layer
+    /// (`orco-serve`) where sockets and codecs share one `?` chain.
+    Io(std::io::Error),
 }
 
 impl fmt::Display for OrcoError {
@@ -48,6 +51,7 @@ impl fmt::Display for OrcoError {
             OrcoError::Diverged { round } => {
                 write!(f, "training diverged at round {round} (non-finite loss)")
             }
+            OrcoError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
 }
@@ -57,6 +61,7 @@ impl std::error::Error for OrcoError {
         match self {
             OrcoError::Network(e) => Some(e),
             OrcoError::Tensor(e) => Some(e),
+            OrcoError::Io(e) => Some(e),
             _ => None,
         }
     }
@@ -74,6 +79,12 @@ impl From<orco_tensor::TensorError> for OrcoError {
     }
 }
 
+impl From<std::io::Error> for OrcoError {
+    fn from(e: std::io::Error) -> Self {
+        OrcoError::Io(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -88,5 +99,9 @@ mod tests {
         let shape = OrcoError::Shape { codec: "OrcoDCS", what: "frame", expected: 784, actual: 3 };
         assert!(shape.to_string().contains("OrcoDCS"));
         assert!(shape.to_string().contains("784"));
+        let io = OrcoError::from(std::io::Error::new(std::io::ErrorKind::BrokenPipe, "pipe"));
+        assert!(matches!(io, OrcoError::Io(_)));
+        assert!(std::error::Error::source(&io).is_some());
+        assert!(io.to_string().contains("pipe"));
     }
 }

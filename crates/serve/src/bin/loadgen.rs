@@ -1,0 +1,184 @@
+//! TCP load generator for an `orco-serve` gateway.
+//!
+//! Spawns N client threads, each owning one cluster: every client pushes
+//! M synthetic frames (`--rows-per-push` per message), then drains its
+//! decoded reconstructions in `--pull-chunk` chunks, honoring `Busy`
+//! backpressure with a short retry sleep. At the end one control
+//! connection prints the gateway's stats snapshot and (with
+//! `--shutdown`) asks the gateway to exit.
+//!
+//! Pair it with the `edge_gateway` example:
+//!
+//! ```sh
+//! cargo run --release --example edge_gateway &
+//! cargo run --release -p orco-serve --bin loadgen -- --clients 2 --frames 64 --shutdown
+//! ```
+
+use std::time::{Duration, Instant};
+
+use orco_serve::{Client, PushOutcome, Tcp, TcpConnection};
+use orco_tensor::{Matrix, OrcoRng};
+use orcodcs::OrcoError;
+
+struct Args {
+    addr: String,
+    clients: usize,
+    frames: usize,
+    rows_per_push: usize,
+    pull_chunk: u32,
+    shutdown: bool,
+    connect_timeout: Duration,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let mut args = Args {
+            addr: "127.0.0.1:7117".into(),
+            clients: 2,
+            frames: 64,
+            rows_per_push: 1,
+            pull_chunk: 64,
+            shutdown: false,
+            connect_timeout: Duration::from_secs(10),
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let mut value =
+                |name: &str| it.next().unwrap_or_else(|| panic!("{name} requires a value"));
+            match flag.as_str() {
+                "--addr" => args.addr = value("--addr"),
+                "--clients" => args.clients = value("--clients").parse().expect("usize"),
+                "--frames" => args.frames = value("--frames").parse().expect("usize"),
+                "--rows-per-push" => {
+                    args.rows_per_push = value("--rows-per-push").parse().expect("usize");
+                }
+                "--pull-chunk" => args.pull_chunk = value("--pull-chunk").parse().expect("u32"),
+                "--connect-timeout-s" => {
+                    args.connect_timeout =
+                        Duration::from_secs(value("--connect-timeout-s").parse().expect("u64"));
+                }
+                "--shutdown" => args.shutdown = true,
+                other => {
+                    eprintln!(
+                        "unknown flag {other}\nusage: loadgen [--addr HOST:PORT] [--clients N] \
+                         [--frames M] [--rows-per-push R] [--pull-chunk K] \
+                         [--connect-timeout-s S] [--shutdown]"
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+        assert!(args.clients > 0 && args.frames > 0 && args.rows_per_push > 0);
+        assert!(args.pull_chunk > 0);
+        args
+    }
+}
+
+/// Dials until the gateway answers or the timeout elapses — the gateway
+/// may still be starting when loadgen launches (CI runs them in
+/// parallel).
+fn connect_with_retry(
+    transport: &Tcp,
+    timeout: Duration,
+) -> Result<Client<TcpConnection>, OrcoError> {
+    let start = Instant::now();
+    loop {
+        match Client::connect(transport) {
+            Ok(client) => return Ok(client),
+            Err(_) if start.elapsed() < timeout => {
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn run_client(args: &Args, id: usize) -> Result<(usize, usize), OrcoError> {
+    let transport = Tcp::new(args.addr.clone());
+    let mut client = connect_with_retry(&transport, args.connect_timeout)?;
+    let info = client.hello(id as u64)?;
+    let cluster = 1000 + id as u64;
+    let mut rng = OrcoRng::from_seed_u64(0xC0FFEE ^ id as u64);
+    let frames =
+        Matrix::from_fn(args.frames, info.frame_dim as usize, |_, _| rng.uniform(0.0, 1.0));
+
+    let mut pushed = 0usize;
+    let mut pulled = 0usize;
+    while pushed < args.frames {
+        let hi = (pushed + args.rows_per_push).min(args.frames);
+        match client.push(cluster, frames.view_rows(pushed..hi))? {
+            PushOutcome::Accepted(n) => pushed += n as usize,
+            PushOutcome::Busy { .. } => {
+                // Backpressure: drain some decoded output, then retry.
+                pulled += client.pull(cluster, args.pull_chunk)?.rows();
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+    }
+    while pulled < args.frames {
+        let got = client.pull(cluster, args.pull_chunk)?.rows();
+        if got == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+            continue;
+        }
+        pulled += got;
+    }
+    Ok((pushed, pulled))
+}
+
+fn main() {
+    let args = Args::parse();
+    println!(
+        "loadgen: {} client(s) x {} frames -> {} (rows/push {}, pull chunk {})",
+        args.clients, args.frames, args.addr, args.rows_per_push, args.pull_chunk
+    );
+
+    let start = Instant::now();
+    let args_ref = &args;
+    let results: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> =
+            (0..args.clients).map(|id| scope.spawn(move || run_client(args_ref, id))).collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+
+    let mut total = 0usize;
+    for (id, r) in results.iter().enumerate() {
+        match r {
+            Ok((pushed, pulled)) => {
+                println!("  client {id}: pushed {pushed}, pulled {pulled}");
+                total += pulled;
+            }
+            Err(e) => {
+                eprintln!("  client {id} failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    println!(
+        "loadgen: {total} frames served end-to-end in {elapsed:.3}s ({:.0} frames/s)",
+        total as f64 / elapsed
+    );
+
+    let transport = Tcp::new(args.addr.clone());
+    let mut control = connect_with_retry(&transport, args.connect_timeout).expect("control conn");
+    match control.stats() {
+        Ok(s) => println!(
+            "gateway stats: frames_in={} frames_out={} batches={} (max batch {}) \
+             deadline_flushes={} busy={} p50={:.6}s p99={:.6}s",
+            s.frames_in,
+            s.frames_out,
+            s.batches,
+            s.max_batch_rows,
+            s.deadline_flushes,
+            s.busy_rejections,
+            s.batch_latency_p50_s,
+            s.batch_latency_p99_s
+        ),
+        Err(e) => eprintln!("stats request failed: {e}"),
+    }
+    if args.shutdown {
+        control.shutdown().expect("shutdown accepted");
+        println!("loadgen: gateway shutdown requested");
+    }
+}

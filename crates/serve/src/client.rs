@@ -1,0 +1,161 @@
+//! A typed client over any [`Transport`]: the request/reply pairing of
+//! the protocol as plain method calls.
+
+use orco_tensor::{MatView, Matrix};
+use orcodcs::OrcoError;
+
+use crate::protocol::Message;
+use crate::stats::StatsSnapshot;
+use crate::transport::{Connection, Transport};
+
+/// The gateway's answer to a push.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// All rows entered the shard's micro-batcher.
+    Accepted(u32),
+    /// Backpressure: the shard's in-flight budget is exhausted. Drain
+    /// with [`Client::pull`] or retry later.
+    Busy {
+        /// Rows currently in flight on the shard.
+        queued: u32,
+        /// The shard's in-flight row budget.
+        capacity: u32,
+    },
+}
+
+/// The gateway's geometry as announced in `HelloAck`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GatewayInfo {
+    /// Protocol version the gateway speaks.
+    pub version: u16,
+    /// Number of worker shards.
+    pub shards: u16,
+    /// Raw-frame width in f32 elements.
+    pub frame_dim: u32,
+    /// Encoded-code width in f32 elements.
+    pub code_dim: u32,
+}
+
+/// A typed gateway client over any [`Connection`].
+#[derive(Debug)]
+pub struct Client<C: Connection> {
+    conn: C,
+}
+
+impl<C: Connection> Client<C> {
+    /// Opens a connection through `transport`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrcoError::Io`] when the gateway is unreachable.
+    pub fn connect<T: Transport<Conn = C>>(transport: &T) -> Result<Self, OrcoError> {
+        Ok(Self { conn: transport.connect()? })
+    }
+
+    /// Wraps an already-open connection.
+    pub fn from_connection(conn: C) -> Self {
+        Self { conn }
+    }
+
+    /// Introduces the client and learns the gateway's geometry.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and protocol violations.
+    pub fn hello(&mut self, client_id: u64) -> Result<GatewayInfo, OrcoError> {
+        match self.conn.request(&Message::Hello { client_id })? {
+            Message::HelloAck { version, shards, frame_dim, code_dim } => {
+                Ok(GatewayInfo { version, shards, frame_dim, code_dim })
+            }
+            other => Err(unexpected("HelloAck", &other)),
+        }
+    }
+
+    /// Pushes a batch of raw frames (one per row) for `cluster_id`.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, protocol violations, gateway rejections
+    /// (wrong frame width, shutdown in progress), and pushes whose
+    /// payload exceeds the wire protocol's frame bound — rejected here,
+    /// client-side, with a "split the push" error instead of an opaque
+    /// connection close from the server's frame reader.
+    pub fn push(&mut self, cluster_id: u64, frames: MatView<'_>) -> Result<PushOutcome, OrcoError> {
+        let payload = 16 + frames.len() * 4; // cluster_id + rows/cols + data
+        if payload > crate::protocol::MAX_PAYLOAD {
+            return Err(OrcoError::Config {
+                detail: format!(
+                    "push of {} rows is a {payload}-byte payload, over the {}-byte wire \
+                     frame bound; split the push",
+                    frames.rows(),
+                    crate::protocol::MAX_PAYLOAD
+                ),
+            });
+        }
+        let msg = Message::PushFrames { cluster_id, frames: frames.to_matrix() };
+        match self.conn.request(&msg)? {
+            Message::PushAck { accepted } => Ok(PushOutcome::Accepted(accepted)),
+            Message::Busy { queued, capacity } => Ok(PushOutcome::Busy { queued, capacity }),
+            other => Err(unexpected("PushAck or Busy", &other)),
+        }
+    }
+
+    /// Pulls up to `max_frames` decoded reconstructions for `cluster_id`
+    /// (empty matrix when nothing is stored), oldest first, push order.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, protocol violations, and gateway-side codec
+    /// failures.
+    pub fn pull(&mut self, cluster_id: u64, max_frames: u32) -> Result<Matrix, OrcoError> {
+        match self.conn.request(&Message::PullDecoded { cluster_id, max_frames })? {
+            Message::Decoded { cluster_id: got, frames } => {
+                if got != cluster_id {
+                    return Err(OrcoError::Config {
+                        detail: format!(
+                            "protocol violation: pulled cluster {cluster_id} but the reply \
+                             carries cluster {got}"
+                        ),
+                    });
+                }
+                Ok(frames)
+            }
+            other => Err(unexpected("Decoded", &other)),
+        }
+    }
+
+    /// Fetches the gateway's serving statistics.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and protocol violations.
+    pub fn stats(&mut self) -> Result<StatsSnapshot, OrcoError> {
+        match self.conn.request(&Message::StatsRequest)? {
+            Message::StatsReply(snapshot) => Ok(snapshot),
+            other => Err(unexpected("StatsReply", &other)),
+        }
+    }
+
+    /// Asks the gateway to flush, stop accepting work, and exit.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and protocol violations.
+    pub fn shutdown(&mut self) -> Result<(), OrcoError> {
+        match self.conn.request(&Message::Shutdown)? {
+            Message::ShutdownAck => Ok(()),
+            other => Err(unexpected("ShutdownAck", &other)),
+        }
+    }
+}
+
+fn unexpected(expected: &str, got: &Message) -> OrcoError {
+    match got {
+        Message::ErrorReply { code, detail } => OrcoError::Config {
+            detail: format!("gateway rejected the request ({code:?}): {detail}"),
+        },
+        other => OrcoError::Config {
+            detail: format!("protocol violation: expected {expected}, got {}", other.kind()),
+        },
+    }
+}

@@ -1,0 +1,378 @@
+//! The sharded ingestion gateway: request dispatch, micro-batch flush
+//! policy, and backpressure.
+//!
+//! A [`Gateway`] owns `shards` independent shard cores (codec +
+//! micro-batcher + encoded store); a cluster is pinned to a shard by an
+//! FNV-1a hash of its id, so one cluster's frames always meet the same
+//! codec and stay in push order. Dispatch is transport-agnostic: the TCP
+//! server and the in-process loopback both funnel decoded requests into
+//! [`Gateway::handle`] (or raw frames into [`Gateway::handle_bytes`]),
+//! which makes the loopback tests exercise exactly the production path.
+//!
+//! Flush policy — the adaptive micro-batcher:
+//!
+//! * **size**: a push that brings the pending batch to
+//!   [`GatewayConfig::batch_max_frames`] flushes inline, on the pushing
+//!   thread;
+//! * **deadline**: a pending batch older than
+//!   [`GatewayConfig::batch_deadline`] is flushed by the shard's
+//!   deadline-flusher thread (TCP mode) or by the next dispatch touching
+//!   the shard (loopback mode, virtual clock);
+//! * **pull**: a `PullDecoded` flushes the shard's pending batch first,
+//!   so clients always read their own writes.
+//!
+//! Backpressure is explicit: a shard's `pending + stored` rows never
+//! exceed [`GatewayConfig::queue_capacity`]; a push over budget is
+//! answered with [`Message::Busy`] and **nothing is buffered** — gateway
+//! memory is bounded by configuration, not by client behavior.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+use orco_tensor::Matrix;
+use orcodcs::{Codec, FrameDims, OrcoError};
+
+use crate::clock::Clock;
+use crate::protocol::{ErrorCode, Message, PROTOCOL_VERSION};
+use crate::shard::ShardCore;
+use crate::stats::ServeStats;
+
+/// Sizing and flush policy of a [`Gateway`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GatewayConfig {
+    /// Worker shards; each owns a codec and serves `hash(cluster) %
+    /// shards`.
+    pub shards: usize,
+    /// Pending rows that trigger an immediate (size) flush.
+    pub batch_max_frames: usize,
+    /// Maximum age of a pending batch before a deadline flush.
+    pub batch_deadline: Duration,
+    /// Per-shard in-flight row budget (pending + stored); pushes beyond
+    /// it draw `Busy`.
+    pub queue_capacity: usize,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        Self {
+            shards: 2,
+            batch_max_frames: 64,
+            batch_deadline: Duration::from_millis(5),
+            queue_capacity: 4096,
+        }
+    }
+}
+
+impl GatewayConfig {
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrcoError::Config`] naming the first violated
+    /// constraint.
+    pub fn validate(&self) -> Result<(), OrcoError> {
+        if self.shards == 0 {
+            return Err(OrcoError::Config { detail: "GatewayConfig: shards must be > 0".into() });
+        }
+        if self.batch_max_frames == 0 {
+            return Err(OrcoError::Config {
+                detail: "GatewayConfig: batch_max_frames must be > 0".into(),
+            });
+        }
+        if self.queue_capacity < self.batch_max_frames {
+            return Err(OrcoError::Config {
+                detail: "GatewayConfig: queue_capacity must be >= batch_max_frames".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+pub(crate) struct ShardSlot {
+    pub(crate) core: Mutex<ShardCore>,
+    /// Wakes the shard's deadline flusher when a batch starts pending.
+    pub(crate) cv: Condvar,
+}
+
+/// The sharded ingestion gateway. Shared across connection threads as an
+/// `Arc<Gateway>`; all entry points take `&self`.
+pub struct Gateway {
+    cfg: GatewayConfig,
+    clock: Clock,
+    dims: FrameDims,
+    stats: ServeStats,
+    shards: Vec<ShardSlot>,
+    shutting_down: AtomicBool,
+}
+
+impl std::fmt::Debug for Gateway {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gateway")
+            .field("cfg", &self.cfg)
+            .field("dims", &self.dims)
+            .field("shutting_down", &self.shutting_down)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Gateway {
+    /// Builds a gateway, asking `codec_for_shard` for each shard's codec.
+    /// All shards must serve the same frame geometry (build them from the
+    /// same deterministic config/seed and they will also produce
+    /// bit-identical codes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrcoError::Config`] on an invalid config or when shard
+    /// codecs disagree on [`FrameDims`].
+    pub fn new(
+        cfg: GatewayConfig,
+        clock: Clock,
+        mut codec_for_shard: impl FnMut(usize) -> Box<dyn Codec>,
+    ) -> Result<Self, OrcoError> {
+        cfg.validate()?;
+        let mut shards = Vec::with_capacity(cfg.shards);
+        let mut dims: Option<FrameDims> = None;
+        for i in 0..cfg.shards {
+            let core = ShardCore::new(codec_for_shard(i));
+            match dims {
+                None => dims = Some(core.dims()),
+                Some(d) if d == core.dims() => {}
+                Some(d) => {
+                    return Err(OrcoError::Config {
+                        detail: format!(
+                            "Gateway: shard {i} codec geometry {:?} differs from shard 0 ({d:?})",
+                            core.dims()
+                        ),
+                    });
+                }
+            }
+            shards.push(ShardSlot { core: Mutex::new(core), cv: Condvar::new() });
+        }
+        Ok(Self {
+            cfg,
+            clock,
+            dims: dims.expect("at least one shard"),
+            stats: ServeStats::new(cfg.shards as u16),
+            shards,
+            shutting_down: AtomicBool::new(false),
+        })
+    }
+
+    /// The gateway's flush/backpressure configuration.
+    #[must_use]
+    pub fn config(&self) -> &GatewayConfig {
+        &self.cfg
+    }
+
+    /// The gateway's clock.
+    #[must_use]
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// The served data-plane geometry.
+    #[must_use]
+    pub fn frame_dims(&self) -> FrameDims {
+        self.dims
+    }
+
+    /// A snapshot of the serving statistics (also served over the wire
+    /// via [`Message::StatsRequest`]).
+    #[must_use]
+    pub fn stats(&self) -> crate::stats::StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Whether [`Message::Shutdown`] has been received.
+    #[must_use]
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutting_down.load(Ordering::SeqCst)
+    }
+
+    /// The shard serving a cluster: FNV-1a over the id's little-endian
+    /// bytes ([`orco_tensor::fnv1a64`], the workspace's one stable
+    /// dependency-free hash), reduced modulo the shard count.
+    /// Deterministic across runs, platforms, and thread counts (unlike
+    /// `DefaultHasher`).
+    #[must_use]
+    pub fn shard_of(&self, cluster_id: u64) -> usize {
+        (orco_tensor::fnv1a64(&cluster_id.to_le_bytes()) % self.shards.len() as u64) as usize
+    }
+
+    /// Handles one decoded request and produces its reply. Never panics
+    /// on hostile input; failures become [`Message::ErrorReply`].
+    pub fn handle(&self, msg: Message) -> Message {
+        self.clock.tick();
+        let now = self.clock.now_s();
+        match msg {
+            Message::Hello { client_id: _ } => Message::HelloAck {
+                version: PROTOCOL_VERSION,
+                shards: self.shards.len() as u16,
+                frame_dim: self.dims.input as u32,
+                code_dim: self.dims.code as u32,
+            },
+            Message::PushFrames { cluster_id, frames } => self.push(cluster_id, &frames, now),
+            Message::PullDecoded { cluster_id, max_frames } => {
+                self.pull(cluster_id, max_frames as usize, now)
+            }
+            Message::StatsRequest => Message::StatsReply(self.stats.snapshot()),
+            Message::Shutdown => {
+                self.begin_shutdown(now);
+                Message::ShutdownAck
+            }
+            other => Message::ErrorReply {
+                code: ErrorCode::BadRequest,
+                detail: format!("{} is a reply, not a request", other.kind()),
+            },
+        }
+    }
+
+    /// Decodes one raw frame, handles it, and encodes the reply into
+    /// `reply` (cleared first). Malformed frames draw an encoded
+    /// [`Message::ErrorReply`] rather than an error — the wire never goes
+    /// silent. Both the TCP connection loop and the loopback transport
+    /// route through here, so every test of one is a test of the other.
+    pub fn handle_bytes(&self, frame: &[u8], reply: &mut Vec<u8>) {
+        let resp = match Message::decode(frame) {
+            Ok(msg) => self.handle(msg),
+            Err(e) => Message::ErrorReply { code: ErrorCode::BadRequest, detail: e.to_string() },
+        };
+        resp.encode_into(reply);
+    }
+
+    fn push(&self, cluster_id: u64, frames: &Matrix, now: f64) -> Message {
+        if frames.cols() != self.dims.input {
+            return Message::ErrorReply {
+                code: ErrorCode::Shape,
+                detail: format!(
+                    "frame width mismatch: expected {} f32 elements, got {}",
+                    self.dims.input,
+                    frames.cols()
+                ),
+            };
+        }
+        let rows = frames.rows();
+        if rows == 0 {
+            return Message::PushAck { accepted: 0 };
+        }
+        if rows > self.cfg.queue_capacity {
+            return Message::ErrorReply {
+                code: ErrorCode::BadRequest,
+                detail: format!(
+                    "push of {rows} rows exceeds the shard capacity of {}; split the push",
+                    self.cfg.queue_capacity
+                ),
+            };
+        }
+        let slot = &self.shards[self.shard_of(cluster_id)];
+        let mut core = slot.core.lock().expect("shard lock");
+        // The shutdown check must happen under the shard lock: either
+        // this push wins the lock and its frames are flushed by
+        // `begin_shutdown`'s subsequent per-shard flush, or shutdown wins
+        // and the push is rejected here — a PushAck'd frame can never be
+        // stranded in a batcher whose flushers have exited.
+        if self.is_shutting_down() {
+            return Message::ErrorReply {
+                code: ErrorCode::ShuttingDown,
+                detail: "gateway is shutting down".into(),
+            };
+        }
+        // An overdue batch flushes before the new push joins it, so the
+        // deadline bounds every frame's wait even in loopback mode where
+        // no flusher thread runs.
+        if core.deadline_due(now, self.cfg.batch_deadline.as_secs_f64()) {
+            if let Err(e) = core.flush(now, true, &self.stats) {
+                return internal(&e);
+            }
+        }
+        if !core.try_enqueue(cluster_id, frames, now, self.cfg.queue_capacity) {
+            self.stats.record_busy();
+            return Message::Busy {
+                queued: core.in_flight() as u32,
+                capacity: self.cfg.queue_capacity as u32,
+            };
+        }
+        self.stats.record_push(rows as u64, (rows * self.dims.input * 4) as u64);
+        if core.pending_rows() >= self.cfg.batch_max_frames {
+            if let Err(e) = core.flush(now, false, &self.stats) {
+                return internal(&e);
+            }
+        } else {
+            // Arm the shard's deadline flusher (TCP mode; loopback has
+            // none and relies on the dispatch-time check above).
+            slot.cv.notify_one();
+        }
+        Message::PushAck { accepted: rows as u32 }
+    }
+
+    fn pull(&self, cluster_id: u64, max: usize, now: f64) -> Message {
+        let slot = &self.shards[self.shard_of(cluster_id)];
+        let mut core = slot.core.lock().expect("shard lock");
+        // Read-your-writes needs a flush only when the puller's own
+        // frames are pending; an overdue batch flushes too. Anything else
+        // stays pending — a polling consumer must not collapse other
+        // clusters' half-built batches to size-1 flushes.
+        let deadline_due = core.deadline_due(now, self.cfg.batch_deadline.as_secs_f64());
+        if core.has_pending_for(cluster_id) || deadline_due {
+            if let Err(e) = core.flush(now, deadline_due, &self.stats) {
+                return internal(&e);
+            }
+        }
+        match core.pull(cluster_id, max, &self.stats) {
+            Ok(frames) => Message::Decoded { cluster_id, frames },
+            Err(e) => internal(&e),
+        }
+    }
+
+    fn begin_shutdown(&self, now: f64) {
+        self.shutting_down.store(true, Ordering::SeqCst);
+        for slot in &self.shards {
+            let mut core = slot.core.lock().expect("shard lock");
+            if let Err(e) = core.flush(now, false, &self.stats) {
+                eprintln!("orco-serve: flush during shutdown failed: {e}");
+            }
+            slot.cv.notify_all();
+        }
+    }
+
+    /// Runs shard `idx`'s deadline flusher until shutdown. Spawned by the
+    /// TCP server (one thread per shard); the loopback transport instead
+    /// checks deadlines at dispatch time against its virtual clock.
+    pub(crate) fn run_deadline_flusher(&self, idx: usize) {
+        let slot = &self.shards[idx];
+        let mut core = slot.core.lock().expect("shard lock");
+        loop {
+            let now = self.clock.now_s();
+            if self.is_shutting_down() {
+                if let Err(e) = core.flush(now, false, &self.stats) {
+                    eprintln!("orco-serve: shard {idx} final flush failed: {e}");
+                }
+                return;
+            }
+            if core.pending_rows() == 0 {
+                // Nothing pending: doze until a push arms us (bounded so
+                // shutdown is noticed even without a notification).
+                let (guard, _) =
+                    slot.cv.wait_timeout(core, Duration::from_millis(50)).expect("shard lock");
+                core = guard;
+                continue;
+            }
+            let due_at = core.oldest_enqueue_s() + self.cfg.batch_deadline.as_secs_f64();
+            if now >= due_at {
+                if let Err(e) = core.flush(now, true, &self.stats) {
+                    eprintln!("orco-serve: shard {idx} deadline flush failed: {e}");
+                }
+                continue;
+            }
+            let wait = Duration::from_secs_f64((due_at - now).clamp(0.0005, 0.05));
+            let (guard, _) = slot.cv.wait_timeout(core, wait).expect("shard lock");
+            core = guard;
+        }
+    }
+}
+
+fn internal(e: &OrcoError) -> Message {
+    Message::ErrorReply { code: ErrorCode::Internal, detail: e.to_string() }
+}

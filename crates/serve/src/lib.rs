@@ -1,0 +1,88 @@
+//! # orco-serve
+//!
+//! The serving layer of the OrcoDCS reproduction: a **sharded
+//! edge-ingestion gateway** that exposes the batched codec data plane
+//! ([`orcodcs::Codec::encode_batch`] / `decode_batch`) as a network
+//! service over a length-prefixed binary wire protocol.
+//!
+//! The paper's pipeline ends at the edge server; this crate is what a
+//! production deployment puts in front of it. Sensor clusters push raw
+//! frames ([`protocol::Message::PushFrames`]); the gateway routes each
+//! cluster to a shard by deterministic hash, micro-batches frames across
+//! pushes, and encodes every flush as **one** `encode_batch` call — the
+//! 4–6× batched-over-per-frame win measured in
+//! `BENCH_frame_throughput.json` becomes a serving-throughput win
+//! (measured in `BENCH_serve_throughput.json`). Consumers drain decoded
+//! reconstructions with [`protocol::Message::PullDecoded`]; operators
+//! read [`StatsSnapshot`]s off the same wire.
+//!
+//! Design pillars:
+//!
+//! * **std-only.** `std::net::TcpListener` + `std::thread`; no async
+//!   runtime. The protocol is request/reply and the work is CPU-bound —
+//!   threads per connection and per shard are the honest model.
+//! * **Sharded ownership.** Each shard owns its codec and its reusable
+//!   workspaces; the steady-state ingest path (push → flush → encode)
+//!   performs no allocation, and nothing contends across shards.
+//! * **Bounded memory, explicit backpressure.** A shard's in-flight rows
+//!   (pending + stored) never exceed [`GatewayConfig::queue_capacity`];
+//!   beyond it clients get [`protocol::Message::Busy`], never an
+//!   unbounded buffer.
+//! * **Deterministic by construction.** The [`Loopback`] transport plus
+//!   [`Clock::manual`] make a full gateway run — stats included — a pure
+//!   function of the message schedule, bit-identical at any
+//!   `ORCO_THREADS` setting (regression-tested). The TCP face is the
+//!   same dispatch path behind a real clock and real sockets.
+//!
+//! ## Quickstart (in-process loopback)
+//!
+//! ```
+//! use std::sync::Arc;
+//! use std::time::Duration;
+//! use orco_serve::{Clock, Client, Gateway, GatewayConfig, Loopback, PushOutcome};
+//! use orcodcs::{AsymmetricAutoencoder, Codec, OrcoConfig};
+//! use orco_datasets::DatasetKind;
+//! use orco_tensor::Matrix;
+//!
+//! let config = OrcoConfig::for_dataset(DatasetKind::MnistLike).with_latent_dim(16);
+//! let gateway = Arc::new(Gateway::new(
+//!     GatewayConfig { shards: 2, batch_max_frames: 8, ..GatewayConfig::default() },
+//!     Clock::manual(Duration::from_micros(100)),
+//!     |_| Box::new(AsymmetricAutoencoder::new(&config).expect("valid config")) as Box<dyn Codec>,
+//! )?);
+//!
+//! let mut client = Client::connect(&Loopback::new(Arc::clone(&gateway)))?;
+//! let info = client.hello(1)?;
+//! assert_eq!(info.frame_dim, 784);
+//!
+//! // Push a round of frames for cluster 7, then read back reconstructions.
+//! let frames = Matrix::zeros(8, 784);
+//! assert_eq!(client.push(7, frames.as_view())?, PushOutcome::Accepted(8));
+//! let decoded = client.pull(7, 64)?;
+//! assert_eq!(decoded.shape(), (8, 784));
+//! assert_eq!(client.stats()?.batches, 1); // one flush, ONE encode_batch
+//! # Ok::<(), orcodcs::OrcoError>(())
+//! ```
+//!
+//! For the TCP face, see [`TcpServer`], the `edge_gateway` example
+//! (workspace root), and the `loadgen` binary in this crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod clock;
+pub mod gateway;
+pub mod protocol;
+mod shard;
+pub mod stats;
+pub mod tcp;
+pub mod transport;
+
+pub use client::{Client, GatewayInfo, PushOutcome};
+pub use clock::Clock;
+pub use gateway::{Gateway, GatewayConfig};
+pub use protocol::{ErrorCode, Message, WireError, PROTOCOL_VERSION};
+pub use stats::{ServeStats, StatsSnapshot};
+pub use tcp::TcpServer;
+pub use transport::{Connection, Loopback, LoopbackConnection, Tcp, TcpConnection, Transport};

@@ -1,0 +1,669 @@
+//! The gateway's length-prefixed binary wire protocol.
+//!
+//! Every message on the wire is one *frame*: a fixed 12-byte header
+//! followed by a payload. All integers and floats are **fixed
+//! little-endian** — no varints, no alignment padding — so encoding is a
+//! straight memcpy and a frame's length is known after reading 12 bytes:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic          "ORCO" as a little-endian u32
+//! 4       2     version        PROTOCOL_VERSION
+//! 6       2     message type   Message discriminant
+//! 8       4     payload length bytes after the header
+//! 12      n     payload        message-specific fields
+//! ```
+//!
+//! Matrices travel as `rows: u32, cols: u32` followed by `rows × cols`
+//! f32 values in row-major order; the bytes are the exact bit patterns of
+//! the floats, so a round trip through the wire is **bit-identical**
+//! (property-tested in `tests/protocol_roundtrip.rs`, NaNs included).
+//!
+//! Decoding is total: any byte sequence either parses into a [`Message`]
+//! or yields a typed [`WireError`] (truncated, bad magic, unknown type,
+//! length mismatch, …) — the gateway never panics on attacker-controlled
+//! input and replies with [`Message::ErrorReply`] instead.
+
+use std::fmt;
+use std::io::{self, Read};
+
+use orco_tensor::Matrix;
+use orcodcs::OrcoError;
+
+use crate::stats::StatsSnapshot;
+
+/// Frame magic: "ORCO" read as a little-endian u32.
+pub const MAGIC: u32 = u32::from_le_bytes(*b"ORCO");
+
+/// Version of the wire protocol spoken by this build.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Size of the fixed frame header in bytes.
+pub const HEADER_LEN: usize = 12;
+
+/// Upper bound on a data-bearing frame's declared payload length
+/// (`PushFrames`/`Decoded`). Every other message type has a much smaller
+/// per-type bound (see `payload_cap` in this module), and all bounds are
+/// enforced **before** any payload allocation, so a corrupt or hostile
+/// length field cannot make the gateway reserve memory a real message of
+/// that type could never use.
+pub const MAX_PAYLOAD: usize = 64 << 20;
+
+/// Upper bound on an [`Message::ErrorReply`] detail string.
+const MAX_ERROR_DETAIL: usize = 1 << 16;
+
+/// The largest payload each message type may declare. Tiny fixed-layout
+/// messages (acks, hellos, stats) get exact bounds; only the two
+/// matrix-bearing types may approach [`MAX_PAYLOAD`]. Unknown types are
+/// rejected here, before any payload is read.
+fn payload_cap(msg_type: u16) -> Result<usize, WireError> {
+    Ok(match msg_type {
+        1 => 8,               // Hello: client_id
+        2 => 12,              // HelloAck: version, shards, frame_dim, code_dim
+        3 | 7 => MAX_PAYLOAD, // PushFrames / Decoded: cluster_id + matrix
+        4 => 4,               // PushAck: accepted
+        5 => 8,               // Busy: queued, capacity
+        6 => 12,              // PullDecoded: cluster_id + max_frames
+        8 | 10 | 11 => 0,     // StatsRequest / Shutdown / ShutdownAck
+        // StatsReply: u16 + 12 u64 counters + 2 f64 percentiles. The
+        // protocol round-trip proptest draws random snapshots, so a
+        // stale bound here fails immediately when the snapshot grows.
+        9 => 2 + 12 * 8 + 2 * 8,
+        12 => 2 + 4 + MAX_ERROR_DETAIL, // ErrorReply: code + string
+        other => return Err(WireError::UnknownType { found: other }),
+    })
+}
+
+/// Typed decoding failures. Every malformed input maps to exactly one of
+/// these; tests assert on the variants, and the gateway turns them into
+/// [`Message::ErrorReply`] frames.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The input ended before a field's `needed` bytes were available.
+    Truncated {
+        /// Bytes the current field required.
+        needed: usize,
+        /// Bytes actually remaining.
+        got: usize,
+    },
+    /// The frame does not start with [`MAGIC`].
+    BadMagic {
+        /// The four bytes found instead.
+        found: u32,
+    },
+    /// The speaker uses a protocol version this build does not know.
+    UnsupportedVersion {
+        /// The version field received.
+        found: u16,
+    },
+    /// The message-type field names no known [`Message`].
+    UnknownType {
+        /// The type field received.
+        found: u16,
+    },
+    /// The header's payload length disagrees with the bytes present.
+    LengthMismatch {
+        /// Payload length declared in the header.
+        declared: usize,
+        /// Payload bytes actually present.
+        actual: usize,
+    },
+    /// The declared payload length exceeds the message type's bound.
+    Oversized {
+        /// Payload length declared in the header.
+        declared: usize,
+    },
+    /// A structurally valid frame carried inconsistent content.
+    Corrupt {
+        /// What was inconsistent.
+        detail: &'static str,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { needed, got } => {
+                write!(f, "truncated frame: field needs {needed} bytes, {got} remain")
+            }
+            WireError::BadMagic { found } => {
+                write!(f, "bad frame magic {found:#010x} (expected {MAGIC:#010x})")
+            }
+            WireError::UnsupportedVersion { found } => {
+                write!(
+                    f,
+                    "unsupported protocol version {found} (this build speaks {PROTOCOL_VERSION})"
+                )
+            }
+            WireError::UnknownType { found } => write!(f, "unknown message type {found}"),
+            WireError::LengthMismatch { declared, actual } => {
+                write!(
+                    f,
+                    "payload length mismatch: header declares {declared} bytes, {actual} present"
+                )
+            }
+            WireError::Oversized { declared } => {
+                write!(f, "declared payload of {declared} bytes exceeds the message type's bound")
+            }
+            WireError::Corrupt { detail } => write!(f, "corrupt payload: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<WireError> for OrcoError {
+    fn from(e: WireError) -> Self {
+        OrcoError::Io(io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+/// Machine-readable category carried by [`Message::ErrorReply`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request was malformed or arrived where a reply belongs.
+    BadRequest,
+    /// Frame data did not match the codec's frame width.
+    Shape,
+    /// The gateway is shutting down and accepts no new work.
+    ShuttingDown,
+    /// The codec or gateway failed internally.
+    Internal,
+}
+
+impl ErrorCode {
+    fn to_u16(self) -> u16 {
+        match self {
+            ErrorCode::BadRequest => 1,
+            ErrorCode::Shape => 2,
+            ErrorCode::ShuttingDown => 3,
+            ErrorCode::Internal => 4,
+        }
+    }
+
+    fn from_u16(v: u16) -> Result<Self, WireError> {
+        match v {
+            1 => Ok(ErrorCode::BadRequest),
+            2 => Ok(ErrorCode::Shape),
+            3 => Ok(ErrorCode::ShuttingDown),
+            4 => Ok(ErrorCode::Internal),
+            _ => Err(WireError::Corrupt { detail: "unknown error code" }),
+        }
+    }
+}
+
+/// One protocol message. Requests and replies share the enum; the
+/// request/reply pairing is fixed (`Hello`→`HelloAck`,
+/// `PushFrames`→`PushAck`/`Busy`, `PullDecoded`→`Decoded`,
+/// `StatsRequest`→`StatsReply`, `Shutdown`→`ShutdownAck`), and any
+/// request can instead draw an [`Message::ErrorReply`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Client introduction.
+    Hello {
+        /// Caller-chosen identifier, echoed in logs/diagnostics only.
+        client_id: u64,
+    },
+    /// Gateway's answer to [`Message::Hello`], announcing the data-plane
+    /// geometry a client needs to build valid pushes.
+    HelloAck {
+        /// Protocol version the gateway speaks.
+        version: u16,
+        /// Number of worker shards.
+        shards: u16,
+        /// Flattened sensing-frame width in f32 elements.
+        frame_dim: u32,
+        /// Encoded code width in f32 elements.
+        code_dim: u32,
+    },
+    /// A batch of raw sensing frames (one per row) for one cluster.
+    PushFrames {
+        /// Cluster the frames belong to; selects the shard.
+        cluster_id: u64,
+        /// Frames, one per row, `frame_dim` wide.
+        frames: Matrix,
+    },
+    /// The push was accepted into the shard's micro-batcher.
+    PushAck {
+        /// Rows accepted (always the full push).
+        accepted: u32,
+    },
+    /// Explicit backpressure: the shard's in-flight budget is exhausted.
+    /// The client should drain with [`Message::PullDecoded`] or retry
+    /// later — the gateway never buffers unboundedly.
+    Busy {
+        /// Rows currently in flight on the shard (pending + stored).
+        queued: u32,
+        /// The shard's in-flight row budget.
+        capacity: u32,
+    },
+    /// Request up to `max_frames` decoded reconstructions for a cluster.
+    PullDecoded {
+        /// Cluster to drain.
+        cluster_id: u64,
+        /// Upper bound on returned rows.
+        max_frames: u32,
+    },
+    /// Decoded reconstructions, oldest first, in push order.
+    Decoded {
+        /// Cluster the frames belong to.
+        cluster_id: u64,
+        /// Reconstructed frames, one per row, `frame_dim` wide.
+        frames: Matrix,
+    },
+    /// Request a [`StatsSnapshot`].
+    StatsRequest,
+    /// Gateway-wide serving statistics.
+    StatsReply(StatsSnapshot),
+    /// Ask the gateway to flush, stop accepting work, and exit.
+    Shutdown,
+    /// The shutdown was initiated.
+    ShutdownAck,
+    /// The request failed; `code` is machine-readable, `detail` is for
+    /// humans.
+    ErrorReply {
+        /// Machine-readable failure category.
+        code: ErrorCode,
+        /// Human-readable description.
+        detail: String,
+    },
+}
+
+impl Message {
+    fn msg_type(&self) -> u16 {
+        match self {
+            Message::Hello { .. } => 1,
+            Message::HelloAck { .. } => 2,
+            Message::PushFrames { .. } => 3,
+            Message::PushAck { .. } => 4,
+            Message::Busy { .. } => 5,
+            Message::PullDecoded { .. } => 6,
+            Message::Decoded { .. } => 7,
+            Message::StatsRequest => 8,
+            Message::StatsReply(_) => 9,
+            Message::Shutdown => 10,
+            Message::ShutdownAck => 11,
+            Message::ErrorReply { .. } => 12,
+        }
+    }
+
+    /// Short human-readable name of the message kind.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Message::Hello { .. } => "Hello",
+            Message::HelloAck { .. } => "HelloAck",
+            Message::PushFrames { .. } => "PushFrames",
+            Message::PushAck { .. } => "PushAck",
+            Message::Busy { .. } => "Busy",
+            Message::PullDecoded { .. } => "PullDecoded",
+            Message::Decoded { .. } => "Decoded",
+            Message::StatsRequest => "StatsRequest",
+            Message::StatsReply(_) => "StatsReply",
+            Message::Shutdown => "Shutdown",
+            Message::ShutdownAck => "ShutdownAck",
+            Message::ErrorReply { .. } => "ErrorReply",
+        }
+    }
+
+    /// Encodes the full frame (header + payload) into `out`, clearing it
+    /// first. Reuse one buffer across calls for allocation-free encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload overflows the u32 length field (a message
+    /// that large can never be legal on the wire; [`crate::Client`]
+    /// rejects oversized pushes with a typed error before encoding).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.clear();
+        put_u32(out, MAGIC);
+        put_u16(out, PROTOCOL_VERSION);
+        put_u16(out, self.msg_type());
+        put_u32(out, 0); // payload length, patched below
+        match self {
+            Message::Hello { client_id } => put_u64(out, *client_id),
+            Message::HelloAck { version, shards, frame_dim, code_dim } => {
+                put_u16(out, *version);
+                put_u16(out, *shards);
+                put_u32(out, *frame_dim);
+                put_u32(out, *code_dim);
+            }
+            Message::PushFrames { cluster_id, frames } => {
+                put_u64(out, *cluster_id);
+                put_matrix(out, frames);
+            }
+            Message::PushAck { accepted } => put_u32(out, *accepted),
+            Message::Busy { queued, capacity } => {
+                put_u32(out, *queued);
+                put_u32(out, *capacity);
+            }
+            Message::PullDecoded { cluster_id, max_frames } => {
+                put_u64(out, *cluster_id);
+                put_u32(out, *max_frames);
+            }
+            Message::Decoded { cluster_id, frames } => {
+                put_u64(out, *cluster_id);
+                put_matrix(out, frames);
+            }
+            Message::StatsRequest | Message::Shutdown | Message::ShutdownAck => {}
+            Message::StatsReply(snapshot) => snapshot.encode_into(out),
+            Message::ErrorReply { code, detail } => {
+                put_u16(out, code.to_u16());
+                put_bytes(out, detail.as_bytes());
+            }
+        }
+        let len = out.len() - HEADER_LEN;
+        assert!(
+            u32::try_from(len).is_ok(),
+            "payload of {len} bytes overflows the u32 length field"
+        );
+        out[8..12].copy_from_slice(&(len as u32).to_le_bytes());
+    }
+
+    /// Encodes the full frame into a fresh buffer.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Decodes exactly one frame. The slice must contain the frame and
+    /// nothing else; trailing bytes are a [`WireError::LengthMismatch`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] describing the first malformation found.
+    pub fn decode(frame: &[u8]) -> Result<Message, WireError> {
+        if frame.len() < HEADER_LEN {
+            return Err(WireError::Truncated { needed: HEADER_LEN, got: frame.len() });
+        }
+        let mut header = [0u8; HEADER_LEN];
+        header.copy_from_slice(&frame[..HEADER_LEN]);
+        let (msg_type, declared) = parse_header(&header)?;
+        let payload = &frame[HEADER_LEN..];
+        if payload.len() != declared {
+            return Err(WireError::LengthMismatch { declared, actual: payload.len() });
+        }
+        let mut cur = Cursor::new(payload);
+        let msg = decode_payload(msg_type, &mut cur)?;
+        if cur.remaining() != 0 {
+            return Err(WireError::Corrupt { detail: "payload has trailing bytes" });
+        }
+        Ok(msg)
+    }
+
+    /// Reads one frame from a byte stream. Returns `Ok(None)` on a clean
+    /// end-of-stream at a frame boundary (the peer closed between
+    /// messages); EOF mid-frame is an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrcoError::Io`] for transport failures and for wire-level
+    /// malformations (wrapped [`WireError`]).
+    pub fn read_from(r: &mut impl Read) -> Result<Option<Message>, OrcoError> {
+        let mut buf = Vec::new();
+        match read_frame(r, &mut buf)? {
+            FrameRead::Eof => Ok(None),
+            FrameRead::Malformed(e) => Err(e.into()),
+            FrameRead::Frame => Ok(Some(Message::decode(&buf)?)),
+        }
+    }
+}
+
+/// Outcome of [`read_frame`]: one read off a byte stream.
+#[derive(Debug)]
+pub enum FrameRead {
+    /// Clean end-of-stream at a frame boundary.
+    Eof,
+    /// The caller's buffer holds one complete frame (header + payload).
+    Frame,
+    /// The header was malformed — framing is lost, so no payload was
+    /// read. A server should reply with an `ErrorReply` and close the
+    /// connection.
+    Malformed(WireError),
+}
+
+/// Reads one raw frame (header + payload bytes) into `buf` (cleared
+/// first; reuse it across calls). The header's per-type payload bound is
+/// enforced **before** the payload allocation, so a hostile length field
+/// cannot reserve more memory than a legitimate message of that type.
+///
+/// # Errors
+///
+/// Returns [`OrcoError::Io`] for transport failures (including EOF
+/// mid-frame); header malformations are [`FrameRead::Malformed`], not
+/// errors, so servers can still answer them.
+pub fn read_frame(r: &mut impl Read, buf: &mut Vec<u8>) -> Result<FrameRead, OrcoError> {
+    buf.clear();
+    let mut header = [0u8; HEADER_LEN];
+    let mut filled = 0;
+    while filled < HEADER_LEN {
+        let n = r.read(&mut header[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(FrameRead::Eof);
+            }
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "eof mid-header").into());
+        }
+        filled += n;
+    }
+    let declared = match parse_header(&header) {
+        Ok((_, declared)) => declared,
+        Err(e) => return Ok(FrameRead::Malformed(e)),
+    };
+    buf.extend_from_slice(&header);
+    buf.resize(HEADER_LEN + declared, 0);
+    r.read_exact(&mut buf[HEADER_LEN..])?;
+    Ok(FrameRead::Frame)
+}
+
+/// Validates a frame header and returns `(message type, payload length)`.
+fn parse_header(header: &[u8; HEADER_LEN]) -> Result<(u16, usize), WireError> {
+    let magic = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+    if magic != MAGIC {
+        return Err(WireError::BadMagic { found: magic });
+    }
+    let version = u16::from_le_bytes(header[4..6].try_into().expect("2 bytes"));
+    if version != PROTOCOL_VERSION {
+        return Err(WireError::UnsupportedVersion { found: version });
+    }
+    let msg_type = u16::from_le_bytes(header[6..8].try_into().expect("2 bytes"));
+    let declared = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes")) as usize;
+    if declared > payload_cap(msg_type)? {
+        return Err(WireError::Oversized { declared });
+    }
+    Ok((msg_type, declared))
+}
+
+fn decode_payload(msg_type: u16, cur: &mut Cursor<'_>) -> Result<Message, WireError> {
+    match msg_type {
+        1 => Ok(Message::Hello { client_id: cur.u64()? }),
+        2 => Ok(Message::HelloAck {
+            version: cur.u16()?,
+            shards: cur.u16()?,
+            frame_dim: cur.u32()?,
+            code_dim: cur.u32()?,
+        }),
+        3 => Ok(Message::PushFrames { cluster_id: cur.u64()?, frames: take_matrix(cur)? }),
+        4 => Ok(Message::PushAck { accepted: cur.u32()? }),
+        5 => Ok(Message::Busy { queued: cur.u32()?, capacity: cur.u32()? }),
+        6 => Ok(Message::PullDecoded { cluster_id: cur.u64()?, max_frames: cur.u32()? }),
+        7 => Ok(Message::Decoded { cluster_id: cur.u64()?, frames: take_matrix(cur)? }),
+        8 => Ok(Message::StatsRequest),
+        9 => Ok(Message::StatsReply(StatsSnapshot::decode_from(cur)?)),
+        10 => Ok(Message::Shutdown),
+        11 => Ok(Message::ShutdownAck),
+        12 => {
+            let code = ErrorCode::from_u16(cur.u16()?)?;
+            let bytes = cur.take_len_prefixed()?;
+            let detail = std::str::from_utf8(bytes)
+                .map_err(|_| WireError::Corrupt { detail: "error detail is not utf-8" })?
+                .to_owned();
+            Ok(Message::ErrorReply { code, detail })
+        }
+        other => Err(WireError::UnknownType { found: other }),
+    }
+}
+
+// ----------------------------------------------------------------------
+// Little-endian field primitives
+// ----------------------------------------------------------------------
+
+pub(crate) fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_u32(out, bytes.len() as u32);
+    out.extend_from_slice(bytes);
+}
+
+fn put_matrix(out: &mut Vec<u8>, m: &Matrix) {
+    put_u32(out, m.rows() as u32);
+    put_u32(out, m.cols() as u32);
+    out.reserve(m.as_slice().len() * 4);
+    for v in m.as_slice() {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn take_matrix(cur: &mut Cursor<'_>) -> Result<Matrix, WireError> {
+    let rows = cur.u32()? as usize;
+    let cols = cur.u32()? as usize;
+    let nbytes = rows
+        .checked_mul(cols)
+        .and_then(|elems| elems.checked_mul(4))
+        .ok_or(WireError::Corrupt { detail: "matrix dimensions overflow" })?;
+    let bytes = cur.take(nbytes)?;
+    let data: Vec<f32> =
+        bytes.chunks_exact(4).map(|b| f32::from_le_bytes(b.try_into().expect("4 bytes"))).collect();
+    Matrix::from_vec(rows, cols, data)
+        .map_err(|_| WireError::Corrupt { detail: "matrix length mismatch" })
+}
+
+/// Bounds-checked reader over a payload slice; every read either yields
+/// the field or a [`WireError::Truncated`] naming what was missing.
+pub(crate) struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated { needed: n, got: self.remaining() });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn take_len_prefixed(&mut self) -> Result<&'a [u8], WireError> {
+        let len = self.u32()? as usize;
+        self.take(len)
+    }
+
+    pub(crate) fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    pub(crate) fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_layout_is_stable() {
+        let frame = Message::StatsRequest.encode();
+        assert_eq!(frame.len(), HEADER_LEN);
+        assert_eq!(&frame[0..4], b"ORCO");
+        assert_eq!(u16::from_le_bytes([frame[4], frame[5]]), PROTOCOL_VERSION);
+        assert_eq!(u16::from_le_bytes([frame[6], frame[7]]), 8);
+        assert_eq!(u32::from_le_bytes([frame[8], frame[9], frame[10], frame[11]]), 0);
+    }
+
+    #[test]
+    fn bad_magic_version_type_rejected() {
+        let mut frame = Message::Shutdown.encode();
+        frame[0] = b'X';
+        assert!(matches!(Message::decode(&frame), Err(WireError::BadMagic { .. })));
+
+        let mut frame = Message::Shutdown.encode();
+        frame[4] = 99;
+        assert_eq!(Message::decode(&frame), Err(WireError::UnsupportedVersion { found: 99 }));
+
+        let mut frame = Message::Shutdown.encode();
+        frame[6] = 200;
+        assert_eq!(Message::decode(&frame), Err(WireError::UnknownType { found: 200 }));
+    }
+
+    #[test]
+    fn oversized_declared_length_rejected_before_allocation() {
+        let mut frame = Message::Shutdown.encode();
+        frame[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            Message::decode(&frame),
+            Err(WireError::Oversized { declared: u32::MAX as usize })
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut frame = Message::Hello { client_id: 7 }.encode();
+        frame.push(0);
+        assert!(matches!(Message::decode(&frame), Err(WireError::LengthMismatch { .. })));
+    }
+
+    #[test]
+    fn stream_reader_roundtrips_and_detects_clean_eof() {
+        let a = Message::Hello { client_id: 42 };
+        let b = Message::PushAck { accepted: 3 };
+        let mut stream = a.encode();
+        stream.extend_from_slice(&b.encode());
+        let mut r = io::Cursor::new(stream);
+        assert_eq!(Message::read_from(&mut r).unwrap(), Some(a));
+        assert_eq!(Message::read_from(&mut r).unwrap(), Some(b));
+        assert_eq!(Message::read_from(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn eof_mid_frame_is_an_error() {
+        let frame = Message::Hello { client_id: 42 }.encode();
+        let mut r = io::Cursor::new(frame[..frame.len() - 1].to_vec());
+        let err = Message::read_from(&mut r).unwrap_err();
+        assert!(matches!(err, OrcoError::Io(_)), "unexpected: {err}");
+    }
+}

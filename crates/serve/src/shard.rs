@@ -1,0 +1,189 @@
+//! One shard of the gateway: a codec, its micro-batcher, and the encoded
+//! store for the clusters hashed onto it.
+//!
+//! A shard is the unit of both parallelism and memory accounting. It owns:
+//!
+//! * **its codec** — no cross-shard sharing, so encode/decode never
+//!   contends on model state;
+//! * **the pending micro-batch** — raw frames accumulated across pushes
+//!   (possibly from several clusters; rows are independent, so one flush
+//!   serves them all) and flushed as **one** `encode_batch` call;
+//! * **reusable workspaces** — the encode output and decode input
+//!   matrices are `Matrix::reset` per call, so the steady-state ingest
+//!   path (push → flush → encode) performs no allocation; a pull's
+//!   decoded rows are *moved* into the reply (the reply must own its
+//!   payload), costing one allocation per pull and zero extra copies;
+//! * **the encoded store** — flat per-cluster ring of code rows awaiting
+//!   a pull, drained oldest-first in push order.
+//!
+//! The in-flight budget (`pending rows + stored rows ≤ capacity`) is
+//! enforced at enqueue time: a shard's memory is bounded no matter how
+//! fast clients push or how rarely they pull.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+use orco_tensor::{MatView, Matrix};
+use orcodcs::{Codec, FrameDims, OrcoError};
+
+use crate::stats::ServeStats;
+
+pub(crate) struct ShardCore {
+    codec: Box<dyn Codec>,
+    dims: FrameDims,
+    /// Pending raw frames, row-major, `dims.input` wide.
+    pending_data: Vec<f32>,
+    /// The cluster of each pending row (routes codes after the flush).
+    pending_clusters: Vec<u64>,
+    /// Enqueue time of the oldest pending row; meaningful only while
+    /// `pending_clusters` is non-empty.
+    oldest_enqueue_s: f64,
+    /// Reused `encode_batch` output.
+    codes_ws: Matrix,
+    /// Reused `decode_batch` input / output.
+    decode_in_ws: Matrix,
+    decode_out_ws: Matrix,
+    /// Encoded rows awaiting pull, flat per cluster (`dims.code` per row).
+    stores: BTreeMap<u64, VecDeque<f32>>,
+    /// Total rows across `stores`.
+    stored_rows: usize,
+}
+
+impl ShardCore {
+    pub(crate) fn new(codec: Box<dyn Codec>) -> Self {
+        let dims = codec.frame_dims();
+        Self {
+            codec,
+            dims,
+            pending_data: Vec::new(),
+            pending_clusters: Vec::new(),
+            oldest_enqueue_s: 0.0,
+            codes_ws: Matrix::zeros(0, 0),
+            decode_in_ws: Matrix::zeros(0, 0),
+            decode_out_ws: Matrix::zeros(0, 0),
+            stores: BTreeMap::new(),
+            stored_rows: 0,
+        }
+    }
+
+    pub(crate) fn dims(&self) -> FrameDims {
+        self.dims
+    }
+
+    pub(crate) fn pending_rows(&self) -> usize {
+        self.pending_clusters.len()
+    }
+
+    /// Rows currently charged against the shard's capacity budget.
+    pub(crate) fn in_flight(&self) -> usize {
+        self.pending_rows() + self.stored_rows
+    }
+
+    pub(crate) fn oldest_enqueue_s(&self) -> f64 {
+        self.oldest_enqueue_s
+    }
+
+    /// Whether the pending micro-batch holds rows for `cluster`. Scans at
+    /// most `batch_max_frames` entries — cheap, and it lets a pull flush
+    /// only when the puller would otherwise miss its own frames, instead
+    /// of collapsing *other* clusters' half-built batches.
+    pub(crate) fn has_pending_for(&self, cluster: u64) -> bool {
+        self.pending_clusters.contains(&cluster)
+    }
+
+    /// Whether the pending batch has outlived the flush deadline.
+    pub(crate) fn deadline_due(&self, now_s: f64, deadline_s: f64) -> bool {
+        self.pending_rows() > 0 && now_s - self.oldest_enqueue_s >= deadline_s
+    }
+
+    /// Appends a push to the pending micro-batch, or refuses it when the
+    /// in-flight budget would be exceeded (the caller replies `Busy`).
+    pub(crate) fn try_enqueue(
+        &mut self,
+        cluster: u64,
+        frames: &Matrix,
+        now_s: f64,
+        capacity: usize,
+    ) -> bool {
+        let rows = frames.rows();
+        if self.in_flight() + rows > capacity {
+            return false;
+        }
+        if self.pending_clusters.is_empty() {
+            self.oldest_enqueue_s = now_s;
+        }
+        self.pending_data.extend_from_slice(frames.as_slice());
+        self.pending_clusters.extend(std::iter::repeat_n(cluster, rows));
+        true
+    }
+
+    /// Encodes the entire pending micro-batch in ONE `encode_batch` call
+    /// and files the code rows into their clusters' stores. No-op when
+    /// nothing is pending.
+    ///
+    /// # Errors
+    ///
+    /// Propagates codec shape errors (impossible for frames admitted by
+    /// the gateway's width check, but surfaced rather than unwrapped).
+    pub(crate) fn flush(
+        &mut self,
+        now_s: f64,
+        deadline: bool,
+        stats: &ServeStats,
+    ) -> Result<(), OrcoError> {
+        let rows = self.pending_rows();
+        if rows == 0 {
+            return Ok(());
+        }
+        let view = MatView::new(rows, self.dims.input, &self.pending_data)?;
+        self.codec.encode_batch(view, &mut self.codes_ws)?;
+        for (r, &cluster) in self.pending_clusters.iter().enumerate() {
+            self.stores.entry(cluster).or_default().extend(self.codes_ws.row(r).iter().copied());
+        }
+        self.stored_rows += rows;
+        stats.record_flush(rows as u64, now_s - self.oldest_enqueue_s, deadline);
+        self.pending_data.clear();
+        self.pending_clusters.clear();
+        Ok(())
+    }
+
+    /// Decodes up to `max` of the cluster's oldest stored codes in ONE
+    /// `decode_batch` call and returns the reconstructions in push order.
+    /// Returns an empty matrix when the cluster has nothing stored.
+    ///
+    /// # Errors
+    ///
+    /// Propagates codec shape errors.
+    pub(crate) fn pull(
+        &mut self,
+        cluster: u64,
+        max: usize,
+        stats: &ServeStats,
+    ) -> Result<Matrix, OrcoError> {
+        let code = self.dims.code;
+        let avail = self.stores.get(&cluster).map_or(0, |s| s.len() / code);
+        let k = avail.min(max);
+        if k == 0 {
+            return Ok(Matrix::zeros(0, self.dims.input));
+        }
+        self.decode_in_ws.reset(k, code);
+        {
+            let mut dst = self.decode_in_ws.as_view_mut();
+            let slice = dst.as_mut_slice();
+            let store = self.stores.get_mut(&cluster).expect("store is non-empty");
+            for (i, v) in store.drain(..k * code).enumerate() {
+                slice[i] = v;
+            }
+            if store.is_empty() {
+                self.stores.remove(&cluster);
+            }
+        }
+        self.stored_rows -= k;
+        self.codec.decode_batch(self.decode_in_ws.as_view(), &mut self.decode_out_ws)?;
+        stats.record_pull(k as u64, (k * self.dims.input * 4) as u64);
+        // Move the decoded rows into the reply instead of cloning them;
+        // the reply owns the buffer and the next decode_batch regrows the
+        // workspace. One allocation either way, but no second memcpy.
+        Ok(std::mem::replace(&mut self.decode_out_ws, Matrix::zeros(0, 0)))
+    }
+}

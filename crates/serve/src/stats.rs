@@ -1,0 +1,305 @@
+//! The serving-statistics registry and its wire snapshot.
+//!
+//! Every shard and connection thread records into one shared
+//! [`ServeStats`]: lock-free atomic counters for the hot-path tallies,
+//! plus a sorted-on-insert latency ledger in the style of
+//! `orco_wsn::accounting::TrafficAccounting` — p50/p99 come from the same
+//! [`percentile_of_sorted`] convention as the WSN simulator's delivery
+//! latencies, so percentiles mean the same thing across every report in
+//! the workspace.
+//!
+//! A [`StatsSnapshot`] is the registry frozen at one instant; it travels
+//! in [`crate::protocol::Message::StatsReply`] with the same fixed
+//! little-endian encoding as every other payload. Under a
+//! [`crate::Clock::manual`] clock the snapshot is a pure function of the
+//! message schedule — byte-identical across runs and thread counts.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use orco_wsn::accounting::percentile_of_sorted;
+
+use crate::protocol::{put_f64, put_u16, put_u64, Cursor, WireError};
+
+/// Shared, thread-safe registry of serving counters.
+///
+/// Counter updates are `Relaxed` atomics; a snapshot taken while pushes
+/// are in flight is internally consistent per counter but not
+/// transactional across counters (totals may straddle an in-progress
+/// push). Under the deterministic loopback transport there is no
+/// concurrency and snapshots are exact.
+#[derive(Debug)]
+pub struct ServeStats {
+    shards: u16,
+    frames_in: AtomicU64,
+    frames_out: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    pushes: AtomicU64,
+    pulls: AtomicU64,
+    busy_rejections: AtomicU64,
+    batches: AtomicU64,
+    deadline_flushes: AtomicU64,
+    max_batch_rows: AtomicU64,
+    queue_depth: AtomicU64,
+    stored_codes: AtomicU64,
+    latencies: Mutex<LatencyLedger>,
+}
+
+/// Cap on retained latency samples: the ledger must stay bounded on a
+/// gateway that flushes forever (same pillar as the bounded queues).
+const LATENCY_SAMPLE_CAP: usize = 4096;
+
+/// Bounded flush-latency ledger. Samples are kept ascending-sorted on
+/// insert (the `TrafficAccounting` convention, O(1) percentile reads);
+/// when the cap is reached the sorted sample is decimated to every other
+/// order statistic — which preserves the distribution's shape — and the
+/// recording stride doubles, so memory and insert cost stay O(cap) no
+/// matter how long the gateway runs. The policy is a pure function of the
+/// flush sequence, so determinism under the loopback transport survives.
+#[derive(Debug, Default)]
+struct LatencyLedger {
+    /// Retained per-flush latencies (oldest frame's enqueue → flush),
+    /// ascending.
+    samples: Vec<f64>,
+    /// Record every `stride`-th flush (doubles at each decimation).
+    stride: u64,
+    /// Flushes observed (drives the stride phase).
+    seen: u64,
+}
+
+impl LatencyLedger {
+    fn record(&mut self, latency_s: f64) {
+        if self.stride == 0 {
+            self.stride = 1;
+        }
+        self.seen += 1;
+        if !self.seen.is_multiple_of(self.stride) {
+            return;
+        }
+        let idx = self.samples.partition_point(|v| *v <= latency_s);
+        self.samples.insert(idx, latency_s);
+        if self.samples.len() >= LATENCY_SAMPLE_CAP {
+            let mut keep = false;
+            self.samples.retain(|_| {
+                keep = !keep;
+                keep
+            });
+            self.stride *= 2;
+        }
+    }
+}
+
+impl ServeStats {
+    /// Creates an empty registry for a gateway with `shards` shards.
+    #[must_use]
+    pub fn new(shards: u16) -> Self {
+        Self {
+            shards,
+            frames_in: AtomicU64::new(0),
+            frames_out: AtomicU64::new(0),
+            bytes_in: AtomicU64::new(0),
+            bytes_out: AtomicU64::new(0),
+            pushes: AtomicU64::new(0),
+            pulls: AtomicU64::new(0),
+            busy_rejections: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            deadline_flushes: AtomicU64::new(0),
+            max_batch_rows: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            stored_codes: AtomicU64::new(0),
+            latencies: Mutex::new(LatencyLedger::default()),
+        }
+    }
+
+    /// Records an accepted push of `rows` frames carrying `bytes` of
+    /// frame payload.
+    pub fn record_push(&self, rows: u64, bytes: u64) {
+        self.pushes.fetch_add(1, Ordering::Relaxed);
+        self.frames_in.fetch_add(rows, Ordering::Relaxed);
+        self.bytes_in.fetch_add(bytes, Ordering::Relaxed);
+        self.queue_depth.fetch_add(rows, Ordering::Relaxed);
+    }
+
+    /// Records a push rejected with `Busy`.
+    pub fn record_busy(&self) {
+        self.busy_rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one micro-batch flush of `rows` frames, `latency_s` after
+    /// its oldest frame was enqueued. `deadline` marks flushes forced by
+    /// the batch deadline rather than the size threshold.
+    pub fn record_flush(&self, rows: u64, latency_s: f64, deadline: bool) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        if deadline {
+            self.deadline_flushes.fetch_add(1, Ordering::Relaxed);
+        }
+        self.max_batch_rows.fetch_max(rows, Ordering::Relaxed);
+        self.queue_depth.fetch_sub(rows, Ordering::Relaxed);
+        self.stored_codes.fetch_add(rows, Ordering::Relaxed);
+        self.latencies.lock().expect("stats lock").record(latency_s);
+    }
+
+    /// Records a pull that returned `rows` decoded frames carrying
+    /// `bytes` of frame payload.
+    pub fn record_pull(&self, rows: u64, bytes: u64) {
+        self.pulls.fetch_add(1, Ordering::Relaxed);
+        self.frames_out.fetch_add(rows, Ordering::Relaxed);
+        self.bytes_out.fetch_add(bytes, Ordering::Relaxed);
+        self.stored_codes.fetch_sub(rows, Ordering::Relaxed);
+    }
+
+    /// Freezes the registry into a snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let lats = self.latencies.lock().expect("stats lock");
+        StatsSnapshot {
+            shards: self.shards,
+            frames_in: self.frames_in.load(Ordering::Relaxed),
+            frames_out: self.frames_out.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            pushes: self.pushes.load(Ordering::Relaxed),
+            pulls: self.pulls.load(Ordering::Relaxed),
+            busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            deadline_flushes: self.deadline_flushes.load(Ordering::Relaxed),
+            max_batch_rows: self.max_batch_rows.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            stored_codes: self.stored_codes.load(Ordering::Relaxed),
+            batch_latency_p50_s: percentile_of_sorted(&lats.samples, 0.5),
+            batch_latency_p99_s: percentile_of_sorted(&lats.samples, 0.99),
+        }
+    }
+}
+
+/// The registry frozen at one instant; the payload of
+/// [`crate::protocol::Message::StatsReply`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsSnapshot {
+    /// Number of worker shards.
+    pub shards: u16,
+    /// Raw frames accepted into micro-batchers.
+    pub frames_in: u64,
+    /// Decoded frames returned to clients.
+    pub frames_out: u64,
+    /// Frame-payload bytes accepted (rows × frame width × 4).
+    pub bytes_in: u64,
+    /// Frame-payload bytes returned.
+    pub bytes_out: u64,
+    /// `PushFrames` requests accepted.
+    pub pushes: u64,
+    /// `PullDecoded` requests served.
+    pub pulls: u64,
+    /// Pushes rejected with `Busy` (backpressure events).
+    pub busy_rejections: u64,
+    /// Micro-batches flushed (each is ONE `encode_batch` call).
+    pub batches: u64,
+    /// Flushes forced by the batch deadline rather than the size cap.
+    pub deadline_flushes: u64,
+    /// Rows of the largest single flush — evidence of micro-batching.
+    pub max_batch_rows: u64,
+    /// Rows currently pending in micro-batchers (gauge).
+    pub queue_depth: u64,
+    /// Encoded rows stored awaiting a pull (gauge).
+    pub stored_codes: u64,
+    /// Median flush latency, seconds (0 when nothing flushed).
+    pub batch_latency_p50_s: f64,
+    /// 99th-percentile flush latency, seconds (0 when nothing flushed).
+    pub batch_latency_p99_s: f64,
+}
+
+impl StatsSnapshot {
+    pub(crate) fn encode_into(&self, out: &mut Vec<u8>) {
+        put_u16(out, self.shards);
+        put_u64(out, self.frames_in);
+        put_u64(out, self.frames_out);
+        put_u64(out, self.bytes_in);
+        put_u64(out, self.bytes_out);
+        put_u64(out, self.pushes);
+        put_u64(out, self.pulls);
+        put_u64(out, self.busy_rejections);
+        put_u64(out, self.batches);
+        put_u64(out, self.deadline_flushes);
+        put_u64(out, self.max_batch_rows);
+        put_u64(out, self.queue_depth);
+        put_u64(out, self.stored_codes);
+        put_f64(out, self.batch_latency_p50_s);
+        put_f64(out, self.batch_latency_p99_s);
+    }
+
+    pub(crate) fn decode_from(cur: &mut Cursor<'_>) -> Result<Self, WireError> {
+        Ok(Self {
+            shards: cur.u16()?,
+            frames_in: cur.u64()?,
+            frames_out: cur.u64()?,
+            bytes_in: cur.u64()?,
+            bytes_out: cur.u64()?,
+            pushes: cur.u64()?,
+            pulls: cur.u64()?,
+            busy_rejections: cur.u64()?,
+            batches: cur.u64()?,
+            deadline_flushes: cur.u64()?,
+            max_batch_rows: cur.u64()?,
+            queue_depth: cur.u64()?,
+            stored_codes: cur.u64()?,
+            batch_latency_p50_s: cur.f64()?,
+            batch_latency_p99_s: cur.f64()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_track_lifecycle() {
+        let s = ServeStats::new(2);
+        s.record_push(4, 4 * 784 * 4);
+        s.record_push(2, 2 * 784 * 4);
+        s.record_busy();
+        let snap = s.snapshot();
+        assert_eq!(snap.frames_in, 6);
+        assert_eq!(snap.queue_depth, 6);
+        assert_eq!(snap.busy_rejections, 1);
+        assert_eq!(snap.batches, 0);
+
+        s.record_flush(6, 0.010, false);
+        s.record_pull(6, 6 * 784 * 4);
+        let snap = s.snapshot();
+        assert_eq!(snap.queue_depth, 0);
+        assert_eq!(snap.stored_codes, 0);
+        assert_eq!(snap.frames_out, 6);
+        assert_eq!(snap.max_batch_rows, 6);
+        assert_eq!(snap.batch_latency_p50_s, 0.010);
+    }
+
+    #[test]
+    fn latency_ledger_stays_bounded() {
+        let s = ServeStats::new(1);
+        for i in 0..(LATENCY_SAMPLE_CAP as u64 * 6) {
+            s.record_flush(1, (i % 1000) as f64 * 0.001, false);
+        }
+        let lats = s.latencies.lock().unwrap();
+        assert!(lats.samples.len() < LATENCY_SAMPLE_CAP, "ledger must stay under the cap");
+        assert!(lats.stride > 1, "stride must grow after decimation");
+        drop(lats);
+        // Percentiles still reflect the (uniform 0..1s) distribution.
+        let snap = s.snapshot();
+        assert!((snap.batch_latency_p50_s - 0.5).abs() < 0.05, "p50 {}", snap.batch_latency_p50_s);
+        assert!((snap.batch_latency_p99_s - 0.99).abs() < 0.05, "p99 {}", snap.batch_latency_p99_s);
+    }
+
+    #[test]
+    fn latency_percentiles_follow_wsn_convention() {
+        let s = ServeStats::new(1);
+        for i in 1..=100 {
+            s.record_flush(1, f64::from(i) * 0.001, i % 10 == 0);
+        }
+        let snap = s.snapshot();
+        assert_eq!(snap.deadline_flushes, 10);
+        assert!((snap.batch_latency_p50_s - 0.050).abs() < 0.0015);
+        assert!((snap.batch_latency_p99_s - 0.099).abs() < 0.0015);
+    }
+}

@@ -1,0 +1,164 @@
+//! The TCP face of the gateway: acceptor, per-connection handlers, and
+//! per-shard deadline-flusher threads — all on `std::net` / `std::thread`
+//! (the build image has no async runtime, and none is needed: the
+//! protocol is strictly request/reply and shard work is CPU-bound).
+//!
+//! Thread model:
+//!
+//! * one **acceptor** blocks in `accept`; every connection gets its own
+//!   detached handler thread reading frames until EOF or `Shutdown`;
+//! * one **deadline flusher** per shard sleeps on the shard's condvar and
+//!   flushes batches that outlive [`crate::GatewayConfig::batch_deadline`];
+//! * `Shutdown` sets the gateway flag, then the handling connection pokes
+//!   the acceptor awake with a throwaway connect so `accept` returns and
+//!   the loop observes the flag (the standard `std::net` unblock idiom).
+
+use std::io::Write;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use orcodcs::OrcoError;
+
+use crate::gateway::Gateway;
+use crate::protocol::{read_frame, ErrorCode, FrameRead, Message};
+
+/// A running TCP server around an `Arc<Gateway>`.
+#[derive(Debug)]
+pub struct TcpServer {
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    flushers: Vec<JoinHandle<()>>,
+}
+
+impl TcpServer {
+    /// Binds `bind` (use port 0 for an ephemeral port) and spawns the
+    /// acceptor and the per-shard deadline flushers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrcoError::Io`] when binding or spawning fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gateway was built with a [`crate::Clock::manual`]
+    /// clock — deadline flushers sleep in real time, so the TCP server
+    /// requires [`crate::Clock::real`].
+    pub fn spawn(gateway: Arc<Gateway>, bind: impl ToSocketAddrs) -> Result<Self, OrcoError> {
+        assert!(
+            gateway.clock().is_real(),
+            "TcpServer requires Clock::real(); Clock::manual() is for the loopback transport"
+        );
+        let listener = TcpListener::bind(bind)?;
+        let addr = listener.local_addr()?;
+        let flushers = (0..gateway.config().shards)
+            .map(|i| {
+                let g = Arc::clone(&gateway);
+                std::thread::Builder::new()
+                    .name(format!("orco-serve-flush-{i}"))
+                    .spawn(move || g.run_deadline_flusher(i))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let acceptor = {
+            let g = Arc::clone(&gateway);
+            std::thread::Builder::new()
+                .name("orco-serve-accept".into())
+                .spawn(move || accept_loop(&listener, &g, addr))?
+        };
+        Ok(Self { addr, acceptor: Some(acceptor), flushers })
+    }
+
+    /// The address the server is listening on.
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until the gateway shuts down (a client sent `Shutdown`),
+    /// then joins the acceptor and flusher threads.
+    pub fn join(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for f in self.flushers.drain(..) {
+            let _ = f.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, gateway: &Arc<Gateway>, addr: SocketAddr) {
+    for conn in listener.incoming() {
+        if gateway.is_shutting_down() {
+            break;
+        }
+        let Ok(stream) = conn else {
+            // Transient (EINTR) or resource (EMFILE) failure: back off
+            // briefly instead of hot-spinning the acceptor at 100% CPU
+            // while connection threads hold the fds we are waiting for.
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            continue;
+        };
+        let g = Arc::clone(gateway);
+        let _ = std::thread::Builder::new().name("orco-serve-conn".into()).spawn(move || {
+            if let Err(e) = serve_connection(stream, &g, addr) {
+                eprintln!("orco-serve: connection ended with error: {e}");
+            }
+        });
+    }
+}
+
+/// Reads frames off one connection until EOF or `Shutdown`, replying to
+/// each through the same [`Gateway::handle_bytes`] path the loopback
+/// transport uses — a malformed frame draws an `ErrorReply` before the
+/// connection closes, exactly as in-process callers see it. `?` spans
+/// socket reads, codec calls, and frame writes — one error chain, no
+/// ad-hoc mapping.
+fn serve_connection(
+    mut stream: TcpStream,
+    gateway: &Arc<Gateway>,
+    addr: SocketAddr,
+) -> Result<(), OrcoError> {
+    stream.set_nodelay(true)?;
+    let mut frame = Vec::new();
+    let mut reply = Vec::new();
+    loop {
+        match read_frame(&mut stream, &mut frame)? {
+            FrameRead::Eof => return Ok(()),
+            FrameRead::Malformed(e) => {
+                // Framing is lost: answer with the typed rejection, then
+                // close — the wire never goes silent.
+                Message::ErrorReply { code: ErrorCode::BadRequest, detail: e.to_string() }
+                    .encode_into(&mut reply);
+                stream.write_all(&reply)?;
+                return Ok(());
+            }
+            FrameRead::Frame => {
+                gateway.handle_bytes(&frame, &mut reply);
+                stream.write_all(&reply)?;
+                // Type bytes 6..8: was this frame a Shutdown request?
+                if frame[6..8] == 10u16.to_le_bytes() {
+                    // Poke the acceptor out of `accept` so it observes
+                    // the shutdown flag.
+                    drop(TcpStream::connect(poke_addr(addr)));
+                    return Ok(());
+                }
+            }
+        }
+    }
+}
+
+/// Where the shutdown poke dials: a listener bound to an unspecified
+/// address (`0.0.0.0` / `::`) is not connectable on every platform, so
+/// the poke goes to loopback on the same port instead.
+fn poke_addr(addr: SocketAddr) -> SocketAddr {
+    if addr.ip().is_unspecified() {
+        let ip = if addr.is_ipv4() {
+            IpAddr::V4(Ipv4Addr::LOCALHOST)
+        } else {
+            IpAddr::V6(Ipv6Addr::LOCALHOST)
+        };
+        SocketAddr::new(ip, addr.port())
+    } else {
+        addr
+    }
+}

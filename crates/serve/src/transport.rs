@@ -1,0 +1,153 @@
+//! Client-side transports: how request frames reach a gateway.
+//!
+//! [`Transport`] produces [`Connection`]s; a connection exchanges one
+//! request frame for one reply frame. Two implementations ship:
+//!
+//! * [`Tcp`] — a real socket. Frames are written and read with the
+//!   length-prefixed protocol of [`crate::protocol`].
+//! * [`Loopback`] — in-process and deterministic. Requests are still
+//!   encoded to bytes and decoded on the gateway side
+//!   ([`Gateway::handle_bytes`]), so the full wire path — header
+//!   validation, payload decode, reply encode — runs under test, minus
+//!   only the socket. With a [`crate::Clock::manual`] gateway clock the
+//!   whole exchange is bit-deterministic on one thread or many.
+//!
+//! Both connections use `?` across socket and codec boundaries — the
+//! `OrcoError::Io` conversion exists precisely so this layer needs no
+//! ad-hoc error mapping.
+
+use std::io::{self, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+
+use orcodcs::OrcoError;
+
+use crate::gateway::Gateway;
+use crate::protocol::Message;
+
+/// A factory of request/reply [`Connection`]s.
+pub trait Transport {
+    /// The connection type this transport produces.
+    type Conn: Connection;
+
+    /// Opens a new connection to the gateway.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrcoError::Io`] when the endpoint is unreachable.
+    fn connect(&self) -> Result<Self::Conn, OrcoError>;
+}
+
+/// One request/reply channel to a gateway.
+pub trait Connection {
+    /// Sends `msg` and waits for the gateway's reply.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrcoError::Io`] on transport failure or a malformed
+    /// reply.
+    fn request(&mut self, msg: &Message) -> Result<Message, OrcoError>;
+}
+
+/// In-process transport bound to a gateway instance.
+#[derive(Debug, Clone)]
+pub struct Loopback {
+    gateway: Arc<Gateway>,
+}
+
+impl Loopback {
+    /// Binds a loopback transport to `gateway`.
+    #[must_use]
+    pub fn new(gateway: Arc<Gateway>) -> Self {
+        Self { gateway }
+    }
+
+    /// The gateway this transport dispatches into.
+    #[must_use]
+    pub fn gateway(&self) -> &Arc<Gateway> {
+        &self.gateway
+    }
+}
+
+impl Transport for Loopback {
+    type Conn = LoopbackConnection;
+
+    fn connect(&self) -> Result<Self::Conn, OrcoError> {
+        Ok(LoopbackConnection {
+            gateway: Arc::clone(&self.gateway),
+            frame: Vec::new(),
+            reply: Vec::new(),
+        })
+    }
+}
+
+/// A [`Loopback`] connection; reuses its encode buffers across requests.
+#[derive(Debug)]
+pub struct LoopbackConnection {
+    gateway: Arc<Gateway>,
+    frame: Vec<u8>,
+    reply: Vec<u8>,
+}
+
+impl Connection for LoopbackConnection {
+    fn request(&mut self, msg: &Message) -> Result<Message, OrcoError> {
+        msg.encode_into(&mut self.frame);
+        self.gateway.handle_bytes(&self.frame, &mut self.reply);
+        Ok(Message::decode(&self.reply)?)
+    }
+}
+
+/// TCP transport to a remote gateway.
+#[derive(Debug, Clone)]
+pub struct Tcp {
+    addr: String,
+}
+
+impl Tcp {
+    /// A transport dialing `addr` (e.g. `"127.0.0.1:7117"`).
+    #[must_use]
+    pub fn new(addr: impl Into<String>) -> Self {
+        Self { addr: addr.into() }
+    }
+
+    /// The address this transport dials.
+    #[must_use]
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+}
+
+impl Transport for Tcp {
+    type Conn = TcpConnection;
+
+    fn connect(&self) -> Result<Self::Conn, OrcoError> {
+        let addr = self.addr.to_socket_addrs()?.next().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "address resolves to nothing")
+        })?;
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(TcpConnection { stream, scratch: Vec::new() })
+    }
+}
+
+/// A [`Tcp`] connection; one in-flight request at a time.
+#[derive(Debug)]
+pub struct TcpConnection {
+    stream: TcpStream,
+    scratch: Vec<u8>,
+}
+
+impl Connection for TcpConnection {
+    fn request(&mut self, msg: &Message) -> Result<Message, OrcoError> {
+        msg.encode_into(&mut self.scratch);
+        self.stream.write_all(&self.scratch)?;
+        match Message::read_from(&mut self.stream)? {
+            Some(reply) => Ok(reply),
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "gateway closed the connection before replying",
+            )
+            .into()),
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! End-to-end loopback gateway tests: the full wire path (encode →
+//! header validation → dispatch → micro-batch → codec → reply encode)
+//! exercised deterministically in-process.
+//!
+//! The two contracts pinned here are the serving layer's equivalents of
+//! the codec batch/per-frame bit-identity contract:
+//!
+//! 1. **Transparency** — N clients × M frames through the sharded
+//!    micro-batcher decode to output bit-identical to one direct
+//!    `encode_batch` + `decode_batch` call on the same codec.
+//! 2. **Determinism** — the same message schedule (same seeds, same
+//!    virtual clock) produces a byte-identical `Stats` reply and
+//!    byte-identical decoded frames whether the tensor kernels run on 1
+//!    thread or many (`ORCO_THREADS` must not leak into served bytes).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use orco_datasets::DatasetKind;
+use orco_serve::{Client, Clock, Gateway, GatewayConfig, Loopback, Message, PushOutcome};
+use orco_tensor::{parallel, Matrix, OrcoRng};
+use orcodcs::{AsymmetricAutoencoder, Codec, OrcoConfig};
+
+fn ae_config() -> OrcoConfig {
+    OrcoConfig::for_dataset(DatasetKind::MnistLike).with_latent_dim(16).with_seed(11)
+}
+
+fn make_codec() -> Box<dyn Codec> {
+    Box::new(AsymmetricAutoencoder::new(&ae_config()).expect("valid config"))
+}
+
+fn gateway(cfg: GatewayConfig) -> Arc<Gateway> {
+    Arc::new(
+        Gateway::new(cfg, Clock::manual(Duration::from_micros(100)), |_| make_codec())
+            .expect("valid gateway"),
+    )
+}
+
+/// Random frames for one cluster, deterministic in `seed`.
+fn cluster_frames(rows: usize, seed: u64) -> Matrix {
+    let mut rng = OrcoRng::from_seed_u64(seed);
+    Matrix::from_fn(rows, 784, |_, _| rng.uniform(0.0, 1.0))
+}
+
+/// Drives a fixed interleaved schedule — 3 clients, 5 clusters, pushes
+/// of varying size — and returns the decoded frames per cluster plus the
+/// final encoded stats reply.
+fn run_schedule(cfg: GatewayConfig) -> (Vec<(u64, Matrix)>, Vec<u8>) {
+    let gw = gateway(cfg);
+    let transport = Loopback::new(Arc::clone(&gw));
+    let mut clients: Vec<_> = (0..3)
+        .map(|i| {
+            let mut c = Client::connect(&transport).expect("loopback connects");
+            c.hello(i).expect("hello");
+            c
+        })
+        .collect();
+
+    let clusters: [u64; 5] = [3, 19, 42, 77, 1001];
+    // Interleave pushes: client (k mod 3) pushes a slice of cluster
+    // (k mod 5)'s stream, sizes cycling 1..=4.
+    let mut offsets = [0usize; 5];
+    let frames: Vec<Matrix> = (0..5).map(|i| cluster_frames(30, 0xF00D + clusters[i])).collect();
+    let mut k = 0usize;
+    while offsets.iter().any(|&o| o < 30) {
+        let ci = k % 5;
+        let rows = 1 + k % 4;
+        if offsets[ci] < 30 {
+            let hi = (offsets[ci] + rows).min(30);
+            let outcome = clients[k % 3]
+                .push(clusters[ci], frames[ci].view_rows(offsets[ci]..hi))
+                .expect("push accepted");
+            assert_eq!(outcome, PushOutcome::Accepted((hi - offsets[ci]) as u32));
+            offsets[ci] = hi;
+        }
+        k += 1;
+    }
+
+    // Drain every cluster in chunks, preserving order.
+    let mut decoded = Vec::new();
+    for (i, &cluster) in clusters.iter().enumerate() {
+        let mut got = Matrix::zeros(0, 784);
+        loop {
+            let chunk = clients[i % 3].pull(cluster, 7).expect("pull");
+            if chunk.rows() == 0 {
+                break;
+            }
+            let mut stacked = Matrix::zeros(got.rows() + chunk.rows(), 784);
+            for r in 0..got.rows() {
+                stacked.row_mut(r).copy_from_slice(got.row(r));
+            }
+            for r in 0..chunk.rows() {
+                stacked.row_mut(got.rows() + r).copy_from_slice(chunk.row(r));
+            }
+            got = stacked;
+        }
+        decoded.push((cluster, got));
+    }
+
+    // The stats reply as raw bytes — the determinism contract is on the
+    // wire image, not just the struct.
+    let stats_frame = {
+        let gw_stats = gw.stats();
+        Message::StatsReply(gw_stats).encode()
+    };
+    (decoded, stats_frame)
+}
+
+/// Contract 1: the sharded, micro-batched gateway is *transparent* — its
+/// decoded output is bit-identical to direct batch calls on the codec.
+#[test]
+fn gateway_output_bit_identical_to_direct_batch_calls() {
+    let cfg = GatewayConfig {
+        shards: 2,
+        batch_max_frames: 7, // odd on purpose: flushes straddle pushes
+        batch_deadline: Duration::from_secs(3600),
+        queue_capacity: 4096,
+    };
+    let (decoded, _) = run_schedule(cfg);
+
+    for (cluster, via_gateway) in decoded {
+        let frames = cluster_frames(30, 0xF00D + cluster);
+        let mut reference = make_codec();
+        let mut codes = Matrix::zeros(0, 0);
+        let mut recon = Matrix::zeros(0, 0);
+        reference.encode_batch(frames.as_view(), &mut codes).expect("shapes fit");
+        reference.decode_batch(codes.as_view(), &mut recon).expect("shapes fit");
+        assert_eq!(
+            via_gateway, recon,
+            "cluster {cluster}: gateway output diverged from direct encode/decode"
+        );
+    }
+}
+
+/// Contract 2: same schedule ⇒ byte-identical stats reply and decoded
+/// frames at any tensor-kernel thread budget.
+#[test]
+fn gateway_is_deterministic_across_thread_budgets() {
+    let cfg = GatewayConfig {
+        shards: 2,
+        batch_max_frames: 8,
+        batch_deadline: Duration::from_millis(2),
+        queue_capacity: 4096,
+    };
+    let (decoded_1, stats_1) = parallel::with_thread_budget(1, || run_schedule(cfg));
+    let (decoded_4, stats_4) = parallel::with_thread_budget(4, || run_schedule(cfg));
+    assert_eq!(stats_1, stats_4, "Stats reply bytes must not depend on ORCO_THREADS");
+    assert_eq!(decoded_1, decoded_4, "decoded frames must not depend on ORCO_THREADS");
+    // And the schedule actually flushed more than once per cluster.
+    let reply = Message::decode(&stats_1).expect("stats frame decodes");
+    let Message::StatsReply(snap) = reply else { panic!("not a stats reply") };
+    assert!(snap.batches >= 5, "schedule too small to exercise batching: {snap:?}");
+    assert_eq!(snap.frames_in, 150);
+    assert_eq!(snap.frames_out, 150);
+    assert_eq!(snap.queue_depth, 0);
+    assert_eq!(snap.stored_codes, 0);
+}
+
+/// Backpressure: a full shard answers `Busy` without buffering; draining
+/// frees the budget and the push succeeds.
+#[test]
+fn busy_backpressure_and_drain() {
+    let cfg = GatewayConfig {
+        shards: 1,
+        batch_max_frames: 4,
+        batch_deadline: Duration::from_secs(3600),
+        queue_capacity: 8,
+    };
+    let gw = gateway(cfg);
+    let mut client = Client::connect(&Loopback::new(Arc::clone(&gw))).expect("connects");
+    let frames = cluster_frames(6, 1);
+
+    assert_eq!(client.push(5, frames.as_view()).unwrap(), PushOutcome::Accepted(6));
+    match client.push(5, frames.as_view()).unwrap() {
+        PushOutcome::Busy { queued, capacity } => {
+            assert_eq!(capacity, 8);
+            assert_eq!(queued, 6);
+        }
+        other => panic!("expected Busy, got {other:?}"),
+    }
+    assert_eq!(gw.stats().busy_rejections, 1);
+
+    // Drain, then the same push is accepted.
+    assert_eq!(client.pull(5, 32).unwrap().rows(), 6);
+    assert_eq!(client.push(5, frames.as_view()).unwrap(), PushOutcome::Accepted(6));
+}
+
+/// A push wider or narrower than the codec's frame draws a typed
+/// rejection, not a panic or a dropped connection.
+#[test]
+fn wrong_frame_width_rejected() {
+    let gw = gateway(GatewayConfig::default());
+    let mut client = Client::connect(&Loopback::new(gw)).expect("connects");
+    let bad = Matrix::zeros(3, 42);
+    let err = client.push(9, bad.as_view()).unwrap_err();
+    let text = err.to_string();
+    assert!(text.contains("784") && text.contains("42"), "unhelpful error: {text}");
+}
+
+/// The batch deadline flushes a lingering small batch (virtual clock;
+/// the next dispatch to the shard performs the overdue flush).
+#[test]
+fn deadline_flushes_small_batches() {
+    let cfg = GatewayConfig {
+        shards: 1,
+        batch_max_frames: 1000,
+        batch_deadline: Duration::from_millis(5),
+        queue_capacity: 4096,
+    };
+    let gw = gateway(cfg);
+    let mut client = Client::connect(&Loopback::new(Arc::clone(&gw))).expect("connects");
+    let frames = cluster_frames(3, 2);
+    assert_eq!(client.push(1, frames.as_view()).unwrap(), PushOutcome::Accepted(3));
+    assert_eq!(gw.stats().batches, 0, "nothing due yet");
+
+    // Let the virtual clock pass the deadline, then touch the shard.
+    gw.clock().advance(Duration::from_millis(10));
+    assert_eq!(client.push(1, frames.view_rows(0..1)).unwrap(), PushOutcome::Accepted(1));
+    let snap = gw.stats();
+    assert_eq!(snap.deadline_flushes, 1, "overdue batch must flush before the new push joins");
+    assert_eq!(snap.max_batch_rows, 3);
+}
+
+/// Shutdown flushes pending work, rejects new pushes, and still serves
+/// pulls of already-encoded data.
+#[test]
+fn shutdown_drains_and_rejects() {
+    let cfg = GatewayConfig {
+        shards: 2,
+        batch_max_frames: 100,
+        batch_deadline: Duration::from_secs(3600),
+        queue_capacity: 4096,
+    };
+    let gw = gateway(cfg);
+    let mut client = Client::connect(&Loopback::new(Arc::clone(&gw))).expect("connects");
+    let frames = cluster_frames(5, 3);
+    assert_eq!(client.push(2, frames.as_view()).unwrap(), PushOutcome::Accepted(5));
+    client.shutdown().expect("shutdown acked");
+    assert!(gw.is_shutting_down());
+    assert_eq!(gw.stats().batches, 1, "shutdown must flush pending frames");
+
+    let err = client.push(2, frames.as_view()).unwrap_err();
+    assert!(err.to_string().contains("shutting down"), "got: {err}");
+    assert_eq!(client.pull(2, 32).unwrap().rows(), 5, "stored codes stay pullable");
+}

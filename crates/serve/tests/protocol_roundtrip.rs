@@ -1,0 +1,156 @@
+//! Property tests over the wire protocol: arbitrary messages round-trip
+//! bit-identically, and every malformed frame is rejected with a typed
+//! [`WireError`] — never a panic, never a silent misparse.
+
+use orco_serve::protocol::{Message, HEADER_LEN};
+use orco_serve::{ErrorCode, StatsSnapshot, WireError};
+use orco_tensor::Matrix;
+use proptest::prelude::*;
+use proptest::BoxedStrategy;
+
+/// Matrices whose element *bit patterns* span the full u32 range —
+/// including NaNs, infinities, and denormals — because the wire contract
+/// is bit-identity, not numeric equality.
+fn any_bits_matrix() -> BoxedStrategy<Matrix> {
+    (0usize..4, 0usize..6)
+        .prop_flat_map(|(r, c)| {
+            prop::collection::vec(0u32..=u32::MAX, r * c).prop_map(move |bits| {
+                Matrix::from_vec(r, c, bits.into_iter().map(f32::from_bits).collect())
+                    .expect("length matches")
+            })
+        })
+        .boxed()
+}
+
+/// Matrices of ordinary finite floats, for value-level equality checks.
+fn finite_matrix() -> BoxedStrategy<Matrix> {
+    (1usize..4, 1usize..6)
+        .prop_flat_map(|(r, c)| {
+            prop::collection::vec(-1.0e3f32..1.0e3, r * c)
+                .prop_map(move |data| Matrix::from_vec(r, c, data).expect("length matches"))
+        })
+        .boxed()
+}
+
+fn any_snapshot() -> BoxedStrategy<StatsSnapshot> {
+    (
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>(), 0u16..=u16::MAX),
+        (0.0f64..1.0e6, 0.0f64..1.0e6),
+    )
+        .prop_map(|(a, b, c, d)| StatsSnapshot {
+            shards: c.2,
+            frames_in: a.0,
+            frames_out: a.1,
+            bytes_in: a.2,
+            bytes_out: a.3,
+            pushes: a.4,
+            pulls: b.0,
+            busy_rejections: b.1,
+            batches: b.2,
+            deadline_flushes: b.3,
+            max_batch_rows: b.4,
+            queue_depth: c.0,
+            stored_codes: c.1,
+            batch_latency_p50_s: d.0,
+            batch_latency_p99_s: d.1,
+        })
+        .boxed()
+}
+
+fn any_message() -> BoxedStrategy<Message> {
+    prop_oneof![
+        any::<u64>().prop_map(|client_id| Message::Hello { client_id }),
+        (0u16..=u16::MAX, 0u16..=u16::MAX, 0u32..=u32::MAX, 0u32..=u32::MAX).prop_map(
+            |(version, shards, frame_dim, code_dim)| Message::HelloAck {
+                version,
+                shards,
+                frame_dim,
+                code_dim,
+            }
+        ),
+        (any::<u64>(), any_bits_matrix())
+            .prop_map(|(cluster_id, frames)| Message::PushFrames { cluster_id, frames }),
+        (0u32..=u32::MAX).prop_map(|accepted| Message::PushAck { accepted }),
+        (0u32..=u32::MAX, 0u32..=u32::MAX)
+            .prop_map(|(queued, capacity)| Message::Busy { queued, capacity }),
+        (any::<u64>(), 0u32..=u32::MAX)
+            .prop_map(|(cluster_id, max_frames)| Message::PullDecoded { cluster_id, max_frames }),
+        (any::<u64>(), any_bits_matrix())
+            .prop_map(|(cluster_id, frames)| Message::Decoded { cluster_id, frames }),
+        Just(Message::StatsRequest),
+        any_snapshot().prop_map(Message::StatsReply),
+        Just(Message::Shutdown),
+        Just(Message::ShutdownAck),
+        (0usize..4, prop::collection::vec(0u8..=127, 0..24)).prop_map(|(code, bytes)| {
+            let code = [
+                ErrorCode::BadRequest,
+                ErrorCode::Shape,
+                ErrorCode::ShuttingDown,
+                ErrorCode::Internal,
+            ][code];
+            let detail = String::from_utf8(bytes).expect("ascii is utf-8");
+            Message::ErrorReply { code, detail }
+        }),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// encode → decode → encode is the identity on bytes, for every
+    /// message kind and any f32 bit pattern (NaNs included).
+    #[test]
+    fn roundtrip_is_bit_identical(msg in any_message()) {
+        let frame = msg.encode();
+        let decoded = Message::decode(&frame).expect("own encoding decodes");
+        prop_assert_eq!(decoded.kind(), msg.kind());
+        prop_assert_eq!(decoded.encode(), frame, "re-encoding changed bytes");
+    }
+
+    /// For finite payloads the decoded *value* equals the original too.
+    #[test]
+    fn roundtrip_preserves_values(cluster_id in any::<u64>(), frames in finite_matrix()) {
+        let msg = Message::PushFrames { cluster_id, frames: frames.clone() };
+        let decoded = Message::decode(&msg.encode()).expect("own encoding decodes");
+        prop_assert_eq!(decoded, msg);
+    }
+
+    /// Every strict prefix of a valid frame is rejected with a typed
+    /// error — truncation can never misparse.
+    #[test]
+    fn every_truncation_rejected(msg in any_message(), frac in 0.0f64..1.0) {
+        let frame = msg.encode();
+        let cut = ((frame.len() as f64) * frac) as usize;
+        prop_assume!(cut < frame.len());
+        let err = Message::decode(&frame[..cut]).expect_err("truncated frame must not decode");
+        prop_assert!(
+            matches!(
+                err,
+                WireError::Truncated { .. } | WireError::LengthMismatch { .. }
+            ),
+            "unexpected error for cut at {}: {:?}", cut, err
+        );
+    }
+
+    /// Flipping any single header byte is caught by a typed error or, at
+    /// worst (a corrupted length that still fits), a clean parse of the
+    /// same kind — never a panic.
+    #[test]
+    fn corrupt_headers_never_panic(msg in any_message(), byte in 0usize..HEADER_LEN, bit in 0u8..8) {
+        let mut frame = msg.encode();
+        frame[byte] ^= 1 << bit;
+        let _ = Message::decode(&frame); // must return, not panic
+    }
+
+    /// Appending garbage after a frame is a length mismatch.
+    #[test]
+    fn trailing_garbage_rejected(msg in any_message(), extra in prop::collection::vec(any::<u8>(), 1..16)) {
+        let mut frame = msg.encode();
+        frame.extend_from_slice(&extra);
+        let err = Message::decode(&frame).expect_err("trailing bytes must not decode");
+        prop_assert!(matches!(err, WireError::LengthMismatch { .. }), "got {:?}", err);
+    }
+}

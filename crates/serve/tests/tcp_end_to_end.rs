@@ -1,0 +1,95 @@
+//! End-to-end test of the TCP face: a real gateway on an ephemeral port,
+//! concurrent clients over real sockets, deadline flushing in real time,
+//! and shutdown joining every server thread.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use orco_datasets::DatasetKind;
+use orco_serve::{Client, Clock, Gateway, GatewayConfig, PushOutcome, Tcp, TcpServer};
+use orco_tensor::{Matrix, OrcoRng};
+use orcodcs::{AsymmetricAutoencoder, Codec, OrcoConfig};
+
+#[test]
+fn tcp_gateway_serves_and_shuts_down() {
+    let config = OrcoConfig::for_dataset(DatasetKind::MnistLike).with_latent_dim(16).with_seed(5);
+    let gateway = Arc::new(
+        Gateway::new(
+            GatewayConfig {
+                shards: 2,
+                batch_max_frames: 8,
+                batch_deadline: Duration::from_millis(2),
+                queue_capacity: 1024,
+            },
+            Clock::real(),
+            |_| {
+                Box::new(AsymmetricAutoencoder::new(&config).expect("valid config"))
+                    as Box<dyn Codec>
+            },
+        )
+        .expect("valid gateway"),
+    );
+    let server = TcpServer::spawn(Arc::clone(&gateway), "127.0.0.1:0").expect("binds");
+    let transport = Tcp::new(server.local_addr().to_string());
+
+    let handles: Vec<_> = (0..2)
+        .map(|id: u64| {
+            let transport = transport.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&transport).expect("connects");
+                let info = client.hello(id).expect("hello");
+                assert_eq!(info.frame_dim, 784);
+                assert_eq!(info.code_dim, 16);
+                let mut rng = OrcoRng::from_seed_u64(id);
+                let frames = Matrix::from_fn(21, 784, |_, _| rng.uniform(0.0, 1.0));
+                let mut pushed = 0;
+                while pushed < 21 {
+                    let hi = (pushed + 2).min(21);
+                    match client.push(id, frames.view_rows(pushed..hi)).expect("push") {
+                        PushOutcome::Accepted(n) => pushed += n as usize,
+                        PushOutcome::Busy { .. } => {
+                            std::thread::sleep(Duration::from_millis(1));
+                        }
+                    }
+                }
+                let mut pulled = 0;
+                while pulled < 21 {
+                    let got = client.pull(id, 8).expect("pull").rows();
+                    if got == 0 {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    pulled += got;
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+
+    // A malformed frame draws a typed ErrorReply before the connection
+    // closes — the TCP face answers exactly like the loopback path.
+    {
+        use std::io::Write;
+        let mut raw = std::net::TcpStream::connect(server.local_addr()).expect("connects");
+        raw.write_all(b"XXXXgarbage-that-is-not-a-frame").expect("writes");
+        let reply = orco_serve::Message::read_from(&mut raw).expect("reply frame").expect("reply");
+        assert!(
+            matches!(reply, orco_serve::Message::ErrorReply { .. }),
+            "expected ErrorReply, got {}",
+            reply.kind()
+        );
+    }
+
+    let mut control = Client::connect(&transport).expect("control connects");
+    let stats = control.stats().expect("stats");
+    assert_eq!(stats.frames_in, 42);
+    assert_eq!(stats.frames_out, 42);
+    assert_eq!(stats.queue_depth, 0);
+    control.shutdown().expect("shutdown acked");
+
+    // join() returning proves the acceptor was poked awake and every
+    // flusher observed the flag.
+    server.join();
+    assert!(gateway.is_shutting_down());
+}

@@ -45,7 +45,7 @@ pub mod stats;
 pub use error::TensorError;
 pub use im2col::{col2im, im2col, Conv2dGeom};
 pub use matrix::Matrix;
-pub use rng::OrcoRng;
+pub use rng::{fnv1a64, OrcoRng};
 pub use tensor4::Tensor4;
 pub use view::{MatView, MatViewMut};
 

@@ -198,8 +198,11 @@ impl OrcoRng {
     }
 }
 
-/// FNV-1a 64-bit hash (stable, dependency-free label hashing).
-fn fnv1a64(bytes: &[u8]) -> u64 {
+/// FNV-1a 64-bit hash — the workspace's one stable, dependency-free hash.
+/// Used for RNG label hashing here and for cluster→shard pinning in the
+/// serving layer; public so the constants live in exactly one place.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         hash ^= u64::from(b);

@@ -236,10 +236,17 @@ impl TrafficAccounting {
 
 /// Nearest-rank percentile over an ascending-sorted sample (0 if empty).
 ///
+/// Public because every latency ledger in the workspace uses the same
+/// convention: [`TrafficAccounting`] here and the serving layer's batch
+/// latency registry (`orco-serve`) keep their samples ascending-sorted on
+/// insert and report p50/p99 through this one function, so percentiles
+/// never drift between reports.
+///
 /// # Panics
 ///
 /// Panics if `q` is outside `[0, 1]`.
-fn percentile_of_sorted(sorted: &[f64], q: f64) -> f64 {
+#[must_use]
+pub fn percentile_of_sorted(sorted: &[f64], q: f64) -> f64 {
     assert!((0.0..=1.0).contains(&q), "latency percentile must be in [0, 1], got {q}");
     if sorted.is_empty() {
         return 0.0;

@@ -12,6 +12,7 @@
 //! * [`core`] — OrcoDCS itself ([`orcodcs`]).
 //! * [`baselines`] — DCSNet and traditional CS ([`orco_baselines`]).
 //! * [`classifier`] — the follow-up CNN application ([`orco_classifier`]).
+//! * [`serve`] — the sharded edge-ingestion gateway ([`orco_serve`]).
 
 #![forbid(unsafe_code)]
 
@@ -19,6 +20,7 @@ pub use orco_baselines as baselines;
 pub use orco_classifier as classifier;
 pub use orco_datasets as datasets;
 pub use orco_nn as nn;
+pub use orco_serve as serve;
 pub use orco_sim as sim;
 pub use orco_tensor as tensor;
 pub use orco_wsn as wsn;
