@@ -176,6 +176,11 @@ fn main() {
     let _ = writeln!(json, "  \"bench\": \"serve_throughput\",");
     let _ = writeln!(json, "  \"scale\": \"{}\",", if quick { "quick" } else { "default" });
     let _ = writeln!(json, "  \"threads\": 1,");
+    let _ = writeln!(
+        json,
+        "  \"note\": \"single-core run: the shard-count sweep (batch-64 vs -2shard vs -4shard) \
+         measures sharding overhead, not scaling; expect flat numbers on 1-core CI\","
+    );
     let _ = writeln!(json, "  \"frames\": {total},");
     let _ = writeln!(json, "  \"batched64_vs_batch1_speedup\": {speedup:.4},");
     let _ = writeln!(json, "  \"results\": [");

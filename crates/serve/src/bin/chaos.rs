@@ -1,0 +1,204 @@
+//! Chaos-gauntlet CLI: run the DES impairment scenarios against the
+//! gateway, verify the liveness/exactly-once contracts, and prove every
+//! run replays bit-identically from its recorded log.
+//!
+//! ```sh
+//! # CI quick mode: all five scenarios + replay verification
+//! cargo run --release -p orco-serve --bin chaos -- --quick --record-dir chaos-logs
+//!
+//! # One scenario, full size, chosen seed
+//! cargo run --release -p orco-serve --bin chaos -- --scenario lossy_links --seed 7
+//!
+//! # Resurrect a failing run from its uploaded log
+//! cargo run --release -p orco-serve --bin chaos -- --replay chaos-logs/lossy_links.runlog
+//! ```
+//!
+//! On any contract violation the run's log is written to `--record-dir`
+//! (default `.`) and the process exits nonzero — the log is everything a
+//! debugging session needs to step through the identical event sequence.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use orco_serve::{replay_scenario, run_scenario, RunLog, ScenarioOutcome, GAUNTLET};
+
+struct Args {
+    quick: bool,
+    seed: u64,
+    scenario: Option<String>,
+    record_dir: PathBuf,
+    replay: Option<PathBuf>,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let mut args = Args {
+            quick: false,
+            seed: 0xC4A05,
+            scenario: None,
+            record_dir: PathBuf::from("."),
+            replay: None,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let mut value =
+                |name: &str| it.next().unwrap_or_else(|| panic!("{name} requires a value"));
+            match flag.as_str() {
+                "--quick" => args.quick = true,
+                "--full" => args.quick = false,
+                "--seed" => args.seed = value("--seed").parse().expect("u64"),
+                "--scenario" => args.scenario = Some(value("--scenario")),
+                "--record-dir" => args.record_dir = PathBuf::from(value("--record-dir")),
+                "--replay" => args.replay = Some(PathBuf::from(value("--replay"))),
+                other => {
+                    eprintln!(
+                        "unknown flag {other}\nusage: chaos [--quick|--full] [--seed N] \
+                         [--scenario NAME] [--record-dir DIR] [--replay FILE]"
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+        args
+    }
+}
+
+fn summarize(tag: &str, o: &ScenarioOutcome) {
+    println!(
+        "  {tag} {}: {} clients x {} frames | acked {} delivered {} | busy_retries {} \
+         gave_ups {} reconnects {} | digest {:016x}",
+        o.name,
+        o.clients,
+        o.frames_per_client,
+        o.acked_rows,
+        o.delivered_rows,
+        o.busy_retries,
+        o.gave_ups,
+        o.reconnects,
+        o.decoded_fnv
+    );
+}
+
+fn persist_log(dir: &PathBuf, log: &RunLog) {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("chaos: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{}-seed{}.runlog", log.name, log.seed));
+    match std::fs::write(&path, log.to_text()) {
+        Ok(()) => eprintln!("chaos: run log written to {}", path.display()),
+        Err(e) => eprintln!("chaos: cannot write {}: {e}", path.display()),
+    }
+}
+
+/// Runs one scenario live, then replays it from its own log and demands
+/// a bit-identical outcome. Returns false (and persists the log) on any
+/// violation.
+fn run_and_verify(name: &str, args: &Args) -> bool {
+    let outcome = match run_scenario(name, args.seed, args.quick) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("chaos: FAILED {e}");
+            persist_log(&args.record_dir, &e.log);
+            return false;
+        }
+    };
+    summarize("live ", &outcome);
+
+    let log = RunLog {
+        name: outcome.name.clone(),
+        seed: outcome.seed,
+        quick: args.quick,
+        trace: outcome.trace.clone(),
+    };
+    // The text round trip must be exact, or an uploaded log is useless.
+    let reparsed = match RunLog::from_text(&log.to_text()) {
+        Ok(l) if l == log => l,
+        Ok(_) => {
+            eprintln!("chaos: FAILED {name}: run log text round trip is lossy");
+            persist_log(&args.record_dir, &log);
+            return false;
+        }
+        Err(e) => {
+            eprintln!("chaos: FAILED {name}: run log does not reparse: {e}");
+            persist_log(&args.record_dir, &log);
+            return false;
+        }
+    };
+    match replay_scenario(&reparsed) {
+        Ok(replayed)
+            if replayed.stats_frame == outcome.stats_frame
+                && replayed.decoded_fnv == outcome.decoded_fnv =>
+        {
+            summarize("replay", &replayed);
+            true
+        }
+        Ok(_) => {
+            eprintln!("chaos: FAILED {name}: replay diverged from the live run");
+            persist_log(&args.record_dir, &log);
+            false
+        }
+        Err(e) => {
+            eprintln!("chaos: FAILED replay of {name}: {e}");
+            persist_log(&args.record_dir, &e.log);
+            false
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = Args::parse();
+
+    if let Some(path) = &args.replay {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("chaos: cannot read {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let log = match RunLog::from_text(&text) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("chaos: malformed run log {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        println!("chaos: replaying {} (seed {}, quick {})", log.name, log.seed, log.quick);
+        return match replay_scenario(&log) {
+            Ok(o) => {
+                summarize("replay", &o);
+                println!("chaos: replay completed cleanly");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("chaos: replay reproduced the failure: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let names: Vec<&str> = match &args.scenario {
+        Some(s) => vec![s.as_str()],
+        None => GAUNTLET.to_vec(),
+    };
+    println!(
+        "chaos: gauntlet of {} scenario(s), seed {}, {} mode",
+        names.len(),
+        args.seed,
+        if args.quick { "quick" } else { "full" }
+    );
+    let mut ok = true;
+    for name in names {
+        println!("chaos: == {name} ==");
+        ok &= run_and_verify(name, &args);
+    }
+    if ok {
+        println!(
+            "chaos: gauntlet clean — every run delivered exactly once and replayed bit-identically"
+        );
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

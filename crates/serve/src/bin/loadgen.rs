@@ -3,9 +3,10 @@
 //! Spawns N client threads, each owning one cluster: every client pushes
 //! M synthetic frames (`--rows-per-push` per message), then drains its
 //! decoded reconstructions in `--pull-chunk` chunks, honoring `Busy`
-//! backpressure with a short retry sleep. At the end one control
-//! connection prints the gateway's stats snapshot and (with
-//! `--shutdown`) asks the gateway to exit.
+//! backpressure with a capped-exponential, deterministically-jittered
+//! backoff (per-client seed from `--seed`, so N clients never retry in
+//! lockstep). At the end one control connection prints the gateway's
+//! stats snapshot and (with `--shutdown`) asks the gateway to exit.
 //!
 //! Pair it with the `edge_gateway` example:
 //!
@@ -16,7 +17,7 @@
 
 use std::time::{Duration, Instant};
 
-use orco_serve::{Client, PushOutcome, Tcp, TcpConnection};
+use orco_serve::{Backoff, Client, PushOutcome, Tcp, TcpConnection};
 use orco_tensor::{Matrix, OrcoRng};
 use orcodcs::OrcoError;
 
@@ -28,6 +29,7 @@ struct Args {
     pull_chunk: u32,
     shutdown: bool,
     connect_timeout: Duration,
+    seed: u64,
 }
 
 impl Args {
@@ -40,6 +42,7 @@ impl Args {
             pull_chunk: 64,
             shutdown: false,
             connect_timeout: Duration::from_secs(10),
+            seed: 0xC0FFEE,
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
@@ -58,11 +61,12 @@ impl Args {
                         Duration::from_secs(value("--connect-timeout-s").parse().expect("u64"));
                 }
                 "--shutdown" => args.shutdown = true,
+                "--seed" => args.seed = value("--seed").parse().expect("u64"),
                 other => {
                     eprintln!(
                         "unknown flag {other}\nusage: loadgen [--addr HOST:PORT] [--clients N] \
                          [--frames M] [--rows-per-push R] [--pull-chunk K] \
-                         [--connect-timeout-s S] [--shutdown]"
+                         [--connect-timeout-s S] [--seed N] [--shutdown]"
                     );
                     std::process::exit(2);
                 }
@@ -98,30 +102,39 @@ fn run_client(args: &Args, id: usize) -> Result<(usize, usize), OrcoError> {
     let mut client = connect_with_retry(&transport, args.connect_timeout)?;
     let info = client.hello(id as u64)?;
     let cluster = 1000 + id as u64;
-    let mut rng = OrcoRng::from_seed_u64(0xC0FFEE ^ id as u64);
+    let mut rng = OrcoRng::from_seed_u64(args.seed ^ id as u64);
     let frames =
         Matrix::from_fn(args.frames, info.frame_dim as usize, |_, _| rng.uniform(0.0, 1.0));
+    // Per-client seed: N clients hitting the same saturated shard back
+    // off on decorrelated schedules instead of retrying in lockstep.
+    let mut backoff =
+        Backoff::new(Duration::from_millis(1), Duration::from_millis(64), args.seed ^ id as u64);
 
     let mut pushed = 0usize;
     let mut pulled = 0usize;
     while pushed < args.frames {
         let hi = (pushed + args.rows_per_push).min(args.frames);
         match client.push(cluster, frames.view_rows(pushed..hi))? {
-            PushOutcome::Accepted(n) => pushed += n as usize,
+            PushOutcome::Accepted(n) => {
+                pushed += n as usize;
+                backoff.reset();
+            }
             PushOutcome::Busy { .. } => {
-                // Backpressure: drain some decoded output, then retry.
+                // Backpressure: drain some decoded output, then retry
+                // after a jittered, exponentially growing wait.
                 pulled += client.pull(cluster, args.pull_chunk)?.rows();
-                std::thread::sleep(Duration::from_millis(1));
+                std::thread::sleep(backoff.next_delay());
             }
         }
     }
     while pulled < args.frames {
         let got = client.pull(cluster, args.pull_chunk)?.rows();
         if got == 0 {
-            std::thread::sleep(Duration::from_millis(1));
+            std::thread::sleep(backoff.next_delay());
             continue;
         }
         pulled += got;
+        backoff.reset();
     }
     Ok((pushed, pulled))
 }
@@ -165,12 +178,15 @@ fn main() {
     match control.stats() {
         Ok(s) => println!(
             "gateway stats: frames_in={} frames_out={} batches={} (max batch {}) \
-             deadline_flushes={} busy={} p50={:.6}s p99={:.6}s",
+             flushes size/deadline/pull/drain={}/{}/{}/{} busy={} p50={:.6}s p99={:.6}s",
             s.frames_in,
             s.frames_out,
             s.batches,
             s.max_batch_rows,
+            s.size_flushes,
             s.deadline_flushes,
+            s.pull_flushes,
+            s.drain_flushes,
             s.busy_rejections,
             s.batch_latency_p50_s,
             s.batch_latency_p99_s

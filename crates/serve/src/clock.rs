@@ -80,6 +80,16 @@ impl Clock {
             nanos.fetch_add(dt.as_nanos() as u64, Ordering::SeqCst);
         }
     }
+
+    /// Advances a virtual clock to absolute time `t` since its epoch
+    /// (no-op on a real clock, and never moves a virtual clock
+    /// backwards). This is how an external discrete-event scheduler — the
+    /// DES transport — slaves the gateway's clock to simulated time.
+    pub fn advance_to(&self, t: Duration) {
+        if let Clock::Virtual { nanos, .. } = self {
+            nanos.fetch_max(t.as_nanos() as u64, Ordering::SeqCst);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -96,6 +106,17 @@ mod tests {
         c.advance(Duration::from_millis(10));
         assert!((c.now_s() - 0.014).abs() < 1e-12);
         assert!(!c.is_real());
+    }
+
+    #[test]
+    fn advance_to_is_monotone() {
+        let c = Clock::manual(Duration::ZERO);
+        c.advance_to(Duration::from_millis(5));
+        assert!((c.now_s() - 0.005).abs() < 1e-12);
+        c.advance_to(Duration::from_millis(3)); // never backwards
+        assert!((c.now_s() - 0.005).abs() < 1e-12);
+        c.advance_to(Duration::from_millis(8));
+        assert!((c.now_s() - 0.008).abs() < 1e-12);
     }
 
     #[test]

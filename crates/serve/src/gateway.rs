@@ -16,8 +16,11 @@
 //!   thread;
 //! * **deadline**: a pending batch older than
 //!   [`GatewayConfig::batch_deadline`] is flushed by the shard's
-//!   deadline-flusher thread (TCP mode) or by the next dispatch touching
-//!   the shard (loopback mode, virtual clock);
+//!   deadline-flusher thread (TCP mode) or by the deadline sweep that
+//!   every dispatch and every [`Gateway::advance_clock`] runs across
+//!   **all** shards (virtual-clock mode) — a batch on an idle shard is
+//!   flushed as soon as virtual time passes its deadline, not when the
+//!   next request happens to land on that shard;
 //! * **pull**: a `PullDecoded` flushes the shard's pending batch first,
 //!   so clients always read their own writes.
 //!
@@ -36,7 +39,7 @@ use orcodcs::{Codec, FrameDims, OrcoError};
 use crate::clock::Clock;
 use crate::protocol::{ErrorCode, Message, PROTOCOL_VERSION};
 use crate::shard::ShardCore;
-use crate::stats::ServeStats;
+use crate::stats::{FlushReason, ServeStats};
 
 /// Sizing and flush policy of a [`Gateway`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -205,6 +208,13 @@ impl Gateway {
     /// on hostile input; failures become [`Message::ErrorReply`].
     pub fn handle(&self, msg: Message) -> Message {
         self.clock.tick();
+        // Sweep *every* shard for overdue batches before dispatching.
+        // Without this, a pending batch on shard A would wait for the next
+        // request that happens to hash onto shard A — under a virtual
+        // clock that request may never come, and the batch starves
+        // (the deadline-starvation regression in `tests/gateway_loopback.rs`
+        // pins the fix).
+        self.sweep_deadlines();
         let now = self.clock.now_s();
         match msg {
             Message::Hello { client_id: _ } => Message::HelloAck {
@@ -279,14 +289,6 @@ impl Gateway {
                 detail: "gateway is shutting down".into(),
             };
         }
-        // An overdue batch flushes before the new push joins it, so the
-        // deadline bounds every frame's wait even in loopback mode where
-        // no flusher thread runs.
-        if core.deadline_due(now, self.cfg.batch_deadline.as_secs_f64()) {
-            if let Err(e) = core.flush(now, true, &self.stats) {
-                return internal(&e);
-            }
-        }
         if !core.try_enqueue(cluster_id, frames, now, self.cfg.queue_capacity) {
             self.stats.record_busy();
             return Message::Busy {
@@ -296,7 +298,7 @@ impl Gateway {
         }
         self.stats.record_push(rows as u64, (rows * self.dims.input * 4) as u64);
         if core.pending_rows() >= self.cfg.batch_max_frames {
-            if let Err(e) = core.flush(now, false, &self.stats) {
+            if let Err(e) = core.flush(now, FlushReason::Size, &self.stats) {
                 return internal(&e);
             }
         } else {
@@ -311,12 +313,12 @@ impl Gateway {
         let slot = &self.shards[self.shard_of(cluster_id)];
         let mut core = slot.core.lock().expect("shard lock");
         // Read-your-writes needs a flush only when the puller's own
-        // frames are pending; an overdue batch flushes too. Anything else
-        // stays pending — a polling consumer must not collapse other
-        // clusters' half-built batches to size-1 flushes.
-        let deadline_due = core.deadline_due(now, self.cfg.batch_deadline.as_secs_f64());
-        if core.has_pending_for(cluster_id) || deadline_due {
-            if let Err(e) = core.flush(now, deadline_due, &self.stats) {
+        // frames are pending (overdue batches were already swept at
+        // dispatch). Anything else stays pending — a polling consumer
+        // must not collapse other clusters' half-built batches to size-1
+        // flushes.
+        if core.has_pending_for(cluster_id) {
+            if let Err(e) = core.flush(now, FlushReason::Pull, &self.stats) {
                 return internal(&e);
             }
         }
@@ -330,11 +332,38 @@ impl Gateway {
         self.shutting_down.store(true, Ordering::SeqCst);
         for slot in &self.shards {
             let mut core = slot.core.lock().expect("shard lock");
-            if let Err(e) = core.flush(now, false, &self.stats) {
+            if let Err(e) = core.flush(now, FlushReason::Drain, &self.stats) {
                 eprintln!("orco-serve: flush during shutdown failed: {e}");
             }
             slot.cv.notify_all();
         }
+    }
+
+    /// Flushes every shard whose pending micro-batch has outlived
+    /// [`GatewayConfig::batch_deadline`]. Runs on every dispatch, and
+    /// external schedulers (the DES transport, tests advancing a manual
+    /// clock) should call it after moving virtual time so idle shards'
+    /// batches are flushed without waiting for traffic. Cheap when nothing
+    /// is due: one lock + one comparison per shard.
+    pub fn sweep_deadlines(&self) {
+        let now = self.clock.now_s();
+        let deadline_s = self.cfg.batch_deadline.as_secs_f64();
+        for (idx, slot) in self.shards.iter().enumerate() {
+            let mut core = slot.core.lock().expect("shard lock");
+            if core.deadline_due(now, deadline_s) {
+                if let Err(e) = core.flush(now, FlushReason::Deadline, &self.stats) {
+                    eprintln!("orco-serve: shard {idx} deadline sweep failed: {e}");
+                }
+            }
+        }
+    }
+
+    /// Advances a virtual clock by `dt` and immediately sweeps deadlines —
+    /// the one call an external scheduler needs per time step. No-op on a
+    /// real clock (beyond the sweep, which is harmless).
+    pub fn advance_clock(&self, dt: Duration) {
+        self.clock.advance(dt);
+        self.sweep_deadlines();
     }
 
     /// Runs shard `idx`'s deadline flusher until shutdown. Spawned by the
@@ -346,7 +375,7 @@ impl Gateway {
         loop {
             let now = self.clock.now_s();
             if self.is_shutting_down() {
-                if let Err(e) = core.flush(now, false, &self.stats) {
+                if let Err(e) = core.flush(now, FlushReason::Drain, &self.stats) {
                     eprintln!("orco-serve: shard {idx} final flush failed: {e}");
                 }
                 return;
@@ -361,7 +390,7 @@ impl Gateway {
             }
             let due_at = core.oldest_enqueue_s() + self.cfg.batch_deadline.as_secs_f64();
             if now >= due_at {
-                if let Err(e) = core.flush(now, true, &self.stats) {
+                if let Err(e) = core.flush(now, FlushReason::Deadline, &self.stats) {
                     eprintln!("orco-serve: shard {idx} deadline flush failed: {e}");
                 }
                 continue;

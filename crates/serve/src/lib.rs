@@ -66,23 +66,43 @@
 //!
 //! For the TCP face, see [`TcpServer`], the `edge_gateway` example
 //! (workspace root), and the `loadgen` binary in this crate.
+//!
+//! ## Serving under fire (DES transport + chaos gauntlet)
+//!
+//! The third transport, [`DesNet`], runs the same wire path over
+//! [`orco_sim`]'s deterministic impaired links: scripted loss, latency,
+//! jitter, and partitions under virtual time, with a stop-and-wait ARQ
+//! and server-side dedup providing exactly-once delivery, and a
+//! record→replay trace that reproduces any run bit-identically from its
+//! log. See [`des_transport`] for a quickstart, [`scenarios`] for the
+//! five-scenario chaos gauntlet ([`run_scenario`] / [`replay_scenario`]),
+//! and the `chaos` binary in this crate for the CLI
+//! (`cargo run -p orco-serve --bin chaos -- --quick`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backoff;
 pub mod client;
 pub mod clock;
+pub mod des_transport;
 pub mod gateway;
 pub mod protocol;
+pub mod scenarios;
 mod shard;
 pub mod stats;
 pub mod tcp;
 pub mod transport;
 
+pub use backoff::Backoff;
 pub use client::{Client, GatewayInfo, PushOutcome};
 pub use clock::Clock;
+pub use des_transport::{DesConfig, DesConnection, DesNet, DesTransport, NetEvent};
 pub use gateway::{Gateway, GatewayConfig};
 pub use protocol::{ErrorCode, Message, WireError, PROTOCOL_VERSION};
-pub use stats::{ServeStats, StatsSnapshot};
+pub use scenarios::{
+    replay_scenario, run_scenario, RunLog, ScenarioError, ScenarioOutcome, GAUNTLET,
+};
+pub use stats::{FlushReason, ServeStats, StatsSnapshot};
 pub use tcp::TcpServer;
 pub use transport::{Connection, Loopback, LoopbackConnection, Tcp, TcpConnection, Transport};

@@ -35,8 +35,11 @@ use crate::stats::StatsSnapshot;
 /// Frame magic: "ORCO" read as a little-endian u32.
 pub const MAGIC: u32 = u32::from_le_bytes(*b"ORCO");
 
-/// Version of the wire protocol spoken by this build.
-pub const PROTOCOL_VERSION: u16 = 1;
+/// Version of the wire protocol spoken by this build. Version 2 widened
+/// [`StatsSnapshot`] with per-reason flush counters (size/deadline/pull/
+/// drain); version-1 frames are rejected with
+/// [`WireError::UnsupportedVersion`].
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Size of the fixed frame header in bytes.
 pub const HEADER_LEN: usize = 12;
@@ -65,10 +68,10 @@ fn payload_cap(msg_type: u16) -> Result<usize, WireError> {
         5 => 8,               // Busy: queued, capacity
         6 => 12,              // PullDecoded: cluster_id + max_frames
         8 | 10 | 11 => 0,     // StatsRequest / Shutdown / ShutdownAck
-        // StatsReply: u16 + 12 u64 counters + 2 f64 percentiles. The
+        // StatsReply: u16 + 15 u64 counters + 2 f64 percentiles. The
         // protocol round-trip proptest draws random snapshots, so a
         // stale bound here fails immediately when the snapshot grows.
-        9 => 2 + 12 * 8 + 2 * 8,
+        9 => 2 + 15 * 8 + 2 * 8,
         12 => 2 + 4 + MAX_ERROR_DETAIL, // ErrorReply: code + string
         other => return Err(WireError::UnknownType { found: other }),
     })

@@ -1,0 +1,761 @@
+//! The chaos gauntlet: scripted adversarial runs of the serving layer
+//! over the [`DesNet`] impaired-link transport, with a
+//! record→replay layer that reproduces any failing run bit-identically
+//! from its log.
+//!
+//! Each scenario in [`GAUNTLET`] drives a population of client actors —
+//! greet, stream pushes, honor `Busy` with backed-off drains, pull every
+//! reconstruction back — against a live gateway while the network
+//! misbehaves on script. A scenario passes only if the serving layer's
+//! liveness and exactly-once contracts hold under fire:
+//!
+//! * every `PushAck`'d frame is eventually pulled back **exactly once**
+//!   (no loss to deadline starvation, no duplication from ARQ
+//!   retransmits);
+//! * the decoded bytes are **bit-identical** to a direct
+//!   `encode_batch`/`decode_batch` on the same codec — impairments must
+//!   not perturb the data plane;
+//! * the run terminates (no event-queue deadlock, no unbounded retry
+//!   storm) and the gateway ends drained: zero queue depth, zero stored
+//!   codes;
+//! * flush latency stays bounded: p99 within the batch deadline plus the
+//!   ARQ's RTO ceiling.
+//!
+//! The five scenarios and what each one hunts:
+//!
+//! | scenario | impairment | classic bug it flushes out |
+//! |---|---|---|
+//! | `flash_crowd` | tiny queue capacity, every client pushes at once | retry storms; lockstep `Busy` retries that never drain |
+//! | `rolling_partition` | each client's links cut in staggered windows | requests stranded by a partition the ARQ should outlast |
+//! | `lossy_links` | 15% loss + jitter on every link | duplicate execution of retransmitted pushes; reorder bugs |
+//! | `straggler_shard` | slow windows on every client of one shard | deadline starvation on idle shards; head-of-line blocking |
+//! | `mass_reconnect` | long partition + small attempt cap | frames lost (or doubled) across connection death |
+//!
+//! ## Record → replay
+//!
+//! Every run logs its seed and the full per-send impairment schedule
+//! ([`RunLog`]); [`replay_scenario`] re-runs the scenario consuming the
+//! recorded verdicts instead of drawing randomness, reproducing the run —
+//! stats frame, decoded-byte digest and all — bit for bit. A failing run
+//! in CI uploads its log; `chaos --replay <file>` resurrects it locally.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use orco_sim::{NetScenario, SendRecord, SendVerdict};
+use orco_tensor::{fnv1a64, Matrix, OrcoRng};
+use orcodcs::{AsymmetricAutoencoder, Codec, GradCompression, OrcoConfig};
+
+use crate::backoff::Backoff;
+use crate::clock::Clock;
+use crate::des_transport::{DesConfig, DesNet, NetEvent};
+use crate::gateway::{Gateway, GatewayConfig};
+use crate::protocol::Message;
+
+/// The scenario names [`run_scenario`] accepts, gauntlet order.
+pub const GAUNTLET: [&str; 5] =
+    ["flash_crowd", "rolling_partition", "lossy_links", "straggler_shard", "mass_reconnect"];
+
+/// What a completed scenario run measured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioOutcome {
+    /// Scenario name (one of [`GAUNTLET`]).
+    pub name: String,
+    /// Seed the impairment randomness was drawn from.
+    pub seed: u64,
+    /// Client actors driven.
+    pub clients: usize,
+    /// Frames each client pushed (and pulled back).
+    pub frames_per_client: usize,
+    /// Rows the gateway `PushAck`'d across all clients.
+    pub acked_rows: usize,
+    /// Decoded rows delivered back across all clients (must equal
+    /// `acked_rows`: exactly once).
+    pub delivered_rows: usize,
+    /// `Busy` replies honored with a backed-off drain-and-retry.
+    pub busy_retries: usize,
+    /// Requests whose ARQ exhausted its attempts.
+    pub gave_ups: usize,
+    /// Connections re-opened (sessions resumed) after a give-up.
+    pub reconnects: usize,
+    /// The gateway's final `StatsReply`, as encoded wire bytes — the
+    /// determinism contract is on the wire image.
+    pub stats_frame: Vec<u8>,
+    /// FNV-1a over every delivered row's little-endian bytes, client
+    /// order — one u64 that pins the entire decoded output.
+    pub decoded_fnv: u64,
+    /// The impairment schedule the run drew (replay tape).
+    pub trace: Vec<SendRecord>,
+}
+
+/// A scenario run that violated a liveness or exactly-once contract. The
+/// embedded [`RunLog`] replays it deterministically.
+#[derive(Debug, Clone)]
+pub struct ScenarioError {
+    /// What went wrong.
+    pub detail: String,
+    /// Seed + impairment schedule: everything needed to reproduce.
+    pub log: RunLog,
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "scenario {} (seed {}): {}", self.log.name, self.log.seed, self.detail)
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// The replayable record of one scenario run: its identity plus the full
+/// per-send impairment schedule. Serializes to a line-oriented text
+/// format (f64 delays as IEEE-754 bit patterns, so the round trip is
+/// exact).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunLog {
+    /// Scenario name.
+    pub name: String,
+    /// Seed of the run.
+    pub seed: u64,
+    /// Whether the run used quick sizing.
+    pub quick: bool,
+    /// The impairment verdict of every send, in send order.
+    pub trace: Vec<SendRecord>,
+}
+
+impl RunLog {
+    /// Serializes the log; [`RunLog::from_text`] inverts exactly.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("orco-chaos-run v1\n");
+        out.push_str(&format!("name {}\n", self.name));
+        out.push_str(&format!("seed {}\n", self.seed));
+        out.push_str(&format!("quick {}\n", self.quick));
+        out.push_str(&format!("sends {}\n", self.trace.len()));
+        for rec in &self.trace {
+            match rec.verdict {
+                SendVerdict::Delivered { delay_s } => {
+                    out.push_str(&format!("{} delivered {:016x}\n", rec.link, delay_s.to_bits()));
+                }
+                SendVerdict::Lost => out.push_str(&format!("{} lost\n", rec.link)),
+                SendVerdict::Partitioned => out.push_str(&format!("{} partitioned\n", rec.link)),
+            }
+        }
+        out
+    }
+
+    /// Parses a log serialized by [`RunLog::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn from_text(text: &str) -> Result<RunLog, String> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty log")?;
+        if header != "orco-chaos-run v1" {
+            return Err(format!("unknown log header {header:?}"));
+        }
+        let mut field = |key: &str| -> Result<String, String> {
+            let line = lines.next().ok_or_else(|| format!("missing field {key}"))?;
+            line.strip_prefix(key)
+                .and_then(|rest| rest.strip_prefix(' '))
+                .map(str::to_owned)
+                .ok_or_else(|| format!("expected `{key} ...`, got {line:?}"))
+        };
+        let name = field("name")?;
+        let seed = field("seed")?.parse::<u64>().map_err(|e| format!("bad seed: {e}"))?;
+        let quick = field("quick")?.parse::<bool>().map_err(|e| format!("bad quick: {e}"))?;
+        let sends = field("sends")?.parse::<usize>().map_err(|e| format!("bad sends: {e}"))?;
+        let mut trace = Vec::with_capacity(sends);
+        for line in lines {
+            let mut parts = line.split(' ');
+            let link = parts
+                .next()
+                .and_then(|s| s.parse::<u32>().ok())
+                .ok_or_else(|| format!("bad trace line {line:?}"))?;
+            let verdict = match (parts.next(), parts.next()) {
+                (Some("delivered"), Some(bits)) => {
+                    let bits = u64::from_str_radix(bits, 16)
+                        .map_err(|e| format!("bad delay bits in {line:?}: {e}"))?;
+                    SendVerdict::Delivered { delay_s: f64::from_bits(bits) }
+                }
+                (Some("lost"), None) => SendVerdict::Lost,
+                (Some("partitioned"), None) => SendVerdict::Partitioned,
+                _ => return Err(format!("bad trace line {line:?}")),
+            };
+            trace.push(SendRecord { link, verdict });
+        }
+        if trace.len() != sends {
+            return Err(format!("log promises {sends} sends, carries {}", trace.len()));
+        }
+        Ok(RunLog { name, seed, quick, trace })
+    }
+}
+
+/// Runs one gauntlet scenario live, drawing impairments from `seed`.
+/// `quick` shrinks the population for CI; the impairment windows are the
+/// same either way.
+///
+/// # Errors
+///
+/// Returns a [`ScenarioError`] (with its replay log) when a liveness or
+/// exactly-once contract is violated, and on an unknown scenario name.
+pub fn run_scenario(name: &str, seed: u64, quick: bool) -> Result<ScenarioOutcome, ScenarioError> {
+    drive(name, seed, quick, None)
+}
+
+/// Re-runs a recorded scenario, consuming the logged impairment schedule
+/// instead of drawing randomness. A correct replay reproduces the
+/// original outcome bit for bit (`stats_frame`, `decoded_fnv`, trace).
+///
+/// # Errors
+///
+/// As [`run_scenario`]; additionally, a replay whose send sequence
+/// diverges from the tape panics with a `replay divergence` diagnostic.
+pub fn replay_scenario(log: &RunLog) -> Result<ScenarioOutcome, ScenarioError> {
+    drive(&log.name, log.seed, log.quick, Some(log.trace.clone()))
+}
+
+/// Per-scenario knobs; everything else is shared.
+struct Spec {
+    clients: usize,
+    frames_per_client: usize,
+    queue_capacity: usize,
+    des: DesConfig,
+    /// Builds the impairment script once links exist. Receives the net
+    /// (for link ids) and the actors' conns + clusters.
+    script: fn(&DesNet, &[(usize, u64)]) -> NetScenario,
+}
+
+fn spec_for(name: &str, quick: bool) -> Option<Spec> {
+    let scale = if quick { 1 } else { 4 };
+    let base = DesConfig {
+        rto: Duration::from_millis(10),
+        rto_cap: Duration::from_millis(160),
+        max_attempts: 8,
+        ..DesConfig::default()
+    };
+    let spec = match name {
+        // Every client pushes into a deliberately tiny budget: Busy
+        // storms that must drain via backed-off pulls, not spin.
+        "flash_crowd" => Spec {
+            clients: 6,
+            frames_per_client: 18 * scale,
+            queue_capacity: 16,
+            des: DesConfig {
+                link: orco_sim::LinkParams { delay_s: 0.0005, jitter_s: 0.0, loss_prob: 0.0 },
+                ..base
+            },
+            script: |_, _| NetScenario::new(),
+        },
+        // Staggered cuts: client i loses both directions for 200 ms,
+        // windows marching across the population. The ARQ must outlast
+        // each window (8 attempts of doubled-and-capped RTOs ~ 900 ms of
+        // patience).
+        "rolling_partition" => Spec {
+            clients: 4,
+            frames_per_client: 12 * scale,
+            queue_capacity: 4096,
+            des: DesConfig {
+                link: orco_sim::LinkParams { delay_s: 0.005, jitter_s: 0.0, loss_prob: 0.0 },
+                rto: Duration::from_millis(20),
+                ..base
+            },
+            script: |net, actors| {
+                let mut s = NetScenario::new();
+                for (i, &(conn, _)) in actors.iter().enumerate() {
+                    let w = 0.01 + 0.02 * i as f64..0.21 + 0.02 * i as f64;
+                    s = s.partition(net.uplink(conn), w.clone()).partition(net.downlink(conn), w);
+                }
+                s
+            },
+        },
+        // Steady 15% loss with jitter wide enough to reorder: the dedup
+        // layer must absorb retransmit duplicates and stragglers.
+        "lossy_links" => Spec {
+            clients: 4,
+            frames_per_client: 12 * scale,
+            queue_capacity: 4096,
+            des: DesConfig {
+                link: orco_sim::LinkParams { delay_s: 0.002, jitter_s: 0.004, loss_prob: 0.15 },
+                ..base
+            },
+            script: |_, _| NetScenario::new(),
+        },
+        // Every client of shard 0 goes slow for 400 ms: the other shard's
+        // traffic must still sweep shard 0's deadline flushes (the
+        // starvation bugfix), and nothing head-of-line blocks.
+        "straggler_shard" => Spec {
+            clients: 4,
+            frames_per_client: 12 * scale,
+            queue_capacity: 4096,
+            des: DesConfig {
+                link: orco_sim::LinkParams { delay_s: 0.001, jitter_s: 0.0, loss_prob: 0.0 },
+                ..base
+            },
+            script: |net, actors| {
+                // Straggle the shard that serves the first client, so at
+                // least one shard always plays the role.
+                let straggler = net.gateway().shard_of(actors[0].1);
+                let mut s = NetScenario::new();
+                for &(conn, cluster) in actors {
+                    if net.gateway().shard_of(cluster) == straggler {
+                        s = s.slow(net.uplink(conn), 0.005..0.35, 0.060, 0.0).slow(
+                            net.downlink(conn),
+                            0.005..0.35,
+                            0.060,
+                            0.0,
+                        );
+                    }
+                }
+                s
+            },
+        },
+        // A partition longer than a 3-attempt ARQ can outlast: every
+        // in-flight request gives up, every client reconnects, and the
+        // resumed sessions must still deliver exactly once.
+        "mass_reconnect" => Spec {
+            clients: 4,
+            frames_per_client: 10 * scale,
+            queue_capacity: 4096,
+            des: DesConfig {
+                link: orco_sim::LinkParams { delay_s: 0.002, jitter_s: 0.0, loss_prob: 0.0 },
+                max_attempts: 3,
+                ..base
+            },
+            script: |net, actors| {
+                let mut s = NetScenario::new();
+                for &(conn, _) in actors {
+                    s = s
+                        .partition(net.uplink(conn), 0.01..0.5)
+                        .partition(net.downlink(conn), 0.01..0.5);
+                }
+                s
+            },
+        },
+        _ => return None,
+    };
+    Some(spec)
+}
+
+/// A small, fast codec geometry — the gauntlet stresses the serving
+/// layer, not the autoencoder.
+fn codec_config(seed: u64) -> OrcoConfig {
+    OrcoConfig {
+        input_dim: 32,
+        latent_dim: 8,
+        decoder_layers: 1,
+        noise_variance: 0.1,
+        huber_delta: 0.5,
+        vector_huber: false,
+        learning_rate: 1e-2,
+        batch_size: 32,
+        epochs: 1,
+        finetune_threshold: 0.05,
+        grad_compression: GradCompression::default(),
+        seed,
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Waiting for `HelloAck`.
+    Greet,
+    /// Pushing frames (drain-and-retry on `Busy`).
+    Stream,
+    /// Pulling until every acked row is back.
+    Drain,
+    Done,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pending {
+    Hello,
+    Push {
+        lo: usize,
+        hi: usize,
+    },
+    /// `retry_push` resumes a `Busy` push after the drain completes.
+    Pull {
+        retry_push: bool,
+    },
+}
+
+struct Actor {
+    conn: usize,
+    cluster: u64,
+    frames: Matrix,
+    /// Next frame row to offer.
+    offset: usize,
+    acked: usize,
+    pulled: Vec<f32>,
+    pulled_rows: usize,
+    phase: Phase,
+    /// The in-flight request (stop-and-wait: at most one).
+    pending: Option<(u64, Pending)>,
+    /// A push deferred behind a backoff wakeup.
+    deferred_push: Option<(usize, usize)>,
+    backoff: Backoff,
+    busy_retries: usize,
+    gave_ups: usize,
+    reconnects: usize,
+}
+
+const ROWS_PER_PUSH: usize = 3;
+const PULL_CHUNK: u32 = 8;
+
+fn drive(
+    name: &str,
+    seed: u64,
+    quick: bool,
+    replay: Option<Vec<SendRecord>>,
+) -> Result<ScenarioOutcome, ScenarioError> {
+    let fail = |detail: String, trace: Vec<SendRecord>| ScenarioError {
+        detail,
+        log: RunLog { name: name.to_string(), seed, quick, trace },
+    };
+    let Some(spec) = spec_for(name, quick) else {
+        return Err(fail(format!("unknown scenario (gauntlet: {GAUNTLET:?})"), Vec::new()));
+    };
+
+    let cfg = codec_config(11);
+    let gateway = Arc::new(
+        Gateway::new(
+            GatewayConfig {
+                shards: 2,
+                batch_max_frames: 8,
+                batch_deadline: Duration::from_millis(5),
+                queue_capacity: spec.queue_capacity,
+            },
+            Clock::manual(Duration::ZERO),
+            |_| {
+                Box::new(AsymmetricAutoencoder::new(&cfg).expect("valid codec config"))
+                    as Box<dyn Codec>
+            },
+        )
+        .expect("valid gateway config"),
+    );
+    let net = DesNet::new(Arc::clone(&gateway), spec.des, seed);
+    if let Some(trace) = replay {
+        net.begin_replay(trace);
+    }
+
+    // Deterministic per-actor frame streams and backoff seeds.
+    let dims = gateway.frame_dims();
+    let mut actors: Vec<Actor> = (0..spec.clients)
+        .map(|i| {
+            let mut rng = OrcoRng::from_seed_u64(seed ^ (0xACE0 + i as u64));
+            Actor {
+                conn: net.connect(),
+                cluster: 100 + i as u64,
+                frames: Matrix::from_fn(spec.frames_per_client, dims.input, |_, _| {
+                    rng.uniform(0.0, 1.0)
+                }),
+                offset: 0,
+                acked: 0,
+                pulled: Vec::new(),
+                pulled_rows: 0,
+                phase: Phase::Greet,
+                pending: None,
+                deferred_push: None,
+                backoff: Backoff::new(
+                    Duration::from_millis(2),
+                    Duration::from_millis(64),
+                    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ i as u64,
+                ),
+                busy_retries: 0,
+                gave_ups: 0,
+                reconnects: 0,
+            }
+        })
+        .collect();
+
+    // conn id -> actor index (reconnects append new conns).
+    let mut actor_of_conn: Vec<usize> = (0..spec.clients).collect();
+
+    let script =
+        (spec.script)(&net, &actors.iter().map(|a| (a.conn, a.cluster)).collect::<Vec<_>>());
+    net.script(&script);
+
+    // Kick off: every actor greets.
+    for a in actors.iter_mut() {
+        let seq = net.submit(a.conn, &Message::Hello { client_id: a.cluster });
+        a.pending = Some((seq, Pending::Hello));
+    }
+
+    let mut events = 0u64;
+    const EVENT_CAP: u64 = 5_000_000;
+    while actors.iter().any(|a| a.phase != Phase::Done) {
+        events += 1;
+        if events > EVENT_CAP {
+            return Err(fail(
+                format!(
+                    "no convergence after {EVENT_CAP} events: \
+                     {} of {} actors still live (retry storm or livelock)",
+                    actors.iter().filter(|a| a.phase != Phase::Done).count(),
+                    actors.len()
+                ),
+                net.trace(),
+            ));
+        }
+        match net.poll() {
+            NetEvent::Reply { conn, seq } => {
+                let ai = actor_of_conn[conn];
+                let reply = net.take_reply(conn, seq).expect("announced reply present");
+                let a = &mut actors[ai];
+                let Some((want, kind)) = a.pending.take() else {
+                    return Err(fail(
+                        format!("actor {ai} got reply seq {seq} with nothing pending"),
+                        net.trace(),
+                    ));
+                };
+                if want != seq {
+                    return Err(fail(
+                        format!("actor {ai} expected reply seq {want}, got {seq}"),
+                        net.trace(),
+                    ));
+                }
+                if let Err(detail) = on_reply(&net, a, ai, kind, reply) {
+                    return Err(fail(detail, net.trace()));
+                }
+            }
+            NetEvent::GaveUp { conn, seq: _ } => {
+                let ai = actor_of_conn[conn];
+                let a = &mut actors[ai];
+                a.gave_ups += 1;
+                a.reconnects += 1;
+                // Session resumption: the outstanding request rides over
+                // to the fresh links automatically.
+                a.conn = net.reconnect(conn);
+                actor_of_conn.push(ai);
+            }
+            NetEvent::Wakeup { token } => {
+                let a = &mut actors[token as usize];
+                if let Some((lo, hi)) = a.deferred_push.take() {
+                    let seq = a.submit_push(&net, lo, hi);
+                    a.pending = Some((seq, Pending::Push { lo, hi }));
+                } else if a.phase == Phase::Drain && a.pending.is_none() {
+                    let seq = net.submit(
+                        a.conn,
+                        &Message::PullDecoded { cluster_id: a.cluster, max_frames: PULL_CHUNK },
+                    );
+                    a.pending = Some((seq, Pending::Pull { retry_push: false }));
+                }
+            }
+            NetEvent::Idle => {
+                let stuck: Vec<usize> = actors
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, a)| a.phase != Phase::Done)
+                    .map(|(i, _)| i)
+                    .collect();
+                return Err(fail(
+                    format!(
+                        "event queue drained with actors {stuck:?} unfinished — \
+                         a request or timer was lost (liveness violation)"
+                    ),
+                    net.trace(),
+                ));
+            }
+        }
+    }
+
+    // ---- Contracts ----------------------------------------------------
+    let total = spec.clients * spec.frames_per_client;
+    let acked_rows: usize = actors.iter().map(|a| a.acked).sum();
+    let delivered_rows: usize = actors.iter().map(|a| a.pulled_rows).sum();
+    if acked_rows != total {
+        return Err(fail(
+            format!("acked {acked_rows} rows, expected {total} (pushes went missing)"),
+            net.trace(),
+        ));
+    }
+    if delivered_rows != acked_rows {
+        return Err(fail(
+            format!(
+                "delivered {delivered_rows} rows for {acked_rows} acked — \
+                 {} (exactly-once violated)",
+                if delivered_rows < acked_rows { "frames lost" } else { "frames duplicated" }
+            ),
+            net.trace(),
+        ));
+    }
+
+    // Data-plane transparency: each client's pulled bytes must be
+    // bit-identical to one direct encode_batch + decode_batch of its
+    // stream on the same codec (the batch ≡ per-frame contract makes the
+    // reference independent of how the gateway batched them).
+    let mut reference = AsymmetricAutoencoder::new(&cfg).expect("valid codec config");
+    for (i, a) in actors.iter().enumerate() {
+        let mut codes = Matrix::zeros(0, 0);
+        let mut recon = Matrix::zeros(0, 0);
+        reference.encode_batch(a.frames.as_view(), &mut codes).expect("geometry fits");
+        reference.decode_batch(codes.as_view(), &mut recon).expect("geometry fits");
+        if a.pulled != recon.as_slice() {
+            return Err(fail(
+                format!("actor {i}: decoded bytes diverge from the direct codec path"),
+                net.trace(),
+            ));
+        }
+    }
+
+    let snap = gateway.stats();
+    if snap.queue_depth != 0 || snap.stored_codes != 0 {
+        return Err(fail(
+            format!(
+                "gateway not drained: queue_depth {} stored_codes {}",
+                snap.queue_depth, snap.stored_codes
+            ),
+            net.trace(),
+        ));
+    }
+    let latency_bound = 0.005 + spec.des.rto_cap.as_secs_f64() + 0.1; // deadline + RTO ceiling + slack
+    if snap.batch_latency_p99_s > latency_bound {
+        return Err(fail(
+            format!(
+                "p99 flush latency {:.4}s exceeds the {latency_bound:.4}s bound \
+                 (deadline flushes are starving)",
+                snap.batch_latency_p99_s
+            ),
+            net.trace(),
+        ));
+    }
+
+    let mut digest_bytes = Vec::with_capacity(delivered_rows * dims.input * 4);
+    for a in &actors {
+        for v in &a.pulled {
+            digest_bytes.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    Ok(ScenarioOutcome {
+        name: name.to_string(),
+        seed,
+        clients: spec.clients,
+        frames_per_client: spec.frames_per_client,
+        acked_rows,
+        delivered_rows,
+        busy_retries: actors.iter().map(|a| a.busy_retries).sum(),
+        gave_ups: actors.iter().map(|a| a.gave_ups).sum(),
+        reconnects: actors.iter().map(|a| a.reconnects).sum(),
+        stats_frame: {
+            let mut frame = Vec::new();
+            Message::StatsReply(snap).encode_into(&mut frame);
+            frame
+        },
+        decoded_fnv: fnv1a64(&digest_bytes),
+        trace: net.trace(),
+    })
+}
+
+impl Actor {
+    fn submit_push(&self, net: &DesNet, lo: usize, hi: usize) -> u64 {
+        net.submit(
+            self.conn,
+            &Message::PushFrames {
+                cluster_id: self.cluster,
+                frames: self.frames.view_rows(lo..hi).to_matrix(),
+            },
+        )
+    }
+
+    fn next_push_window(&self) -> (usize, usize) {
+        (self.offset, (self.offset + ROWS_PER_PUSH).min(self.frames.rows()))
+    }
+}
+
+/// Advances one actor's state machine on a reply. Returns a contract
+/// violation as `Err(detail)`.
+fn on_reply(
+    net: &DesNet,
+    a: &mut Actor,
+    ai: usize,
+    kind: Pending,
+    reply: Message,
+) -> Result<(), String> {
+    match (kind, reply) {
+        (Pending::Hello, Message::HelloAck { .. }) => {
+            a.phase = Phase::Stream;
+            let (lo, hi) = a.next_push_window();
+            let seq = a.submit_push(net, lo, hi);
+            a.pending = Some((seq, Pending::Push { lo, hi }));
+            Ok(())
+        }
+        (Pending::Push { lo, hi }, Message::PushAck { accepted }) => {
+            if accepted as usize != hi - lo {
+                return Err(format!(
+                    "actor {ai}: partial ack {accepted} for a {}-row push",
+                    hi - lo
+                ));
+            }
+            a.offset = hi;
+            a.acked += accepted as usize;
+            a.backoff.reset();
+            if a.offset < a.frames.rows() {
+                let (lo, hi) = a.next_push_window();
+                let seq = a.submit_push(net, lo, hi);
+                a.pending = Some((seq, Pending::Push { lo, hi }));
+            } else {
+                a.phase = Phase::Drain;
+                let seq = net.submit(
+                    a.conn,
+                    &Message::PullDecoded { cluster_id: a.cluster, max_frames: PULL_CHUNK },
+                );
+                a.pending = Some((seq, Pending::Pull { retry_push: false }));
+            }
+            Ok(())
+        }
+        (Pending::Push { lo, hi }, Message::Busy { .. }) => {
+            // Backpressure: drain a chunk first (pulls are what free the
+            // budget), then retry the same push after a backed-off wait.
+            a.busy_retries += 1;
+            a.deferred_push = Some((lo, hi));
+            let seq = net.submit(
+                a.conn,
+                &Message::PullDecoded { cluster_id: a.cluster, max_frames: PULL_CHUNK },
+            );
+            a.pending = Some((seq, Pending::Pull { retry_push: true }));
+            Ok(())
+        }
+        (Pending::Pull { retry_push }, Message::Decoded { cluster_id, frames }) => {
+            if cluster_id != a.cluster {
+                return Err(format!(
+                    "actor {ai}: pulled cluster {} got cluster {cluster_id}",
+                    a.cluster
+                ));
+            }
+            a.pulled.extend_from_slice(frames.as_slice());
+            a.pulled_rows += frames.rows();
+            if a.pulled_rows > a.frames.rows() {
+                return Err(format!(
+                    "actor {ai}: pulled {} rows for a {}-frame stream (duplication)",
+                    a.pulled_rows,
+                    a.frames.rows()
+                ));
+            }
+            if retry_push {
+                // Resume the Busy push after a jittered backoff.
+                net.schedule_wakeup(a.backoff.next_delay(), ai as u64);
+            } else if a.phase == Phase::Drain {
+                if a.pulled_rows == a.acked && a.offset == a.frames.rows() {
+                    a.phase = Phase::Done;
+                } else if frames.rows() > 0 {
+                    a.backoff.reset();
+                    let seq = net.submit(
+                        a.conn,
+                        &Message::PullDecoded { cluster_id: a.cluster, max_frames: PULL_CHUNK },
+                    );
+                    a.pending = Some((seq, Pending::Pull { retry_push: false }));
+                } else {
+                    // Nothing stored yet (batch still pending a deadline
+                    // flush): poll again after a backoff.
+                    net.schedule_wakeup(a.backoff.next_delay(), ai as u64);
+                }
+            }
+            Ok(())
+        }
+        (kind, Message::ErrorReply { code, detail }) => {
+            Err(format!("actor {ai}: {kind:?} drew {code:?}: {detail}"))
+        }
+        (kind, other) => Err(format!("actor {ai}: {kind:?} drew unexpected {}", other.kind())),
+    }
+}

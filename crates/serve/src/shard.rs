@@ -26,7 +26,7 @@ use std::collections::VecDeque;
 use orco_tensor::{MatView, Matrix};
 use orcodcs::{Codec, FrameDims, OrcoError};
 
-use crate::stats::ServeStats;
+use crate::stats::{FlushReason, ServeStats};
 
 pub(crate) struct ShardCore {
     codec: Box<dyn Codec>,
@@ -128,7 +128,7 @@ impl ShardCore {
     pub(crate) fn flush(
         &mut self,
         now_s: f64,
-        deadline: bool,
+        reason: FlushReason,
         stats: &ServeStats,
     ) -> Result<(), OrcoError> {
         let rows = self.pending_rows();
@@ -141,7 +141,7 @@ impl ShardCore {
             self.stores.entry(cluster).or_default().extend(self.codes_ws.row(r).iter().copied());
         }
         self.stored_rows += rows;
-        stats.record_flush(rows as u64, now_s - self.oldest_enqueue_s, deadline);
+        stats.record_flush(rows as u64, now_s - self.oldest_enqueue_s, reason);
         self.pending_data.clear();
         self.pending_clusters.clear();
         Ok(())

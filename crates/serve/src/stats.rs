@@ -21,6 +21,24 @@ use orco_wsn::accounting::percentile_of_sorted;
 
 use crate::protocol::{put_f64, put_u16, put_u64, Cursor, WireError};
 
+/// Why a micro-batch was flushed. Each reason has its own counter in
+/// [`StatsSnapshot`], so `deadline_flushes` means *deadline* flushes —
+/// shutdown drains and read-your-writes pulls no longer masquerade as
+/// size flushes (they did before this enum existed, inflating the
+/// size-flush count).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushReason {
+    /// The pending batch reached `batch_max_frames`.
+    Size,
+    /// The pending batch outlived `batch_deadline`.
+    Deadline,
+    /// A `PullDecoded` flushed the puller's own pending frames
+    /// (read-your-writes).
+    Pull,
+    /// Shutdown drained the batcher.
+    Drain,
+}
+
 /// Shared, thread-safe registry of serving counters.
 ///
 /// Counter updates are `Relaxed` atomics; a snapshot taken while pushes
@@ -39,7 +57,10 @@ pub struct ServeStats {
     pulls: AtomicU64,
     busy_rejections: AtomicU64,
     batches: AtomicU64,
+    size_flushes: AtomicU64,
     deadline_flushes: AtomicU64,
+    pull_flushes: AtomicU64,
+    drain_flushes: AtomicU64,
     max_batch_rows: AtomicU64,
     queue_depth: AtomicU64,
     stored_codes: AtomicU64,
@@ -104,7 +125,10 @@ impl ServeStats {
             pulls: AtomicU64::new(0),
             busy_rejections: AtomicU64::new(0),
             batches: AtomicU64::new(0),
+            size_flushes: AtomicU64::new(0),
             deadline_flushes: AtomicU64::new(0),
+            pull_flushes: AtomicU64::new(0),
+            drain_flushes: AtomicU64::new(0),
             max_batch_rows: AtomicU64::new(0),
             queue_depth: AtomicU64::new(0),
             stored_codes: AtomicU64::new(0),
@@ -127,13 +151,16 @@ impl ServeStats {
     }
 
     /// Records one micro-batch flush of `rows` frames, `latency_s` after
-    /// its oldest frame was enqueued. `deadline` marks flushes forced by
-    /// the batch deadline rather than the size threshold.
-    pub fn record_flush(&self, rows: u64, latency_s: f64, deadline: bool) {
+    /// its oldest frame was enqueued, for the given [`FlushReason`].
+    pub fn record_flush(&self, rows: u64, latency_s: f64, reason: FlushReason) {
         self.batches.fetch_add(1, Ordering::Relaxed);
-        if deadline {
-            self.deadline_flushes.fetch_add(1, Ordering::Relaxed);
-        }
+        let counter = match reason {
+            FlushReason::Size => &self.size_flushes,
+            FlushReason::Deadline => &self.deadline_flushes,
+            FlushReason::Pull => &self.pull_flushes,
+            FlushReason::Drain => &self.drain_flushes,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
         self.max_batch_rows.fetch_max(rows, Ordering::Relaxed);
         self.queue_depth.fetch_sub(rows, Ordering::Relaxed);
         self.stored_codes.fetch_add(rows, Ordering::Relaxed);
@@ -163,7 +190,10 @@ impl ServeStats {
             pulls: self.pulls.load(Ordering::Relaxed),
             busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
+            size_flushes: self.size_flushes.load(Ordering::Relaxed),
             deadline_flushes: self.deadline_flushes.load(Ordering::Relaxed),
+            pull_flushes: self.pull_flushes.load(Ordering::Relaxed),
+            drain_flushes: self.drain_flushes.load(Ordering::Relaxed),
             max_batch_rows: self.max_batch_rows.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             stored_codes: self.stored_codes.load(Ordering::Relaxed),
@@ -195,8 +225,14 @@ pub struct StatsSnapshot {
     pub busy_rejections: u64,
     /// Micro-batches flushed (each is ONE `encode_batch` call).
     pub batches: u64,
-    /// Flushes forced by the batch deadline rather than the size cap.
+    /// Flushes triggered by the batch reaching `batch_max_frames`.
+    pub size_flushes: u64,
+    /// Flushes forced by the batch deadline.
     pub deadline_flushes: u64,
+    /// Read-your-writes flushes triggered by a puller's own pending rows.
+    pub pull_flushes: u64,
+    /// Flushes performed while draining for shutdown.
+    pub drain_flushes: u64,
     /// Rows of the largest single flush — evidence of micro-batching.
     pub max_batch_rows: u64,
     /// Rows currently pending in micro-batchers (gauge).
@@ -220,7 +256,10 @@ impl StatsSnapshot {
         put_u64(out, self.pulls);
         put_u64(out, self.busy_rejections);
         put_u64(out, self.batches);
+        put_u64(out, self.size_flushes);
         put_u64(out, self.deadline_flushes);
+        put_u64(out, self.pull_flushes);
+        put_u64(out, self.drain_flushes);
         put_u64(out, self.max_batch_rows);
         put_u64(out, self.queue_depth);
         put_u64(out, self.stored_codes);
@@ -239,7 +278,10 @@ impl StatsSnapshot {
             pulls: cur.u64()?,
             busy_rejections: cur.u64()?,
             batches: cur.u64()?,
+            size_flushes: cur.u64()?,
             deadline_flushes: cur.u64()?,
+            pull_flushes: cur.u64()?,
+            drain_flushes: cur.u64()?,
             max_batch_rows: cur.u64()?,
             queue_depth: cur.u64()?,
             stored_codes: cur.u64()?,
@@ -265,7 +307,7 @@ mod tests {
         assert_eq!(snap.busy_rejections, 1);
         assert_eq!(snap.batches, 0);
 
-        s.record_flush(6, 0.010, false);
+        s.record_flush(6, 0.010, FlushReason::Size);
         s.record_pull(6, 6 * 784 * 4);
         let snap = s.snapshot();
         assert_eq!(snap.queue_depth, 0);
@@ -276,10 +318,30 @@ mod tests {
     }
 
     #[test]
+    fn flush_reasons_count_separately() {
+        let s = ServeStats::new(1);
+        s.record_flush(4, 0.001, FlushReason::Size);
+        s.record_flush(2, 0.006, FlushReason::Deadline);
+        s.record_flush(1, 0.002, FlushReason::Pull);
+        s.record_flush(3, 0.001, FlushReason::Drain);
+        let snap = s.snapshot();
+        assert_eq!(snap.batches, 4);
+        assert_eq!(snap.size_flushes, 1);
+        assert_eq!(snap.deadline_flushes, 1);
+        assert_eq!(snap.pull_flushes, 1);
+        assert_eq!(snap.drain_flushes, 1);
+        assert_eq!(
+            snap.size_flushes + snap.deadline_flushes + snap.pull_flushes + snap.drain_flushes,
+            snap.batches,
+            "every flush has exactly one reason"
+        );
+    }
+
+    #[test]
     fn latency_ledger_stays_bounded() {
         let s = ServeStats::new(1);
         for i in 0..(LATENCY_SAMPLE_CAP as u64 * 6) {
-            s.record_flush(1, (i % 1000) as f64 * 0.001, false);
+            s.record_flush(1, (i % 1000) as f64 * 0.001, FlushReason::Size);
         }
         let lats = s.latencies.lock().unwrap();
         assert!(lats.samples.len() < LATENCY_SAMPLE_CAP, "ledger must stay under the cap");
@@ -295,7 +357,8 @@ mod tests {
     fn latency_percentiles_follow_wsn_convention() {
         let s = ServeStats::new(1);
         for i in 1..=100 {
-            s.record_flush(1, f64::from(i) * 0.001, i % 10 == 0);
+            let reason = if i % 10 == 0 { FlushReason::Deadline } else { FlushReason::Size };
+            s.record_flush(1, f64::from(i) * 0.001, reason);
         }
         let snap = s.snapshot();
         assert_eq!(snap.deadline_flushes, 10);

@@ -221,6 +221,94 @@ fn deadline_flushes_small_batches() {
     assert_eq!(snap.max_batch_rows, 3);
 }
 
+/// Regression (deadline starvation): a pending batch on shard A must
+/// deadline-flush when traffic dispatches to shard B — the sweep covers
+/// ALL shards, not just the one the request lands on. Before the fix, an
+/// idle shard's batch waited for the next request that happened to hash
+/// onto it, which under a virtual clock may never come.
+#[test]
+fn deadline_flush_reaches_idle_shards() {
+    let cfg = GatewayConfig {
+        shards: 2,
+        batch_max_frames: 1000,
+        batch_deadline: Duration::from_millis(5),
+        queue_capacity: 4096,
+    };
+    let gw = gateway(cfg);
+    // Two clusters pinned to different shards.
+    let a = (0..).find(|&c| gw.shard_of(c) == 0).expect("some cluster on shard 0");
+    let b = (0..).find(|&c| gw.shard_of(c) == 1).expect("some cluster on shard 1");
+
+    let mut client = Client::connect(&Loopback::new(Arc::clone(&gw))).expect("connects");
+    let frames = cluster_frames(3, 4);
+    assert_eq!(client.push(a, frames.as_view()).unwrap(), PushOutcome::Accepted(3));
+    assert_eq!(gw.stats().batches, 0, "nothing due yet");
+
+    gw.clock().advance(Duration::from_millis(10));
+    // Traffic for the OTHER shard must still flush shard 0's overdue batch.
+    assert_eq!(client.push(b, frames.view_rows(0..1)).unwrap(), PushOutcome::Accepted(1));
+    let snap = gw.stats();
+    assert_eq!(snap.deadline_flushes, 1, "idle shard's batch starved past its deadline");
+    assert_eq!(snap.max_batch_rows, 3);
+}
+
+/// `advance_clock` flushes overdue batches with no traffic at all — the
+/// hook an external scheduler (the DES transport) drives time with.
+#[test]
+fn advance_clock_sweeps_deadlines_without_traffic() {
+    let cfg = GatewayConfig {
+        shards: 2,
+        batch_max_frames: 1000,
+        batch_deadline: Duration::from_millis(5),
+        queue_capacity: 4096,
+    };
+    let gw = gateway(cfg);
+    let mut client = Client::connect(&Loopback::new(Arc::clone(&gw))).expect("connects");
+    let frames = cluster_frames(2, 5);
+    assert_eq!(client.push(77, frames.as_view()).unwrap(), PushOutcome::Accepted(2));
+    assert_eq!(gw.stats().batches, 0);
+
+    gw.advance_clock(Duration::from_millis(6));
+    let snap = gw.stats();
+    assert_eq!(snap.batches, 1, "advance_clock must flush the overdue batch by itself");
+    assert_eq!(snap.deadline_flushes, 1);
+    assert_eq!(snap.queue_depth, 0);
+}
+
+/// Flush reasons are accounted separately on the wire: the shutdown
+/// drain must not masquerade as a size flush (it used to), and a
+/// read-your-writes pull flush is its own bucket.
+#[test]
+fn flush_reasons_are_distinguished() {
+    let cfg = GatewayConfig {
+        shards: 1,
+        batch_max_frames: 4,
+        batch_deadline: Duration::from_secs(3600),
+        queue_capacity: 4096,
+    };
+    let gw = gateway(cfg);
+    let mut client = Client::connect(&Loopback::new(Arc::clone(&gw))).expect("connects");
+    let frames = cluster_frames(7, 6);
+
+    // 3 rows stay below the size threshold; the pull flushes them
+    // (read-your-writes).
+    assert_eq!(client.push(9, frames.view_rows(0..3)).unwrap(), PushOutcome::Accepted(3));
+    assert_eq!(client.pull(9, 32).unwrap().rows(), 3);
+    // 4 rows hit batch_max_frames -> size flush on the pushing thread.
+    assert_eq!(client.push(9, frames.view_rows(0..4)).unwrap(), PushOutcome::Accepted(4));
+    // 2 pending rows, drained by shutdown.
+    assert_eq!(client.push(9, frames.view_rows(0..2)).unwrap(), PushOutcome::Accepted(2));
+    client.shutdown().expect("shutdown acked");
+
+    let snap = gw.stats();
+    assert_eq!(
+        (snap.size_flushes, snap.deadline_flushes, snap.pull_flushes, snap.drain_flushes),
+        (1, 0, 1, 1),
+        "flush reasons misattributed: {snap:?}"
+    );
+    assert_eq!(snap.batches, 3);
+}
+
 /// Shutdown flushes pending work, rejects new pushes, and still serves
 /// pulls of already-encoded data.
 #[test]

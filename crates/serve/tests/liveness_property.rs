@@ -1,0 +1,204 @@
+//! The serving layer's liveness contract, property-tested: **every
+//! `PushAck`'d frame becomes pullable within `batch_deadline`** of
+//! virtual (or real) time passing — under arbitrary interleavings of
+//! pushes and pulls, on all three transports (in-process loopback,
+//! DES-impaired links, real TCP).
+//!
+//! This is the contract the deadline-starvation bug violated: a batch
+//! parked on a shard no later request touched was stuck forever. The
+//! sweep-on-dispatch/advance fix makes the bound hold regardless of
+//! which shard subsequent traffic lands on.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use orco_serve::{
+    Client, Clock, Connection, DesConfig, DesNet, DesTransport, Gateway, GatewayConfig, Loopback,
+    PushOutcome, Tcp, TcpServer,
+};
+use orco_sim::LinkParams;
+use orco_tensor::{Matrix, OrcoRng};
+use orcodcs::{AsymmetricAutoencoder, Codec, GradCompression, OrcoConfig};
+use proptest::prelude::*;
+use proptest::BoxedStrategy;
+
+const DEADLINE: Duration = Duration::from_millis(5);
+const CLUSTERS: [u64; 4] = [3, 19, 42, 1001];
+const DIM: usize = 32;
+
+fn codec_config() -> OrcoConfig {
+    OrcoConfig {
+        input_dim: DIM,
+        latent_dim: 8,
+        decoder_layers: 1,
+        noise_variance: 0.1,
+        huber_delta: 0.5,
+        vector_huber: false,
+        learning_rate: 1e-2,
+        batch_size: 32,
+        epochs: 1,
+        finetune_threshold: 0.05,
+        grad_compression: GradCompression::default(),
+        seed: 11,
+    }
+}
+
+fn gateway(clock: Clock) -> Arc<Gateway> {
+    let cfg = codec_config();
+    Arc::new(
+        Gateway::new(
+            GatewayConfig {
+                shards: 2,
+                batch_max_frames: 8,
+                batch_deadline: DEADLINE,
+                queue_capacity: 4096,
+            },
+            clock,
+            move |_| {
+                Box::new(AsymmetricAutoencoder::new(&cfg).expect("valid config")) as Box<dyn Codec>
+            },
+        )
+        .expect("valid gateway"),
+    )
+}
+
+/// One step of a schedule: push `rows` frames to a cluster, or pull a
+/// chunk from it.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Push { cluster: usize, rows: usize },
+    Pull { cluster: usize },
+}
+
+fn any_schedule() -> BoxedStrategy<Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0usize..CLUSTERS.len(), 1usize..5)
+                .prop_map(|(cluster, rows)| Op::Push { cluster, rows }),
+            (0usize..CLUSTERS.len()).prop_map(|cluster| Op::Pull { cluster }),
+        ],
+        1..40,
+    )
+    .boxed()
+}
+
+/// Runs `schedule` through a client, then advances virtual time past the
+/// deadline and asserts every acked frame is pullable.
+fn assert_liveness<C: Connection>(
+    gw: &Gateway,
+    client: &mut Client<C>,
+    schedule: &[Op],
+    seed: u64,
+) {
+    let mut rng = OrcoRng::from_seed_u64(seed);
+    let mut acked = [0usize; CLUSTERS.len()];
+    let mut pulled = [0usize; CLUSTERS.len()];
+    for op in schedule {
+        match *op {
+            Op::Push { cluster, rows } => {
+                let frames = Matrix::from_fn(rows, DIM, |_, _| rng.uniform(0.0, 1.0));
+                match client.push(CLUSTERS[cluster], frames.as_view()).expect("push") {
+                    PushOutcome::Accepted(n) => acked[cluster] += n as usize,
+                    PushOutcome::Busy { .. } => {} // nothing admitted, nothing owed
+                }
+            }
+            Op::Pull { cluster } => {
+                pulled[cluster] += client.pull(CLUSTERS[cluster], 3).expect("pull").rows();
+            }
+        }
+    }
+
+    // Let the deadline pass with NO further traffic, then sweep: every
+    // acked-but-undelivered frame must now be stored and pullable.
+    gw.advance_clock(DEADLINE + Duration::from_millis(1));
+    for (i, &cluster) in CLUSTERS.iter().enumerate() {
+        while pulled[i] < acked[i] {
+            let got = client.pull(cluster, 64).expect("pull").rows();
+            prop_assert!(
+                got > 0,
+                "cluster {cluster}: {} acked frames never became pullable (deadline \
+                 starvation); schedule = {schedule:?}",
+                acked[i] - pulled[i]
+            );
+            pulled[i] += got;
+        }
+        prop_assert_eq!(
+            pulled[i],
+            acked[i],
+            "cluster {} delivered more rows than were acked (duplication)",
+            cluster
+        );
+    }
+    let snap = gw.stats();
+    prop_assert_eq!(snap.queue_depth, 0);
+    prop_assert_eq!(snap.stored_codes, 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Liveness on the in-process loopback transport (virtual clock).
+    #[test]
+    fn acked_frames_pullable_within_deadline_loopback(schedule in any_schedule(), seed in any::<u64>()) {
+        let gw = gateway(Clock::manual(Duration::from_micros(100)));
+        let mut client = Client::connect(&Loopback::new(Arc::clone(&gw))).expect("connects");
+        assert_liveness(&gw, &mut client, &schedule, seed);
+    }
+
+    /// Liveness over DES-impaired links: 10% loss, jittered delays. The
+    /// ARQ masks the impairments; the deadline bound must survive them.
+    #[test]
+    fn acked_frames_pullable_within_deadline_des(schedule in any_schedule(), seed in any::<u64>()) {
+        let gw = gateway(Clock::manual(Duration::ZERO));
+        let net = DesNet::new(
+            Arc::clone(&gw),
+            DesConfig {
+                link: LinkParams { delay_s: 0.001, jitter_s: 0.002, loss_prob: 0.1 },
+                ..DesConfig::default()
+            },
+            seed,
+        );
+        let mut client = Client::connect(&DesTransport::new(net)).expect("connects");
+        assert_liveness(&gw, &mut client, &schedule, seed);
+    }
+}
+
+/// The same bound over real TCP with a real clock: frames parked below
+/// the size threshold are flushed by the deadline-flusher threads, so a
+/// pull after `deadline` (plus scheduling slack) sees them with no
+/// further pushes anywhere.
+#[test]
+fn acked_frames_pullable_within_deadline_tcp() {
+    let gw = gateway(Clock::real());
+    let server = TcpServer::spawn(Arc::clone(&gw), "127.0.0.1:0").expect("binds");
+    let transport = Tcp::new(server.local_addr().to_string());
+    let mut client = Client::connect(&transport).expect("connects");
+    client.hello(1).expect("hello");
+
+    let mut rng = OrcoRng::from_seed_u64(7);
+    for &cluster in &CLUSTERS {
+        let frames = Matrix::from_fn(3, DIM, |_, _| rng.uniform(0.0, 1.0));
+        assert_eq!(client.push(cluster, frames.as_view()).expect("push"), PushOutcome::Accepted(3));
+    }
+
+    // 3 rows < batch_max_frames = 8: only the deadline can flush these.
+    // Generous slack over the 5 ms deadline for CI scheduling noise.
+    let patience = std::time::Instant::now();
+    for &cluster in &CLUSTERS {
+        let mut got = 0;
+        while got < 3 {
+            got += client.pull(cluster, 8).expect("pull").rows();
+            if got < 3 {
+                assert!(
+                    patience.elapsed() < Duration::from_secs(10),
+                    "cluster {cluster}: frames not flushed within 10s of a 5ms deadline"
+                );
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+        assert_eq!(got, 3);
+    }
+    let mut control = Client::connect(&transport).expect("control");
+    control.shutdown().expect("shutdown acked");
+    server.join();
+}

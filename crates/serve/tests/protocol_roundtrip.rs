@@ -38,8 +38,9 @@ fn any_snapshot() -> BoxedStrategy<StatsSnapshot> {
         (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
         (any::<u64>(), any::<u64>(), 0u16..=u16::MAX),
         (0.0f64..1.0e6, 0.0f64..1.0e6),
+        (any::<u64>(), any::<u64>(), any::<u64>()),
     )
-        .prop_map(|(a, b, c, d)| StatsSnapshot {
+        .prop_map(|(a, b, c, d, e)| StatsSnapshot {
             shards: c.2,
             frames_in: a.0,
             frames_out: a.1,
@@ -49,7 +50,10 @@ fn any_snapshot() -> BoxedStrategy<StatsSnapshot> {
             pulls: b.0,
             busy_rejections: b.1,
             batches: b.2,
+            size_flushes: e.0,
             deadline_flushes: b.3,
+            pull_flushes: e.1,
+            drain_flushes: e.2,
             max_batch_rows: b.4,
             queue_depth: c.0,
             stored_codes: c.1,

@@ -54,6 +54,16 @@
 //! [`Scenario`] is a time-ordered script applied as simulated time crosses
 //! each action's timestamp — see its docs for the builder API.
 //!
+//! ## Impaired links for arbitrary protocols
+//!
+//! [`NetSim`] exposes the same deterministic event machinery as a generic
+//! point-to-point link layer: callers add links, send opaque payloads, and
+//! script per-link loss/latency/partition windows with [`NetScenario`].
+//! Every impairment decision is recorded as a [`SendRecord`], and
+//! [`NetSim::begin_replay`] re-applies a recorded trace so a failing run
+//! reproduces bit-identically from its log. The `orco-serve` gateway's
+//! DES transport and chaos gauntlet are built on it.
+//!
 //! ## Analytic-vs-DES equivalence contract
 //!
 //! With [`SimParams::ideal`] (contention-free [`MacMode::Sequential`]
@@ -71,10 +81,12 @@
 
 mod des;
 mod event;
+mod netsim;
 mod params;
 mod scenario;
 
 pub use des::{DesNetwork, SimSpec};
 pub use event::EventQueue;
+pub use netsim::{LinkAction, LinkParams, NetScenario, NetSim, SendRecord, SendVerdict};
 pub use params::{DutyCycle, MacMode, SimParams};
 pub use scenario::{Scenario, ScenarioAction};
