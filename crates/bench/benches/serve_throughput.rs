@@ -54,6 +54,7 @@ fn run(cfg: &Config, total: usize) -> f64 {
                 batch_max_frames: cfg.batch_max,
                 batch_deadline: Duration::from_millis(cfg.deadline_ms),
                 queue_capacity: 4096,
+                auth_secret: None,
             },
             Clock::manual(QUANTUM),
             |_| {
@@ -79,6 +80,7 @@ fn run(cfg: &Config, total: usize) -> f64 {
         match client.push(cluster, frames.view_rows(row..row + 1)).expect("push") {
             PushOutcome::Accepted(_) => pushed_since_drain += 1,
             PushOutcome::Busy { .. } => unreachable!("drain policy keeps the budget free"),
+            PushOutcome::Redirected { .. } => unreachable!("no fleet view installed"),
         }
         // Periodically drain so the in-flight budget never fills; the
         // pull chunk matches the config's batch size, so the batch-1

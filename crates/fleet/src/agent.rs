@@ -1,0 +1,102 @@
+//! The gateway-side fleet agent: registers a gateway with the directory,
+//! heartbeats it on a background thread, and feeds every epoch change
+//! back into the gateway's [`FleetView`] so its redirect decisions track
+//! the directory's table.
+//!
+//! The agent is the TCP-deployment face of membership; DES scenarios
+//! script the same register/heartbeat conversation as simulation actors
+//! instead (`crate::scenarios`).
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use orco_serve::{FleetView, Gateway, GatewayEntry, Tcp};
+use orcodcs::OrcoError;
+
+use crate::client::DirectoryClient;
+
+/// What a [`GatewayAgent`] needs to join a fleet.
+#[derive(Debug, Clone)]
+pub struct AgentConfig {
+    /// This gateway's fleet-wide id.
+    pub gateway_id: u64,
+    /// The address clients should dial this gateway at (what the
+    /// directory advertises).
+    pub advertise_addr: String,
+    /// The directory's address.
+    pub directory_addr: String,
+    /// Shared secret MAC'ing `Register` (must match the directory's).
+    pub auth_secret: Option<u64>,
+    /// Heartbeat cadence; keep it a small fraction of the directory's
+    /// `heartbeat_timeout`.
+    pub heartbeat_interval: Duration,
+}
+
+/// A running fleet agent; joins its thread on [`GatewayAgent::join`].
+#[derive(Debug)]
+pub struct GatewayAgent {
+    handle: Option<JoinHandle<()>>,
+}
+
+impl GatewayAgent {
+    /// Registers `gateway` with the directory (installing the returned
+    /// table as the gateway's [`FleetView`]) and spawns the heartbeat
+    /// thread. The thread re-registers after an eviction and exits when
+    /// the gateway starts shutting down.
+    ///
+    /// # Errors
+    ///
+    /// Returns the initial registration's failure (unreachable directory,
+    /// MAC rejection); later heartbeat failures are retried, not fatal.
+    pub fn spawn(gateway: Arc<Gateway>, cfg: AgentConfig) -> Result<Self, OrcoError> {
+        let mut directory = DirectoryClient::connect(&Tcp::new(&cfg.directory_addr))?;
+        let (epoch, members) =
+            directory.register(cfg.gateway_id, &cfg.advertise_addr, cfg.auth_secret)?;
+        install_view(&gateway, cfg.gateway_id, epoch, members);
+        let handle = std::thread::Builder::new()
+            .name(format!("orco-fleet-agent-{}", cfg.gateway_id))
+            .spawn(move || heartbeat_loop(&gateway, &mut directory, &cfg))?;
+        Ok(Self { handle: Some(handle) })
+    }
+
+    /// Joins the heartbeat thread (returns once the gateway shuts down).
+    pub fn join(mut self) {
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn install_view(gateway: &Gateway, self_id: u64, epoch: u64, members: Vec<GatewayEntry>) {
+    gateway.set_fleet_view(Some(FleetView::new(Some(self_id), epoch, members)));
+}
+
+fn heartbeat_loop(
+    gateway: &Arc<Gateway>,
+    directory: &mut DirectoryClient<orco_serve::TcpConnection>,
+    cfg: &AgentConfig,
+) {
+    let mut epoch = gateway.fleet_view().map_or(0, |v| v.epoch);
+    while !gateway.is_shutting_down() {
+        std::thread::sleep(cfg.heartbeat_interval);
+        let beat = directory.heartbeat(cfg.gateway_id, epoch).or_else(|_| {
+            // Evicted (slept through the timeout) or the directory
+            // connection dropped: re-dial and re-register.
+            *directory = DirectoryClient::connect(&Tcp::new(&cfg.directory_addr))?;
+            directory.register(cfg.gateway_id, &cfg.advertise_addr, cfg.auth_secret)
+        });
+        match beat {
+            Ok((new_epoch, members)) => {
+                if new_epoch != epoch {
+                    epoch = new_epoch;
+                    install_view(gateway, cfg.gateway_id, new_epoch, members);
+                }
+            }
+            Err(_) => {
+                // Directory unreachable; keep the last view and retry on
+                // the next beat.
+            }
+        }
+    }
+}

@@ -1,16 +1,20 @@
-//! Chaos-gauntlet CLI: run the DES impairment scenarios against the
-//! gateway, verify the liveness/exactly-once contracts, and prove every
-//! run replays bit-identically from its recorded log.
+//! Chaos-gauntlet CLI: run the DES impairment scenarios — the
+//! single-gateway serving gauntlet *and* the fleet gauntlet — verify the
+//! liveness/exactly-once contracts, and prove every run replays
+//! bit-identically from its recorded log.
 //!
 //! ```sh
-//! # CI quick mode: all five scenarios + replay verification
-//! cargo run --release -p orco-serve --bin chaos -- --quick --record-dir chaos-logs
+//! # CI quick mode: all six scenarios + replay verification
+//! cargo run --release -p orco-fleet --bin chaos -- --quick --record-dir chaos-logs
 //!
 //! # One scenario, full size, chosen seed
-//! cargo run --release -p orco-serve --bin chaos -- --scenario lossy_links --seed 7
+//! cargo run --release -p orco-fleet --bin chaos -- --scenario lossy_links --seed 7
+//!
+//! # The fleet scenario: directory + 4 gateways, mid-run kill + join
+//! cargo run --release -p orco-fleet --bin chaos -- --scenario fleet_kill
 //!
 //! # Resurrect a failing run from its uploaded log
-//! cargo run --release -p orco-serve --bin chaos -- --replay chaos-logs/lossy_links.runlog
+//! cargo run --release -p orco-fleet --bin chaos -- --replay chaos-logs/lossy_links.runlog
 //! ```
 //!
 //! On any contract violation the run's log is written to `--record-dir`
@@ -20,6 +24,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use orco_fleet::{replay_fleet_scenario, run_fleet_scenario, FleetOutcome, FLEET_GAUNTLET};
 use orco_serve::{replay_scenario, run_scenario, RunLog, ScenarioOutcome, GAUNTLET};
 
 struct Args {
@@ -63,6 +68,10 @@ impl Args {
     }
 }
 
+fn is_fleet_scenario(name: &str) -> bool {
+    FLEET_GAUNTLET.contains(&name)
+}
+
 fn summarize(tag: &str, o: &ScenarioOutcome) {
     println!(
         "  {tag} {}: {} clients x {} frames | acked {} delivered {} | busy_retries {} \
@@ -79,6 +88,22 @@ fn summarize(tag: &str, o: &ScenarioOutcome) {
     );
 }
 
+fn summarize_fleet(tag: &str, o: &FleetOutcome) {
+    println!(
+        "  {tag} {}: {} clients x {} frames | delivered {} | redirects {} gave_ups {} \
+         reconnects {} | final epoch {} | digest {:016x}",
+        o.name,
+        o.clients,
+        o.frames_per_client,
+        o.delivered_rows,
+        o.redirects,
+        o.gave_ups,
+        o.reconnects,
+        o.final_epoch,
+        o.decoded_fnv
+    );
+}
+
 fn persist_log(dir: &PathBuf, log: &RunLog) {
     if let Err(e) = std::fs::create_dir_all(dir) {
         eprintln!("chaos: cannot create {}: {e}", dir.display());
@@ -91,10 +116,30 @@ fn persist_log(dir: &PathBuf, log: &RunLog) {
     }
 }
 
+/// The text round trip must be exact, or an uploaded log is useless.
+fn roundtrip_log(name: &str, args: &Args, log: &RunLog) -> Option<RunLog> {
+    match RunLog::from_text(&log.to_text()) {
+        Ok(l) if l == *log => Some(l),
+        Ok(_) => {
+            eprintln!("chaos: FAILED {name}: run log text round trip is lossy");
+            persist_log(&args.record_dir, log);
+            None
+        }
+        Err(e) => {
+            eprintln!("chaos: FAILED {name}: run log does not reparse: {e}");
+            persist_log(&args.record_dir, log);
+            None
+        }
+    }
+}
+
 /// Runs one scenario live, then replays it from its own log and demands
 /// a bit-identical outcome. Returns false (and persists the log) on any
 /// violation.
 fn run_and_verify(name: &str, args: &Args) -> bool {
+    if is_fleet_scenario(name) {
+        return run_and_verify_fleet(name, args);
+    }
     let outcome = match run_scenario(name, args.seed, args.quick) {
         Ok(o) => o,
         Err(e) => {
@@ -111,19 +156,8 @@ fn run_and_verify(name: &str, args: &Args) -> bool {
         quick: args.quick,
         trace: outcome.trace.clone(),
     };
-    // The text round trip must be exact, or an uploaded log is useless.
-    let reparsed = match RunLog::from_text(&log.to_text()) {
-        Ok(l) if l == log => l,
-        Ok(_) => {
-            eprintln!("chaos: FAILED {name}: run log text round trip is lossy");
-            persist_log(&args.record_dir, &log);
-            return false;
-        }
-        Err(e) => {
-            eprintln!("chaos: FAILED {name}: run log does not reparse: {e}");
-            persist_log(&args.record_dir, &log);
-            return false;
-        }
+    let Some(reparsed) = roundtrip_log(name, args, &log) else {
+        return false;
     };
     match replay_scenario(&reparsed) {
         Ok(replayed)
@@ -131,6 +165,51 @@ fn run_and_verify(name: &str, args: &Args) -> bool {
                 && replayed.decoded_fnv == outcome.decoded_fnv =>
         {
             summarize("replay", &replayed);
+            true
+        }
+        Ok(_) => {
+            eprintln!("chaos: FAILED {name}: replay diverged from the live run");
+            persist_log(&args.record_dir, &log);
+            false
+        }
+        Err(e) => {
+            eprintln!("chaos: FAILED replay of {name}: {e}");
+            persist_log(&args.record_dir, &e.log);
+            false
+        }
+    }
+}
+
+/// The fleet twin of [`run_and_verify`]: same record → round-trip →
+/// replay discipline, with the per-surviving-gateway stats frames in the
+/// bit-identity check.
+fn run_and_verify_fleet(name: &str, args: &Args) -> bool {
+    let outcome = match run_fleet_scenario(name, args.seed, args.quick) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("chaos: FAILED {e}");
+            persist_log(&args.record_dir, &e.log);
+            return false;
+        }
+    };
+    summarize_fleet("live ", &outcome);
+
+    let log = RunLog {
+        name: outcome.name.clone(),
+        seed: outcome.seed,
+        quick: args.quick,
+        trace: outcome.trace.clone(),
+    };
+    let Some(reparsed) = roundtrip_log(name, args, &log) else {
+        return false;
+    };
+    match replay_fleet_scenario(&reparsed) {
+        Ok(replayed)
+            if replayed.stats_frames == outcome.stats_frames
+                && replayed.decoded_fnv == outcome.decoded_fnv
+                && replayed.final_epoch == outcome.final_epoch =>
+        {
+            summarize_fleet("replay", &replayed);
             true
         }
         Ok(_) => {
@@ -165,9 +244,17 @@ fn main() -> ExitCode {
             }
         };
         println!("chaos: replaying {} (seed {}, quick {})", log.name, log.seed, log.quick);
-        return match replay_scenario(&log) {
-            Ok(o) => {
+        let replayed = if is_fleet_scenario(&log.name) {
+            replay_fleet_scenario(&log).map(|o| {
+                summarize_fleet("replay", &o);
+            })
+        } else {
+            replay_scenario(&log).map(|o| {
                 summarize("replay", &o);
+            })
+        };
+        return match replayed {
+            Ok(()) => {
                 println!("chaos: replay completed cleanly");
                 ExitCode::SUCCESS
             }
@@ -180,7 +267,7 @@ fn main() -> ExitCode {
 
     let names: Vec<&str> = match &args.scenario {
         Some(s) => vec![s.as_str()],
-        None => GAUNTLET.to_vec(),
+        None => GAUNTLET.iter().chain(FLEET_GAUNTLET.iter()).copied().collect(),
     };
     println!(
         "chaos: gauntlet of {} scenario(s), seed {}, {} mode",

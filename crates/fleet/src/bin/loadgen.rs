@@ -1,0 +1,391 @@
+//! TCP load generator for an `orco-serve` gateway — or a whole
+//! `orco-fleet` of them.
+//!
+//! Spawns N client threads, each owning one cluster: every client pushes
+//! M synthetic frames (`--rows-per-push` per message), then drains its
+//! decoded reconstructions in `--pull-chunk` chunks, honoring `Busy`
+//! backpressure with a capped-exponential, deterministically-jittered
+//! backoff (per-client seed from `--seed`, so N clients never retry in
+//! lockstep). At the end one control connection prints the gateway's
+//! stats snapshot and (with `--shutdown`) asks the gateway to exit.
+//!
+//! With `--fleet <directory_addr>` the generator bootstraps from the
+//! fleet directory instead of dialing one gateway: each client fetches
+//! the epoch'd assignment table, routes every push to the owner it
+//! computes locally, **chases redirects** when its table goes stale, and
+//! the final report breaks throughput down **per gateway**. Keyed fleets
+//! take `--auth-secret`.
+//!
+//! Pair it with the `edge_gateway` or `fleet_gateway` examples:
+//!
+//! ```sh
+//! cargo run --release --example edge_gateway &
+//! cargo run --release -p orco-fleet --bin loadgen -- --clients 2 --frames 64 --shutdown
+//!
+//! cargo run --release --example fleet_gateway &
+//! cargo run --release -p orco-fleet --bin loadgen -- \
+//!     --fleet 127.0.0.1:7300 --clients 4 --frames 64 --shutdown
+//! ```
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use orco_fleet::FleetClient;
+use orco_serve::{Backoff, Client, PushOutcome, Tcp, TcpConnection};
+use orco_tensor::{Matrix, OrcoRng};
+use orcodcs::OrcoError;
+
+struct Args {
+    addr: String,
+    /// `Some(directory_addr)` switches to fleet mode.
+    fleet: Option<String>,
+    auth_secret: Option<u64>,
+    clients: usize,
+    frames: usize,
+    rows_per_push: usize,
+    pull_chunk: u32,
+    shutdown: bool,
+    connect_timeout: Duration,
+    seed: u64,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let mut args = Args {
+            addr: "127.0.0.1:7117".into(),
+            fleet: None,
+            auth_secret: None,
+            clients: 2,
+            frames: 64,
+            rows_per_push: 1,
+            pull_chunk: 64,
+            shutdown: false,
+            connect_timeout: Duration::from_secs(10),
+            seed: 0xC0FFEE,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let mut value =
+                |name: &str| it.next().unwrap_or_else(|| panic!("{name} requires a value"));
+            match flag.as_str() {
+                "--addr" => args.addr = value("--addr"),
+                "--fleet" => args.fleet = Some(value("--fleet")),
+                "--auth-secret" => {
+                    let v = value("--auth-secret");
+                    let parsed = v
+                        .strip_prefix("0x")
+                        .map_or_else(|| v.parse(), |hex| u64::from_str_radix(hex, 16));
+                    args.auth_secret = Some(parsed.expect("u64 (decimal or 0x-hex)"));
+                }
+                "--clients" => args.clients = value("--clients").parse().expect("usize"),
+                "--frames" => args.frames = value("--frames").parse().expect("usize"),
+                "--rows-per-push" => {
+                    args.rows_per_push = value("--rows-per-push").parse().expect("usize");
+                }
+                "--pull-chunk" => args.pull_chunk = value("--pull-chunk").parse().expect("u32"),
+                "--connect-timeout-s" => {
+                    args.connect_timeout =
+                        Duration::from_secs(value("--connect-timeout-s").parse().expect("u64"));
+                }
+                "--shutdown" => args.shutdown = true,
+                "--seed" => args.seed = value("--seed").parse().expect("u64"),
+                other => {
+                    eprintln!(
+                        "unknown flag {other}\nusage: loadgen [--addr HOST:PORT | --fleet \
+                         HOST:PORT] [--auth-secret N] [--clients N] [--frames M] \
+                         [--rows-per-push R] [--pull-chunk K] [--connect-timeout-s S] \
+                         [--seed N] [--shutdown]"
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+        assert!(args.clients > 0 && args.frames > 0 && args.rows_per_push > 0);
+        assert!(args.pull_chunk > 0);
+        args
+    }
+}
+
+/// Dials until the gateway answers or the timeout elapses — the gateway
+/// may still be starting when loadgen launches (CI runs them in
+/// parallel).
+fn connect_with_retry(
+    transport: &Tcp,
+    timeout: Duration,
+) -> Result<Client<TcpConnection>, OrcoError> {
+    let start = Instant::now();
+    loop {
+        match Client::connect(transport) {
+            Ok(client) => return Ok(client),
+            Err(_) if start.elapsed() < timeout => {
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Fleet bootstrap with the same patience: the directory may still be
+/// starting, and the gateways may not have registered yet (an empty
+/// fleet is a retryable condition here).
+fn fleet_connect_with_retry(
+    directory_addr: &str,
+    client_id: u64,
+    auth_secret: Option<u64>,
+    timeout: Duration,
+) -> Result<FleetClient, OrcoError> {
+    let start = Instant::now();
+    loop {
+        match FleetClient::connect(directory_addr, client_id, auth_secret) {
+            Ok(fleet) => return Ok(fleet),
+            Err(_) if start.elapsed() < timeout => {
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn run_client(args: &Args, id: usize) -> Result<(usize, usize), OrcoError> {
+    let transport = Tcp::new(args.addr.clone());
+    let mut client = connect_with_retry(&transport, args.connect_timeout)?;
+    client.set_auth_secret(args.auth_secret);
+    let info = client.hello(id as u64)?;
+    let cluster = 1000 + id as u64;
+    let mut rng = OrcoRng::from_seed_u64(args.seed ^ id as u64);
+    let frames =
+        Matrix::from_fn(args.frames, info.frame_dim as usize, |_, _| rng.uniform(0.0, 1.0));
+    // Per-client seed: N clients hitting the same saturated shard back
+    // off on decorrelated schedules instead of retrying in lockstep.
+    let mut backoff =
+        Backoff::new(Duration::from_millis(1), Duration::from_millis(64), args.seed ^ id as u64);
+
+    let mut pushed = 0usize;
+    let mut pulled = 0usize;
+    while pushed < args.frames {
+        let hi = (pushed + args.rows_per_push).min(args.frames);
+        match client.push(cluster, frames.view_rows(pushed..hi))? {
+            PushOutcome::Accepted(n) => {
+                pushed += n as usize;
+                backoff.reset();
+            }
+            PushOutcome::Busy { .. } => {
+                // Backpressure: drain some decoded output, then retry
+                // after a jittered, exponentially growing wait.
+                pulled += client.pull(cluster, args.pull_chunk)?.rows();
+                std::thread::sleep(backoff.next_delay());
+            }
+            PushOutcome::Redirected { epoch, addr } => {
+                return Err(OrcoError::Config {
+                    detail: format!(
+                        "gateway redirected cluster {cluster} to {addr} (epoch {epoch}); \
+                         this gateway is part of a fleet — use --fleet <directory_addr>"
+                    ),
+                });
+            }
+        }
+    }
+    while pulled < args.frames {
+        let got = client.pull(cluster, args.pull_chunk)?.rows();
+        if got == 0 {
+            std::thread::sleep(backoff.next_delay());
+            continue;
+        }
+        pulled += got;
+        backoff.reset();
+    }
+    Ok((pushed, pulled))
+}
+
+/// What one fleet client reports back: frames pushed, frames pulled,
+/// redirects chased, and its per-gateway pushed-row ledger.
+type FleetClientReport = (usize, usize, u64, Vec<(String, u64)>);
+
+/// One fleet client's run: push windows to directory-computed owners
+/// (redirects chased inside [`FleetClient::push`]), drain each window
+/// from the gateway that accepted it before offering the next.
+fn run_fleet_client(
+    args: &Args,
+    directory_addr: &str,
+    id: usize,
+) -> Result<FleetClientReport, OrcoError> {
+    let mut fleet = fleet_connect_with_retry(
+        directory_addr,
+        id as u64,
+        args.auth_secret,
+        args.connect_timeout,
+    )?;
+    let cluster = 1000 + id as u64;
+    let mut rng = OrcoRng::from_seed_u64(args.seed ^ id as u64);
+    let owner = fleet.owner_addr(cluster)?;
+    let frame_dim = fleet.info_of(&owner)?.frame_dim as usize;
+    let frames = Matrix::from_fn(args.frames, frame_dim, |_, _| rng.uniform(0.0, 1.0));
+    let mut backoff =
+        Backoff::new(Duration::from_millis(1), Duration::from_millis(64), args.seed ^ id as u64);
+
+    let mut pushed = 0usize;
+    let mut pulled = 0usize;
+    while pushed < args.frames {
+        let hi = (pushed + args.rows_per_push).min(args.frames);
+        let (outcome, addr) = fleet.push(cluster, frames.view_rows(pushed..hi))?;
+        match outcome {
+            PushOutcome::Accepted(n) => {
+                pushed += n as usize;
+                backoff.reset();
+                // Drain this window where it landed before the next push:
+                // a later rebalance must never strand undrained rows.
+                while pulled < pushed {
+                    let got = fleet.pull_from(&addr, cluster, args.pull_chunk)?.rows();
+                    if got == 0 {
+                        std::thread::sleep(backoff.next_delay());
+                        continue;
+                    }
+                    pulled += got;
+                    backoff.reset();
+                }
+            }
+            PushOutcome::Busy { .. } => {
+                pulled += fleet.pull_from(&addr, cluster, args.pull_chunk)?.rows();
+                std::thread::sleep(backoff.next_delay());
+            }
+            PushOutcome::Redirected { .. } => {
+                unreachable!("FleetClient::push consumes redirects")
+            }
+        }
+    }
+    Ok((pushed, pulled, fleet.redirects_chased(), fleet.pushed_rows_by_gateway()))
+}
+
+fn main() {
+    let args = Args::parse();
+    match args.fleet.clone() {
+        Some(directory_addr) => fleet_main(&args, &directory_addr),
+        None => single_main(&args),
+    }
+}
+
+fn single_main(args: &Args) {
+    println!(
+        "loadgen: {} client(s) x {} frames -> {} (rows/push {}, pull chunk {})",
+        args.clients, args.frames, args.addr, args.rows_per_push, args.pull_chunk
+    );
+
+    let start = Instant::now();
+    let results: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> =
+            (0..args.clients).map(|id| scope.spawn(move || run_client(args, id))).collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+
+    let mut total = 0usize;
+    for (id, r) in results.iter().enumerate() {
+        match r {
+            Ok((pushed, pulled)) => {
+                println!("  client {id}: pushed {pushed}, pulled {pulled}");
+                total += pulled;
+            }
+            Err(e) => {
+                eprintln!("  client {id} failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    println!(
+        "loadgen: {total} frames served end-to-end in {elapsed:.3}s ({:.0} frames/s)",
+        total as f64 / elapsed
+    );
+
+    let transport = Tcp::new(args.addr.clone());
+    let mut control = connect_with_retry(&transport, args.connect_timeout).expect("control conn");
+    print_stats(&args.addr, control.stats());
+    if args.shutdown {
+        control.shutdown().expect("shutdown accepted");
+        println!("loadgen: gateway shutdown requested");
+    }
+}
+
+fn fleet_main(args: &Args, directory_addr: &str) {
+    println!(
+        "loadgen: {} client(s) x {} frames -> fleet at {} (rows/push {}, pull chunk {})",
+        args.clients, args.frames, directory_addr, args.rows_per_push, args.pull_chunk
+    );
+
+    let start = Instant::now();
+    let results: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..args.clients)
+            .map(|id| scope.spawn(move || run_fleet_client(args, directory_addr, id)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+
+    let mut total = 0usize;
+    let mut redirects = 0u64;
+    let mut per_gateway: BTreeMap<String, u64> = BTreeMap::new();
+    for (id, r) in results.iter().enumerate() {
+        match r {
+            Ok((pushed, pulled, chased, by_gateway)) => {
+                println!("  client {id}: pushed {pushed}, pulled {pulled}, redirects {chased}");
+                total += pulled;
+                redirects += chased;
+                for (addr, rows) in by_gateway {
+                    *per_gateway.entry(addr.clone()).or_insert(0) += rows;
+                }
+            }
+            Err(e) => {
+                eprintln!("  client {id} failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    println!(
+        "loadgen: {total} frames served end-to-end in {elapsed:.3}s ({:.0} frames/s), \
+         {redirects} redirect(s) chased",
+        total as f64 / elapsed
+    );
+    println!("per-gateway throughput:");
+    for (addr, rows) in &per_gateway {
+        println!("  {addr}: {rows} rows ({:.0} rows/s)", *rows as f64 / elapsed);
+    }
+
+    // Control pass: stats from every registered gateway, then (with
+    // --shutdown) take the whole fleet down, directory last.
+    let mut control =
+        fleet_connect_with_retry(directory_addr, u64::MAX, args.auth_secret, args.connect_timeout)
+            .expect("control conn");
+    let members: Vec<_> = control.members().to_vec();
+    for m in &members {
+        print_stats(&m.addr, control.stats_of(&m.addr));
+    }
+    if args.shutdown {
+        for m in &members {
+            control.shutdown_gateway(&m.addr).expect("gateway shutdown accepted");
+        }
+        control.shutdown_directory().expect("directory shutdown accepted");
+        println!("loadgen: fleet shutdown requested ({} gateways + directory)", members.len());
+    }
+}
+
+fn print_stats(addr: &str, stats: Result<orco_serve::StatsSnapshot, OrcoError>) {
+    match stats {
+        Ok(s) => println!(
+            "gateway {addr} stats: frames_in={} frames_out={} batches={} (max batch {}) \
+             flushes size/deadline/pull/drain={}/{}/{}/{} busy={} redirects={} p50={:.6}s \
+             p99={:.6}s",
+            s.frames_in,
+            s.frames_out,
+            s.batches,
+            s.max_batch_rows,
+            s.size_flushes,
+            s.deadline_flushes,
+            s.pull_flushes,
+            s.drain_flushes,
+            s.busy_rejections,
+            s.redirects,
+            s.batch_latency_p50_s,
+            s.batch_latency_p99_s
+        ),
+        Err(e) => eprintln!("stats request failed for {addr}: {e}"),
+    }
+}

@@ -1,0 +1,349 @@
+//! The fleet directory: the one authority on *which gateway owns which
+//! cluster*, expressed as an epoch'd membership list.
+//!
+//! The directory does not compute assignments — rendezvous hashing
+//! ([`orco_serve::fleet_view`]) lets every gateway and client derive the
+//! owner of any cluster locally from `(epoch, members)`. The directory's
+//! job is smaller and sharper: admit gateways ([`Message::Register`],
+//! MAC-gated when a secret is configured), watch their heartbeats, evict
+//! the silent ([`Directory::sweep`]), and bump the **epoch** on every
+//! membership change so stale views are detectable. Gateways embed the
+//! epoch in redirects; a client holding epoch `e` that draws a redirect
+//! stamped `e' > e` knows to refresh before retrying.
+//!
+//! The directory is a [`Service`]: it runs behind the same three
+//! transports as the gateway (loopback, TCP, DES), speaking the same
+//! wire protocol.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use orco_serve::protocol::{ErrorCode, Message};
+use orco_serve::{auth, Clock, GatewayEntry, Outbox, Service};
+use orcodcs::OrcoError;
+
+/// Tunables of a [`Directory`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DirectoryConfig {
+    /// Shared secret gating [`Message::Register`]; `None` admits anyone.
+    pub auth_secret: Option<u64>,
+    /// A gateway silent for longer than this is declared dead on the
+    /// next sweep (choose several heartbeat intervals).
+    pub heartbeat_timeout: Duration,
+    /// How often the TCP background worker sweeps; virtual-time hosts
+    /// sweep on every event instead ([`Service::on_time_advance`]).
+    pub sweep_interval: Duration,
+}
+
+impl Default for DirectoryConfig {
+    fn default() -> Self {
+        Self {
+            auth_secret: None,
+            heartbeat_timeout: Duration::from_millis(500),
+            sweep_interval: Duration::from_millis(100),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Member {
+    addr: String,
+    /// Clock time of the last register/heartbeat, seconds.
+    last_beat_s: f64,
+}
+
+#[derive(Debug)]
+struct DirState {
+    epoch: u64,
+    members: BTreeMap<u64, Member>,
+}
+
+/// The directory service: epoch'd gateway membership over the ORCO wire
+/// protocol.
+#[derive(Debug)]
+pub struct Directory {
+    cfg: DirectoryConfig,
+    clock: Clock,
+    state: Mutex<DirState>,
+    shutting_down: AtomicBool,
+}
+
+impl Directory {
+    /// A directory with no members yet, at epoch 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrcoError::Config`] on a non-positive heartbeat timeout.
+    pub fn new(cfg: DirectoryConfig, clock: Clock) -> Result<Self, OrcoError> {
+        if cfg.heartbeat_timeout.is_zero() {
+            return Err(OrcoError::Config {
+                detail: "DirectoryConfig: heartbeat_timeout must be positive".into(),
+            });
+        }
+        Ok(Self {
+            cfg,
+            clock,
+            state: Mutex::new(DirState { epoch: 0, members: BTreeMap::new() }),
+            shutting_down: AtomicBool::new(false),
+        })
+    }
+
+    /// The directory's configuration.
+    #[must_use]
+    pub fn config(&self) -> &DirectoryConfig {
+        &self.cfg
+    }
+
+    /// The clock the directory timestamps heartbeats against.
+    #[must_use]
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// Current assignment epoch.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.state.lock().expect("directory lock").epoch
+    }
+
+    /// Snapshot of `(epoch, members)`, members ascending by id.
+    #[must_use]
+    pub fn view(&self) -> (u64, Vec<GatewayEntry>) {
+        let s = self.state.lock().expect("directory lock");
+        (s.epoch, members_of(&s))
+    }
+
+    /// Whether a `Shutdown` has been accepted.
+    #[must_use]
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutting_down.load(Ordering::Acquire)
+    }
+
+    /// Evicts every member whose last heartbeat is older than the
+    /// configured timeout; one epoch bump covers the whole eviction
+    /// (simultaneous deaths do not stutter the epoch). Returns the ids
+    /// evicted.
+    pub fn sweep(&self) -> Vec<u64> {
+        let now_s = self.clock.now_s();
+        let timeout_s = self.cfg.heartbeat_timeout.as_secs_f64();
+        let mut s = self.state.lock().expect("directory lock");
+        let dead: Vec<u64> = s
+            .members
+            .iter()
+            .filter(|(_, m)| now_s - m.last_beat_s > timeout_s)
+            .map(|(&id, _)| id)
+            .collect();
+        if !dead.is_empty() {
+            for id in &dead {
+                s.members.remove(id);
+            }
+            s.epoch += 1;
+        }
+        dead
+    }
+
+    /// Handles one request; the typed core of [`Service::handle_frame`].
+    pub fn handle(&self, msg: Message) -> Message {
+        match msg {
+            Message::DirectoryQuery => {
+                let s = self.state.lock().expect("directory lock");
+                Message::DirectoryReply { epoch: s.epoch, members: members_of(&s) }
+            }
+            Message::Register { gateway_id, addr, nonce, mac } => {
+                if let Some(secret) = self.cfg.auth_secret {
+                    if auth::register_mac(secret, gateway_id, &addr, nonce) != mac {
+                        return Message::ErrorReply {
+                            code: ErrorCode::Unauthorized,
+                            detail: "Register MAC does not verify against the shared secret".into(),
+                        };
+                    }
+                }
+                if self.is_shutting_down() {
+                    return Message::ErrorReply {
+                        code: ErrorCode::ShuttingDown,
+                        detail: "directory is shutting down; not admitting gateways".into(),
+                    };
+                }
+                let now_s = self.clock.now_s();
+                let mut s = self.state.lock().expect("directory lock");
+                // Idempotent re-register (same id, same addr) refreshes
+                // the heartbeat without disturbing the epoch; a new
+                // member or a moved address is a real membership change.
+                let changed = s.members.get(&gateway_id).is_none_or(|m| m.addr != addr);
+                s.members.insert(gateway_id, Member { addr, last_beat_s: now_s });
+                if changed {
+                    s.epoch += 1;
+                }
+                Message::RegisterAck { epoch: s.epoch, members: members_of(&s) }
+            }
+            Message::Heartbeat { gateway_id, epoch: _ } => {
+                let now_s = self.clock.now_s();
+                let mut s = self.state.lock().expect("directory lock");
+                match s.members.get_mut(&gateway_id) {
+                    Some(m) => {
+                        m.last_beat_s = now_s;
+                        Message::HeartbeatAck { epoch: s.epoch, members: members_of(&s) }
+                    }
+                    // Evicted (or never admitted): the ack would imply
+                    // membership. Tell it to re-register instead.
+                    None => Message::ErrorReply {
+                        code: ErrorCode::BadRequest,
+                        detail: format!(
+                            "heartbeat from gateway {gateway_id}, which is not a member \
+                             (evicted after missed heartbeats?); re-register"
+                        ),
+                    },
+                }
+            }
+            Message::Shutdown => {
+                self.shutting_down.store(true, Ordering::Release);
+                Message::ShutdownAck
+            }
+            other => Message::ErrorReply {
+                code: ErrorCode::BadRequest,
+                detail: format!(
+                    "the directory serves membership, not the data plane ({} is not a \
+                     directory request)",
+                    other.kind()
+                ),
+            },
+        }
+    }
+}
+
+fn members_of(s: &DirState) -> Vec<GatewayEntry> {
+    s.members.iter().map(|(&id, m)| GatewayEntry { id, addr: m.addr.clone() }).collect()
+}
+
+impl Service for Directory {
+    fn handle_frame(&self, frame: &[u8], reply: &mut Vec<u8>, _outbox: Option<&Arc<Outbox>>) {
+        let msg = match Message::decode(frame) {
+            Ok(msg) => msg,
+            Err(e) => {
+                let err = Message::ErrorReply {
+                    code: ErrorCode::BadRequest,
+                    detail: format!("malformed frame: {e}"),
+                };
+                err.encode_into(reply);
+                return;
+            }
+        };
+        self.handle(msg).encode_into(reply);
+    }
+
+    fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    fn is_shutting_down(&self) -> bool {
+        Directory::is_shutting_down(self)
+    }
+
+    fn on_time_advance(&self) {
+        self.sweep();
+    }
+
+    fn worker_count(&self) -> usize {
+        1
+    }
+
+    /// The heartbeat sweeper: on a real clock, evictions must not wait
+    /// for the next request to arrive.
+    fn run_worker(&self, _idx: usize) {
+        while !self.is_shutting_down() {
+            std::thread::sleep(self.cfg.sweep_interval);
+            self.sweep();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dir(timeout_ms: u64) -> Directory {
+        Directory::new(
+            DirectoryConfig {
+                heartbeat_timeout: Duration::from_millis(timeout_ms),
+                ..DirectoryConfig::default()
+            },
+            Clock::manual(Duration::ZERO),
+        )
+        .expect("valid config")
+    }
+
+    fn register(d: &Directory, id: u64, addr: &str) -> Message {
+        d.handle(Message::Register { gateway_id: id, addr: addr.into(), nonce: 0, mac: 0 })
+    }
+
+    #[test]
+    fn register_bumps_epoch_and_reregister_does_not() {
+        let d = dir(100);
+        assert!(matches!(register(&d, 1, "gw:1"), Message::RegisterAck { epoch: 1, .. }));
+        assert!(matches!(register(&d, 2, "gw:2"), Message::RegisterAck { epoch: 2, .. }));
+        // Same id, same addr: heartbeat-equivalent, no epoch bump.
+        assert!(matches!(register(&d, 2, "gw:2"), Message::RegisterAck { epoch: 2, .. }));
+        // Same id, moved addr: membership change.
+        assert!(matches!(register(&d, 2, "gw:9"), Message::RegisterAck { epoch: 3, .. }));
+        let (epoch, members) = d.view();
+        assert_eq!(epoch, 3);
+        assert_eq!(members.len(), 2);
+        assert_eq!(members[1].addr, "gw:9");
+    }
+
+    #[test]
+    fn missed_heartbeats_evict_with_one_epoch_bump() {
+        let d = dir(50);
+        register(&d, 1, "gw:1");
+        register(&d, 2, "gw:2");
+        register(&d, 3, "gw:3");
+        assert_eq!(d.epoch(), 3);
+        d.clock().advance(Duration::from_millis(40));
+        // Only gateway 3 beats inside the window.
+        assert!(matches!(
+            d.handle(Message::Heartbeat { gateway_id: 3, epoch: 3 }),
+            Message::HeartbeatAck { epoch: 3, .. }
+        ));
+        d.clock().advance(Duration::from_millis(20)); // 1 and 2 are now 60ms silent
+        let mut dead = d.sweep();
+        dead.sort_unstable();
+        assert_eq!(dead, vec![1, 2]);
+        assert_eq!(d.epoch(), 4, "simultaneous deaths cost one epoch, not two");
+        // The evicted gateway's next heartbeat is refused.
+        assert!(matches!(
+            d.handle(Message::Heartbeat { gateway_id: 1, epoch: 4 }),
+            Message::ErrorReply { code: ErrorCode::BadRequest, .. }
+        ));
+        // And its re-register re-admits it at a fresh epoch.
+        assert!(matches!(register(&d, 1, "gw:1"), Message::RegisterAck { epoch: 5, .. }));
+    }
+
+    #[test]
+    fn register_requires_mac_when_keyed() {
+        let d = Directory::new(
+            DirectoryConfig { auth_secret: Some(0xfeed), ..DirectoryConfig::default() },
+            Clock::manual(Duration::ZERO),
+        )
+        .expect("valid config");
+        assert!(matches!(
+            register(&d, 1, "gw:1"),
+            Message::ErrorReply { code: ErrorCode::Unauthorized, .. }
+        ));
+        let mac = auth::register_mac(0xfeed, 1, "gw:1", 77);
+        assert!(matches!(
+            d.handle(Message::Register { gateway_id: 1, addr: "gw:1".into(), nonce: 77, mac }),
+            Message::RegisterAck { epoch: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn data_plane_requests_are_refused() {
+        let d = dir(100);
+        assert!(matches!(
+            d.handle(Message::PullDecoded { cluster_id: 1, max_frames: 4 }),
+            Message::ErrorReply { code: ErrorCode::BadRequest, .. }
+        ));
+    }
+}

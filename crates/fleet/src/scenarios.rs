@@ -1,0 +1,972 @@
+//! The fleet gauntlet: a scripted, deterministic, replayable run of a
+//! whole fleet — directory + gateways + clients — over the
+//! [`DesNet`] impaired-link simulation, with a **mid-run gateway kill**
+//! and a **mid-run join**, asserting the contracts the fleet design
+//! promises:
+//!
+//! * **Exactly-once across failover.** Every client's stream is
+//!   delivered back complete and unduplicated even though its owner was
+//!   killed mid-push: the client gives up via ARQ, re-queries the
+//!   directory, resumes its session on the new owner
+//!   ([`DesNet::reconnect_to`]), and re-pushes from its *delivered
+//!   watermark* — rows the dead gateway acked but never served are
+//!   re-pushed (the dead gateway can no longer deliver them, so this
+//!   cannot duplicate).
+//! * **Bit-identity.** The delivered rows equal one direct
+//!   `encode_batch` + `decode_batch` of the stream on a reference codec:
+//!   failover must not perturb the data plane, because every gateway
+//!   builds the same codec from the same config.
+//! * **No two owners at one epoch.** Every owner observation a client
+//!   makes — from an adopted directory view or a [`Message::Redirect`] —
+//!   is recorded under its epoch; two different owners under one
+//!   `(epoch, cluster)` key fail the run.
+//! * **Liveness and cleanliness.** The run terminates, the kill and the
+//!   join both actually happened, and every *surviving* gateway ends
+//!   drained (zero queue depth, zero stored codes).
+//!
+//! The kill and the join are triggered by **delivery progress**, not
+//! wall-clock hacks, so a run is a pure function of its seed; the
+//! recorded [`RunLog`] replays it bit-identically
+//! ([`replay_fleet_scenario`]).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use orco_serve::fleet_view::owner_of;
+use orco_serve::{
+    auth, Backoff, Clock, DesConfig, DesNet, FleetView, Gateway, GatewayConfig, GatewayEntry,
+    Message, NetEvent, RunLog, ScenarioError,
+};
+use orco_sim::{LinkParams, SendRecord};
+use orco_tensor::{fnv1a64, Matrix, OrcoRng};
+use orcodcs::{AsymmetricAutoencoder, Codec, GradCompression, OrcoConfig};
+
+use crate::directory::{Directory, DirectoryConfig};
+
+/// The fleet scenario names [`run_fleet_scenario`] accepts.
+pub const FLEET_GAUNTLET: [&str; 1] = ["fleet_kill"];
+
+/// Shared secret every party in the simulated fleet is keyed with.
+const SECRET: u64 = 0x0f1e_2d3c_4b5a_6978;
+
+/// Golden-ratio multiplier shared with the TCP clients' nonce schedule.
+const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// What a completed fleet scenario run measured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetOutcome {
+    /// Scenario name (one of [`FLEET_GAUNTLET`]).
+    pub name: String,
+    /// Seed the impairment randomness was drawn from.
+    pub seed: u64,
+    /// Client actors driven.
+    pub clients: usize,
+    /// Frames each client pushed (and pulled back).
+    pub frames_per_client: usize,
+    /// Decoded rows delivered back across all clients (must equal
+    /// `clients * frames_per_client`: exactly once).
+    pub delivered_rows: usize,
+    /// `Redirect` replies chased by clients.
+    pub redirects: usize,
+    /// Requests whose ARQ exhausted its attempts (the kill guarantees
+    /// at least one).
+    pub gave_ups: usize,
+    /// Data connections re-opened (same-endpoint resume or failover).
+    pub reconnects: usize,
+    /// The directory's epoch when the run settled.
+    pub final_epoch: u64,
+    /// Encoded `StatsReply` of every *surviving* gateway, ascending id —
+    /// the determinism contract is on the wire image.
+    pub stats_frames: Vec<Vec<u8>>,
+    /// FNV-1a over every delivered row's little-endian bytes, client
+    /// order — one u64 pinning the entire decoded output.
+    pub decoded_fnv: u64,
+    /// The impairment schedule the run drew (replay tape).
+    pub trace: Vec<SendRecord>,
+}
+
+/// Runs one fleet gauntlet scenario live, drawing impairments from
+/// `seed`. `quick` shrinks the per-client stream for CI; the topology
+/// and the kill/join schedule are the same either way.
+///
+/// # Errors
+///
+/// Returns a [`ScenarioError`] (with its replay log) when a fleet
+/// contract is violated, and on an unknown scenario name.
+pub fn run_fleet_scenario(
+    name: &str,
+    seed: u64,
+    quick: bool,
+) -> Result<FleetOutcome, ScenarioError> {
+    drive(name, seed, quick, None)
+}
+
+/// Re-runs a recorded fleet scenario, consuming the logged impairment
+/// schedule instead of drawing randomness. A correct replay reproduces
+/// the original outcome bit for bit (`stats_frames`, `decoded_fnv`,
+/// trace).
+///
+/// # Errors
+///
+/// As [`run_fleet_scenario`]; additionally, a replay whose send sequence
+/// diverges from the tape panics with a `replay divergence` diagnostic.
+pub fn replay_fleet_scenario(log: &RunLog) -> Result<FleetOutcome, ScenarioError> {
+    drive(&log.name, log.seed, log.quick, Some(log.trace.clone()))
+}
+
+/// The same small, fast codec geometry as the serve gauntlet — the fleet
+/// gauntlet stresses membership and failover, not the autoencoder.
+fn codec_config(seed: u64) -> OrcoConfig {
+    OrcoConfig {
+        input_dim: 32,
+        latent_dim: 8,
+        decoder_layers: 1,
+        noise_variance: 0.1,
+        huber_delta: 0.5,
+        vector_huber: false,
+        learning_rate: 1e-2,
+        batch_size: 32,
+        epochs: 1,
+        finetune_threshold: 0.05,
+        grad_compression: GradCompression::default(),
+        seed,
+    }
+}
+
+/// Endpoint layout: the directory is endpoint 0, gateway id `g` is
+/// endpoint `g` (ids start at 1), advertised as `des:<endpoint>`.
+fn ep_of_addr(addr: &str) -> usize {
+    addr.strip_prefix("des:")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("non-DES gateway address {addr:?} in a DES fleet"))
+}
+
+const DIRECTORY_EP: usize = 0;
+/// Gateway id (== endpoint) killed mid-run.
+const VICTIM: u64 = 2;
+/// Gateway id (== endpoint) that joins mid-run.
+const JOINER: u64 = 4;
+
+/// Heartbeat cadence; the timeout leaves room for a 3-retransmit beat.
+const BEAT_EVERY: Duration = Duration::from_millis(20);
+const BEAT_TIMEOUT: Duration = Duration::from_millis(120);
+
+const ROWS_PER_PUSH: usize = 3;
+const PULL_CHUNK: u32 = 8;
+
+/// Wakeup-token namespaces (client tokens are the client index).
+const TOKEN_AGENT: u64 = 1000;
+const TOKEN_LATE_RELEASE: u64 = 2000;
+
+/// Who a [`DesNet`] connection belongs to.
+#[derive(Debug, Clone, Copy)]
+enum Role {
+    /// Gateway agent `i`'s directory connection.
+    Agent(usize),
+    /// Client `i`'s directory connection.
+    ClientDir(usize),
+    /// Client `i`'s data-plane connection.
+    ClientData(usize),
+}
+
+/// A gateway-side fleet agent, scripted as a simulation actor (the DES
+/// twin of [`crate::GatewayAgent`]'s thread).
+struct Agent {
+    id: u64,
+    ep: usize,
+    gateway: Arc<Gateway>,
+    conn: usize,
+    /// Dead agents submit nothing and ignore stray replies.
+    alive: bool,
+    epoch: u64,
+}
+
+impl Agent {
+    fn install_view(&self, epoch: u64, members: Vec<GatewayEntry>) {
+        self.gateway.set_fleet_view(Some(FleetView::new(Some(self.id), epoch, members)));
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CState {
+    /// Waiting for the bootstrap `DirectoryReply`.
+    Boot,
+    /// Greeting the owner (`HelloAck` pending).
+    Greet,
+    /// The push-window / drain loop against the current owner.
+    Stream,
+    /// Owner died: waiting for a post-eviction `DirectoryReply`.
+    AwaitDir,
+    /// The late client parks here until the join releases it.
+    Held,
+    Done,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CKind {
+    Query,
+    Hello,
+    Push { lo: usize, hi: usize },
+    Pull,
+}
+
+struct ClientActor {
+    cluster: u64,
+    frames: Matrix,
+    /// Rows offered and acked (windows are drained before the next push,
+    /// so outside an in-flight window `offset == acked`).
+    offset: usize,
+    acked: usize,
+    pulled: Vec<f32>,
+    pulled_rows: usize,
+    state: CState,
+    /// The in-flight request (one per client; dir and data sessions are
+    /// never concurrently outstanding by construction).
+    pending: Option<(u64, CKind)>,
+    dir_conn: usize,
+    data_conn: Option<usize>,
+    data_ep: usize,
+    /// The owner address the client currently routes pushes to.
+    cur_addr: String,
+    view_epoch: u64,
+    members: Vec<GatewayEntry>,
+    /// The late client holds after its first window until released.
+    late: bool,
+    released: bool,
+    backoff: Backoff,
+    redirects: usize,
+    gave_ups: usize,
+    reconnects: usize,
+}
+
+impl ClientActor {
+    fn done(&self) -> bool {
+        self.state == CState::Done
+    }
+}
+
+/// Picks a cluster id whose rendezvous owner under `initial` is `want`,
+/// scanning deterministically from `from`.
+fn cluster_owned_by(initial: &[GatewayEntry], want: u64, from: u64) -> u64 {
+    (from..from + 10_000)
+        .find(|&c| owner_of(initial, c).map(|g| g.id) == Some(want))
+        .expect("rendezvous hashing starves no gateway within 10k clusters")
+}
+
+/// Picks a cluster owned by `a` under `initial` that moves to the joiner
+/// once it registers (and is not owned by the victim meanwhile).
+fn cluster_moving_to_joiner(
+    initial: &[GatewayEntry],
+    survivors: &[GatewayEntry],
+    joined: &[GatewayEntry],
+    from: u64,
+) -> u64 {
+    (from..from + 10_000)
+        .find(|&c| {
+            let o0 = owner_of(initial, c).map(|g| g.id);
+            o0 == owner_of(survivors, c).map(|g| g.id)
+                && o0 != Some(VICTIM)
+                && owner_of(joined, c).map(|g| g.id) == Some(JOINER)
+        })
+        .expect("some cluster rebalances onto a 4th gateway within 10k clusters")
+}
+
+fn drive(
+    name: &str,
+    seed: u64,
+    quick: bool,
+    replay: Option<Vec<SendRecord>>,
+) -> Result<FleetOutcome, ScenarioError> {
+    let fail = |detail: String, trace: Vec<SendRecord>| ScenarioError {
+        detail,
+        log: RunLog { name: name.to_string(), seed, quick, trace },
+    };
+    if name != "fleet_kill" {
+        return Err(fail(
+            format!("unknown fleet scenario (gauntlet: {FLEET_GAUNTLET:?})"),
+            Vec::new(),
+        ));
+    }
+    let frames_per_client = if quick { 9 } else { 24 };
+
+    let des = DesConfig {
+        link: LinkParams { delay_s: 0.002, jitter_s: 0.001, loss_prob: 0.02 },
+        rto: Duration::from_millis(10),
+        rto_cap: Duration::from_millis(80),
+        max_attempts: 5,
+    };
+    let net = DesNet::new_multi(des, seed);
+    if let Some(trace) = replay {
+        net.begin_replay(trace);
+    }
+
+    let directory = Arc::new(
+        Directory::new(
+            DirectoryConfig {
+                auth_secret: Some(SECRET),
+                heartbeat_timeout: BEAT_TIMEOUT,
+                sweep_interval: Duration::from_millis(100),
+            },
+            Clock::manual(Duration::ZERO),
+        )
+        .expect("valid directory config"),
+    );
+    let dir_ep = net.add_service(Arc::clone(&directory) as Arc<dyn orco_serve::Service>);
+    assert_eq!(dir_ep, DIRECTORY_EP);
+
+    // Four identical gateways (ids 1..=4); every one builds the same
+    // codec from the same config, which is what makes failover
+    // bit-transparent to the data plane.
+    let codec_cfg = codec_config(11);
+    let mut agents: Vec<Agent> = (1..=4u64)
+        .map(|id| {
+            let gateway = Arc::new(
+                Gateway::new(
+                    GatewayConfig {
+                        shards: 2,
+                        batch_max_frames: 8,
+                        batch_deadline: Duration::from_millis(5),
+                        queue_capacity: 4096,
+                        auth_secret: Some(SECRET),
+                    },
+                    Clock::manual(Duration::ZERO),
+                    |_| {
+                        Box::new(AsymmetricAutoencoder::new(&codec_cfg).expect("valid codec"))
+                            as Box<dyn Codec>
+                    },
+                )
+                .expect("valid gateway config"),
+            );
+            let ep = net.add_service(Arc::clone(&gateway) as Arc<dyn orco_serve::Service>);
+            assert_eq!(ep, id as usize);
+            Agent {
+                id,
+                ep,
+                gateway,
+                conn: 0,             // assigned below
+                alive: id != JOINER, // the joiner idles until released
+                epoch: 0,
+            }
+        })
+        .collect();
+
+    let mut roles: Vec<Role> = Vec::new();
+    let push_role = |roles: &mut Vec<Role>, conn: usize, role: Role| {
+        assert_eq!(conn, roles.len(), "connection ids must stay dense");
+        roles.push(role);
+    };
+    for (i, a) in agents.iter_mut().enumerate() {
+        a.conn = net.connect_to(DIRECTORY_EP);
+        push_role(&mut roles, a.conn, Role::Agent(i));
+    }
+
+    // Cluster casting, computed from the same rendezvous function every
+    // party uses. `initial` = gateways 1..3, `survivors` = after the
+    // kill, `joined` = after the join.
+    let entry = |id: u64| GatewayEntry { id, addr: format!("des:{id}") };
+    let initial: Vec<GatewayEntry> = (1..=3).map(entry).collect();
+    let survivors: Vec<GatewayEntry> = [1, 3].into_iter().map(entry).collect();
+    let joined: Vec<GatewayEntry> = [1, 3, 4].into_iter().map(entry).collect();
+    let mut clusters = Vec::new();
+    // Two clients on the victim (exercise kill-failover), ...
+    clusters.push(cluster_owned_by(&initial, VICTIM, 100));
+    clusters.push(cluster_owned_by(&initial, VICTIM, clusters[0] + 1));
+    // ... two stable clients (never rebalanced), ...
+    let mut stable_from = 100;
+    for _ in 0..2 {
+        let c = (stable_from..stable_from + 10_000)
+            .find(|&c| {
+                let o0 = owner_of(&initial, c).map(|g| g.id);
+                o0 != Some(VICTIM)
+                    && o0 == owner_of(&survivors, c).map(|g| g.id)
+                    && o0 == owner_of(&joined, c).map(|g| g.id)
+            })
+            .expect("some cluster keeps its owner through kill and join");
+        clusters.push(c);
+        stable_from = c + 1;
+    }
+    // ... one mover (rebalances onto the joiner mid-stream), and one
+    // *late* client that pushes its remainder with a stale view after the
+    // join, guaranteeing a Redirect chase.
+    clusters.push(cluster_moving_to_joiner(&initial, &survivors, &joined, 100));
+    clusters.push(cluster_moving_to_joiner(&initial, &survivors, &joined, clusters[4] + 1));
+    let late_idx = clusters.len() - 1;
+
+    let input_dim = codec_cfg.input_dim;
+    let mut clients: Vec<ClientActor> = clusters
+        .iter()
+        .enumerate()
+        .map(|(i, &cluster)| {
+            let mut rng = OrcoRng::from_seed_u64(seed ^ (0xFEE7 + i as u64));
+            let dir_conn = net.connect_to(DIRECTORY_EP);
+            push_role(&mut roles, dir_conn, Role::ClientDir(i));
+            ClientActor {
+                cluster,
+                frames: Matrix::from_fn(frames_per_client, input_dim, |_, _| rng.uniform(0.0, 1.0)),
+                offset: 0,
+                acked: 0,
+                pulled: Vec::new(),
+                pulled_rows: 0,
+                state: CState::Boot,
+                pending: None,
+                dir_conn,
+                data_conn: None,
+                data_ep: 0,
+                cur_addr: String::new(),
+                view_epoch: 0,
+                members: Vec::new(),
+                late: i == late_idx,
+                released: false,
+                backoff: Backoff::new(
+                    Duration::from_millis(2),
+                    Duration::from_millis(64),
+                    seed.wrapping_mul(GOLDEN) ^ i as u64,
+                ),
+                redirects: 0,
+                gave_ups: 0,
+                reconnects: 0,
+            }
+        })
+        .collect();
+    let total = clients.len() * frames_per_client;
+
+    // Kick off: gateways 1..3 register at t=0; clients boot staggered so
+    // the directory has members by the time they query.
+    for (i, a) in agents.iter().enumerate() {
+        if a.alive {
+            let addr = format!("des:{}", a.ep);
+            let nonce = a.id.wrapping_mul(GOLDEN) ^ 0x666C_6565;
+            let mac = auth::register_mac(SECRET, a.id, &addr, nonce);
+            net.submit(a.conn, &Message::Register { gateway_id: a.id, addr, nonce, mac });
+        }
+        let _ = i;
+    }
+    for i in 0..clients.len() {
+        net.schedule_wakeup(Duration::from_millis(10 + i as u64), i as u64);
+    }
+
+    // Every owner observation, keyed by (epoch, cluster): a second,
+    // different owner under one key is the split-brain the epochs exist
+    // to prevent.
+    let mut owners_seen: BTreeMap<(u64, u64), String> = BTreeMap::new();
+    let mut killed = false;
+    let mut join_submitted = false;
+
+    let mut events = 0u64;
+    const EVENT_CAP: u64 = 5_000_000;
+    while clients.iter().any(|c| !c.done()) {
+        events += 1;
+        if events > EVENT_CAP {
+            return Err(fail(
+                format!(
+                    "no convergence after {EVENT_CAP} events: {} of {} clients still live",
+                    clients.iter().filter(|c| !c.done()).count(),
+                    clients.len()
+                ),
+                net.trace(),
+            ));
+        }
+        match net.poll() {
+            NetEvent::Reply { conn, seq } => {
+                let reply = net.take_reply(conn, seq).expect("announced reply present");
+                match roles[conn] {
+                    Role::Agent(i) => {
+                        if let Err(d) = on_agent_reply(&net, &mut agents[i], reply) {
+                            return Err(fail(d, net.trace()));
+                        }
+                        // The join is live once the joiner holds its
+                        // first view: release the late client soon after,
+                        // so its stale-view push draws a Redirect from an
+                        // owner that has heartbeat-synced meanwhile.
+                        if agents[i].id == JOINER && clients[late_idx].state == CState::Held {
+                            net.schedule_wakeup(Duration::from_millis(100), TOKEN_LATE_RELEASE);
+                        }
+                    }
+                    Role::ClientDir(i) => {
+                        let r = on_dir_reply(
+                            &net,
+                            &mut clients[i],
+                            i,
+                            seq,
+                            reply,
+                            &mut roles,
+                            &mut owners_seen,
+                        );
+                        if let Err(d) = r {
+                            return Err(fail(d, net.trace()));
+                        }
+                    }
+                    Role::ClientData(i) => {
+                        let r = on_data_reply(
+                            &net,
+                            &mut clients[i],
+                            i,
+                            seq,
+                            reply,
+                            &mut roles,
+                            &mut owners_seen,
+                        );
+                        match r {
+                            Err(d) => return Err(fail(d, net.trace())),
+                            Ok(false) => {}
+                            Ok(true) => {
+                                // Delivery progressed: at 1/3 delivered,
+                                // kill the victim; at 2/3, admit the
+                                // joiner.
+                                let delivered: usize = clients.iter().map(|c| c.pulled_rows).sum();
+                                if !killed && delivered * 3 >= total {
+                                    killed = true;
+                                    net.kill_endpoint(VICTIM as usize);
+                                    let victim =
+                                        agents.iter_mut().find(|a| a.id == VICTIM).expect("cast");
+                                    victim.alive = false;
+                                }
+                                if killed && !join_submitted && delivered * 3 >= 2 * total {
+                                    join_submitted = true;
+                                    let joiner =
+                                        agents.iter_mut().find(|a| a.id == JOINER).expect("cast");
+                                    joiner.alive = true;
+                                    let addr = format!("des:{}", joiner.ep);
+                                    let nonce = joiner.id.wrapping_mul(GOLDEN) ^ 0x666C_6565;
+                                    let mac = auth::register_mac(SECRET, joiner.id, &addr, nonce);
+                                    net.submit(
+                                        joiner.conn,
+                                        &Message::Register {
+                                            gateway_id: joiner.id,
+                                            addr,
+                                            nonce,
+                                            mac,
+                                        },
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            NetEvent::GaveUp { conn, seq: _ } => match roles[conn] {
+                Role::Agent(i) => {
+                    // Directory unreachable this instant: resume the
+                    // session (the ARQ re-offers the beat) on fresh links.
+                    if agents[i].alive {
+                        agents[i].conn = net.reconnect(conn);
+                        push_role(&mut roles, agents[i].conn, Role::Agent(i));
+                    }
+                }
+                Role::ClientDir(i) => {
+                    clients[i].dir_conn = net.reconnect(conn);
+                    push_role(&mut roles, clients[i].dir_conn, Role::ClientDir(i));
+                }
+                Role::ClientData(i) => {
+                    let c = &mut clients[i];
+                    c.gave_ups += 1;
+                    if net.endpoint_alive(c.data_ep) {
+                        // Transient loss streak: resume the session on the
+                        // same gateway; dedup state survives, the
+                        // re-offered request executes at most once.
+                        c.reconnects += 1;
+                        let new = net.reconnect(conn);
+                        c.data_conn = Some(new);
+                        push_role(&mut roles, new, Role::ClientData(i));
+                    } else {
+                        // Owner crashed. Drop the doomed request, rewind
+                        // to the delivered watermark (rows the dead owner
+                        // held but never served must be re-pushed — it
+                        // cannot deliver them, so this cannot duplicate),
+                        // and go find the new owner.
+                        net.cancel_outstanding(conn);
+                        c.pending = None;
+                        c.acked = c.pulled_rows;
+                        c.offset = c.pulled_rows;
+                        c.state = CState::AwaitDir;
+                        let seq = net.submit(c.dir_conn, &Message::DirectoryQuery);
+                        c.pending = Some((seq, CKind::Query));
+                    }
+                }
+            },
+            NetEvent::Wakeup { token } => {
+                if token == TOKEN_LATE_RELEASE {
+                    let c = &mut clients[late_idx];
+                    c.released = true;
+                    if c.state == CState::Held {
+                        c.state = CState::Stream;
+                        advance(&net, c);
+                    }
+                } else if token >= TOKEN_AGENT {
+                    let i = (token - TOKEN_AGENT) as usize;
+                    let a = &agents[i];
+                    if a.alive {
+                        net.submit(
+                            a.conn,
+                            &Message::Heartbeat { gateway_id: a.id, epoch: a.epoch },
+                        );
+                    }
+                } else {
+                    let i = token as usize;
+                    let c = &mut clients[i];
+                    if c.pending.is_some() {
+                        continue;
+                    }
+                    match c.state {
+                        CState::Boot | CState::AwaitDir => {
+                            let seq = net.submit(c.dir_conn, &Message::DirectoryQuery);
+                            c.pending = Some((seq, CKind::Query));
+                        }
+                        CState::Stream => advance(&net, c),
+                        CState::Greet | CState::Held | CState::Done => {}
+                    }
+                }
+            }
+            NetEvent::Idle => {
+                let stuck: Vec<usize> =
+                    clients.iter().enumerate().filter(|(_, c)| !c.done()).map(|(i, _)| i).collect();
+                return Err(fail(
+                    format!(
+                        "event queue drained with clients {stuck:?} unfinished — a request \
+                         or timer was lost (liveness violation)"
+                    ),
+                    net.trace(),
+                ));
+            }
+        }
+    }
+
+    // ---- Contracts ----------------------------------------------------
+    if !killed || !join_submitted {
+        return Err(fail(
+            format!(
+                "the run finished without its chaos: killed={killed} joined={join_submitted} \
+                 (progress triggers never fired)"
+            ),
+            net.trace(),
+        ));
+    }
+    let delivered_rows: usize = clients.iter().map(|c| c.pulled_rows).sum();
+    if delivered_rows != total {
+        return Err(fail(
+            format!(
+                "delivered {delivered_rows} rows for {total} pushed — {} (exactly-once \
+                 violated across the kill)",
+                if delivered_rows < total { "frames lost" } else { "frames duplicated" }
+            ),
+            net.trace(),
+        ));
+    }
+
+    // Bit-identity: each client's delivered rows equal one direct
+    // encode_batch + decode_batch of its stream, no matter which
+    // gateways served which windows.
+    let mut reference = AsymmetricAutoencoder::new(&codec_cfg).expect("valid codec config");
+    for (i, c) in clients.iter().enumerate() {
+        let mut codes = Matrix::zeros(0, 0);
+        let mut recon = Matrix::zeros(0, 0);
+        reference.encode_batch(c.frames.as_view(), &mut codes).expect("geometry fits");
+        reference.decode_batch(codes.as_view(), &mut recon).expect("geometry fits");
+        if c.pulled != recon.as_slice() {
+            return Err(fail(
+                format!("client {i}: decoded bytes diverge from the direct codec path"),
+                net.trace(),
+            ));
+        }
+    }
+
+    // Surviving gateways end drained; the victim's orphaned rows died
+    // with it.
+    let mut stats_frames = Vec::new();
+    for a in &agents {
+        if a.id == VICTIM {
+            continue;
+        }
+        let snap = a.gateway.stats();
+        if snap.queue_depth != 0 || snap.stored_codes != 0 {
+            return Err(fail(
+                format!(
+                    "gateway {} not drained: queue_depth {} stored_codes {}",
+                    a.id, snap.queue_depth, snap.stored_codes
+                ),
+                net.trace(),
+            ));
+        }
+        let mut frame = Vec::new();
+        Message::StatsReply(snap).encode_into(&mut frame);
+        stats_frames.push(frame);
+    }
+
+    let redirects: usize = clients.iter().map(|c| c.redirects).sum();
+    if redirects == 0 {
+        return Err(fail(
+            "no client ever chased a Redirect — the stale-view path went unexercised".into(),
+            net.trace(),
+        ));
+    }
+
+    let mut digest_bytes = Vec::with_capacity(delivered_rows * input_dim * 4);
+    for c in &clients {
+        for v in &c.pulled {
+            digest_bytes.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    Ok(FleetOutcome {
+        name: name.to_string(),
+        seed,
+        clients: clients.len(),
+        frames_per_client,
+        delivered_rows,
+        redirects,
+        gave_ups: clients.iter().map(|c| c.gave_ups).sum(),
+        reconnects: clients.iter().map(|c| c.reconnects).sum(),
+        final_epoch: directory.epoch(),
+        stats_frames,
+        decoded_fnv: fnv1a64(&digest_bytes),
+        trace: net.trace(),
+    })
+}
+
+/// Handles a reply on an agent's directory connection and schedules its
+/// next beat.
+fn on_agent_reply(net: &DesNet, a: &mut Agent, reply: Message) -> Result<(), String> {
+    if !a.alive {
+        return Ok(()); // a straggler reply to a gateway that died meanwhile
+    }
+    match reply {
+        Message::RegisterAck { epoch, members } | Message::HeartbeatAck { epoch, members } => {
+            if epoch != a.epoch || a.gateway.fleet_view().is_none() {
+                a.epoch = epoch;
+                a.install_view(epoch, members);
+            }
+        }
+        Message::ErrorReply { .. } => {
+            // Evicted (a heartbeat outlasted the timeout): re-register.
+            let addr = format!("des:{}", a.ep);
+            let nonce = a.id.wrapping_mul(GOLDEN) ^ 0x666C_6565;
+            let mac = auth::register_mac(SECRET, a.id, &addr, nonce);
+            net.submit(a.conn, &Message::Register { gateway_id: a.id, addr, nonce, mac });
+            return Ok(()); // the ack of that register schedules the next beat
+        }
+        other => return Err(format!("agent {}: unexpected {}", a.id, other.kind())),
+    }
+    net.schedule_wakeup(BEAT_EVERY, TOKEN_AGENT + (a.id - 1));
+    Ok(())
+}
+
+/// Records an owner observation, failing on a second owner under the
+/// same `(epoch, cluster)`.
+fn observe_owner(
+    owners_seen: &mut BTreeMap<(u64, u64), String>,
+    epoch: u64,
+    cluster: u64,
+    addr: &str,
+) -> Result<(), String> {
+    match owners_seen.get(&(epoch, cluster)) {
+        Some(prev) if prev != addr => Err(format!(
+            "split brain: cluster {cluster} at epoch {epoch} claimed by both {prev} and {addr}"
+        )),
+        Some(_) => Ok(()),
+        None => {
+            owners_seen.insert((epoch, cluster), addr.to_string());
+            Ok(())
+        }
+    }
+}
+
+/// Handles a reply on a client's directory connection: adopt the view
+/// and (re)greet the owner.
+fn on_dir_reply(
+    net: &DesNet,
+    c: &mut ClientActor,
+    i: usize,
+    seq: u64,
+    reply: Message,
+    roles: &mut Vec<Role>,
+    owners_seen: &mut BTreeMap<(u64, u64), String>,
+) -> Result<(), String> {
+    let Some((want, CKind::Query)) = c.pending.take() else {
+        return Err(format!("client {i}: directory reply with no query pending"));
+    };
+    if want != seq {
+        return Err(format!("client {i}: expected dir reply seq {want}, got {seq}"));
+    }
+    let Message::DirectoryReply { epoch, members } = reply else {
+        return Err(format!("client {i}: expected DirectoryReply, got {}", reply.kind()));
+    };
+    let Some(owner) = owner_of(&members, c.cluster).cloned() else {
+        // The fleet has no members yet (we queried before the first
+        // register landed): back off and ask again.
+        net.schedule_wakeup(c.backoff.next_delay(), i as u64);
+        return Ok(());
+    };
+    observe_owner(owners_seen, epoch, c.cluster, &owner.addr)?;
+    c.view_epoch = epoch;
+    c.members = members;
+    let owner_ep = ep_of_addr(&owner.addr);
+    if !net.endpoint_alive(owner_ep) {
+        // The directory has not noticed the death yet (its epoch still
+        // names the corpse): requery after a backoff.
+        c.state = CState::AwaitDir;
+        net.schedule_wakeup(c.backoff.next_delay(), i as u64);
+        return Ok(());
+    }
+    greet(net, c, i, owner_ep, owner.addr, roles);
+    Ok(())
+}
+
+/// Dials (or fails over the existing data session to) `owner_ep` and
+/// submits the MAC'd `Hello`.
+fn greet(
+    net: &DesNet,
+    c: &mut ClientActor,
+    i: usize,
+    owner_ep: usize,
+    owner_addr: String,
+    roles: &mut Vec<Role>,
+) {
+    let conn = match c.data_conn {
+        // Failover keeps the session: sequence state rides to the new
+        // owner, dedup memory resets there (DesNet::reconnect_to).
+        Some(old) => {
+            c.reconnects += 1;
+            net.reconnect_to(old, owner_ep)
+        }
+        None => net.connect_to(owner_ep),
+    };
+    assert_eq!(conn, roles.len(), "connection ids must stay dense");
+    roles.push(Role::ClientData(i));
+    c.data_conn = Some(conn);
+    c.data_ep = owner_ep;
+    c.cur_addr = owner_addr;
+    c.state = CState::Greet;
+    let client_id = c.cluster;
+    let nonce = client_id.wrapping_mul(GOLDEN) ^ 0x6F72_636F;
+    let mac = auth::hello_mac(SECRET, client_id, nonce);
+    let seq = net.submit(conn, &Message::Hello { client_id, nonce, mac });
+    c.pending = Some((seq, CKind::Hello));
+}
+
+/// Drives the window loop: drain the last window, push the next, or
+/// finish. Only valid in `Stream` with nothing pending.
+fn advance(net: &DesNet, c: &mut ClientActor) {
+    debug_assert_eq!(c.state, CState::Stream);
+    debug_assert!(c.pending.is_none());
+    let conn = c.data_conn.expect("streaming requires a data connection");
+    if c.pulled_rows < c.offset {
+        let seq = net
+            .submit(conn, &Message::PullDecoded { cluster_id: c.cluster, max_frames: PULL_CHUNK });
+        c.pending = Some((seq, CKind::Pull));
+    } else if c.offset < c.frames.rows() {
+        if c.late && !c.released && c.offset >= ROWS_PER_PUSH.min(c.frames.rows()) {
+            // The late client parks after its first window; the join
+            // releases it with a by-then-stale view.
+            c.state = CState::Held;
+            return;
+        }
+        let (lo, hi) = (c.offset, (c.offset + ROWS_PER_PUSH).min(c.frames.rows()));
+        let seq = net.submit(
+            conn,
+            &Message::PushFrames {
+                cluster_id: c.cluster,
+                frames: c.frames.view_rows(lo..hi).to_matrix(),
+            },
+        );
+        c.pending = Some((seq, CKind::Push { lo, hi }));
+    } else {
+        c.state = CState::Done;
+    }
+}
+
+/// Handles a reply on a client's data connection. `Ok(true)` means
+/// delivery progressed (the caller checks the kill/join triggers).
+fn on_data_reply(
+    net: &DesNet,
+    c: &mut ClientActor,
+    i: usize,
+    seq: u64,
+    reply: Message,
+    roles: &mut Vec<Role>,
+    owners_seen: &mut BTreeMap<(u64, u64), String>,
+) -> Result<bool, String> {
+    let Some((want, kind)) = c.pending.take() else {
+        // A straggler from a connection this client already failed away
+        // from (e.g. the dead owner's cached reply raced the failover).
+        return Ok(false);
+    };
+    if want != seq {
+        return Err(format!("client {i}: expected data reply seq {want}, got {seq}"));
+    }
+    match (kind, reply) {
+        (CKind::Hello, Message::HelloAck { .. }) => {
+            c.state = CState::Stream;
+            advance(net, c);
+            Ok(false)
+        }
+        (CKind::Push { lo, hi }, Message::PushAck { accepted }) => {
+            if accepted as usize != hi - lo {
+                return Err(format!(
+                    "client {i}: partial ack {accepted} for a {}-row push",
+                    hi - lo
+                ));
+            }
+            c.offset = hi;
+            c.acked += accepted as usize;
+            c.backoff.reset();
+            advance(net, c);
+            Ok(false)
+        }
+        (CKind::Push { .. }, Message::Redirect { cluster_id, epoch, addr }) => {
+            if cluster_id != c.cluster {
+                return Err(format!(
+                    "client {i}: redirect for cluster {cluster_id}, pushed {}",
+                    c.cluster
+                ));
+            }
+            // The fleet gauntlet drains every window before the next
+            // push, so at redirect time this client stores no rows on the
+            // old owner — chase immediately. (A client with undrained
+            // rows would drain first: pulls are never redirected.)
+            debug_assert_eq!(c.pulled_rows, c.offset);
+            c.redirects += 1;
+            observe_owner(owners_seen, epoch, c.cluster, &addr)?;
+            let owner_ep = ep_of_addr(&addr);
+            if !net.endpoint_alive(owner_ep) {
+                return Err(format!(
+                    "client {i}: redirected to {addr}, which is dead — the redirecting \
+                     gateway's view names a corpse at epoch {epoch}"
+                ));
+            }
+            greet(net, c, i, owner_ep, addr, roles);
+            Ok(false)
+        }
+        (CKind::Pull, Message::Decoded { cluster_id, frames }) => {
+            if cluster_id != c.cluster {
+                return Err(format!(
+                    "client {i}: pulled cluster {} got cluster {cluster_id}",
+                    c.cluster
+                ));
+            }
+            if frames.rows() == 0 {
+                // Batch still pending its deadline flush: poll again
+                // after a backoff.
+                net.schedule_wakeup(c.backoff.next_delay(), i as u64);
+                return Ok(false);
+            }
+            c.pulled.extend_from_slice(frames.as_slice());
+            c.pulled_rows += frames.rows();
+            if c.pulled_rows > c.acked {
+                return Err(format!(
+                    "client {i}: pulled {} rows with only {} acked (duplication)",
+                    c.pulled_rows, c.acked
+                ));
+            }
+            c.backoff.reset();
+            advance(net, c);
+            Ok(true)
+        }
+        (kind, Message::Busy { .. }) => Err(format!(
+            "client {i}: {kind:?} drew Busy — the gauntlet sizes queues to never backpressure"
+        )),
+        (kind, Message::ErrorReply { code, detail }) => {
+            Err(format!("client {i}: {kind:?} drew {code:?}: {detail}"))
+        }
+        (kind, other) => Err(format!("client {i}: {kind:?} drew unexpected {}", other.kind())),
+    }
+}

@@ -1,0 +1,95 @@
+//! HMAC-style shared-secret authentication for `Hello` / `Register`.
+//!
+//! The fleet has no TLS and no dependency budget for real crypto, so
+//! connection auth is a keyed MAC built from the primitives the
+//! workspace already ships: the ChaCha8 core behind
+//! [`OrcoRng`] as the PRF and FNV-1a for message
+//! absorption. The construction mirrors HMAC's two-pass shape —
+//! `MAC(k, m) = PRF(k ⊕ opad, PRF(k ⊕ ipad, m))` — so the outer pass
+//! prevents the length-extension-style tricks a single naive
+//! `hash(key ‖ msg)` would allow.
+//!
+//! **This is deployment hygiene, not peer-reviewed cryptography**: the
+//! 64-bit tag and non-constant-time comparison are fine for keeping
+//! misconfigured or garbled peers out of a fleet, not for adversaries
+//! with oracle access. The property test in this module (and the wider
+//! suite in `tests/auth_property.rs`) pins the contract the serving
+//! layer relies on: flipping any bit of the message or tag never
+//! authenticates under the same secret.
+
+use orco_tensor::{fnv1a64, OrcoRng};
+
+/// Inner-pad constant (HMAC's classic `0x36` byte, repeated).
+const IPAD: u64 = 0x3636_3636_3636_3636;
+
+/// Outer-pad constant (HMAC's classic `0x5c` byte, repeated).
+const OPAD: u64 = 0x5c5c_5c5c_5c5c_5c5c;
+
+/// One PRF pass: absorb `data` into a ChaCha8 stream keyed by
+/// `key ⊕ fnv1a64(data)` and emit the first 64 output bits. ChaCha8
+/// does the mixing; FNV only compresses the message into the seed.
+fn prf64(key: u64, data: &[u8]) -> u64 {
+    OrcoRng::from_seed_u64(key ^ fnv1a64(data)).next_u64()
+}
+
+/// Two-pass keyed MAC over an arbitrary byte message.
+#[must_use]
+pub fn mac64(secret: u64, message: &[u8]) -> u64 {
+    let inner = prf64(secret ^ IPAD, message);
+    prf64(secret ^ OPAD, &inner.to_le_bytes())
+}
+
+/// MAC for a client [`Hello`](crate::Message::Hello): binds the
+/// client id and the caller-chosen nonce.
+#[must_use]
+pub fn hello_mac(secret: u64, client_id: u64, nonce: u64) -> u64 {
+    let mut msg = [0u8; 17];
+    msg[0] = 0x01; // domain-separates Hello from Register
+    msg[1..9].copy_from_slice(&client_id.to_le_bytes());
+    msg[9..17].copy_from_slice(&nonce.to_le_bytes());
+    mac64(secret, &msg)
+}
+
+/// MAC for a gateway [`Register`](crate::Message::Register): binds the
+/// gateway id, its advertised dial address, and the nonce.
+#[must_use]
+pub fn register_mac(secret: u64, gateway_id: u64, addr: &str, nonce: u64) -> u64 {
+    let mut msg = Vec::with_capacity(21 + addr.len());
+    msg.push(0x02); // domain-separates Register from Hello
+    msg.extend_from_slice(&gateway_id.to_le_bytes());
+    msg.extend_from_slice(&nonce.to_le_bytes());
+    msg.extend_from_slice(&(addr.len() as u32).to_le_bytes());
+    msg.extend_from_slice(addr.as_bytes());
+    mac64(secret, &msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mac_is_deterministic_and_key_dependent() {
+        assert_eq!(hello_mac(7, 1, 2), hello_mac(7, 1, 2));
+        assert_ne!(hello_mac(7, 1, 2), hello_mac(8, 1, 2));
+        assert_ne!(hello_mac(7, 1, 2), hello_mac(7, 2, 2));
+        assert_ne!(hello_mac(7, 1, 2), hello_mac(7, 1, 3));
+    }
+
+    #[test]
+    fn hello_and_register_domains_are_separated() {
+        // Same (id, nonce) under the two constructions must not collide:
+        // a captured Hello tag is useless as a Register credential.
+        assert_ne!(hello_mac(7, 1, 2), register_mac(7, 1, "", 2));
+    }
+
+    #[test]
+    fn single_bit_flips_never_authenticate() {
+        let secret = 0xDEAD_BEEF_CAFE_F00D;
+        let (client, nonce) = (42, 777);
+        let tag = hello_mac(secret, client, nonce);
+        for bit in 0..64 {
+            assert_ne!(hello_mac(secret, client ^ (1 << bit), nonce), tag);
+            assert_ne!(hello_mac(secret, client, nonce ^ (1 << bit)), tag);
+        }
+    }
+}

@@ -1,15 +1,18 @@
 //! A typed client over any [`Transport`]: the request/reply pairing of
 //! the protocol as plain method calls.
 
+use std::time::Duration;
+
 use orco_tensor::{MatView, Matrix};
 use orcodcs::OrcoError;
 
+use crate::auth;
 use crate::protocol::Message;
 use crate::stats::StatsSnapshot;
 use crate::transport::{Connection, Transport};
 
 /// The gateway's answer to a push.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PushOutcome {
     /// All rows entered the shard's micro-batcher.
     Accepted(u32),
@@ -20,6 +23,14 @@ pub enum PushOutcome {
         queued: u32,
         /// The shard's in-flight row budget.
         capacity: u32,
+    },
+    /// The gateway does not own the cluster at `epoch`; retry the push
+    /// against `addr` (the fleet client does this automatically).
+    Redirected {
+        /// Assignment epoch under which the owner was computed.
+        epoch: u64,
+        /// Dial address of the current owner.
+        addr: String,
     },
 }
 
@@ -40,6 +51,7 @@ pub struct GatewayInfo {
 #[derive(Debug)]
 pub struct Client<C: Connection> {
     conn: C,
+    auth_secret: Option<u64>,
 }
 
 impl<C: Connection> Client<C> {
@@ -49,21 +61,34 @@ impl<C: Connection> Client<C> {
     ///
     /// Returns [`OrcoError::Io`] when the gateway is unreachable.
     pub fn connect<T: Transport<Conn = C>>(transport: &T) -> Result<Self, OrcoError> {
-        Ok(Self { conn: transport.connect()? })
+        Ok(Self { conn: transport.connect()?, auth_secret: None })
     }
 
     /// Wraps an already-open connection.
     pub fn from_connection(conn: C) -> Self {
-        Self { conn }
+        Self { conn, auth_secret: None }
     }
 
-    /// Introduces the client and learns the gateway's geometry.
+    /// Sets the shared secret used to MAC subsequent [`Client::hello`]
+    /// calls ([`crate::auth`]). `None` (the default) sends an unkeyed
+    /// `Hello`, which authenticated gateways reject.
+    pub fn set_auth_secret(&mut self, secret: Option<u64>) {
+        self.auth_secret = secret;
+    }
+
+    /// Introduces the client and learns the gateway's geometry. With an
+    /// auth secret set ([`Client::set_auth_secret`]), the `Hello` is
+    /// MAC'd; the nonce is derived deterministically from `client_id` so
+    /// replayed runs stay bit-identical.
     ///
     /// # Errors
     ///
-    /// Transport failures and protocol violations.
+    /// Transport failures, protocol violations, and
+    /// authentication rejections.
     pub fn hello(&mut self, client_id: u64) -> Result<GatewayInfo, OrcoError> {
-        match self.conn.request(&Message::Hello { client_id })? {
+        let nonce = client_id.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x6F72_636F;
+        let mac = self.auth_secret.map_or(0, |s| auth::hello_mac(s, client_id, nonce));
+        match self.conn.request(&Message::Hello { client_id, nonce, mac })? {
             Message::HelloAck { version, shards, frame_dim, code_dim } => {
                 Ok(GatewayInfo { version, shards, frame_dim, code_dim })
             }
@@ -96,7 +121,52 @@ impl<C: Connection> Client<C> {
         match self.conn.request(&msg)? {
             Message::PushAck { accepted } => Ok(PushOutcome::Accepted(accepted)),
             Message::Busy { queued, capacity } => Ok(PushOutcome::Busy { queued, capacity }),
-            other => Err(unexpected("PushAck or Busy", &other)),
+            Message::Redirect { epoch, addr, .. } => Ok(PushOutcome::Redirected { epoch, addr }),
+            other => Err(unexpected("PushAck, Busy, or Redirect", &other)),
+        }
+    }
+
+    /// Subscribes this connection to streamed decoded batches for
+    /// `cluster_id` (server-push instead of polling). Returns the stored
+    /// backlog at subscribe time; backlog rows are streamed immediately
+    /// and surface via [`Client::recv_streamed`]. Only transports with a
+    /// server-push channel (TCP, loopback) support this.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, protocol violations, and gateways/transports
+    /// without streaming support.
+    pub fn subscribe(&mut self, cluster_id: u64) -> Result<u32, OrcoError> {
+        match self.conn.request(&Message::Subscribe { cluster_id })? {
+            Message::SubscribeAck { cluster_id: got, backlog } if got == cluster_id => Ok(backlog),
+            other => Err(unexpected("SubscribeAck", &other)),
+        }
+    }
+
+    /// Removes this connection's subscription for `cluster_id`.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and protocol violations.
+    pub fn unsubscribe(&mut self, cluster_id: u64) -> Result<(), OrcoError> {
+        match self.conn.request(&Message::Unsubscribe { cluster_id })? {
+            Message::SubscribeAck { .. } => Ok(()),
+            other => Err(unexpected("SubscribeAck", &other)),
+        }
+    }
+
+    /// Returns the next streamed delivery — `(cluster_id, decoded
+    /// frames)` — waiting up to `timeout`. `Ok(None)` means nothing was
+    /// streamed in time.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and non-stream frames arriving out of band.
+    pub fn recv_streamed(&mut self, timeout: Duration) -> Result<Option<(u64, Matrix)>, OrcoError> {
+        match self.conn.poll_stream(timeout)? {
+            Some(Message::StreamFrames { cluster_id, frames }) => Ok(Some((cluster_id, frames))),
+            Some(other) => Err(unexpected("StreamFrames", &other)),
+            None => Ok(None),
         }
     }
 

@@ -29,16 +29,27 @@
 //! * sessions outlive connections: [`DesNet::reconnect`] abandons a
 //!   connection's links (packets in flight on them die) but keeps the
 //!   session's sequence state and re-offers the outstanding request on
-//!   the new links — exactly-once holds across connection death.
+//!   the new links — exactly-once holds across connection death. The
+//!   fleet failover form, [`DesNet::reconnect_to`], resumes the session
+//!   against a *different* endpoint.
+//!
+//! ## Endpoints
+//!
+//! A net hosts one or more server **endpoints** — any [`Service`]: the
+//! gateway of [`DesNet::new`] is endpoint 0; fleet scenarios use
+//! [`DesNet::new_multi`] + [`DesNet::add_service`] to stand up a
+//! directory and several gateways behind one simulation, and
+//! [`DesNet::kill_endpoint`] to crash one mid-run (requests to it vanish;
+//! ARQ give-up and missed heartbeats are the only tells).
 //!
 //! ## Time
 //!
-//! The gateway must run a virtual [`Clock`](crate::Clock) (quantum zero
-//! is the natural choice); [`DesNet`] slaves it to simulated time with
-//! [`crate::Clock::advance_to`] before delivering each event and then
-//! [`Gateway::sweep_deadlines`], so micro-batch deadlines fire from the
-//! passage of *simulated* time — including on shards no packet happens to
-//! touch.
+//! Every service must run a virtual [`Clock`](crate::Clock) (quantum zero
+//! is the natural choice); [`DesNet`] slaves each endpoint's clock to
+//! simulated time with [`crate::Clock::advance_to`] before delivering
+//! each event and then calls [`Service::on_time_advance`], so micro-batch
+//! deadlines and heartbeat sweeps fire from the passage of *simulated*
+//! time — including on shards no packet happens to touch.
 //!
 //! ## Quickstart
 //!
@@ -87,6 +98,7 @@ use orcodcs::OrcoError;
 
 use crate::gateway::Gateway;
 use crate::protocol::Message;
+use crate::service::Service;
 use crate::transport::{Connection, Transport};
 
 /// Link and ARQ parameters of a [`DesNet`].
@@ -184,18 +196,33 @@ struct Session {
 #[derive(Debug)]
 struct ConnState {
     session: usize,
-    /// Client → gateway link index.
+    /// The server endpoint this connection dials.
+    endpoint: usize,
+    /// Client → server link index.
     up: usize,
-    /// Gateway → client link index.
+    /// Server → client link index.
     down: usize,
     /// Dead connections drop every packet addressed to them.
     alive: bool,
 }
 
+/// One server behind the simulated network: a gateway or the fleet
+/// directory.
+struct EndpointState {
+    svc: Arc<dyn Service>,
+    /// Killed endpoints silently drop every request delivered to them —
+    /// the DES model of a crashed process (clients only learn via ARQ
+    /// give-up; the directory only learns via missed heartbeats).
+    alive: bool,
+}
+
 struct Inner {
-    gateway: Arc<Gateway>,
     cfg: DesConfig,
     sim: NetSim<Packet>,
+    endpoints: Vec<EndpointState>,
+    /// The gateway passed to [`DesNet::new`], kept typed for the legacy
+    /// single-gateway accessor; `None` for multi-endpoint nets.
+    primary: Option<Arc<Gateway>>,
     sessions: Vec<Session>,
     conns: Vec<ConnState>,
 }
@@ -232,26 +259,85 @@ impl DesNet {
     /// DES time is the only time that passes).
     #[must_use]
     pub fn new(gateway: Arc<Gateway>, cfg: DesConfig, seed: u64) -> Self {
-        assert!(
-            !gateway.clock().is_real(),
-            "DesNet requires a gateway on a virtual clock (Clock::manual); a real clock \
-             would race simulated time"
-        );
+        let net = Self::new_multi(cfg, seed);
+        net.inner.borrow_mut().primary = Some(Arc::clone(&gateway));
+        let ep = net.add_service(gateway);
+        debug_assert_eq!(ep, 0);
+        net
+    }
+
+    /// Builds a DES network with no endpoints yet — the multi-server form
+    /// used by fleet scenarios. Register servers with
+    /// [`DesNet::add_service`] and dial them with [`DesNet::connect_to`].
+    #[must_use]
+    pub fn new_multi(cfg: DesConfig, seed: u64) -> Self {
         Self {
             inner: Rc::new(RefCell::new(Inner {
-                gateway,
                 cfg,
                 sim: NetSim::new(seed),
+                endpoints: Vec::new(),
+                primary: None,
                 sessions: Vec::new(),
                 conns: Vec::new(),
             })),
         }
     }
 
+    /// Registers another server endpoint (a gateway or the fleet
+    /// directory) behind the simulated network; returns its endpoint id
+    /// for [`DesNet::connect_to`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the service runs a real clock — simulated links need a
+    /// virtual one ([`crate::Clock::manual`], quantum zero recommended so
+    /// DES time is the only time that passes).
+    pub fn add_service(&self, svc: Arc<dyn Service>) -> usize {
+        assert!(
+            !svc.clock().is_real(),
+            "DesNet requires services on a virtual clock (Clock::manual); a real clock \
+             would race simulated time"
+        );
+        let mut inner = self.inner.borrow_mut();
+        inner.endpoints.push(EndpointState { svc, alive: true });
+        inner.endpoints.len() - 1
+    }
+
     /// The gateway this network serves.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a [`DesNet::new_multi`] network — there, endpoints are
+    /// plain services with no distinguished gateway.
     #[must_use]
     pub fn gateway(&self) -> Arc<Gateway> {
-        Arc::clone(&self.inner.borrow().gateway)
+        Arc::clone(
+            self.inner
+                .borrow()
+                .primary
+                .as_ref()
+                .expect("DesNet::gateway on a multi-endpoint net (built with new_multi)"),
+        )
+    }
+
+    /// Marks endpoint `ep` crashed: every request delivered to it from now
+    /// on is silently dropped (sends still draw loss/latency verdicts, so
+    /// recorded traces replay identically). Clients learn only through ARQ
+    /// give-up; the directory through missed heartbeats.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown endpoint id.
+    pub fn kill_endpoint(&self, ep: usize) {
+        let mut inner = self.inner.borrow_mut();
+        assert!(ep < inner.endpoints.len(), "kill_endpoint on unknown endpoint {ep}");
+        inner.endpoints[ep].alive = false;
+    }
+
+    /// Whether endpoint `ep` is still alive.
+    #[must_use]
+    pub fn endpoint_alive(&self, ep: usize) -> bool {
+        self.inner.borrow().endpoints[ep].alive
     }
 
     /// Current simulated time, seconds.
@@ -260,18 +346,30 @@ impl DesNet {
         self.inner.borrow().sim.now_s()
     }
 
-    /// Opens a fresh session on a fresh connection (an uplink/downlink
-    /// pair at the configured base [`LinkParams`]); returns the
-    /// connection id.
+    /// Opens a fresh session on a fresh connection to endpoint 0 (an
+    /// uplink/downlink pair at the configured base [`LinkParams`]);
+    /// returns the connection id.
     pub fn connect(&self) -> usize {
+        self.connect_to(0)
+    }
+
+    /// Opens a fresh session on a fresh connection to endpoint `ep`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown endpoint id. (Connecting to a *dead* endpoint
+    /// is allowed — real dialers cannot tell either; the ARQ will give
+    /// up.)
+    pub fn connect_to(&self, ep: usize) -> usize {
         let mut inner = self.inner.borrow_mut();
+        assert!(ep < inner.endpoints.len(), "connect_to unknown endpoint {ep}");
         let link = inner.cfg.link;
         let up = inner.sim.add_link(link);
         let down = inner.sim.add_link(link);
         let session = inner.sessions.len();
         let conn = inner.conns.len();
         inner.sessions.push(Session { conn, ..Session::default() });
-        inner.conns.push(ConnState { session, up, down, alive: true });
+        inner.conns.push(ConnState { session, endpoint: ep, up, down, alive: true });
         inner.conns.len() - 1
     }
 
@@ -285,16 +383,42 @@ impl DesNet {
     ///
     /// Panics on an unknown connection id.
     pub fn reconnect(&self, conn: usize) -> usize {
+        let ep = self.inner.borrow().conns[conn].endpoint;
+        self.reconnect_to(conn, ep)
+    }
+
+    /// Like [`DesNet::reconnect`], but the replacement connection dials
+    /// endpoint `ep` — the failover primitive: the session (and its
+    /// client-side sequence state) resumes against a **new server**. When
+    /// the endpoint actually changes, the server-side dedup memory is
+    /// reset — the new server has never seen this session, so whatever is
+    /// re-offered or submitted next executes there (the scenario layer's
+    /// delivered-watermark bookkeeping makes that exactly-once end to
+    /// end).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown connection or endpoint id.
+    pub fn reconnect_to(&self, conn: usize, ep: usize) -> usize {
         let mut inner = self.inner.borrow_mut();
         assert!(conn < inner.conns.len(), "reconnect on unknown connection {conn}");
+        assert!(ep < inner.endpoints.len(), "reconnect_to unknown endpoint {ep}");
         inner.conns[conn].alive = false;
         let link = inner.cfg.link;
         let up = inner.sim.add_link(link);
         let down = inner.sim.add_link(link);
         let session = inner.conns[conn].session;
-        inner.conns.push(ConnState { session, up, down, alive: true });
+        let moved = inner.conns[conn].endpoint != ep;
+        inner.conns.push(ConnState { session, endpoint: ep, up, down, alive: true });
         let new_conn = inner.conns.len() - 1;
-        inner.sessions[session].conn = new_conn;
+        let s = &mut inner.sessions[session];
+        s.conn = new_conn;
+        if moved {
+            // A different server answers now; it holds no cached reply
+            // for this session.
+            s.srv_last_seq = 0;
+            s.srv_last_reply.clear();
+        }
         if let Some(mut out) = inner.sessions[session].outstanding.take() {
             out.attempts = 0;
             out.rto_s = inner.cfg.rto.as_secs_f64();
@@ -303,6 +427,16 @@ impl DesNet {
             inner.transmit_outstanding(session);
         }
         new_conn
+    }
+
+    /// Drops `conn`'s outstanding request without a reply (stale timers
+    /// become no-ops). Failover drivers use this before re-pushing from a
+    /// delivered watermark on a new owner, where re-offering the old
+    /// frame verbatim would be wrong.
+    pub fn cancel_outstanding(&self, conn: usize) {
+        let mut inner = self.inner.borrow_mut();
+        let session = inner.conns[conn].session;
+        inner.sessions[session].outstanding = None;
     }
 
     /// The uplink (client → gateway) link index of `conn`, for
@@ -382,10 +516,15 @@ impl DesNet {
             let Some((t, packet)) = inner.sim.next() else {
                 return NetEvent::Idle;
             };
-            // Slave the gateway's clock to simulated time and let overdue
-            // micro-batches flush before the event acts.
-            inner.gateway.clock().advance_to(Duration::from_secs_f64(t));
-            inner.gateway.sweep_deadlines();
+            // Slave every live endpoint's clock to simulated time and let
+            // overdue work (micro-batch deadlines, heartbeat-timeout
+            // sweeps) run before the event acts.
+            for ep in &inner.endpoints {
+                if ep.alive {
+                    ep.svc.clock().advance_to(Duration::from_secs_f64(t));
+                    ep.svc.on_time_advance();
+                }
+            }
             match packet {
                 Packet::Up { conn, seq, bytes } => inner.deliver_up(conn, seq, &bytes),
                 Packet::Down { conn, seq, bytes } => {
@@ -434,10 +573,13 @@ impl Inner {
         self.sim.schedule_in(rto_s, 0, Packet::Rto { session, seq });
     }
 
-    /// A request frame reached the gateway: dedup, execute, reply.
+    /// A request frame reached its server endpoint: dedup, execute, reply.
     fn deliver_up(&mut self, conn: usize, seq: u64, bytes: &[u8]) {
         if !self.conns[conn].alive {
             return; // the connection died while the frame was in flight
+        }
+        if !self.endpoints[self.conns[conn].endpoint].alive {
+            return; // crashed server: the request vanishes, no reply ever
         }
         let session = self.conns[conn].session;
         if seq == self.sessions[session].srv_last_seq {
@@ -452,7 +594,7 @@ impl Inner {
             return; // stale straggler from a reordering window
         }
         let mut reply = Vec::new();
-        self.gateway.handle_bytes(bytes, &mut reply);
+        self.endpoints[self.conns[conn].endpoint].svc.handle_frame(bytes, &mut reply, None);
         let s = &mut self.sessions[session];
         s.srv_last_seq = seq;
         s.srv_last_reply = reply.clone();

@@ -29,14 +29,18 @@
 //! answered with [`Message::Busy`] and **nothing is buffered** — gateway
 //! memory is bounded by configuration, not by client behavior.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, Weak};
 use std::time::Duration;
 
 use orco_tensor::Matrix;
 use orcodcs::{Codec, FrameDims, OrcoError};
 
+use crate::auth;
 use crate::clock::Clock;
+use crate::fleet_view::FleetView;
+use crate::outbox::Outbox;
 use crate::protocol::{ErrorCode, Message, PROTOCOL_VERSION};
 use crate::shard::ShardCore;
 use crate::stats::{FlushReason, ServeStats};
@@ -54,6 +58,11 @@ pub struct GatewayConfig {
     /// Per-shard in-flight row budget (pending + stored); pushes beyond
     /// it draw `Busy`.
     pub queue_capacity: usize,
+    /// Shared secret for `Hello` authentication ([`crate::auth`]). When
+    /// set, a `Hello` whose MAC does not verify draws
+    /// [`ErrorCode::Unauthorized`]; when `None`, `Hello` MACs are
+    /// ignored (trusted-network mode, the pre-fleet behavior).
+    pub auth_secret: Option<u64>,
 }
 
 impl Default for GatewayConfig {
@@ -63,6 +72,7 @@ impl Default for GatewayConfig {
             batch_max_frames: 64,
             batch_deadline: Duration::from_millis(5),
             queue_capacity: 4096,
+            auth_secret: None,
         }
     }
 }
@@ -107,6 +117,16 @@ pub struct Gateway {
     stats: ServeStats,
     shards: Vec<ShardSlot>,
     shutting_down: AtomicBool,
+    /// The fleet assignment this gateway enforces, or `None` for a
+    /// standalone gateway (pre-fleet behavior: serve every cluster).
+    fleet: Mutex<Option<FleetView>>,
+    /// Streaming subscriptions: cluster → outboxes of subscribed
+    /// connections. `Weak` so a vanished connection unsubscribes itself;
+    /// dead entries are pruned on every pump.
+    ///
+    /// Lock order: a shard core lock is never taken while holding this
+    /// lock, and vice versa — the pump copies the cluster list first.
+    subscribers: Mutex<BTreeMap<u64, Vec<Weak<Outbox>>>>,
 }
 
 impl std::fmt::Debug for Gateway {
@@ -160,7 +180,24 @@ impl Gateway {
             stats: ServeStats::new(cfg.shards as u16),
             shards,
             shutting_down: AtomicBool::new(false),
+            fleet: Mutex::new(None),
+            subscribers: Mutex::new(BTreeMap::new()),
         })
+    }
+
+    /// Installs (or clears) the fleet assignment this gateway enforces.
+    /// With a view installed, a push for a cluster this gateway does not
+    /// own draws [`Message::Redirect`] naming the current owner; pulls
+    /// are always served locally so clients can drain rows stored here
+    /// before a rebalance moved the cluster away.
+    pub fn set_fleet_view(&self, view: Option<FleetView>) {
+        *self.fleet.lock().expect("fleet lock") = view;
+    }
+
+    /// The currently installed fleet view, if any.
+    #[must_use]
+    pub fn fleet_view(&self) -> Option<FleetView> {
+        self.fleet.lock().expect("fleet lock").clone()
     }
 
     /// The gateway's flush/backpressure configuration.
@@ -206,7 +243,17 @@ impl Gateway {
 
     /// Handles one decoded request and produces its reply. Never panics
     /// on hostile input; failures become [`Message::ErrorReply`].
+    /// Equivalent to [`Gateway::handle_with_outbox`] without a streaming
+    /// outbox, so `Subscribe` draws a typed error.
     pub fn handle(&self, msg: Message) -> Message {
+        self.handle_with_outbox(msg, None)
+    }
+
+    /// Handles one decoded request on a connection whose server-push
+    /// channel is `outbox` (when the transport has one). `Subscribe`
+    /// registers the outbox for the cluster's decoded batches; on
+    /// outbox-less transports it draws [`ErrorCode::BadRequest`].
+    pub fn handle_with_outbox(&self, msg: Message, outbox: Option<&Arc<Outbox>>) -> Message {
         self.clock.tick();
         // Sweep *every* shard for overdue batches before dispatching.
         // Without this, a pending batch on shard A would wait for the next
@@ -216,17 +263,24 @@ impl Gateway {
         // pins the fix).
         self.sweep_deadlines();
         let now = self.clock.now_s();
-        match msg {
-            Message::Hello { client_id: _ } => Message::HelloAck {
-                version: PROTOCOL_VERSION,
-                shards: self.shards.len() as u16,
-                frame_dim: self.dims.input as u32,
-                code_dim: self.dims.code as u32,
+        let reply = match msg {
+            Message::Hello { client_id, nonce, mac } => match self.cfg.auth_secret {
+                // Recompute over the wire fields; a garbled or unkeyed
+                // Hello fails closed before any connection state exists.
+                Some(secret) if auth::hello_mac(secret, client_id, nonce) != mac => {
+                    Message::ErrorReply {
+                        code: ErrorCode::Unauthorized,
+                        detail: "Hello MAC does not verify against the shared secret".into(),
+                    }
+                }
+                _ => self.hello_ack(),
             },
             Message::PushFrames { cluster_id, frames } => self.push(cluster_id, &frames, now),
             Message::PullDecoded { cluster_id, max_frames } => {
                 self.pull(cluster_id, max_frames as usize, now)
             }
+            Message::Subscribe { cluster_id } => self.subscribe(cluster_id, outbox),
+            Message::Unsubscribe { cluster_id } => self.unsubscribe(cluster_id, outbox),
             Message::StatsRequest => Message::StatsReply(self.stats.snapshot()),
             Message::Shutdown => {
                 self.begin_shutdown(now);
@@ -236,6 +290,18 @@ impl Gateway {
                 code: ErrorCode::BadRequest,
                 detail: format!("{} is a reply, not a request", other.kind()),
             },
+        };
+        // Deliver anything a flush above made available to subscribers.
+        self.pump_streams();
+        reply
+    }
+
+    fn hello_ack(&self) -> Message {
+        Message::HelloAck {
+            version: PROTOCOL_VERSION,
+            shards: self.shards.len() as u16,
+            frame_dim: self.dims.input as u32,
+            code_dim: self.dims.code as u32,
         }
     }
 
@@ -245,14 +311,40 @@ impl Gateway {
     /// silent. Both the TCP connection loop and the loopback transport
     /// route through here, so every test of one is a test of the other.
     pub fn handle_bytes(&self, frame: &[u8], reply: &mut Vec<u8>) {
+        self.handle_bytes_with_outbox(frame, reply, None);
+    }
+
+    /// [`Gateway::handle_bytes`] for a connection with a streaming
+    /// outbox.
+    pub fn handle_bytes_with_outbox(
+        &self,
+        frame: &[u8],
+        reply: &mut Vec<u8>,
+        outbox: Option<&Arc<Outbox>>,
+    ) {
         let resp = match Message::decode(frame) {
-            Ok(msg) => self.handle(msg),
+            Ok(msg) => self.handle_with_outbox(msg, outbox),
             Err(e) => Message::ErrorReply { code: ErrorCode::BadRequest, detail: e.to_string() },
         };
         resp.encode_into(reply);
     }
 
     fn push(&self, cluster_id: u64, frames: &Matrix, now: f64) -> Message {
+        // Ownership first: a fleet gateway never accepts (or silently
+        // misroutes) a push for a cluster assigned elsewhere — the
+        // client is bounced to the owner with the epoch that named it.
+        if let Some(view) = self.fleet.lock().expect("fleet lock").as_ref() {
+            if !view.owns(cluster_id) {
+                if let Some(owner) = view.owner_of(cluster_id) {
+                    self.stats.record_redirect();
+                    return Message::Redirect {
+                        cluster_id,
+                        epoch: view.epoch,
+                        addr: owner.addr.clone(),
+                    };
+                }
+            }
+        }
         if frames.cols() != self.dims.input {
             return Message::ErrorReply {
                 code: ErrorCode::Shape,
@@ -322,9 +414,92 @@ impl Gateway {
                 return internal(&e);
             }
         }
-        match core.pull(cluster_id, max, &self.stats) {
+        match core.pull(cluster_id, max, &self.stats, false) {
             Ok(frames) => Message::Decoded { cluster_id, frames },
             Err(e) => internal(&e),
+        }
+    }
+
+    /// Subscribes `outbox` to `cluster_id`'s decoded batches. The reply
+    /// reports the stored backlog, which the next pump streams out.
+    fn subscribe(&self, cluster_id: u64, outbox: Option<&Arc<Outbox>>) -> Message {
+        let Some(outbox) = outbox else {
+            return Message::ErrorReply {
+                code: ErrorCode::BadRequest,
+                detail: "this transport does not support streaming subscriptions".into(),
+            };
+        };
+        let backlog = {
+            let slot = &self.shards[self.shard_of(cluster_id)];
+            let core = slot.core.lock().expect("shard lock");
+            core.stored_rows_for(cluster_id)
+        };
+        let mut subs = self.subscribers.lock().expect("subscribers lock");
+        let entry = subs.entry(cluster_id).or_default();
+        if !entry.iter().any(|w| w.upgrade().is_some_and(|a| Arc::ptr_eq(&a, outbox))) {
+            entry.push(Arc::downgrade(outbox));
+        }
+        Message::SubscribeAck { cluster_id, backlog: backlog as u32 }
+    }
+
+    /// Removes `outbox`'s subscription for `cluster_id`. Acked with a
+    /// zero-backlog [`Message::SubscribeAck`].
+    fn unsubscribe(&self, cluster_id: u64, outbox: Option<&Arc<Outbox>>) -> Message {
+        if let Some(outbox) = outbox {
+            let mut subs = self.subscribers.lock().expect("subscribers lock");
+            if let Some(entry) = subs.get_mut(&cluster_id) {
+                entry.retain(|w| w.upgrade().is_some_and(|a| !Arc::ptr_eq(&a, outbox)));
+                if entry.is_empty() {
+                    subs.remove(&cluster_id);
+                }
+            }
+        }
+        Message::SubscribeAck { cluster_id, backlog: 0 }
+    }
+
+    /// Streams every subscribed cluster's stored rows to its
+    /// subscribers. Runs after each dispatch and after deadline/drain
+    /// flushes; encodes each batch once and fans the frame out.
+    ///
+    /// The subscriber map and shard cores are locked strictly in
+    /// sequence (cluster list is copied first), so this cannot deadlock
+    /// against the dispatch path.
+    pub(crate) fn pump_streams(&self) {
+        let clusters: Vec<u64> = {
+            let mut subs = self.subscribers.lock().expect("subscribers lock");
+            subs.retain(|_, entry| {
+                entry.retain(|w| w.upgrade().is_some());
+                !entry.is_empty()
+            });
+            subs.keys().copied().collect()
+        };
+        for cluster in clusters {
+            let frames = {
+                let slot = &self.shards[self.shard_of(cluster)];
+                let mut core = slot.core.lock().expect("shard lock");
+                if core.stored_rows_for(cluster) == 0 {
+                    continue;
+                }
+                match core.pull(cluster, usize::MAX, &self.stats, true) {
+                    Ok(frames) => frames,
+                    Err(e) => {
+                        eprintln!("orco-serve: streaming pull for cluster {cluster} failed: {e}");
+                        continue;
+                    }
+                }
+            };
+            if frames.rows() == 0 {
+                continue;
+            }
+            let frame = Message::StreamFrames { cluster_id: cluster, frames }.encode();
+            let subs = self.subscribers.lock().expect("subscribers lock");
+            if let Some(entry) = subs.get(&cluster) {
+                for w in entry {
+                    if let Some(outbox) = w.upgrade() {
+                        outbox.push_frame(frame.clone());
+                    }
+                }
+            }
         }
     }
 
@@ -336,6 +511,17 @@ impl Gateway {
                 eprintln!("orco-serve: flush during shutdown failed: {e}");
             }
             slot.cv.notify_all();
+        }
+        // Stream the drained rows out, then end every subscription so
+        // blocked writers wake and streaming clients see end-of-stream.
+        self.pump_streams();
+        let subs = self.subscribers.lock().expect("subscribers lock");
+        for entry in subs.values() {
+            for w in entry {
+                if let Some(outbox) = w.upgrade() {
+                    outbox.close();
+                }
+            }
         }
     }
 
@@ -364,6 +550,7 @@ impl Gateway {
     pub fn advance_clock(&self, dt: Duration) {
         self.clock.advance(dt);
         self.sweep_deadlines();
+        self.pump_streams();
     }
 
     /// Runs shard `idx`'s deadline flusher until shutdown. Spawned by the
@@ -378,6 +565,8 @@ impl Gateway {
                 if let Err(e) = core.flush(now, FlushReason::Drain, &self.stats) {
                     eprintln!("orco-serve: shard {idx} final flush failed: {e}");
                 }
+                drop(core);
+                self.pump_streams();
                 return;
             }
             if core.pending_rows() == 0 {
@@ -393,6 +582,11 @@ impl Gateway {
                 if let Err(e) = core.flush(now, FlushReason::Deadline, &self.stats) {
                     eprintln!("orco-serve: shard {idx} deadline flush failed: {e}");
                 }
+                // Deliver to subscribers without holding the core lock
+                // (pump_streams re-locks shard cores).
+                drop(core);
+                self.pump_streams();
+                core = slot.core.lock().expect("shard lock");
                 continue;
             }
             let wait = Duration::from_secs_f64((due_at - now).clamp(0.0005, 0.05));

@@ -65,7 +65,7 @@
 //! ```
 //!
 //! For the TCP face, see [`TcpServer`], the `edge_gateway` example
-//! (workspace root), and the `loadgen` binary in this crate.
+//! (workspace root), and the `loadgen` binary in the `orco-fleet` crate.
 //!
 //! ## Serving under fire (DES transport + chaos gauntlet)
 //!
@@ -76,19 +76,35 @@
 //! record→replay trace that reproduces any run bit-identically from its
 //! log. See [`des_transport`] for a quickstart, [`scenarios`] for the
 //! five-scenario chaos gauntlet ([`run_scenario`] / [`replay_scenario`]),
-//! and the `chaos` binary in this crate for the CLI
-//! (`cargo run -p orco-serve --bin chaos -- --quick`).
+//! and the `chaos` CLI in the `orco-fleet` crate
+//! (`cargo run -p orco-fleet --bin chaos -- --quick`).
+//!
+//! ## Fleets
+//!
+//! Everything above scales past one gateway: [`Service`] abstracts the
+//! server side of the wire (the gateway implements it; so does the
+//! `orco-fleet` directory), [`FleetView`] is the epoch'd cluster→gateway
+//! assignment every party computes locally by rendezvous hashing, and a
+//! gateway handed a view ([`Gateway::set_fleet_view`]) answers pushes for
+//! clusters it does not own with [`Message::Redirect`] instead of silently
+//! misrouting. [`auth`] adds a shared-secret MAC on `Hello`/`Register`.
+//! The directory, fleet client, and fleet chaos scenarios live in the
+//! `orco-fleet` crate.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod auth;
 pub mod backoff;
 pub mod client;
 pub mod clock;
 pub mod des_transport;
+pub mod fleet_view;
 pub mod gateway;
+pub mod outbox;
 pub mod protocol;
 pub mod scenarios;
+pub mod service;
 mod shard;
 pub mod stats;
 pub mod tcp;
@@ -98,11 +114,14 @@ pub use backoff::Backoff;
 pub use client::{Client, GatewayInfo, PushOutcome};
 pub use clock::Clock;
 pub use des_transport::{DesConfig, DesConnection, DesNet, DesTransport, NetEvent};
+pub use fleet_view::FleetView;
 pub use gateway::{Gateway, GatewayConfig};
-pub use protocol::{ErrorCode, Message, WireError, PROTOCOL_VERSION};
+pub use outbox::Outbox;
+pub use protocol::{ErrorCode, GatewayEntry, Message, WireError, PROTOCOL_VERSION};
 pub use scenarios::{
     replay_scenario, run_scenario, RunLog, ScenarioError, ScenarioOutcome, GAUNTLET,
 };
+pub use service::Service;
 pub use stats::{FlushReason, ServeStats, StatsSnapshot};
 pub use tcp::TcpServer;
 pub use transport::{Connection, Loopback, LoopbackConnection, Tcp, TcpConnection, Transport};

@@ -35,11 +35,14 @@ use crate::stats::StatsSnapshot;
 /// Frame magic: "ORCO" read as a little-endian u32.
 pub const MAGIC: u32 = u32::from_le_bytes(*b"ORCO");
 
-/// Version of the wire protocol spoken by this build. Version 2 widened
-/// [`StatsSnapshot`] with per-reason flush counters (size/deadline/pull/
-/// drain); version-1 frames are rejected with
+/// Version of the wire protocol spoken by this build. Version 3 added
+/// the fleet plane (directory queries, redirects, gateway registration/
+/// heartbeats, streaming subscriptions), authenticated `Hello`
+/// (nonce + MAC), and widened [`StatsSnapshot`] with streaming/redirect
+/// counters; version 2 widened [`StatsSnapshot`] with per-reason flush
+/// counters. Older frames are rejected with
 /// [`WireError::UnsupportedVersion`].
-pub const PROTOCOL_VERSION: u16 = 2;
+pub const PROTOCOL_VERSION: u16 = 3;
 
 /// Size of the fixed frame header in bytes.
 pub const HEADER_LEN: usize = 12;
@@ -55,24 +58,46 @@ pub const MAX_PAYLOAD: usize = 64 << 20;
 /// Upper bound on an [`Message::ErrorReply`] detail string.
 const MAX_ERROR_DETAIL: usize = 1 << 16;
 
+/// Upper bound on a gateway address string carried in directory
+/// messages ([`Message::Redirect`], [`GatewayEntry`]).
+pub const MAX_ADDR: usize = 256;
+
+/// Upper bound on the number of [`GatewayEntry`] records in one
+/// directory membership list.
+pub const MAX_MEMBERS: usize = 1024;
+
+/// Worst-case encoded size of one [`GatewayEntry`]: id + length-prefixed
+/// address.
+const ENTRY_CAP: usize = 8 + 4 + MAX_ADDR;
+
+/// Worst-case encoded size of an epoch'd membership list: epoch + count
+/// + entries. Shared by `DirectoryReply`, `RegisterAck`, `HeartbeatAck`.
+const MEMBERSHIP_CAP: usize = 8 + 4 + MAX_MEMBERS * ENTRY_CAP;
+
 /// The largest payload each message type may declare. Tiny fixed-layout
 /// messages (acks, hellos, stats) get exact bounds; only the two
 /// matrix-bearing types may approach [`MAX_PAYLOAD`]. Unknown types are
 /// rejected here, before any payload is read.
 fn payload_cap(msg_type: u16) -> Result<usize, WireError> {
     Ok(match msg_type {
-        1 => 8,               // Hello: client_id
-        2 => 12,              // HelloAck: version, shards, frame_dim, code_dim
-        3 | 7 => MAX_PAYLOAD, // PushFrames / Decoded: cluster_id + matrix
-        4 => 4,               // PushAck: accepted
-        5 => 8,               // Busy: queued, capacity
-        6 => 12,              // PullDecoded: cluster_id + max_frames
-        8 | 10 | 11 => 0,     // StatsRequest / Shutdown / ShutdownAck
-        // StatsReply: u16 + 15 u64 counters + 2 f64 percentiles. The
+        1 => 24,                   // Hello: client_id, nonce, mac
+        2 => 12,                   // HelloAck: version, shards, frame_dim, code_dim
+        3 | 7 | 23 => MAX_PAYLOAD, // PushFrames / Decoded / StreamFrames: cluster + matrix
+        4 => 4,                    // PushAck: accepted
+        5 => 8,                    // Busy: queued, capacity
+        6 => 12,                   // PullDecoded: cluster_id + max_frames
+        8 | 10 | 11 | 14 => 0,     // StatsRequest / Shutdown / ShutdownAck / DirectoryQuery
+        // StatsReply: u16 + 17 u64 counters + 2 f64 percentiles. The
         // protocol round-trip proptest draws random snapshots, so a
         // stale bound here fails immediately when the snapshot grows.
-        9 => 2 + 15 * 8 + 2 * 8,
+        9 => 2 + 17 * 8 + 2 * 8,
         12 => 2 + 4 + MAX_ERROR_DETAIL, // ErrorReply: code + string
+        13 => 8 + 8 + 4 + MAX_ADDR,     // Redirect: cluster, epoch, addr
+        15 | 17 | 19 => MEMBERSHIP_CAP, // DirectoryReply / RegisterAck / HeartbeatAck
+        16 => 8 + 4 + MAX_ADDR + 16,    // Register: gateway_id, addr, nonce, mac
+        18 => 16,                       // Heartbeat: gateway_id, epoch
+        20 | 22 => 8,                   // Subscribe / Unsubscribe: cluster_id
+        21 => 12,                       // SubscribeAck: cluster_id, backlog
         other => return Err(WireError::UnknownType { found: other }),
     })
 }
@@ -172,6 +197,9 @@ pub enum ErrorCode {
     ShuttingDown,
     /// The codec or gateway failed internally.
     Internal,
+    /// The `Hello`/`Register` MAC did not verify against the shared
+    /// secret; the connection is rejected before any stateful work.
+    Unauthorized,
 }
 
 impl ErrorCode {
@@ -181,6 +209,7 @@ impl ErrorCode {
             ErrorCode::Shape => 2,
             ErrorCode::ShuttingDown => 3,
             ErrorCode::Internal => 4,
+            ErrorCode::Unauthorized => 5,
         }
     }
 
@@ -190,9 +219,21 @@ impl ErrorCode {
             2 => Ok(ErrorCode::Shape),
             3 => Ok(ErrorCode::ShuttingDown),
             4 => Ok(ErrorCode::Internal),
+            5 => Ok(ErrorCode::Unauthorized),
             _ => Err(WireError::Corrupt { detail: "unknown error code" }),
         }
     }
+}
+
+/// One gateway in the directory's membership list: its fleet-wide id and
+/// the address clients dial to reach it ("host:port" for TCP, an opaque
+/// token for loopback/DES fleets).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GatewayEntry {
+    /// Fleet-wide gateway identifier (stable across reconnects).
+    pub id: u64,
+    /// Dial address clients use to reach the gateway.
+    pub addr: String,
 }
 
 /// One protocol message. Requests and replies share the enum; the
@@ -202,10 +243,19 @@ impl ErrorCode {
 /// request can instead draw an [`Message::ErrorReply`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum Message {
-    /// Client introduction.
+    /// Client introduction, MAC'd when the server requires auth.
+    ///
+    /// `mac` must equal `auth::hello_mac(secret, client_id, nonce)` when
+    /// the server was configured with a shared secret; servers without
+    /// one ignore both fields. The nonce is caller-chosen (any value);
+    /// it keys the MAC so two clients never present identical proof.
     Hello {
         /// Caller-chosen identifier, echoed in logs/diagnostics only.
         client_id: u64,
+        /// Caller-chosen MAC nonce.
+        nonce: u64,
+        /// `hello_mac(secret, client_id, nonce)`, or 0 when unauthenticated.
+        mac: u64,
     },
     /// Gateway's answer to [`Message::Hello`], announcing the data-plane
     /// geometry a client needs to build valid pushes.
@@ -270,6 +320,89 @@ pub enum Message {
         /// Human-readable description.
         detail: String,
     },
+    /// The receiving gateway does not own `cluster_id` at `epoch`; the
+    /// client should retry the push against `addr`. Sent instead of
+    /// silently misrouting a stale-epoch push.
+    Redirect {
+        /// Cluster the rejected push targeted.
+        cluster_id: u64,
+        /// Assignment epoch under which the owner was computed.
+        epoch: u64,
+        /// Dial address of the current owner.
+        addr: String,
+    },
+    /// Ask the directory for the current assignment epoch + membership.
+    DirectoryQuery,
+    /// The directory's answer to [`Message::DirectoryQuery`].
+    DirectoryReply {
+        /// Monotonic assignment epoch; bumped on every membership change.
+        epoch: u64,
+        /// Live gateways, ascending by id.
+        members: Vec<GatewayEntry>,
+    },
+    /// Gateway→directory registration (join the fleet), MAC'd like
+    /// [`Message::Hello`] but over `(gateway_id, addr, nonce)`.
+    Register {
+        /// Fleet-wide gateway identifier.
+        gateway_id: u64,
+        /// Address clients should dial for this gateway.
+        addr: String,
+        /// Caller-chosen MAC nonce.
+        nonce: u64,
+        /// `register_mac(secret, gateway_id, addr, nonce)`, or 0.
+        mac: u64,
+    },
+    /// The directory accepted the registration.
+    RegisterAck {
+        /// Epoch after the join (bumped if membership changed).
+        epoch: u64,
+        /// Post-join membership, ascending by id.
+        members: Vec<GatewayEntry>,
+    },
+    /// Gateway→directory liveness beacon.
+    Heartbeat {
+        /// Fleet-wide gateway identifier.
+        gateway_id: u64,
+        /// Last epoch the gateway observed (for directory diagnostics).
+        epoch: u64,
+    },
+    /// The directory's answer to [`Message::Heartbeat`]; carries the
+    /// current membership so gateways converge without extra queries.
+    HeartbeatAck {
+        /// Current assignment epoch.
+        epoch: u64,
+        /// Current membership, ascending by id.
+        members: Vec<GatewayEntry>,
+    },
+    /// Subscribe this connection to streamed decoded batches for one
+    /// cluster; decoded rows are pushed as [`Message::StreamFrames`]
+    /// instead of waiting for polls.
+    Subscribe {
+        /// Cluster to stream.
+        cluster_id: u64,
+    },
+    /// The subscription is live.
+    SubscribeAck {
+        /// Cluster the subscription covers.
+        cluster_id: u64,
+        /// Decoded rows already stored at subscribe time (they are
+        /// streamed immediately after this ack).
+        backlog: u32,
+    },
+    /// Remove this connection's subscription for one cluster.
+    Unsubscribe {
+        /// Cluster to stop streaming.
+        cluster_id: u64,
+    },
+    /// Server-pushed decoded reconstructions for a subscribed cluster,
+    /// oldest first. Distinct from [`Message::Decoded`] so clients can
+    /// tell streamed deliveries from pull replies on a shared stream.
+    StreamFrames {
+        /// Cluster the frames belong to.
+        cluster_id: u64,
+        /// Reconstructed frames, one per row, `frame_dim` wide.
+        frames: Matrix,
+    },
 }
 
 impl Message {
@@ -287,6 +420,17 @@ impl Message {
             Message::Shutdown => 10,
             Message::ShutdownAck => 11,
             Message::ErrorReply { .. } => 12,
+            Message::Redirect { .. } => 13,
+            Message::DirectoryQuery => 14,
+            Message::DirectoryReply { .. } => 15,
+            Message::Register { .. } => 16,
+            Message::RegisterAck { .. } => 17,
+            Message::Heartbeat { .. } => 18,
+            Message::HeartbeatAck { .. } => 19,
+            Message::Subscribe { .. } => 20,
+            Message::SubscribeAck { .. } => 21,
+            Message::Unsubscribe { .. } => 22,
+            Message::StreamFrames { .. } => 23,
         }
     }
 
@@ -306,6 +450,17 @@ impl Message {
             Message::Shutdown => "Shutdown",
             Message::ShutdownAck => "ShutdownAck",
             Message::ErrorReply { .. } => "ErrorReply",
+            Message::Redirect { .. } => "Redirect",
+            Message::DirectoryQuery => "DirectoryQuery",
+            Message::DirectoryReply { .. } => "DirectoryReply",
+            Message::Register { .. } => "Register",
+            Message::RegisterAck { .. } => "RegisterAck",
+            Message::Heartbeat { .. } => "Heartbeat",
+            Message::HeartbeatAck { .. } => "HeartbeatAck",
+            Message::Subscribe { .. } => "Subscribe",
+            Message::SubscribeAck { .. } => "SubscribeAck",
+            Message::Unsubscribe { .. } => "Unsubscribe",
+            Message::StreamFrames { .. } => "StreamFrames",
         }
     }
 
@@ -324,7 +479,11 @@ impl Message {
         put_u16(out, self.msg_type());
         put_u32(out, 0); // payload length, patched below
         match self {
-            Message::Hello { client_id } => put_u64(out, *client_id),
+            Message::Hello { client_id, nonce, mac } => {
+                put_u64(out, *client_id);
+                put_u64(out, *nonce);
+                put_u64(out, *mac);
+            }
             Message::HelloAck { version, shards, frame_dim, code_dim } => {
                 put_u16(out, *version);
                 put_u16(out, *shards);
@@ -348,11 +507,46 @@ impl Message {
                 put_u64(out, *cluster_id);
                 put_matrix(out, frames);
             }
-            Message::StatsRequest | Message::Shutdown | Message::ShutdownAck => {}
+            Message::StatsRequest
+            | Message::Shutdown
+            | Message::ShutdownAck
+            | Message::DirectoryQuery => {}
             Message::StatsReply(snapshot) => snapshot.encode_into(out),
             Message::ErrorReply { code, detail } => {
                 put_u16(out, code.to_u16());
                 put_bytes(out, detail.as_bytes());
+            }
+            Message::Redirect { cluster_id, epoch, addr } => {
+                put_u64(out, *cluster_id);
+                put_u64(out, *epoch);
+                put_bytes(out, addr.as_bytes());
+            }
+            Message::DirectoryReply { epoch, members }
+            | Message::RegisterAck { epoch, members }
+            | Message::HeartbeatAck { epoch, members } => {
+                put_u64(out, *epoch);
+                put_members(out, members);
+            }
+            Message::Register { gateway_id, addr, nonce, mac } => {
+                put_u64(out, *gateway_id);
+                put_bytes(out, addr.as_bytes());
+                put_u64(out, *nonce);
+                put_u64(out, *mac);
+            }
+            Message::Heartbeat { gateway_id, epoch } => {
+                put_u64(out, *gateway_id);
+                put_u64(out, *epoch);
+            }
+            Message::Subscribe { cluster_id } | Message::Unsubscribe { cluster_id } => {
+                put_u64(out, *cluster_id);
+            }
+            Message::SubscribeAck { cluster_id, backlog } => {
+                put_u64(out, *cluster_id);
+                put_u32(out, *backlog);
+            }
+            Message::StreamFrames { cluster_id, frames } => {
+                put_u64(out, *cluster_id);
+                put_matrix(out, frames);
             }
         }
         let len = out.len() - HEADER_LEN;
@@ -481,7 +675,7 @@ fn parse_header(header: &[u8; HEADER_LEN]) -> Result<(u16, usize), WireError> {
 
 fn decode_payload(msg_type: u16, cur: &mut Cursor<'_>) -> Result<Message, WireError> {
     match msg_type {
-        1 => Ok(Message::Hello { client_id: cur.u64()? }),
+        1 => Ok(Message::Hello { client_id: cur.u64()?, nonce: cur.u64()?, mac: cur.u64()? }),
         2 => Ok(Message::HelloAck {
             version: cur.u16()?,
             shards: cur.u16()?,
@@ -505,6 +699,26 @@ fn decode_payload(msg_type: u16, cur: &mut Cursor<'_>) -> Result<Message, WireEr
                 .to_owned();
             Ok(Message::ErrorReply { code, detail })
         }
+        13 => Ok(Message::Redirect {
+            cluster_id: cur.u64()?,
+            epoch: cur.u64()?,
+            addr: take_addr(cur)?,
+        }),
+        14 => Ok(Message::DirectoryQuery),
+        15 => Ok(Message::DirectoryReply { epoch: cur.u64()?, members: take_members(cur)? }),
+        16 => Ok(Message::Register {
+            gateway_id: cur.u64()?,
+            addr: take_addr(cur)?,
+            nonce: cur.u64()?,
+            mac: cur.u64()?,
+        }),
+        17 => Ok(Message::RegisterAck { epoch: cur.u64()?, members: take_members(cur)? }),
+        18 => Ok(Message::Heartbeat { gateway_id: cur.u64()?, epoch: cur.u64()? }),
+        19 => Ok(Message::HeartbeatAck { epoch: cur.u64()?, members: take_members(cur)? }),
+        20 => Ok(Message::Subscribe { cluster_id: cur.u64()? }),
+        21 => Ok(Message::SubscribeAck { cluster_id: cur.u64()?, backlog: cur.u32()? }),
+        22 => Ok(Message::Unsubscribe { cluster_id: cur.u64()? }),
+        23 => Ok(Message::StreamFrames { cluster_id: cur.u64()?, frames: take_matrix(cur)? }),
         other => Err(WireError::UnknownType { found: other }),
     }
 }
@@ -532,6 +746,38 @@ pub(crate) fn put_f64(out: &mut Vec<u8>, v: f64) {
 fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
     put_u32(out, bytes.len() as u32);
     out.extend_from_slice(bytes);
+}
+
+fn put_members(out: &mut Vec<u8>, members: &[GatewayEntry]) {
+    assert!(members.len() <= MAX_MEMBERS, "membership list exceeds MAX_MEMBERS");
+    put_u32(out, members.len() as u32);
+    for m in members {
+        assert!(m.addr.len() <= MAX_ADDR, "gateway address exceeds MAX_ADDR");
+        put_u64(out, m.id);
+        put_bytes(out, m.addr.as_bytes());
+    }
+}
+
+fn take_addr(cur: &mut Cursor<'_>) -> Result<String, WireError> {
+    let bytes = cur.take_len_prefixed()?;
+    if bytes.len() > MAX_ADDR {
+        return Err(WireError::Corrupt { detail: "gateway address exceeds MAX_ADDR" });
+    }
+    std::str::from_utf8(bytes)
+        .map_err(|_| WireError::Corrupt { detail: "gateway address is not utf-8" })
+        .map(str::to_owned)
+}
+
+fn take_members(cur: &mut Cursor<'_>) -> Result<Vec<GatewayEntry>, WireError> {
+    let count = cur.u32()? as usize;
+    if count > MAX_MEMBERS {
+        return Err(WireError::Corrupt { detail: "membership list exceeds MAX_MEMBERS" });
+    }
+    let mut members = Vec::with_capacity(count);
+    for _ in 0..count {
+        members.push(GatewayEntry { id: cur.u64()?, addr: take_addr(cur)? });
+    }
+    Ok(members)
 }
 
 fn put_matrix(out: &mut Vec<u8>, m: &Matrix) {
@@ -645,14 +891,45 @@ mod tests {
 
     #[test]
     fn trailing_bytes_rejected() {
-        let mut frame = Message::Hello { client_id: 7 }.encode();
+        let mut frame = Message::Hello { client_id: 7, nonce: 0, mac: 0 }.encode();
         frame.push(0);
         assert!(matches!(Message::decode(&frame), Err(WireError::LengthMismatch { .. })));
     }
 
     #[test]
+    fn directory_messages_roundtrip() {
+        let members = vec![
+            GatewayEntry { id: 3, addr: "127.0.0.1:7201".into() },
+            GatewayEntry { id: 9, addr: "des:1".into() },
+        ];
+        for msg in [
+            Message::DirectoryReply { epoch: 12, members: members.clone() },
+            Message::RegisterAck { epoch: 13, members: members.clone() },
+            Message::HeartbeatAck { epoch: 14, members },
+            Message::Redirect { cluster_id: 5, epoch: 12, addr: "gw:2".into() },
+            Message::Register { gateway_id: 3, addr: "gw:3".into(), nonce: 7, mac: 99 },
+            Message::Heartbeat { gateway_id: 3, epoch: 12 },
+            Message::Subscribe { cluster_id: 40 },
+            Message::SubscribeAck { cluster_id: 40, backlog: 2 },
+            Message::Unsubscribe { cluster_id: 40 },
+        ] {
+            assert_eq!(Message::decode(&msg.encode()).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn oversized_membership_rejected() {
+        let mut frame = Message::DirectoryReply { epoch: 1, members: Vec::new() }.encode();
+        // Lie about the member count: decoding must reject it before
+        // reserving MAX_MEMBERS entries.
+        let count_at = HEADER_LEN + 8;
+        frame[count_at..count_at + 4].copy_from_slice(&(MAX_MEMBERS as u32 + 1).to_le_bytes());
+        assert!(matches!(Message::decode(&frame), Err(WireError::Corrupt { .. })));
+    }
+
+    #[test]
     fn stream_reader_roundtrips_and_detects_clean_eof() {
-        let a = Message::Hello { client_id: 42 };
+        let a = Message::Hello { client_id: 42, nonce: 1, mac: 2 };
         let b = Message::PushAck { accepted: 3 };
         let mut stream = a.encode();
         stream.extend_from_slice(&b.encode());
@@ -664,7 +941,7 @@ mod tests {
 
     #[test]
     fn eof_mid_frame_is_an_error() {
-        let frame = Message::Hello { client_id: 42 }.encode();
+        let frame = Message::Hello { client_id: 42, nonce: 0, mac: 0 }.encode();
         let mut r = io::Cursor::new(frame[..frame.len() - 1].to_vec());
         let err = Message::read_from(&mut r).unwrap_err();
         assert!(matches!(err, OrcoError::Io(_)), "unexpected: {err}");

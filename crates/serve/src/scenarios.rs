@@ -426,6 +426,7 @@ fn drive(
                 batch_max_frames: 8,
                 batch_deadline: Duration::from_millis(5),
                 queue_capacity: spec.queue_capacity,
+                auth_secret: None,
             },
             Clock::manual(Duration::ZERO),
             |_| {
@@ -477,9 +478,10 @@ fn drive(
         (spec.script)(&net, &actors.iter().map(|a| (a.conn, a.cluster)).collect::<Vec<_>>());
     net.script(&script);
 
-    // Kick off: every actor greets.
+    // Kick off: every actor greets (unkeyed — the gauntlet gateway runs
+    // without an auth secret).
     for a in actors.iter_mut() {
-        let seq = net.submit(a.conn, &Message::Hello { client_id: a.cluster });
+        let seq = net.submit(a.conn, &Message::Hello { client_id: a.cluster, nonce: 0, mac: 0 });
         a.pending = Some((seq, Pending::Hello));
     }
 

@@ -1,0 +1,73 @@
+//! The server-side dispatch abstraction shared by every ORCO endpoint.
+//!
+//! PR 5's transports were hard-wired to [`Gateway`]; the fleet adds a
+//! second server that speaks the same wire protocol — the directory —
+//! and both must run behind the TCP acceptor, the loopback transport,
+//! and the DES simulator. [`Service`] is the seam: one frame-in /
+//! frame-out dispatch method plus the small lifecycle surface the
+//! transports need (clock, shutdown flag, background workers, virtual
+//! time advancement).
+
+use std::sync::Arc;
+
+use crate::clock::Clock;
+use crate::gateway::Gateway;
+use crate::outbox::Outbox;
+
+/// A wire-protocol endpoint the transports can host: the gateway, the
+/// fleet directory, or anything else that maps request frames to reply
+/// frames.
+pub trait Service: Send + Sync {
+    /// Handles one raw request frame and encodes the reply into `reply`
+    /// (cleared first). Malformed frames must produce an encoded
+    /// `ErrorReply`, never silence. `outbox` is the connection's
+    /// server-push channel when the transport has one (TCP, loopback);
+    /// services that stream register it on `Subscribe`.
+    fn handle_frame(&self, frame: &[u8], reply: &mut Vec<u8>, outbox: Option<&Arc<Outbox>>);
+
+    /// The clock this service schedules against.
+    fn clock(&self) -> &Clock;
+
+    /// Whether a `Shutdown` has been accepted.
+    fn is_shutting_down(&self) -> bool;
+
+    /// Hook run by virtual-time schedulers (the DES transport) after
+    /// advancing the clock: deadline sweeps, heartbeat-timeout checks.
+    fn on_time_advance(&self) {}
+
+    /// Number of background worker threads the TCP server should spawn.
+    fn worker_count(&self) -> usize {
+        0
+    }
+
+    /// Body of background worker `idx` (must return once
+    /// [`Service::is_shutting_down`] turns true).
+    fn run_worker(&self, _idx: usize) {}
+}
+
+impl Service for Gateway {
+    fn handle_frame(&self, frame: &[u8], reply: &mut Vec<u8>, outbox: Option<&Arc<Outbox>>) {
+        self.handle_bytes_with_outbox(frame, reply, outbox);
+    }
+
+    fn clock(&self) -> &Clock {
+        Gateway::clock(self)
+    }
+
+    fn is_shutting_down(&self) -> bool {
+        Gateway::is_shutting_down(self)
+    }
+
+    fn on_time_advance(&self) {
+        self.sweep_deadlines();
+        self.pump_streams();
+    }
+
+    fn worker_count(&self) -> usize {
+        self.config().shards
+    }
+
+    fn run_worker(&self, idx: usize) {
+        self.run_deadline_flusher(idx);
+    }
+}

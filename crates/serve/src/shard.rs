@@ -96,6 +96,12 @@ impl ShardCore {
         self.pending_rows() > 0 && now_s - self.oldest_enqueue_s >= deadline_s
     }
 
+    /// Encoded rows currently stored for `cluster` (awaiting pull or
+    /// streaming delivery).
+    pub(crate) fn stored_rows_for(&self, cluster: u64) -> usize {
+        self.stores.get(&cluster).map_or(0, |s| s.len() / self.dims.code)
+    }
+
     /// Appends a push to the pending micro-batch, or refuses it when the
     /// in-flight budget would be exceeded (the caller replies `Busy`).
     pub(crate) fn try_enqueue(
@@ -150,6 +156,8 @@ impl ShardCore {
     /// Decodes up to `max` of the cluster's oldest stored codes in ONE
     /// `decode_batch` call and returns the reconstructions in push order.
     /// Returns an empty matrix when the cluster has nothing stored.
+    /// `streamed` selects which stats counter books the delivery
+    /// (client pull vs streaming fan-out).
     ///
     /// # Errors
     ///
@@ -159,6 +167,7 @@ impl ShardCore {
         cluster: u64,
         max: usize,
         stats: &ServeStats,
+        streamed: bool,
     ) -> Result<Matrix, OrcoError> {
         let code = self.dims.code;
         let avail = self.stores.get(&cluster).map_or(0, |s| s.len() / code);
@@ -180,7 +189,11 @@ impl ShardCore {
         }
         self.stored_rows -= k;
         self.codec.decode_batch(self.decode_in_ws.as_view(), &mut self.decode_out_ws)?;
-        stats.record_pull(k as u64, (k * self.dims.input * 4) as u64);
+        if streamed {
+            stats.record_streamed(k as u64, (k * self.dims.input * 4) as u64);
+        } else {
+            stats.record_pull(k as u64, (k * self.dims.input * 4) as u64);
+        }
         // Move the decoded rows into the reply instead of cloning them;
         // the reply owns the buffer and the next decode_batch regrows the
         // workspace. One allocation either way, but no second memcpy.

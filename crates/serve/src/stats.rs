@@ -64,6 +64,8 @@ pub struct ServeStats {
     max_batch_rows: AtomicU64,
     queue_depth: AtomicU64,
     stored_codes: AtomicU64,
+    streamed_rows: AtomicU64,
+    redirects: AtomicU64,
     latencies: Mutex<LatencyLedger>,
 }
 
@@ -132,6 +134,8 @@ impl ServeStats {
             max_batch_rows: AtomicU64::new(0),
             queue_depth: AtomicU64::new(0),
             stored_codes: AtomicU64::new(0),
+            streamed_rows: AtomicU64::new(0),
+            redirects: AtomicU64::new(0),
             latencies: Mutex::new(LatencyLedger::default()),
         }
     }
@@ -176,6 +180,20 @@ impl ServeStats {
         self.stored_codes.fetch_sub(rows, Ordering::Relaxed);
     }
 
+    /// Records `rows` decoded frames pushed to streaming subscribers
+    /// (carrying `bytes` of frame payload).
+    pub fn record_streamed(&self, rows: u64, bytes: u64) {
+        self.streamed_rows.fetch_add(rows, Ordering::Relaxed);
+        self.frames_out.fetch_add(rows, Ordering::Relaxed);
+        self.bytes_out.fetch_add(bytes, Ordering::Relaxed);
+        self.stored_codes.fetch_sub(rows, Ordering::Relaxed);
+    }
+
+    /// Records a push bounced with a `Redirect` to the current owner.
+    pub fn record_redirect(&self) {
+        self.redirects.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Freezes the registry into a snapshot.
     #[must_use]
     pub fn snapshot(&self) -> StatsSnapshot {
@@ -197,6 +215,8 @@ impl ServeStats {
             max_batch_rows: self.max_batch_rows.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             stored_codes: self.stored_codes.load(Ordering::Relaxed),
+            streamed_rows: self.streamed_rows.load(Ordering::Relaxed),
+            redirects: self.redirects.load(Ordering::Relaxed),
             batch_latency_p50_s: percentile_of_sorted(&lats.samples, 0.5),
             batch_latency_p99_s: percentile_of_sorted(&lats.samples, 0.99),
         }
@@ -239,6 +259,10 @@ pub struct StatsSnapshot {
     pub queue_depth: u64,
     /// Encoded rows stored awaiting a pull (gauge).
     pub stored_codes: u64,
+    /// Decoded rows delivered via streaming subscriptions.
+    pub streamed_rows: u64,
+    /// Pushes bounced with a `Redirect` to the cluster's current owner.
+    pub redirects: u64,
     /// Median flush latency, seconds (0 when nothing flushed).
     pub batch_latency_p50_s: f64,
     /// 99th-percentile flush latency, seconds (0 when nothing flushed).
@@ -263,6 +287,8 @@ impl StatsSnapshot {
         put_u64(out, self.max_batch_rows);
         put_u64(out, self.queue_depth);
         put_u64(out, self.stored_codes);
+        put_u64(out, self.streamed_rows);
+        put_u64(out, self.redirects);
         put_f64(out, self.batch_latency_p50_s);
         put_f64(out, self.batch_latency_p99_s);
     }
@@ -285,6 +311,8 @@ impl StatsSnapshot {
             max_batch_rows: cur.u64()?,
             queue_depth: cur.u64()?,
             stored_codes: cur.u64()?,
+            streamed_rows: cur.u64()?,
+            redirects: cur.u64()?,
             batch_latency_p50_s: cur.f64()?,
             batch_latency_p99_s: cur.f64()?,
         })

@@ -1,15 +1,21 @@
-//! The TCP face of the gateway: acceptor, per-connection handlers, and
-//! per-shard deadline-flusher threads — all on `std::net` / `std::thread`
-//! (the build image has no async runtime, and none is needed: the
-//! protocol is strictly request/reply and shard work is CPU-bound).
+//! The TCP face of an ORCO [`Service`]: acceptor, per-connection
+//! reader/writer threads, and the service's background workers — all on
+//! `std::net` / `std::thread` (the build image has no async runtime, and
+//! none is needed: the protocol is request/reply plus server-push, and
+//! the work is CPU-bound).
 //!
 //! Thread model:
 //!
 //! * one **acceptor** blocks in `accept`; every connection gets its own
-//!   detached handler thread reading frames until EOF or `Shutdown`;
-//! * one **deadline flusher** per shard sleeps on the shard's condvar and
-//!   flushes batches that outlive [`crate::GatewayConfig::batch_deadline`];
-//! * `Shutdown` sets the gateway flag, then the handling connection pokes
+//!   handler thread reading frames until EOF or `Shutdown`;
+//! * every connection also gets a **writer** thread draining the
+//!   connection's [`Outbox`] to the socket — replies and streamed
+//!   frames share the outbox, so writes are serialized without a lock
+//!   around the socket;
+//! * the service's **background workers** (one deadline flusher per
+//!   gateway shard; the directory's heartbeat sweeper) run on their own
+//!   threads via [`Service::run_worker`];
+//! * `Shutdown` sets the service flag, then the handling connection pokes
 //!   the acceptor awake with a throwaway connect so `accept` returns and
 //!   the loop observes the flag (the standard `std::net` unblock idiom).
 
@@ -17,23 +23,27 @@ use std::io::Write;
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use orcodcs::OrcoError;
 
 use crate::gateway::Gateway;
+use crate::outbox::Outbox;
 use crate::protocol::{read_frame, ErrorCode, FrameRead, Message};
+use crate::service::Service;
 
-/// A running TCP server around an `Arc<Gateway>`.
+/// A running TCP server around an `Arc` of any [`Service`].
 #[derive(Debug)]
 pub struct TcpServer {
     addr: SocketAddr,
     acceptor: Option<JoinHandle<()>>,
-    flushers: Vec<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
 }
 
 impl TcpServer {
     /// Binds `bind` (use port 0 for an ephemeral port) and spawns the
-    /// acceptor and the per-shard deadline flushers.
+    /// acceptor and the gateway's deadline flushers. Equivalent to
+    /// [`TcpServer::spawn_service`] with a [`Gateway`].
     ///
     /// # Errors
     ///
@@ -45,27 +55,47 @@ impl TcpServer {
     /// clock — deadline flushers sleep in real time, so the TCP server
     /// requires [`crate::Clock::real`].
     pub fn spawn(gateway: Arc<Gateway>, bind: impl ToSocketAddrs) -> Result<Self, OrcoError> {
+        Self::spawn_service(gateway, bind)
+    }
+
+    /// Binds `bind` and serves `svc` over TCP: one acceptor, one
+    /// reader + writer thread pair per connection, and
+    /// [`Service::worker_count`] background worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrcoError::Io`] when binding or spawning fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the service runs a [`crate::Clock::manual`] clock —
+    /// background workers sleep in real time, so the TCP server requires
+    /// [`crate::Clock::real`].
+    pub fn spawn_service<S: Service + ?Sized + 'static>(
+        svc: Arc<S>,
+        bind: impl ToSocketAddrs,
+    ) -> Result<Self, OrcoError> {
         assert!(
-            gateway.clock().is_real(),
+            svc.clock().is_real(),
             "TcpServer requires Clock::real(); Clock::manual() is for the loopback transport"
         );
         let listener = TcpListener::bind(bind)?;
         let addr = listener.local_addr()?;
-        let flushers = (0..gateway.config().shards)
+        let workers = (0..svc.worker_count())
             .map(|i| {
-                let g = Arc::clone(&gateway);
+                let s = Arc::clone(&svc);
                 std::thread::Builder::new()
-                    .name(format!("orco-serve-flush-{i}"))
-                    .spawn(move || g.run_deadline_flusher(i))
+                    .name(format!("orco-serve-worker-{i}"))
+                    .spawn(move || s.run_worker(i))
             })
             .collect::<Result<Vec<_>, _>>()?;
         let acceptor = {
-            let g = Arc::clone(&gateway);
+            let s = Arc::clone(&svc);
             std::thread::Builder::new()
                 .name("orco-serve-accept".into())
-                .spawn(move || accept_loop(&listener, &g, addr))?
+                .spawn(move || accept_loop(&listener, &s, addr))?
         };
-        Ok(Self { addr, acceptor: Some(acceptor), flushers })
+        Ok(Self { addr, acceptor: Some(acceptor), workers })
     }
 
     /// The address the server is listening on.
@@ -74,21 +104,25 @@ impl TcpServer {
         self.addr
     }
 
-    /// Blocks until the gateway shuts down (a client sent `Shutdown`),
-    /// then joins the acceptor and flusher threads.
+    /// Blocks until the service shuts down (a client sent `Shutdown`),
+    /// then joins the acceptor and worker threads.
     pub fn join(mut self) {
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
         }
-        for f in self.flushers.drain(..) {
-            let _ = f.join();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
         }
     }
 }
 
-fn accept_loop(listener: &TcpListener, gateway: &Arc<Gateway>, addr: SocketAddr) {
+fn accept_loop<S: Service + ?Sized + 'static>(
+    listener: &TcpListener,
+    svc: &Arc<S>,
+    addr: SocketAddr,
+) {
     for conn in listener.incoming() {
-        if gateway.is_shutting_down() {
+        if svc.is_shutting_down() {
             break;
         }
         let Ok(stream) = conn else {
@@ -98,43 +132,86 @@ fn accept_loop(listener: &TcpListener, gateway: &Arc<Gateway>, addr: SocketAddr)
             std::thread::sleep(std::time::Duration::from_millis(10));
             continue;
         };
-        let g = Arc::clone(gateway);
+        let s = Arc::clone(svc);
         let _ = std::thread::Builder::new().name("orco-serve-conn".into()).spawn(move || {
-            if let Err(e) = serve_connection(stream, &g, addr) {
+            if let Err(e) = serve_connection(stream, &s, addr) {
                 eprintln!("orco-serve: connection ended with error: {e}");
             }
         });
     }
 }
 
+/// Drains a connection's outbox to its socket until the outbox closes
+/// and is empty. All frames bound for the peer — replies and streamed
+/// deliveries alike — pass through here, so socket writes are serialized
+/// by construction.
+fn writer_loop(mut stream: TcpStream, outbox: &Outbox) {
+    loop {
+        match outbox.wait_next(Duration::from_millis(100)) {
+            Some(frame) => {
+                if stream.write_all(&frame).is_err() {
+                    // Peer is gone; stop draining. The reader side will
+                    // observe EOF and close the outbox.
+                    return;
+                }
+            }
+            None => {
+                if outbox.is_closed() {
+                    return;
+                }
+            }
+        }
+    }
+}
+
 /// Reads frames off one connection until EOF or `Shutdown`, replying to
-/// each through the same [`Gateway::handle_bytes`] path the loopback
+/// each through the same [`Service::handle_frame`] path the loopback
 /// transport uses — a malformed frame draws an `ErrorReply` before the
-/// connection closes, exactly as in-process callers see it. `?` spans
-/// socket reads, codec calls, and frame writes — one error chain, no
-/// ad-hoc mapping.
-fn serve_connection(
+/// connection closes, exactly as in-process callers see it. Replies are
+/// routed through the connection's outbox so they interleave safely with
+/// streamed frames.
+fn serve_connection<S: Service + ?Sized>(
     mut stream: TcpStream,
-    gateway: &Arc<Gateway>,
+    svc: &Arc<S>,
     addr: SocketAddr,
 ) -> Result<(), OrcoError> {
     stream.set_nodelay(true)?;
+    let outbox = Arc::new(Outbox::new());
+    let writer = {
+        let stream = stream.try_clone()?;
+        let outbox = Arc::clone(&outbox);
+        std::thread::Builder::new()
+            .name("orco-serve-write".into())
+            .spawn(move || writer_loop(stream, &outbox))?
+    };
+    let result = read_loop(&mut stream, svc, &outbox, addr);
+    outbox.close();
+    let _ = writer.join();
+    result
+}
+
+fn read_loop<S: Service + ?Sized>(
+    stream: &mut TcpStream,
+    svc: &Arc<S>,
+    outbox: &Arc<Outbox>,
+    addr: SocketAddr,
+) -> Result<(), OrcoError> {
     let mut frame = Vec::new();
     let mut reply = Vec::new();
     loop {
-        match read_frame(&mut stream, &mut frame)? {
+        match read_frame(stream, &mut frame)? {
             FrameRead::Eof => return Ok(()),
             FrameRead::Malformed(e) => {
                 // Framing is lost: answer with the typed rejection, then
                 // close — the wire never goes silent.
                 Message::ErrorReply { code: ErrorCode::BadRequest, detail: e.to_string() }
                     .encode_into(&mut reply);
-                stream.write_all(&reply)?;
+                outbox.push_frame(reply.clone());
                 return Ok(());
             }
             FrameRead::Frame => {
-                gateway.handle_bytes(&frame, &mut reply);
-                stream.write_all(&reply)?;
+                svc.handle_frame(&frame, &mut reply, Some(outbox));
+                outbox.push_frame(reply.clone());
                 // Type bytes 6..8: was this frame a Shutdown request?
                 if frame[6..8] == 10u16.to_le_bytes() {
                     // Poke the acceptor out of `accept` so it observes

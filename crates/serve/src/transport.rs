@@ -1,29 +1,38 @@
 //! Client-side transports: how request frames reach a gateway.
 //!
 //! [`Transport`] produces [`Connection`]s; a connection exchanges one
-//! request frame for one reply frame. Two implementations ship:
+//! request frame for one reply frame, and (on transports with a
+//! server-push channel) surfaces streamed frames via
+//! [`Connection::poll_stream`]. Two implementations ship here:
 //!
 //! * [`Tcp`] — a real socket. Frames are written and read with the
-//!   length-prefixed protocol of [`crate::protocol`].
-//! * [`Loopback`] — in-process and deterministic. Requests are still
-//!   encoded to bytes and decoded on the gateway side
-//!   ([`Gateway::handle_bytes`]), so the full wire path — header
-//!   validation, payload decode, reply encode — runs under test, minus
-//!   only the socket. With a [`crate::Clock::manual`] gateway clock the
-//!   whole exchange is bit-deterministic on one thread or many.
+//!   length-prefixed protocol of [`crate::protocol`]; streamed
+//!   [`Message::StreamFrames`] arriving while a reply is awaited are
+//!   stashed and handed out by `poll_stream`.
+//! * [`Loopback`] — in-process and deterministic, generic over any
+//!   [`Service`] (gateway or fleet directory). Requests are still
+//!   encoded to bytes and decoded on the server side, so the full wire
+//!   path — header validation, payload decode, reply encode — runs
+//!   under test, minus only the socket. With a [`crate::Clock::manual`]
+//!   clock the whole exchange is bit-deterministic on one thread or
+//!   many.
 //!
 //! Both connections use `?` across socket and codec boundaries — the
 //! `OrcoError::Io` conversion exists precisely so this layer needs no
 //! ad-hoc error mapping.
 
+use std::collections::VecDeque;
 use std::io::{self, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::Arc;
+use std::time::Duration;
 
 use orcodcs::OrcoError;
 
 use crate::gateway::Gateway;
+use crate::outbox::Outbox;
 use crate::protocol::Message;
+use crate::service::Service;
 
 /// A factory of request/reply [`Connection`]s.
 pub trait Transport {
@@ -47,34 +56,68 @@ pub trait Connection {
     /// Returns [`OrcoError::Io`] on transport failure or a malformed
     /// reply.
     fn request(&mut self, msg: &Message) -> Result<Message, OrcoError>;
+
+    /// Returns the next server-pushed frame (a streaming delivery for a
+    /// subscribed cluster), waiting up to `timeout` for one to arrive.
+    /// `Ok(None)` means nothing was streamed in time; transports without
+    /// a server-push channel always return `Ok(None)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrcoError::Io`] on transport failure or a malformed
+    /// streamed frame.
+    fn poll_stream(&mut self, _timeout: Duration) -> Result<Option<Message>, OrcoError> {
+        Ok(None)
+    }
 }
 
-/// In-process transport bound to a gateway instance.
-#[derive(Debug, Clone)]
-pub struct Loopback {
-    gateway: Arc<Gateway>,
+/// In-process transport bound to a [`Service`] instance (a [`Gateway`]
+/// by default; the fleet directory works the same way).
+pub struct Loopback<S: Service + ?Sized = Gateway> {
+    svc: Arc<S>,
 }
 
-impl Loopback {
-    /// Binds a loopback transport to `gateway`.
+impl<S: Service + ?Sized> Clone for Loopback<S> {
+    fn clone(&self) -> Self {
+        Self { svc: Arc::clone(&self.svc) }
+    }
+}
+
+impl<S: Service + ?Sized> std::fmt::Debug for Loopback<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Loopback").finish_non_exhaustive()
+    }
+}
+
+impl<S: Service + ?Sized> Loopback<S> {
+    /// Binds a loopback transport to a service.
     #[must_use]
-    pub fn new(gateway: Arc<Gateway>) -> Self {
-        Self { gateway }
+    pub fn new(svc: Arc<S>) -> Self {
+        Self { svc }
     }
 
+    /// The service this transport dispatches into.
+    #[must_use]
+    pub fn service(&self) -> &Arc<S> {
+        &self.svc
+    }
+}
+
+impl Loopback<Gateway> {
     /// The gateway this transport dispatches into.
     #[must_use]
     pub fn gateway(&self) -> &Arc<Gateway> {
-        &self.gateway
+        &self.svc
     }
 }
 
-impl Transport for Loopback {
-    type Conn = LoopbackConnection;
+impl<S: Service + ?Sized> Transport for Loopback<S> {
+    type Conn = LoopbackConnection<S>;
 
     fn connect(&self) -> Result<Self::Conn, OrcoError> {
         Ok(LoopbackConnection {
-            gateway: Arc::clone(&self.gateway),
+            svc: Arc::clone(&self.svc),
+            outbox: Arc::new(Outbox::new()),
             frame: Vec::new(),
             reply: Vec::new(),
         })
@@ -82,18 +125,29 @@ impl Transport for Loopback {
 }
 
 /// A [`Loopback`] connection; reuses its encode buffers across requests.
-#[derive(Debug)]
-pub struct LoopbackConnection {
-    gateway: Arc<Gateway>,
+pub struct LoopbackConnection<S: Service + ?Sized = Gateway> {
+    svc: Arc<S>,
+    /// Server-push channel: streamed frames land here synchronously
+    /// during dispatch and are drained by [`Connection::poll_stream`].
+    outbox: Arc<Outbox>,
     frame: Vec<u8>,
     reply: Vec<u8>,
 }
 
-impl Connection for LoopbackConnection {
+impl<S: Service + ?Sized> Connection for LoopbackConnection<S> {
     fn request(&mut self, msg: &Message) -> Result<Message, OrcoError> {
         msg.encode_into(&mut self.frame);
-        self.gateway.handle_bytes(&self.frame, &mut self.reply);
+        self.svc.handle_frame(&self.frame, &mut self.reply, Some(&self.outbox));
         Ok(Message::decode(&self.reply)?)
+    }
+
+    fn poll_stream(&mut self, _timeout: Duration) -> Result<Option<Message>, OrcoError> {
+        // In-process delivery is synchronous: anything streamed is
+        // already queued, so the timeout never needs to block.
+        match self.outbox.try_next() {
+            Some(frame) => Ok(Some(Message::decode(&frame)?)),
+            None => Ok(None),
+        }
     }
 }
 
@@ -126,7 +180,7 @@ impl Transport for Tcp {
         })?;
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(TcpConnection { stream, scratch: Vec::new() })
+        Ok(TcpConnection { stream, scratch: Vec::new(), streamed: VecDeque::new() })
     }
 }
 
@@ -135,19 +189,49 @@ impl Transport for Tcp {
 pub struct TcpConnection {
     stream: TcpStream,
     scratch: Vec<u8>,
+    /// Streamed frames that arrived interleaved with a reply; drained by
+    /// [`Connection::poll_stream`].
+    streamed: VecDeque<Message>,
 }
 
 impl Connection for TcpConnection {
     fn request(&mut self, msg: &Message) -> Result<Message, OrcoError> {
         msg.encode_into(&mut self.scratch);
         self.stream.write_all(&self.scratch)?;
-        match Message::read_from(&mut self.stream)? {
-            Some(reply) => Ok(reply),
-            None => Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "gateway closed the connection before replying",
-            )
-            .into()),
+        loop {
+            match Message::read_from(&mut self.stream)? {
+                // The server may interleave streamed deliveries with the
+                // reply on the same socket; stash them for poll_stream.
+                Some(streamed @ Message::StreamFrames { .. }) => self.streamed.push_back(streamed),
+                Some(reply) => return Ok(reply),
+                None => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "gateway closed the connection before replying",
+                    )
+                    .into())
+                }
+            }
+        }
+    }
+
+    fn poll_stream(&mut self, timeout: Duration) -> Result<Option<Message>, OrcoError> {
+        if let Some(msg) = self.streamed.pop_front() {
+            return Ok(Some(msg));
+        }
+        // A zero timeout would mean "block forever" to set_read_timeout;
+        // clamp it to the shortest real wait instead.
+        self.stream.set_read_timeout(Some(timeout.max(Duration::from_millis(1))))?;
+        let read = Message::read_from(&mut self.stream);
+        self.stream.set_read_timeout(None)?;
+        match read {
+            Ok(msg) => Ok(msg),
+            Err(OrcoError::Io(e))
+                if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) =>
+            {
+                Ok(None)
+            }
+            Err(e) => Err(e),
         }
     }
 }

@@ -1,0 +1,143 @@
+//! Property tests over the shared-secret MAC and the admission gate it
+//! guards: no single- or multi-bit corruption of a message or its tag
+//! may ever authenticate, the `Hello` and `Register` domains are
+//! separated, and a keyed gateway rejects bad MACs with a typed
+//! `Unauthorized` before any stateful work.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use orco_serve::protocol::Message;
+use orco_serve::{auth, Client, Clock, ErrorCode, Gateway, GatewayConfig, Loopback};
+use orcodcs::{AsymmetricAutoencoder, Codec, OrcoConfig, OrcoError};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Flipping any single bit of the message never verifies under the
+    /// same secret — the MAC binds every message bit.
+    #[test]
+    fn message_bit_flips_never_authenticate(
+        secret in any::<u64>(),
+        msg in prop::collection::vec(any::<u8>(), 1..64),
+        bit in 0usize..512,
+    ) {
+        let tag = auth::mac64(secret, &msg);
+        let mut flipped = msg.clone();
+        let i = bit % (msg.len() * 8);
+        flipped[i / 8] ^= 1 << (i % 8);
+        prop_assert_ne!(auth::mac64(secret, &flipped), tag);
+    }
+
+    /// Flipping any single bit of the *tag* never authenticates either
+    /// (trivially true, but it pins the comparison being over all 64
+    /// bits — a truncated check would pass some flips).
+    #[test]
+    fn tag_bit_flips_never_authenticate(
+        secret in any::<u64>(),
+        msg in prop::collection::vec(any::<u8>(), 0..64),
+        bit in 0u32..64,
+    ) {
+        let tag = auth::mac64(secret, &msg);
+        prop_assert_ne!(tag ^ (1u64 << bit), tag);
+    }
+
+    /// A wrong secret — even one bit off — never verifies.
+    #[test]
+    fn wrong_secret_never_authenticates(
+        secret in any::<u64>(),
+        msg in prop::collection::vec(any::<u8>(), 0..64),
+        bit in 0u32..64,
+    ) {
+        prop_assert_ne!(auth::mac64(secret ^ (1 << bit), &msg), auth::mac64(secret, &msg));
+    }
+
+    /// `Hello` and `Register` MACs are domain-separated: a tag captured
+    /// from one conversation never replays into the other, even over
+    /// identical field values.
+    #[test]
+    fn hello_and_register_domains_are_separated(
+        secret in any::<u64>(),
+        id in any::<u64>(),
+        nonce in any::<u64>(),
+        addr in prop::collection::vec(0x20u8..=0x7e, 0..24),
+    ) {
+        let addr = String::from_utf8(addr.clone()).expect("printable ascii is utf-8");
+        prop_assert_ne!(
+            auth::hello_mac(secret, id, nonce),
+            auth::register_mac(secret, id, &addr, nonce),
+        );
+    }
+
+    /// The nonce is load-bearing: two sessions presenting the same id
+    /// with different nonces never share a tag.
+    #[test]
+    fn distinct_nonces_draw_distinct_tags(
+        secret in any::<u64>(),
+        id in any::<u64>(),
+        a in any::<u64>(),
+        b in any::<u64>(),
+    ) {
+        prop_assume!(a != b);
+        prop_assert_ne!(auth::hello_mac(secret, id, a), auth::hello_mac(secret, id, b));
+    }
+}
+
+const SECRET: u64 = 0xD00D_8E11_0AC5_53C2;
+
+fn keyed_gateway() -> Arc<Gateway> {
+    let cfg = OrcoConfig::for_dataset(orco_datasets::DatasetKind::MnistLike)
+        .with_latent_dim(16)
+        .with_seed(11);
+    Arc::new(
+        Gateway::new(
+            GatewayConfig { auth_secret: Some(SECRET), ..GatewayConfig::default() },
+            Clock::manual(Duration::from_micros(100)),
+            move |_| {
+                Box::new(AsymmetricAutoencoder::new(&cfg).expect("valid config")) as Box<dyn Codec>
+            },
+        )
+        .expect("valid gateway"),
+    )
+}
+
+/// A keyed gateway refuses an unkeyed or wrong-keyed `Hello` with a
+/// typed `Unauthorized` — before any stateful work — and admits the
+/// right secret.
+#[test]
+fn keyed_gateway_rejects_bad_hellos_with_unauthorized() {
+    let gw = keyed_gateway();
+    let transport = Loopback::new(Arc::clone(&gw));
+
+    let expect_unauthorized = |result: Result<_, OrcoError>| match result {
+        Err(OrcoError::Config { detail }) => {
+            assert!(detail.contains("Unauthorized"), "typed rejection, got: {detail}")
+        }
+        other => panic!("bad MAC must be rejected, got {other:?}"),
+    };
+
+    // No secret configured on the client → zero MAC → rejected.
+    let mut anon = Client::connect(&transport).expect("connects");
+    expect_unauthorized(anon.hello(7).map(|_| ()));
+
+    // Wrong secret → rejected.
+    let mut wrong = Client::connect(&transport).expect("connects");
+    wrong.set_auth_secret(Some(SECRET ^ 1));
+    expect_unauthorized(wrong.hello(7).map(|_| ()));
+
+    // Right secret → admitted, and the gateway's geometry comes back.
+    let mut ok = Client::connect(&transport).expect("connects");
+    ok.set_auth_secret(Some(SECRET));
+    assert_eq!(ok.hello(7).expect("authenticates").frame_dim, 784);
+
+    // The raw wire rejection is a typed ErrorReply, not a dropped
+    // connection or a panic: replay a forged frame directly.
+    let forged = Message::Hello { client_id: 7, nonce: 1, mac: 2 }.encode();
+    let mut reply = Vec::new();
+    orco_serve::Service::handle_frame(&*gw, &forged, &mut reply, None);
+    match Message::decode(&reply).expect("typed reply") {
+        Message::ErrorReply { code, .. } => assert_eq!(code, ErrorCode::Unauthorized),
+        other => panic!("expected ErrorReply, got {}", other.kind()),
+    }
+}

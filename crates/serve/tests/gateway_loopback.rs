@@ -115,6 +115,7 @@ fn gateway_output_bit_identical_to_direct_batch_calls() {
         batch_max_frames: 7, // odd on purpose: flushes straddle pushes
         batch_deadline: Duration::from_secs(3600),
         queue_capacity: 4096,
+        auth_secret: None,
     };
     let (decoded, _) = run_schedule(cfg);
 
@@ -141,6 +142,7 @@ fn gateway_is_deterministic_across_thread_budgets() {
         batch_max_frames: 8,
         batch_deadline: Duration::from_millis(2),
         queue_capacity: 4096,
+        auth_secret: None,
     };
     let (decoded_1, stats_1) = parallel::with_thread_budget(1, || run_schedule(cfg));
     let (decoded_4, stats_4) = parallel::with_thread_budget(4, || run_schedule(cfg));
@@ -165,6 +167,7 @@ fn busy_backpressure_and_drain() {
         batch_max_frames: 4,
         batch_deadline: Duration::from_secs(3600),
         queue_capacity: 8,
+        auth_secret: None,
     };
     let gw = gateway(cfg);
     let mut client = Client::connect(&Loopback::new(Arc::clone(&gw))).expect("connects");
@@ -206,6 +209,7 @@ fn deadline_flushes_small_batches() {
         batch_max_frames: 1000,
         batch_deadline: Duration::from_millis(5),
         queue_capacity: 4096,
+        auth_secret: None,
     };
     let gw = gateway(cfg);
     let mut client = Client::connect(&Loopback::new(Arc::clone(&gw))).expect("connects");
@@ -233,6 +237,7 @@ fn deadline_flush_reaches_idle_shards() {
         batch_max_frames: 1000,
         batch_deadline: Duration::from_millis(5),
         queue_capacity: 4096,
+        auth_secret: None,
     };
     let gw = gateway(cfg);
     // Two clusters pinned to different shards.
@@ -261,6 +266,7 @@ fn advance_clock_sweeps_deadlines_without_traffic() {
         batch_max_frames: 1000,
         batch_deadline: Duration::from_millis(5),
         queue_capacity: 4096,
+        auth_secret: None,
     };
     let gw = gateway(cfg);
     let mut client = Client::connect(&Loopback::new(Arc::clone(&gw))).expect("connects");
@@ -285,6 +291,7 @@ fn flush_reasons_are_distinguished() {
         batch_max_frames: 4,
         batch_deadline: Duration::from_secs(3600),
         queue_capacity: 4096,
+        auth_secret: None,
     };
     let gw = gateway(cfg);
     let mut client = Client::connect(&Loopback::new(Arc::clone(&gw))).expect("connects");
@@ -318,6 +325,7 @@ fn shutdown_drains_and_rejects() {
         batch_max_frames: 100,
         batch_deadline: Duration::from_secs(3600),
         queue_capacity: 4096,
+        auth_secret: None,
     };
     let gw = gateway(cfg);
     let mut client = Client::connect(&Loopback::new(Arc::clone(&gw))).expect("connects");

@@ -52,6 +52,7 @@ fn gateway(clock: Clock) -> Arc<Gateway> {
                 batch_max_frames: 8,
                 batch_deadline: DEADLINE,
                 queue_capacity: 4096,
+                auth_secret: None,
             },
             clock,
             move |_| {
@@ -100,6 +101,7 @@ fn assert_liveness<C: Connection>(
                 match client.push(CLUSTERS[cluster], frames.as_view()).expect("push") {
                     PushOutcome::Accepted(n) => acked[cluster] += n as usize,
                     PushOutcome::Busy { .. } => {} // nothing admitted, nothing owed
+                    PushOutcome::Redirected { .. } => unreachable!("no fleet view installed"),
                 }
             }
             Op::Pull { cluster } => {

@@ -3,7 +3,7 @@
 //! [`WireError`] — never a panic, never a silent misparse.
 
 use orco_serve::protocol::{Message, HEADER_LEN};
-use orco_serve::{ErrorCode, StatsSnapshot, WireError};
+use orco_serve::{ErrorCode, GatewayEntry, StatsSnapshot, WireError};
 use orco_tensor::Matrix;
 use proptest::prelude::*;
 use proptest::BoxedStrategy;
@@ -38,7 +38,7 @@ fn any_snapshot() -> BoxedStrategy<StatsSnapshot> {
         (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
         (any::<u64>(), any::<u64>(), 0u16..=u16::MAX),
         (0.0f64..1.0e6, 0.0f64..1.0e6),
-        (any::<u64>(), any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
     )
         .prop_map(|(a, b, c, d, e)| StatsSnapshot {
             shards: c.2,
@@ -59,13 +59,31 @@ fn any_snapshot() -> BoxedStrategy<StatsSnapshot> {
             stored_codes: c.1,
             batch_latency_p50_s: d.0,
             batch_latency_p99_s: d.1,
+            streamed_rows: e.3,
+            redirects: e.4,
         })
         .boxed()
 }
 
+/// Gateway addresses: short printable ASCII, within `MAX_ADDR`.
+fn any_addr() -> BoxedStrategy<String> {
+    prop::collection::vec(0x20u8..=0x7e, 0..32)
+        .prop_map(|bytes| String::from_utf8(bytes).expect("printable ascii is utf-8"))
+        .boxed()
+}
+
+fn any_members() -> BoxedStrategy<Vec<GatewayEntry>> {
+    prop::collection::vec(
+        (any::<u64>(), any_addr()).prop_map(|(id, addr)| GatewayEntry { id, addr }),
+        0..6,
+    )
+    .boxed()
+}
+
 fn any_message() -> BoxedStrategy<Message> {
     prop_oneof![
-        any::<u64>().prop_map(|client_id| Message::Hello { client_id }),
+        (any::<u64>(), any::<u64>(), any::<u64>())
+            .prop_map(|(client_id, nonce, mac)| Message::Hello { client_id, nonce, mac }),
         (0u16..=u16::MAX, 0u16..=u16::MAX, 0u32..=u32::MAX, 0u32..=u32::MAX).prop_map(
             |(version, shards, frame_dim, code_dim)| Message::HelloAck {
                 version,
@@ -87,16 +105,37 @@ fn any_message() -> BoxedStrategy<Message> {
         any_snapshot().prop_map(Message::StatsReply),
         Just(Message::Shutdown),
         Just(Message::ShutdownAck),
-        (0usize..4, prop::collection::vec(0u8..=127, 0..24)).prop_map(|(code, bytes)| {
+        (0usize..5, prop::collection::vec(0u8..=127, 0..24)).prop_map(|(code, bytes)| {
             let code = [
                 ErrorCode::BadRequest,
                 ErrorCode::Shape,
                 ErrorCode::ShuttingDown,
                 ErrorCode::Internal,
+                ErrorCode::Unauthorized,
             ][code];
             let detail = String::from_utf8(bytes).expect("ascii is utf-8");
             Message::ErrorReply { code, detail }
         }),
+        (any::<u64>(), any::<u64>(), any_addr())
+            .prop_map(|(cluster_id, epoch, addr)| Message::Redirect { cluster_id, epoch, addr }),
+        Just(Message::DirectoryQuery),
+        (any::<u64>(), any_members())
+            .prop_map(|(epoch, members)| Message::DirectoryReply { epoch, members }),
+        (any::<u64>(), any_addr(), any::<u64>(), any::<u64>()).prop_map(
+            |(gateway_id, addr, nonce, mac)| Message::Register { gateway_id, addr, nonce, mac }
+        ),
+        (any::<u64>(), any_members())
+            .prop_map(|(epoch, members)| Message::RegisterAck { epoch, members }),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(gateway_id, epoch)| Message::Heartbeat { gateway_id, epoch }),
+        (any::<u64>(), any_members())
+            .prop_map(|(epoch, members)| Message::HeartbeatAck { epoch, members }),
+        any::<u64>().prop_map(|cluster_id| Message::Subscribe { cluster_id }),
+        (any::<u64>(), 0u32..=u32::MAX)
+            .prop_map(|(cluster_id, backlog)| Message::SubscribeAck { cluster_id, backlog }),
+        any::<u64>().prop_map(|cluster_id| Message::Unsubscribe { cluster_id }),
+        (any::<u64>(), any_bits_matrix())
+            .prop_map(|(cluster_id, frames)| Message::StreamFrames { cluster_id, frames }),
     ]
     .boxed()
 }

@@ -20,6 +20,7 @@ fn tcp_gateway_serves_and_shuts_down() {
                 batch_max_frames: 8,
                 batch_deadline: Duration::from_millis(2),
                 queue_capacity: 1024,
+                auth_secret: None,
             },
             Clock::real(),
             |_| {
@@ -49,6 +50,9 @@ fn tcp_gateway_serves_and_shuts_down() {
                         PushOutcome::Accepted(n) => pushed += n as usize,
                         PushOutcome::Busy { .. } => {
                             std::thread::sleep(Duration::from_millis(1));
+                        }
+                        PushOutcome::Redirected { .. } => {
+                            unreachable!("no fleet view installed")
                         }
                     }
                 }

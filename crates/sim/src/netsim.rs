@@ -186,6 +186,14 @@ impl NetScenario {
         self.at(window.start, link, LinkAction::Partition).at(window.end, link, LinkAction::Heal)
     }
 
+    /// Cuts `link` at `from_t_s` and never heals it — the script of a
+    /// crashed endpoint's links (fleet kill scenarios), where a healing
+    /// window would be a lie.
+    #[must_use]
+    pub fn cut(self, link: usize, from_t_s: f64) -> Self {
+        self.at(from_t_s, link, LinkAction::Partition)
+    }
+
     /// The script sorted by time (stable: same-time actions keep their
     /// scripting order).
     #[must_use]

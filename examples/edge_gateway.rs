@@ -11,7 +11,7 @@
 //!
 //! ```sh
 //! cargo run --release --example edge_gateway
-//! cargo run --release -p orco-serve --bin loadgen -- --clients 2 --frames 64 --shutdown
+//! cargo run --release -p orco-fleet --bin loadgen -- --clients 2 --frames 64 --shutdown
 //! ```
 //!
 //! The gateway serves until a client sends `Shutdown` (the loadgen
@@ -47,6 +47,7 @@ fn main() {
                 batch_max_frames: 32,
                 batch_deadline: Duration::from_millis(5),
                 queue_capacity: 4096,
+                auth_secret: None,
             },
             Clock::real(),
             |shard| {

@@ -1,0 +1,105 @@
+//! A three-gateway fleet behind a directory, in one process.
+//!
+//! The fleet quickstart: spawns the cluster directory, three TCP
+//! gateways serving the same trained codec, and one heartbeating
+//! [`GatewayAgent`](orcodcs_repro::fleet::GatewayAgent) per gateway.
+//! Clusters are rendezvous-assigned across the fleet; a push sent to the
+//! wrong gateway draws a `Redirect` naming the owner, never a silent
+//! misroute. Drive it from a second terminal:
+//!
+//! ```sh
+//! cargo run --release --example fleet_gateway
+//! cargo run --release -p orco-fleet --bin loadgen -- \
+//!     --fleet 127.0.0.1:7300 --clients 3 --frames 64 --shutdown
+//! ```
+//!
+//! The fleet serves until a client shuts every member down (the loadgen
+//! `--shutdown` flag stops each gateway, then the directory). The
+//! directory bind address comes from `ORCO_FLEET_ADDR` (default
+//! `127.0.0.1:7300`); gateways bind ephemeral ports and advertise them
+//! through the directory, so clients only ever need the one address.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use orcodcs_repro::core::{AsymmetricAutoencoder, Codec, OrcoConfig, TrainSpec};
+use orcodcs_repro::datasets::mnist_like;
+use orcodcs_repro::fleet::{AgentConfig, Directory, DirectoryConfig, GatewayAgent};
+use orcodcs_repro::serve::{Clock, Gateway, GatewayConfig, Service, TcpServer};
+
+fn main() {
+    let dir_addr = std::env::var("ORCO_FLEET_ADDR").unwrap_or_else(|_| "127.0.0.1:7300".into());
+
+    // The directory: the fleet's single well-known address.
+    let directory = Arc::new(
+        Directory::new(DirectoryConfig::default(), Clock::real()).expect("valid directory"),
+    );
+    let dir_server =
+        TcpServer::spawn_service(Arc::clone(&directory) as Arc<dyn Service>, dir_addr.as_str())
+            .expect("directory binds");
+    println!("directory listening on {}", dir_server.local_addr());
+
+    // One trained codec config shared by every gateway: training is
+    // deterministic, so all members serve bit-identical weights and a
+    // redirected client loses nothing by switching owners.
+    let dataset = mnist_like::generate(64, 17);
+    let config = OrcoConfig::for_dataset(dataset.kind()).with_latent_dim(64).with_seed(17);
+    let spec = TrainSpec { epochs: 2, batch_size: 16, seed: 17, data_fraction: 1.0 };
+
+    let mut servers = Vec::new();
+    let mut agents = Vec::new();
+    let mut gateways = Vec::new();
+    for id in 1..=3u64 {
+        let dataset = dataset.clone();
+        let config = config.clone();
+        let gateway = Arc::new(
+            Gateway::new(GatewayConfig::default(), Clock::real(), move |shard| {
+                let mut codec = AsymmetricAutoencoder::new(&config).expect("valid config");
+                codec.train(dataset.x(), &spec).expect("training converges");
+                println!("gateway {id} shard {shard}: codec trained");
+                Box::new(codec) as Box<dyn Codec>
+            })
+            .expect("valid gateway"),
+        );
+        let server = TcpServer::spawn(Arc::clone(&gateway), "127.0.0.1:0").expect("binds");
+        let advertise = server.local_addr().to_string();
+        let agent = GatewayAgent::spawn(
+            Arc::clone(&gateway),
+            AgentConfig {
+                gateway_id: id,
+                advertise_addr: advertise.clone(),
+                directory_addr: dir_addr.clone(),
+                auth_secret: None,
+                heartbeat_interval: Duration::from_millis(100),
+            },
+        )
+        .expect("agent registers");
+        println!("gateway {id} serving on {advertise}");
+        servers.push(server);
+        agents.push(agent);
+        gateways.push(gateway);
+    }
+
+    println!(
+        "fleet of 3 up; serving until a client shuts it down (loadgen --fleet --shutdown) ..."
+    );
+    for server in servers {
+        server.join();
+    }
+    for agent in agents {
+        agent.join();
+    }
+    dir_server.join();
+
+    for (i, gateway) in gateways.iter().enumerate() {
+        let stats = gateway.stats();
+        println!(
+            "gateway {}: {} frames in / {} out over {} micro-batches, {} redirects issued",
+            i + 1,
+            stats.frames_in,
+            stats.frames_out,
+            stats.batches,
+            stats.redirects,
+        );
+    }
+}

@@ -13,12 +13,14 @@
 //! * [`baselines`] — DCSNet and traditional CS ([`orco_baselines`]).
 //! * [`classifier`] — the follow-up CNN application ([`orco_classifier`]).
 //! * [`serve`] — the sharded edge-ingestion gateway ([`orco_serve`]).
+//! * [`fleet`] — the cluster directory service and gateway fleet ([`orco_fleet`]).
 
 #![forbid(unsafe_code)]
 
 pub use orco_baselines as baselines;
 pub use orco_classifier as classifier;
 pub use orco_datasets as datasets;
+pub use orco_fleet as fleet;
 pub use orco_nn as nn;
 pub use orco_serve as serve;
 pub use orco_sim as sim;
