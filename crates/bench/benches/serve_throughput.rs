@@ -33,6 +33,10 @@ struct Config {
     shards: usize,
     batch_max: usize,
     deadline_ms: u64,
+    /// Gateway-side span recording on (a live `Tracer` ring) or off
+    /// (capacity 0, every record a no-op). The wire carries trace ids
+    /// either way, so this isolates the recording cost.
+    traced: bool,
 }
 
 struct Row {
@@ -40,6 +44,7 @@ struct Row {
     shards: usize,
     batch_max: usize,
     deadline_ms: u64,
+    traced: bool,
     frames_per_s: f64,
 }
 
@@ -55,6 +60,7 @@ fn run(cfg: &Config, total: usize) -> f64 {
                 batch_deadline: Duration::from_millis(cfg.deadline_ms),
                 queue_capacity: 4096,
                 auth_secret: None,
+                trace_capacity: if cfg.traced { 1 << 16 } else { 0 },
             },
             Clock::manual(QUANTUM),
             |_| {
@@ -131,27 +137,59 @@ fn main() {
     let total = if quick { 1024 } else { 8192 };
 
     let configs = [
-        Config { label: "batch-1", shards: 1, batch_max: 1, deadline_ms: 50 },
-        Config { label: "batch-16", shards: 1, batch_max: 16, deadline_ms: 50 },
-        Config { label: "batch-64", shards: 1, batch_max: 64, deadline_ms: 50 },
-        Config { label: "batch-64-2shard", shards: 2, batch_max: 64, deadline_ms: 50 },
-        Config { label: "batch-64-4shard", shards: 4, batch_max: 64, deadline_ms: 50 },
-        Config { label: "batch-64-1ms", shards: 1, batch_max: 64, deadline_ms: 1 },
+        Config { label: "batch-1", shards: 1, batch_max: 1, deadline_ms: 50, traced: false },
+        Config { label: "batch-16", shards: 1, batch_max: 16, deadline_ms: 50, traced: false },
+        Config { label: "batch-64", shards: 1, batch_max: 64, deadline_ms: 50, traced: false },
+        Config {
+            label: "batch-64-traced",
+            shards: 1,
+            batch_max: 64,
+            deadline_ms: 50,
+            traced: true,
+        },
+        Config {
+            label: "batch-64-2shard",
+            shards: 2,
+            batch_max: 64,
+            deadline_ms: 50,
+            traced: false,
+        },
+        Config {
+            label: "batch-64-4shard",
+            shards: 4,
+            batch_max: 64,
+            deadline_ms: 50,
+            traced: false,
+        },
+        Config { label: "batch-64-1ms", shards: 1, batch_max: 64, deadline_ms: 1, traced: false },
     ];
 
-    let mut rows = Vec::new();
-    for cfg in &configs {
-        // Warm-up run grows every workspace to size.
-        let _ = run(cfg, total.min(256));
-        let frames_per_s = run(cfg, total);
-        rows.push(Row {
+    // Interleaved rounds with a per-config best: compared configs (the
+    // 2x stake, the tracing stake — its pair runs back to back) are
+    // measured close together in time each round, so ambient load drift
+    // hits both sides of a ratio instead of biasing it.
+    let mut best = vec![0.0f64; configs.len()];
+    for round in 0..3 {
+        for (i, cfg) in configs.iter().enumerate() {
+            if round == 0 {
+                // Warm-up run grows every workspace to size.
+                let _ = run(cfg, total.min(256));
+            }
+            best[i] = best[i].max(run(cfg, total));
+        }
+    }
+    let rows: Vec<Row> = configs
+        .iter()
+        .zip(&best)
+        .map(|(cfg, &frames_per_s)| Row {
             label: cfg.label,
             shards: cfg.shards,
             batch_max: cfg.batch_max,
             deadline_ms: cfg.deadline_ms,
+            traced: cfg.traced,
             frames_per_s,
-        });
-    }
+        })
+        .collect();
 
     println!(
         "serve_throughput (loopback, 1 thread, {} frames, {} scale)",
@@ -173,6 +211,8 @@ fn main() {
         |label: &str| rows.iter().find(|r| r.label == label).expect("config exists").frames_per_s;
     let speedup = fps("batch-64") / fps("batch-1");
     println!("\nbatched (64) vs batch-size-1 gateway on one core: {speedup:.2}x");
+    let tracing_overhead = 1.0 - fps("batch-64-traced") / fps("batch-64");
+    println!("tracing overhead at batch 64: {:.2}%", tracing_overhead * 100.0);
 
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"bench\": \"serve_throughput\",");
@@ -185,13 +225,14 @@ fn main() {
     );
     let _ = writeln!(json, "  \"frames\": {total},");
     let _ = writeln!(json, "  \"batched64_vs_batch1_speedup\": {speedup:.4},");
+    let _ = writeln!(json, "  \"tracing_overhead_batch64\": {tracing_overhead:.4},");
     let _ = writeln!(json, "  \"results\": [");
     for (i, r) in rows.iter().enumerate() {
         let comma = if i + 1 == rows.len() { "" } else { "," };
         let _ = writeln!(
             json,
-            "    {{\"config\": \"{}\", \"shards\": {}, \"batch_max\": {}, \"deadline_ms\": {}, \"frames_per_s\": {:.2}}}{comma}",
-            r.label, r.shards, r.batch_max, r.deadline_ms, r.frames_per_s
+            "    {{\"config\": \"{}\", \"shards\": {}, \"batch_max\": {}, \"deadline_ms\": {}, \"traced\": {}, \"frames_per_s\": {:.2}}}{comma}",
+            r.label, r.shards, r.batch_max, r.deadline_ms, r.traced, r.frames_per_s
         );
     }
     let _ = writeln!(json, "  ]");
@@ -208,5 +249,12 @@ fn main() {
     assert!(
         speedup >= 2.0,
         "batched gateway fell below the 2x acceptance bar vs batch-size-1 ({speedup:.2}x)"
+    );
+    // The observability stake: recording spans into the bounded ring must
+    // cost at most 5% of batch-64 throughput.
+    assert!(
+        tracing_overhead <= 0.05,
+        "tracing cost {:.2}% of batch-64 throughput (bar: 5%)",
+        tracing_overhead * 100.0
     );
 }

@@ -80,12 +80,15 @@ fn heartbeat_loop(
     let mut epoch = gateway.fleet_view().map_or(0, |v| v.epoch);
     while !gateway.is_shutting_down() {
         std::thread::sleep(cfg.heartbeat_interval);
-        let beat = directory.heartbeat(cfg.gateway_id, epoch).or_else(|_| {
-            // Evicted (slept through the timeout) or the directory
-            // connection dropped: re-dial and re-register.
-            *directory = DirectoryClient::connect(&Tcp::new(&cfg.directory_addr))?;
-            directory.register(cfg.gateway_id, &cfg.advertise_addr, cfg.auth_secret)
-        });
+        // Piggyback the live stats snapshot so the directory's fleet
+        // view stays a heartbeat fresh.
+        let beat =
+            directory.heartbeat(cfg.gateway_id, epoch, Some(gateway.stats())).or_else(|_| {
+                // Evicted (slept through the timeout) or the directory
+                // connection dropped: re-dial and re-register.
+                *directory = DirectoryClient::connect(&Tcp::new(&cfg.directory_addr))?;
+                directory.register(cfg.gateway_id, &cfg.advertise_addr, cfg.auth_secret)
+            });
         match beat {
             Ok((new_epoch, members)) => {
                 if new_epoch != epoch {

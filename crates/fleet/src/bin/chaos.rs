@@ -162,7 +162,8 @@ fn run_and_verify(name: &str, args: &Args) -> bool {
     match replay_scenario(&reparsed) {
         Ok(replayed)
             if replayed.stats_frame == outcome.stats_frame
-                && replayed.decoded_fnv == outcome.decoded_fnv =>
+                && replayed.decoded_fnv == outcome.decoded_fnv
+                && replayed.trace_export == outcome.trace_export =>
         {
             summarize("replay", &replayed);
             true
@@ -207,7 +208,8 @@ fn run_and_verify_fleet(name: &str, args: &Args) -> bool {
         Ok(replayed)
             if replayed.stats_frames == outcome.stats_frames
                 && replayed.decoded_fnv == outcome.decoded_fnv
-                && replayed.final_epoch == outcome.final_epoch =>
+                && replayed.final_epoch == outcome.final_epoch
+                && replayed.trace_export == outcome.trace_export =>
         {
             summarize_fleet("replay", &replayed);
             true

@@ -13,8 +13,15 @@
 //! fleet directory instead of dialing one gateway: each client fetches
 //! the epoch'd assignment table, routes every push to the owner it
 //! computes locally, **chases redirects** when its table goes stale, and
-//! the final report breaks throughput down **per gateway**. Keyed fleets
-//! take `--auth-secret`.
+//! the final report breaks throughput down **per gateway** — plus the
+//! directory's aggregated fleet ledger (heartbeat-piggybacked stats,
+//! eviction and epoch counters). Keyed fleets take `--auth-secret`.
+//!
+//! `--metrics` skips the load entirely and one-shots the metrics text
+//! exposition (every gateway in fleet mode). `--json <path>` writes a
+//! machine-readable run report: throughput, Busy rate, redirects, the
+//! client-observed push-latency histogram, and the scraped gateway
+//! stats.
 //!
 //! Pair it with the `edge_gateway` or `fleet_gateway` examples:
 //!
@@ -28,10 +35,12 @@
 //! ```
 
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use orco_fleet::FleetClient;
-use orco_serve::{Backoff, Client, PushOutcome, Tcp, TcpConnection};
+use orco_obs::{Histogram, HistogramSnapshot};
+use orco_serve::{Backoff, Client, GatewayStats, PushOutcome, StatsSnapshot, Tcp, TcpConnection};
 use orco_tensor::{Matrix, OrcoRng};
 use orcodcs::OrcoError;
 
@@ -47,6 +56,10 @@ struct Args {
     shutdown: bool,
     connect_timeout: Duration,
     seed: u64,
+    /// Write a machine-readable run report here.
+    json: Option<PathBuf>,
+    /// One-shot: scrape and print the metrics exposition, run no load.
+    metrics_only: bool,
 }
 
 impl Args {
@@ -62,6 +75,8 @@ impl Args {
             shutdown: false,
             connect_timeout: Duration::from_secs(10),
             seed: 0xC0FFEE,
+            json: None,
+            metrics_only: false,
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
@@ -89,12 +104,14 @@ impl Args {
                 }
                 "--shutdown" => args.shutdown = true,
                 "--seed" => args.seed = value("--seed").parse().expect("u64"),
+                "--json" => args.json = Some(PathBuf::from(value("--json"))),
+                "--metrics" => args.metrics_only = true,
                 other => {
                     eprintln!(
                         "unknown flag {other}\nusage: loadgen [--addr HOST:PORT | --fleet \
                          HOST:PORT] [--auth-secret N] [--clients N] [--frames M] \
                          [--rows-per-push R] [--pull-chunk K] [--connect-timeout-s S] \
-                         [--seed N] [--shutdown]"
+                         [--seed N] [--json PATH] [--metrics] [--shutdown]"
                     );
                     std::process::exit(2);
                 }
@@ -146,7 +163,20 @@ fn fleet_connect_with_retry(
     }
 }
 
-fn run_client(args: &Args, id: usize) -> Result<(usize, usize), OrcoError> {
+/// What one client thread reports back (fleet-only fields zero/empty in
+/// single mode).
+struct ClientReport {
+    pushed: usize,
+    pulled: usize,
+    /// `Busy` rejections honored with a backoff-and-retry.
+    busy: u64,
+    /// Client-observed push round-trip latency, log2-ns buckets.
+    latency: HistogramSnapshot,
+    redirects: u64,
+    by_gateway: Vec<(String, u64)>,
+}
+
+fn run_client(args: &Args, id: usize) -> Result<ClientReport, OrcoError> {
     let transport = Tcp::new(args.addr.clone());
     let mut client = connect_with_retry(&transport, args.connect_timeout)?;
     client.set_auth_secret(args.auth_secret);
@@ -159,12 +189,17 @@ fn run_client(args: &Args, id: usize) -> Result<(usize, usize), OrcoError> {
     // off on decorrelated schedules instead of retrying in lockstep.
     let mut backoff =
         Backoff::new(Duration::from_millis(1), Duration::from_millis(64), args.seed ^ id as u64);
+    let latency = Histogram::new();
 
     let mut pushed = 0usize;
     let mut pulled = 0usize;
+    let mut busy = 0u64;
     while pushed < args.frames {
         let hi = (pushed + args.rows_per_push).min(args.frames);
-        match client.push(cluster, frames.view_rows(pushed..hi))? {
+        let sent = Instant::now();
+        let outcome = client.push(cluster, frames.view_rows(pushed..hi))?;
+        latency.record_ns(u64::try_from(sent.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        match outcome {
             PushOutcome::Accepted(n) => {
                 pushed += n as usize;
                 backoff.reset();
@@ -172,6 +207,7 @@ fn run_client(args: &Args, id: usize) -> Result<(usize, usize), OrcoError> {
             PushOutcome::Busy { .. } => {
                 // Backpressure: drain some decoded output, then retry
                 // after a jittered, exponentially growing wait.
+                busy += 1;
                 pulled += client.pull(cluster, args.pull_chunk)?.rows();
                 std::thread::sleep(backoff.next_delay());
             }
@@ -194,12 +230,15 @@ fn run_client(args: &Args, id: usize) -> Result<(usize, usize), OrcoError> {
         pulled += got;
         backoff.reset();
     }
-    Ok((pushed, pulled))
+    Ok(ClientReport {
+        pushed,
+        pulled,
+        busy,
+        latency: latency.snapshot(),
+        redirects: 0,
+        by_gateway: Vec::new(),
+    })
 }
-
-/// What one fleet client reports back: frames pushed, frames pulled,
-/// redirects chased, and its per-gateway pushed-row ledger.
-type FleetClientReport = (usize, usize, u64, Vec<(String, u64)>);
 
 /// One fleet client's run: push windows to directory-computed owners
 /// (redirects chased inside [`FleetClient::push`]), drain each window
@@ -208,7 +247,7 @@ fn run_fleet_client(
     args: &Args,
     directory_addr: &str,
     id: usize,
-) -> Result<FleetClientReport, OrcoError> {
+) -> Result<ClientReport, OrcoError> {
     let mut fleet = fleet_connect_with_retry(
         directory_addr,
         id as u64,
@@ -222,12 +261,16 @@ fn run_fleet_client(
     let frames = Matrix::from_fn(args.frames, frame_dim, |_, _| rng.uniform(0.0, 1.0));
     let mut backoff =
         Backoff::new(Duration::from_millis(1), Duration::from_millis(64), args.seed ^ id as u64);
+    let latency = Histogram::new();
 
     let mut pushed = 0usize;
     let mut pulled = 0usize;
+    let mut busy = 0u64;
     while pushed < args.frames {
         let hi = (pushed + args.rows_per_push).min(args.frames);
+        let sent = Instant::now();
         let (outcome, addr) = fleet.push(cluster, frames.view_rows(pushed..hi))?;
+        latency.record_ns(u64::try_from(sent.elapsed().as_nanos()).unwrap_or(u64::MAX));
         match outcome {
             PushOutcome::Accepted(n) => {
                 pushed += n as usize;
@@ -245,6 +288,7 @@ fn run_fleet_client(
                 }
             }
             PushOutcome::Busy { .. } => {
+                busy += 1;
                 pulled += fleet.pull_from(&addr, cluster, args.pull_chunk)?.rows();
                 std::thread::sleep(backoff.next_delay());
             }
@@ -253,14 +297,57 @@ fn run_fleet_client(
             }
         }
     }
-    Ok((pushed, pulled, fleet.redirects_chased(), fleet.pushed_rows_by_gateway()))
+    Ok(ClientReport {
+        pushed,
+        pulled,
+        busy,
+        latency: latency.snapshot(),
+        redirects: fleet.redirects_chased(),
+        by_gateway: fleet.pushed_rows_by_gateway(),
+    })
 }
 
 fn main() {
     let args = Args::parse();
+    if args.metrics_only {
+        metrics_main(&args);
+        return;
+    }
     match args.fleet.clone() {
         Some(directory_addr) => fleet_main(&args, &directory_addr),
         None => single_main(&args),
+    }
+}
+
+/// `--metrics`: scrape and print the text exposition, run no load.
+fn metrics_main(args: &Args) {
+    if let Some(directory_addr) = &args.fleet {
+        let mut control = fleet_connect_with_retry(
+            directory_addr,
+            u64::MAX,
+            args.auth_secret,
+            args.connect_timeout,
+        )
+        .expect("control conn");
+        let members: Vec<_> = control.members().to_vec();
+        for m in &members {
+            match control.metrics_of(&m.addr) {
+                Ok(text) => {
+                    println!("# gateway {} ({})", m.id, m.addr);
+                    print!("{text}");
+                }
+                Err(e) => eprintln!("metrics request failed for {}: {e}", m.addr),
+            }
+        }
+        match control.fleet_stats() {
+            Ok((epoch, evictions, gateways)) => print_fleet_ledger(epoch, evictions, &gateways),
+            Err(e) => eprintln!("fleet stats query failed: {e}"),
+        }
+    } else {
+        let transport = Tcp::new(args.addr.clone());
+        let mut control =
+            connect_with_retry(&transport, args.connect_timeout).expect("control conn");
+        print!("{}", control.metrics().expect("metrics reply"));
     }
 }
 
@@ -279,11 +366,18 @@ fn single_main(args: &Args) {
     let elapsed = start.elapsed().as_secs_f64();
 
     let mut total = 0usize;
+    let mut busy = 0u64;
+    let mut latency = empty_histogram();
     for (id, r) in results.iter().enumerate() {
         match r {
-            Ok((pushed, pulled)) => {
-                println!("  client {id}: pushed {pushed}, pulled {pulled}");
-                total += pulled;
+            Ok(rep) => {
+                println!(
+                    "  client {id}: pushed {}, pulled {}, busy retries {}",
+                    rep.pushed, rep.pulled, rep.busy
+                );
+                total += rep.pulled;
+                busy += rep.busy;
+                merge_histogram(&mut latency, &rep.latency);
             }
             Err(e) => {
                 eprintln!("  client {id} failed: {e}");
@@ -292,13 +386,29 @@ fn single_main(args: &Args) {
         }
     }
     println!(
-        "loadgen: {total} frames served end-to-end in {elapsed:.3}s ({:.0} frames/s)",
-        total as f64 / elapsed
+        "loadgen: {total} frames served end-to-end in {elapsed:.3}s ({:.0} frames/s), \
+         busy rate {:.4}",
+        total as f64 / elapsed,
+        busy_rate(busy, latency.count)
     );
 
     let transport = Tcp::new(args.addr.clone());
     let mut control = connect_with_retry(&transport, args.connect_timeout).expect("control conn");
-    print_stats(&args.addr, control.stats());
+    let stats = control.stats();
+    print_stats(&args.addr, &stats);
+    if let Some(path) = &args.json {
+        let metrics_text = control.metrics().expect("metrics reply");
+        let mut gateways = String::new();
+        if let Ok(s) = &stats {
+            gateways = stats_json(&args.addr, s);
+        }
+        let report = run_report_json(args, "single", total, elapsed, busy, 0, &latency)
+            + &format!(
+                ",\n  \"gateways\": [{gateways}],\n  \"metrics_text\": \"{}\"\n}}\n",
+                json_escape(&metrics_text)
+            );
+        write_json_report(path, &report);
+    }
     if args.shutdown {
         control.shutdown().expect("shutdown accepted");
         println!("loadgen: gateway shutdown requested");
@@ -321,15 +431,22 @@ fn fleet_main(args: &Args, directory_addr: &str) {
     let elapsed = start.elapsed().as_secs_f64();
 
     let mut total = 0usize;
+    let mut busy = 0u64;
     let mut redirects = 0u64;
+    let mut latency = empty_histogram();
     let mut per_gateway: BTreeMap<String, u64> = BTreeMap::new();
     for (id, r) in results.iter().enumerate() {
         match r {
-            Ok((pushed, pulled, chased, by_gateway)) => {
-                println!("  client {id}: pushed {pushed}, pulled {pulled}, redirects {chased}");
-                total += pulled;
-                redirects += chased;
-                for (addr, rows) in by_gateway {
+            Ok(rep) => {
+                println!(
+                    "  client {id}: pushed {}, pulled {}, redirects {}, busy retries {}",
+                    rep.pushed, rep.pulled, rep.redirects, rep.busy
+                );
+                total += rep.pulled;
+                busy += rep.busy;
+                redirects += rep.redirects;
+                merge_histogram(&mut latency, &rep.latency);
+                for (addr, rows) in &rep.by_gateway {
                     *per_gateway.entry(addr.clone()).or_insert(0) += rows;
                 }
             }
@@ -341,22 +458,47 @@ fn fleet_main(args: &Args, directory_addr: &str) {
     }
     println!(
         "loadgen: {total} frames served end-to-end in {elapsed:.3}s ({:.0} frames/s), \
-         {redirects} redirect(s) chased",
-        total as f64 / elapsed
+         {redirects} redirect(s) chased, busy rate {:.4}",
+        total as f64 / elapsed,
+        busy_rate(busy, latency.count)
     );
     println!("per-gateway throughput:");
     for (addr, rows) in &per_gateway {
         println!("  {addr}: {rows} rows ({:.0} rows/s)", *rows as f64 / elapsed);
     }
 
-    // Control pass: stats from every registered gateway, then (with
-    // --shutdown) take the whole fleet down, directory last.
+    // Control pass: stats from every registered gateway, the directory's
+    // aggregated fleet ledger, then (with --shutdown) take the whole
+    // fleet down, directory last.
     let mut control =
         fleet_connect_with_retry(directory_addr, u64::MAX, args.auth_secret, args.connect_timeout)
             .expect("control conn");
     let members: Vec<_> = control.members().to_vec();
+    let mut gateways_json = Vec::new();
     for m in &members {
-        print_stats(&m.addr, control.stats_of(&m.addr));
+        let stats = control.stats_of(&m.addr);
+        print_stats(&m.addr, &stats);
+        if let Ok(s) = &stats {
+            gateways_json.push(stats_json(&m.addr, s));
+        }
+    }
+    let ledger = control.fleet_stats();
+    match &ledger {
+        Ok((epoch, evictions, gateways)) => print_fleet_ledger(*epoch, *evictions, gateways),
+        Err(e) => eprintln!("fleet stats query failed: {e}"),
+    }
+    if let Some(path) = &args.json {
+        let mut report = run_report_json(args, "fleet", total, elapsed, busy, redirects, &latency);
+        report.push_str(&format!(",\n  \"gateways\": [{}]", gateways_json.join(", ")));
+        if let Ok((epoch, evictions, gateways)) = &ledger {
+            report.push_str(&format!(
+                ",\n  \"fleet\": {{\"epoch\": {epoch}, \"evictions\": {evictions}, \
+                 \"gateways\": [{}]}}",
+                gateways.iter().map(ledger_entry_json).collect::<Vec<_>>().join(", ")
+            ));
+        }
+        report.push_str("\n}\n");
+        write_json_report(path, &report);
     }
     if args.shutdown {
         for m in &members {
@@ -367,7 +509,7 @@ fn fleet_main(args: &Args, directory_addr: &str) {
     }
 }
 
-fn print_stats(addr: &str, stats: Result<orco_serve::StatsSnapshot, OrcoError>) {
+fn print_stats(addr: &str, stats: &Result<StatsSnapshot, OrcoError>) {
     match stats {
         Ok(s) => println!(
             "gateway {addr} stats: frames_in={} frames_out={} batches={} (max batch {}) \
@@ -387,5 +529,170 @@ fn print_stats(addr: &str, stats: Result<orco_serve::StatsSnapshot, OrcoError>) 
             s.batch_latency_p99_s
         ),
         Err(e) => eprintln!("stats request failed for {addr}: {e}"),
+    }
+}
+
+/// Renders the directory's aggregated fleet view: one line per gateway
+/// (frozen entries are evicted gateways' last reports) plus an
+/// alive-only rollup.
+fn print_fleet_ledger(epoch: u64, evictions: u64, gateways: &[GatewayStats]) {
+    println!("fleet ledger (directory view): epoch {epoch}, {evictions} eviction(s)");
+    let mut rollup = (0u64, 0u64, 0u64, 0u64);
+    for g in gateways {
+        println!(
+            "  gateway {} [{}]: frames_in={} frames_out={} batches={} busy={} redirects={} \
+             queue_depth={}",
+            g.id,
+            if g.alive { "alive" } else { "frozen" },
+            g.snapshot.frames_in,
+            g.snapshot.frames_out,
+            g.snapshot.batches,
+            g.snapshot.busy_rejections,
+            g.snapshot.redirects,
+            g.snapshot.queue_depth
+        );
+        if g.alive {
+            rollup.0 += g.snapshot.frames_in;
+            rollup.1 += g.snapshot.frames_out;
+            rollup.2 += g.snapshot.busy_rejections;
+            rollup.3 += g.snapshot.redirects;
+        }
+    }
+    println!(
+        "  rollup (alive): frames_in={} frames_out={} busy={} redirects={}",
+        rollup.0, rollup.1, rollup.2, rollup.3
+    );
+}
+
+// ---- JSON report ------------------------------------------------------
+
+fn empty_histogram() -> HistogramSnapshot {
+    Histogram::new().snapshot()
+}
+
+fn merge_histogram(into: &mut HistogramSnapshot, from: &HistogramSnapshot) {
+    for (a, b) in into.buckets.iter_mut().zip(from.buckets.iter()) {
+        *a += b;
+    }
+    into.count += from.count;
+    into.sum_ns += from.sum_ns;
+}
+
+/// Busy rejections per push round trip (both count one wire exchange).
+fn busy_rate(busy: u64, push_round_trips: u64) -> f64 {
+    if push_round_trips == 0 {
+        0.0
+    } else {
+        busy as f64 / push_round_trips as f64
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// JSON has no NaN/∞; non-finite floats become null.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+fn histogram_json(h: &HistogramSnapshot) -> String {
+    let last = h.buckets.iter().rposition(|&c| c != 0).map_or(0, |i| i + 1);
+    let buckets: Vec<String> = (0..last)
+        .map(|i| {
+            format!(
+                "{{\"le_ns\": {}, \"count\": {}}}",
+                HistogramSnapshot::upper_bound_ns(i),
+                h.buckets[i]
+            )
+        })
+        .collect();
+    format!(
+        "{{\"count\": {}, \"sum_ns\": {}, \"buckets\": [{}]}}",
+        h.count,
+        h.sum_ns,
+        buckets.join(", ")
+    )
+}
+
+fn stats_json(addr: &str, s: &StatsSnapshot) -> String {
+    format!(
+        "{{\"addr\": \"{}\", \"frames_in\": {}, \"frames_out\": {}, \"batches\": {}, \
+         \"busy_rejections\": {}, \"redirects\": {}, \"queue_depth\": {}, \
+         \"batch_latency_p50_s\": {}, \"batch_latency_p99_s\": {}}}",
+        json_escape(addr),
+        s.frames_in,
+        s.frames_out,
+        s.batches,
+        s.busy_rejections,
+        s.redirects,
+        s.queue_depth,
+        json_f64(s.batch_latency_p50_s),
+        json_f64(s.batch_latency_p99_s)
+    )
+}
+
+fn ledger_entry_json(g: &GatewayStats) -> String {
+    format!(
+        "{{\"id\": {}, \"alive\": {}, \"frames_in\": {}, \"frames_out\": {}, \
+         \"busy_rejections\": {}, \"redirects\": {}}}",
+        g.id,
+        g.alive,
+        g.snapshot.frames_in,
+        g.snapshot.frames_out,
+        g.snapshot.busy_rejections,
+        g.snapshot.redirects
+    )
+}
+
+/// The report's common prefix — the caller appends mode-specific fields
+/// and the closing brace.
+fn run_report_json(
+    args: &Args,
+    mode: &str,
+    total: usize,
+    elapsed: f64,
+    busy: u64,
+    redirects: u64,
+    latency: &HistogramSnapshot,
+) -> String {
+    format!(
+        "{{\n  \"mode\": \"{mode}\",\n  \"clients\": {},\n  \"frames_per_client\": {},\n  \
+         \"rows_per_push\": {},\n  \"total_rows\": {total},\n  \"elapsed_s\": {},\n  \
+         \"rows_per_s\": {},\n  \"busy_retries\": {busy},\n  \"busy_rate\": {},\n  \
+         \"redirects\": {redirects},\n  \"push_latency\": {}",
+        args.clients,
+        args.frames,
+        args.rows_per_push,
+        json_f64(elapsed),
+        json_f64(total as f64 / elapsed),
+        json_f64(busy_rate(busy, latency.count)),
+        histogram_json(latency)
+    )
+}
+
+fn write_json_report(path: &PathBuf, report: &str) {
+    match std::fs::write(path, report) {
+        Ok(()) => println!("loadgen: JSON report written to {}", path.display()),
+        Err(e) => {
+            eprintln!("loadgen: cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
     }
 }

@@ -6,7 +6,8 @@
 use std::collections::HashMap;
 
 use orco_serve::fleet_view::owner_of;
-use orco_serve::protocol::Message;
+use orco_serve::protocol::{GatewayStats, Message};
+use orco_serve::stats::StatsSnapshot;
 use orco_serve::{
     auth, Client, Connection, FleetView, GatewayEntry, GatewayInfo, PushOutcome, Tcp,
     TcpConnection, Transport,
@@ -70,9 +71,10 @@ impl<C: Connection> DirectoryClient<C> {
         }
     }
 
-    /// Sends one heartbeat for `gateway_id`. `Ok` carries the current
-    /// table; an eviction surfaces as an error telling the caller to
-    /// re-register.
+    /// Sends one heartbeat for `gateway_id`, optionally piggybacking the
+    /// gateway's stats snapshot into the directory's fleet view. `Ok`
+    /// carries the current table; an eviction surfaces as an error
+    /// telling the caller to re-register.
     ///
     /// # Errors
     ///
@@ -81,10 +83,27 @@ impl<C: Connection> DirectoryClient<C> {
         &mut self,
         gateway_id: u64,
         epoch: u64,
+        stats: Option<StatsSnapshot>,
     ) -> Result<(u64, Vec<GatewayEntry>), OrcoError> {
-        match self.conn.request(&Message::Heartbeat { gateway_id, epoch })? {
+        match self.conn.request(&Message::Heartbeat { gateway_id, epoch, stats })? {
             Message::HeartbeatAck { epoch, members } => Ok((epoch, members)),
             other => Err(unexpected("HeartbeatAck", &other)),
+        }
+    }
+
+    /// Fetches the directory's aggregated fleet view: `(epoch,
+    /// evictions, per-gateway stats)`, evicted gateways frozen with
+    /// `alive = false`.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and protocol violations.
+    pub fn fleet_stats(&mut self) -> Result<(u64, u64, Vec<GatewayStats>), OrcoError> {
+        match self.conn.request(&Message::FleetStatsQuery)? {
+            Message::FleetStatsReply { epoch, evictions, gateways } => {
+                Ok((epoch, evictions, gateways))
+            }
+            other => Err(unexpected("FleetStatsReply", &other)),
         }
     }
 
@@ -303,6 +322,25 @@ impl FleetClient {
     /// Transport failures and protocol violations.
     pub fn stats_of(&mut self, addr: &str) -> Result<orco_serve::StatsSnapshot, OrcoError> {
         self.data_client(addr)?.stats()
+    }
+
+    /// Scrapes the metrics text exposition of the gateway at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and protocol violations.
+    pub fn metrics_of(&mut self, addr: &str) -> Result<String, OrcoError> {
+        self.data_client(addr)?.metrics()
+    }
+
+    /// Fetches the directory's aggregated fleet view (see
+    /// [`DirectoryClient::fleet_stats`]).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and protocol violations.
+    pub fn fleet_stats(&mut self) -> Result<(u64, u64, Vec<GatewayStats>), OrcoError> {
+        self.directory.fleet_stats()
     }
 
     /// Asks the gateway at `addr` to shut down.

@@ -20,7 +20,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use orco_serve::protocol::{ErrorCode, Message};
+use orco_serve::protocol::{ErrorCode, GatewayStats, Message};
+use orco_serve::stats::StatsSnapshot;
 use orco_serve::{auth, Clock, GatewayEntry, Outbox, Service};
 use orcodcs::OrcoError;
 
@@ -54,10 +55,23 @@ struct Member {
     last_beat_s: f64,
 }
 
+/// One gateway's stats as the directory last saw them. Survives
+/// eviction (frozen, `alive = false`) so a fleet scrape still accounts
+/// for a dead gateway's delivered rows.
+#[derive(Debug)]
+struct StatsEntry {
+    alive: bool,
+    snapshot: StatsSnapshot,
+}
+
 #[derive(Debug)]
 struct DirState {
     epoch: u64,
     members: BTreeMap<u64, Member>,
+    /// Latest heartbeat-piggybacked stats per gateway ever seen.
+    stats: BTreeMap<u64, StatsEntry>,
+    /// Gateways evicted by sweeps over the directory's lifetime.
+    evictions: u64,
 }
 
 /// The directory service: epoch'd gateway membership over the ORCO wire
@@ -85,7 +99,12 @@ impl Directory {
         Ok(Self {
             cfg,
             clock,
-            state: Mutex::new(DirState { epoch: 0, members: BTreeMap::new() }),
+            state: Mutex::new(DirState {
+                epoch: 0,
+                members: BTreeMap::new(),
+                stats: BTreeMap::new(),
+                evictions: 0,
+            }),
             shutting_down: AtomicBool::new(false),
         })
     }
@@ -138,10 +157,30 @@ impl Directory {
         if !dead.is_empty() {
             for id in &dead {
                 s.members.remove(id);
+                // Freeze, don't forget: the dead gateway's last snapshot
+                // keeps counting in the fleet rollup.
+                if let Some(entry) = s.stats.get_mut(id) {
+                    entry.alive = false;
+                }
             }
+            s.evictions += dead.len() as u64;
             s.epoch += 1;
         }
         dead
+    }
+
+    /// The aggregated fleet view: `(epoch, evictions, per-gateway
+    /// stats)`, gateways ascending by id. Evicted gateways appear with
+    /// `alive = false` and their last-seen snapshot frozen.
+    #[must_use]
+    pub fn fleet_stats(&self) -> (u64, u64, Vec<GatewayStats>) {
+        let s = self.state.lock().expect("directory lock");
+        let gateways = s
+            .stats
+            .iter()
+            .map(|(&id, e)| GatewayStats { id, alive: e.alive, snapshot: e.snapshot.clone() })
+            .collect();
+        (s.epoch, s.evictions, gateways)
     }
 
     /// Handles one request; the typed core of [`Service::handle_frame`].
@@ -178,12 +217,15 @@ impl Directory {
                 }
                 Message::RegisterAck { epoch: s.epoch, members: members_of(&s) }
             }
-            Message::Heartbeat { gateway_id, epoch: _ } => {
+            Message::Heartbeat { gateway_id, epoch: _, stats } => {
                 let now_s = self.clock.now_s();
                 let mut s = self.state.lock().expect("directory lock");
                 match s.members.get_mut(&gateway_id) {
                     Some(m) => {
                         m.last_beat_s = now_s;
+                        if let Some(snapshot) = stats {
+                            s.stats.insert(gateway_id, StatsEntry { alive: true, snapshot });
+                        }
                         Message::HeartbeatAck { epoch: s.epoch, members: members_of(&s) }
                     }
                     // Evicted (or never admitted): the ack would imply
@@ -196,6 +238,10 @@ impl Directory {
                         ),
                     },
                 }
+            }
+            Message::FleetStatsQuery => {
+                let (epoch, evictions, gateways) = self.fleet_stats();
+                Message::FleetStatsReply { epoch, evictions, gateways }
             }
             Message::Shutdown => {
                 self.shutting_down.store(true, Ordering::Release);
@@ -303,7 +349,7 @@ mod tests {
         d.clock().advance(Duration::from_millis(40));
         // Only gateway 3 beats inside the window.
         assert!(matches!(
-            d.handle(Message::Heartbeat { gateway_id: 3, epoch: 3 }),
+            d.handle(Message::Heartbeat { gateway_id: 3, epoch: 3, stats: None }),
             Message::HeartbeatAck { epoch: 3, .. }
         ));
         d.clock().advance(Duration::from_millis(20)); // 1 and 2 are now 60ms silent
@@ -313,7 +359,7 @@ mod tests {
         assert_eq!(d.epoch(), 4, "simultaneous deaths cost one epoch, not two");
         // The evicted gateway's next heartbeat is refused.
         assert!(matches!(
-            d.handle(Message::Heartbeat { gateway_id: 1, epoch: 4 }),
+            d.handle(Message::Heartbeat { gateway_id: 1, epoch: 4, stats: None }),
             Message::ErrorReply { code: ErrorCode::BadRequest, .. }
         ));
         // And its re-register re-admits it at a fresh epoch.
@@ -342,8 +388,48 @@ mod tests {
     fn data_plane_requests_are_refused() {
         let d = dir(100);
         assert!(matches!(
-            d.handle(Message::PullDecoded { cluster_id: 1, max_frames: 4 }),
+            d.handle(Message::PullDecoded { cluster_id: 1, max_frames: 4, trace: 0 }),
             Message::ErrorReply { code: ErrorCode::BadRequest, .. }
         ));
+    }
+
+    #[test]
+    fn fleet_stats_freeze_on_eviction() {
+        let d = dir(50);
+        register(&d, 1, "gw:1");
+        register(&d, 2, "gw:2");
+        let snap = StatsSnapshot { frames_out: 7, ..StatsSnapshot::default() };
+        assert!(matches!(
+            d.handle(Message::Heartbeat { gateway_id: 1, epoch: 2, stats: Some(snap) }),
+            Message::HeartbeatAck { .. }
+        ));
+        // A heartbeat without stats refreshes liveness but keeps the
+        // last snapshot.
+        assert!(matches!(
+            d.handle(Message::Heartbeat { gateway_id: 1, epoch: 2, stats: None }),
+            Message::HeartbeatAck { .. }
+        ));
+        let (_, evictions, gateways) = d.fleet_stats();
+        assert_eq!(evictions, 0);
+        assert_eq!(gateways.len(), 1, "gateway 2 never reported stats");
+        assert!(gateways[0].alive);
+        assert_eq!(gateways[0].snapshot.frames_out, 7);
+        // Silence both past the timeout: gateway 1's entry freezes.
+        d.clock().advance(Duration::from_millis(60));
+        d.sweep();
+        let (_, evictions, gateways) = d.fleet_stats();
+        assert_eq!(evictions, 2);
+        assert_eq!(gateways.len(), 1);
+        assert!(!gateways[0].alive, "evicted gateway's stats freeze, not vanish");
+        assert_eq!(gateways[0].snapshot.frames_out, 7);
+        // The wire view matches the in-process accessor.
+        match d.handle(Message::FleetStatsQuery) {
+            Message::FleetStatsReply { evictions, gateways, .. } => {
+                assert_eq!(evictions, 2);
+                assert_eq!(gateways.len(), 1);
+                assert!(!gateways[0].alive);
+            }
+            other => panic!("expected FleetStatsReply, got {}", other.kind()),
+        }
     }
 }

@@ -79,6 +79,10 @@ pub struct FleetOutcome {
     /// Encoded `StatsReply` of every *surviving* gateway, ascending id —
     /// the determinism contract is on the wire image.
     pub stats_frames: Vec<Vec<u8>>,
+    /// Concatenated trace exports of every surviving gateway, ascending
+    /// id, each section prefixed `gateway <id>` — byte-identical between
+    /// a live run and its replay.
+    pub trace_export: String,
     /// FNV-1a over every delivered row's little-endian bytes, client
     /// order — one u64 pinning the entire decoded output.
     pub decoded_fnv: u64,
@@ -238,6 +242,9 @@ struct ClientActor {
     redirects: usize,
     gave_ups: usize,
     reconnects: usize,
+    /// Rows delivered to this client per gateway endpoint — the ground
+    /// truth the directory's aggregated fleet view must converge to.
+    delivered_by_ep: BTreeMap<usize, usize>,
 }
 
 impl ClientActor {
@@ -329,6 +336,7 @@ fn drive(
                         batch_deadline: Duration::from_millis(5),
                         queue_capacity: 4096,
                         auth_secret: Some(SECRET),
+                        trace_capacity: 1 << 16,
                     },
                     Clock::manual(Duration::ZERO),
                     |_| {
@@ -426,6 +434,7 @@ fn drive(
                 redirects: 0,
                 gave_ups: 0,
                 reconnects: 0,
+                delivered_by_ep: BTreeMap::new(),
             }
         })
         .collect();
@@ -597,9 +606,15 @@ fn drive(
                     let i = (token - TOKEN_AGENT) as usize;
                     let a = &agents[i];
                     if a.alive {
+                        // Every beat piggybacks the gateway's live stats,
+                        // feeding the directory's fleet view.
                         net.submit(
                             a.conn,
-                            &Message::Heartbeat { gateway_id: a.id, epoch: a.epoch },
+                            &Message::Heartbeat {
+                                gateway_id: a.id,
+                                epoch: a.epoch,
+                                stats: Some(a.gateway.stats()),
+                            },
                         );
                     }
                 } else {
@@ -674,6 +689,7 @@ fn drive(
     // Surviving gateways end drained; the victim's orphaned rows died
     // with it.
     let mut stats_frames = Vec::new();
+    let mut trace_export = String::new();
     for a in &agents {
         if a.id == VICTIM {
             continue;
@@ -691,6 +707,64 @@ fn drive(
         let mut frame = Vec::new();
         Message::StatsReply(snap).encode_into(&mut frame);
         stats_frames.push(frame);
+        trace_export.push_str(&format!("gateway {}\n", a.id));
+        trace_export.push_str(&a.gateway.trace_export());
+    }
+
+    // The directory's aggregated fleet view converges: feed one final
+    // in-process beat per survivor (deterministic — no wire hop), then
+    // the victim's entry must sit frozen while the survivors' live
+    // counters account for every row they delivered.
+    for a in &agents {
+        if a.id != VICTIM && a.alive {
+            match directory.handle(Message::Heartbeat {
+                gateway_id: a.id,
+                epoch: a.epoch,
+                stats: Some(a.gateway.stats()),
+            }) {
+                Message::HeartbeatAck { .. } => {}
+                other => {
+                    return Err(fail(
+                        format!("settle beat for gateway {} drew {other:?}", a.id),
+                        net.trace(),
+                    ));
+                }
+            }
+        }
+    }
+    let victim_delivered: usize = clients
+        .iter()
+        .map(|c| c.delivered_by_ep.get(&(VICTIM as usize)).copied().unwrap_or(0))
+        .sum();
+    let (_, evictions, fleet) = directory.fleet_stats();
+    if evictions == 0 {
+        return Err(fail(
+            "the directory never recorded an eviction despite the kill".into(),
+            net.trace(),
+        ));
+    }
+    let Some(victim_entry) = fleet.iter().find(|g| g.id == VICTIM) else {
+        return Err(fail(
+            "the victim never reported stats before dying — its entry is missing".into(),
+            net.trace(),
+        ));
+    };
+    if victim_entry.alive {
+        return Err(fail(
+            "the victim's fleet-view entry is still marked alive after eviction".into(),
+            net.trace(),
+        ));
+    }
+    let survivor_out: u64 = fleet.iter().filter(|g| g.alive).map(|g| g.snapshot.frames_out).sum();
+    if survivor_out != (total - victim_delivered) as u64 {
+        return Err(fail(
+            format!(
+                "fleet view out of step: survivors report {survivor_out} rows out, clients \
+                 pulled {} rows from them ({total} total, {victim_delivered} via the victim)",
+                total - victim_delivered
+            ),
+            net.trace(),
+        ));
     }
 
     let redirects: usize = clients.iter().map(|c| c.redirects).sum();
@@ -718,6 +792,7 @@ fn drive(
         reconnects: clients.iter().map(|c| c.reconnects).sum(),
         final_epoch: directory.epoch(),
         stats_frames,
+        trace_export,
         decoded_fnv: fnv1a64(&digest_bytes),
         trace: net.trace(),
     })
@@ -850,8 +925,10 @@ fn advance(net: &DesNet, c: &mut ClientActor) {
     debug_assert!(c.pending.is_none());
     let conn = c.data_conn.expect("streaming requires a data connection");
     if c.pulled_rows < c.offset {
-        let seq = net
-            .submit(conn, &Message::PullDecoded { cluster_id: c.cluster, max_frames: PULL_CHUNK });
+        let seq = net.submit(
+            conn,
+            &Message::PullDecoded { cluster_id: c.cluster, max_frames: PULL_CHUNK, trace: 0 },
+        );
         c.pending = Some((seq, CKind::Pull));
     } else if c.offset < c.frames.rows() {
         if c.late && !c.released && c.offset >= ROWS_PER_PUSH.min(c.frames.rows()) {
@@ -865,6 +942,9 @@ fn advance(net: &DesNet, c: &mut ClientActor) {
             conn,
             &Message::PushFrames {
                 cluster_id: c.cluster,
+                // One trace id per push window, stable across failover
+                // re-pushes of the same window.
+                trace: (c.cluster << 20) | (lo as u64 + 1),
                 frames: c.frames.view_rows(lo..hi).to_matrix(),
             },
         );
@@ -951,6 +1031,7 @@ fn on_data_reply(
             }
             c.pulled.extend_from_slice(frames.as_slice());
             c.pulled_rows += frames.rows();
+            *c.delivered_by_ep.entry(c.data_ep).or_insert(0) += frames.rows();
             if c.pulled_rows > c.acked {
                 return Err(format!(
                     "client {i}: pulled {} rows with only {} acked (duplication)",

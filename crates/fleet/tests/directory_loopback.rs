@@ -48,13 +48,13 @@ fn register_query_heartbeat_epoch_lifecycle() {
     assert_eq!(m4.iter().find(|m| m.id == 7).expect("present").addr, "10.0.0.8:7100");
 
     // Heartbeats answer with the current table without bumping.
-    let (e5, m5) = c.heartbeat(3, e4).expect("heartbeat");
+    let (e5, m5) = c.heartbeat(3, e4, None).expect("heartbeat");
     assert_eq!((e5, m5.len()), (3, 2));
     assert_eq!(c.query().expect("query"), (e5, m5));
 
     // A heartbeat from a gateway the directory never admitted is an
     // explicit "re-register" error, not a silent admission.
-    assert!(c.heartbeat(99, e5).is_err(), "unknown member must be told to re-register");
+    assert!(c.heartbeat(99, e5, None).is_err(), "unknown member must be told to re-register");
 }
 
 #[test]
@@ -91,7 +91,7 @@ fn missed_heartbeats_evict_with_one_epoch_bump() {
     // timeout. The sweep (run by virtual-time hosts on every event)
     // must evict both with ONE epoch bump, not one per corpse.
     d.clock().advance(Duration::from_millis(40));
-    c.heartbeat(2, epoch).expect("heartbeat 2");
+    c.heartbeat(2, epoch, None).expect("heartbeat 2");
     d.clock().advance(Duration::from_millis(20));
     d.on_time_advance();
 

@@ -21,6 +21,10 @@ fn fleet_kill_delivers_exactly_once_through_kill_and_join() {
     // Epoch history: 3 joins at t=0, the kill's eviction, the late join.
     assert_eq!(o.final_epoch, 5);
     assert!(!o.stats_frames.is_empty(), "surviving gateways must report stats");
+    assert!(
+        o.trace_export.contains("orco-trace v1"),
+        "surviving gateways must export their span rings"
+    );
 }
 
 #[test]

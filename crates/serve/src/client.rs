@@ -52,6 +52,11 @@ pub struct GatewayInfo {
 pub struct Client<C: Connection> {
     conn: C,
     auth_secret: Option<u64>,
+    /// The id announced in the last [`Client::hello`]; seeds trace-id
+    /// minting so ids are unique per client and deterministic per run.
+    client_id: u64,
+    /// Count of trace ids minted so far.
+    trace_seq: u64,
 }
 
 impl<C: Connection> Client<C> {
@@ -61,12 +66,26 @@ impl<C: Connection> Client<C> {
     ///
     /// Returns [`OrcoError::Io`] when the gateway is unreachable.
     pub fn connect<T: Transport<Conn = C>>(transport: &T) -> Result<Self, OrcoError> {
-        Ok(Self { conn: transport.connect()?, auth_secret: None })
+        Ok(Self { conn: transport.connect()?, auth_secret: None, client_id: 0, trace_seq: 0 })
     }
 
     /// Wraps an already-open connection.
     pub fn from_connection(conn: C) -> Self {
-        Self { conn, auth_secret: None }
+        Self { conn, auth_secret: None, client_id: 0, trace_seq: 0 }
+    }
+
+    /// Mints the next trace id for this client: a Weyl-style sequence
+    /// keyed by the client id, coerced away from 0 (the wire's
+    /// "untraced" sentinel). Deterministic — a replayed run mints the
+    /// same ids in the same order.
+    fn mint_trace(&mut self) -> u64 {
+        self.trace_seq += 1;
+        let raw = self.client_id.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ self.trace_seq;
+        if raw == 0 {
+            1
+        } else {
+            raw
+        }
     }
 
     /// Sets the shared secret used to MAC subsequent [`Client::hello`]
@@ -86,6 +105,7 @@ impl<C: Connection> Client<C> {
     /// Transport failures, protocol violations, and
     /// authentication rejections.
     pub fn hello(&mut self, client_id: u64) -> Result<GatewayInfo, OrcoError> {
+        self.client_id = client_id;
         let nonce = client_id.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x6F72_636F;
         let mac = self.auth_secret.map_or(0, |s| auth::hello_mac(s, client_id, nonce));
         match self.conn.request(&Message::Hello { client_id, nonce, mac })? {
@@ -106,7 +126,7 @@ impl<C: Connection> Client<C> {
     /// client-side, with a "split the push" error instead of an opaque
     /// connection close from the server's frame reader.
     pub fn push(&mut self, cluster_id: u64, frames: MatView<'_>) -> Result<PushOutcome, OrcoError> {
-        let payload = 16 + frames.len() * 4; // cluster_id + rows/cols + data
+        let payload = 24 + frames.len() * 4; // cluster_id + trace + rows/cols + data
         if payload > crate::protocol::MAX_PAYLOAD {
             return Err(OrcoError::Config {
                 detail: format!(
@@ -117,7 +137,11 @@ impl<C: Connection> Client<C> {
                 ),
             });
         }
-        let msg = Message::PushFrames { cluster_id, frames: frames.to_matrix() };
+        let msg = Message::PushFrames {
+            cluster_id,
+            trace: self.mint_trace(),
+            frames: frames.to_matrix(),
+        };
         match self.conn.request(&msg)? {
             Message::PushAck { accepted } => Ok(PushOutcome::Accepted(accepted)),
             Message::Busy { queued, capacity } => Ok(PushOutcome::Busy { queued, capacity }),
@@ -137,7 +161,8 @@ impl<C: Connection> Client<C> {
     /// Transport failures, protocol violations, and gateways/transports
     /// without streaming support.
     pub fn subscribe(&mut self, cluster_id: u64) -> Result<u32, OrcoError> {
-        match self.conn.request(&Message::Subscribe { cluster_id })? {
+        let trace = self.mint_trace();
+        match self.conn.request(&Message::Subscribe { cluster_id, trace })? {
             Message::SubscribeAck { cluster_id: got, backlog } if got == cluster_id => Ok(backlog),
             other => Err(unexpected("SubscribeAck", &other)),
         }
@@ -178,7 +203,8 @@ impl<C: Connection> Client<C> {
     /// Transport failures, protocol violations, and gateway-side codec
     /// failures.
     pub fn pull(&mut self, cluster_id: u64, max_frames: u32) -> Result<Matrix, OrcoError> {
-        match self.conn.request(&Message::PullDecoded { cluster_id, max_frames })? {
+        let trace = self.mint_trace();
+        match self.conn.request(&Message::PullDecoded { cluster_id, max_frames, trace })? {
             Message::Decoded { cluster_id: got, frames } => {
                 if got != cluster_id {
                     return Err(OrcoError::Config {
@@ -203,6 +229,18 @@ impl<C: Connection> Client<C> {
         match self.conn.request(&Message::StatsRequest)? {
             Message::StatsReply(snapshot) => Ok(snapshot),
             other => Err(unexpected("StatsReply", &other)),
+        }
+    }
+
+    /// Scrapes the gateway's metrics text exposition.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and protocol violations.
+    pub fn metrics(&mut self) -> Result<String, OrcoError> {
+        match self.conn.request(&Message::MetricsRequest)? {
+            Message::MetricsReply { text } => Ok(text),
+            other => Err(unexpected("MetricsReply", &other)),
         }
     }
 

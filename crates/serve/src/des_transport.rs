@@ -80,7 +80,7 @@
 //!     42,
 //! );
 //! let conn = net.connect();
-//! let seq = net.submit(conn, &Message::PushFrames { cluster_id: 7, frames: Matrix::zeros(4, 784) });
+//! let seq = net.submit(conn, &Message::PushFrames { cluster_id: 7, trace: 1, frames: Matrix::zeros(4, 784) });
 //! net.pump_until_idle();
 //! assert!(matches!(net.take_reply(conn, seq), Some(Message::PushAck { accepted: 4 })));
 //! # Ok::<(), orcodcs::OrcoError>(())

@@ -34,6 +34,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, Weak};
 use std::time::Duration;
 
+use orco_obs::{Registry, Span, SpanKind, Tracer};
 use orco_tensor::Matrix;
 use orcodcs::{Codec, FrameDims, OrcoError};
 
@@ -43,7 +44,7 @@ use crate::fleet_view::FleetView;
 use crate::outbox::Outbox;
 use crate::protocol::{ErrorCode, Message, PROTOCOL_VERSION};
 use crate::shard::ShardCore;
-use crate::stats::{FlushReason, ServeStats};
+use crate::stats::{FlushReason, ServeStats, MAX_SHARDS};
 
 /// Sizing and flush policy of a [`Gateway`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,6 +64,10 @@ pub struct GatewayConfig {
     /// [`ErrorCode::Unauthorized`]; when `None`, `Hello` MACs are
     /// ignored (trusted-network mode, the pre-fleet behavior).
     pub auth_secret: Option<u64>,
+    /// Span capacity of the gateway's trace ring
+    /// ([`orco_obs::Tracer`]); 0 disables tracing entirely (record
+    /// becomes a no-op that never takes the ring lock).
+    pub trace_capacity: usize,
 }
 
 impl Default for GatewayConfig {
@@ -73,6 +78,7 @@ impl Default for GatewayConfig {
             batch_deadline: Duration::from_millis(5),
             queue_capacity: 4096,
             auth_secret: None,
+            trace_capacity: 4096,
         }
     }
 }
@@ -87,6 +93,11 @@ impl GatewayConfig {
     pub fn validate(&self) -> Result<(), OrcoError> {
         if self.shards == 0 {
             return Err(OrcoError::Config { detail: "GatewayConfig: shards must be > 0".into() });
+        }
+        if self.shards > MAX_SHARDS {
+            return Err(OrcoError::Config {
+                detail: format!("GatewayConfig: shards must be <= {MAX_SHARDS}"),
+            });
         }
         if self.batch_max_frames == 0 {
             return Err(OrcoError::Config {
@@ -115,6 +126,7 @@ pub struct Gateway {
     clock: Clock,
     dims: FrameDims,
     stats: ServeStats,
+    tracer: Tracer,
     shards: Vec<ShardSlot>,
     shutting_down: AtomicBool,
     /// The fleet assignment this gateway enforces, or `None` for a
@@ -158,7 +170,7 @@ impl Gateway {
         let mut shards = Vec::with_capacity(cfg.shards);
         let mut dims: Option<FrameDims> = None;
         for i in 0..cfg.shards {
-            let core = ShardCore::new(codec_for_shard(i));
+            let core = ShardCore::new(i, codec_for_shard(i));
             match dims {
                 None => dims = Some(core.dims()),
                 Some(d) if d == core.dims() => {}
@@ -178,6 +190,7 @@ impl Gateway {
             clock,
             dims: dims.expect("at least one shard"),
             stats: ServeStats::new(cfg.shards as u16),
+            tracer: Tracer::new(cfg.trace_capacity),
             shards,
             shutting_down: AtomicBool::new(false),
             fleet: Mutex::new(None),
@@ -223,6 +236,31 @@ impl Gateway {
     #[must_use]
     pub fn stats(&self) -> crate::stats::StatsSnapshot {
         self.stats.snapshot()
+    }
+
+    /// The gateway's trace ring (capacity set by
+    /// [`GatewayConfig::trace_capacity`]).
+    #[must_use]
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// The deterministic text export of the trace ring — identical bytes
+    /// for a live run and its replay under the same virtual clock.
+    #[must_use]
+    pub fn trace_export(&self) -> String {
+        self.tracer.export_text()
+    }
+
+    /// The metrics text exposition (also served over the wire via
+    /// [`Message::MetricsRequest`]). Byte-stable under a manual clock:
+    /// series render in a fixed order with integer values except the two
+    /// compatibility percentiles.
+    #[must_use]
+    pub fn metrics_text(&self) -> String {
+        let mut reg = Registry::new();
+        self.stats.fill_registry(&mut reg);
+        reg.render()
     }
 
     /// Whether [`Message::Shutdown`] has been received.
@@ -275,13 +313,25 @@ impl Gateway {
                 }
                 _ => self.hello_ack(),
             },
-            Message::PushFrames { cluster_id, frames } => self.push(cluster_id, &frames, now),
-            Message::PullDecoded { cluster_id, max_frames } => {
+            Message::PushFrames { cluster_id, trace, frames } => {
+                self.push(cluster_id, trace, &frames, now)
+            }
+            Message::PullDecoded { cluster_id, max_frames, trace: _ } => {
+                // The request's trace id rides the wire for client-side
+                // correlation; delivery spans carry the *originating*
+                // push traces so the chain stays causal.
                 self.pull(cluster_id, max_frames as usize, now)
             }
-            Message::Subscribe { cluster_id } => self.subscribe(cluster_id, outbox),
+            Message::Subscribe { cluster_id, trace } => {
+                self.subscribe(cluster_id, trace, now, outbox)
+            }
             Message::Unsubscribe { cluster_id } => self.unsubscribe(cluster_id, outbox),
             Message::StatsRequest => Message::StatsReply(self.stats.snapshot()),
+            Message::MetricsRequest => Message::MetricsReply { text: self.metrics_text() },
+            Message::FleetStatsQuery => Message::ErrorReply {
+                code: ErrorCode::BadRequest,
+                detail: "fleet stats are aggregated by the directory, not a gateway".into(),
+            },
             Message::Shutdown => {
                 self.begin_shutdown(now);
                 Message::ShutdownAck
@@ -329,7 +379,7 @@ impl Gateway {
         resp.encode_into(reply);
     }
 
-    fn push(&self, cluster_id: u64, frames: &Matrix, now: f64) -> Message {
+    fn push(&self, cluster_id: u64, trace: u64, frames: &Matrix, now: f64) -> Message {
         // Ownership first: a fleet gateway never accepts (or silently
         // misroutes) a push for a cluster assigned elsewhere — the
         // client is bounced to the owner with the epoch that named it.
@@ -368,7 +418,8 @@ impl Gateway {
                 ),
             };
         }
-        let slot = &self.shards[self.shard_of(cluster_id)];
+        let shard_idx = self.shard_of(cluster_id);
+        let slot = &self.shards[shard_idx];
         let mut core = slot.core.lock().expect("shard lock");
         // The shutdown check must happen under the shard lock: either
         // this push wins the lock and its frames are flushed by
@@ -381,16 +432,31 @@ impl Gateway {
                 detail: "gateway is shutting down".into(),
             };
         }
-        if !core.try_enqueue(cluster_id, frames, now, self.cfg.queue_capacity) {
+        if !core.try_enqueue(cluster_id, trace, frames, now, self.cfg.queue_capacity) {
             self.stats.record_busy();
+            // No spans for a refused push: the client will retry, and a
+            // retry must not double-count the trace's pushed rows.
             return Message::Busy {
                 queued: core.in_flight() as u32,
                 capacity: self.cfg.queue_capacity as u32,
             };
         }
-        self.stats.record_push(rows as u64, (rows * self.dims.input * 4) as u64);
+        self.stats.record_push(shard_idx, rows as u64, (rows * self.dims.input * 4) as u64);
+        if trace != 0 && self.tracer.enabled() {
+            let base = Span {
+                trace_id: trace,
+                kind: SpanKind::Push,
+                cluster_id,
+                shard: shard_idx as u16,
+                rows: rows as u32,
+                at_s: now,
+                detail: "",
+            };
+            self.tracer.record(base);
+            self.tracer.record(Span { kind: SpanKind::Enqueue, ..base });
+        }
         if core.pending_rows() >= self.cfg.batch_max_frames {
-            if let Err(e) = core.flush(now, FlushReason::Size, &self.stats) {
+            if let Err(e) = core.flush(now, FlushReason::Size, &self.stats, &self.tracer) {
                 return internal(&e);
             }
         } else {
@@ -410,11 +476,11 @@ impl Gateway {
         // must not collapse other clusters' half-built batches to size-1
         // flushes.
         if core.has_pending_for(cluster_id) {
-            if let Err(e) = core.flush(now, FlushReason::Pull, &self.stats) {
+            if let Err(e) = core.flush(now, FlushReason::Pull, &self.stats, &self.tracer) {
                 return internal(&e);
             }
         }
-        match core.pull(cluster_id, max, &self.stats, false) {
+        match core.pull(cluster_id, max, now, &self.stats, &self.tracer, false) {
             Ok(frames) => Message::Decoded { cluster_id, frames },
             Err(e) => internal(&e),
         }
@@ -422,18 +488,36 @@ impl Gateway {
 
     /// Subscribes `outbox` to `cluster_id`'s decoded batches. The reply
     /// reports the stored backlog, which the next pump streams out.
-    fn subscribe(&self, cluster_id: u64, outbox: Option<&Arc<Outbox>>) -> Message {
+    fn subscribe(
+        &self,
+        cluster_id: u64,
+        trace: u64,
+        now: f64,
+        outbox: Option<&Arc<Outbox>>,
+    ) -> Message {
         let Some(outbox) = outbox else {
             return Message::ErrorReply {
                 code: ErrorCode::BadRequest,
                 detail: "this transport does not support streaming subscriptions".into(),
             };
         };
+        let shard_idx = self.shard_of(cluster_id);
         let backlog = {
-            let slot = &self.shards[self.shard_of(cluster_id)];
+            let slot = &self.shards[shard_idx];
             let core = slot.core.lock().expect("shard lock");
             core.stored_rows_for(cluster_id)
         };
+        if trace != 0 && self.tracer.enabled() {
+            self.tracer.record(Span {
+                trace_id: trace,
+                kind: SpanKind::Subscribe,
+                cluster_id,
+                shard: shard_idx as u16,
+                rows: backlog as u32,
+                at_s: now,
+                detail: "",
+            });
+        }
         let mut subs = self.subscribers.lock().expect("subscribers lock");
         let entry = subs.entry(cluster_id).or_default();
         if !entry.iter().any(|w| w.upgrade().is_some_and(|a| Arc::ptr_eq(&a, outbox))) {
@@ -473,6 +557,7 @@ impl Gateway {
             });
             subs.keys().copied().collect()
         };
+        let now = self.clock.now_s();
         for cluster in clusters {
             let frames = {
                 let slot = &self.shards[self.shard_of(cluster)];
@@ -480,7 +565,7 @@ impl Gateway {
                 if core.stored_rows_for(cluster) == 0 {
                     continue;
                 }
-                match core.pull(cluster, usize::MAX, &self.stats, true) {
+                match core.pull(cluster, usize::MAX, now, &self.stats, &self.tracer, true) {
                     Ok(frames) => frames,
                     Err(e) => {
                         eprintln!("orco-serve: streaming pull for cluster {cluster} failed: {e}");
@@ -507,7 +592,7 @@ impl Gateway {
         self.shutting_down.store(true, Ordering::SeqCst);
         for slot in &self.shards {
             let mut core = slot.core.lock().expect("shard lock");
-            if let Err(e) = core.flush(now, FlushReason::Drain, &self.stats) {
+            if let Err(e) = core.flush(now, FlushReason::Drain, &self.stats, &self.tracer) {
                 eprintln!("orco-serve: flush during shutdown failed: {e}");
             }
             slot.cv.notify_all();
@@ -537,7 +622,7 @@ impl Gateway {
         for (idx, slot) in self.shards.iter().enumerate() {
             let mut core = slot.core.lock().expect("shard lock");
             if core.deadline_due(now, deadline_s) {
-                if let Err(e) = core.flush(now, FlushReason::Deadline, &self.stats) {
+                if let Err(e) = core.flush(now, FlushReason::Deadline, &self.stats, &self.tracer) {
                     eprintln!("orco-serve: shard {idx} deadline sweep failed: {e}");
                 }
             }
@@ -562,7 +647,7 @@ impl Gateway {
         loop {
             let now = self.clock.now_s();
             if self.is_shutting_down() {
-                if let Err(e) = core.flush(now, FlushReason::Drain, &self.stats) {
+                if let Err(e) = core.flush(now, FlushReason::Drain, &self.stats, &self.tracer) {
                     eprintln!("orco-serve: shard {idx} final flush failed: {e}");
                 }
                 drop(core);
@@ -579,7 +664,7 @@ impl Gateway {
             }
             let due_at = core.oldest_enqueue_s() + self.cfg.batch_deadline.as_secs_f64();
             if now >= due_at {
-                if let Err(e) = core.flush(now, FlushReason::Deadline, &self.stats) {
+                if let Err(e) = core.flush(now, FlushReason::Deadline, &self.stats, &self.tracer) {
                     eprintln!("orco-serve: shard {idx} deadline flush failed: {e}");
                 }
                 // Deliver to subscribers without holding the core lock

@@ -117,11 +117,11 @@ pub use des_transport::{DesConfig, DesConnection, DesNet, DesTransport, NetEvent
 pub use fleet_view::FleetView;
 pub use gateway::{Gateway, GatewayConfig};
 pub use outbox::Outbox;
-pub use protocol::{ErrorCode, GatewayEntry, Message, WireError, PROTOCOL_VERSION};
+pub use protocol::{ErrorCode, GatewayEntry, GatewayStats, Message, WireError, PROTOCOL_VERSION};
 pub use scenarios::{
     replay_scenario, run_scenario, RunLog, ScenarioError, ScenarioOutcome, GAUNTLET,
 };
 pub use service::Service;
-pub use stats::{FlushReason, ServeStats, StatsSnapshot};
+pub use stats::{FlushReason, ServeStats, ShardRow, StatsSnapshot};
 pub use tcp::TcpServer;
 pub use transport::{Connection, Loopback, LoopbackConnection, Tcp, TcpConnection, Transport};

@@ -30,19 +30,24 @@ use std::io::{self, Read};
 use orco_tensor::Matrix;
 use orcodcs::OrcoError;
 
-use crate::stats::StatsSnapshot;
+use crate::stats::{StatsSnapshot, SNAPSHOT_CAP};
 
 /// Frame magic: "ORCO" read as a little-endian u32.
 pub const MAGIC: u32 = u32::from_le_bytes(*b"ORCO");
 
-/// Version of the wire protocol spoken by this build. Version 3 added
-/// the fleet plane (directory queries, redirects, gateway registration/
+/// Version of the wire protocol spoken by this build. Version 4 added
+/// the observability plane: a client-minted 64-bit trace id on
+/// `PushFrames`/`PullDecoded`/`Subscribe` (0 = untraced), per-shard
+/// rows and a stats piggyback on `Heartbeat` in [`StatsSnapshot`], the
+/// `MetricsRequest`/`MetricsReply` scrape pair, and the directory's
+/// `FleetStatsQuery`/`FleetStatsReply` fleet view. Version 3 added the
+/// fleet plane (directory queries, redirects, gateway registration/
 /// heartbeats, streaming subscriptions), authenticated `Hello`
 /// (nonce + MAC), and widened [`StatsSnapshot`] with streaming/redirect
 /// counters; version 2 widened [`StatsSnapshot`] with per-reason flush
 /// counters. Older frames are rejected with
 /// [`WireError::UnsupportedVersion`].
-pub const PROTOCOL_VERSION: u16 = 3;
+pub const PROTOCOL_VERSION: u16 = 4;
 
 /// Size of the fixed frame header in bytes.
 pub const HEADER_LEN: usize = 12;
@@ -74,6 +79,13 @@ const ENTRY_CAP: usize = 8 + 4 + MAX_ADDR;
 /// + entries. Shared by `DirectoryReply`, `RegisterAck`, `HeartbeatAck`.
 const MEMBERSHIP_CAP: usize = 8 + 4 + MAX_MEMBERS * ENTRY_CAP;
 
+/// Upper bound on a [`Message::MetricsReply`] exposition text.
+pub const MAX_METRICS_TEXT: usize = 1 << 20;
+
+/// Worst-case encoded size of one [`Message::FleetStatsReply`] entry:
+/// gateway id + liveness flag + snapshot.
+const FLEET_STATS_ENTRY_CAP: usize = 8 + 1 + SNAPSHOT_CAP;
+
 /// The largest payload each message type may declare. Tiny fixed-layout
 /// messages (acks, hellos, stats) get exact bounds; only the two
 /// matrix-bearing types may approach [`MAX_PAYLOAD`]. Unknown types are
@@ -85,19 +97,24 @@ fn payload_cap(msg_type: u16) -> Result<usize, WireError> {
         3 | 7 | 23 => MAX_PAYLOAD, // PushFrames / Decoded / StreamFrames: cluster + matrix
         4 => 4,                    // PushAck: accepted
         5 => 8,                    // Busy: queued, capacity
-        6 => 12,                   // PullDecoded: cluster_id + max_frames
+        6 => 20,                   // PullDecoded: cluster_id + max_frames + trace
         8 | 10 | 11 | 14 => 0,     // StatsRequest / Shutdown / ShutdownAck / DirectoryQuery
-        // StatsReply: u16 + 17 u64 counters + 2 f64 percentiles. The
-        // protocol round-trip proptest draws random snapshots, so a
-        // stale bound here fails immediately when the snapshot grows.
-        9 => 2 + 17 * 8 + 2 * 8,
+        // StatsReply: one StatsSnapshot. The protocol round-trip
+        // proptest draws random snapshots, so a stale bound here fails
+        // immediately when the snapshot grows.
+        9 => SNAPSHOT_CAP,
         12 => 2 + 4 + MAX_ERROR_DETAIL, // ErrorReply: code + string
         13 => 8 + 8 + 4 + MAX_ADDR,     // Redirect: cluster, epoch, addr
         15 | 17 | 19 => MEMBERSHIP_CAP, // DirectoryReply / RegisterAck / HeartbeatAck
         16 => 8 + 4 + MAX_ADDR + 16,    // Register: gateway_id, addr, nonce, mac
-        18 => 16,                       // Heartbeat: gateway_id, epoch
-        20 | 22 => 8,                   // Subscribe / Unsubscribe: cluster_id
+        18 => 16 + 1 + SNAPSHOT_CAP,    // Heartbeat: gateway_id, epoch, stats piggyback
+        20 => 16,                       // Subscribe: cluster_id + trace
         21 => 12,                       // SubscribeAck: cluster_id, backlog
+        22 => 8,                        // Unsubscribe: cluster_id
+        24 | 26 => 0,                   // MetricsRequest / FleetStatsQuery
+        25 => 4 + MAX_METRICS_TEXT,     // MetricsReply: exposition text
+        // FleetStatsReply: epoch, evictions, count, entries.
+        27 => 8 + 8 + 4 + MAX_MEMBERS * FLEET_STATS_ENTRY_CAP,
         other => return Err(WireError::UnknownType { found: other }),
     })
 }
@@ -273,6 +290,10 @@ pub enum Message {
     PushFrames {
         /// Cluster the frames belong to; selects the shard.
         cluster_id: u64,
+        /// Client-minted 64-bit trace id; 0 means untraced. A traced
+        /// push's journey (push → enqueue → flush → store → pull)
+        /// emits one span per stage under this id.
+        trace: u64,
         /// Frames, one per row, `frame_dim` wide.
         frames: Matrix,
     },
@@ -296,6 +317,8 @@ pub enum Message {
         cluster_id: u64,
         /// Upper bound on returned rows.
         max_frames: u32,
+        /// Client-minted trace id for this request; 0 means untraced.
+        trace: u64,
     },
     /// Decoded reconstructions, oldest first, in push order.
     Decoded {
@@ -359,12 +382,17 @@ pub enum Message {
         /// Post-join membership, ascending by id.
         members: Vec<GatewayEntry>,
     },
-    /// Gateway→directory liveness beacon.
+    /// Gateway→directory liveness beacon, optionally piggybacking the
+    /// gateway's cumulative [`StatsSnapshot`] so the directory can
+    /// aggregate a fleet-wide view without scraping every gateway.
     Heartbeat {
         /// Fleet-wide gateway identifier.
         gateway_id: u64,
         /// Last epoch the gateway observed (for directory diagnostics).
         epoch: u64,
+        /// Cumulative serving stats at beat time; cumulative (not a
+        /// true delta) so a retransmitted beat is idempotent.
+        stats: Option<StatsSnapshot>,
     },
     /// The directory's answer to [`Message::Heartbeat`]; carries the
     /// current membership so gateways converge without extra queries.
@@ -380,6 +408,8 @@ pub enum Message {
     Subscribe {
         /// Cluster to stream.
         cluster_id: u64,
+        /// Client-minted trace id for this request; 0 means untraced.
+        trace: u64,
     },
     /// The subscription is live.
     SubscribeAck {
@@ -403,6 +433,41 @@ pub enum Message {
         /// Reconstructed frames, one per row, `frame_dim` wide.
         frames: Matrix,
     },
+    /// Request the gateway's metrics exposition (a byte-stable text
+    /// scrape of every counter, gauge, per-shard series, and latency
+    /// histogram).
+    MetricsRequest,
+    /// The gateway's answer to [`Message::MetricsRequest`].
+    MetricsReply {
+        /// The text exposition, one `name value` line per series.
+        text: String,
+    },
+    /// Ask the directory for its aggregated per-gateway fleet view.
+    FleetStatsQuery,
+    /// The directory's answer to [`Message::FleetStatsQuery`]: the last
+    /// stats snapshot each gateway piggybacked on a heartbeat, live
+    /// members first-class and evicted members frozen at their final
+    /// reading.
+    FleetStatsReply {
+        /// Current assignment epoch.
+        epoch: u64,
+        /// Gateways evicted by sweeps since the directory started.
+        evictions: u64,
+        /// Per-gateway stats, ascending by gateway id.
+        gateways: Vec<GatewayStats>,
+    },
+}
+
+/// One gateway's entry in a [`Message::FleetStatsReply`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GatewayStats {
+    /// Fleet-wide gateway identifier.
+    pub id: u64,
+    /// Whether the gateway is currently a member (false = evicted; its
+    /// snapshot is frozen at the last heartbeat before eviction).
+    pub alive: bool,
+    /// The gateway's last piggybacked [`StatsSnapshot`].
+    pub snapshot: StatsSnapshot,
 }
 
 impl Message {
@@ -431,6 +496,10 @@ impl Message {
             Message::SubscribeAck { .. } => 21,
             Message::Unsubscribe { .. } => 22,
             Message::StreamFrames { .. } => 23,
+            Message::MetricsRequest => 24,
+            Message::MetricsReply { .. } => 25,
+            Message::FleetStatsQuery => 26,
+            Message::FleetStatsReply { .. } => 27,
         }
     }
 
@@ -461,6 +530,10 @@ impl Message {
             Message::SubscribeAck { .. } => "SubscribeAck",
             Message::Unsubscribe { .. } => "Unsubscribe",
             Message::StreamFrames { .. } => "StreamFrames",
+            Message::MetricsRequest => "MetricsRequest",
+            Message::MetricsReply { .. } => "MetricsReply",
+            Message::FleetStatsQuery => "FleetStatsQuery",
+            Message::FleetStatsReply { .. } => "FleetStatsReply",
         }
     }
 
@@ -490,8 +563,9 @@ impl Message {
                 put_u32(out, *frame_dim);
                 put_u32(out, *code_dim);
             }
-            Message::PushFrames { cluster_id, frames } => {
+            Message::PushFrames { cluster_id, trace, frames } => {
                 put_u64(out, *cluster_id);
+                put_u64(out, *trace);
                 put_matrix(out, frames);
             }
             Message::PushAck { accepted } => put_u32(out, *accepted),
@@ -499,9 +573,10 @@ impl Message {
                 put_u32(out, *queued);
                 put_u32(out, *capacity);
             }
-            Message::PullDecoded { cluster_id, max_frames } => {
+            Message::PullDecoded { cluster_id, max_frames, trace } => {
                 put_u64(out, *cluster_id);
                 put_u32(out, *max_frames);
+                put_u64(out, *trace);
             }
             Message::Decoded { cluster_id, frames } => {
                 put_u64(out, *cluster_id);
@@ -533,11 +608,22 @@ impl Message {
                 put_u64(out, *nonce);
                 put_u64(out, *mac);
             }
-            Message::Heartbeat { gateway_id, epoch } => {
+            Message::Heartbeat { gateway_id, epoch, stats } => {
                 put_u64(out, *gateway_id);
                 put_u64(out, *epoch);
+                match stats {
+                    Some(snapshot) => {
+                        out.push(1);
+                        snapshot.encode_into(out);
+                    }
+                    None => out.push(0),
+                }
             }
-            Message::Subscribe { cluster_id } | Message::Unsubscribe { cluster_id } => {
+            Message::Subscribe { cluster_id, trace } => {
+                put_u64(out, *cluster_id);
+                put_u64(out, *trace);
+            }
+            Message::Unsubscribe { cluster_id } => {
                 put_u64(out, *cluster_id);
             }
             Message::SubscribeAck { cluster_id, backlog } => {
@@ -547,6 +633,22 @@ impl Message {
             Message::StreamFrames { cluster_id, frames } => {
                 put_u64(out, *cluster_id);
                 put_matrix(out, frames);
+            }
+            Message::MetricsRequest | Message::FleetStatsQuery => {}
+            Message::MetricsReply { text } => {
+                assert!(text.len() <= MAX_METRICS_TEXT, "metrics text exceeds MAX_METRICS_TEXT");
+                put_bytes(out, text.as_bytes());
+            }
+            Message::FleetStatsReply { epoch, evictions, gateways } => {
+                assert!(gateways.len() <= MAX_MEMBERS, "fleet stats list exceeds MAX_MEMBERS");
+                put_u64(out, *epoch);
+                put_u64(out, *evictions);
+                put_u32(out, gateways.len() as u32);
+                for g in gateways {
+                    put_u64(out, g.id);
+                    out.push(u8::from(g.alive));
+                    g.snapshot.encode_into(out);
+                }
             }
         }
         let len = out.len() - HEADER_LEN;
@@ -682,10 +784,18 @@ fn decode_payload(msg_type: u16, cur: &mut Cursor<'_>) -> Result<Message, WireEr
             frame_dim: cur.u32()?,
             code_dim: cur.u32()?,
         }),
-        3 => Ok(Message::PushFrames { cluster_id: cur.u64()?, frames: take_matrix(cur)? }),
+        3 => Ok(Message::PushFrames {
+            cluster_id: cur.u64()?,
+            trace: cur.u64()?,
+            frames: take_matrix(cur)?,
+        }),
         4 => Ok(Message::PushAck { accepted: cur.u32()? }),
         5 => Ok(Message::Busy { queued: cur.u32()?, capacity: cur.u32()? }),
-        6 => Ok(Message::PullDecoded { cluster_id: cur.u64()?, max_frames: cur.u32()? }),
+        6 => Ok(Message::PullDecoded {
+            cluster_id: cur.u64()?,
+            max_frames: cur.u32()?,
+            trace: cur.u64()?,
+        }),
         7 => Ok(Message::Decoded { cluster_id: cur.u64()?, frames: take_matrix(cur)? }),
         8 => Ok(Message::StatsRequest),
         9 => Ok(Message::StatsReply(StatsSnapshot::decode_from(cur)?)),
@@ -713,13 +823,59 @@ fn decode_payload(msg_type: u16, cur: &mut Cursor<'_>) -> Result<Message, WireEr
             mac: cur.u64()?,
         }),
         17 => Ok(Message::RegisterAck { epoch: cur.u64()?, members: take_members(cur)? }),
-        18 => Ok(Message::Heartbeat { gateway_id: cur.u64()?, epoch: cur.u64()? }),
+        18 => {
+            let gateway_id = cur.u64()?;
+            let epoch = cur.u64()?;
+            let stats = match take_bool(cur, "heartbeat stats flag is not 0 or 1")? {
+                true => Some(StatsSnapshot::decode_from(cur)?),
+                false => None,
+            };
+            Ok(Message::Heartbeat { gateway_id, epoch, stats })
+        }
         19 => Ok(Message::HeartbeatAck { epoch: cur.u64()?, members: take_members(cur)? }),
-        20 => Ok(Message::Subscribe { cluster_id: cur.u64()? }),
+        20 => Ok(Message::Subscribe { cluster_id: cur.u64()?, trace: cur.u64()? }),
         21 => Ok(Message::SubscribeAck { cluster_id: cur.u64()?, backlog: cur.u32()? }),
         22 => Ok(Message::Unsubscribe { cluster_id: cur.u64()? }),
         23 => Ok(Message::StreamFrames { cluster_id: cur.u64()?, frames: take_matrix(cur)? }),
+        24 => Ok(Message::MetricsRequest),
+        25 => {
+            let bytes = cur.take_len_prefixed()?;
+            if bytes.len() > MAX_METRICS_TEXT {
+                return Err(WireError::Corrupt { detail: "metrics text exceeds MAX_METRICS_TEXT" });
+            }
+            let text = std::str::from_utf8(bytes)
+                .map_err(|_| WireError::Corrupt { detail: "metrics text is not utf-8" })?
+                .to_owned();
+            Ok(Message::MetricsReply { text })
+        }
+        26 => Ok(Message::FleetStatsQuery),
+        27 => {
+            let epoch = cur.u64()?;
+            let evictions = cur.u64()?;
+            let count = cur.u32()? as usize;
+            if count > MAX_MEMBERS {
+                return Err(WireError::Corrupt { detail: "fleet stats list exceeds MAX_MEMBERS" });
+            }
+            let mut gateways = Vec::with_capacity(count);
+            for _ in 0..count {
+                gateways.push(GatewayStats {
+                    id: cur.u64()?,
+                    alive: take_bool(cur, "fleet stats liveness flag is not 0 or 1")?,
+                    snapshot: StatsSnapshot::decode_from(cur)?,
+                });
+            }
+            Ok(Message::FleetStatsReply { epoch, evictions, gateways })
+        }
         other => Err(WireError::UnknownType { found: other }),
+    }
+}
+
+/// Reads a one-byte boolean flag; any value other than 0/1 is corrupt.
+fn take_bool(cur: &mut Cursor<'_>, detail: &'static str) -> Result<bool, WireError> {
+    match cur.take(1)?[0] {
+        0 => Ok(false),
+        1 => Ok(true),
+        _ => Err(WireError::Corrupt { detail }),
     }
 }
 
@@ -908,13 +1064,52 @@ mod tests {
             Message::HeartbeatAck { epoch: 14, members },
             Message::Redirect { cluster_id: 5, epoch: 12, addr: "gw:2".into() },
             Message::Register { gateway_id: 3, addr: "gw:3".into(), nonce: 7, mac: 99 },
-            Message::Heartbeat { gateway_id: 3, epoch: 12 },
-            Message::Subscribe { cluster_id: 40 },
+            Message::Heartbeat { gateway_id: 3, epoch: 12, stats: None },
+            Message::Subscribe { cluster_id: 40, trace: 0xBEE5 },
             Message::SubscribeAck { cluster_id: 40, backlog: 2 },
             Message::Unsubscribe { cluster_id: 40 },
         ] {
             assert_eq!(Message::decode(&msg.encode()).unwrap(), msg);
         }
+    }
+
+    #[test]
+    fn observability_messages_roundtrip() {
+        let stats = crate::stats::ServeStats::new(2);
+        stats.record_push(1, 3, 60);
+        let snapshot = stats.snapshot();
+        for msg in [
+            Message::MetricsRequest,
+            Message::MetricsReply { text: "orco_pushes_total 1\n".into() },
+            Message::FleetStatsQuery,
+            Message::Heartbeat { gateway_id: 7, epoch: 4, stats: Some(snapshot.clone()) },
+            Message::FleetStatsReply {
+                epoch: 4,
+                evictions: 1,
+                gateways: vec![
+                    GatewayStats { id: 2, alive: false, snapshot: snapshot.clone() },
+                    GatewayStats { id: 7, alive: true, snapshot },
+                ],
+            },
+        ] {
+            assert_eq!(Message::decode(&msg.encode()).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn bad_boolean_flags_are_corrupt() {
+        let mut frame = Message::Heartbeat { gateway_id: 1, epoch: 2, stats: None }.encode();
+        frame[HEADER_LEN + 16] = 2; // stats flag must be 0 or 1
+        assert!(matches!(Message::decode(&frame), Err(WireError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn oversized_fleet_stats_list_rejected() {
+        let mut frame =
+            Message::FleetStatsReply { epoch: 1, evictions: 0, gateways: Vec::new() }.encode();
+        let count_at = HEADER_LEN + 16;
+        frame[count_at..count_at + 4].copy_from_slice(&(MAX_MEMBERS as u32 + 1).to_le_bytes());
+        assert!(matches!(Message::decode(&frame), Err(WireError::Corrupt { .. })));
     }
 
     #[test]

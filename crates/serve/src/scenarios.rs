@@ -84,6 +84,11 @@ pub struct ScenarioOutcome {
     /// FNV-1a over every delivered row's little-endian bytes, client
     /// order — one u64 that pins the entire decoded output.
     pub decoded_fnv: u64,
+    /// The gateway's trace-ring text export at the end of the run —
+    /// byte-identical between a live run and its replay, and already
+    /// chain-verified (every delivered frame has exactly one complete
+    /// push → enqueue → flush → store → delivery chain).
+    pub trace_export: String,
     /// The impairment schedule the run drew (replay tape).
     pub trace: Vec<SendRecord>,
 }
@@ -427,6 +432,9 @@ fn drive(
                 batch_deadline: Duration::from_millis(5),
                 queue_capacity: spec.queue_capacity,
                 auth_secret: None,
+                // Large enough that no gauntlet run evicts a span: the
+                // contracts below demand the ring saw everything.
+                trace_capacity: 1 << 16,
             },
             Clock::manual(Duration::ZERO),
             |_| {
@@ -539,7 +547,11 @@ fn drive(
                 } else if a.phase == Phase::Drain && a.pending.is_none() {
                     let seq = net.submit(
                         a.conn,
-                        &Message::PullDecoded { cluster_id: a.cluster, max_frames: PULL_CHUNK },
+                        &Message::PullDecoded {
+                            cluster_id: a.cluster,
+                            max_frames: PULL_CHUNK,
+                            trace: 0,
+                        },
                     );
                     a.pending = Some((seq, Pending::Pull { retry_push: false }));
                 }
@@ -623,6 +635,33 @@ fn drive(
         ));
     }
 
+    // Trace-level contracts: the ring saw every span, every trace's
+    // chain conserves rows, and — since the run drained fully — every
+    // pushed row was delivered under its own trace.
+    if gateway.tracer().dropped() != 0 {
+        return Err(fail(
+            format!(
+                "trace ring evicted {} spans; raise trace_capacity so chains stay whole",
+                gateway.tracer().dropped()
+            ),
+            net.trace(),
+        ));
+    }
+    let spans = gateway.tracer().spans();
+    let chains = match orco_obs::verify_chains(&spans) {
+        Ok(chains) => chains,
+        Err(detail) => return Err(fail(format!("trace chain broken: {detail}"), net.trace())),
+    };
+    if chains.pushed_rows != total as u64 || chains.delivered_rows != total as u64 {
+        return Err(fail(
+            format!(
+                "trace chains account for {} pushed / {} delivered rows, expected {total} of each",
+                chains.pushed_rows, chains.delivered_rows
+            ),
+            net.trace(),
+        ));
+    }
+
     let mut digest_bytes = Vec::with_capacity(delivered_rows * dims.input * 4);
     for a in &actors {
         for v in &a.pulled {
@@ -645,6 +684,7 @@ fn drive(
             frame
         },
         decoded_fnv: fnv1a64(&digest_bytes),
+        trace_export: gateway.trace_export(),
         trace: net.trace(),
     })
 }
@@ -655,6 +695,11 @@ impl Actor {
             self.conn,
             &Message::PushFrames {
                 cluster_id: self.cluster,
+                // One trace id per push window, stable across Busy
+                // retries (a refused push emits no spans, so the retry
+                // cannot double-count the trace). Clusters are small, so
+                // the id stays unique and nonzero across actors.
+                trace: (self.cluster << 20) | (lo as u64 + 1),
                 frames: self.frames.view_rows(lo..hi).to_matrix(),
             },
         )
@@ -700,7 +745,11 @@ fn on_reply(
                 a.phase = Phase::Drain;
                 let seq = net.submit(
                     a.conn,
-                    &Message::PullDecoded { cluster_id: a.cluster, max_frames: PULL_CHUNK },
+                    &Message::PullDecoded {
+                        cluster_id: a.cluster,
+                        max_frames: PULL_CHUNK,
+                        trace: 0,
+                    },
                 );
                 a.pending = Some((seq, Pending::Pull { retry_push: false }));
             }
@@ -713,7 +762,7 @@ fn on_reply(
             a.deferred_push = Some((lo, hi));
             let seq = net.submit(
                 a.conn,
-                &Message::PullDecoded { cluster_id: a.cluster, max_frames: PULL_CHUNK },
+                &Message::PullDecoded { cluster_id: a.cluster, max_frames: PULL_CHUNK, trace: 0 },
             );
             a.pending = Some((seq, Pending::Pull { retry_push: true }));
             Ok(())
@@ -744,7 +793,11 @@ fn on_reply(
                     a.backoff.reset();
                     let seq = net.submit(
                         a.conn,
-                        &Message::PullDecoded { cluster_id: a.cluster, max_frames: PULL_CHUNK },
+                        &Message::PullDecoded {
+                            cluster_id: a.cluster,
+                            max_frames: PULL_CHUNK,
+                            trace: 0,
+                        },
                     );
                     a.pending = Some((seq, Pending::Pull { retry_push: false }));
                 } else {

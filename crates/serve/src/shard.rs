@@ -23,18 +23,24 @@
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
 
+use orco_obs::{Span, SpanKind, Tracer};
 use orco_tensor::{MatView, Matrix};
 use orcodcs::{Codec, FrameDims, OrcoError};
 
 use crate::stats::{FlushReason, ServeStats};
 
 pub(crate) struct ShardCore {
+    /// This shard's index in the gateway (labels stats and trace spans).
+    index: usize,
     codec: Box<dyn Codec>,
     dims: FrameDims,
     /// Pending raw frames, row-major, `dims.input` wide.
     pending_data: Vec<f32>,
     /// The cluster of each pending row (routes codes after the flush).
     pending_clusters: Vec<u64>,
+    /// The trace id of each pending row (0 = untraced), parallel to
+    /// `pending_clusters`.
+    pending_traces: Vec<u64>,
     /// Enqueue time of the oldest pending row; meaningful only while
     /// `pending_clusters` is non-empty.
     oldest_enqueue_s: f64,
@@ -45,23 +51,29 @@ pub(crate) struct ShardCore {
     decode_out_ws: Matrix,
     /// Encoded rows awaiting pull, flat per cluster (`dims.code` per row).
     stores: BTreeMap<u64, VecDeque<f32>>,
+    /// The trace id of each stored row, parallel to `stores` (one entry
+    /// per row, not per f32), so deliveries can close the causal chain.
+    store_traces: BTreeMap<u64, VecDeque<u64>>,
     /// Total rows across `stores`.
     stored_rows: usize,
 }
 
 impl ShardCore {
-    pub(crate) fn new(codec: Box<dyn Codec>) -> Self {
+    pub(crate) fn new(index: usize, codec: Box<dyn Codec>) -> Self {
         let dims = codec.frame_dims();
         Self {
+            index,
             codec,
             dims,
             pending_data: Vec::new(),
             pending_clusters: Vec::new(),
+            pending_traces: Vec::new(),
             oldest_enqueue_s: 0.0,
             codes_ws: Matrix::zeros(0, 0),
             decode_in_ws: Matrix::zeros(0, 0),
             decode_out_ws: Matrix::zeros(0, 0),
             stores: BTreeMap::new(),
+            store_traces: BTreeMap::new(),
             stored_rows: 0,
         }
     }
@@ -107,6 +119,7 @@ impl ShardCore {
     pub(crate) fn try_enqueue(
         &mut self,
         cluster: u64,
+        trace: u64,
         frames: &Matrix,
         now_s: f64,
         capacity: usize,
@@ -120,6 +133,7 @@ impl ShardCore {
         }
         self.pending_data.extend_from_slice(frames.as_slice());
         self.pending_clusters.extend(std::iter::repeat_n(cluster, rows));
+        self.pending_traces.extend(std::iter::repeat_n(trace, rows));
         true
     }
 
@@ -136,6 +150,7 @@ impl ShardCore {
         now_s: f64,
         reason: FlushReason,
         stats: &ServeStats,
+        tracer: &Tracer,
     ) -> Result<(), OrcoError> {
         let rows = self.pending_rows();
         if rows == 0 {
@@ -145,11 +160,44 @@ impl ShardCore {
         self.codec.encode_batch(view, &mut self.codes_ws)?;
         for (r, &cluster) in self.pending_clusters.iter().enumerate() {
             self.stores.entry(cluster).or_default().extend(self.codes_ws.row(r).iter().copied());
+            // Untraced rows (trace 0) still file an entry so the parallel
+            // queues stay row-aligned with the code store.
+            self.store_traces.entry(cluster).or_default().push_back(self.pending_traces[r]);
         }
         self.stored_rows += rows;
-        stats.record_flush(rows as u64, now_s - self.oldest_enqueue_s, reason);
+        stats.record_flush(self.index, rows as u64, now_s - self.oldest_enqueue_s, reason);
+        if tracer.enabled() {
+            // One Flush + Store span per contiguous (trace, cluster) run.
+            // Pushes append rows contiguously, so runs are push-granular.
+            let mut r = 0;
+            while r < rows {
+                let (trace, cluster) = (self.pending_traces[r], self.pending_clusters[r]);
+                let mut end = r + 1;
+                while end < rows
+                    && self.pending_traces[end] == trace
+                    && self.pending_clusters[end] == cluster
+                {
+                    end += 1;
+                }
+                if trace != 0 {
+                    let base = Span {
+                        trace_id: trace,
+                        kind: SpanKind::Flush,
+                        cluster_id: cluster,
+                        shard: self.index as u16,
+                        rows: (end - r) as u32,
+                        at_s: now_s,
+                        detail: reason.as_str(),
+                    };
+                    tracer.record(base);
+                    tracer.record(Span { kind: SpanKind::Store, detail: "", ..base });
+                }
+                r = end;
+            }
+        }
         self.pending_data.clear();
         self.pending_clusters.clear();
+        self.pending_traces.clear();
         Ok(())
     }
 
@@ -166,7 +214,9 @@ impl ShardCore {
         &mut self,
         cluster: u64,
         max: usize,
+        now_s: f64,
         stats: &ServeStats,
+        tracer: &Tracer,
         streamed: bool,
     ) -> Result<Matrix, OrcoError> {
         let code = self.dims.code;
@@ -187,12 +237,45 @@ impl ShardCore {
                 self.stores.remove(&cluster);
             }
         }
+        let traces: Vec<u64> = {
+            let queue = self.store_traces.get_mut(&cluster).expect("trace queue is row-aligned");
+            let drained = queue.drain(..k).collect();
+            if queue.is_empty() {
+                self.store_traces.remove(&cluster);
+            }
+            drained
+        };
         self.stored_rows -= k;
         self.codec.decode_batch(self.decode_in_ws.as_view(), &mut self.decode_out_ws)?;
         if streamed {
-            stats.record_streamed(k as u64, (k * self.dims.input * 4) as u64);
+            stats.record_streamed(self.index, k as u64, (k * self.dims.input * 4) as u64);
         } else {
-            stats.record_pull(k as u64, (k * self.dims.input * 4) as u64);
+            stats.record_pull(self.index, k as u64, (k * self.dims.input * 4) as u64);
+        }
+        if tracer.enabled() {
+            // One delivery span per contiguous run of the same trace id,
+            // mirroring the push-granular grouping on the ingest side.
+            let kind = if streamed { SpanKind::Stream } else { SpanKind::Pull };
+            let mut r = 0;
+            while r < k {
+                let trace = traces[r];
+                let mut end = r + 1;
+                while end < k && traces[end] == trace {
+                    end += 1;
+                }
+                if trace != 0 {
+                    tracer.record(Span {
+                        trace_id: trace,
+                        kind,
+                        cluster_id: cluster,
+                        shard: self.index as u16,
+                        rows: (end - r) as u32,
+                        at_s: now_s,
+                        detail: "",
+                    });
+                }
+                r = end;
+            }
         }
         // Move the decoded rows into the reply instead of cloning them;
         // the reply owns the buffer and the next decode_batch regrows the

@@ -1,25 +1,40 @@
 //! The serving-statistics registry and its wire snapshot.
 //!
 //! Every shard and connection thread records into one shared
-//! [`ServeStats`]: lock-free atomic counters for the hot-path tallies,
-//! plus a sorted-on-insert latency ledger in the style of
-//! `orco_wsn::accounting::TrafficAccounting` — p50/p99 come from the same
-//! [`percentile_of_sorted`] convention as the WSN simulator's delivery
-//! latencies, so percentiles mean the same thing across every report in
-//! the workspace.
+//! [`ServeStats`], built on the typed primitives of [`orco_obs`]:
+//! lock-free [`Counter`]s for the hot-path tallies, [`Gauge`]s that
+//! clamp at zero instead of wrapping (a pull racing a flush recording
+//! can momentarily read low, never ~`u64::MAX`), a log2-bucketed
+//! [`Histogram`] carrying the full flush-latency distribution, and a
+//! per-shard counter row so hot-shard skew is visible. The bounded
+//! sorted-on-insert latency ledger stays as the compatibility read:
+//! p50/p99 come from the same [`percentile_of_sorted`] convention as
+//! the WSN simulator's delivery latencies, so percentiles mean the same
+//! thing across every report in the workspace.
 //!
 //! A [`StatsSnapshot`] is the registry frozen at one instant; it travels
-//! in [`crate::protocol::Message::StatsReply`] with the same fixed
-//! little-endian encoding as every other payload. Under a
-//! [`crate::Clock::manual`] clock the snapshot is a pure function of the
-//! message schedule — byte-identical across runs and thread counts.
+//! in [`crate::protocol::Message::StatsReply`] (and piggybacked on
+//! `Heartbeat`) with the same fixed little-endian encoding as every
+//! other payload. Under a [`crate::Clock::manual`] clock the snapshot is
+//! a pure function of the message schedule — byte-identical across runs
+//! and thread counts.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+use orco_obs::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
 use orco_wsn::accounting::percentile_of_sorted;
 
 use crate::protocol::{put_f64, put_u16, put_u64, Cursor, WireError};
+
+/// Upper bound on the shard count a [`StatsSnapshot`] may carry on the
+/// wire (bounds the per-shard rows before any allocation, like
+/// `MAX_MEMBERS` bounds membership lists).
+pub const MAX_SHARDS: usize = 1024;
+
+/// Worst-case encoded size of one [`StatsSnapshot`]: shard count,
+/// 17 u64 counters, 2 f64 percentiles, and up to [`MAX_SHARDS`]
+/// per-shard rows of 3 u64 each.
+pub(crate) const SNAPSHOT_CAP: usize = 2 + 17 * 8 + 2 * 8 + MAX_SHARDS * 24;
 
 /// Why a micro-batch was flushed. Each reason has its own counter in
 /// [`StatsSnapshot`], so `deadline_flushes` means *deadline* flushes —
@@ -39,6 +54,28 @@ pub enum FlushReason {
     Drain,
 }
 
+impl FlushReason {
+    /// Stable lowercase name used in trace spans and metric labels.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FlushReason::Size => "size",
+            FlushReason::Deadline => "deadline",
+            FlushReason::Pull => "pull",
+            FlushReason::Drain => "drain",
+        }
+    }
+}
+
+/// Per-shard counter row: enough to see skew, small enough to ship on
+/// every heartbeat.
+#[derive(Debug, Default)]
+struct ShardCounters {
+    frames_in: Counter,
+    frames_out: Counter,
+    batches: Counter,
+}
+
 /// Shared, thread-safe registry of serving counters.
 ///
 /// Counter updates are `Relaxed` atomics; a snapshot taken while pushes
@@ -49,23 +86,25 @@ pub enum FlushReason {
 #[derive(Debug)]
 pub struct ServeStats {
     shards: u16,
-    frames_in: AtomicU64,
-    frames_out: AtomicU64,
-    bytes_in: AtomicU64,
-    bytes_out: AtomicU64,
-    pushes: AtomicU64,
-    pulls: AtomicU64,
-    busy_rejections: AtomicU64,
-    batches: AtomicU64,
-    size_flushes: AtomicU64,
-    deadline_flushes: AtomicU64,
-    pull_flushes: AtomicU64,
-    drain_flushes: AtomicU64,
-    max_batch_rows: AtomicU64,
-    queue_depth: AtomicU64,
-    stored_codes: AtomicU64,
-    streamed_rows: AtomicU64,
-    redirects: AtomicU64,
+    frames_in: Counter,
+    frames_out: Counter,
+    bytes_in: Counter,
+    bytes_out: Counter,
+    pushes: Counter,
+    pulls: Counter,
+    busy_rejections: Counter,
+    batches: Counter,
+    size_flushes: Counter,
+    deadline_flushes: Counter,
+    pull_flushes: Counter,
+    drain_flushes: Counter,
+    max_batch_rows: Gauge,
+    queue_depth: Gauge,
+    stored_codes: Gauge,
+    streamed_rows: Counter,
+    redirects: Counter,
+    per_shard: Vec<ShardCounters>,
+    flush_latency: Histogram,
     latencies: Mutex<LatencyLedger>,
 }
 
@@ -119,79 +158,92 @@ impl ServeStats {
     pub fn new(shards: u16) -> Self {
         Self {
             shards,
-            frames_in: AtomicU64::new(0),
-            frames_out: AtomicU64::new(0),
-            bytes_in: AtomicU64::new(0),
-            bytes_out: AtomicU64::new(0),
-            pushes: AtomicU64::new(0),
-            pulls: AtomicU64::new(0),
-            busy_rejections: AtomicU64::new(0),
-            batches: AtomicU64::new(0),
-            size_flushes: AtomicU64::new(0),
-            deadline_flushes: AtomicU64::new(0),
-            pull_flushes: AtomicU64::new(0),
-            drain_flushes: AtomicU64::new(0),
-            max_batch_rows: AtomicU64::new(0),
-            queue_depth: AtomicU64::new(0),
-            stored_codes: AtomicU64::new(0),
-            streamed_rows: AtomicU64::new(0),
-            redirects: AtomicU64::new(0),
+            frames_in: Counter::new(),
+            frames_out: Counter::new(),
+            bytes_in: Counter::new(),
+            bytes_out: Counter::new(),
+            pushes: Counter::new(),
+            pulls: Counter::new(),
+            busy_rejections: Counter::new(),
+            batches: Counter::new(),
+            size_flushes: Counter::new(),
+            deadline_flushes: Counter::new(),
+            pull_flushes: Counter::new(),
+            drain_flushes: Counter::new(),
+            max_batch_rows: Gauge::new(),
+            queue_depth: Gauge::new(),
+            stored_codes: Gauge::new(),
+            streamed_rows: Counter::new(),
+            redirects: Counter::new(),
+            per_shard: (0..shards).map(|_| ShardCounters::default()).collect(),
+            flush_latency: Histogram::new(),
             latencies: Mutex::new(LatencyLedger::default()),
         }
     }
 
+    fn shard(&self, shard: usize) -> &ShardCounters {
+        &self.per_shard[shard]
+    }
+
     /// Records an accepted push of `rows` frames carrying `bytes` of
-    /// frame payload.
-    pub fn record_push(&self, rows: u64, bytes: u64) {
-        self.pushes.fetch_add(1, Ordering::Relaxed);
-        self.frames_in.fetch_add(rows, Ordering::Relaxed);
-        self.bytes_in.fetch_add(bytes, Ordering::Relaxed);
-        self.queue_depth.fetch_add(rows, Ordering::Relaxed);
+    /// frame payload into `shard`.
+    pub fn record_push(&self, shard: usize, rows: u64, bytes: u64) {
+        self.pushes.inc();
+        self.frames_in.add(rows);
+        self.bytes_in.add(bytes);
+        self.queue_depth.add(rows);
+        self.shard(shard).frames_in.add(rows);
     }
 
     /// Records a push rejected with `Busy`.
     pub fn record_busy(&self) {
-        self.busy_rejections.fetch_add(1, Ordering::Relaxed);
+        self.busy_rejections.inc();
     }
 
-    /// Records one micro-batch flush of `rows` frames, `latency_s` after
-    /// its oldest frame was enqueued, for the given [`FlushReason`].
-    pub fn record_flush(&self, rows: u64, latency_s: f64, reason: FlushReason) {
-        self.batches.fetch_add(1, Ordering::Relaxed);
+    /// Records one micro-batch flush of `rows` frames on `shard`,
+    /// `latency_s` after its oldest frame was enqueued, for the given
+    /// [`FlushReason`].
+    pub fn record_flush(&self, shard: usize, rows: u64, latency_s: f64, reason: FlushReason) {
+        self.batches.inc();
         let counter = match reason {
             FlushReason::Size => &self.size_flushes,
             FlushReason::Deadline => &self.deadline_flushes,
             FlushReason::Pull => &self.pull_flushes,
             FlushReason::Drain => &self.drain_flushes,
         };
-        counter.fetch_add(1, Ordering::Relaxed);
-        self.max_batch_rows.fetch_max(rows, Ordering::Relaxed);
-        self.queue_depth.fetch_sub(rows, Ordering::Relaxed);
-        self.stored_codes.fetch_add(rows, Ordering::Relaxed);
+        counter.inc();
+        self.max_batch_rows.max_assign(rows);
+        self.queue_depth.sub(rows);
+        self.stored_codes.add(rows);
+        self.shard(shard).batches.inc();
+        self.flush_latency.record_secs(latency_s);
         self.latencies.lock().expect("stats lock").record(latency_s);
     }
 
-    /// Records a pull that returned `rows` decoded frames carrying
-    /// `bytes` of frame payload.
-    pub fn record_pull(&self, rows: u64, bytes: u64) {
-        self.pulls.fetch_add(1, Ordering::Relaxed);
-        self.frames_out.fetch_add(rows, Ordering::Relaxed);
-        self.bytes_out.fetch_add(bytes, Ordering::Relaxed);
-        self.stored_codes.fetch_sub(rows, Ordering::Relaxed);
+    /// Records a pull from `shard` that returned `rows` decoded frames
+    /// carrying `bytes` of frame payload.
+    pub fn record_pull(&self, shard: usize, rows: u64, bytes: u64) {
+        self.pulls.inc();
+        self.frames_out.add(rows);
+        self.bytes_out.add(bytes);
+        // Clamped: a pull racing a flush recording reads low, never wraps.
+        self.stored_codes.sub(rows);
+        self.shard(shard).frames_out.add(rows);
     }
 
-    /// Records `rows` decoded frames pushed to streaming subscribers
-    /// (carrying `bytes` of frame payload).
-    pub fn record_streamed(&self, rows: u64, bytes: u64) {
-        self.streamed_rows.fetch_add(rows, Ordering::Relaxed);
-        self.frames_out.fetch_add(rows, Ordering::Relaxed);
-        self.bytes_out.fetch_add(bytes, Ordering::Relaxed);
-        self.stored_codes.fetch_sub(rows, Ordering::Relaxed);
+    /// Records `rows` decoded frames pushed from `shard` to streaming
+    /// subscribers (carrying `bytes` of frame payload).
+    pub fn record_streamed(&self, shard: usize, rows: u64, bytes: u64) {
+        self.streamed_rows.add(rows);
+        self.frames_out.add(rows);
+        self.bytes_out.add(bytes);
+        self.stored_codes.sub(rows);
+        self.shard(shard).frames_out.add(rows);
     }
 
     /// Records a push bounced with a `Redirect` to the current owner.
     pub fn record_redirect(&self) {
-        self.redirects.fetch_add(1, Ordering::Relaxed);
+        self.redirects.inc();
     }
 
     /// Freezes the registry into a snapshot.
@@ -200,34 +252,109 @@ impl ServeStats {
         let lats = self.latencies.lock().expect("stats lock");
         StatsSnapshot {
             shards: self.shards,
-            frames_in: self.frames_in.load(Ordering::Relaxed),
-            frames_out: self.frames_out.load(Ordering::Relaxed),
-            bytes_in: self.bytes_in.load(Ordering::Relaxed),
-            bytes_out: self.bytes_out.load(Ordering::Relaxed),
-            pushes: self.pushes.load(Ordering::Relaxed),
-            pulls: self.pulls.load(Ordering::Relaxed),
-            busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
-            batches: self.batches.load(Ordering::Relaxed),
-            size_flushes: self.size_flushes.load(Ordering::Relaxed),
-            deadline_flushes: self.deadline_flushes.load(Ordering::Relaxed),
-            pull_flushes: self.pull_flushes.load(Ordering::Relaxed),
-            drain_flushes: self.drain_flushes.load(Ordering::Relaxed),
-            max_batch_rows: self.max_batch_rows.load(Ordering::Relaxed),
-            queue_depth: self.queue_depth.load(Ordering::Relaxed),
-            stored_codes: self.stored_codes.load(Ordering::Relaxed),
-            streamed_rows: self.streamed_rows.load(Ordering::Relaxed),
-            redirects: self.redirects.load(Ordering::Relaxed),
+            frames_in: self.frames_in.get(),
+            frames_out: self.frames_out.get(),
+            bytes_in: self.bytes_in.get(),
+            bytes_out: self.bytes_out.get(),
+            pushes: self.pushes.get(),
+            pulls: self.pulls.get(),
+            busy_rejections: self.busy_rejections.get(),
+            batches: self.batches.get(),
+            size_flushes: self.size_flushes.get(),
+            deadline_flushes: self.deadline_flushes.get(),
+            pull_flushes: self.pull_flushes.get(),
+            drain_flushes: self.drain_flushes.get(),
+            max_batch_rows: self.max_batch_rows.get(),
+            queue_depth: self.queue_depth.get(),
+            stored_codes: self.stored_codes.get(),
+            streamed_rows: self.streamed_rows.get(),
+            redirects: self.redirects.get(),
             batch_latency_p50_s: percentile_of_sorted(&lats.samples, 0.5),
             batch_latency_p99_s: percentile_of_sorted(&lats.samples, 0.99),
+            per_shard: self
+                .per_shard
+                .iter()
+                .map(|s| ShardRow {
+                    frames_in: s.frames_in.get(),
+                    frames_out: s.frames_out.get(),
+                    batches: s.batches.get(),
+                })
+                .collect(),
         }
     }
+
+    /// The full flush-latency distribution (the p50/p99 snapshot fields
+    /// are the bounded-ledger compatibility read; this is the shape).
+    #[must_use]
+    pub fn flush_latency_histogram(&self) -> HistogramSnapshot {
+        self.flush_latency.snapshot()
+    }
+
+    /// Fills `reg` with every series this registry tracks, in a fixed
+    /// order, so the rendered exposition is byte-stable for a given
+    /// counter state.
+    pub fn fill_registry(&self, reg: &mut Registry) {
+        let snap = self.snapshot();
+        reg.set_int("orco_shards", u64::from(snap.shards));
+        reg.set_int("orco_frames_in_total", snap.frames_in);
+        reg.set_int("orco_frames_out_total", snap.frames_out);
+        reg.set_int("orco_bytes_in_total", snap.bytes_in);
+        reg.set_int("orco_bytes_out_total", snap.bytes_out);
+        reg.set_int("orco_pushes_total", snap.pushes);
+        reg.set_int("orco_pulls_total", snap.pulls);
+        reg.set_int("orco_busy_rejections_total", snap.busy_rejections);
+        reg.set_int("orco_batches_total", snap.batches);
+        reg.set_int(
+            Registry::label("orco_flushes_total", &[("reason", "size")]),
+            snap.size_flushes,
+        );
+        reg.set_int(
+            Registry::label("orco_flushes_total", &[("reason", "deadline")]),
+            snap.deadline_flushes,
+        );
+        reg.set_int(
+            Registry::label("orco_flushes_total", &[("reason", "pull")]),
+            snap.pull_flushes,
+        );
+        reg.set_int(
+            Registry::label("orco_flushes_total", &[("reason", "drain")]),
+            snap.drain_flushes,
+        );
+        reg.set_int("orco_max_batch_rows", snap.max_batch_rows);
+        reg.set_int("orco_queue_depth", snap.queue_depth);
+        reg.set_int("orco_stored_codes", snap.stored_codes);
+        reg.set_int("orco_streamed_rows_total", snap.streamed_rows);
+        reg.set_int("orco_redirects_total", snap.redirects);
+        reg.set_float("orco_batch_latency_p50_s", snap.batch_latency_p50_s);
+        reg.set_float("orco_batch_latency_p99_s", snap.batch_latency_p99_s);
+        for (i, row) in snap.per_shard.iter().enumerate() {
+            let shard = i.to_string();
+            let labels: &[(&str, &str)] = &[("shard", &shard)];
+            reg.set_int(Registry::label("orco_shard_frames_in_total", labels), row.frames_in);
+            reg.set_int(Registry::label("orco_shard_frames_out_total", labels), row.frames_out);
+            reg.set_int(Registry::label("orco_shard_batches_total", labels), row.batches);
+        }
+        reg.set_histogram("orco_flush_latency_ns", &self.flush_latency_histogram());
+    }
+}
+
+/// One shard's counters inside a [`StatsSnapshot`]: enough to see
+/// hot-shard skew from any scrape.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRow {
+    /// Raw frames this shard accepted.
+    pub frames_in: u64,
+    /// Decoded frames this shard delivered (pulls + streams).
+    pub frames_out: u64,
+    /// Micro-batches this shard flushed.
+    pub batches: u64,
 }
 
 /// The registry frozen at one instant; the payload of
 /// [`crate::protocol::Message::StatsReply`].
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Default, Clone, PartialEq)]
 pub struct StatsSnapshot {
-    /// Number of worker shards.
+    /// Number of worker shards (also the length of `per_shard`).
     pub shards: u16,
     /// Raw frames accepted into micro-batchers.
     pub frames_in: u64,
@@ -267,10 +394,16 @@ pub struct StatsSnapshot {
     pub batch_latency_p50_s: f64,
     /// 99th-percentile flush latency, seconds (0 when nothing flushed).
     pub batch_latency_p99_s: f64,
+    /// Per-shard counter rows, one per shard in shard order.
+    pub per_shard: Vec<ShardRow>,
 }
 
 impl StatsSnapshot {
     pub(crate) fn encode_into(&self, out: &mut Vec<u8>) {
+        assert!(
+            self.per_shard.len() == usize::from(self.shards) && self.per_shard.len() <= MAX_SHARDS,
+            "snapshot per-shard rows must match the shard count (≤ MAX_SHARDS)"
+        );
         put_u16(out, self.shards);
         put_u64(out, self.frames_in);
         put_u64(out, self.frames_out);
@@ -291,11 +424,20 @@ impl StatsSnapshot {
         put_u64(out, self.redirects);
         put_f64(out, self.batch_latency_p50_s);
         put_f64(out, self.batch_latency_p99_s);
+        for row in &self.per_shard {
+            put_u64(out, row.frames_in);
+            put_u64(out, row.frames_out);
+            put_u64(out, row.batches);
+        }
     }
 
     pub(crate) fn decode_from(cur: &mut Cursor<'_>) -> Result<Self, WireError> {
-        Ok(Self {
-            shards: cur.u16()?,
+        let shards = cur.u16()?;
+        if usize::from(shards) > MAX_SHARDS {
+            return Err(WireError::Corrupt { detail: "snapshot shard count exceeds MAX_SHARDS" });
+        }
+        let mut snap = Self {
+            shards,
             frames_in: cur.u64()?,
             frames_out: cur.u64()?,
             bytes_in: cur.u64()?,
@@ -315,7 +457,16 @@ impl StatsSnapshot {
             redirects: cur.u64()?,
             batch_latency_p50_s: cur.f64()?,
             batch_latency_p99_s: cur.f64()?,
-        })
+            per_shard: Vec::with_capacity(usize::from(shards)),
+        };
+        for _ in 0..shards {
+            snap.per_shard.push(ShardRow {
+                frames_in: cur.u64()?,
+                frames_out: cur.u64()?,
+                batches: cur.u64()?,
+            });
+        }
+        Ok(snap)
     }
 }
 
@@ -326,8 +477,8 @@ mod tests {
     #[test]
     fn counters_and_gauges_track_lifecycle() {
         let s = ServeStats::new(2);
-        s.record_push(4, 4 * 784 * 4);
-        s.record_push(2, 2 * 784 * 4);
+        s.record_push(0, 4, 4 * 784 * 4);
+        s.record_push(1, 2, 2 * 784 * 4);
         s.record_busy();
         let snap = s.snapshot();
         assert_eq!(snap.frames_in, 6);
@@ -335,8 +486,8 @@ mod tests {
         assert_eq!(snap.busy_rejections, 1);
         assert_eq!(snap.batches, 0);
 
-        s.record_flush(6, 0.010, FlushReason::Size);
-        s.record_pull(6, 6 * 784 * 4);
+        s.record_flush(0, 6, 0.010, FlushReason::Size);
+        s.record_pull(0, 6, 6 * 784 * 4);
         let snap = s.snapshot();
         assert_eq!(snap.queue_depth, 0);
         assert_eq!(snap.stored_codes, 0);
@@ -346,12 +497,49 @@ mod tests {
     }
 
     #[test]
+    fn per_shard_rows_split_the_rollup() {
+        let s = ServeStats::new(2);
+        s.record_push(0, 5, 100);
+        s.record_push(1, 1, 20);
+        s.record_flush(0, 5, 0.001, FlushReason::Size);
+        s.record_pull(0, 5, 100);
+        s.record_streamed(1, 1, 20);
+        let snap = s.snapshot();
+        assert_eq!(snap.per_shard.len(), 2);
+        assert_eq!(snap.per_shard[0], ShardRow { frames_in: 5, frames_out: 5, batches: 1 });
+        assert_eq!(snap.per_shard[1], ShardRow { frames_in: 1, frames_out: 1, batches: 0 });
+        // The global rollup is exactly the per-shard sum.
+        assert_eq!(snap.frames_in, snap.per_shard.iter().map(|r| r.frames_in).sum::<u64>());
+        assert_eq!(snap.frames_out, snap.per_shard.iter().map(|r| r.frames_out).sum::<u64>());
+    }
+
+    #[test]
+    fn racing_gauge_decrements_clamp_instead_of_wrapping() {
+        // The drill for the historical underflow: a pull recorded before
+        // the flush that stored its rows used to wrap stored_codes to
+        // ~u64::MAX. The clamped gauge reads 0 instead, and the snapshot
+        // never reports a wrapped gauge.
+        let s = ServeStats::new(1);
+        s.record_push(0, 4, 64);
+        s.record_pull(0, 4, 64); // races ahead of record_flush
+        let snap = s.snapshot();
+        assert_eq!(snap.stored_codes, 0, "wrapped gauge leaked into the snapshot");
+        s.record_flush(0, 4, 0.001, FlushReason::Pull);
+        assert_eq!(s.snapshot().stored_codes, 4, "late flush recording still lands");
+        // Same hazard on queue_depth: a flush recorded before its push.
+        let s = ServeStats::new(1);
+        s.record_flush(0, 3, 0.001, FlushReason::Size);
+        assert_eq!(s.snapshot().queue_depth, 0);
+        assert!(s.snapshot().queue_depth < u64::MAX / 2, "gauge must never wrap");
+    }
+
+    #[test]
     fn flush_reasons_count_separately() {
         let s = ServeStats::new(1);
-        s.record_flush(4, 0.001, FlushReason::Size);
-        s.record_flush(2, 0.006, FlushReason::Deadline);
-        s.record_flush(1, 0.002, FlushReason::Pull);
-        s.record_flush(3, 0.001, FlushReason::Drain);
+        s.record_flush(0, 4, 0.001, FlushReason::Size);
+        s.record_flush(0, 2, 0.006, FlushReason::Deadline);
+        s.record_flush(0, 1, 0.002, FlushReason::Pull);
+        s.record_flush(0, 3, 0.001, FlushReason::Drain);
         let snap = s.snapshot();
         assert_eq!(snap.batches, 4);
         assert_eq!(snap.size_flushes, 1);
@@ -369,7 +557,7 @@ mod tests {
     fn latency_ledger_stays_bounded() {
         let s = ServeStats::new(1);
         for i in 0..(LATENCY_SAMPLE_CAP as u64 * 6) {
-            s.record_flush(1, (i % 1000) as f64 * 0.001, FlushReason::Size);
+            s.record_flush(0, 1, (i % 1000) as f64 * 0.001, FlushReason::Size);
         }
         let lats = s.latencies.lock().unwrap();
         assert!(lats.samples.len() < LATENCY_SAMPLE_CAP, "ledger must stay under the cap");
@@ -379,6 +567,8 @@ mod tests {
         let snap = s.snapshot();
         assert!((snap.batch_latency_p50_s - 0.5).abs() < 0.05, "p50 {}", snap.batch_latency_p50_s);
         assert!((snap.batch_latency_p99_s - 0.99).abs() < 0.05, "p99 {}", snap.batch_latency_p99_s);
+        // The histogram keeps every sample (no decimation): full count.
+        assert_eq!(s.flush_latency_histogram().count, LATENCY_SAMPLE_CAP as u64 * 6);
     }
 
     #[test]
@@ -386,11 +576,28 @@ mod tests {
         let s = ServeStats::new(1);
         for i in 1..=100 {
             let reason = if i % 10 == 0 { FlushReason::Deadline } else { FlushReason::Size };
-            s.record_flush(1, f64::from(i) * 0.001, reason);
+            s.record_flush(0, 1, f64::from(i) * 0.001, reason);
         }
         let snap = s.snapshot();
         assert_eq!(snap.deadline_flushes, 10);
         assert!((snap.batch_latency_p50_s - 0.050).abs() < 0.0015);
         assert!((snap.batch_latency_p99_s - 0.099).abs() < 0.0015);
+    }
+
+    #[test]
+    fn exposition_is_byte_stable_and_carries_shard_labels() {
+        let s = ServeStats::new(2);
+        s.record_push(1, 3, 60);
+        s.record_flush(1, 3, 0.004, FlushReason::Size);
+        let mut reg = Registry::new();
+        s.fill_registry(&mut reg);
+        let text = reg.render();
+        assert!(text.contains("orco_shard_frames_in_total{shard=\"1\"} 3"), "scrape:\n{text}");
+        assert!(text.contains("orco_shard_frames_in_total{shard=\"0\"} 0"), "scrape:\n{text}");
+        assert!(text.contains("orco_flushes_total{reason=\"size\"} 1"), "scrape:\n{text}");
+        assert!(text.contains("orco_flush_latency_ns_count 1"), "scrape:\n{text}");
+        let mut again = Registry::new();
+        s.fill_registry(&mut again);
+        assert_eq!(text, again.render(), "same state must scrape to identical bytes");
     }
 }

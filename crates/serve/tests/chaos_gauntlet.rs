@@ -48,6 +48,11 @@ fn runs_are_deterministic() {
         assert_eq!(a.stats_frame, b.stats_frame, "{name}: stats frames diverged across runs");
         assert_eq!(a.decoded_fnv, b.decoded_fnv, "{name}: decoded bytes diverged across runs");
         assert_eq!(a.trace, b.trace, "{name}: impairment tapes diverged across runs");
+        assert!(
+            a.trace_export.starts_with("orco-trace v1"),
+            "{name}: trace export missing its header"
+        );
+        assert_eq!(a.trace_export, b.trace_export, "{name}: trace exports diverged across runs");
     }
 }
 
@@ -75,6 +80,10 @@ fn recorded_runs_replay_bit_identically() {
             "{name}: replayed decoded bytes differ from the live run"
         );
         assert_eq!(replayed.trace, live.trace, "{name}: replay rewrote the tape");
+        assert_eq!(
+            replayed.trace_export, live.trace_export,
+            "{name}: replay did not reproduce the live run's trace export bit-for-bit"
+        );
     }
 }
 

@@ -116,6 +116,7 @@ fn gateway_output_bit_identical_to_direct_batch_calls() {
         batch_deadline: Duration::from_secs(3600),
         queue_capacity: 4096,
         auth_secret: None,
+        trace_capacity: 4096,
     };
     let (decoded, _) = run_schedule(cfg);
 
@@ -143,6 +144,7 @@ fn gateway_is_deterministic_across_thread_budgets() {
         batch_deadline: Duration::from_millis(2),
         queue_capacity: 4096,
         auth_secret: None,
+        trace_capacity: 4096,
     };
     let (decoded_1, stats_1) = parallel::with_thread_budget(1, || run_schedule(cfg));
     let (decoded_4, stats_4) = parallel::with_thread_budget(4, || run_schedule(cfg));
@@ -168,6 +170,7 @@ fn busy_backpressure_and_drain() {
         batch_deadline: Duration::from_secs(3600),
         queue_capacity: 8,
         auth_secret: None,
+        trace_capacity: 4096,
     };
     let gw = gateway(cfg);
     let mut client = Client::connect(&Loopback::new(Arc::clone(&gw))).expect("connects");
@@ -210,6 +213,7 @@ fn deadline_flushes_small_batches() {
         batch_deadline: Duration::from_millis(5),
         queue_capacity: 4096,
         auth_secret: None,
+        trace_capacity: 4096,
     };
     let gw = gateway(cfg);
     let mut client = Client::connect(&Loopback::new(Arc::clone(&gw))).expect("connects");
@@ -238,6 +242,7 @@ fn deadline_flush_reaches_idle_shards() {
         batch_deadline: Duration::from_millis(5),
         queue_capacity: 4096,
         auth_secret: None,
+        trace_capacity: 4096,
     };
     let gw = gateway(cfg);
     // Two clusters pinned to different shards.
@@ -267,6 +272,7 @@ fn advance_clock_sweeps_deadlines_without_traffic() {
         batch_deadline: Duration::from_millis(5),
         queue_capacity: 4096,
         auth_secret: None,
+        trace_capacity: 4096,
     };
     let gw = gateway(cfg);
     let mut client = Client::connect(&Loopback::new(Arc::clone(&gw))).expect("connects");
@@ -292,6 +298,7 @@ fn flush_reasons_are_distinguished() {
         batch_deadline: Duration::from_secs(3600),
         queue_capacity: 4096,
         auth_secret: None,
+        trace_capacity: 4096,
     };
     let gw = gateway(cfg);
     let mut client = Client::connect(&Loopback::new(Arc::clone(&gw))).expect("connects");
@@ -326,6 +333,7 @@ fn shutdown_drains_and_rejects() {
         batch_deadline: Duration::from_secs(3600),
         queue_capacity: 4096,
         auth_secret: None,
+        trace_capacity: 4096,
     };
     let gw = gateway(cfg);
     let mut client = Client::connect(&Loopback::new(Arc::clone(&gw))).expect("connects");
@@ -338,4 +346,109 @@ fn shutdown_drains_and_rejects() {
     let err = client.push(2, frames.as_view()).unwrap_err();
     assert!(err.to_string().contains("shutting down"), "got: {err}");
     assert_eq!(client.pull(2, 32).unwrap().rows(), 5, "stored codes stay pullable");
+}
+
+/// Per-shard metrics expose real skew: a hot cluster's shard carries the
+/// rows while the others stay at zero, in both the stats snapshot and
+/// the text exposition.
+#[test]
+fn per_shard_metrics_expose_hot_shard_skew() {
+    let cfg = GatewayConfig {
+        shards: 4,
+        batch_max_frames: 8,
+        batch_deadline: Duration::from_secs(3600),
+        queue_capacity: 4096,
+        auth_secret: None,
+        trace_capacity: 4096,
+    };
+    let gw = gateway(cfg);
+    let hot = 7u64;
+    let hot_shard = gw.shard_of(hot);
+    let mut client = Client::connect(&Loopback::new(Arc::clone(&gw))).expect("connects");
+    let frames = cluster_frames(24, 0xBEEF);
+    for lo in (0..24).step_by(8) {
+        let outcome = client.push(hot, frames.view_rows(lo..lo + 8)).expect("push");
+        assert_eq!(outcome, PushOutcome::Accepted(8));
+    }
+    assert_eq!(client.pull(hot, 64).expect("pull").rows(), 24);
+
+    let snap = gw.stats();
+    assert_eq!(snap.per_shard.len(), 4);
+    assert_eq!(snap.per_shard[hot_shard].frames_in, 24);
+    assert_eq!(snap.per_shard[hot_shard].frames_out, 24);
+    assert!(snap.per_shard[hot_shard].batches >= 3, "3 size flushes expected: {snap:?}");
+    for (i, row) in snap.per_shard.iter().enumerate() {
+        if i != hot_shard {
+            assert_eq!(
+                (row.frames_in, row.frames_out, row.batches),
+                (0, 0, 0),
+                "idle shard {i} claims traffic"
+            );
+        }
+    }
+
+    // The text exposition carries the same skew, one labeled series per
+    // shard.
+    let text = gw.metrics_text();
+    assert!(
+        text.contains(&format!("orco_shard_frames_in_total{{shard=\"{hot_shard}\"}} 24")),
+        "hot shard series missing:\n{text}"
+    );
+    for i in 0..4 {
+        if i != hot_shard {
+            assert!(
+                text.contains(&format!("orco_shard_frames_in_total{{shard=\"{i}\"}} 0")),
+                "idle shard {i} series missing:\n{text}"
+            );
+        }
+    }
+    // The flush-latency distribution is exposed in full, not just as
+    // percentiles.
+    assert!(text.contains("orco_flush_latency_ns_count 3"), "histogram missing:\n{text}");
+}
+
+/// The trace pillar's determinism contract on the loopback path: the
+/// same schedule run twice exports byte-identical traces, and every
+/// delivered frame closes exactly one complete push → enqueue → flush →
+/// store → pull chain.
+#[test]
+fn trace_export_is_deterministic_and_chains_are_complete() {
+    let run = || {
+        let cfg = GatewayConfig {
+            shards: 2,
+            batch_max_frames: 4,
+            batch_deadline: Duration::from_secs(3600),
+            queue_capacity: 4096,
+            auth_secret: None,
+            trace_capacity: 4096,
+        };
+        let gw = gateway(cfg);
+        let mut client = Client::connect(&Loopback::new(Arc::clone(&gw))).expect("connects");
+        client.hello(9).expect("hello");
+        let frames = cluster_frames(12, 0xAB);
+        for lo in (0..12).step_by(3) {
+            let cluster = 40 + (lo as u64 / 3) % 2;
+            let outcome = client.push(cluster, frames.view_rows(lo..lo + 3)).expect("push");
+            assert_eq!(outcome, PushOutcome::Accepted(3));
+        }
+        let mut got = 0;
+        while got < 12 {
+            let chunk = client.pull(40, 32).expect("pull").rows()
+                + client.pull(41, 32).expect("pull").rows();
+            assert!(chunk > 0, "pulls stalled at {got}/12 rows");
+            got += chunk;
+        }
+
+        let summary = orco_obs::verify_chains(gw.tracer().spans().as_slice())
+            .expect("span chains conserve rows");
+        assert_eq!(summary.pushed_rows, 12, "every accepted row opens a chain");
+        assert_eq!(summary.delivered_rows, 12, "every delivered row closes its chain");
+        assert_eq!(gw.tracer().dropped(), 0, "ring sized for the schedule");
+        gw.trace_export()
+    };
+    let a = run();
+    let b = run();
+    assert!(a.starts_with("orco-trace v1"), "unexpected export header: {a}");
+    assert!(a.contains("push") && a.contains("store") && a.contains("pull"), "spans missing: {a}");
+    assert_eq!(a, b, "trace exports diverged across identical runs");
 }

@@ -53,6 +53,7 @@ fn gateway(clock: Clock) -> Arc<Gateway> {
                 batch_deadline: DEADLINE,
                 queue_capacity: 4096,
                 auth_secret: None,
+                trace_capacity: 4096,
             },
             clock,
             move |_| {

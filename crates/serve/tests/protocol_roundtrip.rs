@@ -3,7 +3,7 @@
 //! [`WireError`] — never a panic, never a silent misparse.
 
 use orco_serve::protocol::{Message, HEADER_LEN};
-use orco_serve::{ErrorCode, GatewayEntry, StatsSnapshot, WireError};
+use orco_serve::{ErrorCode, GatewayEntry, GatewayStats, ShardRow, StatsSnapshot, WireError};
 use orco_tensor::Matrix;
 use proptest::prelude::*;
 use proptest::BoxedStrategy;
@@ -32,16 +32,32 @@ fn finite_matrix() -> BoxedStrategy<Matrix> {
         .boxed()
 }
 
+/// Latency percentiles over the full u64 bit space — NaNs, infinities,
+/// and denormals included — because the wire contract is bit-identity.
+fn any_f64_bits() -> BoxedStrategy<f64> {
+    any::<u64>().prop_map(f64::from_bits).boxed()
+}
+
+fn any_shard_rows() -> BoxedStrategy<Vec<ShardRow>> {
+    prop::collection::vec(
+        (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(frames_in, frames_out, batches)| {
+            ShardRow { frames_in, frames_out, batches }
+        }),
+        0..8,
+    )
+    .boxed()
+}
+
 fn any_snapshot() -> BoxedStrategy<StatsSnapshot> {
     (
         (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
         (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
-        (any::<u64>(), any::<u64>(), 0u16..=u16::MAX),
-        (0.0f64..1.0e6, 0.0f64..1.0e6),
+        (any::<u64>(), any::<u64>()),
+        (any_f64_bits(), any_f64_bits(), any_shard_rows()),
         (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
     )
         .prop_map(|(a, b, c, d, e)| StatsSnapshot {
-            shards: c.2,
+            shards: d.2.len() as u16,
             frames_in: a.0,
             frames_out: a.1,
             bytes_in: a.2,
@@ -61,8 +77,21 @@ fn any_snapshot() -> BoxedStrategy<StatsSnapshot> {
             batch_latency_p99_s: d.1,
             streamed_rows: e.3,
             redirects: e.4,
+            per_shard: d.2,
         })
         .boxed()
+}
+
+fn any_gateway_stats() -> BoxedStrategy<Vec<GatewayStats>> {
+    prop::collection::vec(
+        (any::<u64>(), 0u8..2, any_snapshot()).prop_map(|(id, alive, snapshot)| GatewayStats {
+            id,
+            alive: alive == 1,
+            snapshot,
+        }),
+        0..4,
+    )
+    .boxed()
 }
 
 /// Gateway addresses: short printable ASCII, within `MAX_ADDR`.
@@ -92,13 +121,19 @@ fn any_message() -> BoxedStrategy<Message> {
                 code_dim,
             }
         ),
-        (any::<u64>(), any_bits_matrix())
-            .prop_map(|(cluster_id, frames)| Message::PushFrames { cluster_id, frames }),
+        (any::<u64>(), any::<u64>(), any_bits_matrix()).prop_map(|(cluster_id, trace, frames)| {
+            Message::PushFrames { cluster_id, trace, frames }
+        }),
         (0u32..=u32::MAX).prop_map(|accepted| Message::PushAck { accepted }),
         (0u32..=u32::MAX, 0u32..=u32::MAX)
             .prop_map(|(queued, capacity)| Message::Busy { queued, capacity }),
-        (any::<u64>(), 0u32..=u32::MAX)
-            .prop_map(|(cluster_id, max_frames)| Message::PullDecoded { cluster_id, max_frames }),
+        (any::<u64>(), 0u32..=u32::MAX, any::<u64>()).prop_map(
+            |(cluster_id, max_frames, trace)| Message::PullDecoded {
+                cluster_id,
+                max_frames,
+                trace
+            }
+        ),
         (any::<u64>(), any_bits_matrix())
             .prop_map(|(cluster_id, frames)| Message::Decoded { cluster_id, frames }),
         Just(Message::StatsRequest),
@@ -126,16 +161,29 @@ fn any_message() -> BoxedStrategy<Message> {
         ),
         (any::<u64>(), any_members())
             .prop_map(|(epoch, members)| Message::RegisterAck { epoch, members }),
-        (any::<u64>(), any::<u64>())
-            .prop_map(|(gateway_id, epoch)| Message::Heartbeat { gateway_id, epoch }),
+        (any::<u64>(), any::<u64>()).prop_map(|(gateway_id, epoch)| Message::Heartbeat {
+            gateway_id,
+            epoch,
+            stats: None
+        }),
+        (any::<u64>(), any::<u64>(), any_snapshot()).prop_map(|(gateway_id, epoch, snap)| {
+            Message::Heartbeat { gateway_id, epoch, stats: Some(snap) }
+        }),
         (any::<u64>(), any_members())
             .prop_map(|(epoch, members)| Message::HeartbeatAck { epoch, members }),
-        any::<u64>().prop_map(|cluster_id| Message::Subscribe { cluster_id }),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(cluster_id, trace)| Message::Subscribe { cluster_id, trace }),
         (any::<u64>(), 0u32..=u32::MAX)
             .prop_map(|(cluster_id, backlog)| Message::SubscribeAck { cluster_id, backlog }),
         any::<u64>().prop_map(|cluster_id| Message::Unsubscribe { cluster_id }),
         (any::<u64>(), any_bits_matrix())
             .prop_map(|(cluster_id, frames)| Message::StreamFrames { cluster_id, frames }),
+        Just(Message::MetricsRequest),
+        any_addr().prop_map(|text| Message::MetricsReply { text }),
+        Just(Message::FleetStatsQuery),
+        (any::<u64>(), any::<u64>(), any_gateway_stats()).prop_map(
+            |(epoch, evictions, gateways)| Message::FleetStatsReply { epoch, evictions, gateways }
+        ),
     ]
     .boxed()
 }
@@ -155,10 +203,36 @@ proptest! {
 
     /// For finite payloads the decoded *value* equals the original too.
     #[test]
-    fn roundtrip_preserves_values(cluster_id in any::<u64>(), frames in finite_matrix()) {
-        let msg = Message::PushFrames { cluster_id, frames: frames.clone() };
+    fn roundtrip_preserves_values(cluster_id in any::<u64>(), trace in any::<u64>(), frames in finite_matrix()) {
+        let msg = Message::PushFrames { cluster_id, trace, frames: frames.clone() };
         let decoded = Message::decode(&msg.encode()).expect("own encoding decodes");
         prop_assert_eq!(decoded, msg);
+    }
+
+    /// A `StatsSnapshot` survives the wire over *any* f64 bit pattern in
+    /// its latency percentiles — NaNs and infinities included — compared
+    /// at the bit level, with the per-shard rows intact.
+    #[test]
+    fn stats_snapshot_roundtrips_any_f64_bits(snap in any_snapshot()) {
+        let frame = Message::StatsReply(snap.clone()).encode();
+        let decoded = Message::decode(&frame).expect("own encoding decodes");
+        match decoded {
+            Message::StatsReply(got) => {
+                prop_assert_eq!(
+                    got.batch_latency_p50_s.to_bits(),
+                    snap.batch_latency_p50_s.to_bits(),
+                    "p50 bits changed on the wire"
+                );
+                prop_assert_eq!(
+                    got.batch_latency_p99_s.to_bits(),
+                    snap.batch_latency_p99_s.to_bits(),
+                    "p99 bits changed on the wire"
+                );
+                prop_assert_eq!(got.per_shard, snap.per_shard);
+                prop_assert_eq!(got.shards, snap.shards);
+            }
+            other => prop_assert!(false, "decoded to {:?}", other.kind()),
+        }
     }
 
     /// Every strict prefix of a valid frame is rejected with a typed

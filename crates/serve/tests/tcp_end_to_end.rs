@@ -21,6 +21,7 @@ fn tcp_gateway_serves_and_shuts_down() {
                 batch_deadline: Duration::from_millis(2),
                 queue_capacity: 1024,
                 auth_secret: None,
+                trace_capacity: 4096,
             },
             Clock::real(),
             |_| {

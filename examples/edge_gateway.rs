@@ -48,6 +48,7 @@ fn main() {
                 batch_deadline: Duration::from_millis(5),
                 queue_capacity: 4096,
                 auth_secret: None,
+                trace_capacity: 4096,
             },
             Clock::real(),
             |shard| {
