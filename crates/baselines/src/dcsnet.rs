@@ -212,11 +212,13 @@ impl Codec for Dcsnet {
 
     /// One blocked GEMM + bias broadcast + sigmoid over the whole round
     /// (the fixed 1024-dim dense encoder), into the caller-owned buffer.
+    // orco-lint: region(no-alloc)
     fn encode_batch(&mut self, frames: MatView<'_>, out: &mut Matrix) -> Result<(), OrcoError> {
         Codec::frame_dims(self).check_frames(Codec::name(self), frames)?;
         self.encoder.forward_into(frames, &mut self.wt_scratch, out);
         Ok(())
     }
+    // orco-lint: endregion
 
     /// One batch forward of the 4-conv-layer decoder stack instead of a
     /// per-frame loop; the forward pass allocates its result regardless,

@@ -202,9 +202,11 @@ impl AsymmetricAutoencoder {
     /// place. Bit-identical to encoding each row through
     /// [`AsymmetricAutoencoder::encode`], without the per-frame
     /// allocations and activation caching.
+    // orco-lint: region(no-alloc)
     pub fn encode_batch_into(&mut self, frames: MatView<'_>, out: &mut Matrix) {
         self.encoder.forward_into(frames, &mut self.wt_scratch, out);
     }
+    // orco-lint: endregion
 
     /// Batched inference decode into a caller-owned slot: one forward
     /// pass of the decoder stack over the whole batch. The forward pass

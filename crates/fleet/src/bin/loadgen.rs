@@ -34,6 +34,10 @@
 //!     --fleet 127.0.0.1:7300 --clients 4 --frames 64 --shutdown
 //! ```
 
+// A load generator times real sockets; wall-clock reads are its job
+// (bin/ targets are likewise exempt from orco-lint's wall-clock rule).
+#![allow(clippy::disallowed_methods)]
+
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};

@@ -137,6 +137,9 @@ impl Directory {
     /// Whether a `Shutdown` has been accepted.
     #[must_use]
     pub fn is_shutting_down(&self) -> bool {
+        // Acquire: pairs with the Release store on Shutdown, so a
+        // server loop that sees the flag also sees the ShutdownAck
+        // already written to its outbox.
         self.shutting_down.load(Ordering::Acquire)
     }
 
@@ -244,6 +247,9 @@ impl Directory {
                 Message::FleetStatsReply { epoch, evictions, gateways }
             }
             Message::Shutdown => {
+                // Release: publishes everything done under the state
+                // lock before the flag; pairs with the Acquire load in
+                // is_shutting_down.
                 self.shutting_down.store(true, Ordering::Release);
                 Message::ShutdownAck
             }

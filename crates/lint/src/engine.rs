@@ -1,0 +1,237 @@
+//! The lint engine: runs every rule, applies waivers, assigns
+//! severities, and produces a deterministic [`Report`].
+//!
+//! Waiver semantics: an `allow(<rule>, reason = "...")` directive covers
+//! violations of `<rule>` on its own line and the line directly below —
+//! the two places a directive comment naturally sits relative to the
+//! code it excuses. Malformed directives surface as violations of the
+//! `lint-directive` pseudo-rule and are **not waivable** (a broken
+//! waiver must never excuse itself). Waivers that matched nothing are
+//! reported too: a stale waiver is tech debt pretending to be a
+//! decision.
+
+use std::path::Path;
+
+use crate::config::{Config, ConfigError, Severity};
+use crate::rules::{all_rules, known_rule_names, Rule, Violation, DIRECTIVE_RULE};
+use crate::source::SourceFile;
+use crate::workspace::collect_sources;
+
+/// One violation with the severity its rule resolved to.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The violation itself.
+    pub violation: Violation,
+    /// Deny fails the run; Warn fails only under `--deny-all`.
+    pub severity: Severity,
+}
+
+/// A waiver that excused no violation.
+#[derive(Debug, Clone)]
+pub struct UnusedWaiver {
+    /// File the waiver sits in.
+    pub rel: String,
+    /// Line of the waiver directive.
+    pub line: u32,
+    /// Rule it names.
+    pub rule: String,
+}
+
+/// The outcome of one lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Surviving (unwaived) findings, sorted by file, line, rule.
+    pub findings: Vec<Finding>,
+    /// Waivers that excused nothing.
+    pub unused_waivers: Vec<UnusedWaiver>,
+    /// Number of source files checked.
+    pub files_checked: usize,
+}
+
+impl Report {
+    /// Findings at Deny severity.
+    #[must_use]
+    pub fn deny_count(&self) -> usize {
+        self.findings.iter().filter(|f| f.severity == Severity::Deny).count()
+    }
+
+    /// Whether the run failed: any Deny finding, or (under `deny_all`)
+    /// any finding at all.
+    #[must_use]
+    pub fn failed(&self, deny_all: bool) -> bool {
+        if deny_all {
+            !self.findings.is_empty()
+        } else {
+            self.deny_count() > 0
+        }
+    }
+}
+
+/// Rules + config, ready to run over a file set.
+pub struct Engine {
+    config: Config,
+    rules: Vec<Box<dyn Rule>>,
+}
+
+impl Engine {
+    /// Builds an engine over the full rule set.
+    #[must_use]
+    pub fn new(config: Config) -> Self {
+        Self { config, rules: all_rules() }
+    }
+
+    /// Convenience: loads `<root>/orco-lint.toml`, collects the
+    /// workspace's sources, and runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a config parse error or any I/O failure from the walk as
+    /// a displayable error.
+    pub fn run_root(root: &Path) -> Result<Report, Box<dyn std::error::Error>> {
+        let names = known_rule_names();
+        let config = Config::load(&root.join("orco-lint.toml"), &names)
+            .map_err(|e: ConfigError| Box::new(e) as Box<dyn std::error::Error>)?;
+        let files = collect_sources(root, &names)?;
+        Ok(Engine::new(config).run(&files))
+    }
+
+    /// Runs every rule over `files` and resolves waivers.
+    #[must_use]
+    pub fn run(&self, files: &[SourceFile]) -> Report {
+        let mut raw: Vec<Violation> = Vec::new();
+        for rule in &self.rules {
+            let cfg = self.config.rule(rule.name());
+            for file in files {
+                rule.check_file(file, &cfg, &mut raw);
+            }
+            rule.check_workspace(files, &cfg, &mut raw);
+        }
+        // Malformed directives are violations in their own right.
+        for file in files {
+            for e in &file.directive_errors {
+                raw.push(Violation {
+                    rule: DIRECTIVE_RULE,
+                    rel: file.rel.clone(),
+                    line: e.line,
+                    msg: e.msg.clone(),
+                });
+            }
+        }
+
+        // Apply waivers. Each waiver covers its own line and the next;
+        // directive errors are never waivable.
+        let mut used = vec![Vec::new(); files.len()];
+        let mut findings = Vec::new();
+        for v in raw {
+            let file_idx = files.iter().position(|f| f.rel == v.rel);
+            let waived = v.rule != DIRECTIVE_RULE
+                && file_idx.is_some_and(|idx| {
+                    let mut hit = false;
+                    for (w_idx, w) in files[idx].waivers.iter().enumerate() {
+                        if w.rule == v.rule && (w.line == v.line || w.line + 1 == v.line) {
+                            used[idx].push(w_idx);
+                            hit = true;
+                        }
+                    }
+                    hit
+                });
+            if !waived {
+                let severity = self.config.rule(v.rule).severity.unwrap_or(Severity::Deny);
+                findings.push(Finding { violation: v, severity });
+            }
+        }
+        findings.sort_by(|a, b| {
+            (&a.violation.rel, a.violation.line, a.violation.rule).cmp(&(
+                &b.violation.rel,
+                b.violation.line,
+                b.violation.rule,
+            ))
+        });
+
+        let mut unused_waivers = Vec::new();
+        for (idx, file) in files.iter().enumerate() {
+            for (w_idx, w) in file.waivers.iter().enumerate() {
+                if !used[idx].contains(&w_idx) {
+                    unused_waivers.push(UnusedWaiver {
+                        rel: file.rel.clone(),
+                        line: w.line,
+                        rule: w.rule.clone(),
+                    });
+                }
+            }
+        }
+
+        Report { findings, unused_waivers, files_checked: files.len() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(rel: &str, src: &str) -> SourceFile {
+        SourceFile::parse(rel, src, &known_rule_names())
+    }
+
+    #[test]
+    fn waiver_excuses_its_line_and_the_next() {
+        let files = vec![parse(
+            "crates/x/src/a.rs",
+            "// orco-lint: allow(wall-clock, reason = \"patience timer outside the DES\")\n\
+             let t = Instant::now();\n\
+             let u = Instant::now();\n",
+        )];
+        let report = Engine::new(Config::default()).run(&files);
+        // Line 2 is waived; line 3 is not.
+        assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
+        assert_eq!(report.findings[0].violation.line, 3);
+        assert!(report.unused_waivers.is_empty());
+    }
+
+    #[test]
+    fn broken_waiver_is_a_finding_and_cannot_waive_itself() {
+        let files = vec![parse("crates/x/src/a.rs", "// orco-lint: allow(wall-clock)\n")];
+        let report = Engine::new(Config::default()).run(&files);
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].violation.rule, DIRECTIVE_RULE);
+        assert!(report.failed(false));
+    }
+
+    #[test]
+    fn unused_waivers_are_reported() {
+        let files = vec![parse(
+            "crates/x/src/a.rs",
+            "// orco-lint: allow(wall-clock, reason = \"was needed before the Clock refactor\")\n\
+             let x = 1;\n",
+        )];
+        let report = Engine::new(Config::default()).run(&files);
+        assert!(report.findings.is_empty());
+        assert_eq!(report.unused_waivers.len(), 1);
+        assert_eq!(report.unused_waivers[0].rule, "wall-clock");
+    }
+
+    #[test]
+    fn warn_severity_passes_unless_deny_all() {
+        let config = Config::parse("[wall-clock]\nseverity = warn\n", &known_rule_names())
+            .expect("valid config");
+        let files = vec![parse("crates/x/src/a.rs", "let t = Instant::now();\n")];
+        let report = Engine::new(config).run(&files);
+        assert_eq!(report.findings.len(), 1);
+        assert!(!report.failed(false));
+        assert!(report.failed(true));
+    }
+
+    #[test]
+    fn findings_come_out_sorted() {
+        let files = vec![
+            parse("crates/x/src/b.rs", "let t = Instant::now();\n"),
+            parse("crates/x/src/a.rs", "let a = SystemTime::now();\nlet b = Instant::now();\n"),
+        ];
+        let report = Engine::new(Config::default()).run(&files);
+        let keys: Vec<_> =
+            report.findings.iter().map(|f| (f.violation.rel.clone(), f.violation.line)).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+    }
+}

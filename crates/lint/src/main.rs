@@ -1,0 +1,97 @@
+//! CLI for orco-lint.
+//!
+//! ```text
+//! cargo run -p orco-lint                  # lint the workspace
+//! cargo run -p orco-lint -- --deny-all    # CI mode: warnings fail too
+//! cargo run -p orco-lint -- --list-rules  # print the rule catalog
+//! cargo run -p orco-lint -- --root <dir>  # lint another tree
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage/config/I-O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use orco_lint::{all_rules, Engine, Severity};
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut deny_all = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny-all" => deny_all = true,
+            "--list-rules" => {
+                for rule in all_rules() {
+                    println!("{:<20} {}", rule.name(), rule.describe());
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("orco-lint: --root needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "usage: orco-lint [--root <dir>] [--deny-all] [--list-rules]\n\
+                     Checks the workspace's determinism, wire-safety, and hot-path\n\
+                     contracts. Config: <root>/orco-lint.toml; waivers:\n\
+                     `// orco-lint: allow(<rule>, reason = \"...\")`."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("orco-lint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // Default to the workspace root: the directory holding orco-lint.toml
+    // when run via `cargo run -p orco-lint` (cwd) or two levels up from
+    // this crate's manifest as a fallback for odd invocation dirs.
+    let root = root.unwrap_or_else(|| {
+        let cwd = PathBuf::from(".");
+        if cwd.join("orco-lint.toml").exists() {
+            cwd
+        } else {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+        }
+    });
+
+    let report = match Engine::run_root(&root) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("orco-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for f in &report.findings {
+        let sev = match f.severity {
+            Severity::Deny => "deny",
+            Severity::Warn => "warn",
+        };
+        println!(
+            "{}:{}: [{}/{}] {}",
+            f.violation.rel, f.violation.line, f.violation.rule, sev, f.violation.msg
+        );
+    }
+    for w in &report.unused_waivers {
+        println!("{}:{}: note: waiver for `{}` excused nothing; delete it", w.rel, w.line, w.rule);
+    }
+    println!(
+        "orco-lint: {} file(s) checked, {} finding(s) ({} deny), {} unused waiver(s)",
+        report.files_checked,
+        report.findings.len(),
+        report.deny_count(),
+        report.unused_waivers.len()
+    );
+    if report.failed(deny_all) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,117 @@
+//! Rule `atomics-justified`: every atomic `Ordering::` use must carry a
+//! written justification naming the ordering it chose.
+//!
+//! Memory orderings are load-bearing and unreviewable without intent: a
+//! bare `Ordering::Relaxed` could be a deliberate "this counter is
+//! monotonic and read-only at scrape time" or an accidental data race.
+//! This rule demands a comment mentioning the variant (e.g. "Relaxed")
+//! on the same line as the use or within the three lines above it — the
+//! shape the codebase already follows where orderings matter.
+//!
+//! Only the five `std::sync::atomic::Ordering` variants trigger;
+//! `std::cmp::Ordering::{Less, Equal, Greater}` (comparator code, e.g.
+//! the DES event queue) share the type name but not the hazard.
+
+use super::{seq_at, Rule, Violation};
+use crate::config::RuleCfg;
+use crate::source::SourceFile;
+
+/// Atomic ordering variants (cmp::Ordering variants deliberately absent).
+const VARIANTS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// How many lines above the use a justification comment may sit.
+const LOOKBACK: u32 = 3;
+
+/// See the module docs.
+pub struct AtomicsJustified;
+
+impl Rule for AtomicsJustified {
+    fn name(&self) -> &'static str {
+        "atomics-justified"
+    }
+
+    fn describe(&self) -> &'static str {
+        "every atomic Ordering:: use needs a nearby comment naming and justifying the ordering"
+    }
+
+    fn check_file(&self, file: &SourceFile, cfg: &RuleCfg, out: &mut Vec<Violation>) {
+        if !cfg.applies_to(&file.rel) {
+            return;
+        }
+        for (i, t) in file.toks.iter().enumerate() {
+            if !t.is_ident("Ordering") {
+                continue;
+            }
+            let Some(variant) =
+                VARIANTS.iter().find(|v| seq_at(&file.toks, i, &["Ordering", "::", v]))
+            else {
+                continue;
+            };
+            let justified = (t.line.saturating_sub(LOOKBACK)..=t.line)
+                .any(|l| file.comment_by_line.get(&l).is_some_and(|c| c.contains(variant)));
+            if !justified {
+                out.push(Violation {
+                    rule: self.name(),
+                    rel: file.rel.clone(),
+                    line: t.line,
+                    msg: format!(
+                        "`Ordering::{variant}` without a written justification; add a comment \
+                         naming `{variant}` (same line or up to {LOOKBACK} lines above) saying \
+                         why this ordering is sufficient"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::known_rule_names;
+
+    fn check(src: &str) -> Vec<Violation> {
+        let names = known_rule_names();
+        let f = SourceFile::parse("p.rs", src, &names);
+        let mut out = Vec::new();
+        AtomicsJustified.check_file(&f, &RuleCfg::default(), &mut out);
+        out
+    }
+
+    #[test]
+    fn bare_ordering_fires() {
+        let v = check("self.count.fetch_add(1, Ordering::Relaxed);\n");
+        assert_eq!(v.len(), 1);
+        assert!(v[0].msg.contains("Relaxed"));
+    }
+
+    #[test]
+    fn same_line_and_preceding_comments_justify() {
+        let same = "x.store(1, Ordering::SeqCst); // SeqCst: ordering vs. shutdown flag matters\n";
+        assert!(check(same).is_empty());
+        let above = "// Relaxed: monotonic counter, read only at scrape time, no\n\
+                     // ordering dependency with any other memory.\n\
+                     self.count.fetch_add(1, Ordering::Relaxed);\n";
+        assert!(check(above).is_empty());
+    }
+
+    #[test]
+    fn comment_naming_a_different_variant_does_not_justify() {
+        let v = check("// Relaxed would be fine elsewhere.\nx.store(1, Ordering::SeqCst);\n");
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn far_away_comments_do_not_justify() {
+        let v = check(
+            "// Relaxed: justification too far away.\n\n\n\n\nx.fetch_add(1, Ordering::Relaxed);\n",
+        );
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn cmp_ordering_variants_never_fire() {
+        let src = "match a.cmp(&b) { Ordering::Equal => 0, Ordering::Less => 1, Ordering::Greater => 2 };\n";
+        assert!(check(src).is_empty());
+    }
+}

@@ -1,0 +1,190 @@
+//! Rule `panic-free-decode`: inside `// orco-lint: region(wire-decode)`
+//! markers, nothing may panic.
+//!
+//! The decode path handles attacker-controlled bytes; the protocol
+//! contract says every input either parses or yields a typed
+//! [`WireError`]. Inside a `wire-decode` region this rule forbids:
+//!
+//! * `.unwrap()` / `.expect(..)` — a hidden panic on the error arm;
+//! * `panic!` / `unreachable!` / `todo!` — explicit panics;
+//! * direct indexing (`buf[i]`, `buf[a..b]`, `x?[0]`) — an implicit
+//!   panic on out-of-bounds. Use `get(..)` / `split_at_checked` /
+//!   `copy_from_slice` on a length-guaranteed slice instead.
+//!
+//! The `require-region` config key lists files that must carry at least
+//! one `wire-decode` region, so deleting the markers (and with them the
+//! rule's coverage) is itself a violation.
+
+use super::{Rule, Violation};
+use crate::config::RuleCfg;
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+
+/// Region name this rule inspects.
+pub const REGION: &str = "wire-decode";
+
+/// See the module docs.
+pub struct PanicFreeDecode;
+
+impl Rule for PanicFreeDecode {
+    fn name(&self) -> &'static str {
+        "panic-free-decode"
+    }
+
+    fn describe(&self) -> &'static str {
+        "no unwrap/expect/panic!/indexing inside region(wire-decode) markers"
+    }
+
+    fn check_file(&self, file: &SourceFile, cfg: &RuleCfg, out: &mut Vec<Violation>) {
+        if !cfg.applies_to(&file.rel) {
+            return;
+        }
+        let regions: Vec<_> = file.regions_named(REGION).collect();
+        if regions.is_empty() {
+            return;
+        }
+        for (i, t) in file.toks.iter().enumerate() {
+            if !regions.iter().any(|r| r.contains(t.line)) {
+                continue;
+            }
+            let offense = match t.kind {
+                TokKind::Ident if t.text == "unwrap" || t.text == "expect" => {
+                    let method_call = i > 0
+                        && file.toks[i - 1].is_punct(".")
+                        && file.toks.get(i + 1).is_some_and(|n| n.is_punct("("));
+                    method_call.then(|| {
+                        format!(
+                            "`.{}(..)` panics on the error arm; decode must return a typed \
+                             `WireError` instead",
+                            t.text
+                        )
+                    })
+                }
+                TokKind::Ident
+                    if matches!(t.text.as_str(), "panic" | "unreachable" | "todo")
+                        && file.toks.get(i + 1).is_some_and(|n| n.is_punct("!")) =>
+                {
+                    Some(format!(
+                        "`{}!` inside the decode path; malformed input must map to a typed \
+                         `WireError`, never a panic",
+                        t.text
+                    ))
+                }
+                TokKind::Punct if t.text == "[" => {
+                    // `expr[..]` — the `[` directly follows a value:
+                    // an identifier (but not a keyword introducing a
+                    // pattern or type position), a call, an index, or a
+                    // `?`. Array literals/types follow `=`/`:`/`;`/`,`
+                    // and never match.
+                    let indexing = i > 0
+                        && match (file.toks[i - 1].kind, file.toks[i - 1].text.as_str()) {
+                            (TokKind::Ident, kw) => !matches!(
+                                kw,
+                                "let"
+                                    | "in"
+                                    | "return"
+                                    | "match"
+                                    | "if"
+                                    | "else"
+                                    | "mut"
+                                    | "ref"
+                                    | "move"
+                                    | "dyn"
+                                    | "as"
+                                    | "const"
+                                    | "static"
+                            ),
+                            (TokKind::Punct, p) => matches!(p, ")" | "]" | "?"),
+                            _ => false,
+                        };
+                    indexing.then(|| {
+                        "direct indexing panics out-of-bounds on hostile input; use `get(..)` \
+                         or a length-guaranteed copy instead"
+                            .to_string()
+                    })
+                }
+                _ => None,
+            };
+            if let Some(msg) = offense {
+                out.push(Violation { rule: self.name(), rel: file.rel.clone(), line: t.line, msg });
+            }
+        }
+    }
+
+    fn check_workspace(&self, files: &[SourceFile], cfg: &RuleCfg, out: &mut Vec<Violation>) {
+        for required in &cfg.require_region {
+            let present = files
+                .iter()
+                .find(|f| &f.rel == required)
+                .is_some_and(|f| f.regions_named(REGION).next().is_some());
+            if !present {
+                out.push(Violation {
+                    rule: self.name(),
+                    rel: required.clone(),
+                    line: 1,
+                    msg: format!(
+                        "config requires a `region({REGION})` marker in this file and none is \
+                         present; the decode path has lost its panic-free coverage"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::known_rule_names;
+
+    fn check(src: &str) -> Vec<Violation> {
+        let names = known_rule_names();
+        let f = SourceFile::parse("p.rs", src, &names);
+        let mut out = Vec::new();
+        PanicFreeDecode.check_file(&f, &RuleCfg::default(), &mut out);
+        out
+    }
+
+    fn in_region(body: &str) -> String {
+        format!("// orco-lint: region(wire-decode)\n{body}\n// orco-lint: endregion\n")
+    }
+
+    #[test]
+    fn flags_unwrap_expect_panics_and_indexing() {
+        let v = check(&in_region(
+            "let a = x.unwrap();\nlet b = y.expect(\"two\");\npanic!(\"no\");\nlet c = buf[0];\nlet d = cur.take(1)?[0];",
+        ));
+        assert_eq!(v.len(), 5, "{v:?}");
+        assert!(v[0].msg.contains("unwrap"));
+        assert!(v[3].msg.contains("indexing"));
+    }
+
+    #[test]
+    fn silent_outside_region_and_on_safe_constructs() {
+        assert!(check("let a = x.unwrap();\nlet b = buf[0];\n").is_empty());
+        let v = check(&in_region(
+            "#[allow(dead_code)]\nlet h = [0u8; 12];\nlet g = buf.get(0..4);\nlet w = v.split_at_checked(n);",
+        ));
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn unwrap_as_plain_ident_is_not_a_method_call() {
+        // e.g. `Option::unwrap` mentioned in a path without a call.
+        assert!(check(&in_region("let f = Result::is_ok;")).is_empty());
+    }
+
+    #[test]
+    fn require_region_fires_when_markers_are_deleted() {
+        let names = known_rule_names();
+        let files = vec![SourceFile::parse("crates/serve/src/protocol.rs", "fn f() {}\n", &names)];
+        let cfg = RuleCfg {
+            require_region: vec!["crates/serve/src/protocol.rs".into()],
+            ..RuleCfg::default()
+        };
+        let mut out = Vec::new();
+        PanicFreeDecode.check_workspace(&files, &cfg, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].msg.contains("region(wire-decode)"));
+    }
+}

@@ -1,0 +1,85 @@
+//! Rule `unordered-map`: `HashMap`/`HashSet` are forbidden in crates
+//! whose iteration order can reach observable bytes — accounting sums,
+//! stats exposition, wire output.
+//!
+//! This is the shape of a bug the repo has already shipped: PR 2's
+//! `TrafficAccounting.per_node` hash map made f64 energy totals differ
+//! in the last ulps between identical runs, because hash iteration
+//! order reordered the floating-point sum. The fix (then and the
+//! template now) is `BTreeMap`/`BTreeSet`, whose order is part of the
+//! type's contract. A hash container that genuinely never iterates can
+//! be waived — with a written reason.
+
+use super::{Rule, Violation};
+use crate::config::RuleCfg;
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+
+/// See the module docs.
+pub struct UnorderedMap;
+
+impl Rule for UnorderedMap {
+    fn name(&self) -> &'static str {
+        "unordered-map"
+    }
+
+    fn describe(&self) -> &'static str {
+        "HashMap/HashSet forbidden in crates whose iteration order reaches observable bytes"
+    }
+
+    fn check_file(&self, file: &SourceFile, cfg: &RuleCfg, out: &mut Vec<Violation>) {
+        if !cfg.applies_to(&file.rel) {
+            return;
+        }
+        for t in &file.toks {
+            if t.kind == TokKind::Ident && (t.text == "HashMap" || t.text == "HashSet") {
+                out.push(Violation {
+                    rule: self.name(),
+                    rel: file.rel.clone(),
+                    line: t.line,
+                    msg: format!(
+                        "`{}` iteration order is nondeterministic and this crate's data can \
+                         reach accounting sums, stats exposition, or wire bytes; use \
+                         `BTree{}` (PR 2 shipped exactly this bug in TrafficAccounting)",
+                        t.text,
+                        t.text.trim_start_matches("Hash"),
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::known_rule_names;
+
+    fn scoped() -> RuleCfg {
+        RuleCfg { scope: vec!["crates/wsn/".into()], ..RuleCfg::default() }
+    }
+
+    fn check(rel: &str, src: &str) -> Vec<Violation> {
+        let names = known_rule_names();
+        let f = SourceFile::parse(rel, src, &names);
+        let mut out = Vec::new();
+        UnorderedMap.check_file(&f, &scoped(), &mut out);
+        out
+    }
+
+    #[test]
+    fn fires_inside_scope_on_both_types() {
+        let src = "use std::collections::{HashMap, HashSet};\nlet m: HashMap<u8, u8>;\n";
+        let v = check("crates/wsn/src/accounting.rs", src);
+        assert_eq!(v.len(), 3);
+        assert!(v[0].msg.contains("BTreeMap"));
+        assert!(v[1].msg.contains("BTreeSet"));
+    }
+
+    #[test]
+    fn silent_outside_scope_and_on_btree() {
+        let src = "use std::collections::HashMap;\n";
+        assert!(check("crates/fleet/src/client.rs", src).is_empty());
+        assert!(check("crates/wsn/src/x.rs", "use std::collections::BTreeMap;\n").is_empty());
+    }
+}

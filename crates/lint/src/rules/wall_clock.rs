@@ -1,0 +1,89 @@
+//! Rule `wall-clock`: `Instant::now` / `SystemTime::now` are forbidden
+//! outside the blessed wall-clock read (`Clock::real`, allowlisted in
+//! config), `bin/` targets, and `benches/`.
+//!
+//! Everything else must take time from a `Clock` value so the same
+//! schedule replays bit-identically under the DES — the whole
+//! record/replay plane (chaos tapes, fleet gauntlet, trace exports)
+//! rests on no code path consulting the OS clock behind the
+//! simulation's back.
+
+use super::{seq_at, Rule, Violation};
+use crate::config::RuleCfg;
+use crate::source::SourceFile;
+
+/// See the module docs.
+pub struct WallClock;
+
+impl Rule for WallClock {
+    fn name(&self) -> &'static str {
+        "wall-clock"
+    }
+
+    fn describe(&self) -> &'static str {
+        "Instant::now/SystemTime::now forbidden outside Clock::real, bin/, and benches/"
+    }
+
+    fn check_file(&self, file: &SourceFile, cfg: &RuleCfg, out: &mut Vec<Violation>) {
+        // Binaries and benchmarks measure real elapsed time by design.
+        if file.rel.contains("/bin/") || file.rel.contains("benches/") {
+            return;
+        }
+        if !cfg.applies_to(&file.rel) {
+            return;
+        }
+        for (i, t) in file.toks.iter().enumerate() {
+            for api in ["Instant", "SystemTime"] {
+                if seq_at(&file.toks, i, &[api, "::", "now"]) {
+                    out.push(Violation {
+                        rule: self.name(),
+                        rel: file.rel.clone(),
+                        line: t.line,
+                        msg: format!(
+                            "`{api}::now` reads the wall clock behind the simulation's back; \
+                             take time from `Clock` so DES replay stays bit-identical"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::known_rule_names;
+
+    fn check(rel: &str, src: &str, cfg: &RuleCfg) -> Vec<Violation> {
+        let names = known_rule_names();
+        let f = SourceFile::parse(rel, src, &names);
+        let mut out = Vec::new();
+        WallClock.check_file(&f, cfg, &mut out);
+        out
+    }
+
+    #[test]
+    fn fires_on_instant_and_systemtime() {
+        let src = "let a = Instant::now();\nlet b = std::time::SystemTime::now();\n";
+        let v = check("crates/x/src/lib.rs", src, &RuleCfg::default());
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0].line, 1);
+        assert_eq!(v[1].line, 2);
+    }
+
+    #[test]
+    fn silent_in_bins_and_benches_and_allowlist() {
+        let src = "let a = Instant::now();\n";
+        assert!(check("crates/x/src/bin/tool.rs", src, &RuleCfg::default()).is_empty());
+        assert!(check("crates/x/benches/b.rs", src, &RuleCfg::default()).is_empty());
+        let cfg = RuleCfg { allow: vec!["crates/x/src/clock.rs".into()], ..RuleCfg::default() };
+        assert!(check("crates/x/src/clock.rs", src, &cfg).is_empty());
+    }
+
+    #[test]
+    fn silent_on_comments_strings_and_unrelated_now() {
+        let src = "// Instant::now() would be wrong\nlet s = \"Instant::now\";\nclock.now_s();\n";
+        assert!(check("crates/x/src/lib.rs", src, &RuleCfg::default()).is_empty());
+    }
+}

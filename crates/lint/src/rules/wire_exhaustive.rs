@@ -1,0 +1,263 @@
+//! Rule `wire-exhaustive`: every message type the protocol knows must be
+//! handled *everywhere* it matters.
+//!
+//! The authoritative list is `Message::msg_type` in the protocol module —
+//! the variant → wire-integer map. For each entry there, this rule
+//! demands:
+//!
+//! * a pattern for the integer in `payload_cap` (a type without a
+//!   payload bound would let a hostile length field reserve
+//!   `MAX_PAYLOAD`);
+//! * a pattern for the integer in `decode_payload` (a type that encodes
+//!   but never decodes is a silent one-way street);
+//! * a `Message::<Variant>` mention in the round-trip test, so the new
+//!   type actually gets exercised through encode → decode.
+//!
+//! Stale arms — integers matched in `payload_cap`/`decode_payload` that
+//! `msg_type` no longer maps — are violations too.
+
+use std::collections::BTreeMap;
+
+use super::{fn_body, seq_at, Rule, Violation};
+use crate::config::RuleCfg;
+use crate::lexer::{Tok, TokKind};
+use crate::source::SourceFile;
+
+/// Default location of the protocol module.
+const DEFAULT_PROTOCOL: &str = "crates/serve/src/protocol.rs";
+/// Default location of the round-trip test.
+const DEFAULT_ROUNDTRIP: &str = "crates/serve/tests/protocol_roundtrip.rs";
+
+/// See the module docs.
+pub struct WireExhaustive;
+
+impl Rule for WireExhaustive {
+    fn name(&self) -> &'static str {
+        "wire-exhaustive"
+    }
+
+    fn describe(&self) -> &'static str {
+        "every wire message type must appear in payload_cap, decode_payload, and the round-trip test"
+    }
+
+    fn check_workspace(&self, files: &[SourceFile], cfg: &RuleCfg, out: &mut Vec<Violation>) {
+        let protocol_rel = cfg.extra_one("protocol").unwrap_or(DEFAULT_PROTOCOL);
+        let roundtrip_rel = cfg.extra_one("roundtrip").unwrap_or(DEFAULT_ROUNDTRIP);
+        let Some(protocol) = files.iter().find(|f| f.rel == protocol_rel) else {
+            // No protocol module in this tree (e.g. a fixture workspace
+            // without one): nothing to check.
+            return;
+        };
+
+        // variant name -> (wire integer, line of the msg_type arm).
+        let types = msg_type_map(&protocol.toks);
+        if types.is_empty() {
+            out.push(Violation {
+                rule: self.name(),
+                rel: protocol.rel.clone(),
+                line: 1,
+                msg: "found no `Message::X => <int>` arms in `msg_type`; the wire-exhaustive \
+                      rule has lost its authoritative message-type list"
+                    .to_string(),
+            });
+            return;
+        }
+        let caps = match_arm_ints(&protocol.toks, "payload_cap");
+        let decodes = match_arm_ints(&protocol.toks, "decode_payload");
+        let roundtrip_variants: Vec<&str> = files
+            .iter()
+            .find(|f| f.rel == roundtrip_rel)
+            .map(|f| message_variants(&f.toks))
+            .unwrap_or_default();
+
+        for (variant, &(int, line)) in &types {
+            let mut missing = Vec::new();
+            if !caps.contains_key(&int) {
+                missing.push("a payload bound in `payload_cap`");
+            }
+            if !decodes.contains_key(&int) {
+                missing.push("a decoder arm in `decode_payload`");
+            }
+            if !roundtrip_variants.contains(&variant.as_str()) {
+                missing.push("coverage in the protocol round-trip test");
+            }
+            if !missing.is_empty() {
+                out.push(Violation {
+                    rule: self.name(),
+                    rel: protocol.rel.clone(),
+                    line,
+                    msg: format!(
+                        "message type {int} (`Message::{variant}`) is missing {}",
+                        missing.join(", ")
+                    ),
+                });
+            }
+        }
+        for (fn_name, ints) in [("payload_cap", &caps), ("decode_payload", &decodes)] {
+            for (&int, &line) in ints {
+                if !types.values().any(|&(t, _)| t == int) {
+                    out.push(Violation {
+                        rule: self.name(),
+                        rel: protocol.rel.clone(),
+                        line,
+                        msg: format!(
+                            "`{fn_name}` matches message type {int}, which `msg_type` no longer \
+                             maps to any variant — stale arm"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Extracts `Message::<Variant> ... => <int>` pairs from `fn msg_type`.
+fn msg_type_map(toks: &[Tok]) -> BTreeMap<String, (u16, u32)> {
+    let mut map = BTreeMap::new();
+    let Some((start, end)) = fn_body(toks, "msg_type") else { return map };
+    let body = &toks[start..end];
+    let mut i = 0;
+    while i < body.len() {
+        if seq_at(body, i, &["Message", "::"])
+            && body.get(i + 2).is_some_and(|t| t.kind == TokKind::Ident)
+        {
+            let variant = body[i + 2].text.clone();
+            // Skip to the arm's `=>` and read the integer after it.
+            let mut j = i + 3;
+            while j < body.len() && !body[j].is_punct("=>") {
+                j += 1;
+            }
+            if let Some(t) = body.get(j + 1) {
+                if t.kind == TokKind::Num {
+                    if let Ok(int) = t.text.parse::<u16>() {
+                        map.insert(variant, (int, body[i].line));
+                    }
+                }
+            }
+            i = j;
+        }
+        i += 1;
+    }
+    map
+}
+
+/// Integer literals used as match-arm *patterns* inside `fn <name>`:
+/// numbers directly followed by `|` or `=>`. Returns int → line.
+fn match_arm_ints(toks: &[Tok], name: &str) -> BTreeMap<u16, u32> {
+    let mut map = BTreeMap::new();
+    let Some((start, end)) = fn_body(toks, name) else { return map };
+    for i in start..end {
+        let t = &toks[i];
+        if t.kind != TokKind::Num {
+            continue;
+        }
+        let next_is_arm = toks.get(i + 1).is_some_and(|n| n.is_punct("|") || n.is_punct("=>"));
+        if next_is_arm {
+            if let Ok(int) = t.text.parse::<u16>() {
+                map.entry(int).or_insert(t.line);
+            }
+        }
+    }
+    map
+}
+
+/// Every identifier appearing as `Message::<Variant>` in a file.
+fn message_variants(toks: &[Tok]) -> Vec<&str> {
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if seq_at(toks, i, &["Message", "::"]) {
+            if let Some(t) = toks.get(i + 2) {
+                if t.kind == TokKind::Ident {
+                    out.push(t.text.as_str());
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::known_rule_names;
+
+    const PROTOCOL: &str = r#"
+fn payload_cap(msg_type: u16) -> Result<usize, WireError> {
+    Ok(match msg_type {
+        1 => 24,
+        2 | 3 => 0,
+        other => return Err(WireError::UnknownType { found: other }),
+    })
+}
+impl Message {
+    fn msg_type(&self) -> u16 {
+        match self {
+            Message::Hello { .. } => 1,
+            Message::Ping => 2,
+            Message::Pong => 3,
+        }
+    }
+}
+fn decode_payload(msg_type: u16, cur: &mut Cursor<'_>) -> Result<Message, WireError> {
+    match msg_type {
+        1 => Ok(Message::Hello { id: cur.u64()? }),
+        2 => Ok(Message::Ping),
+        3 => Ok(Message::Pong),
+        other => Err(WireError::UnknownType { found: other }),
+    }
+}
+"#;
+
+    const ROUNDTRIP: &str =
+        "fn t() { let m = [Message::Hello { id: 1 }, Message::Ping, Message::Pong]; }\n";
+
+    fn run(protocol: &str, roundtrip: &str) -> Vec<Violation> {
+        let names = known_rule_names();
+        let files = vec![
+            SourceFile::parse("crates/serve/src/protocol.rs", protocol, &names),
+            SourceFile::parse("crates/serve/tests/protocol_roundtrip.rs", roundtrip, &names),
+        ];
+        let mut out = Vec::new();
+        WireExhaustive.check_workspace(&files, &RuleCfg::default(), &mut out);
+        out
+    }
+
+    #[test]
+    fn complete_protocol_is_clean() {
+        assert!(run(PROTOCOL, ROUNDTRIP).is_empty());
+    }
+
+    #[test]
+    fn missing_cap_arm_fires() {
+        let protocol = PROTOCOL.replace("2 | 3 => 0,", "2 => 0,");
+        let v = run(&protocol, ROUNDTRIP);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].msg.contains("Pong"));
+        assert!(v[0].msg.contains("payload_cap"));
+    }
+
+    #[test]
+    fn missing_decoder_arm_fires() {
+        let protocol = PROTOCOL.replace("3 => Ok(Message::Pong),", "");
+        let v = run(&protocol, ROUNDTRIP);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].msg.contains("decode_payload"));
+    }
+
+    #[test]
+    fn missing_roundtrip_coverage_fires() {
+        let roundtrip = ROUNDTRIP.replace(", Message::Pong", "");
+        let v = run(PROTOCOL, &roundtrip);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].msg.contains("round-trip"));
+    }
+
+    #[test]
+    fn stale_arm_fires() {
+        let protocol = PROTOCOL.replace("2 | 3 => 0,", "2 | 3 => 0,\n        9 => 0,");
+        let v = run(&protocol, ROUNDTRIP);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].msg.contains("stale"));
+        assert!(v[0].msg.contains('9'));
+    }
+}

@@ -1,0 +1,308 @@
+//! One lexed source file plus its lint directives.
+//!
+//! Directives are ordinary line comments understood by the engine:
+//!
+//! * `// orco-lint: allow(<rule>, reason = "...")` — waives violations of
+//!   `<rule>` on the directive's line and the line directly below it. The
+//!   reason is **mandatory**: a waiver without a written reason is itself
+//!   a violation, and so is a waiver naming an unknown rule.
+//! * `// orco-lint: region(<name>)` … `// orco-lint: endregion` — brackets
+//!   a named region. Region-scoped rules (`no-alloc`, `panic-free-decode`)
+//!   only look inside regions carrying their name. Unbalanced markers are
+//!   violations — a deleted `endregion` must not silently shrink a
+//!   contract's coverage.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::{self, Comment, Tok};
+
+/// An inline waiver parsed from a directive comment.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// Line the directive comment sits on; the waiver covers this line
+    /// and the next.
+    pub line: u32,
+    /// Rule being waived.
+    pub rule: String,
+    /// The written justification (non-empty by construction).
+    pub reason: String,
+}
+
+/// A named region bracketed by `region(<name>)` / `endregion` markers.
+#[derive(Debug, Clone)]
+pub struct Region {
+    /// Region name (e.g. `no-alloc`).
+    pub name: String,
+    /// Line of the opening marker.
+    pub start: u32,
+    /// Line of the closing marker (u32::MAX while unclosed).
+    pub end: u32,
+}
+
+impl Region {
+    /// Whether `line` falls strictly inside the region's markers.
+    #[must_use]
+    pub fn contains(&self, line: u32) -> bool {
+        line > self.start && line < self.end
+    }
+}
+
+/// A malformed directive (missing reason, unknown rule, unbalanced
+/// region markers) — reported as a violation of the `lint-directive`
+/// rule.
+#[derive(Debug, Clone)]
+pub struct DirectiveError {
+    /// Line of the offending directive.
+    pub line: u32,
+    /// What is wrong with it.
+    pub msg: String,
+}
+
+/// One source file: path, raw text, tokens, comments, and directives.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// `/`-separated path relative to the workspace root.
+    pub rel: String,
+    /// Raw source text.
+    pub text: String,
+    /// Code tokens (comments and literal contents stripped).
+    pub toks: Vec<Tok>,
+    /// All comments, in order.
+    pub comments: Vec<Comment>,
+    /// Comment text reachable from each line: a line maps to every
+    /// comment that starts on, ends on, or spans it.
+    pub comment_by_line: BTreeMap<u32, String>,
+    /// Parsed waivers.
+    pub waivers: Vec<Waiver>,
+    /// Parsed regions (closed or reported unbalanced).
+    pub regions: Vec<Region>,
+    /// Malformed directives.
+    pub directive_errors: Vec<DirectiveError>,
+}
+
+impl SourceFile {
+    /// Lexes `text` and parses its directives. `known_rules` validates
+    /// waiver targets so a typo'd rule name cannot silently waive
+    /// nothing.
+    #[must_use]
+    pub fn parse(rel: &str, text: &str, known_rules: &[&str]) -> Self {
+        let lexer::Lexed { toks, comments } = lexer::lex(text);
+        // Adjacent line comments form one logical paragraph: every line
+        // of the run maps to the run's full text, so a justification
+        // written anywhere in a comment block covers code right below
+        // the block (the atomics rule leans on this).
+        let mut comment_by_line: BTreeMap<u32, String> = BTreeMap::new();
+        let mut i = 0;
+        while i < comments.len() {
+            let mut j = i;
+            while j + 1 < comments.len() && comments[j + 1].line == comments[j].end_line + 1 {
+                j += 1;
+            }
+            let mut text = String::new();
+            for c in &comments[i..=j] {
+                text.push_str(&c.text);
+                text.push(' ');
+            }
+            for line in comments[i].line..=comments[j].end_line {
+                let slot = comment_by_line.entry(line).or_default();
+                slot.push_str(&text);
+            }
+            i = j + 1;
+        }
+        let mut file = SourceFile {
+            rel: rel.to_string(),
+            text: text.to_string(),
+            toks,
+            comments,
+            comment_by_line,
+            waivers: Vec::new(),
+            regions: Vec::new(),
+            directive_errors: Vec::new(),
+        };
+        file.parse_directives(known_rules);
+        file
+    }
+
+    /// Regions carrying `name`.
+    pub fn regions_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Region> {
+        self.regions.iter().filter(move |r| r.name == name)
+    }
+
+    fn parse_directives(&mut self, known_rules: &[&str]) {
+        let mut open: Vec<Region> = Vec::new();
+        for c in &self.comments {
+            let Some(directive) = directive_text(&c.text) else { continue };
+            if let Some(args) = directive.strip_prefix("allow(") {
+                match parse_allow(args) {
+                    Ok((rule, reason)) => {
+                        if !known_rules.contains(&rule.as_str()) {
+                            self.directive_errors.push(DirectiveError {
+                                line: c.line,
+                                msg: format!("waiver names unknown rule `{rule}`"),
+                            });
+                        } else {
+                            self.waivers.push(Waiver { line: c.line, rule, reason });
+                        }
+                    }
+                    Err(msg) => {
+                        self.directive_errors
+                            .push(DirectiveError { line: c.line, msg: msg.to_string() });
+                    }
+                }
+            } else if let Some(args) = directive.strip_prefix("region(") {
+                match args.strip_suffix(')').map(str::trim) {
+                    Some(name) if !name.is_empty() => {
+                        open.push(Region { name: name.to_string(), start: c.line, end: u32::MAX });
+                    }
+                    _ => self.directive_errors.push(DirectiveError {
+                        line: c.line,
+                        msg: "malformed region marker; expected `region(<name>)`".to_string(),
+                    }),
+                }
+            } else if directive == "endregion" {
+                match open.pop() {
+                    Some(mut r) => {
+                        r.end = c.line;
+                        self.regions.push(r);
+                    }
+                    None => self.directive_errors.push(DirectiveError {
+                        line: c.line,
+                        msg: "`endregion` without a matching `region(...)`".to_string(),
+                    }),
+                }
+            } else {
+                self.directive_errors.push(DirectiveError {
+                    line: c.line,
+                    msg: format!(
+                        "unknown orco-lint directive `{directive}`; expected \
+                         allow(rule, reason = \"...\"), region(name), or endregion"
+                    ),
+                });
+            }
+        }
+        for r in open {
+            self.directive_errors.push(DirectiveError {
+                line: r.start,
+                msg: format!("region `{}` is never closed with `endregion`", r.name),
+            });
+        }
+        self.regions.sort_by_key(|r| r.start);
+    }
+}
+
+/// Extracts the directive body from a comment, if it is one:
+/// `// orco-lint: allow(...)` → `allow(...)`.
+fn directive_text(comment: &str) -> Option<String> {
+    let body = comment.trim_start_matches(['/', '*', '!']).trim();
+    let rest = body.strip_prefix("orco-lint:")?;
+    Some(rest.trim().trim_end_matches("*/").trim().to_string())
+}
+
+/// Parses `<rule>, reason = "<text>")`.
+fn parse_allow(args: &str) -> Result<(String, String), &'static str> {
+    let args = args.strip_suffix(')').ok_or("waiver is missing its closing parenthesis")?;
+    let (rule, rest) = match args.split_once(',') {
+        Some((rule, rest)) => (rule.trim(), rest.trim()),
+        None => (args.trim(), ""),
+    };
+    if rule.is_empty() {
+        return Err("waiver names no rule");
+    }
+    let reason = rest
+        .strip_prefix("reason")
+        .and_then(|r| r.trim_start().strip_prefix('='))
+        .map(str::trim)
+        .and_then(|r| r.strip_prefix('"'))
+        .and_then(|r| r.strip_suffix('"'))
+        .map(str::trim)
+        .unwrap_or("");
+    if reason.is_empty() {
+        return Err("waiver requires a written reason: allow(<rule>, reason = \"...\")");
+    }
+    Ok((rule.to_string(), reason.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RULES: &[&str] = &["wall-clock", "no-alloc"];
+
+    #[test]
+    fn waiver_with_reason_parses() {
+        let f = SourceFile::parse(
+            "a.rs",
+            "// orco-lint: allow(wall-clock, reason = \"bench patience timer\")\nlet x = 1;\n",
+            RULES,
+        );
+        assert!(f.directive_errors.is_empty());
+        assert_eq!(f.waivers.len(), 1);
+        assert_eq!(f.waivers[0].rule, "wall-clock");
+        assert_eq!(f.waivers[0].reason, "bench patience timer");
+        assert_eq!(f.waivers[0].line, 1);
+    }
+
+    #[test]
+    fn waiver_without_reason_is_an_error() {
+        let f = SourceFile::parse("a.rs", "// orco-lint: allow(wall-clock)\n", RULES);
+        assert!(f.waivers.is_empty());
+        assert_eq!(f.directive_errors.len(), 1);
+        assert!(f.directive_errors[0].msg.contains("reason"));
+    }
+
+    #[test]
+    fn waiver_with_empty_reason_is_an_error() {
+        let f =
+            SourceFile::parse("a.rs", "// orco-lint: allow(wall-clock, reason = \"\")\n", RULES);
+        assert!(f.waivers.is_empty());
+        assert_eq!(f.directive_errors.len(), 1);
+    }
+
+    #[test]
+    fn unknown_rule_in_waiver_is_an_error() {
+        let f = SourceFile::parse(
+            "a.rs",
+            "// orco-lint: allow(wall-cluck, reason = \"typo\")\n",
+            RULES,
+        );
+        assert!(f.waivers.is_empty());
+        assert!(f.directive_errors[0].msg.contains("wall-cluck"));
+    }
+
+    #[test]
+    fn regions_bracket_lines() {
+        let src = "\n// orco-lint: region(no-alloc)\nlet a = 1;\nlet b = 2;\n// orco-lint: endregion\nlet c = 3;\n";
+        let f = SourceFile::parse("a.rs", src, RULES);
+        assert!(f.directive_errors.is_empty());
+        assert_eq!(f.regions.len(), 1);
+        let r = &f.regions[0];
+        assert_eq!(r.name, "no-alloc");
+        assert!(r.contains(3) && r.contains(4));
+        assert!(!r.contains(2) && !r.contains(5) && !r.contains(6));
+    }
+
+    #[test]
+    fn unbalanced_regions_are_errors() {
+        let f = SourceFile::parse("a.rs", "// orco-lint: region(no-alloc)\nlet a = 1;\n", RULES);
+        assert_eq!(f.directive_errors.len(), 1);
+        assert!(f.directive_errors[0].msg.contains("never closed"));
+
+        let f = SourceFile::parse("a.rs", "// orco-lint: endregion\n", RULES);
+        assert_eq!(f.directive_errors.len(), 1);
+        assert!(f.directive_errors[0].msg.contains("without a matching"));
+    }
+
+    #[test]
+    fn unknown_directive_is_an_error() {
+        let f = SourceFile::parse("a.rs", "// orco-lint: suppress(everything)\n", RULES);
+        assert_eq!(f.directive_errors.len(), 1);
+    }
+
+    #[test]
+    fn comment_by_line_spans_block_comments() {
+        let f = SourceFile::parse("a.rs", "/* Relaxed is fine\nhere too */\nlet x = 1;\n", RULES);
+        assert!(f.comment_by_line[&1].contains("Relaxed"));
+        assert!(f.comment_by_line[&2].contains("Relaxed"));
+        assert!(!f.comment_by_line.contains_key(&3));
+    }
+}

@@ -1,0 +1,8 @@
+//! Fixture: a bare memory ordering — deliberate choice or latent data
+//! race? Unreviewable without a written justification.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}

@@ -1,0 +1,9 @@
+//! Fixture (fixed twin): the ordering carries its reasoning with it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(counter: &AtomicU64) {
+    // Relaxed: monotonic tally; readers only ever need an eventually
+    // exact total, never an ordering relative to other memory.
+    counter.fetch_add(1, Ordering::Relaxed);
+}

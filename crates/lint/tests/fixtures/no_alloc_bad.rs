@@ -1,0 +1,9 @@
+//! Fixture: a hot path that allocates a fresh buffer per call.
+
+// orco-lint: region(no-alloc)
+pub fn encode_batch(rows: &[f32]) -> Vec<f32> {
+    let mut out = Vec::new();
+    out.extend(rows.iter().map(|v| v * 0.5));
+    out
+}
+// orco-lint: endregion

@@ -1,0 +1,9 @@
+//! Fixture (fixed twin): the caller owns the buffer; the hot path only
+//! clears and refills it — the `*_into` kernel pattern.
+
+// orco-lint: region(no-alloc)
+pub fn encode_batch_into(rows: &[f32], out: &mut Vec<f32>) {
+    out.clear();
+    out.extend(rows.iter().map(|v| v * 0.5));
+}
+// orco-lint: endregion

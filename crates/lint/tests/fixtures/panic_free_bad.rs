@@ -1,0 +1,9 @@
+//! Fixture: a decode path that panics on hostile input — both the
+//! implicit way (slicing) and the explicit way (`.expect`).
+
+// orco-lint: region(wire-decode)
+pub fn parse(buf: &[u8]) -> u32 {
+    let head = &buf[0..4];
+    u32::from_le_bytes(head.try_into().expect("4 bytes"))
+}
+// orco-lint: endregion

@@ -1,0 +1,11 @@
+//! Fixture (fixed twin): every input either parses or yields a typed
+//! error; the copy targets a slice whose length `get` already proved.
+
+// orco-lint: region(wire-decode)
+pub fn parse(buf: &[u8]) -> Result<u32, WireError> {
+    let head = buf.get(0..4).ok_or(WireError::Truncated { needed: 4, got: buf.len() })?;
+    let mut arr = [0u8; 4];
+    arr.copy_from_slice(head);
+    Ok(u32::from_le_bytes(arr))
+}
+// orco-lint: endregion

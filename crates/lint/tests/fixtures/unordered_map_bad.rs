@@ -1,0 +1,15 @@
+//! Fixture: the PR-2 accounting bug in miniature. Iterating a hash map
+//! visits keys in a different order each run, so the f64 accumulation
+//! below is nondeterministic (float addition is not associative).
+
+use std::collections::HashMap;
+
+pub struct Accounting {
+    per_kind_tx_bytes: HashMap<u8, u64>,
+}
+
+impl Accounting {
+    pub fn weighted_total(&self, weight: impl Fn(u8) -> f64) -> f64 {
+        self.per_kind_tx_bytes.iter().map(|(k, v)| weight(*k) * *v as f64).sum()
+    }
+}

@@ -1,0 +1,14 @@
+//! Fixture (fixed twin): a B-tree map iterates in key order, so the f64
+//! accumulation is the same sum in the same order on every run.
+
+use std::collections::BTreeMap;
+
+pub struct Accounting {
+    per_kind_tx_bytes: BTreeMap<u8, u64>,
+}
+
+impl Accounting {
+    pub fn weighted_total(&self, weight: impl Fn(u8) -> f64) -> f64 {
+        self.per_kind_tx_bytes.iter().map(|(k, v)| weight(*k) * *v as f64).sum()
+    }
+}

@@ -1,0 +1,9 @@
+//! Fixture: library code reading the OS clock. Replays of the same
+//! message schedule would measure different latencies on every run.
+
+use std::time::Instant;
+
+pub fn elapsed_s(start: Instant) -> f64 {
+    let now = Instant::now();
+    now.duration_since(start).as_secs_f64()
+}

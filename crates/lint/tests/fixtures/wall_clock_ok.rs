@@ -1,0 +1,6 @@
+//! Fixture (fixed twin): time flows in through the caller, so the same
+//! schedule measures the same latencies on every run.
+
+pub fn elapsed_s(start_s: f64, now_s: f64) -> f64 {
+    now_s - start_s
+}

@@ -1,0 +1,29 @@
+//! Fixture: `msg_type` knows message type 3 (`Pong`), but `payload_cap`
+//! has no bound for it and `decode_payload` never decodes it — the
+//! "added a message, forgot half the match sites" failure mode.
+
+fn payload_cap(msg_type: u16) -> Result<usize, WireError> {
+    Ok(match msg_type {
+        1 => 8,
+        2 => 0,
+        other => return Err(WireError::UnknownType { found: other }),
+    })
+}
+
+impl Message {
+    fn msg_type(&self) -> u16 {
+        match self {
+            Message::Hello { .. } => 1,
+            Message::Ping => 2,
+            Message::Pong => 3,
+        }
+    }
+}
+
+fn decode_payload(msg_type: u16, cur: &mut Cursor<'_>) -> Result<Message, WireError> {
+    match msg_type {
+        1 => Ok(Message::Hello { id: cur.u64()? }),
+        2 => Ok(Message::Ping),
+        other => Err(WireError::UnknownType { found: other }),
+    }
+}

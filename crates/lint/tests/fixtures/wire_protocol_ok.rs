@@ -1,0 +1,29 @@
+//! Fixture: a complete three-message protocol module. Every type that
+//! `msg_type` maps has a `payload_cap` bound and a `decode_payload` arm.
+
+fn payload_cap(msg_type: u16) -> Result<usize, WireError> {
+    Ok(match msg_type {
+        1 => 8,
+        2 | 3 => 0,
+        other => return Err(WireError::UnknownType { found: other }),
+    })
+}
+
+impl Message {
+    fn msg_type(&self) -> u16 {
+        match self {
+            Message::Hello { .. } => 1,
+            Message::Ping => 2,
+            Message::Pong => 3,
+        }
+    }
+}
+
+fn decode_payload(msg_type: u16, cur: &mut Cursor<'_>) -> Result<Message, WireError> {
+    match msg_type {
+        1 => Ok(Message::Hello { id: cur.u64()? }),
+        2 => Ok(Message::Ping),
+        3 => Ok(Message::Pong),
+        other => Err(WireError::UnknownType { found: other }),
+    }
+}

@@ -1,0 +1,9 @@
+//! Fixture round-trip test: names every message variant, so coverage
+//! complaints come only from the protocol module fixtures.
+
+fn roundtrip_all() {
+    let all = [Message::Hello { id: 7 }, Message::Ping, Message::Pong];
+    for m in all {
+        assert_roundtrip(m);
+    }
+}

@@ -1,0 +1,74 @@
+//! The gate itself, as a test: the workspace must lint clean under its
+//! own config, and the linter must still catch the bug class that
+//! motivated it — re-introducing PR 2's hash-map accounting bug into
+//! today's `accounting.rs` makes the run fail again.
+
+use std::path::PathBuf;
+
+use orco_lint::config::Config;
+use orco_lint::engine::Engine;
+use orco_lint::rules::known_rule_names;
+use orco_lint::source::SourceFile;
+use orco_lint::workspace::collect_sources;
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().expect("repo root")
+}
+
+#[test]
+fn workspace_has_zero_findings() {
+    let report = Engine::run_root(&repo_root()).expect("lint run succeeds");
+    let lines: Vec<String> = report
+        .findings
+        .iter()
+        .map(|f| {
+            format!(
+                "{}:{}: [{}] {}",
+                f.violation.rel, f.violation.line, f.violation.rule, f.violation.msg
+            )
+        })
+        .collect();
+    assert!(report.findings.is_empty(), "workspace should lint clean:\n{}", lines.join("\n"));
+    assert!(
+        report.unused_waivers.is_empty(),
+        "every waiver should still excuse something: {:?}",
+        report.unused_waivers
+    );
+    assert!(
+        report.files_checked > 100,
+        "the walker should see the whole workspace, saw {}",
+        report.files_checked
+    );
+}
+
+/// Mutation test: seed the exact bug `unordered-map` exists for — the
+/// PR-2 `per_kind_tx_bytes: HashMap` — back into the real accounting
+/// module and demand the gate fails.
+#[test]
+fn reintroducing_the_hashmap_accounting_bug_fails_the_gate() {
+    let root = repo_root();
+    let names = known_rule_names();
+    let config_text =
+        std::fs::read_to_string(root.join("orco-lint.toml")).expect("read orco-lint.toml");
+    let config = Config::parse(&config_text, &names).expect("repo config parses");
+
+    let mut files = collect_sources(&root, &names).expect("collect workspace sources");
+    let accounting = files
+        .iter_mut()
+        .find(|f| f.rel == "crates/wsn/src/accounting.rs")
+        .expect("accounting.rs is part of the workspace");
+    let mutated = accounting.text.replace("BTreeMap", "HashMap");
+    assert_ne!(mutated, accounting.text, "accounting.rs should use BTreeMap today");
+    *accounting = SourceFile::parse("crates/wsn/src/accounting.rs", &mutated, &names);
+
+    let report = Engine::new(config).run(&files);
+    let hits: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| {
+            f.violation.rule == "unordered-map" && f.violation.rel.ends_with("accounting.rs")
+        })
+        .collect();
+    assert!(!hits.is_empty(), "the seeded HashMap bug must fail the gate: {:?}", report.findings);
+    assert!(report.failed(true), "--deny-all must report failure");
+}

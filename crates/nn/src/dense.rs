@@ -139,6 +139,7 @@ impl Dense {
     /// # Panics
     ///
     /// Panics if `x.cols()` differs from the layer's input dimension.
+    // orco-lint: region(no-alloc)
     pub fn forward_into(&self, x: MatView<'_>, wt_scratch: &mut Matrix, out: &mut Matrix) {
         assert_eq!(
             x.cols(),
@@ -158,6 +159,7 @@ impl Dense {
         }
         self.activation.apply_inplace(out);
     }
+    // orco-lint: endregion
 
     /// Overwrites weights and bias (e.g. when applying a model update
     /// received over the network).

@@ -33,12 +33,15 @@ impl Counter {
 
     /// Adds `n`.
     pub fn add(&self, n: u64) {
+        // Relaxed: a monotonic tally with no ordering relationship to
+        // any other memory; scrapes tolerate momentary skew.
         self.v.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Current value.
     #[must_use]
     pub fn get(&self) -> u64 {
+        // Relaxed: scrape-time read; cross-counter skew is acceptable.
         self.v.load(Ordering::Relaxed)
     }
 }
@@ -58,6 +61,7 @@ impl Gauge {
 
     /// Adds `n`.
     pub fn add(&self, n: u64) {
+        // Relaxed: pure tally, no ordering dependency (see Counter::add).
         self.v.fetch_add(n, Ordering::Relaxed);
     }
 
@@ -66,9 +70,12 @@ impl Gauge {
     /// with; the compare-exchange loop makes the worst outcome a
     /// momentarily-low reading instead of an absurd one.
     pub fn sub(&self, n: u64) {
+        // Relaxed: a stale read just means one extra CAS retry.
         let mut cur = self.v.load(Ordering::Relaxed);
         loop {
             let next = cur.saturating_sub(n);
+            // Relaxed CAS both ways: only the value's own atomicity
+            // matters; no other memory is ordered around the gauge.
             match self.v.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
                 Ok(_) => return,
                 Err(seen) => cur = seen,
@@ -78,18 +85,22 @@ impl Gauge {
 
     /// Overwrites the value.
     pub fn set(&self, n: u64) {
+        // Relaxed: last-writer-wins is the gauge's semantics anyway.
         self.v.store(n, Ordering::Relaxed);
     }
 
     /// Raises the value to `n` if `n` is larger (atomic max — a
     /// high-water mark that cannot lose a racing update).
     pub fn max_assign(&self, n: u64) {
+        // Relaxed: fetch_max is atomic on the value; no other memory
+        // needs to be ordered around the high-water mark.
         self.v.fetch_max(n, Ordering::Relaxed);
     }
 
     /// Current value.
     #[must_use]
     pub fn get(&self) -> u64 {
+        // Relaxed: scrape-time read; momentary skew is acceptable.
         self.v.load(Ordering::Relaxed)
     }
 }
@@ -129,6 +140,9 @@ impl Histogram {
     /// Records a duration in nanoseconds.
     pub fn record_ns(&self, ns: u64) {
         let idx = if ns == 0 { 0 } else { ns.ilog2() as usize };
+        // Relaxed on all three: each is an independent monotonic tally,
+        // and a scrape racing a record may see bucket/count/sum off by
+        // one relative to each other — accepted, documented in snapshot.
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum_ns.fetch_add(ns, Ordering::Relaxed);
@@ -144,6 +158,7 @@ impl Histogram {
     /// Number of recorded samples.
     #[must_use]
     pub fn count(&self) -> u64 {
+        // Relaxed: scrape-time read (see record_ns for the tolerance).
         self.count.load(Ordering::Relaxed)
     }
 
@@ -151,6 +166,10 @@ impl Histogram {
     #[must_use]
     pub fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {
+            // Relaxed loads: the snapshot is not a linearizable cut — a
+            // racing record_ns may land in `buckets` but not yet `count`
+            // (or vice versa). Scrapes accept that off-by-one in
+            // exchange for never stalling recorders.
             buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
             count: self.count.load(Ordering::Relaxed),
             sum_ns: self.sum_ns.load(Ordering::Relaxed),

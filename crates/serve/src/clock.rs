@@ -38,6 +38,11 @@ impl Clock {
     /// A monotonic wall clock starting at zero now.
     #[must_use]
     pub fn real() -> Self {
+        // The one blessed OS-clock read in library code: every other
+        // consumer goes through a `Clock` value (orco-lint `wall-clock`
+        // allows this file; clippy's disallowed-methods backstop is
+        // waived here for the same reason).
+        #[allow(clippy::disallowed_methods)]
         Clock::Real { epoch: Instant::now() }
     }
 
@@ -53,6 +58,9 @@ impl Clock {
     pub fn now_s(&self) -> f64 {
         match self {
             Clock::Real { epoch } => epoch.elapsed().as_secs_f64(),
+            // SeqCst: virtual time is the DES's global order; a reader
+            // must never see time move backwards relative to any tick
+            // it already observed through another thread.
             Clock::Virtual { nanos, .. } => nanos.load(Ordering::SeqCst) as f64 * 1e-9,
         }
     }
@@ -68,6 +76,8 @@ impl Clock {
     /// clock (wall time advances itself).
     pub(crate) fn tick(&self) {
         if let Clock::Virtual { nanos, quantum_ns } = self {
+            // SeqCst: ticks participate in the same total order the
+            // now_s readers rely on (see now_s).
             nanos.fetch_add(*quantum_ns, Ordering::SeqCst);
         }
     }
@@ -77,6 +87,7 @@ impl Clock {
     /// sleeping.
     pub fn advance(&self, dt: Duration) {
         if let Clock::Virtual { nanos, .. } = self {
+            // SeqCst: same total order as tick/now_s.
             nanos.fetch_add(dt.as_nanos() as u64, Ordering::SeqCst);
         }
     }
@@ -87,6 +98,8 @@ impl Clock {
     /// DES transport — slaves the gateway's clock to simulated time.
     pub fn advance_to(&self, t: Duration) {
         if let Clock::Virtual { nanos, .. } = self {
+            // SeqCst: the DES scheduler's advances join the same total
+            // order as tick/now_s, and fetch_max keeps time monotone.
             nanos.fetch_max(t.as_nanos() as u64, Ordering::SeqCst);
         }
     }

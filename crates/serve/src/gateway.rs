@@ -266,6 +266,9 @@ impl Gateway {
     /// Whether [`Message::Shutdown`] has been received.
     #[must_use]
     pub fn is_shutting_down(&self) -> bool {
+        // SeqCst: pairs with the store in begin_shutdown — after a
+        // client observes the flag, every pre-shutdown flush must also
+        // be visible to it.
         self.shutting_down.load(Ordering::SeqCst)
     }
 
@@ -589,6 +592,9 @@ impl Gateway {
     }
 
     fn begin_shutdown(&self, now: f64) {
+        // SeqCst: this store must be globally ordered before the drain
+        // flushes below so no worker accepts work after the flag rises
+        // (pairs with the load in is_shutting_down).
         self.shutting_down.store(true, Ordering::SeqCst);
         for slot in &self.shards {
             let mut core = slot.core.lock().expect("shard lock");

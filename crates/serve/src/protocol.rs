@@ -674,13 +674,11 @@ impl Message {
     ///
     /// Returns a [`WireError`] describing the first malformation found.
     pub fn decode(frame: &[u8]) -> Result<Message, WireError> {
-        if frame.len() < HEADER_LEN {
+        // orco-lint: region(wire-decode)
+        let Some((header, payload)) = frame.split_at_checked(HEADER_LEN) else {
             return Err(WireError::Truncated { needed: HEADER_LEN, got: frame.len() });
-        }
-        let mut header = [0u8; HEADER_LEN];
-        header.copy_from_slice(&frame[..HEADER_LEN]);
-        let (msg_type, declared) = parse_header(&header)?;
-        let payload = &frame[HEADER_LEN..];
+        };
+        let (msg_type, declared) = parse_header(header)?;
         if payload.len() != declared {
             return Err(WireError::LengthMismatch { declared, actual: payload.len() });
         }
@@ -690,6 +688,7 @@ impl Message {
             return Err(WireError::Corrupt { detail: "payload has trailing bytes" });
         }
         Ok(msg)
+        // orco-lint: endregion
     }
 
     /// Reads one frame from a byte stream. Returns `Ok(None)` on a clean
@@ -758,17 +757,19 @@ pub fn read_frame(r: &mut impl Read, buf: &mut Vec<u8>) -> Result<FrameRead, Orc
 }
 
 /// Validates a frame header and returns `(message type, payload length)`.
-fn parse_header(header: &[u8; HEADER_LEN]) -> Result<(u16, usize), WireError> {
-    let magic = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+// orco-lint: region(wire-decode)
+fn parse_header(header: &[u8]) -> Result<(u16, usize), WireError> {
+    let mut cur = Cursor::new(header);
+    let magic = cur.u32()?;
     if magic != MAGIC {
         return Err(WireError::BadMagic { found: magic });
     }
-    let version = u16::from_le_bytes(header[4..6].try_into().expect("2 bytes"));
+    let version = cur.u16()?;
     if version != PROTOCOL_VERSION {
         return Err(WireError::UnsupportedVersion { found: version });
     }
-    let msg_type = u16::from_le_bytes(header[6..8].try_into().expect("2 bytes"));
-    let declared = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes")) as usize;
+    let msg_type = cur.u16()?;
+    let declared = cur.u32()? as usize;
     if declared > payload_cap(msg_type)? {
         return Err(WireError::Oversized { declared });
     }
@@ -872,12 +873,13 @@ fn decode_payload(msg_type: u16, cur: &mut Cursor<'_>) -> Result<Message, WireEr
 
 /// Reads a one-byte boolean flag; any value other than 0/1 is corrupt.
 fn take_bool(cur: &mut Cursor<'_>, detail: &'static str) -> Result<bool, WireError> {
-    match cur.take(1)?[0] {
+    match cur.u8()? {
         0 => Ok(false),
         1 => Ok(true),
         _ => Err(WireError::Corrupt { detail }),
     }
 }
+// orco-lint: endregion
 
 // ----------------------------------------------------------------------
 // Little-endian field primitives
@@ -914,6 +916,7 @@ fn put_members(out: &mut Vec<u8>, members: &[GatewayEntry]) {
     }
 }
 
+// orco-lint: region(wire-decode)
 fn take_addr(cur: &mut Cursor<'_>) -> Result<String, WireError> {
     let bytes = cur.take_len_prefixed()?;
     if bytes.len() > MAX_ADDR {
@@ -935,6 +938,7 @@ fn take_members(cur: &mut Cursor<'_>) -> Result<Vec<GatewayEntry>, WireError> {
     }
     Ok(members)
 }
+// orco-lint: endregion
 
 fn put_matrix(out: &mut Vec<u8>, m: &Matrix) {
     put_u32(out, m.rows() as u32);
@@ -945,6 +949,7 @@ fn put_matrix(out: &mut Vec<u8>, m: &Matrix) {
     }
 }
 
+// orco-lint: region(wire-decode)
 fn take_matrix(cur: &mut Cursor<'_>) -> Result<Matrix, WireError> {
     let rows = cur.u32()? as usize;
     let cols = cur.u32()? as usize;
@@ -953,10 +958,21 @@ fn take_matrix(cur: &mut Cursor<'_>) -> Result<Matrix, WireError> {
         .and_then(|elems| elems.checked_mul(4))
         .ok_or(WireError::Corrupt { detail: "matrix dimensions overflow" })?;
     let bytes = cur.take(nbytes)?;
-    let data: Vec<f32> =
-        bytes.chunks_exact(4).map(|b| f32::from_le_bytes(b.try_into().expect("4 bytes"))).collect();
+    let data: Vec<f32> = bytes.chunks_exact(4).map(|b| f32::from_le_bytes(le_bytes(b))).collect();
     Matrix::from_vec(rows, cols, data)
         .map_err(|_| WireError::Corrupt { detail: "matrix length mismatch" })
+}
+
+/// Copies a slice into a fixed-width array for `from_le_bytes`.
+///
+/// Every caller feeds it a slice whose length is already guaranteed by a
+/// bounds-checked [`Cursor::take`] or `chunks_exact`; a length mismatch
+/// here is therefore a bug in this module, not attacker-reachable, and
+/// the `copy_from_slice` assert is the right failure mode for it.
+fn le_bytes<const N: usize>(bytes: &[u8]) -> [u8; N] {
+    let mut out = [0u8; N];
+    out.copy_from_slice(bytes);
+    out
 }
 
 /// Bounds-checked reader over a payload slice; every read either yields
@@ -976,11 +992,12 @@ impl<'a> Cursor<'a> {
     }
 
     pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
-        if self.remaining() < n {
-            return Err(WireError::Truncated { needed: n, got: self.remaining() });
-        }
-        let s = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated { needed: n, got: 0 })?;
+        let s = self
+            .buf
+            .get(self.pos..end)
+            .ok_or(WireError::Truncated { needed: n, got: self.remaining() })?;
+        self.pos = end;
         Ok(s)
     }
 
@@ -989,22 +1006,27 @@ impl<'a> Cursor<'a> {
         self.take(len)
     }
 
+    pub(crate) fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(u8::from_le_bytes(le_bytes(self.take(1)?)))
+    }
+
     pub(crate) fn u16(&mut self) -> Result<u16, WireError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+        Ok(u16::from_le_bytes(le_bytes(self.take(2)?)))
     }
 
     pub(crate) fn u32(&mut self) -> Result<u32, WireError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(le_bytes(self.take(4)?)))
     }
 
     pub(crate) fn u64(&mut self) -> Result<u64, WireError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(le_bytes(self.take(8)?)))
     }
 
     pub(crate) fn f64(&mut self) -> Result<f64, WireError> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(f64::from_le_bytes(le_bytes(self.take(8)?)))
     }
 }
+// orco-lint: endregion
 
 #[cfg(test)]
 mod tests {

@@ -145,6 +145,7 @@ impl ShardCore {
     ///
     /// Propagates codec shape errors (impossible for frames admitted by
     /// the gateway's width check, but surfaced rather than unwrapped).
+    // orco-lint: region(no-alloc)
     pub(crate) fn flush(
         &mut self,
         now_s: f64,
@@ -200,6 +201,7 @@ impl ShardCore {
         self.pending_traces.clear();
         Ok(())
     }
+    // orco-lint: endregion
 
     /// Decodes up to `max` of the cluster's oldest stored codes in ONE
     /// `decode_batch` call and returns the reconstructions in push order.

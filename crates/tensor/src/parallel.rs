@@ -37,6 +37,8 @@ thread_local! {
 /// parallelism). Intended for benchmarks and determinism tests; regular
 /// code should leave the budget alone.
 pub fn set_threads(n: usize) {
+    // SeqCst: a rare configuration write; pays for a total order so a
+    // test setting the budget is visible to every worker it then spawns.
     THREAD_OVERRIDE.store(n, Ordering::SeqCst);
 }
 
@@ -63,6 +65,8 @@ pub fn threads() -> usize {
     if tl > 0 {
         return tl;
     }
+    // SeqCst: matches set_threads; the budget read is far off any hot
+    // loop, so the fence cost is irrelevant.
     let o = THREAD_OVERRIDE.load(Ordering::SeqCst);
     if o > 0 {
         return o;

@@ -4,7 +4,7 @@
 //! pure accounting quantity; this module is its source of truth. Every
 //! transmission in the simulator lands here.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use crate::node::NodeId;
 use crate::packet::PacketKind;
@@ -71,7 +71,9 @@ pub struct TrafficAccounting {
     // hash map's randomized iteration order would make those sums differ
     // in the last ulps between otherwise identical runs.
     per_node: BTreeMap<NodeId, NodeTraffic>,
-    per_kind_tx_bytes: HashMap<PacketKind, u64>,
+    // Ordered for the same reason: `tx_bytes_by_kind` feeds reports, and
+    // the breakdown must enumerate kinds in the same order every run.
+    per_kind_tx_bytes: BTreeMap<PacketKind, u64>,
     delivered_packets: u64,
     dropped_packets: u64,
     retransmitted_frames: u64,
@@ -193,6 +195,14 @@ impl TrafficAccounting {
         self.per_kind_tx_bytes.get(&kind).copied().unwrap_or(0)
     }
 
+    /// Per-kind transmit-byte breakdown in [`PacketKind`] declaration
+    /// order (only kinds that actually transmitted appear). The order is
+    /// part of the contract: report tables and exposition lines built
+    /// from this iterator must be byte-stable across runs.
+    pub fn tx_bytes_by_kind(&self) -> impl Iterator<Item = (PacketKind, u64)> + '_ {
+        self.per_kind_tx_bytes.iter().map(|(k, v)| (*k, *v))
+    }
+
     /// Number of nodes that have communicated.
     #[must_use]
     pub fn active_nodes(&self) -> usize {
@@ -282,6 +292,27 @@ mod tests {
         assert_eq!(l.bytes_by_kind(PacketKind::RawData), 30);
         assert_eq!(l.bytes_by_kind(PacketKind::Control), 5);
         assert_eq!(l.bytes_by_kind(PacketKind::LatentVector), 0);
+    }
+
+    #[test]
+    fn per_kind_breakdown_enumerates_in_declaration_order() {
+        // Regression: this breakdown once lived in a HashMap, whose
+        // randomized iteration order reordered report lines between
+        // otherwise identical runs. Insert in scrambled order and demand
+        // declaration order back.
+        let mut l = TrafficAccounting::new();
+        l.record_tx(NodeId(0), 5, 0.0, PacketKind::Control);
+        l.record_tx(NodeId(0), 30, 0.0, PacketKind::RawData);
+        l.record_tx(NodeId(0), 20, 0.0, PacketKind::LatentVector);
+        let kinds: Vec<_> = l.tx_bytes_by_kind().collect();
+        assert_eq!(
+            kinds,
+            vec![
+                (PacketKind::RawData, 30),
+                (PacketKind::LatentVector, 20),
+                (PacketKind::Control, 5),
+            ]
+        );
     }
 
     #[test]

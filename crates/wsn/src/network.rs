@@ -523,8 +523,12 @@ impl Network {
     /// Propagates transmission errors.
     pub fn raw_aggregation_round(&mut self, bytes_per_device: u64) -> Result<f64, WsnError> {
         let start = self.clock.now_s();
-        // Accumulated payload (own + descendants) per node.
-        let mut carried: std::collections::HashMap<NodeId, u64> = std::collections::HashMap::new();
+        // Accumulated payload (own + descendants) per node. Ordered map
+        // for uniformity with the rest of the accounting plane — nothing
+        // here iterates it today, but a BTreeMap can never regress into
+        // iteration-order nondeterminism when someone does.
+        let mut carried: std::collections::BTreeMap<NodeId, u64> =
+            std::collections::BTreeMap::new();
         for id in self.alive_devices() {
             carried.insert(id, bytes_per_device);
         }

@@ -11,7 +11,11 @@ pub const HEADER_BYTES: u64 = 21;
 pub const MAX_PAYLOAD_BYTES: u64 = 96;
 
 /// What a packet carries — the OrcoDCS protocol message types.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// `Ord` follows declaration order and is load-bearing: the accounting
+/// ledger keys its per-kind byte breakdown by it, so reports enumerate
+/// kinds in this stable order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[non_exhaustive]
 pub enum PacketKind {
     /// Raw sensing data (intra-cluster raw aggregation, paper §III-A).

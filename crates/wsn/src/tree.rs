@@ -13,7 +13,7 @@
 //! handled by re-parenting orphaned subtrees onto the nearest alive
 //! non-descendant.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::error::WsnError;
 use crate::geometry::Point;
@@ -39,8 +39,11 @@ use crate::node::NodeId;
 #[derive(Debug, Clone)]
 pub struct AggregationTree {
     root: NodeId,
-    parent: HashMap<NodeId, NodeId>,
-    positions: HashMap<NodeId, Point>,
+    // Ordered maps: Prim tie-breaks, re-parenting candidate order, and
+    // `children`/`bottom_up_order` all iterate these, and the resulting
+    // tree must be identical between runs of the same seed.
+    parent: BTreeMap<NodeId, NodeId>,
+    positions: BTreeMap<NodeId, Point>,
 }
 
 impl AggregationTree {
@@ -54,7 +57,7 @@ impl AggregationTree {
     /// Returns [`WsnError::InvalidTopology`] if `root` is missing from
     /// `nodes` or there are duplicate ids.
     pub fn build(root: NodeId, nodes: &[(NodeId, Point)]) -> Result<Self, WsnError> {
-        let mut positions = HashMap::with_capacity(nodes.len());
+        let mut positions = BTreeMap::new();
         for (id, p) in nodes {
             if positions.insert(*id, *p).is_some() {
                 return Err(WsnError::InvalidTopology { detail: format!("duplicate node {id}") });
@@ -69,13 +72,14 @@ impl AggregationTree {
         // Prim's algorithm from the root, O(n²): for every out-of-tree node
         // keep its best distance to the current tree and the anchor that
         // achieves it; each extraction updates the arrays in one pass.
+        // `out` is ascending by id (BTreeMap keys), so distance ties
+        // resolve to the lowest id on every run.
         let mut out: Vec<NodeId> = positions.keys().copied().filter(|id| *id != root).collect();
-        out.sort_unstable(); // determinism independent of HashMap order
         let root_pos = positions[&root];
         let mut best_d2: Vec<f64> =
             out.iter().map(|id| positions[id].distance_sq(root_pos)).collect();
         let mut best_anchor: Vec<NodeId> = vec![root; out.len()];
-        let mut parent = HashMap::with_capacity(out.len());
+        let mut parent = BTreeMap::new();
         while !out.is_empty() {
             let next = best_d2
                 .iter()
