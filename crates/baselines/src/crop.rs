@@ -22,7 +22,7 @@ use orco_tensor::Matrix;
 /// let y = crop.forward(&x, false);
 /// assert_eq!(y.as_slice(), &[5.0, 6.0, 9.0, 10.0]);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Crop2d {
     channels: usize,
     in_side: usize,
@@ -110,6 +110,10 @@ impl Layer for Crop2d {
 
     fn name(&self) -> &'static str {
         "crop2d"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 }
 

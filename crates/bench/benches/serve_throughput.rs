@@ -21,7 +21,7 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use orco_serve::{Client, Clock, Gateway, GatewayConfig, Loopback, PushOutcome};
+use orco_serve::{Client, Clock, Gateway, GatewayConfig, Loopback, ModelVersion, PushOutcome};
 use orco_tensor::{Matrix, OrcoRng};
 use orcodcs::{AsymmetricAutoencoder, Codec, OrcoConfig};
 
@@ -40,6 +40,9 @@ struct Config {
     /// (capacity 0, every record a no-op). The wire carries trace ids
     /// either way, so this isolates the recording cost.
     traced: bool,
+    /// Propose + activate a codec hot swap at the run's halfway point,
+    /// timing the stall the cutover adds to the serving path.
+    swap: bool,
 }
 
 struct Row {
@@ -49,11 +52,14 @@ struct Row {
     deadline_ms: u64,
     traced: bool,
     frames_per_s: f64,
+    /// Wall-clock cost of propose + activate, for the swap row.
+    swap_stall_ms: Option<f64>,
 }
 
 /// Serves `total` frames end to end (push one per message, pull decoded
-/// in `batch_max`-sized chunks) and returns the wall-clock frames/s.
-fn run(cfg: &Config, total: usize) -> f64 {
+/// in `batch_max`-sized chunks) and returns the wall-clock frames/s plus
+/// the swap stall (when the config hot-swaps mid-run).
+fn run(cfg: &Config, total: usize) -> (f64, Option<f64>) {
     let ae_cfg = OrcoConfig::for_dataset(orco_datasets_kind()).with_latent_dim(paper_latent());
     let gateway = Arc::new(
         Gateway::new(
@@ -64,6 +70,7 @@ fn run(cfg: &Config, total: usize) -> f64 {
                 queue_capacity: 4096,
                 auth_secret: None,
                 trace_capacity: if cfg.traced { 1 << 16 } else { 0 },
+                ..GatewayConfig::default()
             },
             Clock::manual(QUANTUM),
             |_| {
@@ -82,8 +89,35 @@ fn run(cfg: &Config, total: usize) -> f64 {
 
     let mut served = 0usize;
     let mut pushed_since_drain = 0usize;
+    let mut swap_stall_ms = None;
     let start = Instant::now();
     for i in 0..total {
+        if cfg.swap && i == total / 2 {
+            // Hot-swap to a fresh encoder mid-stream. The stall a client
+            // sees is the propose + activate round trips (activation
+            // flushes each shard's pending batch under the old codec);
+            // the zero-drop contract is re-checked by the served == total
+            // assert below.
+            let donor = AsymmetricAutoencoder::new(&ae_cfg).expect("valid config");
+            let version = ModelVersion {
+                id: 1,
+                label: "bench-swap".into(),
+                frame_dim: info.frame_dim,
+                code_dim: info.code_dim,
+            };
+            let swap_start = Instant::now();
+            let ckpt = donor.checkpoint().expect("autoencoder codecs checkpoint");
+            client.propose_rollout(version, &ckpt).expect("propose");
+            client.activate_version(1).expect("activate");
+            let stall = swap_start.elapsed();
+            let bound = Duration::from_millis(cfg.deadline_ms) * 2;
+            assert!(
+                stall <= bound,
+                "hot swap stalled the serving path for {stall:?}, over two flush \
+                 deadlines ({bound:?})"
+            );
+            swap_stall_ms = Some(stall.as_secs_f64() * 1e3);
+        }
         let cluster = CLUSTERS[i % CLUSTERS.len()];
         let row = i % frames.rows();
         match client.push(cluster, frames.view_rows(row..row + 1)).expect("push") {
@@ -108,7 +142,7 @@ fn run(cfg: &Config, total: usize) -> f64 {
     }
     let elapsed = start.elapsed().as_secs_f64();
     assert_eq!(served, total, "every pushed frame must come back decoded");
-    total as f64 / elapsed
+    (total as f64 / elapsed, swap_stall_ms)
 }
 
 fn drain(client: &mut Client<impl orco_serve::Connection>, pull_chunk: u32) -> usize {
@@ -139,32 +173,23 @@ fn main() {
     let quick = std::env::var("ORCO_SCALE").as_deref() == Ok("quick");
     let total = if quick { 1024 } else { 8192 };
 
+    let base = Config {
+        label: "batch-64",
+        shards: 1,
+        batch_max: 64,
+        deadline_ms: 50,
+        traced: false,
+        swap: false,
+    };
     let configs = [
-        Config { label: "batch-1", shards: 1, batch_max: 1, deadline_ms: 50, traced: false },
-        Config { label: "batch-16", shards: 1, batch_max: 16, deadline_ms: 50, traced: false },
-        Config { label: "batch-64", shards: 1, batch_max: 64, deadline_ms: 50, traced: false },
-        Config {
-            label: "batch-64-traced",
-            shards: 1,
-            batch_max: 64,
-            deadline_ms: 50,
-            traced: true,
-        },
-        Config {
-            label: "batch-64-2shard",
-            shards: 2,
-            batch_max: 64,
-            deadline_ms: 50,
-            traced: false,
-        },
-        Config {
-            label: "batch-64-4shard",
-            shards: 4,
-            batch_max: 64,
-            deadline_ms: 50,
-            traced: false,
-        },
-        Config { label: "batch-64-1ms", shards: 1, batch_max: 64, deadline_ms: 1, traced: false },
+        Config { label: "batch-1", batch_max: 1, ..base },
+        Config { label: "batch-16", batch_max: 16, ..base },
+        Config { ..base },
+        Config { label: "batch-64-traced", traced: true, ..base },
+        Config { label: "batch-64-2shard", shards: 2, ..base },
+        Config { label: "batch-64-4shard", shards: 4, ..base },
+        Config { label: "batch-64-1ms", deadline_ms: 1, ..base },
+        Config { label: "batch-64-during-swap", swap: true, ..base },
     ];
 
     // Interleaved rounds with a per-config best: compared configs (the
@@ -172,25 +197,33 @@ fn main() {
     // measured close together in time each round, so ambient load drift
     // hits both sides of a ratio instead of biasing it.
     let mut best = vec![0.0f64; configs.len()];
+    let mut stalls: Vec<Option<f64>> = vec![None; configs.len()];
     for round in 0..3 {
         for (i, cfg) in configs.iter().enumerate() {
             if round == 0 {
                 // Warm-up run grows every workspace to size.
                 let _ = run(cfg, total.min(256));
             }
-            best[i] = best[i].max(run(cfg, total));
+            let (fps, stall) = run(cfg, total);
+            best[i] = best[i].max(fps);
+            // Keep the worst observed stall: the bar is a ceiling.
+            stalls[i] = match (stalls[i], stall) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                (a, b) => a.or(b),
+            };
         }
     }
     let rows: Vec<Row> = configs
         .iter()
-        .zip(&best)
-        .map(|(cfg, &frames_per_s)| Row {
+        .zip(best.iter().zip(&stalls))
+        .map(|(cfg, (&frames_per_s, &swap_stall_ms))| Row {
             label: cfg.label,
             shards: cfg.shards,
             batch_max: cfg.batch_max,
             deadline_ms: cfg.deadline_ms,
             traced: cfg.traced,
             frames_per_s,
+            swap_stall_ms,
         })
         .collect();
 
@@ -216,6 +249,14 @@ fn main() {
     println!("\nbatched (64) vs batch-size-1 gateway on one core: {speedup:.2}x");
     let tracing_overhead = 1.0 - fps("batch-64-traced") / fps("batch-64");
     println!("tracing overhead at batch 64: {:.2}%", tracing_overhead * 100.0);
+    let swap_stall = rows
+        .iter()
+        .find_map(|r| r.swap_stall_ms)
+        .expect("the during-swap config records its stall");
+    println!(
+        "codec hot-swap stall at batch 64: {swap_stall:.3} ms (bar: 2 flush deadlines = {} ms)",
+        2 * base.deadline_ms
+    );
 
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"bench\": \"serve_throughput\",");
@@ -229,12 +270,14 @@ fn main() {
     let _ = writeln!(json, "  \"frames\": {total},");
     let _ = writeln!(json, "  \"batched64_vs_batch1_speedup\": {speedup:.4},");
     let _ = writeln!(json, "  \"tracing_overhead_batch64\": {tracing_overhead:.4},");
+    let _ = writeln!(json, "  \"swap_stall_ms_batch64\": {swap_stall:.4},");
     let _ = writeln!(json, "  \"results\": [");
     for (i, r) in rows.iter().enumerate() {
         let comma = if i + 1 == rows.len() { "" } else { "," };
+        let stall = r.swap_stall_ms.map_or(String::from("null"), |s| format!("{s:.4}"));
         let _ = writeln!(
             json,
-            "    {{\"config\": \"{}\", \"shards\": {}, \"batch_max\": {}, \"deadline_ms\": {}, \"traced\": {}, \"frames_per_s\": {:.2}}}{comma}",
+            "    {{\"config\": \"{}\", \"shards\": {}, \"batch_max\": {}, \"deadline_ms\": {}, \"traced\": {}, \"frames_per_s\": {:.2}, \"swap_stall_ms\": {stall}}}{comma}",
             r.label, r.shards, r.batch_max, r.deadline_ms, r.traced, r.frames_per_s
         );
     }

@@ -37,7 +37,7 @@ use crate::noise;
 /// let xr = ae.decode(&latent);
 /// assert_eq!(xr.shape(), (4, 784));
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct AsymmetricAutoencoder {
     encoder: Dense,
     decoder: Sequential,

@@ -9,8 +9,8 @@
 
 use std::path::{Path, PathBuf};
 
-use orco_tensor::serialize::{read_matrix, write_matrix};
-use orco_tensor::Matrix;
+use orco_tensor::serialize::{matrix_from_text, matrix_to_text};
+use orco_tensor::{fnv1a64, Matrix};
 
 use crate::autoencoder::AsymmetricAutoencoder;
 use crate::config::OrcoConfig;
@@ -67,7 +67,24 @@ impl EncoderCheckpoint {
         Ok(())
     }
 
+    /// The FNV-1a digest of a checkpoint payload: the weight's `MAT` text
+    /// followed by the bias's, hashed as one byte stream. Recorded in the
+    /// manifest by [`EncoderCheckpoint::save`] and re-verified by
+    /// [`EncoderCheckpoint::load`].
+    fn payload_checksum(weight_text: &str, bias_text: &str) -> u64 {
+        let mut payload = String::with_capacity(weight_text.len() + bias_text.len());
+        payload.push_str(weight_text);
+        payload.push_str(bias_text);
+        fnv1a64(payload.as_bytes())
+    }
+
     /// Writes the checkpoint to `dir` (created if missing).
+    ///
+    /// Torn-write hardened: every file lands via write-then-rename, and
+    /// the manifest — carrying an FNV-1a checksum over the tensor payload
+    /// — is written last, so a crash mid-save leaves either the previous
+    /// checkpoint intact or no verifiable manifest at all, never a
+    /// half-written one that loads.
     ///
     /// # Errors
     ///
@@ -75,42 +92,72 @@ impl EncoderCheckpoint {
     pub fn save(&self, dir: &Path) -> Result<(), OrcoError> {
         let io = |e: std::io::Error| OrcoError::Config { detail: format!("checkpoint io: {e}") };
         std::fs::create_dir_all(dir).map_err(io)?;
-        write_matrix(&dir.join(ENCODER_WEIGHT), &self.weight).map_err(io)?;
-        write_matrix(&dir.join(ENCODER_BIAS), &self.bias).map_err(io)?;
+        let weight_text = matrix_to_text(&self.weight);
+        let bias_text = matrix_to_text(&self.bias);
+        let checksum = Self::payload_checksum(&weight_text, &bias_text);
+        write_atomic(&dir.join(ENCODER_WEIGHT), &weight_text).map_err(io)?;
+        write_atomic(&dir.join(ENCODER_BIAS), &bias_text).map_err(io)?;
         let manifest = format!(
-            "orcodcs-encoder-checkpoint v1\nlabel: {}\nlatent_dim: {}\ninput_dim: {}\n",
+            "orcodcs-encoder-checkpoint v2\nlabel: {}\nlatent_dim: {}\ninput_dim: {}\nchecksum: {checksum:016x}\n",
             self.label,
             self.weight.rows(),
             self.weight.cols()
         );
-        std::fs::write(dir.join(MANIFEST), manifest).map_err(io)?;
+        write_atomic(&dir.join(MANIFEST), &manifest).map_err(io)?;
         Ok(())
     }
 
-    /// Loads a checkpoint from `dir`.
+    /// Loads a checkpoint from `dir`, verifying the manifest's checksum
+    /// against the tensor payload before parsing a single value.
     ///
     /// # Errors
     ///
-    /// Returns [`OrcoError::Config`] on missing/malformed files and
+    /// Returns [`OrcoError::Config`] on missing/malformed files,
+    /// [`OrcoError::Corrupt`] when the payload does not match the
+    /// manifest's checksum (torn write, truncation, bit rot), and
     /// [`OrcoError::Tensor`] on matrix parse failures.
     pub fn load(dir: &Path) -> Result<Self, OrcoError> {
         let manifest = std::fs::read_to_string(dir.join(MANIFEST))
             .map_err(|e| OrcoError::Config { detail: format!("missing manifest: {e}") })?;
         let mut label = String::new();
         let mut version_ok = false;
+        let mut checksum: Option<u64> = None;
         for line in manifest.lines() {
-            if line.trim() == "orcodcs-encoder-checkpoint v1" {
+            if line.trim() == "orcodcs-encoder-checkpoint v2" {
                 version_ok = true;
             }
             if let Some(rest) = line.strip_prefix("label: ") {
                 label = rest.to_string();
             }
+            if let Some(rest) = line.strip_prefix("checksum: ") {
+                checksum = u64::from_str_radix(rest.trim(), 16).ok();
+            }
         }
         if !version_ok {
             return Err(OrcoError::Config { detail: "unrecognized checkpoint version".into() });
         }
-        let weight = read_matrix(&dir.join(ENCODER_WEIGHT))?;
-        let bias = read_matrix(&dir.join(ENCODER_BIAS))?;
+        let Some(expected) = checksum else {
+            return Err(OrcoError::Corrupt {
+                detail: format!(
+                    "checkpoint manifest in {} carries no parseable checksum",
+                    dir.display()
+                ),
+            });
+        };
+        let io = |e: std::io::Error| OrcoError::Config { detail: format!("checkpoint io: {e}") };
+        let weight_text = std::fs::read_to_string(dir.join(ENCODER_WEIGHT)).map_err(io)?;
+        let bias_text = std::fs::read_to_string(dir.join(ENCODER_BIAS)).map_err(io)?;
+        let actual = Self::payload_checksum(&weight_text, &bias_text);
+        if actual != expected {
+            return Err(OrcoError::Corrupt {
+                detail: format!(
+                    "checkpoint payload in {} hashes to {actual:016x}, manifest says {expected:016x}",
+                    dir.display()
+                ),
+            });
+        }
+        let weight = matrix_from_text(&weight_text)?;
+        let bias = matrix_from_text(&bias_text)?;
         if bias.rows() != 1 || bias.cols() != weight.rows() {
             return Err(OrcoError::Config {
                 detail: format!(
@@ -124,6 +171,15 @@ impl EncoderCheckpoint {
         }
         Ok(Self { weight, bias, label })
     }
+}
+
+/// Writes `contents` to a sibling temp file and renames it over `path`,
+/// so readers never observe a half-written file (rename within one
+/// directory is atomic on POSIX filesystems).
+fn write_atomic(path: &Path, contents: &str) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path)
 }
 
 /// A rolling checkpoint store: keeps the `capacity` most recent encoder
@@ -285,6 +341,70 @@ mod tests {
     #[test]
     fn load_missing_dir_errors() {
         assert!(EncoderCheckpoint::load(Path::new("/nonexistent/ckpt")).is_err());
+    }
+
+    #[test]
+    fn truncated_weight_file_is_rejected_as_corrupt() {
+        // The torn-write regression: a checkpoint whose weight file lost
+        // its tail (power cut mid-write, partial copy) must surface as
+        // `OrcoError::Corrupt`, never as weights.
+        let ae = trained_ae();
+        let ckpt = EncoderCheckpoint::capture(&ae, "torn");
+        let dir = tmpdir("torn-write");
+        ckpt.save(&dir).unwrap();
+        let weight_path = dir.join(ENCODER_WEIGHT);
+        let full = std::fs::read_to_string(&weight_path).unwrap();
+        std::fs::write(&weight_path, &full[..full.len() / 2]).unwrap();
+        let err = EncoderCheckpoint::load(&dir).unwrap_err();
+        assert!(matches!(err, OrcoError::Corrupt { .. }), "unexpected error: {err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn flipped_payload_byte_is_rejected_as_corrupt() {
+        let ae = trained_ae();
+        let ckpt = EncoderCheckpoint::capture(&ae, "bitrot");
+        let dir = tmpdir("bitrot");
+        ckpt.save(&dir).unwrap();
+        let bias_path = dir.join(ENCODER_BIAS);
+        let mut bytes = std::fs::read(&bias_path).unwrap();
+        let last = bytes.len() - 2;
+        bytes[last] = if bytes[last] == b'1' { b'2' } else { b'1' };
+        std::fs::write(&bias_path, bytes).unwrap();
+        let err = EncoderCheckpoint::load(&dir).unwrap_err();
+        assert!(matches!(err, OrcoError::Corrupt { .. }), "unexpected error: {err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_leaves_no_temp_files() {
+        let ae = trained_ae();
+        let ckpt = EncoderCheckpoint::capture(&ae, "atomic");
+        let dir = tmpdir("atomic");
+        ckpt.save(&dir).unwrap();
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let name = entry.unwrap().file_name();
+            assert!(
+                !name.to_string_lossy().ends_with(".tmp"),
+                "stray temp file {name:?} after save"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn store_latest_never_hands_back_garbage() {
+        // `CheckpointStore::latest` propagates the corruption error
+        // instead of returning a checkpoint parsed from a torn file.
+        let ae = trained_ae();
+        let dir = tmpdir("store-corrupt");
+        let mut store = CheckpointStore::new(&dir, 2);
+        let ckpt = EncoderCheckpoint::capture(&ae, "good");
+        let saved = store.push(&ckpt).unwrap().to_path_buf();
+        std::fs::write(saved.join(ENCODER_WEIGHT), "MAT 1 1\n0.0\n").unwrap();
+        let err = store.latest().unwrap_err();
+        assert!(matches!(err, OrcoError::Corrupt { .. }), "unexpected error: {err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -397,6 +397,26 @@ pub trait Codec: std::fmt::Debug + Send {
     fn checkpoint(&self) -> Option<EncoderCheckpoint> {
         None
     }
+
+    /// Builds a new codec instance that is this codec with `checkpoint`'s
+    /// encoder installed — the staging hook of a live rollout: the serving
+    /// layer derives the next model version from the active one without
+    /// knowing the backend's construction recipe, and the decoder (and any
+    /// other state) carries over exactly so the two versions differ only
+    /// in the distributed encoder.
+    ///
+    /// # Errors
+    ///
+    /// The default refuses ([`OrcoError::Config`]) — training-free or
+    /// cloud-only backends have no swappable encoder. Backends that
+    /// support hot swap return [`OrcoError::Config`] on a geometry
+    /// mismatch between the checkpoint and this codec.
+    fn with_encoder(&self, checkpoint: &EncoderCheckpoint) -> Result<Box<dyn Codec>, OrcoError> {
+        let _ = checkpoint;
+        Err(OrcoError::Config {
+            detail: format!("codec {} does not support encoder hot-swap", self.name()),
+        })
+    }
 }
 
 impl Codec for AsymmetricAutoencoder {
@@ -467,6 +487,12 @@ impl Codec for AsymmetricAutoencoder {
 
     fn checkpoint(&self) -> Option<EncoderCheckpoint> {
         Some(EncoderCheckpoint::capture(self, Codec::name(self)))
+    }
+
+    fn with_encoder(&self, checkpoint: &EncoderCheckpoint) -> Result<Box<dyn Codec>, OrcoError> {
+        let mut next = self.clone();
+        checkpoint.restore(&mut next)?;
+        Ok(Box::new(next))
     }
 }
 
@@ -613,5 +639,45 @@ mod tests {
         let ckpt = Codec::checkpoint(&codec).expect("AE has a distributable encoder");
         assert_eq!(ckpt.weight.shape(), (16, 784));
         assert_eq!(ckpt.label, "OrcoDCS");
+    }
+
+    #[test]
+    fn with_encoder_stages_a_hot_swap_copy() {
+        let ds = mnist_like::generate(4, 7);
+        // Train a source codec, checkpoint it, and stage its encoder onto
+        // an untrained copy of the same geometry.
+        let mut trained = tiny_codec();
+        let spec = TrainSpec { epochs: 2, batch_size: 4, seed: 0, data_fraction: 1.0 };
+        let ds_train = mnist_like::generate(16, 8);
+        trained.train(ds_train.x(), &spec).unwrap();
+        let ckpt = Codec::checkpoint(&trained).unwrap();
+
+        let mut base: Box<dyn Codec> = Box::new(tiny_codec());
+        let mut staged = base.with_encoder(&ckpt).unwrap();
+        // The staged codec encodes with the trained encoder...
+        let mut codes_staged = Matrix::zeros(0, 0);
+        staged.encode_batch(ds.x().as_view(), &mut codes_staged).unwrap();
+        let mut codes_trained = Matrix::zeros(0, 0);
+        trained.encode_batch(ds.x().as_view(), &mut codes_trained).unwrap();
+        assert_eq!(codes_staged, codes_trained);
+        // ...while the base codec is untouched (encodes differently).
+        let mut codes_base = Matrix::zeros(0, 0);
+        base.encode_batch(ds.x().as_view(), &mut codes_base).unwrap();
+        assert_ne!(codes_base, codes_staged);
+        // Decoder state carries over: same codes decode identically.
+        let mut dec_staged = Matrix::zeros(0, 0);
+        staged.decode_batch(codes_staged.as_view(), &mut dec_staged).unwrap();
+        let mut dec_base = Matrix::zeros(0, 0);
+        base.decode_batch(codes_staged.as_view(), &mut dec_base).unwrap();
+        assert_eq!(dec_staged, dec_base, "decoder must carry over bit-identically");
+    }
+
+    #[test]
+    fn with_encoder_rejects_geometry_mismatch() {
+        let cfg = OrcoConfig::for_dataset(DatasetKind::MnistLike).with_latent_dim(8);
+        let other = AsymmetricAutoencoder::new(&cfg).unwrap();
+        let ckpt = Codec::checkpoint(&other).unwrap(); // latent 8
+        let base = tiny_codec(); // latent 16
+        assert!(matches!(base.with_encoder(&ckpt), Err(OrcoError::Config { .. })));
     }
 }

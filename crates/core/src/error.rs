@@ -36,6 +36,15 @@ pub enum OrcoError {
     /// An I/O operation failed — raised by the serving layer
     /// (`orco-serve`) where sockets and codecs share one `?` chain.
     Io(std::io::Error),
+    /// Persisted state failed an integrity check — raised by
+    /// [`EncoderCheckpoint::load`](crate::EncoderCheckpoint::load) when a
+    /// checkpoint's checksum does not match its payload (torn write,
+    /// truncation, bit rot). Callers must treat the artifact as garbage,
+    /// never as weights.
+    Corrupt {
+        /// What failed to verify.
+        detail: String,
+    },
 }
 
 impl fmt::Display for OrcoError {
@@ -52,6 +61,7 @@ impl fmt::Display for OrcoError {
                 write!(f, "training diverged at round {round} (non-finite loss)")
             }
             OrcoError::Io(e) => write!(f, "i/o error: {e}"),
+            OrcoError::Corrupt { detail } => write!(f, "corrupt artifact: {detail}"),
         }
     }
 }
@@ -103,5 +113,8 @@ mod tests {
         assert!(matches!(io, OrcoError::Io(_)));
         assert!(std::error::Error::source(&io).is_some());
         assert!(io.to_string().contains("pipe"));
+        let corrupt = OrcoError::Corrupt { detail: "checksum mismatch".into() };
+        assert!(corrupt.to_string().contains("checksum mismatch"));
+        assert!(std::error::Error::source(&corrupt).is_none());
     }
 }

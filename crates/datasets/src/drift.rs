@@ -7,7 +7,7 @@
 //! drive those experiments: illumination shifts, additive sensor bias,
 //! contrast changes and noise bursts, each with a severity knob.
 
-use orco_tensor::OrcoRng;
+use orco_tensor::{Matrix, OrcoRng};
 
 use crate::dataset::Dataset;
 
@@ -42,8 +42,25 @@ impl Drift {
 /// Panics if `severity` is outside `[0, 1]`.
 #[must_use]
 pub fn apply(ds: &Dataset, drift: Drift, severity: f32, rng: &mut OrcoRng) -> Dataset {
-    assert!((0.0..=1.0).contains(&severity), "drift severity must be in [0, 1]");
     let mut x = ds.x().clone();
+    apply_matrix(&mut x, drift, severity, rng);
+    ds.with_x(x)
+}
+
+/// Applies a drift in place to a raw sample matrix (one sample per row),
+/// with the identical transform [`apply`] uses on a [`Dataset`].
+///
+/// This is the kind-agnostic entry point for callers whose frames do not
+/// wrap a [`Dataset`] — the serving-layer load generator and the rollout
+/// chaos scenarios shift live frame streams through it, so a simulated
+/// environmental change is bit-for-bit the same distribution shift the
+/// offline drift experiments train against.
+///
+/// # Panics
+///
+/// Panics if `severity` is outside `[0, 1]`.
+pub fn apply_matrix(x: &mut Matrix, drift: Drift, severity: f32, rng: &mut OrcoRng) {
+    assert!((0.0..=1.0).contains(&severity), "drift severity must be in [0, 1]");
     match drift {
         Drift::Dimming => {
             let gain = 1.0 - 0.8 * severity;
@@ -63,7 +80,6 @@ pub fn apply(ds: &Dataset, drift: Drift, severity: f32, rng: &mut OrcoRng) -> Da
             }
         }
     }
-    ds.with_x(x)
 }
 
 #[cfg(test)]
@@ -109,6 +125,19 @@ mod tests {
         let mut rng = OrcoRng::from_label("drift-labels", 0);
         let out = apply(&ds, Drift::NoiseBurst, 0.5, &mut rng);
         assert_eq!(out.labels(), ds.labels());
+    }
+
+    #[test]
+    fn matrix_and_dataset_paths_agree() {
+        let ds = mnist_like::generate(8, 4);
+        for d in Drift::all() {
+            let mut rng_a = OrcoRng::from_label("drift-mat", 7);
+            let mut rng_b = OrcoRng::from_label("drift-mat", 7);
+            let via_ds = apply(&ds, d, 0.6, &mut rng_a);
+            let mut x = ds.x().clone();
+            apply_matrix(&mut x, d, 0.6, &mut rng_b);
+            assert_eq!(via_ds.x().as_slice(), x.as_slice(), "{d:?} diverged between entry points");
+        }
     }
 
     #[test]

@@ -17,6 +17,12 @@
 //! directory's aggregated fleet ledger (heartbeat-piggybacked stats,
 //! eviction and epoch counters). Keyed fleets take `--auth-secret`.
 //!
+//! `--drift <frame-idx>` injects the datasets crate's `Bias` field
+//! drift into every frame from that index on — the exact transform the
+//! rollout gauntlet uses — so a drift-monitoring gateway
+//! (`drift_sample_every > 0`) visibly trips its monitor mid-run and a
+//! live `orco-rollout` cutover can be rehearsed end to end.
+//!
 //! `--metrics` skips the load entirely and one-shots the metrics text
 //! exposition (every gateway in fleet mode). `--json <path>` writes a
 //! machine-readable run report: throughput, Busy rate, redirects, the
@@ -42,6 +48,7 @@ use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
+use orco_datasets::drift::{self, Drift};
 use orco_fleet::FleetClient;
 use orco_obs::{Histogram, HistogramSnapshot};
 use orco_serve::{Backoff, Client, GatewayStats, PushOutcome, StatsSnapshot, Tcp, TcpConnection};
@@ -60,6 +67,8 @@ struct Args {
     shutdown: bool,
     connect_timeout: Duration,
     seed: u64,
+    /// Bias-shift every frame from this index on (drift injection).
+    drift: Option<usize>,
     /// Write a machine-readable run report here.
     json: Option<PathBuf>,
     /// One-shot: scrape and print the metrics exposition, run no load.
@@ -79,6 +88,7 @@ impl Args {
             shutdown: false,
             connect_timeout: Duration::from_secs(10),
             seed: 0xC0FFEE,
+            drift: None,
             json: None,
             metrics_only: false,
         };
@@ -108,6 +118,7 @@ impl Args {
                 }
                 "--shutdown" => args.shutdown = true,
                 "--seed" => args.seed = value("--seed").parse().expect("u64"),
+                "--drift" => args.drift = Some(value("--drift").parse().expect("usize")),
                 "--json" => args.json = Some(PathBuf::from(value("--json"))),
                 "--metrics" => args.metrics_only = true,
                 other => {
@@ -115,7 +126,7 @@ impl Args {
                         "unknown flag {other}\nusage: loadgen [--addr HOST:PORT | --fleet \
                          HOST:PORT] [--auth-secret N] [--clients N] [--frames M] \
                          [--rows-per-push R] [--pull-chunk K] [--connect-timeout-s S] \
-                         [--seed N] [--json PATH] [--metrics] [--shutdown]"
+                         [--seed N] [--drift FRAME_IDX] [--json PATH] [--metrics] [--shutdown]"
                     );
                     std::process::exit(2);
                 }
@@ -180,6 +191,24 @@ struct ClientReport {
     by_gateway: Vec<(String, u64)>,
 }
 
+/// Bias-shifts every frame from `idx` on — the same deterministic
+/// transform `orco-rollout`'s storm scenario injects, so the gateway's
+/// drift monitor sees the identical distribution shift.
+fn inject_drift(frames: &mut Matrix, idx: usize, seed: u64) {
+    let rows = frames.rows();
+    if idx >= rows {
+        return;
+    }
+    let mut tail = frames.view_rows(idx..rows).to_matrix();
+    let mut rng = OrcoRng::from_seed_u64(seed ^ 0xD21F7);
+    drift::apply_matrix(&mut tail, Drift::Bias, 1.0, &mut rng);
+    for r in 0..tail.rows() {
+        for c in 0..frames.cols() {
+            frames.set(idx + r, c, tail.get(r, c).expect("in-bounds copy"));
+        }
+    }
+}
+
 fn run_client(args: &Args, id: usize) -> Result<ClientReport, OrcoError> {
     let transport = Tcp::new(args.addr.clone());
     let mut client = connect_with_retry(&transport, args.connect_timeout)?;
@@ -187,8 +216,11 @@ fn run_client(args: &Args, id: usize) -> Result<ClientReport, OrcoError> {
     let info = client.hello(id as u64)?;
     let cluster = 1000 + id as u64;
     let mut rng = OrcoRng::from_seed_u64(args.seed ^ id as u64);
-    let frames =
+    let mut frames =
         Matrix::from_fn(args.frames, info.frame_dim as usize, |_, _| rng.uniform(0.0, 1.0));
+    if let Some(idx) = args.drift {
+        inject_drift(&mut frames, idx, args.seed ^ id as u64);
+    }
     // Per-client seed: N clients hitting the same saturated shard back
     // off on decorrelated schedules instead of retrying in lockstep.
     let mut backoff =
@@ -262,7 +294,10 @@ fn run_fleet_client(
     let mut rng = OrcoRng::from_seed_u64(args.seed ^ id as u64);
     let owner = fleet.owner_addr(cluster)?;
     let frame_dim = fleet.info_of(&owner)?.frame_dim as usize;
-    let frames = Matrix::from_fn(args.frames, frame_dim, |_, _| rng.uniform(0.0, 1.0));
+    let mut frames = Matrix::from_fn(args.frames, frame_dim, |_, _| rng.uniform(0.0, 1.0));
+    if let Some(idx) = args.drift {
+        inject_drift(&mut frames, idx, args.seed ^ id as u64);
+    }
     let mut backoff =
         Backoff::new(Duration::from_millis(1), Duration::from_millis(64), args.seed ^ id as u64);
     let latency = Histogram::new();
@@ -517,8 +552,8 @@ fn print_stats(addr: &str, stats: &Result<StatsSnapshot, OrcoError>) {
     match stats {
         Ok(s) => println!(
             "gateway {addr} stats: frames_in={} frames_out={} batches={} (max batch {}) \
-             flushes size/deadline/pull/drain={}/{}/{}/{} busy={} redirects={} p50={:.6}s \
-             p99={:.6}s",
+             flushes size/deadline/pull/drain={}/{}/{}/{} busy={} redirects={} \
+             version={} drift={}(trips {}) p50={:.6}s p99={:.6}s",
             s.frames_in,
             s.frames_out,
             s.batches,
@@ -529,6 +564,9 @@ fn print_stats(addr: &str, stats: &Result<StatsSnapshot, OrcoError>) {
             s.drain_flushes,
             s.busy_rejections,
             s.redirects,
+            s.active_version,
+            s.drift,
+            s.drift_trips,
             s.batch_latency_p50_s,
             s.batch_latency_p99_s
         ),

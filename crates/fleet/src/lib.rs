@@ -26,7 +26,7 @@
 //!   gateways + six clients over the [`orco_serve::DesNet`] impaired-link
 //!   simulation, with a scripted mid-run gateway kill and join, pinned to
 //!   exactly-once delivery and bit-identical decode
-//!   (`cargo run -p orco-fleet --bin chaos`).
+//!   (`cargo run -p orco-rollout --bin chaos`).
 //!
 //! ## Quickstart (in-process directory)
 //!

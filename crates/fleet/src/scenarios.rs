@@ -337,6 +337,7 @@ fn drive(
                         queue_capacity: 4096,
                         auth_secret: Some(SECRET),
                         trace_capacity: 1 << 16,
+                        ..GatewayConfig::default()
                     },
                     Clock::manual(Duration::ZERO),
                     |_| {
@@ -1016,7 +1017,7 @@ fn on_data_reply(
             greet(net, c, i, owner_ep, addr, roles);
             Ok(false)
         }
-        (CKind::Pull, Message::Decoded { cluster_id, frames }) => {
+        (CKind::Pull, Message::Decoded { cluster_id, frames, .. }) => {
             if cluster_id != c.cluster {
                 return Err(format!(
                     "client {i}: pulled cluster {} got cluster {cluster_id}",

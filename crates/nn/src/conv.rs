@@ -27,7 +27,7 @@ use crate::layer::{Layer, Param};
 /// let y = conv.forward(&x, true);
 /// assert_eq!(y.shape(), (2, 8 * 28 * 28));
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Conv2d {
     geom: Conv2dGeom,
     out_c: usize,
@@ -194,6 +194,10 @@ impl Layer for Conv2d {
 
     fn name(&self) -> &'static str {
         "conv2d"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 }
 

@@ -25,7 +25,7 @@ use crate::layer::{Layer, Param};
 /// let latent = layer.forward(&batch, true);
 /// assert_eq!(latent.shape(), (16, 128));
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Dense {
     weight: Matrix, // (out, in)
     bias: Matrix,   // (1, out)
@@ -244,6 +244,10 @@ impl Layer for Dense {
 
     fn name(&self) -> &'static str {
         "dense"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 }
 

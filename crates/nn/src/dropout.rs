@@ -25,7 +25,7 @@ use crate::layer::{Layer, Param};
 /// let infer = layer.forward(&x, false);
 /// assert_eq!(infer, x); // identity at inference
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Dropout {
     dim: usize,
     p: f32,
@@ -103,6 +103,10 @@ impl Layer for Dropout {
 
     fn name(&self) -> &'static str {
         "dropout"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 }
 

@@ -69,6 +69,12 @@ pub trait Layer: std::fmt::Debug + Send {
 
     /// Short human-readable layer name for summaries.
     fn name(&self) -> &'static str;
+
+    /// Clones the layer into a fresh boxed trait object, including its
+    /// parameters and any RNG/cache state — the hook that makes
+    /// [`crate::Sequential`] cloneable even though its layers are
+    /// type-erased (used to stage a model copy for hot-swap or rollback).
+    fn clone_box(&self) -> Box<dyn Layer>;
 }
 
 #[cfg(test)]

@@ -31,6 +31,12 @@ pub struct Sequential {
     layers: Vec<Box<dyn Layer>>,
 }
 
+impl Clone for Sequential {
+    fn clone(&self) -> Self {
+        Self { layers: self.layers.iter().map(|l| l.clone_box()).collect() }
+    }
+}
+
 impl Sequential {
     /// Creates an empty model.
     #[must_use]

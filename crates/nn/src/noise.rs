@@ -26,7 +26,7 @@ use crate::layer::{Layer, Param};
 /// let clean = layer.forward(&x, false);
 /// assert_eq!(clean.norm_l2(), 0.0);     // inference: identity
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct GaussianNoise {
     dim: usize,
     variance: f32,
@@ -101,6 +101,10 @@ impl Layer for GaussianNoise {
 
     fn name(&self) -> &'static str {
         "gaussian_noise"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 }
 

@@ -21,7 +21,7 @@ use crate::layer::Param;
 /// let opt = Optimizer::adam(1e-3);
 /// assert!(format!("{opt:?}").contains("Adam"));
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Optimizer {
     kind: Kind,
     slots: Vec<Slot>,
@@ -37,7 +37,7 @@ enum Kind {
     Adam { lr: f32, beta1: f32, beta2: f32, eps: f32 },
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct Slot {
     first: Option<Matrix>,  // momentum / first moment
     second: Option<Matrix>, // second moment

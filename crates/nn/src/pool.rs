@@ -20,7 +20,7 @@ use crate::layer::{Layer, Param};
 /// assert_eq!(y.shape(), (1, 4));
 /// assert_eq!(y.as_slice(), &[5.0, 7.0, 13.0, 15.0]);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MaxPool2d {
     c: usize,
     h: usize,
@@ -133,6 +133,10 @@ impl Layer for MaxPool2d {
 
     fn name(&self) -> &'static str {
         "maxpool2d"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 }
 

@@ -1,20 +1,23 @@
 //! Chaos-gauntlet CLI: run the DES impairment scenarios — the
-//! single-gateway serving gauntlet *and* the fleet gauntlet — verify the
-//! liveness/exactly-once contracts, and prove every run replays
-//! bit-identically from its recorded log.
+//! single-gateway serving gauntlet, the fleet gauntlet, *and* the
+//! rollout gauntlet — verify the liveness/exactly-once contracts, and
+//! prove every run replays bit-identically from its recorded log.
 //!
 //! ```sh
-//! # CI quick mode: all six scenarios + replay verification
-//! cargo run --release -p orco-fleet --bin chaos -- --quick --record-dir chaos-logs
+//! # CI quick mode: all scenarios + replay verification
+//! cargo run --release -p orco-rollout --bin chaos -- --quick --record-dir chaos-logs
 //!
 //! # One scenario, full size, chosen seed
-//! cargo run --release -p orco-fleet --bin chaos -- --scenario lossy_links --seed 7
+//! cargo run --release -p orco-rollout --bin chaos -- --scenario lossy_links --seed 7
 //!
 //! # The fleet scenario: directory + 4 gateways, mid-run kill + join
-//! cargo run --release -p orco-fleet --bin chaos -- --scenario fleet_kill
+//! cargo run --release -p orco-rollout --bin chaos -- --scenario fleet_kill
+//!
+//! # The rollout scenario: drift mid-run, staged rollout, mid-swap kill
+//! cargo run --release -p orco-rollout --bin chaos -- --scenario rollout_storm
 //!
 //! # Resurrect a failing run from its uploaded log
-//! cargo run --release -p orco-fleet --bin chaos -- --replay chaos-logs/lossy_links.runlog
+//! cargo run --release -p orco-rollout --bin chaos -- --replay chaos-logs/lossy_links.runlog
 //! ```
 //!
 //! On any contract violation the run's log is written to `--record-dir`
@@ -25,6 +28,9 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use orco_fleet::{replay_fleet_scenario, run_fleet_scenario, FleetOutcome, FLEET_GAUNTLET};
+use orco_rollout::{
+    replay_rollout_scenario, run_rollout_scenario, RolloutOutcome, ROLLOUT_GAUNTLET,
+};
 use orco_serve::{replay_scenario, run_scenario, RunLog, ScenarioOutcome, GAUNTLET};
 
 struct Args {
@@ -72,6 +78,10 @@ fn is_fleet_scenario(name: &str) -> bool {
     FLEET_GAUNTLET.contains(&name)
 }
 
+fn is_rollout_scenario(name: &str) -> bool {
+    ROLLOUT_GAUNTLET.contains(&name)
+}
+
 fn summarize(tag: &str, o: &ScenarioOutcome) {
     println!(
         "  {tag} {}: {} clients x {} frames | acked {} delivered {} | busy_retries {} \
@@ -97,6 +107,24 @@ fn summarize_fleet(tag: &str, o: &FleetOutcome) {
         o.frames_per_client,
         o.delivered_rows,
         o.redirects,
+        o.gave_ups,
+        o.reconnects,
+        o.final_epoch,
+        o.decoded_fnv
+    );
+}
+
+fn summarize_rollout(tag: &str, o: &RolloutOutcome) {
+    println!(
+        "  {tag} {}: {} clients x {} frames | delivered {} (v0 {} / v1 {}) | drift_trips {} \
+         gave_ups {} reconnects {} | final epoch {} | digest {:016x}",
+        o.name,
+        o.clients,
+        o.frames_per_client,
+        o.delivered_rows,
+        o.v0_rows,
+        o.v1_rows,
+        o.drift_trips,
         o.gave_ups,
         o.reconnects,
         o.final_epoch,
@@ -139,6 +167,9 @@ fn roundtrip_log(name: &str, args: &Args, log: &RunLog) -> Option<RunLog> {
 fn run_and_verify(name: &str, args: &Args) -> bool {
     if is_fleet_scenario(name) {
         return run_and_verify_fleet(name, args);
+    }
+    if is_rollout_scenario(name) {
+        return run_and_verify_rollout(name, args);
     }
     let outcome = match run_scenario(name, args.seed, args.quick) {
         Ok(o) => o,
@@ -227,6 +258,54 @@ fn run_and_verify_fleet(name: &str, args: &Args) -> bool {
     }
 }
 
+/// The rollout twin: the bit-identity check additionally pins the
+/// per-row version tape (folded into `decoded_fnv`) and the v0/v1 split
+/// — a replay that swaps at a different flush boundary fails here.
+fn run_and_verify_rollout(name: &str, args: &Args) -> bool {
+    let outcome = match run_rollout_scenario(name, args.seed, args.quick) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("chaos: FAILED {e}");
+            persist_log(&args.record_dir, &e.log);
+            return false;
+        }
+    };
+    summarize_rollout("live ", &outcome);
+
+    let log = RunLog {
+        name: outcome.name.clone(),
+        seed: outcome.seed,
+        quick: args.quick,
+        trace: outcome.trace.clone(),
+    };
+    let Some(reparsed) = roundtrip_log(name, args, &log) else {
+        return false;
+    };
+    match replay_rollout_scenario(&reparsed) {
+        Ok(replayed)
+            if replayed.stats_frames == outcome.stats_frames
+                && replayed.decoded_fnv == outcome.decoded_fnv
+                && replayed.final_epoch == outcome.final_epoch
+                && replayed.v0_rows == outcome.v0_rows
+                && replayed.v1_rows == outcome.v1_rows
+                && replayed.trace_export == outcome.trace_export =>
+        {
+            summarize_rollout("replay", &replayed);
+            true
+        }
+        Ok(_) => {
+            eprintln!("chaos: FAILED {name}: replay diverged from the live run");
+            persist_log(&args.record_dir, &log);
+            false
+        }
+        Err(e) => {
+            eprintln!("chaos: FAILED replay of {name}: {e}");
+            persist_log(&args.record_dir, &e.log);
+            false
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args = Args::parse();
 
@@ -250,6 +329,10 @@ fn main() -> ExitCode {
             replay_fleet_scenario(&log).map(|o| {
                 summarize_fleet("replay", &o);
             })
+        } else if is_rollout_scenario(&log.name) {
+            replay_rollout_scenario(&log).map(|o| {
+                summarize_rollout("replay", &o);
+            })
         } else {
             replay_scenario(&log).map(|o| {
                 summarize("replay", &o);
@@ -269,7 +352,12 @@ fn main() -> ExitCode {
 
     let names: Vec<&str> = match &args.scenario {
         Some(s) => vec![s.as_str()],
-        None => GAUNTLET.iter().chain(FLEET_GAUNTLET.iter()).copied().collect(),
+        None => GAUNTLET
+            .iter()
+            .chain(FLEET_GAUNTLET.iter())
+            .chain(ROLLOUT_GAUNTLET.iter())
+            .copied()
+            .collect(),
     };
     println!(
         "chaos: gauntlet of {} scenario(s), seed {}, {} mode",

@@ -63,6 +63,21 @@ pub fn register_mac(secret: u64, gateway_id: u64, addr: &str, nonce: u64) -> u64
     mac64(secret, &msg)
 }
 
+/// MAC for the rollout control plane
+/// ([`RolloutPropose`](crate::Message::RolloutPropose) /
+/// [`ActivateVersion`](crate::Message::ActivateVersion)): binds the
+/// model version id and the nonce. Staging or activating codec weights
+/// is the most privileged operation a gateway accepts, so it reuses the
+/// registration-grade construction under its own domain tag.
+#[must_use]
+pub fn rollout_mac(secret: u64, version_id: u64, nonce: u64) -> u64 {
+    let mut msg = [0u8; 17];
+    msg[0] = 0x03; // domain-separates rollout from Hello/Register
+    msg[1..9].copy_from_slice(&version_id.to_le_bytes());
+    msg[9..17].copy_from_slice(&nonce.to_le_bytes());
+    mac64(secret, &msg)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -80,6 +95,8 @@ mod tests {
         // Same (id, nonce) under the two constructions must not collide:
         // a captured Hello tag is useless as a Register credential.
         assert_ne!(hello_mac(7, 1, 2), register_mac(7, 1, "", 2));
+        assert_ne!(hello_mac(7, 1, 2), rollout_mac(7, 1, 2));
+        assert_ne!(register_mac(7, 1, "", 2), rollout_mac(7, 1, 2));
     }
 
     #[test]

@@ -6,8 +6,10 @@ use std::time::Duration;
 use orco_tensor::{MatView, Matrix};
 use orcodcs::OrcoError;
 
+use orcodcs::EncoderCheckpoint;
+
 use crate::auth;
-use crate::protocol::Message;
+use crate::protocol::{Message, ModelVersion};
 use crate::stats::StatsSnapshot;
 use crate::transport::{Connection, Transport};
 
@@ -45,6 +47,23 @@ pub struct GatewayInfo {
     pub frame_dim: u32,
     /// Encoded-code width in f32 elements.
     pub code_dim: u32,
+    /// Id of the codec version the gateway is serving with.
+    pub active_version: u64,
+}
+
+/// The gateway's rollout state as answered to a `VersionQuery`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VersionInfo {
+    /// The codec version currently encoding flushes.
+    pub active: ModelVersion,
+    /// A proposed version staged but not yet activated, if any.
+    pub staged: Option<ModelVersion>,
+    /// The pre-swap version still retained as the rollback target.
+    pub prior: Option<ModelVersion>,
+    /// Lifetime count of guard-triggered rollbacks.
+    pub rollbacks: u64,
+    /// Whether the drift monitor currently flags the sampled error.
+    pub drift: bool,
 }
 
 /// A typed gateway client over any [`Connection`].
@@ -109,8 +128,8 @@ impl<C: Connection> Client<C> {
         let nonce = client_id.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x6F72_636F;
         let mac = self.auth_secret.map_or(0, |s| auth::hello_mac(s, client_id, nonce));
         match self.conn.request(&Message::Hello { client_id, nonce, mac })? {
-            Message::HelloAck { version, shards, frame_dim, code_dim } => {
-                Ok(GatewayInfo { version, shards, frame_dim, code_dim })
+            Message::HelloAck { version, shards, frame_dim, code_dim, active_version } => {
+                Ok(GatewayInfo { version, shards, frame_dim, code_dim, active_version })
             }
             other => Err(unexpected("HelloAck", &other)),
         }
@@ -188,8 +207,25 @@ impl<C: Connection> Client<C> {
     ///
     /// Transport failures and non-stream frames arriving out of band.
     pub fn recv_streamed(&mut self, timeout: Duration) -> Result<Option<(u64, Matrix)>, OrcoError> {
+        Ok(self.recv_streamed_versioned(timeout)?.map(|(cluster, _, frames)| (cluster, frames)))
+    }
+
+    /// [`Client::recv_streamed`] plus the id of the codec version that
+    /// produced the batch: `(cluster_id, version_id, frames)`. During a
+    /// hot swap consecutive deliveries can carry different versions, but
+    /// any one delivery is encoded entirely by one.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and non-stream frames arriving out of band.
+    pub fn recv_streamed_versioned(
+        &mut self,
+        timeout: Duration,
+    ) -> Result<Option<(u64, u64, Matrix)>, OrcoError> {
         match self.conn.poll_stream(timeout)? {
-            Some(Message::StreamFrames { cluster_id, frames }) => Ok(Some((cluster_id, frames))),
+            Some(Message::StreamFrames { cluster_id, version, frames }) => {
+                Ok(Some((cluster_id, version, frames)))
+            }
             Some(other) => Err(unexpected("StreamFrames", &other)),
             None => Ok(None),
         }
@@ -203,9 +239,26 @@ impl<C: Connection> Client<C> {
     /// Transport failures, protocol violations, and gateway-side codec
     /// failures.
     pub fn pull(&mut self, cluster_id: u64, max_frames: u32) -> Result<Matrix, OrcoError> {
+        self.pull_versioned(cluster_id, max_frames).map(|(_, frames)| frames)
+    }
+
+    /// [`Client::pull`] plus the id of the codec version that produced
+    /// the reply: `(version_id, frames)`. Mid-swap a reply stops at the
+    /// old/new version boundary, so every reply is single-version; pull
+    /// again for the remainder.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, protocol violations, and gateway-side codec
+    /// failures.
+    pub fn pull_versioned(
+        &mut self,
+        cluster_id: u64,
+        max_frames: u32,
+    ) -> Result<(u64, Matrix), OrcoError> {
         let trace = self.mint_trace();
         match self.conn.request(&Message::PullDecoded { cluster_id, max_frames, trace })? {
-            Message::Decoded { cluster_id: got, frames } => {
+            Message::Decoded { cluster_id: got, version, frames } => {
                 if got != cluster_id {
                     return Err(OrcoError::Config {
                         detail: format!(
@@ -214,9 +267,77 @@ impl<C: Connection> Client<C> {
                         ),
                     });
                 }
-                Ok(frames)
+                Ok((version, frames))
             }
             other => Err(unexpected("Decoded", &other)),
+        }
+    }
+
+    /// Stages `version` (with the encoder weights in `checkpoint`) on
+    /// the gateway without changing what serves. Requires the shared
+    /// secret when the gateway is authenticated; the nonce is minted
+    /// deterministically like [`Client::hello`]'s.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, authentication rejections, and proposals the
+    /// gateway refuses (geometry mismatch, stale version id) — the
+    /// refusal detail is surfaced in the error.
+    pub fn propose_rollout(
+        &mut self,
+        version: ModelVersion,
+        checkpoint: &EncoderCheckpoint,
+    ) -> Result<(), OrcoError> {
+        let nonce = self.mint_trace();
+        let mac = self.auth_secret.map_or(0, |s| auth::rollout_mac(s, version.id, nonce));
+        let msg = Message::RolloutPropose {
+            version,
+            weight: checkpoint.weight.clone(),
+            bias: checkpoint.bias.clone(),
+            nonce,
+            mac,
+        };
+        match self.conn.request(&msg)? {
+            Message::RolloutAck { accepted: true, .. } => Ok(()),
+            Message::RolloutAck { version_id, accepted: false, detail } => Err(OrcoError::Config {
+                detail: format!("gateway refused to stage version {version_id}: {detail}"),
+            }),
+            other => Err(unexpected("RolloutAck", &other)),
+        }
+    }
+
+    /// Cuts the staged `version_id` over to active. The gateway swaps at
+    /// each shard's next flush boundary; rows already batched flush under
+    /// the old version first, so nothing is dropped or re-encoded.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, authentication rejections, and activations
+    /// the gateway refuses (nothing staged, id mismatch).
+    pub fn activate_version(&mut self, version_id: u64) -> Result<(), OrcoError> {
+        let nonce = self.mint_trace();
+        let mac = self.auth_secret.map_or(0, |s| auth::rollout_mac(s, version_id, nonce));
+        match self.conn.request(&Message::ActivateVersion { version_id, nonce, mac })? {
+            Message::RolloutAck { accepted: true, .. } => Ok(()),
+            Message::RolloutAck { accepted: false, detail, .. } => Err(OrcoError::Config {
+                detail: format!("gateway refused to activate version {version_id}: {detail}"),
+            }),
+            other => Err(unexpected("RolloutAck", &other)),
+        }
+    }
+
+    /// Fetches the gateway's rollout state: active/staged/prior codec
+    /// versions, rollback count, and the live drift flag.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and protocol violations.
+    pub fn version_info(&mut self) -> Result<VersionInfo, OrcoError> {
+        match self.conn.request(&Message::VersionQuery)? {
+            Message::VersionReply { active, staged, prior, rollbacks, drift } => {
+                Ok(VersionInfo { active, staged, prior, rollbacks, drift })
+            }
+            other => Err(unexpected("VersionReply", &other)),
         }
     }
 

@@ -36,18 +36,18 @@ use std::time::Duration;
 
 use orco_obs::{Registry, Span, SpanKind, Tracer};
 use orco_tensor::Matrix;
-use orcodcs::{Codec, FrameDims, OrcoError};
+use orcodcs::{Codec, EncoderCheckpoint, FrameDims, OrcoError};
 
 use crate::auth;
 use crate::clock::Clock;
 use crate::fleet_view::FleetView;
 use crate::outbox::Outbox;
-use crate::protocol::{ErrorCode, Message, PROTOCOL_VERSION};
-use crate::shard::ShardCore;
+use crate::protocol::{ErrorCode, Message, ModelVersion, MAX_LABEL, PROTOCOL_VERSION};
+use crate::shard::{DriftProbe, ShardCore};
 use crate::stats::{FlushReason, ServeStats, MAX_SHARDS};
 
 /// Sizing and flush policy of a [`Gateway`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GatewayConfig {
     /// Worker shards; each owns a codec and serves `hash(cluster) %
     /// shards`.
@@ -68,6 +68,24 @@ pub struct GatewayConfig {
     /// ([`orco_obs::Tracer`]); 0 disables tracing entirely (record
     /// becomes a no-op that never takes the ring lock).
     pub trace_capacity: usize,
+    /// Sample every N-th flushed row through the drift monitor
+    /// (decode-back reconstruction error); 0 disables drift detection.
+    /// The schedule is a pure function of the row sequence, so drift
+    /// trips are deterministic under a manual clock.
+    pub drift_sample_every: u64,
+    /// Windowed reconstruction error above which the drift monitor
+    /// trips (raises `drift_trips`/`drift` in the stats). Must be > 0
+    /// when sampling is enabled.
+    pub drift_threshold: f32,
+    /// Sliding-window length of the drift monitor, in samples. Must be
+    /// > 0 when sampling is enabled.
+    pub drift_window: usize,
+    /// Post-swap safety rail: if, after a codec hot-swap, any shard's
+    /// windowed sample error exceeds this bound before the first full
+    /// window passes clean, the gateway reverts to the prior version.
+    /// 0.0 disables the guard. Requires drift sampling to be enabled
+    /// to have any effect (the guard reads the same monitor).
+    pub rollback_guard: f32,
 }
 
 impl Default for GatewayConfig {
@@ -79,6 +97,10 @@ impl Default for GatewayConfig {
             queue_capacity: 4096,
             auth_secret: None,
             trace_capacity: 4096,
+            drift_sample_every: 0,
+            drift_threshold: 0.0,
+            drift_window: 0,
+            rollback_guard: 0.0,
         }
     }
 }
@@ -107,6 +129,27 @@ impl GatewayConfig {
         if self.queue_capacity < self.batch_max_frames {
             return Err(OrcoError::Config {
                 detail: "GatewayConfig: queue_capacity must be >= batch_max_frames".into(),
+            });
+        }
+        if self.drift_sample_every > 0 {
+            if !self.drift_threshold.is_finite() || self.drift_threshold <= 0.0 {
+                return Err(OrcoError::Config {
+                    detail: "GatewayConfig: drift_threshold must be > 0 when sampling is enabled"
+                        .into(),
+                });
+            }
+            if self.drift_window == 0 {
+                return Err(OrcoError::Config {
+                    detail: "GatewayConfig: drift_window must be > 0 when sampling is enabled"
+                        .into(),
+                });
+            }
+        }
+        if self.rollback_guard > 0.0 && self.drift_sample_every == 0 {
+            return Err(OrcoError::Config {
+                detail:
+                    "GatewayConfig: rollback_guard requires drift sampling (drift_sample_every > 0)"
+                        .into(),
             });
         }
         Ok(())
@@ -139,6 +182,28 @@ pub struct Gateway {
     /// Lock order: a shard core lock is never taken while holding this
     /// lock, and vice versa — the pump copies the cluster list first.
     subscribers: Mutex<BTreeMap<u64, Vec<Weak<Outbox>>>>,
+    /// The rollout control plane: active/staged/prior model versions.
+    ///
+    /// Lock order: this lock may be held while taking a shard core lock
+    /// (activation walks every shard), so no path may take it while
+    /// holding a shard lock.
+    rollout: Mutex<RolloutState>,
+}
+
+/// The gateway's model-version bookkeeping (behind `Gateway::rollout`).
+struct RolloutState {
+    /// The version currently encoding new flushes on every shard.
+    active: ModelVersion,
+    /// A proposed version staged for activation, with the checkpoint
+    /// its per-shard codecs will be derived from at cutover.
+    staged: Option<(ModelVersion, EncoderCheckpoint)>,
+    /// The previous active version: the rollback target while the
+    /// post-swap guard window is still open, `None` once the guard
+    /// passes (or after a rollback).
+    prior: Option<ModelVersion>,
+    /// Guard-triggered rollbacks since boot (mirrors the stats counter,
+    /// kept here so `VersionReply` needs no snapshot).
+    rollbacks: u64,
 }
 
 impl std::fmt::Debug for Gateway {
@@ -170,7 +235,10 @@ impl Gateway {
         let mut shards = Vec::with_capacity(cfg.shards);
         let mut dims: Option<FrameDims> = None;
         for i in 0..cfg.shards {
-            let core = ShardCore::new(i, codec_for_shard(i));
+            let drift = (cfg.drift_sample_every > 0).then(|| {
+                DriftProbe::new(cfg.drift_sample_every, cfg.drift_threshold, cfg.drift_window)
+            });
+            let core = ShardCore::new(i, codec_for_shard(i), drift);
             match dims {
                 None => dims = Some(core.dims()),
                 Some(d) if d == core.dims() => {}
@@ -185,16 +253,28 @@ impl Gateway {
             }
             shards.push(ShardSlot { core: Mutex::new(core), cv: Condvar::new() });
         }
+        let dims = dims.expect("at least one shard");
         Ok(Self {
             cfg,
             clock,
-            dims: dims.expect("at least one shard"),
+            dims,
             stats: ServeStats::new(cfg.shards as u16),
             tracer: Tracer::new(cfg.trace_capacity),
             shards,
             shutting_down: AtomicBool::new(false),
             fleet: Mutex::new(None),
             subscribers: Mutex::new(BTreeMap::new()),
+            rollout: Mutex::new(RolloutState {
+                active: ModelVersion {
+                    id: 0,
+                    label: "boot".into(),
+                    frame_dim: dims.input as u32,
+                    code_dim: dims.code as u32,
+                },
+                staged: None,
+                prior: None,
+                rollbacks: 0,
+            }),
         })
     }
 
@@ -331,6 +411,13 @@ impl Gateway {
             Message::Unsubscribe { cluster_id } => self.unsubscribe(cluster_id, outbox),
             Message::StatsRequest => Message::StatsReply(self.stats.snapshot()),
             Message::MetricsRequest => Message::MetricsReply { text: self.metrics_text() },
+            Message::RolloutPropose { version, weight, bias, nonce, mac } => {
+                self.propose(version, weight, bias, nonce, mac)
+            }
+            Message::ActivateVersion { version_id, nonce, mac } => {
+                self.activate(version_id, nonce, mac, now)
+            }
+            Message::VersionQuery => self.version_reply(),
             Message::FleetStatsQuery => Message::ErrorReply {
                 code: ErrorCode::BadRequest,
                 detail: "fleet stats are aggregated by the directory, not a gateway".into(),
@@ -344,6 +431,9 @@ impl Gateway {
                 detail: format!("{} is a reply, not a request", other.kind()),
             },
         };
+        // The post-swap guard runs after dispatch so it sees the drift
+        // samples any flush above just recorded.
+        self.maybe_rollback(now);
         // Deliver anything a flush above made available to subscribers.
         self.pump_streams();
         reply
@@ -355,6 +445,7 @@ impl Gateway {
             shards: self.shards.len() as u16,
             frame_dim: self.dims.input as u32,
             code_dim: self.dims.code as u32,
+            active_version: self.rollout.lock().expect("rollout lock").active.id,
         }
     }
 
@@ -484,8 +575,205 @@ impl Gateway {
             }
         }
         match core.pull(cluster_id, max, now, &self.stats, &self.tracer, false) {
-            Ok(frames) => Message::Decoded { cluster_id, frames },
+            Ok((version, frames)) => Message::Decoded { cluster_id, version, frames },
             Err(e) => internal(&e),
+        }
+    }
+
+    /// Stages `version` (checkpoint weights ride the proposal) without
+    /// touching what serves. Rejections are [`Message::RolloutAck`] with
+    /// `accepted: false`, so a controller can distinguish a policy
+    /// refusal from a transport error.
+    fn propose(
+        &self,
+        version: ModelVersion,
+        weight: Matrix,
+        bias: Matrix,
+        nonce: u64,
+        mac: u64,
+    ) -> Message {
+        if let Some(secret) = self.cfg.auth_secret {
+            if auth::rollout_mac(secret, version.id, nonce) != mac {
+                return Message::ErrorReply {
+                    code: ErrorCode::Unauthorized,
+                    detail: "RolloutPropose MAC does not verify against the shared secret".into(),
+                };
+            }
+        }
+        let version_id = version.id;
+        let reject = |detail: String| Message::RolloutAck { version_id, accepted: false, detail };
+        if version.label.len() > MAX_LABEL {
+            return reject(format!("version label exceeds {MAX_LABEL} bytes"));
+        }
+        if (version.frame_dim as usize, version.code_dim as usize)
+            != (self.dims.input, self.dims.code)
+        {
+            return reject(format!(
+                "proposed geometry {}x{} does not match the served {}x{}",
+                version.frame_dim, version.code_dim, self.dims.input, self.dims.code
+            ));
+        }
+        if weight.shape() != (self.dims.code, self.dims.input) {
+            return reject(format!(
+                "encoder weight is {}x{}, expected {}x{}",
+                weight.rows(),
+                weight.cols(),
+                self.dims.code,
+                self.dims.input
+            ));
+        }
+        if bias.shape() != (1, self.dims.code) {
+            return reject(format!(
+                "encoder bias is {}x{}, expected 1x{}",
+                bias.rows(),
+                bias.cols(),
+                self.dims.code
+            ));
+        }
+        let checkpoint = EncoderCheckpoint { weight, bias, label: version.label.clone() };
+        let mut state = self.rollout.lock().expect("rollout lock");
+        if version.id <= state.active.id {
+            return reject(format!(
+                "version id {} is not newer than the active {}",
+                version.id, state.active.id
+            ));
+        }
+        // Prove the checkpoint grafts onto this gateway's codec family
+        // before accepting (all shards share one geometry, so shard 0
+        // answers for all of them).
+        if let Err(e) =
+            self.shards[0].core.lock().expect("shard lock").stage_from_active(&checkpoint)
+        {
+            return reject(format!("checkpoint does not stage onto the active codec: {e}"));
+        }
+        // Restaging replaces any earlier staged version — last writer
+        // wins, mirroring how a controller retries a revised candidate.
+        state.staged = Some((version, checkpoint));
+        Message::RolloutAck { version_id, accepted: true, detail: String::new() }
+    }
+
+    /// Cuts the staged version over to active on every shard, each at
+    /// its own flush boundary (pending rows flush under the old codec
+    /// first — zero drops, no mixed-version flush).
+    fn activate(&self, version_id: u64, nonce: u64, mac: u64, now: f64) -> Message {
+        if let Some(secret) = self.cfg.auth_secret {
+            if auth::rollout_mac(secret, version_id, nonce) != mac {
+                return Message::ErrorReply {
+                    code: ErrorCode::Unauthorized,
+                    detail: "ActivateVersion MAC does not verify against the shared secret".into(),
+                };
+            }
+        }
+        let mut state = self.rollout.lock().expect("rollout lock");
+        match &state.staged {
+            Some((v, _)) if v.id == version_id => {}
+            Some((v, _)) => {
+                return Message::RolloutAck {
+                    version_id,
+                    accepted: false,
+                    detail: format!("staged version is {}, not {version_id}", v.id),
+                };
+            }
+            None => {
+                return Message::RolloutAck {
+                    version_id,
+                    accepted: false,
+                    detail: "no version is staged".into(),
+                };
+            }
+        }
+        // Derive every shard's new codec before touching any of them, so
+        // a failure leaves the gateway fully on the old version.
+        let checkpoint = &state.staged.as_ref().expect("matched above").1;
+        let mut staged_codecs = Vec::with_capacity(self.shards.len());
+        for slot in &self.shards {
+            match slot.core.lock().expect("shard lock").stage_from_active(checkpoint) {
+                Ok(codec) => staged_codecs.push(codec),
+                Err(e) => {
+                    return Message::RolloutAck {
+                        version_id,
+                        accepted: false,
+                        detail: format!("staging failed: {e}"),
+                    };
+                }
+            }
+        }
+        let (version, _) = state.staged.take().expect("matched above");
+        for (slot, codec) in self.shards.iter().zip(staged_codecs) {
+            let mut core = slot.core.lock().expect("shard lock");
+            if let Err(e) = core.install_codec(version.id, codec, now, &self.stats, &self.tracer) {
+                // Only a codec shape error can land here, which the
+                // staging pass above has already ruled out; surface it
+                // rather than unwrapping, but do not try to unwind.
+                return internal(&e);
+            }
+        }
+        state.prior = Some(std::mem::replace(&mut state.active, version));
+        self.stats.record_swap();
+        self.stats.set_active_version(state.active.id);
+        self.stats.set_drift(false);
+        Message::RolloutAck { version_id, accepted: true, detail: String::new() }
+    }
+
+    fn version_reply(&self) -> Message {
+        let state = self.rollout.lock().expect("rollout lock");
+        Message::VersionReply {
+            active: state.active.clone(),
+            staged: state.staged.as_ref().map(|(v, _)| v.clone()),
+            prior: state.prior.clone(),
+            rollbacks: state.rollbacks,
+            drift: self.stats.snapshot().drift,
+        }
+    }
+
+    /// The post-swap safety rail. While a prior version is retained and
+    /// the guard is armed, each dispatch checks every shard's windowed
+    /// sample error: one shard over the bound reverts the whole gateway
+    /// to the prior version (at flush boundaries, like the swap);
+    /// a full window under the bound on every shard commits the swap
+    /// and releases the prior.
+    fn maybe_rollback(&self, now: f64) {
+        if self.cfg.rollback_guard <= 0.0 {
+            return;
+        }
+        let mut state = self.rollout.lock().expect("rollout lock");
+        let Some(prior) = state.prior.clone() else {
+            return;
+        };
+        let mut tripped = false;
+        let mut all_windows_full = true;
+        for slot in &self.shards {
+            match slot.core.lock().expect("shard lock").drift_windowed_error() {
+                Some(err) if err > self.cfg.rollback_guard => tripped = true,
+                Some(_) => {}
+                None => all_windows_full = false,
+            }
+        }
+        if tripped {
+            for (idx, slot) in self.shards.iter().enumerate() {
+                let mut core = slot.core.lock().expect("shard lock");
+                match core.rollback_to(prior.id, now, &self.stats, &self.tracer) {
+                    Ok(true) => {}
+                    Ok(false) => {
+                        eprintln!("orco-serve: shard {idx} no longer retains version {}", prior.id);
+                    }
+                    Err(e) => eprintln!("orco-serve: shard {idx} rollback flush failed: {e}"),
+                }
+            }
+            let demoted = std::mem::replace(&mut state.active, prior);
+            state.prior = None;
+            state.rollbacks += 1;
+            self.stats.record_rollback();
+            self.stats.set_active_version(state.active.id);
+            self.stats.set_drift(false);
+            eprintln!(
+                "orco-serve: post-swap guard tripped; rolled back from version {} to {}",
+                demoted.id, state.active.id
+            );
+        } else if all_windows_full {
+            // Every shard completed a clean window on the new model:
+            // the swap is committed and the prior is no longer a target.
+            state.prior = None;
         }
     }
 
@@ -562,30 +850,43 @@ impl Gateway {
         };
         let now = self.clock.now_s();
         for cluster in clusters {
-            let frames = {
+            // Mid-swap a cluster's backlog can span model versions; each
+            // pull returns one single-version run, so keep draining until
+            // the store is empty (every delivery stays version-pure).
+            while let Some((version, frames)) = {
                 let slot = &self.shards[self.shard_of(cluster)];
                 let mut core = slot.core.lock().expect("shard lock");
                 if core.stored_rows_for(cluster) == 0 {
-                    continue;
-                }
-                match core.pull(cluster, usize::MAX, now, &self.stats, &self.tracer, true) {
-                    Ok(frames) => frames,
-                    Err(e) => {
-                        eprintln!("orco-serve: streaming pull for cluster {cluster} failed: {e}");
-                        continue;
+                    None
+                } else {
+                    match core.pull(cluster, usize::MAX, now, &self.stats, &self.tracer, true) {
+                        Ok(pulled) => Some(pulled),
+                        Err(e) => {
+                            eprintln!(
+                                "orco-serve: streaming pull for cluster {cluster} failed: {e}"
+                            );
+                            None
+                        }
                     }
                 }
-            };
-            if frames.rows() == 0 {
-                continue;
+            } {
+                if frames.rows() == 0 {
+                    break;
+                }
+                self.fan_out(cluster, version, frames);
             }
-            let frame = Message::StreamFrames { cluster_id: cluster, frames }.encode();
-            let subs = self.subscribers.lock().expect("subscribers lock");
-            if let Some(entry) = subs.get(&cluster) {
-                for w in entry {
-                    if let Some(outbox) = w.upgrade() {
-                        outbox.push_frame(frame.clone());
-                    }
+        }
+    }
+
+    /// Encodes one streamed batch and pushes it to every subscriber of
+    /// `cluster` (encode once, fan out clones).
+    fn fan_out(&self, cluster: u64, version: u64, frames: Matrix) {
+        let frame = Message::StreamFrames { cluster_id: cluster, version, frames }.encode();
+        let subs = self.subscribers.lock().expect("subscribers lock");
+        if let Some(entry) = subs.get(&cluster) {
+            for w in entry {
+                if let Some(outbox) = w.upgrade() {
+                    outbox.push_frame(frame.clone());
                 }
             }
         }

@@ -76,8 +76,8 @@
 //! record→replay trace that reproduces any run bit-identically from its
 //! log. See [`des_transport`] for a quickstart, [`scenarios`] for the
 //! five-scenario chaos gauntlet ([`run_scenario`] / [`replay_scenario`]),
-//! and the `chaos` CLI in the `orco-fleet` crate
-//! (`cargo run -p orco-fleet --bin chaos -- --quick`).
+//! and the `chaos` CLI in the `orco-rollout` crate
+//! (`cargo run -p orco-rollout --bin chaos -- --quick`).
 //!
 //! ## Fleets
 //!
@@ -111,13 +111,16 @@ pub mod tcp;
 pub mod transport;
 
 pub use backoff::Backoff;
-pub use client::{Client, GatewayInfo, PushOutcome};
+pub use client::{Client, GatewayInfo, PushOutcome, VersionInfo};
 pub use clock::Clock;
 pub use des_transport::{DesConfig, DesConnection, DesNet, DesTransport, NetEvent};
 pub use fleet_view::FleetView;
 pub use gateway::{Gateway, GatewayConfig};
 pub use outbox::Outbox;
-pub use protocol::{ErrorCode, GatewayEntry, GatewayStats, Message, WireError, PROTOCOL_VERSION};
+pub use protocol::{
+    ErrorCode, GatewayEntry, GatewayStats, Message, ModelVersion, WireError, MAX_LABEL,
+    PROTOCOL_VERSION,
+};
 pub use scenarios::{
     replay_scenario, run_scenario, RunLog, ScenarioError, ScenarioOutcome, GAUNTLET,
 };

@@ -35,19 +35,25 @@ use crate::stats::{StatsSnapshot, SNAPSHOT_CAP};
 /// Frame magic: "ORCO" read as a little-endian u32.
 pub const MAGIC: u32 = u32::from_le_bytes(*b"ORCO");
 
-/// Version of the wire protocol spoken by this build. Version 4 added
-/// the observability plane: a client-minted 64-bit trace id on
-/// `PushFrames`/`PullDecoded`/`Subscribe` (0 = untraced), per-shard
-/// rows and a stats piggyback on `Heartbeat` in [`StatsSnapshot`], the
-/// `MetricsRequest`/`MetricsReply` scrape pair, and the directory's
-/// `FleetStatsQuery`/`FleetStatsReply` fleet view. Version 3 added the
-/// fleet plane (directory queries, redirects, gateway registration/
-/// heartbeats, streaming subscriptions), authenticated `Hello`
-/// (nonce + MAC), and widened [`StatsSnapshot`] with streaming/redirect
-/// counters; version 2 widened [`StatsSnapshot`] with per-reason flush
-/// counters. Older frames are rejected with
-/// [`WireError::UnsupportedVersion`].
-pub const PROTOCOL_VERSION: u16 = 4;
+/// Version of the wire protocol spoken by this build. Version 5 added
+/// the rollout plane: [`ModelVersion`] rides the wire (`HelloAck`
+/// advertises the active version; `Decoded`/`StreamFrames` carry the
+/// version that produced each batch so clients stay correct mid-swap),
+/// the `RolloutPropose`/`RolloutAck`/`ActivateVersion`/`VersionQuery`/
+/// `VersionReply` lifecycle messages (MAC'd like `Register`), and
+/// widened [`StatsSnapshot`] with drift/swap/rollback telemetry.
+/// Version 4 added the observability plane: a client-minted 64-bit
+/// trace id on `PushFrames`/`PullDecoded`/`Subscribe` (0 = untraced),
+/// per-shard rows and a stats piggyback on `Heartbeat` in
+/// [`StatsSnapshot`], the `MetricsRequest`/`MetricsReply` scrape pair,
+/// and the directory's `FleetStatsQuery`/`FleetStatsReply` fleet view.
+/// Version 3 added the fleet plane (directory queries, redirects,
+/// gateway registration/heartbeats, streaming subscriptions),
+/// authenticated `Hello` (nonce + MAC), and widened [`StatsSnapshot`]
+/// with streaming/redirect counters; version 2 widened
+/// [`StatsSnapshot`] with per-reason flush counters. Older frames are
+/// rejected with [`WireError::UnsupportedVersion`].
+pub const PROTOCOL_VERSION: u16 = 5;
 
 /// Size of the fixed frame header in bytes.
 pub const HEADER_LEN: usize = 12;
@@ -86,6 +92,13 @@ pub const MAX_METRICS_TEXT: usize = 1 << 20;
 /// gateway id + liveness flag + snapshot.
 const FLEET_STATS_ENTRY_CAP: usize = 8 + 1 + SNAPSHOT_CAP;
 
+/// Upper bound on a [`ModelVersion`] label string.
+pub const MAX_LABEL: usize = 64;
+
+/// Worst-case encoded size of one [`ModelVersion`]: id + length-prefixed
+/// label + frame/code dims.
+const VERSION_CAP: usize = 8 + 4 + MAX_LABEL + 8;
+
 /// The largest payload each message type may declare. Tiny fixed-layout
 /// messages (acks, hellos, stats) get exact bounds; only the two
 /// matrix-bearing types may approach [`MAX_PAYLOAD`]. Unknown types are
@@ -93,7 +106,7 @@ const FLEET_STATS_ENTRY_CAP: usize = 8 + 1 + SNAPSHOT_CAP;
 fn payload_cap(msg_type: u16) -> Result<usize, WireError> {
     Ok(match msg_type {
         1 => 24,                   // Hello: client_id, nonce, mac
-        2 => 12,                   // HelloAck: version, shards, frame_dim, code_dim
+        2 => 20,                   // HelloAck: version, shards, dims, active_version
         3 | 7 | 23 => MAX_PAYLOAD, // PushFrames / Decoded / StreamFrames: cluster + matrix
         4 => 4,                    // PushAck: accepted
         5 => 8,                    // Busy: queued, capacity
@@ -115,6 +128,12 @@ fn payload_cap(msg_type: u16) -> Result<usize, WireError> {
         25 => 4 + MAX_METRICS_TEXT,     // MetricsReply: exposition text
         // FleetStatsReply: epoch, evictions, count, entries.
         27 => 8 + 8 + 4 + MAX_MEMBERS * FLEET_STATS_ENTRY_CAP,
+        28 => MAX_PAYLOAD, // RolloutPropose: version + weight/bias matrices + mac
+        29 => 8 + 1 + 4 + MAX_ERROR_DETAIL, // RolloutAck: version_id, accepted, detail
+        30 => 24,          // ActivateVersion: version_id, nonce, mac
+        31 => 0,           // VersionQuery
+        // VersionReply: active + optional staged/prior + rollbacks + drift.
+        32 => 3 * VERSION_CAP + 2 + 8 + 1,
         other => return Err(WireError::UnknownType { found: other }),
     })
 }
@@ -253,6 +272,23 @@ pub struct GatewayEntry {
     pub addr: String,
 }
 
+/// Identity and geometry of one codec model generation as it rides the
+/// wire. Version ids are monotonic per gateway lineage: a staged
+/// rollout must carry an id strictly greater than the active one, so
+/// replayed or reordered proposals can never regress a gateway.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelVersion {
+    /// Monotonic version identifier (0 = the boot model).
+    pub id: u64,
+    /// Human-readable label ("seed", "retrain-2024-07", …); at most
+    /// [`MAX_LABEL`] bytes.
+    pub label: String,
+    /// Flattened sensing-frame width the model expects, in f32 elements.
+    pub frame_dim: u32,
+    /// Encoded code width the model produces, in f32 elements.
+    pub code_dim: u32,
+}
+
 /// One protocol message. Requests and replies share the enum; the
 /// request/reply pairing is fixed (`Hello`→`HelloAck`,
 /// `PushFrames`→`PushAck`/`Busy`, `PullDecoded`→`Decoded`,
@@ -285,6 +321,10 @@ pub enum Message {
         frame_dim: u32,
         /// Encoded code width in f32 elements.
         code_dim: u32,
+        /// Id of the codec model version currently serving (see
+        /// [`ModelVersion`]); clients compare it against the `version`
+        /// field on [`Message::Decoded`] to detect a mid-session swap.
+        active_version: u64,
     },
     /// A batch of raw sensing frames (one per row) for one cluster.
     PushFrames {
@@ -320,10 +360,14 @@ pub enum Message {
         /// Client-minted trace id for this request; 0 means untraced.
         trace: u64,
     },
-    /// Decoded reconstructions, oldest first, in push order.
+    /// Decoded reconstructions, oldest first, in push order. Every row
+    /// in one reply was encoded *and* decoded by the same model
+    /// version — a pull never mixes rows from both sides of a swap.
     Decoded {
         /// Cluster the frames belong to.
         cluster_id: u64,
+        /// Id of the [`ModelVersion`] that produced these rows.
+        version: u64,
         /// Reconstructed frames, one per row, `frame_dim` wide.
         frames: Matrix,
     },
@@ -430,6 +474,9 @@ pub enum Message {
     StreamFrames {
         /// Cluster the frames belong to.
         cluster_id: u64,
+        /// Id of the [`ModelVersion`] that produced these rows; like
+        /// [`Message::Decoded`], one delivery never mixes versions.
+        version: u64,
         /// Reconstructed frames, one per row, `frame_dim` wide.
         frames: Matrix,
     },
@@ -455,6 +502,63 @@ pub enum Message {
         evictions: u64,
         /// Per-gateway stats, ascending by gateway id.
         gateways: Vec<GatewayStats>,
+    },
+    /// Controller→gateway: stage a new encoder checkpoint as `version`.
+    /// MAC'd like [`Message::Register`] but over `(version.id, nonce)`
+    /// with the rollout domain tag — staging weights is a control-plane
+    /// privilege. Staging does **not** change what serves; the codec
+    /// cuts over only on [`Message::ActivateVersion`], and only at a
+    /// flush boundary.
+    RolloutPropose {
+        /// Identity and geometry of the proposed model.
+        version: ModelVersion,
+        /// Encoder weight matrix (`code_dim × frame_dim`).
+        weight: Matrix,
+        /// Encoder bias row (`1 × code_dim`).
+        bias: Matrix,
+        /// Caller-chosen MAC nonce.
+        nonce: u64,
+        /// `rollout_mac(secret, version.id, nonce)`, or 0.
+        mac: u64,
+    },
+    /// Gateway's answer to [`Message::RolloutPropose`] /
+    /// [`Message::ActivateVersion`].
+    RolloutAck {
+        /// The version the ack refers to.
+        version_id: u64,
+        /// Whether the stage/activate was accepted.
+        accepted: bool,
+        /// Human-readable rejection reason (empty on success).
+        detail: String,
+    },
+    /// Controller→gateway: cut the staged version over to active. The
+    /// swap happens at the next flush boundary on every shard — pending
+    /// rows flush under the old codec first, so no flush ever mixes
+    /// model versions and no frame is dropped. MAC'd like
+    /// [`Message::RolloutPropose`].
+    ActivateVersion {
+        /// The staged version to activate.
+        version_id: u64,
+        /// Caller-chosen MAC nonce.
+        nonce: u64,
+        /// `rollout_mac(secret, version_id, nonce)`, or 0.
+        mac: u64,
+    },
+    /// Ask a gateway which model versions it is serving/staging.
+    VersionQuery,
+    /// The gateway's answer to [`Message::VersionQuery`].
+    VersionReply {
+        /// The version currently encoding new flushes.
+        active: ModelVersion,
+        /// A staged version waiting for [`Message::ActivateVersion`].
+        staged: Option<ModelVersion>,
+        /// The previous active version, retained until its in-flight
+        /// rows drain (and as the rollback target).
+        prior: Option<ModelVersion>,
+        /// Number of guard-triggered rollbacks since boot.
+        rollbacks: u64,
+        /// Whether the drift monitor currently flags the active model.
+        drift: bool,
     },
 }
 
@@ -500,6 +604,11 @@ impl Message {
             Message::MetricsReply { .. } => 25,
             Message::FleetStatsQuery => 26,
             Message::FleetStatsReply { .. } => 27,
+            Message::RolloutPropose { .. } => 28,
+            Message::RolloutAck { .. } => 29,
+            Message::ActivateVersion { .. } => 30,
+            Message::VersionQuery => 31,
+            Message::VersionReply { .. } => 32,
         }
     }
 
@@ -534,6 +643,11 @@ impl Message {
             Message::MetricsReply { .. } => "MetricsReply",
             Message::FleetStatsQuery => "FleetStatsQuery",
             Message::FleetStatsReply { .. } => "FleetStatsReply",
+            Message::RolloutPropose { .. } => "RolloutPropose",
+            Message::RolloutAck { .. } => "RolloutAck",
+            Message::ActivateVersion { .. } => "ActivateVersion",
+            Message::VersionQuery => "VersionQuery",
+            Message::VersionReply { .. } => "VersionReply",
         }
     }
 
@@ -557,11 +671,12 @@ impl Message {
                 put_u64(out, *nonce);
                 put_u64(out, *mac);
             }
-            Message::HelloAck { version, shards, frame_dim, code_dim } => {
+            Message::HelloAck { version, shards, frame_dim, code_dim, active_version } => {
                 put_u16(out, *version);
                 put_u16(out, *shards);
                 put_u32(out, *frame_dim);
                 put_u32(out, *code_dim);
+                put_u64(out, *active_version);
             }
             Message::PushFrames { cluster_id, trace, frames } => {
                 put_u64(out, *cluster_id);
@@ -578,8 +693,9 @@ impl Message {
                 put_u32(out, *max_frames);
                 put_u64(out, *trace);
             }
-            Message::Decoded { cluster_id, frames } => {
+            Message::Decoded { cluster_id, version, frames } => {
                 put_u64(out, *cluster_id);
+                put_u64(out, *version);
                 put_matrix(out, frames);
             }
             Message::StatsRequest
@@ -630,8 +746,9 @@ impl Message {
                 put_u64(out, *cluster_id);
                 put_u32(out, *backlog);
             }
-            Message::StreamFrames { cluster_id, frames } => {
+            Message::StreamFrames { cluster_id, version, frames } => {
                 put_u64(out, *cluster_id);
+                put_u64(out, *version);
                 put_matrix(out, frames);
             }
             Message::MetricsRequest | Message::FleetStatsQuery => {}
@@ -649,6 +766,38 @@ impl Message {
                     out.push(u8::from(g.alive));
                     g.snapshot.encode_into(out);
                 }
+            }
+            Message::RolloutPropose { version, weight, bias, nonce, mac } => {
+                put_version(out, version);
+                put_matrix(out, weight);
+                put_matrix(out, bias);
+                put_u64(out, *nonce);
+                put_u64(out, *mac);
+            }
+            Message::RolloutAck { version_id, accepted, detail } => {
+                put_u64(out, *version_id);
+                out.push(u8::from(*accepted));
+                put_bytes(out, detail.as_bytes());
+            }
+            Message::ActivateVersion { version_id, nonce, mac } => {
+                put_u64(out, *version_id);
+                put_u64(out, *nonce);
+                put_u64(out, *mac);
+            }
+            Message::VersionQuery => {}
+            Message::VersionReply { active, staged, prior, rollbacks, drift } => {
+                put_version(out, active);
+                for opt in [staged, prior] {
+                    match opt {
+                        Some(v) => {
+                            out.push(1);
+                            put_version(out, v);
+                        }
+                        None => out.push(0),
+                    }
+                }
+                put_u64(out, *rollbacks);
+                out.push(u8::from(*drift));
             }
         }
         let len = out.len() - HEADER_LEN;
@@ -784,6 +933,7 @@ fn decode_payload(msg_type: u16, cur: &mut Cursor<'_>) -> Result<Message, WireEr
             shards: cur.u16()?,
             frame_dim: cur.u32()?,
             code_dim: cur.u32()?,
+            active_version: cur.u64()?,
         }),
         3 => Ok(Message::PushFrames {
             cluster_id: cur.u64()?,
@@ -797,7 +947,11 @@ fn decode_payload(msg_type: u16, cur: &mut Cursor<'_>) -> Result<Message, WireEr
             max_frames: cur.u32()?,
             trace: cur.u64()?,
         }),
-        7 => Ok(Message::Decoded { cluster_id: cur.u64()?, frames: take_matrix(cur)? }),
+        7 => Ok(Message::Decoded {
+            cluster_id: cur.u64()?,
+            version: cur.u64()?,
+            frames: take_matrix(cur)?,
+        }),
         8 => Ok(Message::StatsRequest),
         9 => Ok(Message::StatsReply(StatsSnapshot::decode_from(cur)?)),
         10 => Ok(Message::Shutdown),
@@ -837,7 +991,11 @@ fn decode_payload(msg_type: u16, cur: &mut Cursor<'_>) -> Result<Message, WireEr
         20 => Ok(Message::Subscribe { cluster_id: cur.u64()?, trace: cur.u64()? }),
         21 => Ok(Message::SubscribeAck { cluster_id: cur.u64()?, backlog: cur.u32()? }),
         22 => Ok(Message::Unsubscribe { cluster_id: cur.u64()? }),
-        23 => Ok(Message::StreamFrames { cluster_id: cur.u64()?, frames: take_matrix(cur)? }),
+        23 => Ok(Message::StreamFrames {
+            cluster_id: cur.u64()?,
+            version: cur.u64()?,
+            frames: take_matrix(cur)?,
+        }),
         24 => Ok(Message::MetricsRequest),
         25 => {
             let bytes = cur.take_len_prefixed()?;
@@ -866,6 +1024,45 @@ fn decode_payload(msg_type: u16, cur: &mut Cursor<'_>) -> Result<Message, WireEr
                 });
             }
             Ok(Message::FleetStatsReply { epoch, evictions, gateways })
+        }
+        28 => Ok(Message::RolloutPropose {
+            version: take_version(cur)?,
+            weight: take_matrix(cur)?,
+            bias: take_matrix(cur)?,
+            nonce: cur.u64()?,
+            mac: cur.u64()?,
+        }),
+        29 => {
+            let version_id = cur.u64()?;
+            let accepted = take_bool(cur, "rollout ack flag is not 0 or 1")?;
+            let bytes = cur.take_len_prefixed()?;
+            let detail = std::str::from_utf8(bytes)
+                .map_err(|_| WireError::Corrupt { detail: "rollout ack detail is not utf-8" })?
+                .to_owned();
+            Ok(Message::RolloutAck { version_id, accepted, detail })
+        }
+        30 => Ok(Message::ActivateVersion {
+            version_id: cur.u64()?,
+            nonce: cur.u64()?,
+            mac: cur.u64()?,
+        }),
+        31 => Ok(Message::VersionQuery),
+        32 => {
+            let active = take_version(cur)?;
+            let mut opts = [None, None];
+            for slot in &mut opts {
+                if take_bool(cur, "version option flag is not 0 or 1")? {
+                    *slot = Some(take_version(cur)?);
+                }
+            }
+            let [staged, prior] = opts;
+            Ok(Message::VersionReply {
+                active,
+                staged,
+                prior,
+                rollbacks: cur.u64()?,
+                drift: take_bool(cur, "drift flag is not 0 or 1")?,
+            })
         }
         other => Err(WireError::UnknownType { found: other }),
     }
@@ -937,6 +1134,28 @@ fn take_members(cur: &mut Cursor<'_>) -> Result<Vec<GatewayEntry>, WireError> {
         members.push(GatewayEntry { id: cur.u64()?, addr: take_addr(cur)? });
     }
     Ok(members)
+}
+// orco-lint: endregion
+
+fn put_version(out: &mut Vec<u8>, v: &ModelVersion) {
+    assert!(v.label.len() <= MAX_LABEL, "model version label exceeds MAX_LABEL");
+    put_u64(out, v.id);
+    put_bytes(out, v.label.as_bytes());
+    put_u32(out, v.frame_dim);
+    put_u32(out, v.code_dim);
+}
+
+// orco-lint: region(wire-decode)
+fn take_version(cur: &mut Cursor<'_>) -> Result<ModelVersion, WireError> {
+    let id = cur.u64()?;
+    let bytes = cur.take_len_prefixed()?;
+    if bytes.len() > MAX_LABEL {
+        return Err(WireError::Corrupt { detail: "model version label exceeds MAX_LABEL" });
+    }
+    let label = std::str::from_utf8(bytes)
+        .map_err(|_| WireError::Corrupt { detail: "model version label is not utf-8" })?
+        .to_owned();
+    Ok(ModelVersion { id, label, frame_dim: cur.u32()?, code_dim: cur.u32()? })
 }
 // orco-lint: endregion
 
@@ -1113,6 +1332,78 @@ mod tests {
                     GatewayStats { id: 7, alive: true, snapshot },
                 ],
             },
+        ] {
+            assert_eq!(Message::decode(&msg.encode()).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn rollout_messages_roundtrip() {
+        let version = ModelVersion { id: 3, label: "retrain-a".into(), frame_dim: 8, code_dim: 2 };
+        let staged = ModelVersion { id: 4, label: "retrain-b".into(), frame_dim: 8, code_dim: 2 };
+        for msg in [
+            Message::RolloutPropose {
+                version: version.clone(),
+                weight: Matrix::from_fn(8, 2, |r, c| (r * 2 + c) as f32 - 7.5),
+                bias: Matrix::from_fn(1, 2, |_, c| c as f32),
+                nonce: 11,
+                mac: 0xFEED,
+            },
+            Message::RolloutAck { version_id: 3, accepted: true, detail: String::new() },
+            Message::RolloutAck { version_id: 3, accepted: false, detail: "stale id".into() },
+            Message::ActivateVersion { version_id: 3, nonce: 12, mac: 0xF00D },
+            Message::VersionQuery,
+            Message::VersionReply {
+                active: version.clone(),
+                staged: Some(staged),
+                prior: None,
+                rollbacks: 1,
+                drift: true,
+            },
+            Message::VersionReply {
+                active: version,
+                staged: None,
+                prior: None,
+                rollbacks: 0,
+                drift: false,
+            },
+        ] {
+            assert_eq!(Message::decode(&msg.encode()).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn oversized_version_label_rejected() {
+        let version =
+            ModelVersion { id: 1, label: "v".repeat(MAX_LABEL), frame_dim: 4, code_dim: 2 };
+        let mut frame = Message::VersionReply {
+            active: version,
+            staged: None,
+            prior: None,
+            rollbacks: 0,
+            drift: false,
+        }
+        .encode();
+        // Lie about the label length: the decoder must reject it before
+        // interning an arbitrarily long string.
+        let len_at = HEADER_LEN + 8;
+        frame[len_at..len_at + 4].copy_from_slice(&(MAX_LABEL as u32 + 1).to_le_bytes());
+        assert!(matches!(Message::decode(&frame), Err(WireError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn versioned_data_plane_roundtrips() {
+        let frames = Matrix::from_fn(2, 4, |r, c| (r * 4 + c) as f32);
+        for msg in [
+            Message::HelloAck {
+                version: PROTOCOL_VERSION,
+                shards: 2,
+                frame_dim: 4,
+                code_dim: 2,
+                active_version: 7,
+            },
+            Message::Decoded { cluster_id: 9, version: 7, frames: frames.clone() },
+            Message::StreamFrames { cluster_id: 9, version: 8, frames },
         ] {
             assert_eq!(Message::decode(&msg.encode()).unwrap(), msg);
         }

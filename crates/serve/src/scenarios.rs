@@ -435,6 +435,7 @@ fn drive(
                 // Large enough that no gauntlet run evicts a span: the
                 // contracts below demand the ring saw everything.
                 trace_capacity: 1 << 16,
+                ..GatewayConfig::default()
             },
             Clock::manual(Duration::ZERO),
             |_| {
@@ -767,7 +768,7 @@ fn on_reply(
             a.pending = Some((seq, Pending::Pull { retry_push: true }));
             Ok(())
         }
-        (Pending::Pull { retry_push }, Message::Decoded { cluster_id, frames }) => {
+        (Pending::Pull { retry_push }, Message::Decoded { cluster_id, frames, .. }) => {
             if cluster_id != a.cluster {
                 return Err(format!(
                     "actor {ai}: pulled cluster {} got cluster {cluster_id}",

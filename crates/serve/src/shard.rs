@@ -25,14 +25,66 @@ use std::collections::VecDeque;
 
 use orco_obs::{Span, SpanKind, Tracer};
 use orco_tensor::{MatView, Matrix};
-use orcodcs::{Codec, FrameDims, OrcoError};
+use orcodcs::{Codec, EncoderCheckpoint, FineTuneMonitor, FrameDims, OrcoError};
 
 use crate::stats::{FlushReason, ServeStats};
+
+/// Deterministic sampling of decoded reconstructions through a
+/// [`FineTuneMonitor`]: every `every`-th flushed row is decoded back and
+/// scored against its raw frame, so the gateway notices a drifting field
+/// distribution from the data it is already serving. The sample schedule
+/// is a pure function of the row sequence — no wall clock, no RNG — so
+/// drift trips replay bit-identically under the DES harness.
+pub(crate) struct DriftProbe {
+    monitor: FineTuneMonitor,
+    /// Sample every `every`-th flushed row (≥ 1).
+    every: u64,
+    /// Rows seen since the probe was created or reset.
+    seen: u64,
+    /// The monitor's windowed error as of the latest sample; survives
+    /// the trip acknowledgement so the rollback guard reads a stable
+    /// value.
+    last_windowed: Option<f32>,
+}
+
+impl DriftProbe {
+    pub(crate) fn new(every: u64, threshold: f32, window: usize) -> Self {
+        Self {
+            monitor: FineTuneMonitor::new(threshold, window),
+            every: every.max(1),
+            seen: 0,
+            last_windowed: None,
+        }
+    }
+
+    /// Forgets the previous model's error history (called at every
+    /// cutover/rollback so the guard judges only the new model).
+    fn reset(&mut self) {
+        self.monitor.acknowledge();
+        self.last_windowed = None;
+    }
+}
 
 pub(crate) struct ShardCore {
     /// This shard's index in the gateway (labels stats and trace spans).
     index: usize,
     codec: Box<dyn Codec>,
+    /// Id of the model version the active codec serves.
+    version: u64,
+    /// Retired codecs kept alive to decode rows they encoded and to
+    /// serve as the rollback target. Keyed by version id; an entry is
+    /// dropped once its stored rows drain, except the most recently
+    /// retired one (the rollback target), which is always kept.
+    retired: BTreeMap<u64, Box<dyn Codec>>,
+    /// The most recently retired version id (the rollback target).
+    last_retired: Option<u64>,
+    /// Stored rows per producing version; drives retired-codec dropping.
+    rows_by_version: BTreeMap<u64, usize>,
+    /// Decoded-sample drift monitor (None = drift detection disabled).
+    drift: Option<DriftProbe>,
+    /// Reused 1-row workspaces for drift sampling.
+    drift_in_ws: Matrix,
+    drift_out_ws: Matrix,
     dims: FrameDims,
     /// Pending raw frames, row-major, `dims.input` wide.
     pending_data: Vec<f32>,
@@ -54,16 +106,27 @@ pub(crate) struct ShardCore {
     /// The trace id of each stored row, parallel to `stores` (one entry
     /// per row, not per f32), so deliveries can close the causal chain.
     store_traces: BTreeMap<u64, VecDeque<u64>>,
+    /// The model version that encoded each stored row, parallel to
+    /// `store_traces`, so a pull decodes every row with the codec that
+    /// produced it even while a hot-swap is draining.
+    store_versions: BTreeMap<u64, VecDeque<u64>>,
     /// Total rows across `stores`.
     stored_rows: usize,
 }
 
 impl ShardCore {
-    pub(crate) fn new(index: usize, codec: Box<dyn Codec>) -> Self {
+    pub(crate) fn new(index: usize, codec: Box<dyn Codec>, drift: Option<DriftProbe>) -> Self {
         let dims = codec.frame_dims();
         Self {
             index,
             codec,
+            version: 0,
+            retired: BTreeMap::new(),
+            last_retired: None,
+            rows_by_version: BTreeMap::new(),
+            drift,
+            drift_in_ws: Matrix::zeros(0, 0),
+            drift_out_ws: Matrix::zeros(0, 0),
             dims,
             pending_data: Vec::new(),
             pending_clusters: Vec::new(),
@@ -74,8 +137,85 @@ impl ShardCore {
             decode_out_ws: Matrix::zeros(0, 0),
             stores: BTreeMap::new(),
             store_traces: BTreeMap::new(),
+            store_versions: BTreeMap::new(),
             stored_rows: 0,
         }
+    }
+
+    /// Derives a staged codec from the active one by grafting the
+    /// checkpoint's encoder onto a copy (decoder and all other state
+    /// carry over bit-identically).
+    pub(crate) fn stage_from_active(
+        &self,
+        checkpoint: &EncoderCheckpoint,
+    ) -> Result<Box<dyn Codec>, OrcoError> {
+        self.codec.with_encoder(checkpoint)
+    }
+
+    /// The drift monitor's current windowed error (None while the
+    /// window is refilling or drift detection is disabled). The
+    /// rollback guard compares this against its threshold.
+    pub(crate) fn drift_windowed_error(&self) -> Option<f32> {
+        self.drift.as_ref().and_then(|p| p.last_windowed)
+    }
+
+    /// Cuts the shard over to `codec` as version `id` at a flush
+    /// boundary: the pending micro-batch flushes under the *old* codec
+    /// first (so no flush ever mixes model versions and no frame is
+    /// dropped), then the old codec is retired — kept alive to decode
+    /// its stored rows and as the rollback target.
+    pub(crate) fn install_codec(
+        &mut self,
+        id: u64,
+        codec: Box<dyn Codec>,
+        now_s: f64,
+        stats: &ServeStats,
+        tracer: &Tracer,
+    ) -> Result<(), OrcoError> {
+        self.flush(now_s, FlushReason::Swap, stats, tracer)?;
+        let old = std::mem::replace(&mut self.codec, codec);
+        let old_id = std::mem::replace(&mut self.version, id);
+        self.retire(old_id, old);
+        if let Some(probe) = &mut self.drift {
+            probe.reset();
+        }
+        Ok(())
+    }
+
+    /// Reverts to retired version `id` (the rollback path). Returns
+    /// false when that version is no longer retained. Like
+    /// [`Self::install_codec`], the cutover happens at a flush boundary.
+    pub(crate) fn rollback_to(
+        &mut self,
+        id: u64,
+        now_s: f64,
+        stats: &ServeStats,
+        tracer: &Tracer,
+    ) -> Result<bool, OrcoError> {
+        if !self.retired.contains_key(&id) {
+            return Ok(false);
+        }
+        self.flush(now_s, FlushReason::Swap, stats, tracer)?;
+        let target = self.retired.remove(&id).expect("checked above");
+        let old = std::mem::replace(&mut self.codec, target);
+        let old_id = std::mem::replace(&mut self.version, id);
+        self.retire(old_id, old);
+        if let Some(probe) = &mut self.drift {
+            probe.reset();
+        }
+        Ok(true)
+    }
+
+    /// Retires a codec, dropping the previously retired one if its
+    /// stored rows have fully drained (the newest retiree replaces it
+    /// as the rollback target).
+    fn retire(&mut self, id: u64, codec: Box<dyn Codec>) {
+        if let Some(prev) = self.last_retired.replace(id) {
+            if prev != id && !self.rows_by_version.contains_key(&prev) {
+                self.retired.remove(&prev);
+            }
+        }
+        self.retired.insert(id, codec);
     }
 
     pub(crate) fn dims(&self) -> FrameDims {
@@ -159,13 +299,16 @@ impl ShardCore {
         }
         let view = MatView::new(rows, self.dims.input, &self.pending_data)?;
         self.codec.encode_batch(view, &mut self.codes_ws)?;
+        self.sample_drift(rows, stats)?;
         for (r, &cluster) in self.pending_clusters.iter().enumerate() {
             self.stores.entry(cluster).or_default().extend(self.codes_ws.row(r).iter().copied());
             // Untraced rows (trace 0) still file an entry so the parallel
             // queues stay row-aligned with the code store.
             self.store_traces.entry(cluster).or_default().push_back(self.pending_traces[r]);
+            self.store_versions.entry(cluster).or_default().push_back(self.version);
         }
         self.stored_rows += rows;
+        *self.rows_by_version.entry(self.version).or_insert(0) += rows;
         stats.record_flush(self.index, rows as u64, now_s - self.oldest_enqueue_s, reason);
         if tracer.enabled() {
             // One Flush + Store span per contiguous (trace, cluster) run.
@@ -203,11 +346,54 @@ impl ShardCore {
     }
     // orco-lint: endregion
 
+    /// Feeds every `every`-th row of the just-encoded batch through a
+    /// decode and scores the reconstruction against the raw frame,
+    /// recording the error into the drift monitor. Runs between
+    /// `encode_batch` and the pending-buffer clear, so both the raw row
+    /// (`pending_data`) and its code (`codes_ws`) are still live. Trips
+    /// surface as `drift_trips`/`drift` in [`ServeStats`].
+    fn sample_drift(&mut self, rows: usize, stats: &ServeStats) -> Result<(), OrcoError> {
+        let Some(probe) = &mut self.drift else {
+            return Ok(());
+        };
+        for r in 0..rows {
+            probe.seen += 1;
+            if !probe.seen.is_multiple_of(probe.every) {
+                continue;
+            }
+            self.drift_in_ws.reset(1, self.dims.code);
+            self.drift_in_ws.as_view_mut().as_mut_slice().copy_from_slice(self.codes_ws.row(r));
+            self.codec.decode_batch(self.drift_in_ws.as_view(), &mut self.drift_out_ws)?;
+            let raw = &self.pending_data[r * self.dims.input..(r + 1) * self.dims.input];
+            let recon = self.drift_out_ws.row(0);
+            let mse = raw
+                .iter()
+                .zip(recon)
+                .map(|(a, b)| {
+                    let d = a - b;
+                    d * d
+                })
+                .sum::<f32>()
+                / self.dims.input as f32;
+            probe.monitor.record(mse);
+            probe.last_windowed = probe.monitor.windowed_error();
+            if probe.monitor.should_retrain() {
+                stats.record_drift_trip();
+                probe.monitor.acknowledge();
+            }
+        }
+        Ok(())
+    }
+
     /// Decodes up to `max` of the cluster's oldest stored codes in ONE
-    /// `decode_batch` call and returns the reconstructions in push order.
-    /// Returns an empty matrix when the cluster has nothing stored.
-    /// `streamed` selects which stats counter books the delivery
-    /// (client pull vs streaming fan-out).
+    /// `decode_batch` call and returns `(producing version, rows)` in
+    /// push order. A delivery never mixes model versions: it is capped
+    /// at the oldest contiguous same-version run, and each row is
+    /// decoded by the codec that encoded it — mid-swap, old rows drain
+    /// through the retired codec while new rows queue behind them.
+    /// Returns an empty matrix (tagged with the active version) when
+    /// the cluster has nothing stored. `streamed` selects which stats
+    /// counter books the delivery (client pull vs streaming fan-out).
     ///
     /// # Errors
     ///
@@ -220,12 +406,18 @@ impl ShardCore {
         stats: &ServeStats,
         tracer: &Tracer,
         streamed: bool,
-    ) -> Result<Matrix, OrcoError> {
+    ) -> Result<(u64, Matrix), OrcoError> {
         let code = self.dims.code;
-        let avail = self.stores.get(&cluster).map_or(0, |s| s.len() / code);
-        let k = avail.min(max);
+        let (run_version, run_len) = match self.store_versions.get(&cluster) {
+            Some(q) => {
+                let head = *q.front().expect("version queue never left empty");
+                (head, q.iter().take_while(|v| **v == head).count())
+            }
+            None => (self.version, 0),
+        };
+        let k = run_len.min(max);
         if k == 0 {
-            return Ok(Matrix::zeros(0, self.dims.input));
+            return Ok((self.version, Matrix::zeros(0, self.dims.input)));
         }
         self.decode_in_ws.reset(k, code);
         {
@@ -247,8 +439,33 @@ impl ShardCore {
             }
             drained
         };
+        {
+            let queue =
+                self.store_versions.get_mut(&cluster).expect("version queue is row-aligned");
+            queue.drain(..k);
+            if queue.is_empty() {
+                self.store_versions.remove(&cluster);
+            }
+        }
         self.stored_rows -= k;
-        self.codec.decode_batch(self.decode_in_ws.as_view(), &mut self.decode_out_ws)?;
+        let remaining = self
+            .rows_by_version
+            .get_mut(&run_version)
+            .expect("per-version row count is flush-maintained");
+        *remaining -= k;
+        if *remaining == 0 {
+            self.rows_by_version.remove(&run_version);
+            // Drained retirees are dropped — except the rollback target.
+            if run_version != self.version && self.last_retired != Some(run_version) {
+                self.retired.remove(&run_version);
+            }
+        }
+        let codec = if run_version == self.version {
+            &mut self.codec
+        } else {
+            self.retired.get_mut(&run_version).expect("retired codec retained while rows stored")
+        };
+        codec.decode_batch(self.decode_in_ws.as_view(), &mut self.decode_out_ws)?;
         if streamed {
             stats.record_streamed(self.index, k as u64, (k * self.dims.input * 4) as u64);
         } else {
@@ -282,6 +499,6 @@ impl ShardCore {
         // Move the decoded rows into the reply instead of cloning them;
         // the reply owns the buffer and the next decode_batch regrows the
         // workspace. One allocation either way, but no second memcpy.
-        Ok(std::mem::replace(&mut self.decode_out_ws, Matrix::zeros(0, 0)))
+        Ok((run_version, std::mem::replace(&mut self.decode_out_ws, Matrix::zeros(0, 0))))
     }
 }

@@ -32,9 +32,9 @@ use crate::protocol::{put_f64, put_u16, put_u64, Cursor, WireError};
 pub const MAX_SHARDS: usize = 1024;
 
 /// Worst-case encoded size of one [`StatsSnapshot`]: shard count,
-/// 17 u64 counters, 2 f64 percentiles, and up to [`MAX_SHARDS`]
-/// per-shard rows of 3 u64 each.
-pub(crate) const SNAPSHOT_CAP: usize = 2 + 17 * 8 + 2 * 8 + MAX_SHARDS * 24;
+/// 22 u64 counters, a drift flag byte, 2 f64 percentiles, and up to
+/// [`MAX_SHARDS`] per-shard rows of 3 u64 each.
+pub(crate) const SNAPSHOT_CAP: usize = 2 + 22 * 8 + 1 + 2 * 8 + MAX_SHARDS * 24;
 
 /// Why a micro-batch was flushed. Each reason has its own counter in
 /// [`StatsSnapshot`], so `deadline_flushes` means *deadline* flushes —
@@ -52,6 +52,9 @@ pub enum FlushReason {
     Pull,
     /// Shutdown drained the batcher.
     Drain,
+    /// A codec hot-swap flushed the batch so no flush straddles two
+    /// model versions (the zero-drop cutover boundary).
+    Swap,
 }
 
 impl FlushReason {
@@ -63,6 +66,7 @@ impl FlushReason {
             FlushReason::Deadline => "deadline",
             FlushReason::Pull => "pull",
             FlushReason::Drain => "drain",
+            FlushReason::Swap => "swap",
         }
     }
 }
@@ -98,11 +102,17 @@ pub struct ServeStats {
     deadline_flushes: Counter,
     pull_flushes: Counter,
     drain_flushes: Counter,
+    swap_flushes: Counter,
     max_batch_rows: Gauge,
     queue_depth: Gauge,
     stored_codes: Gauge,
     streamed_rows: Counter,
     redirects: Counter,
+    active_version: Gauge,
+    drift_trips: Counter,
+    swaps: Counter,
+    rollbacks: Counter,
+    drift: Gauge,
     per_shard: Vec<ShardCounters>,
     flush_latency: Histogram,
     latencies: Mutex<LatencyLedger>,
@@ -170,11 +180,17 @@ impl ServeStats {
             deadline_flushes: Counter::new(),
             pull_flushes: Counter::new(),
             drain_flushes: Counter::new(),
+            swap_flushes: Counter::new(),
             max_batch_rows: Gauge::new(),
             queue_depth: Gauge::new(),
             stored_codes: Gauge::new(),
             streamed_rows: Counter::new(),
             redirects: Counter::new(),
+            active_version: Gauge::new(),
+            drift_trips: Counter::new(),
+            swaps: Counter::new(),
+            rollbacks: Counter::new(),
+            drift: Gauge::new(),
             per_shard: (0..shards).map(|_| ShardCounters::default()).collect(),
             flush_latency: Histogram::new(),
             latencies: Mutex::new(LatencyLedger::default()),
@@ -210,6 +226,7 @@ impl ServeStats {
             FlushReason::Deadline => &self.deadline_flushes,
             FlushReason::Pull => &self.pull_flushes,
             FlushReason::Drain => &self.drain_flushes,
+            FlushReason::Swap => &self.swap_flushes,
         };
         counter.inc();
         self.max_batch_rows.max_assign(rows);
@@ -246,6 +263,34 @@ impl ServeStats {
         self.redirects.inc();
     }
 
+    /// Publishes the id of the model version currently encoding flushes.
+    pub fn set_active_version(&self, id: u64) {
+        self.active_version.set(id);
+    }
+
+    /// Records the drift monitor tripping on the active model, and
+    /// raises the drift flag until [`Self::set_drift`] clears it.
+    pub fn record_drift_trip(&self) {
+        self.drift_trips.inc();
+        self.drift.set(1);
+    }
+
+    /// Sets or clears the drift flag (cleared when a swap installs a
+    /// fresh model or the monitor is acknowledged).
+    pub fn set_drift(&self, drifting: bool) {
+        self.drift.set(u64::from(drifting));
+    }
+
+    /// Records a completed codec hot-swap (cutover to a new version).
+    pub fn record_swap(&self) {
+        self.swaps.inc();
+    }
+
+    /// Records a guard-triggered rollback to the prior model version.
+    pub fn record_rollback(&self) {
+        self.rollbacks.inc();
+    }
+
     /// Freezes the registry into a snapshot.
     #[must_use]
     pub fn snapshot(&self) -> StatsSnapshot {
@@ -264,11 +309,17 @@ impl ServeStats {
             deadline_flushes: self.deadline_flushes.get(),
             pull_flushes: self.pull_flushes.get(),
             drain_flushes: self.drain_flushes.get(),
+            swap_flushes: self.swap_flushes.get(),
             max_batch_rows: self.max_batch_rows.get(),
             queue_depth: self.queue_depth.get(),
             stored_codes: self.stored_codes.get(),
             streamed_rows: self.streamed_rows.get(),
             redirects: self.redirects.get(),
+            active_version: self.active_version.get(),
+            drift_trips: self.drift_trips.get(),
+            swaps: self.swaps.get(),
+            rollbacks: self.rollbacks.get(),
+            drift: self.drift.get() != 0,
             batch_latency_p50_s: percentile_of_sorted(&lats.samples, 0.5),
             batch_latency_p99_s: percentile_of_sorted(&lats.samples, 0.99),
             per_shard: self
@@ -320,11 +371,20 @@ impl ServeStats {
             Registry::label("orco_flushes_total", &[("reason", "drain")]),
             snap.drain_flushes,
         );
+        reg.set_int(
+            Registry::label("orco_flushes_total", &[("reason", "swap")]),
+            snap.swap_flushes,
+        );
         reg.set_int("orco_max_batch_rows", snap.max_batch_rows);
         reg.set_int("orco_queue_depth", snap.queue_depth);
         reg.set_int("orco_stored_codes", snap.stored_codes);
         reg.set_int("orco_streamed_rows_total", snap.streamed_rows);
         reg.set_int("orco_redirects_total", snap.redirects);
+        reg.set_int("orco_active_model_version", snap.active_version);
+        reg.set_int("orco_drift_trips_total", snap.drift_trips);
+        reg.set_int("orco_model_swaps_total", snap.swaps);
+        reg.set_int("orco_model_rollbacks_total", snap.rollbacks);
+        reg.set_int("orco_drift_flag", u64::from(snap.drift));
         reg.set_float("orco_batch_latency_p50_s", snap.batch_latency_p50_s);
         reg.set_float("orco_batch_latency_p99_s", snap.batch_latency_p99_s);
         for (i, row) in snap.per_shard.iter().enumerate() {
@@ -380,6 +440,8 @@ pub struct StatsSnapshot {
     pub pull_flushes: u64,
     /// Flushes performed while draining for shutdown.
     pub drain_flushes: u64,
+    /// Flushes forced by a codec hot-swap cutover boundary.
+    pub swap_flushes: u64,
     /// Rows of the largest single flush — evidence of micro-batching.
     pub max_batch_rows: u64,
     /// Rows currently pending in micro-batchers (gauge).
@@ -390,6 +452,16 @@ pub struct StatsSnapshot {
     pub streamed_rows: u64,
     /// Pushes bounced with a `Redirect` to the cluster's current owner.
     pub redirects: u64,
+    /// Id of the model version currently encoding flushes (gauge).
+    pub active_version: u64,
+    /// Times the drift monitor tripped on decoded-sample error.
+    pub drift_trips: u64,
+    /// Codec hot-swaps completed (activations that took effect).
+    pub swaps: u64,
+    /// Guard-triggered rollbacks to the prior model version.
+    pub rollbacks: u64,
+    /// Whether the drift monitor currently flags the active model.
+    pub drift: bool,
     /// Median flush latency, seconds (0 when nothing flushed).
     pub batch_latency_p50_s: f64,
     /// 99th-percentile flush latency, seconds (0 when nothing flushed).
@@ -417,11 +489,17 @@ impl StatsSnapshot {
         put_u64(out, self.deadline_flushes);
         put_u64(out, self.pull_flushes);
         put_u64(out, self.drain_flushes);
+        put_u64(out, self.swap_flushes);
         put_u64(out, self.max_batch_rows);
         put_u64(out, self.queue_depth);
         put_u64(out, self.stored_codes);
         put_u64(out, self.streamed_rows);
         put_u64(out, self.redirects);
+        put_u64(out, self.active_version);
+        put_u64(out, self.drift_trips);
+        put_u64(out, self.swaps);
+        put_u64(out, self.rollbacks);
+        out.push(u8::from(self.drift));
         put_f64(out, self.batch_latency_p50_s);
         put_f64(out, self.batch_latency_p99_s);
         for row in &self.per_shard {
@@ -450,11 +528,21 @@ impl StatsSnapshot {
             deadline_flushes: cur.u64()?,
             pull_flushes: cur.u64()?,
             drain_flushes: cur.u64()?,
+            swap_flushes: cur.u64()?,
             max_batch_rows: cur.u64()?,
             queue_depth: cur.u64()?,
             stored_codes: cur.u64()?,
             streamed_rows: cur.u64()?,
             redirects: cur.u64()?,
+            active_version: cur.u64()?,
+            drift_trips: cur.u64()?,
+            swaps: cur.u64()?,
+            rollbacks: cur.u64()?,
+            drift: match cur.u8()? {
+                0 => false,
+                1 => true,
+                _ => return Err(WireError::Corrupt { detail: "drift flag is not 0 or 1" }),
+            },
             batch_latency_p50_s: cur.f64()?,
             batch_latency_p99_s: cur.f64()?,
             per_shard: Vec::with_capacity(usize::from(shards)),
@@ -540,17 +628,48 @@ mod tests {
         s.record_flush(0, 2, 0.006, FlushReason::Deadline);
         s.record_flush(0, 1, 0.002, FlushReason::Pull);
         s.record_flush(0, 3, 0.001, FlushReason::Drain);
+        s.record_flush(0, 2, 0.001, FlushReason::Swap);
         let snap = s.snapshot();
-        assert_eq!(snap.batches, 4);
+        assert_eq!(snap.batches, 5);
         assert_eq!(snap.size_flushes, 1);
         assert_eq!(snap.deadline_flushes, 1);
         assert_eq!(snap.pull_flushes, 1);
         assert_eq!(snap.drain_flushes, 1);
+        assert_eq!(snap.swap_flushes, 1);
         assert_eq!(
-            snap.size_flushes + snap.deadline_flushes + snap.pull_flushes + snap.drain_flushes,
+            snap.size_flushes
+                + snap.deadline_flushes
+                + snap.pull_flushes
+                + snap.drain_flushes
+                + snap.swap_flushes,
             snap.batches,
             "every flush has exactly one reason"
         );
+    }
+
+    #[test]
+    fn rollout_telemetry_tracks_lifecycle() {
+        let s = ServeStats::new(1);
+        s.set_active_version(3);
+        assert_eq!(s.snapshot().active_version, 3);
+        assert!(!s.snapshot().drift);
+        s.record_drift_trip();
+        let snap = s.snapshot();
+        assert_eq!(snap.drift_trips, 1);
+        assert!(snap.drift, "a trip raises the drift flag");
+        s.record_swap();
+        s.set_active_version(4);
+        s.set_drift(false);
+        s.record_rollback();
+        let snap = s.snapshot();
+        assert_eq!((snap.swaps, snap.rollbacks, snap.active_version), (1, 1, 4));
+        assert!(!snap.drift, "swap clears the drift flag");
+        let mut reg = Registry::new();
+        s.fill_registry(&mut reg);
+        let text = reg.render();
+        assert!(text.contains("orco_active_model_version 4"), "scrape:\n{text}");
+        assert!(text.contains("orco_drift_trips_total 1"), "scrape:\n{text}");
+        assert!(text.contains("orco_model_rollbacks_total 1"), "scrape:\n{text}");
     }
 
     #[test]

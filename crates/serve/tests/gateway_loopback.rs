@@ -117,6 +117,7 @@ fn gateway_output_bit_identical_to_direct_batch_calls() {
         queue_capacity: 4096,
         auth_secret: None,
         trace_capacity: 4096,
+        ..GatewayConfig::default()
     };
     let (decoded, _) = run_schedule(cfg);
 
@@ -145,6 +146,7 @@ fn gateway_is_deterministic_across_thread_budgets() {
         queue_capacity: 4096,
         auth_secret: None,
         trace_capacity: 4096,
+        ..GatewayConfig::default()
     };
     let (decoded_1, stats_1) = parallel::with_thread_budget(1, || run_schedule(cfg));
     let (decoded_4, stats_4) = parallel::with_thread_budget(4, || run_schedule(cfg));
@@ -171,6 +173,7 @@ fn busy_backpressure_and_drain() {
         queue_capacity: 8,
         auth_secret: None,
         trace_capacity: 4096,
+        ..GatewayConfig::default()
     };
     let gw = gateway(cfg);
     let mut client = Client::connect(&Loopback::new(Arc::clone(&gw))).expect("connects");
@@ -214,6 +217,7 @@ fn deadline_flushes_small_batches() {
         queue_capacity: 4096,
         auth_secret: None,
         trace_capacity: 4096,
+        ..GatewayConfig::default()
     };
     let gw = gateway(cfg);
     let mut client = Client::connect(&Loopback::new(Arc::clone(&gw))).expect("connects");
@@ -243,6 +247,7 @@ fn deadline_flush_reaches_idle_shards() {
         queue_capacity: 4096,
         auth_secret: None,
         trace_capacity: 4096,
+        ..GatewayConfig::default()
     };
     let gw = gateway(cfg);
     // Two clusters pinned to different shards.
@@ -273,6 +278,7 @@ fn advance_clock_sweeps_deadlines_without_traffic() {
         queue_capacity: 4096,
         auth_secret: None,
         trace_capacity: 4096,
+        ..GatewayConfig::default()
     };
     let gw = gateway(cfg);
     let mut client = Client::connect(&Loopback::new(Arc::clone(&gw))).expect("connects");
@@ -299,6 +305,7 @@ fn flush_reasons_are_distinguished() {
         queue_capacity: 4096,
         auth_secret: None,
         trace_capacity: 4096,
+        ..GatewayConfig::default()
     };
     let gw = gateway(cfg);
     let mut client = Client::connect(&Loopback::new(Arc::clone(&gw))).expect("connects");
@@ -334,6 +341,7 @@ fn shutdown_drains_and_rejects() {
         queue_capacity: 4096,
         auth_secret: None,
         trace_capacity: 4096,
+        ..GatewayConfig::default()
     };
     let gw = gateway(cfg);
     let mut client = Client::connect(&Loopback::new(Arc::clone(&gw))).expect("connects");
@@ -360,6 +368,7 @@ fn per_shard_metrics_expose_hot_shard_skew() {
         queue_capacity: 4096,
         auth_secret: None,
         trace_capacity: 4096,
+        ..GatewayConfig::default()
     };
     let gw = gateway(cfg);
     let hot = 7u64;
@@ -421,6 +430,7 @@ fn trace_export_is_deterministic_and_chains_are_complete() {
             queue_capacity: 4096,
             auth_secret: None,
             trace_capacity: 4096,
+            ..GatewayConfig::default()
         };
         let gw = gateway(cfg);
         let mut client = Client::connect(&Loopback::new(Arc::clone(&gw))).expect("connects");

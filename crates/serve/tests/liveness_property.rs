@@ -54,6 +54,7 @@ fn gateway(clock: Clock) -> Arc<Gateway> {
                 queue_capacity: 4096,
                 auth_secret: None,
                 trace_capacity: 4096,
+                ..GatewayConfig::default()
             },
             clock,
             move |_| {

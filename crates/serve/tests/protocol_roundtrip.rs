@@ -3,7 +3,10 @@
 //! [`WireError`] — never a panic, never a silent misparse.
 
 use orco_serve::protocol::{Message, HEADER_LEN};
-use orco_serve::{ErrorCode, GatewayEntry, GatewayStats, ShardRow, StatsSnapshot, WireError};
+use orco_serve::{
+    ErrorCode, GatewayEntry, GatewayStats, ModelVersion, ShardRow, StatsSnapshot, WireError,
+    MAX_LABEL,
+};
 use orco_tensor::Matrix;
 use proptest::prelude::*;
 use proptest::BoxedStrategy;
@@ -55,8 +58,9 @@ fn any_snapshot() -> BoxedStrategy<StatsSnapshot> {
         (any::<u64>(), any::<u64>()),
         (any_f64_bits(), any_f64_bits(), any_shard_rows()),
         (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<bool>()),
     )
-        .prop_map(|(a, b, c, d, e)| StatsSnapshot {
+        .prop_map(|(a, b, c, d, e, f)| StatsSnapshot {
             shards: d.2.len() as u16,
             frames_in: a.0,
             frames_out: a.1,
@@ -70,6 +74,7 @@ fn any_snapshot() -> BoxedStrategy<StatsSnapshot> {
             deadline_flushes: b.3,
             pull_flushes: e.1,
             drain_flushes: e.2,
+            swap_flushes: f.0,
             max_batch_rows: b.4,
             queue_depth: c.0,
             stored_codes: c.1,
@@ -77,6 +82,11 @@ fn any_snapshot() -> BoxedStrategy<StatsSnapshot> {
             batch_latency_p99_s: d.1,
             streamed_rows: e.3,
             redirects: e.4,
+            active_version: f.1,
+            drift_trips: f.2,
+            swaps: f.3,
+            rollbacks: f.4,
+            drift: f.5,
             per_shard: d.2,
         })
         .boxed()
@@ -109,18 +119,37 @@ fn any_members() -> BoxedStrategy<Vec<GatewayEntry>> {
     .boxed()
 }
 
+/// Model versions: any id/dims, labels up to the wire's `MAX_LABEL`.
+fn any_model_version() -> BoxedStrategy<ModelVersion> {
+    (
+        any::<u64>(),
+        prop::collection::vec(0x20u8..=0x7e, 0..MAX_LABEL),
+        0u32..=u32::MAX,
+        0u32..=u32::MAX,
+    )
+        .prop_map(|(id, bytes, frame_dim, code_dim)| ModelVersion {
+            id,
+            label: String::from_utf8(bytes).expect("printable ascii is utf-8"),
+            frame_dim,
+            code_dim,
+        })
+        .boxed()
+}
+
+/// `Option<ModelVersion>` via a presence flag (the proptest shim has no
+/// `prop::option` module).
+fn maybe_model_version() -> BoxedStrategy<Option<ModelVersion>> {
+    (any::<bool>(), any_model_version()).prop_map(|(some, v)| some.then_some(v)).boxed()
+}
+
 fn any_message() -> BoxedStrategy<Message> {
     prop_oneof![
         (any::<u64>(), any::<u64>(), any::<u64>())
             .prop_map(|(client_id, nonce, mac)| Message::Hello { client_id, nonce, mac }),
-        (0u16..=u16::MAX, 0u16..=u16::MAX, 0u32..=u32::MAX, 0u32..=u32::MAX).prop_map(
-            |(version, shards, frame_dim, code_dim)| Message::HelloAck {
-                version,
-                shards,
-                frame_dim,
-                code_dim,
-            }
-        ),
+        (0u16..=u16::MAX, 0u16..=u16::MAX, 0u32..=u32::MAX, 0u32..=u32::MAX, any::<u64>())
+            .prop_map(|(version, shards, frame_dim, code_dim, active_version)| {
+                Message::HelloAck { version, shards, frame_dim, code_dim, active_version }
+            }),
         (any::<u64>(), any::<u64>(), any_bits_matrix()).prop_map(|(cluster_id, trace, frames)| {
             Message::PushFrames { cluster_id, trace, frames }
         }),
@@ -134,8 +163,9 @@ fn any_message() -> BoxedStrategy<Message> {
                 trace
             }
         ),
-        (any::<u64>(), any_bits_matrix())
-            .prop_map(|(cluster_id, frames)| Message::Decoded { cluster_id, frames }),
+        (any::<u64>(), any::<u64>(), any_bits_matrix()).prop_map(
+            |(cluster_id, version, frames)| Message::Decoded { cluster_id, version, frames }
+        ),
         Just(Message::StatsRequest),
         any_snapshot().prop_map(Message::StatsReply),
         Just(Message::Shutdown),
@@ -176,14 +206,44 @@ fn any_message() -> BoxedStrategy<Message> {
         (any::<u64>(), 0u32..=u32::MAX)
             .prop_map(|(cluster_id, backlog)| Message::SubscribeAck { cluster_id, backlog }),
         any::<u64>().prop_map(|cluster_id| Message::Unsubscribe { cluster_id }),
-        (any::<u64>(), any_bits_matrix())
-            .prop_map(|(cluster_id, frames)| Message::StreamFrames { cluster_id, frames }),
+        (any::<u64>(), any::<u64>(), any_bits_matrix()).prop_map(
+            |(cluster_id, version, frames)| Message::StreamFrames { cluster_id, version, frames }
+        ),
         Just(Message::MetricsRequest),
         any_addr().prop_map(|text| Message::MetricsReply { text }),
         Just(Message::FleetStatsQuery),
         (any::<u64>(), any::<u64>(), any_gateway_stats()).prop_map(
             |(epoch, evictions, gateways)| Message::FleetStatsReply { epoch, evictions, gateways }
         ),
+        (any_model_version(), any_bits_matrix(), any_bits_matrix(), any::<u64>(), any::<u64>())
+            .prop_map(|(version, weight, bias, nonce, mac)| Message::RolloutPropose {
+                version,
+                weight,
+                bias,
+                nonce,
+                mac
+            }),
+        (any::<u64>(), any::<bool>(), any_addr()).prop_map(|(version_id, accepted, detail)| {
+            Message::RolloutAck { version_id, accepted, detail }
+        }),
+        (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(version_id, nonce, mac)| {
+            Message::ActivateVersion { version_id, nonce, mac }
+        }),
+        Just(Message::VersionQuery),
+        (
+            any_model_version(),
+            maybe_model_version(),
+            maybe_model_version(),
+            any::<u64>(),
+            any::<bool>()
+        )
+            .prop_map(|(active, staged, prior, rollbacks, drift)| Message::VersionReply {
+                active,
+                staged,
+                prior,
+                rollbacks,
+                drift
+            }),
     ]
     .boxed()
 }

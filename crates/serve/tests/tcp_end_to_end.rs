@@ -22,6 +22,7 @@ fn tcp_gateway_serves_and_shuts_down() {
                 queue_capacity: 1024,
                 auth_secret: None,
                 trace_capacity: 4096,
+                ..GatewayConfig::default()
             },
             Clock::real(),
             |_| {

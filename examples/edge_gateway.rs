@@ -14,6 +14,12 @@
 //! cargo run --release -p orco-fleet --bin loadgen -- --clients 2 --frames 64 --shutdown
 //! ```
 //!
+//! The gateway also samples decoded reconstructions through a drift
+//! monitor (`drift_sample_every`), so a drifting load — `loadgen
+//! --drift 32` Bias-shifts every frame from index 32 on — trips the
+//! `drift` flag in the stats snapshot, the cue for an `orco-rollout`
+//! cutover.
+//!
 //! The gateway serves until a client sends `Shutdown` (the loadgen
 //! `--shutdown` flag). Bind address comes from `ORCO_SERVE_ADDR`
 //! (default `127.0.0.1:7117`).
@@ -49,6 +55,18 @@ fn main() {
                 queue_capacity: 4096,
                 auth_secret: None,
                 trace_capacity: 4096,
+                // Sample every other decoded row through a drift
+                // monitor: a `loadgen --drift 32` run trips the stats
+                // `drift` flag, signalling that a rollout is due. The
+                // threshold sits between this codec's error on loadgen's
+                // uniform frames (~0.28) and their Bias-shifted tail
+                // (~0.69); the window must fill with shifted samples
+                // inside one drifted run (64 frames/client, half
+                // shifted, every 2nd sampled -> 16 shifted samples).
+                drift_sample_every: 2,
+                drift_threshold: 0.4,
+                drift_window: 16,
+                ..GatewayConfig::default()
             },
             Clock::real(),
             |shard| {

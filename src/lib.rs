@@ -14,6 +14,7 @@
 //! * [`classifier`] — the follow-up CNN application ([`orco_classifier`]).
 //! * [`serve`] — the sharded edge-ingestion gateway ([`orco_serve`]).
 //! * [`fleet`] — the cluster directory service and gateway fleet ([`orco_fleet`]).
+//! * [`rollout`] — drift-aware live model rollout ([`orco_rollout`]).
 
 #![forbid(unsafe_code)]
 
@@ -22,6 +23,7 @@ pub use orco_classifier as classifier;
 pub use orco_datasets as datasets;
 pub use orco_fleet as fleet;
 pub use orco_nn as nn;
+pub use orco_rollout as rollout;
 pub use orco_serve as serve;
 pub use orco_sim as sim;
 pub use orco_tensor as tensor;
